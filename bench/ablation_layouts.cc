@@ -1,0 +1,95 @@
+// Design-choice ablations beyond the paper's figures (DESIGN.md section 5):
+//  A. interleaved vs split bucket layout for the same (2,4) k32/v32 table
+//  B. optimistic (one bucket per probe, 128-bit) vs pessimistic (both
+//     buckets per probe, 256-bit) horizontal probing on (2,2)
+//  C. hybrid vertical slot-count sweep: m in {1,2,4} at constant capacity
+//  D. hit-rate sensitivity: 50% vs 90% vs 100% selectivity on (2,4)
+#include "bench_common.h"
+
+using namespace simdht;
+using namespace simdht::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = ParseBenchOptions(argc, argv);
+  PrintHeader("Ablations: layout, probe policy, hybrid slots, hit rate",
+              opt);
+
+  TablePrinter table({"ablation", "config", "kernel", "Mlookups/s/core",
+                      "speedup vs scalar"});
+
+  auto run = [&](const std::string& section, const std::string& label,
+                 CaseSpec spec, const ValidationOptions& options) {
+    const CaseResult result = RunCaseAuto(spec, options);
+    for (const MeasuredKernel& k : result.kernels) {
+      table.AddRow({section, label, k.name,
+                    TablePrinter::Fmt(k.mlps_per_core, 1),
+                    k.approach == Approach::kScalar
+                        ? "1.00"
+                        : TablePrinter::Fmt(k.speedup, 2)});
+    }
+  };
+
+  // A: interleaved vs split.
+  {
+    CaseSpec spec = PaperCaseDefaults(opt);
+    spec.table_bytes = 1 << 20;
+    spec.layout = Layout(2, 4);
+    run("A: bucket layout", "(2,4) interleaved", spec, {});
+    spec.layout = Layout(2, 4, 32, 32, BucketLayout::kSplit);
+    run("A: bucket layout", "(2,4) split", spec, {});
+  }
+
+  // B: optimistic vs pessimistic probing on (2,2) — the 128-bit kernel
+  // probes one bucket per instruction and can early-exit; the 256-bit one
+  // loads both candidate buckets up front.
+  {
+    CaseSpec spec = PaperCaseDefaults(opt);
+    spec.table_bytes = 1 << 20;
+    spec.layout = Layout(2, 2);
+    ValidationOptions options;
+    options.strict = false;  // keep both widths despite equal parallelism
+    options.widths = {128, 256};
+    run("B: probe policy", "(2,2) 128b optimistic vs 256b pessimistic",
+        spec, options);
+  }
+
+  // C: hybrid vertical slots sweep at constant capacity.
+  for (const unsigned m : {1u, 2u, 4u}) {
+    CaseSpec spec = PaperCaseDefaults(opt);
+    spec.table_bytes = 1 << 20;
+    spec.layout = Layout(2, m);
+    ValidationOptions options;
+    options.include_hybrid = true;
+    options.widths = {512};
+    if (m == 1) {
+      run("C: hybrid slots", "m=1 (pure vertical)", spec, options);
+    } else {
+      // Only the vertical-over-BCHT kernels are of interest here.
+      auto kernels = KernelRegistry::Get().Find(
+          spec.layout, Approach::kVerticalBcht, 512);
+      const CaseResult result = RunCase(spec, kernels);
+      for (const MeasuredKernel& k : result.kernels) {
+        table.AddRow({"C: hybrid slots", "m=" + std::to_string(m), k.name,
+                      TablePrinter::Fmt(k.mlps_per_core, 1),
+                      k.approach == Approach::kScalar
+                          ? "1.00"
+                          : TablePrinter::Fmt(k.speedup, 2)});
+      }
+    }
+  }
+
+  // D: hit-rate sensitivity (misses probe all N buckets; hits early-exit).
+  for (const double hit_rate : {0.5, 0.9, 1.0}) {
+    CaseSpec spec = PaperCaseDefaults(opt);
+    spec.table_bytes = 1 << 20;
+    spec.layout = Layout(2, 4);
+    spec.hit_rate = hit_rate;
+    ValidationOptions options;
+    options.widths = {256};
+    run("D: hit rate", ("hit " + std::to_string(hit_rate)).substr(0, 8),
+        spec, options);
+  }
+
+  Emit(table, opt);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Mixed read/update workload study (the paper's Section VII future work).
+//
+// A dedicated writer thread continuously overwrites resident values
+// in-place while reader threads run the batched lookup kernels; reported is
+// the reader throughput with the writer off vs on. The question the paper
+// poses: do SIMD lookups keep their advantage when the table is being
+// mutated under them (cache-line ping-pong on hot buckets)?
+#include "bench_common.h"
+#include "core/mixed_runner.h"
+
+using namespace simdht;
+using namespace simdht::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = ParseBenchOptions(argc, argv);
+  PrintHeader("Mixed read/update workloads (Section VII extension)", opt);
+
+  TablePrinter table({"layout", "pattern", "kernel", "read-only Mlps/core",
+                      "with writer Mlps/core", "writer Mupd/s",
+                      "reader slowdown"});
+
+  for (const AccessPattern pattern :
+       {AccessPattern::kUniform, AccessPattern::kZipfian}) {
+    for (const LayoutSpec& layout : {Layout(2, 4), Layout(3, 1)}) {
+      CaseSpec spec = PaperCaseDefaults(opt);
+      spec.layout = layout;
+      spec.table_bytes = 1 << 20;
+      spec.pattern = pattern;
+      spec.repeats = opt.quick ? 2 : 5;
+
+      std::vector<const KernelInfo*> kernels;
+      for (const DesignChoice& c : ValidationEngine::Enumerate(layout)) {
+        kernels.push_back(c.kernel);
+      }
+      for (const MixedResult& r : RunMixedCase(spec, kernels)) {
+        table.AddRow({layout.ToString(), AccessPatternName(pattern),
+                      r.kernel, TablePrinter::Fmt(r.read_only_mlps, 1),
+                      TablePrinter::Fmt(r.with_writer_mlps, 1),
+                      TablePrinter::Fmt(r.writer_mups, 1),
+                      TablePrinter::Fmt(r.degradation * 100.0, 1) + "%"});
+      }
+    }
+  }
+  Emit(table, opt);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every binary accepts:
+//   --quick          smaller sweeps (default: on; --full for paper-scale)
+//   --threads=N      worker threads (default: all hardware threads)
+//   --queries=N      probe-stream length per thread per repetition
+//   --repeats=N      repetitions averaged (paper protocol: 5)
+//   --csv            machine-readable output
+//   --seed=N         workload/table seed
+#ifndef SIMDHT_BENCH_BENCH_COMMON_H_
+#define SIMDHT_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/cpu_features.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+#include "core/case_runner.h"
+
+namespace simdht {
+namespace bench {
+
+struct BenchOptions {
+  bool quick = true;
+  bool csv = false;
+  unsigned threads = 0;
+  std::size_t queries_per_thread = 0;  // 0 = per-binary default
+  unsigned repeats = 0;                // 0 = per-binary default
+  std::uint64_t seed = 42;
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions opt;
+  opt.quick = !flags.GetBool("full", false) && flags.GetBool("quick", true);
+  opt.csv = flags.GetBool("csv", false);
+  opt.threads = static_cast<unsigned>(flags.GetInt("threads", 0));
+  opt.queries_per_thread =
+      static_cast<std::size_t>(flags.GetInt("queries", 0));
+  opt.repeats = static_cast<unsigned>(flags.GetInt("repeats", 0));
+  opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  return opt;
+}
+
+// Applies global options onto a per-binary CaseSpec default.
+inline void ApplyOptions(const BenchOptions& opt, CaseSpec* spec) {
+  if (opt.threads != 0) spec->threads = opt.threads;
+  if (opt.queries_per_thread != 0) {
+    spec->queries_per_thread = opt.queries_per_thread;
+  }
+  if (opt.repeats != 0) spec->repeats = opt.repeats;
+  spec->seed = opt.seed;
+}
+
+inline void PrintHeader(const char* title, const BenchOptions& opt) {
+  if (opt.csv) return;
+  std::printf("=== %s ===\n", title);
+  std::printf("CPU: %s\n", GetCpuFeatures().ToString().c_str());
+  std::printf("threads: %u  mode: %s\n\n",
+              opt.threads ? opt.threads
+                          : static_cast<unsigned>(HardwareThreads()),
+              opt.quick ? "quick (use --full for paper-scale sweeps)"
+                        : "full");
+}
+
+inline void Emit(const TablePrinter& table, const BenchOptions& opt) {
+  if (opt.csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+  }
+}
+
+// Standard CaseSpec for the paper's stand-alone HT studies.
+inline CaseSpec PaperCaseDefaults(const BenchOptions& opt) {
+  CaseSpec spec;
+  spec.load_factor = 0.9;
+  spec.hit_rate = 0.9;
+  spec.repeats = opt.quick ? 3 : 5;
+  spec.queries_per_thread = opt.quick ? (1u << 18) : (1u << 21);
+  ApplyOptions(opt, &spec);
+  return spec;
+}
+
+inline LayoutSpec Layout(unsigned n, unsigned m, unsigned kb = 32,
+                         unsigned vb = 32,
+                         BucketLayout bl = BucketLayout::kInterleaved) {
+  LayoutSpec s;
+  s.ways = n;
+  s.slots = m;
+  s.key_bits = kb;
+  s.val_bits = vb;
+  s.bucket_layout = bl;
+  return s;
+}
+
+}  // namespace bench
+}  // namespace simdht
+
+#endif  // SIMDHT_BENCH_BENCH_COMMON_H_

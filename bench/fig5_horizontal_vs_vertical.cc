@@ -1,0 +1,49 @@
+// Fig 5 / Case Study 1(a): horizontal vs vertical SIMD approaches across
+// the (N, m) sweep, uniform vs skewed access, 1 MB HT, (K,V) = (32,32),
+// LF = 90% (where achievable), hit rate 90%.
+//
+// Paper shape to look for: vector beats scalar everywhere under uniform
+// access (up to ~3x); under skew the scalar baseline benefits from cache
+// locality so speedups shrink (1.2x-2x), with 3-way vertical and (2,4)
+// horizontal the best LF/performance combinations.
+#include "bench_common.h"
+
+using namespace simdht;
+using namespace simdht::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = ParseBenchOptions(argc, argv);
+  PrintHeader(
+      "Fig 5 / Case Study 1(a): horizontal vs vertical, uniform vs skew",
+      opt);
+
+  TablePrinter table({"layout", "pattern", "LF", "kernel", "width",
+                      "Mlookups/s/core", "stddev", "speedup vs scalar"});
+
+  for (const AccessPattern pattern :
+       {AccessPattern::kUniform, AccessPattern::kZipfian}) {
+    for (const LayoutSpec& layout : CaseStudy1Layouts()) {
+      CaseSpec spec = PaperCaseDefaults(opt);
+      spec.layout = layout;
+      spec.table_bytes = 1 << 20;
+      spec.pattern = pattern;
+
+      const CaseResult result = RunCaseAuto(spec);
+      for (const MeasuredKernel& k : result.kernels) {
+        table.AddRow({layout.ToString(), AccessPatternName(pattern),
+                      TablePrinter::Fmt(result.achieved_load_factor, 2),
+                      k.name,
+                      k.approach == Approach::kScalar
+                          ? "64"
+                          : TablePrinter::Fmt(std::int64_t{k.width_bits}),
+                      TablePrinter::Fmt(k.mlps_per_core, 1),
+                      TablePrinter::Fmt(k.stddev_mlps, 1),
+                      k.approach == Approach::kScalar
+                          ? "1.00"
+                          : TablePrinter::Fmt(k.speedup, 2)});
+      }
+    }
+  }
+  Emit(table, opt);
+  return 0;
+}

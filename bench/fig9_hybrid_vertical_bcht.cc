@@ -1,0 +1,51 @@
+// Fig 9 / Case Study 5: vertical SIMD applied to bucketized tables.
+//
+// Vertical gathers normally target m = 1 tables; over a BCHT the kernel
+// loops over the m slots with selective (masked) gathers. Paper shape:
+// moving from (2,1) to (2,2) — or (3,1) to (3,2) — costs ~1.45x of the
+// vertical throughput, but the hybrid still beats its scalar twin.
+#include "bench_common.h"
+
+using namespace simdht;
+using namespace simdht::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = ParseBenchOptions(argc, argv);
+  PrintHeader("Fig 9 / Case Study 5: vertical SIMD over BCHT", opt);
+
+  struct Config {
+    LayoutSpec layout;
+    std::uint64_t bytes;
+  };
+  // Paper: 2-way pair at 1 MB (Skylake), 3-way pair at 16 MB (Cascade Lake).
+  const Config configs[] = {
+      {Layout(2, 1), 1 << 20},
+      {Layout(2, 2), 1 << 20},
+      {Layout(3, 1), 16 << 20},
+      {Layout(3, 2), 16 << 20},
+  };
+
+  TablePrinter table({"layout", "HT size", "kernel", "Mlookups/s/core",
+                      "speedup vs scalar"});
+  for (const Config& config : configs) {
+    CaseSpec spec = PaperCaseDefaults(opt);
+    spec.layout = config.layout;
+    spec.table_bytes = config.bytes;
+
+    ValidationOptions options;
+    options.include_hybrid = true;
+    const CaseResult result = RunCaseAuto(spec, options);
+    for (const MeasuredKernel& k : result.kernels) {
+      // This figure is about the vertical family only.
+      if (k.approach == Approach::kHorizontal) continue;
+      table.AddRow({config.layout.ToString(),
+                    HumanBytes(static_cast<double>(config.bytes)), k.name,
+                    TablePrinter::Fmt(k.mlps_per_core, 1),
+                    k.approach == Approach::kScalar
+                        ? "1.00"
+                        : TablePrinter::Fmt(k.speedup, 2)});
+    }
+  }
+  Emit(table, opt);
+  return 0;
+}

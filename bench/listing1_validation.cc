@@ -1,0 +1,44 @@
+// Listing 1 reproduction: the SIMD algorithm validation engine's output for
+// (K,V) = (32, 32) over the Case Study 1 layout sweep, plus the additional
+// layouts the other case studies use.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/validation.h"
+
+using namespace simdht;
+using namespace simdht::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = ParseBenchOptions(argc, argv);
+  PrintHeader("Listing 1: SIMD-aware cuckoo HT design choices", opt);
+
+  std::printf("(k,v) = (32, 32); 'w' = 128, 256, 512\n");
+  std::printf("%s\n",
+              ValidationEngine::Listing(CaseStudy1Layouts()).c_str());
+
+  std::printf("Case Study 2 layouts:\n");
+  std::vector<LayoutSpec> extra = {
+      Layout(3, 1, 64, 64),
+      Layout(2, 8, 16, 32, BucketLayout::kSplit),
+  };
+  for (const LayoutSpec& spec : extra) {
+    std::printf("%s: %s\n", spec.ToString().c_str(),
+                ValidationEngine::ListingLine(
+                    spec, ValidationEngine::Enumerate(spec))
+                    .c_str());
+  }
+
+  std::printf("\nCase Study 5 (hybrid vertical-over-BCHT) choices:\n");
+  ValidationOptions hybrid;
+  hybrid.include_hybrid = true;
+  for (const LayoutSpec& spec : {Layout(2, 2), Layout(3, 2)}) {
+    for (const DesignChoice& c : ValidationEngine::Enumerate(spec, hybrid)) {
+      if (c.approach == Approach::kVerticalBcht) {
+        std::printf("(%u, %u) -> %s\n", spec.ways, spec.slots,
+                    c.Describe().c_str());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// google-benchmark microbenchmarks for the raw lookup kernels.
+//
+// Measures each registered kernel over a fixed cache-resident table,
+// sweeping the batch size — the per-call costs (hash, gather, compare,
+// reduce) without the performance engine around them.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "core/workload.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+#include "simd/kernel.h"
+
+namespace simdht {
+namespace {
+
+// A lazily-built fixture per layout shape, shared across kernels.
+template <typename K, typename V>
+struct Fixture {
+  std::unique_ptr<CuckooTable<K, V>> table;
+  std::vector<K> queries;
+
+  Fixture(unsigned ways, unsigned slots, BucketLayout layout) {
+    // 16-bit keys can only populate ~64 K distinct entries; keep the table
+    // small enough that the fill target and a miss pool both fit.
+    const std::uint64_t total_slots = sizeof(K) == 2 ? (1u << 14)
+                                                     : (1u << 17);
+    table = std::make_unique<CuckooTable<K, V>>(ways, slots,
+                                                total_slots / slots, layout);
+    auto build = FillToLoadFactor(table.get(), 0.85, 11);
+    auto misses = UniqueRandomKeys<K>(4096, 13, &build.inserted_keys);
+    WorkloadConfig wc;
+    wc.hit_rate = 0.9;
+    wc.num_queries = 1 << 16;
+    wc.seed = 17;
+    queries = GenerateQueries(build.inserted_keys, misses, wc);
+  }
+};
+
+template <typename K, typename V>
+void RunKernelBench(benchmark::State& state, const KernelInfo* kernel,
+                    Fixture<K, V>* fixture) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  std::vector<V> vals(batch);
+  std::vector<std::uint8_t> found(batch);
+  const TableView view = fixture->table->view();
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    if (offset + batch > fixture->queries.size()) offset = 0;
+    const std::uint64_t hits =
+        kernel->fn(view, fixture->queries.data() + offset, vals.data(),
+                   found.data(), batch);
+    benchmark::DoNotOptimize(hits);
+    offset += batch;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+template <typename K, typename V>
+void RegisterShape(const char* shape_name, unsigned ways, unsigned slots,
+                   BucketLayout layout) {
+  LayoutSpec spec;
+  spec.ways = ways;
+  spec.slots = slots;
+  spec.key_bits = sizeof(K) * 8;
+  spec.val_bits = sizeof(V) * 8;
+  spec.bucket_layout = layout;
+
+  auto* fixture = new Fixture<K, V>(ways, slots, layout);  // lives forever
+  if (fixture->queries.empty()) {
+    std::fprintf(stderr, "skipping %s: workload generation failed\n",
+                 shape_name);
+    return;
+  }
+  for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
+    if (!kernel.Matches(spec)) continue;
+    if (!GetCpuFeatures().Supports(kernel.level)) continue;
+    const std::string name =
+        std::string(shape_name) + "/" + kernel.name;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&kernel, fixture](benchmark::State& state) {
+          RunKernelBench<K, V>(state, &kernel, fixture);
+        })
+        ->Arg(16)
+        ->Arg(256)
+        ->Arg(4096);
+  }
+}
+
+}  // namespace
+}  // namespace simdht
+
+int main(int argc, char** argv) {
+  using simdht::BucketLayout;
+  simdht::RegisterShape<std::uint32_t, std::uint32_t>(
+      "bcht_2x4_k32", 2, 4, BucketLayout::kInterleaved);
+  simdht::RegisterShape<std::uint32_t, std::uint32_t>(
+      "cuckoo_3way_k32", 3, 1, BucketLayout::kInterleaved);
+  simdht::RegisterShape<std::uint64_t, std::uint64_t>(
+      "cuckoo_3way_k64", 3, 1, BucketLayout::kInterleaved);
+  simdht::RegisterShape<std::uint16_t, std::uint32_t>(
+      "bcht_2x8_k16_split", 2, 8, BucketLayout::kSplit);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# End-to-end reproduction driver: configure, build, test, run every
+# figure/table benchmark, and leave the raw outputs at the repo root.
+#
+# Usage:  scripts/reproduce.sh [--full]
+#   --full   paper-scale sweeps (hours on a laptop); default is quick mode.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE_FLAG=""
+if [[ "${1:-}" == "--full" ]]; then
+  MODE_FLAG="--full"
+fi
+
+echo "== configure =="
+cmake -B build -G Ninja
+
+echo "== build =="
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+echo "== benchmarks =="
+{
+  for b in build/bench/*; do
+    if [[ -x "$b" && -f "$b" ]]; then
+      echo "### $(basename "$b")"
+      "$b" ${MODE_FLAG}
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "== examples (smoke) =="
+./build/examples/quickstart
+./build/examples/packet_forwarding --flows=50000 --bursts=2000
+./build/examples/db_hash_join --customers=20000 --orders=500000
+./build/examples/multiget_kvs --keys=5000 --requests=100
+
+echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"

@@ -1,0 +1,85 @@
+// Cache-line-aligned, zero-initialized heap buffer for hash table storage.
+//
+// SIMD kernels load full vectors starting at arbitrary bucket offsets, so the
+// buffer guarantees (a) 64-byte alignment and (b) a 64-byte tail pad so a
+// 512-bit load at the last bucket never touches an unmapped page.
+#ifndef SIMDHT_COMMON_ALIGNED_BUFFER_H_
+#define SIMDHT_COMMON_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/compiler.h"
+
+namespace simdht {
+
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t bytes) { Allocate(bytes); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        bytes_(std::exchange(other.bytes_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      bytes_ = std::exchange(other.bytes_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Free(); }
+
+  void Allocate(std::size_t bytes) {
+    Free();
+    bytes_ = bytes;
+    const std::size_t padded =
+        RoundUpPow2(bytes, kCacheLineBytes) + kCacheLineBytes;
+    data_ = static_cast<std::uint8_t*>(
+        std::aligned_alloc(kCacheLineBytes, padded));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::memset(data_, 0, padded);
+  }
+
+  void Zero() {
+    if (data_ != nullptr) {
+      std::memset(data_, 0,
+                  RoundUpPow2(bytes_, kCacheLineBytes) + kCacheLineBytes);
+    }
+  }
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+
+  template <typename T>
+  T* as() { return reinterpret_cast<T*>(data_); }
+  template <typename T>
+  const T* as() const { return reinterpret_cast<const T*>(data_); }
+
+ private:
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    bytes_ = 0;
+  }
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_ALIGNED_BUFFER_H_

@@ -1,0 +1,43 @@
+// Reusable sense-reversing spin barrier for benchmark thread coordination.
+//
+// Worker threads in the performance engine must start the timed region
+// together; a futex-based std::barrier wakeup adds multi-microsecond jitter,
+// so measurement threads spin instead.
+#ifndef SIMDHT_COMMON_BARRIER_H_
+#define SIMDHT_COMMON_BARRIER_H_
+
+#include <atomic>
+#include <cstddef>
+
+namespace simdht {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties)
+      : parties_(parties), waiting_(0), sense_(false) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  // Blocks (spinning) until all parties arrive.
+  void Wait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        __builtin_ia32_pause();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> waiting_;
+  std::atomic<bool> sense_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_BARRIER_H_

@@ -1,0 +1,55 @@
+// Compiler utilities shared by every SimdHT-Bench module.
+//
+// Keep this header dependency-free: it is included from ISA-specific
+// translation units that must not drag in anything with global state.
+#ifndef SIMDHT_COMMON_COMPILER_H_
+#define SIMDHT_COMMON_COMPILER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#define SIMDHT_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SIMDHT_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define SIMDHT_ALWAYS_INLINE inline __attribute__((always_inline))
+#define SIMDHT_NOINLINE __attribute__((noinline))
+#define SIMDHT_RESTRICT __restrict__
+
+namespace simdht {
+
+// x86 cache line size; every hot structure is aligned/padded to this.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Rounds `v` up to the next multiple of `align` (align must be a power of 2).
+constexpr std::uint64_t RoundUpPow2(std::uint64_t v, std::uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+// True iff `v` is a power of two (0 is not).
+constexpr bool IsPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Smallest power of two >= v (v must be >= 1 and representable).
+constexpr std::uint64_t NextPow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// floor(log2(v)) for v >= 1.
+constexpr unsigned Log2Floor(std::uint64_t v) {
+  unsigned r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+// Prevents the compiler from optimizing away a value that benchmarks consume.
+template <typename T>
+SIMDHT_ALWAYS_INLINE void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+// Forces all pending writes to be considered observable.
+SIMDHT_ALWAYS_INLINE void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_COMPILER_H_

@@ -1,0 +1,128 @@
+#include "common/cpu_features.h"
+
+#include <cpuid.h>
+
+#include <sstream>
+
+namespace simdht {
+namespace {
+
+struct CpuidRegs {
+  std::uint32_t eax = 0, ebx = 0, ecx = 0, edx = 0;
+};
+
+CpuidRegs Cpuid(std::uint32_t leaf, std::uint32_t subleaf) {
+  CpuidRegs r;
+  __cpuid_count(leaf, subleaf, r.eax, r.ebx, r.ecx, r.edx);
+  return r;
+}
+
+// True when the OS saves/restores the ZMM and YMM state (XCR0 checks); a CPU
+// can report AVX-512 in CPUID while the OS has it disabled.
+bool OsSupportsAvx(bool need_zmm) {
+  CpuidRegs leaf1 = Cpuid(1, 0);
+  const bool osxsave = (leaf1.ecx >> 27) & 1;
+  if (!osxsave) return false;
+  std::uint32_t xcr0_lo, xcr0_hi;
+  asm volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+  const std::uint64_t xcr0 = (std::uint64_t{xcr0_hi} << 32) | xcr0_lo;
+  constexpr std::uint64_t kYmmState = 0x6;    // XMM + YMM
+  constexpr std::uint64_t kZmmState = 0xE6;   // + opmask, ZMM_Hi256, Hi16_ZMM
+  const std::uint64_t need = need_zmm ? kZmmState : kYmmState;
+  return (xcr0 & need) == need;
+}
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+  CpuidRegs leaf0 = Cpuid(0, 0);
+  if (leaf0.eax < 1) return f;
+
+  CpuidRegs leaf1 = Cpuid(1, 0);
+  f.sse42 = (leaf1.ecx >> 20) & 1;
+  const bool avx_cpuid = (leaf1.ecx >> 28) & 1;
+  f.avx = avx_cpuid && OsSupportsAvx(/*need_zmm=*/false);
+
+  if (leaf0.eax >= 7) {
+    CpuidRegs leaf7 = Cpuid(7, 0);
+    f.avx2 = f.avx && ((leaf7.ebx >> 5) & 1);
+    f.bmi2 = (leaf7.ebx >> 8) & 1;
+    const bool zmm_os = OsSupportsAvx(/*need_zmm=*/true);
+    f.avx512f = zmm_os && ((leaf7.ebx >> 16) & 1);
+    f.avx512dq = zmm_os && ((leaf7.ebx >> 17) & 1);
+    f.avx512cd = zmm_os && ((leaf7.ebx >> 28) & 1);
+    f.avx512bw = zmm_os && ((leaf7.ebx >> 30) & 1);
+    f.avx512vl = zmm_os && ((leaf7.ebx >> 31) & 1);
+  }
+  return f;
+}
+
+}  // namespace
+
+SimdLevel CpuFeatures::max_level() const {
+  if (avx512f && avx512bw && avx512dq && avx512vl) return SimdLevel::kAvx512;
+  if (avx2) return SimdLevel::kAvx2;
+  if (sse42) return SimdLevel::kSse42;
+  return SimdLevel::kScalar;
+}
+
+bool CpuFeatures::Supports(SimdLevel level) const {
+  switch (level) {
+    case SimdLevel::kScalar: return true;
+    case SimdLevel::kSse42: return sse42;
+    case SimdLevel::kAvx2: return avx2;
+    case SimdLevel::kAvx512:
+      return avx512f && avx512bw && avx512dq && avx512vl;
+  }
+  return false;
+}
+
+std::string CpuFeatures::ToString() const {
+  std::ostringstream os;
+  os << "sse4.2=" << sse42 << " avx=" << avx << " avx2=" << avx2
+     << " bmi2=" << bmi2 << " avx512f=" << avx512f << " avx512bw=" << avx512bw
+     << " avx512dq=" << avx512dq << " avx512vl=" << avx512vl
+     << " avx512cd=" << avx512cd << " (max level: " << SimdLevelName(max_level())
+     << ")";
+  return os.str();
+}
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+unsigned SimdLevelBits(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return 64;
+    case SimdLevel::kSse42: return 128;
+    case SimdLevel::kAvx2: return 256;
+    case SimdLevel::kAvx512: return 512;
+  }
+  return 0;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "Scalar";
+    case SimdLevel::kSse42: return "SSE4.2";
+    case SimdLevel::kAvx2: return "AVX2";
+    case SimdLevel::kAvx512: return "AVX-512";
+  }
+  return "?";
+}
+
+bool ParseSimdLevel(const std::string& name, SimdLevel* out) {
+  std::string s;
+  s.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == '.') continue;
+    s.push_back(static_cast<char>(c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c));
+  }
+  if (s == "scalar") { *out = SimdLevel::kScalar; return true; }
+  if (s == "sse" || s == "sse42" || s == "128") { *out = SimdLevel::kSse42; return true; }
+  if (s == "avx2" || s == "avx" || s == "256") { *out = SimdLevel::kAvx2; return true; }
+  if (s == "avx512" || s == "512") { *out = SimdLevel::kAvx512; return true; }
+  return false;
+}
+
+}  // namespace simdht

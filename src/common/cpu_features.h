@@ -1,0 +1,60 @@
+// Runtime CPUID-based detection of the vector ISA levels SimdHT-Bench can use.
+//
+// The paper's validation engine (Section IV-B) filters SIMD design candidates
+// by what the CPU supports; this is the hardware half of that filter.
+#ifndef SIMDHT_COMMON_CPU_FEATURES_H_
+#define SIMDHT_COMMON_CPU_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace simdht {
+
+// Vector ISA tiers used by the kernel registry. Tiers are cumulative on the
+// hardware the paper targets (Skylake-SP / Cascade Lake): AVX-512 implies
+// AVX2 implies SSE4.2.
+enum class SimdLevel : std::uint8_t {
+  kScalar = 0,
+  kSse42 = 1,    // 128-bit compares; no hardware gather
+  kAvx2 = 2,     // 256-bit compares + 32/64-bit gathers
+  kAvx512 = 3,   // 512-bit compares + gathers + mask registers (F/BW/DQ/VL)
+};
+
+// Parsed CPUID feature flags relevant to hash-table vectorization.
+struct CpuFeatures {
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool bmi2 = false;
+  bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+  bool avx512cd = false;
+
+  // Highest tier fully usable by our kernels. AVX-512 kernels require
+  // F+BW+DQ+VL (Skylake-SP baseline).
+  SimdLevel max_level() const;
+
+  // True if every instruction used by kernels compiled at `level` is present.
+  bool Supports(SimdLevel level) const;
+
+  std::string ToString() const;
+};
+
+// Queries CPUID once and caches the result for the process lifetime.
+const CpuFeatures& GetCpuFeatures();
+
+// Vector width in bits for a tier (kScalar -> 64, the GPR width).
+unsigned SimdLevelBits(SimdLevel level);
+
+// Human-readable tier name ("AVX-512", ...).
+const char* SimdLevelName(SimdLevel level);
+
+// Parses "scalar" / "sse" / "avx2" / "avx512" (case-insensitive);
+// returns false on unknown names.
+bool ParseSimdLevel(const std::string& name, SimdLevel* out);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_CPU_FEATURES_H_

@@ -1,0 +1,96 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace simdht {
+
+Flags::Flags(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "?";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "%s: flag --%s expects an integer, got '%s'\n",
+                 program_name_.c_str(), name.c_str(), it->second.c_str());
+    std::exit(1);
+  }
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "%s: flag --%s expects a number, got '%s'\n",
+                 program_name_.c_str(), name.c_str(), it->second.c_str());
+    std::exit(1);
+  }
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  std::fprintf(stderr, "%s: flag --%s expects a boolean, got '%s'\n",
+               program_name_.c_str(), name.c_str(), v.c_str());
+  std::exit(1);
+}
+
+std::vector<std::int64_t> Flags::GetIntList(
+    const std::string& name, const std::vector<std::int64_t>& def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    char* end = nullptr;
+    out.push_back(std::strtoll(item.c_str(), &end, 0));
+    if (end == nullptr || *end != '\0') {
+      std::fprintf(stderr, "%s: flag --%s: bad list element '%s'\n",
+                   program_name_.c_str(), name.c_str(), item.c_str());
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+}  // namespace simdht

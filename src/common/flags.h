@@ -1,0 +1,45 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Syntax: --name=value or --name value; bools accept --name (implies true).
+// Unknown flags are fatal so typos in experiment sweeps are caught loudly.
+#ifndef SIMDHT_COMMON_FLAGS_H_
+#define SIMDHT_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+class Flags {
+ public:
+  // Parses argv; on error prints the message + usage and exits(1).
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& def) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  // Comma-separated integer list, e.g. --sizes=1024,4096.
+  std::vector<std::int64_t> GetIntList(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_FLAGS_H_

@@ -1,0 +1,107 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/compiler.h"
+
+namespace simdht {
+
+Histogram::Histogram(unsigned sub_bucket_bits)
+    : sub_bits_(sub_bucket_bits > 8 ? 8 : sub_bucket_bits),
+      sub_count_(std::uint64_t{1} << sub_bits_) {
+  // Values below 2^sub_bits use exact unit buckets; above, each octave is
+  // divided into sub_count_ sub-buckets.
+  buckets_.assign((kMaxLog + 1) * sub_count_, 0);
+}
+
+unsigned Histogram::BucketIndex(std::uint64_t value) const {
+  if (value < sub_count_) return static_cast<unsigned>(value);
+  const unsigned log2 = 63 - static_cast<unsigned>(__builtin_clzll(value));
+  const unsigned octave = log2 - sub_bits_ + 1;  // >= 1
+  const auto sub = static_cast<unsigned>(
+      (value >> (log2 - sub_bits_)) - sub_count_);
+  unsigned index =
+      static_cast<unsigned>(octave * sub_count_) + sub;
+  const auto last = static_cast<unsigned>(buckets_.size() - 1);
+  return index > last ? last : index;
+}
+
+std::uint64_t Histogram::BucketUpperBound(unsigned index) const {
+  if (index < sub_count_) return index;
+  const unsigned octave = index / static_cast<unsigned>(sub_count_);
+  const unsigned sub = index % static_cast<unsigned>(sub_count_);
+  const unsigned shift = octave - 1;
+  return ((sub_count_ + sub + 1) << shift) - 1;
+}
+
+void Histogram::Add(std::uint64_t value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketIndex(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.sub_bits_ != sub_bits_) {
+    // Different resolution: re-bucket through upper bounds (lossy but
+    // bounded by the coarser resolution).
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      for (std::uint64_t c = 0; c < other.buckets_[i]; ++c) {
+        ++buckets_[BucketIndex(
+            other.BucketUpperBound(static_cast<unsigned>(i)))];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  }
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                : 0.0;
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const std::uint64_t bound =
+          BucketUpperBound(static_cast<unsigned>(i));
+      return std::min(bound, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), mean(),
+                static_cast<unsigned long long>(Quantile(0.50)),
+                static_cast<unsigned long long>(Quantile(0.95)),
+                static_cast<unsigned long long>(Quantile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace simdht

@@ -1,0 +1,56 @@
+// Log-bucketed streaming histogram (HDR-histogram style).
+//
+// LatencyRecorder stores every sample exactly — fine for bounded runs, but
+// long-running servers need constant memory. This histogram buckets values
+// logarithmically with a configurable number of sub-buckets per power of
+// two, giving a bounded relative quantile error (~1/subbuckets) at a few KB
+// of state, mergeable across threads.
+#ifndef SIMDHT_COMMON_HISTOGRAM_H_
+#define SIMDHT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+class Histogram {
+ public:
+  // Values in [0, 2^kMaxLog); sub_bucket_bits sub-buckets per octave
+  // (default 32 -> ~3% worst-case quantile error).
+  explicit Histogram(unsigned sub_bucket_bits = 5);
+
+  void Add(std::uint64_t value);
+  void Merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const;
+
+  // Quantile q in [0, 1]: upper bound of the bucket holding the q-th
+  // sample (bounded relative error).
+  std::uint64_t Quantile(double q) const;
+  std::uint64_t Percentile(double p) const { return Quantile(p / 100.0); }
+
+  // One-line summary, e.g. "n=1000 mean=42 p50=40 p95=80 p99=120 max=150".
+  std::string Summary() const;
+
+ private:
+  static constexpr unsigned kMaxLog = 40;  // ~1.1e12 max value
+
+  unsigned BucketIndex(std::uint64_t value) const;
+  std::uint64_t BucketUpperBound(unsigned index) const;
+
+  unsigned sub_bits_;
+  std::uint64_t sub_count_;     // sub-buckets per octave
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_HISTOGRAM_H_

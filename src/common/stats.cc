@@ -1,0 +1,93 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace simdht {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double RunningStat::cv() const {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+LatencyRecorder::LatencyRecorder(std::size_t reserve) {
+  samples_.reserve(reserve);
+}
+
+void LatencyRecorder::Add(double nanos) {
+  samples_.push_back(nanos);
+  sorted_ = false;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double LatencyRecorder::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double LatencyRecorder::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+namespace {
+
+std::string HumanWithSuffixes(double v, const char* const* suffixes,
+                              std::size_t n_suffixes, double base) {
+  std::size_t i = 0;
+  double x = v;
+  while (x >= base && i + 1 < n_suffixes) {
+    x /= base;
+    ++i;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", x, suffixes[i]);
+  return buf;
+}
+
+}  // namespace
+
+std::string HumanCount(double v) {
+  static const char* const kSuffixes[] = {"", "K", "M", "G", "T"};
+  return HumanWithSuffixes(v, kSuffixes, 5, 1000.0);
+}
+
+std::string HumanBytes(double v) {
+  static const char* const kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  return HumanWithSuffixes(v, kSuffixes, 5, 1024.0);
+}
+
+}  // namespace simdht

@@ -1,0 +1,60 @@
+// Streaming and batch statistics used for reporting benchmark results.
+#ifndef SIMDHT_COMMON_STATS_H_
+#define SIMDHT_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+// Welford streaming accumulator: mean/variance/min/max without storing
+// samples. Used for the paper's "average of five runs" protocol.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  // Sample standard deviation (n-1 denominator).
+  double stddev() const;
+  // stddev / mean, as a fraction; 0 when mean is 0.
+  double cv() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Latency sample reservoir with exact percentiles. The KVS client records
+// per-request latencies here; Percentile() sorts lazily.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t reserve = 1 << 16);
+
+  void Add(double nanos);
+  void Merge(const LatencyRecorder& other);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  // p in [0, 100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Pretty-prints a quantity with engineering suffix, e.g. 1.25e9 -> "1.25 G".
+std::string HumanCount(double v);
+std::string HumanBytes(double v);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_STATS_H_

@@ -1,0 +1,42 @@
+// Aligned text-table and CSV output for benchmark reports.
+//
+// Every bench binary prints its figure/table rows through this class so the
+// output format is uniform and machine-parsable with --csv.
+#ifndef SIMDHT_COMMON_TABLE_PRINTER_H_
+#define SIMDHT_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; cells beyond the header count are dropped, missing
+  // cells become "".
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string Fmt(std::int64_t v);
+  static std::string Fmt(std::uint64_t v);
+
+  // Renders to `out` (default stdout) as an aligned ASCII table.
+  void Print(std::FILE* out = stdout) const;
+
+  // Renders as CSV (header row + data rows).
+  void PrintCsv(std::FILE* out = stdout) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,69 @@
+#include "common/thread_pool.h"
+
+#include <pthread.h>
+#include <sched.h>
+
+namespace simdht {
+
+std::size_t HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void PinCurrentThread(std::size_t core) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % HardwareThreads(), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads, bool pin_cores) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i, pin_cores] { WorkerLoop(i, pin_cores); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::RunOnAll(const std::function<void(std::size_t)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  remaining_ = threads_.size();
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(std::size_t index, bool pin) {
+  if (pin) PinCurrentThread(index);
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    if (job != nullptr) (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace simdht

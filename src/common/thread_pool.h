@@ -1,0 +1,53 @@
+// Fixed-size worker pool with optional core pinning.
+//
+// The paper runs "one process per core, full subscription" over a shared
+// table; we model that with one pinned thread per logical core. The pool is
+// reused across benchmark repetitions to avoid thread-creation noise.
+#ifndef SIMDHT_COMMON_THREAD_POOL_H_
+#define SIMDHT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace simdht {
+
+class ThreadPool {
+ public:
+  // `pin_cores` binds worker i to logical core i % hardware_concurrency.
+  explicit ThreadPool(std::size_t num_threads, bool pin_cores = false);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Runs fn(worker_index) on every worker and blocks until all finish.
+  void RunOnAll(const std::function<void(std::size_t)>& fn);
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop(std::size_t index, bool pin);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+// Number of logical cores usable for benchmarks.
+std::size_t HardwareThreads();
+
+// Pins the calling thread to `core` (best-effort; no-op on failure).
+void PinCurrentThread(std::size_t core);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_THREAD_POOL_H_

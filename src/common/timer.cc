@@ -1,0 +1,27 @@
+#include "common/timer.h"
+
+#include <thread>
+
+namespace simdht {
+
+namespace {
+
+double MeasureTscGhz() {
+  const Timer wall;
+  const std::uint64_t t0 = ReadTsc();
+  // 20 ms is long enough for <1% calibration error and short enough to not
+  // matter at startup.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const std::uint64_t t1 = ReadTsc();
+  const double secs = wall.ElapsedSeconds();
+  return static_cast<double>(t1 - t0) / secs / 1e9;
+}
+
+}  // namespace
+
+double TscGhz() {
+  static const double ghz = MeasureTscGhz();
+  return ghz;
+}
+
+}  // namespace simdht

@@ -1,0 +1,45 @@
+// Wall-clock and cycle timers for the performance engine.
+#ifndef SIMDHT_COMMON_TIMER_H_
+#define SIMDHT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace simdht {
+
+// Monotonic wall-clock stopwatch (steady_clock based).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedNanos() const {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Serializing TSC read; useful for per-phase breakdowns inside the KVS
+// server where chrono overhead would dominate sub-microsecond phases.
+inline std::uint64_t ReadTsc() {
+  std::uint32_t lo, hi;
+  asm volatile("rdtscp" : "=a"(lo), "=d"(hi) : : "rcx", "memory");
+  return (std::uint64_t{hi} << 32) | lo;
+}
+
+// Measures the TSC frequency once (against steady_clock) so TSC deltas can
+// be converted to nanoseconds.
+double TscGhz();
+
+}  // namespace simdht
+
+#endif  // SIMDHT_COMMON_TIMER_H_

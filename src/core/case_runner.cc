@@ -1,0 +1,216 @@
+#include "core/case_runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/barrier.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+
+namespace simdht {
+
+const MeasuredKernel* CaseResult::Best() const {
+  const MeasuredKernel* best = nullptr;
+  for (const MeasuredKernel& k : kernels) {
+    if (k.approach == Approach::kScalar) continue;
+    if (best == nullptr || k.mlps_per_core > best->mlps_per_core) best = &k;
+  }
+  return best;
+}
+
+std::uint64_t BucketsForBytes(const LayoutSpec& layout,
+                              std::uint64_t table_bytes) {
+  const std::uint64_t ratio =
+      std::max<std::uint64_t>(2, table_bytes / layout.bucket_bytes());
+  // Largest power of two <= ratio.
+  std::uint64_t b = 1;
+  while (b * 2 <= ratio) b *= 2;
+  return std::max<std::uint64_t>(2, b);
+}
+
+namespace {
+
+// Measures one kernel over pre-generated per-thread query streams.
+template <typename K, typename V>
+MeasuredKernel MeasureKernel(const KernelInfo& kernel,
+                             const std::vector<TableView>& views,
+                             const std::vector<std::vector<K>>& queries,
+                             const CaseSpec& spec, ThreadPool* pool) {
+  const unsigned threads = static_cast<unsigned>(pool->size());
+  MeasuredKernel result;
+  result.name = kernel.name;
+  result.approach = kernel.approach;
+  result.width_bits = kernel.width_bits;
+
+  // Per-thread output buffers, reused across repetitions.
+  std::vector<std::vector<V>> vals(threads);
+  std::vector<std::vector<std::uint8_t>> found(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    vals[t].resize(spec.batch);
+    found[t].resize(spec.batch);
+  }
+
+  RunningStat per_core_mlps;
+  double hit_fraction = 0.0;
+
+  for (unsigned rep = 0; rep < spec.repeats; ++rep) {
+    SpinBarrier barrier(threads);
+    std::vector<double> secs(threads, 0.0);
+    std::vector<std::uint64_t> hits(threads, 0);
+
+    pool->RunOnAll([&](std::size_t tid) {
+      const TableView& view = views[views.size() == 1 ? 0 : tid];
+      const std::vector<K>& q = queries[tid];
+      std::uint64_t local_hits = 0;
+      barrier.Wait();
+      Timer timer;
+      std::size_t off = 0;
+      while (off < q.size()) {
+        const std::size_t chunk = std::min(spec.batch, q.size() - off);
+        local_hits += kernel.fn(view, q.data() + off, vals[tid].data(),
+                                found[tid].data(), chunk);
+        off += chunk;
+      }
+      secs[tid] = timer.ElapsedSeconds();
+      hits[tid] = local_hits;
+      DoNotOptimize(local_hits);
+    });
+
+    double sum_mlps = 0.0;
+    std::uint64_t total_hits = 0;
+    std::uint64_t total_queries = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+      const double lps =
+          secs[t] > 0 ? static_cast<double>(queries[t].size()) / secs[t] : 0;
+      sum_mlps += lps / 1e6;
+      total_hits += hits[t];
+      total_queries += queries[t].size();
+    }
+    per_core_mlps.Add(sum_mlps / threads);
+    hit_fraction = total_queries
+                       ? static_cast<double>(total_hits) /
+                             static_cast<double>(total_queries)
+                       : 0.0;
+  }
+
+  result.mlps_per_core = per_core_mlps.mean();
+  result.stddev_mlps = per_core_mlps.stddev();
+  result.hit_fraction = hit_fraction;
+  return result;
+}
+
+template <typename K, typename V>
+CaseResult RunCaseImpl(const CaseSpec& spec,
+                       const std::vector<const KernelInfo*>& kernels) {
+  CaseResult result;
+  result.layout = spec.layout;
+  const unsigned threads =
+      spec.threads == 0 ? static_cast<unsigned>(HardwareThreads())
+                        : spec.threads;
+  result.threads = threads;
+
+  const std::uint64_t num_buckets =
+      BucketsForBytes(spec.layout, spec.table_bytes);
+
+  // Build one shared table or one table per core.
+  const unsigned num_tables = spec.shared_table ? 1 : threads;
+  std::vector<std::unique_ptr<CuckooTable<K, V>>> tables;
+  std::vector<TableView> views;
+  std::vector<BuildResult<K>> builds;
+  for (unsigned t = 0; t < num_tables; ++t) {
+    auto table = std::make_unique<CuckooTable<K, V>>(
+        spec.layout.ways, spec.layout.slots, num_buckets,
+        spec.layout.bucket_layout, spec.seed + t);
+    builds.push_back(
+        FillToLoadFactor(table.get(), spec.load_factor, spec.seed + 1000 + t));
+    views.push_back(table->view());
+    tables.push_back(std::move(table));
+  }
+  result.achieved_load_factor = builds.front().achieved_load_factor;
+  result.actual_table_bytes = tables.front()->table_bytes();
+
+  // Miss pools disjoint from each table's contents.
+  std::vector<std::vector<K>> miss_pools;
+  for (unsigned t = 0; t < num_tables; ++t) {
+    const std::size_t pool_size = std::max<std::size_t>(
+        1024, builds[t].inserted_keys.size() / 8);
+    miss_pools.push_back(UniqueRandomKeys<K>(pool_size, spec.seed + 77 + t,
+                                             &builds[t].inserted_keys));
+  }
+
+  // Per-thread probe streams.
+  std::vector<std::vector<K>> queries(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    const unsigned src = spec.shared_table ? 0 : t;
+    WorkloadConfig wc;
+    wc.pattern = spec.pattern;
+    wc.hit_rate = spec.hit_rate;
+    wc.zipf_s = spec.zipf_s;
+    wc.num_queries = spec.queries_per_thread;
+    wc.seed = spec.seed + 31 * (t + 1);
+    queries[t] = GenerateQueries(builds[src].inserted_keys, miss_pools[src],
+                                 wc);
+    if (queries[t].empty()) {
+      throw std::runtime_error("RunCase: workload generation failed");
+    }
+  }
+
+  ThreadPool pool(threads, spec.pin_threads);
+
+  // Scalar twin first.
+  const KernelInfo* scalar = KernelRegistry::Get().Scalar(spec.layout);
+  if (scalar == nullptr) {
+    throw std::runtime_error("RunCase: no scalar kernel for layout " +
+                             spec.layout.ToString());
+  }
+  result.kernels.push_back(
+      MeasureKernel<K, V>(*scalar, views, queries, spec, &pool));
+  const double scalar_mlps = result.kernels.front().mlps_per_core;
+
+  for (const KernelInfo* kernel : kernels) {
+    if (kernel == nullptr || kernel == scalar) continue;
+    MeasuredKernel m =
+        MeasureKernel<K, V>(*kernel, views, queries, spec, &pool);
+    m.speedup = scalar_mlps > 0 ? m.mlps_per_core / scalar_mlps : 0.0;
+    result.kernels.push_back(std::move(m));
+  }
+  return result;
+}
+
+}  // namespace
+
+CaseResult RunCase(const CaseSpec& spec,
+                   const std::vector<const KernelInfo*>& kernels) {
+  std::string why;
+  if (!spec.layout.Validate(&why)) {
+    throw std::invalid_argument("RunCase: " + why);
+  }
+  const unsigned kb = spec.layout.key_bits;
+  const unsigned vb = spec.layout.val_bits;
+  if (kb == 16 && vb == 32) {
+    return RunCaseImpl<std::uint16_t, std::uint32_t>(spec, kernels);
+  }
+  if (kb == 32 && vb == 32) {
+    return RunCaseImpl<std::uint32_t, std::uint32_t>(spec, kernels);
+  }
+  if (kb == 64 && vb == 64) {
+    return RunCaseImpl<std::uint64_t, std::uint64_t>(spec, kernels);
+  }
+  throw std::invalid_argument("RunCase: unsupported (key, value) widths");
+}
+
+CaseResult RunCaseAuto(const CaseSpec& spec,
+                       const ValidationOptions& options) {
+  std::vector<const KernelInfo*> kernels;
+  for (const DesignChoice& choice :
+       ValidationEngine::Enumerate(spec.layout, options)) {
+    if (choice.kernel != nullptr) kernels.push_back(choice.kernel);
+  }
+  return RunCase(spec, kernels);
+}
+
+}  // namespace simdht

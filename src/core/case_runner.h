@@ -1,0 +1,77 @@
+// Performance engine (paper Section IV-A, module 4).
+//
+// Given a table layout, a target HT size / load factor, and a workload
+// pattern, RunCase builds the table, generates per-thread probe streams,
+// runs each requested lookup kernel plus its scalar twin across the worker
+// pool (full-subscription, shared table by default — the paper's protocol),
+// and reports throughput per core averaged over five runs.
+#ifndef SIMDHT_CORE_CASE_RUNNER_H_
+#define SIMDHT_CORE_CASE_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/validation.h"
+#include "core/workload.h"
+#include "ht/layout.h"
+#include "simd/kernel.h"
+
+namespace simdht {
+
+struct CaseSpec {
+  LayoutSpec layout;
+  std::uint64_t table_bytes = 1ULL << 20;  // target HT size (1 MB default)
+  double load_factor = 0.9;
+  AccessPattern pattern = AccessPattern::kUniform;
+  double hit_rate = 0.9;
+  double zipf_s = 0.99;
+  unsigned threads = 0;                   // 0 = all hardware threads
+  std::size_t queries_per_thread = 1 << 20;
+  unsigned repeats = 5;                   // paper: average of five runs
+  std::size_t batch = 2048;               // keys per kernel invocation
+  bool shared_table = true;               // false = dedicated table per core
+  bool pin_threads = true;
+  std::uint64_t seed = 42;
+};
+
+// One kernel's measurement within a case.
+struct MeasuredKernel {
+  std::string name;
+  Approach approach = Approach::kScalar;
+  unsigned width_bits = 0;
+  double mlps_per_core = 0.0;   // million lookups/sec per core (mean)
+  double stddev_mlps = 0.0;
+  double hit_fraction = 0.0;    // observed (should track CaseSpec.hit_rate)
+  double speedup = 1.0;         // vs the scalar twin in the same case
+};
+
+struct CaseResult {
+  LayoutSpec layout;
+  double achieved_load_factor = 0.0;
+  std::uint64_t actual_table_bytes = 0;
+  unsigned threads = 0;
+  // First entry is always the scalar twin.
+  std::vector<MeasuredKernel> kernels;
+
+  // Best non-scalar entry (highest throughput); null if none measured.
+  const MeasuredKernel* Best() const;
+};
+
+// Runs the scalar twin plus `kernels` (may be empty for scalar-only runs).
+CaseResult RunCase(const CaseSpec& spec,
+                   const std::vector<const KernelInfo*>& kernels);
+
+// Enumerates viable designs via the validation engine and measures all of
+// them (plus the scalar twin).
+CaseResult RunCaseAuto(const CaseSpec& spec,
+                       const ValidationOptions& options = {});
+
+// Rounds a byte budget to the bucket count actually allocated (largest
+// power of two whose table fits the budget; minimum 2 buckets).
+std::uint64_t BucketsForBytes(const LayoutSpec& layout,
+                              std::uint64_t table_bytes);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_CASE_RUNNER_H_

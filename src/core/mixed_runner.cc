@@ -1,0 +1,164 @@
+#include "core/mixed_runner.h"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "common/barrier.h"
+#include "common/stats.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+
+namespace simdht {
+
+namespace {
+
+// One measured pass of all readers over their streams, optionally with the
+// writer running. Returns mean per-reader Mlps and writer Mupdates/s.
+struct PassResult {
+  double reader_mlps = 0.0;
+  double writer_mups = 0.0;
+};
+
+PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
+                   const std::vector<std::vector<std::uint32_t>>& queries,
+                   const std::vector<std::uint32_t>& resident_keys,
+                   std::size_t batch, bool with_writer,
+                   std::uint64_t seed) {
+  const auto readers = static_cast<unsigned>(queries.size());
+  const TableView view = table->view();
+  SpinBarrier barrier(readers + (with_writer ? 1 : 0));
+  std::atomic<bool> stop_writer{false};
+  std::vector<double> reader_secs(readers, 0.0);
+  std::atomic<std::uint64_t> writer_updates{0};
+  double writer_secs = 0.0;
+
+  std::vector<std::thread> threads;
+  for (unsigned r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      const auto& q = queries[r];
+      std::vector<std::uint32_t> vals(batch);
+      std::vector<std::uint8_t> found(batch);
+      barrier.Wait();
+      Timer timer;
+      std::size_t off = 0;
+      std::uint64_t sink = 0;
+      while (off < q.size()) {
+        const std::size_t chunk = std::min(batch, q.size() - off);
+        sink += kernel.fn(view, q.data() + off, vals.data(), found.data(),
+                          chunk);
+        off += chunk;
+      }
+      reader_secs[r] = timer.ElapsedSeconds();
+      DoNotOptimize(sink);
+    });
+  }
+
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([&] {
+      Xoshiro256 rng(seed ^ 0x5151);
+      barrier.Wait();
+      Timer timer;
+      std::uint64_t updates = 0;
+      while (!stop_writer.load(std::memory_order_relaxed)) {
+        const std::uint32_t key =
+            resident_keys[rng.NextBounded(resident_keys.size())];
+        table->UpdateValue(
+            key, static_cast<std::uint32_t>(rng.Next()) | 0x80000000u);
+        ++updates;
+      }
+      writer_secs = timer.ElapsedSeconds();
+      writer_updates.store(updates);
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  stop_writer.store(true);
+  if (writer.joinable()) writer.join();
+
+  PassResult result;
+  double sum = 0.0;
+  for (unsigned r = 0; r < readers; ++r) {
+    if (reader_secs[r] > 0) {
+      sum += static_cast<double>(queries[r].size()) / reader_secs[r] / 1e6;
+    }
+  }
+  result.reader_mlps = sum / readers;
+  if (with_writer && writer_secs > 0) {
+    result.writer_mups =
+        static_cast<double>(writer_updates.load()) / writer_secs / 1e6;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<MixedResult> RunMixedCase(
+    const CaseSpec& spec, const std::vector<const KernelInfo*>& kernels) {
+  if (spec.layout.key_bits != 32 || spec.layout.val_bits != 32 ||
+      spec.layout.bucket_layout != BucketLayout::kInterleaved) {
+    throw std::invalid_argument(
+        "RunMixedCase: only 32-bit interleaved layouts supported");
+  }
+
+  const unsigned threads =
+      spec.threads == 0 ? static_cast<unsigned>(HardwareThreads())
+                        : spec.threads;
+  const unsigned readers = threads > 1 ? threads - 1 : 1;
+
+  CuckooTable32 table(spec.layout.ways, spec.layout.slots,
+                      BucketsForBytes(spec.layout, spec.table_bytes),
+                      spec.layout.bucket_layout, spec.seed);
+  auto build = FillToLoadFactor(&table, spec.load_factor, spec.seed + 1);
+  auto misses = UniqueRandomKeys<std::uint32_t>(
+      std::max<std::size_t>(1024, build.inserted_keys.size() / 8),
+      spec.seed + 2, &build.inserted_keys);
+
+  std::vector<std::vector<std::uint32_t>> queries(readers);
+  for (unsigned r = 0; r < readers; ++r) {
+    WorkloadConfig wc;
+    wc.pattern = spec.pattern;
+    wc.hit_rate = spec.hit_rate;
+    wc.zipf_s = spec.zipf_s;
+    wc.num_queries = spec.queries_per_thread;
+    wc.seed = spec.seed + 9 * (r + 1);
+    queries[r] = GenerateQueries(build.inserted_keys, misses, wc);
+  }
+
+  std::vector<const KernelInfo*> all = {
+      KernelRegistry::Get().Scalar(spec.layout)};
+  all.insert(all.end(), kernels.begin(), kernels.end());
+
+  std::vector<MixedResult> results;
+  for (const KernelInfo* kernel : all) {
+    if (kernel == nullptr) continue;
+    MixedResult r;
+    r.kernel = kernel->name;
+    RunningStat ro, ww, wu;
+    for (unsigned rep = 0; rep < spec.repeats; ++rep) {
+      ro.Add(RunPass(*kernel, &table, queries, build.inserted_keys,
+                     spec.batch, /*with_writer=*/false, spec.seed + rep)
+                 .reader_mlps);
+      const PassResult with = RunPass(*kernel, &table, queries,
+                                      build.inserted_keys, spec.batch,
+                                      /*with_writer=*/true, spec.seed + rep);
+      ww.Add(with.reader_mlps);
+      wu.Add(with.writer_mups);
+    }
+    r.read_only_mlps = ro.mean();
+    r.with_writer_mlps = ww.mean();
+    r.writer_mups = wu.mean();
+    r.degradation =
+        r.read_only_mlps > 0 ? 1.0 - r.with_writer_mlps / r.read_only_mlps
+                             : 0.0;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace simdht

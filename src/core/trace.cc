@@ -1,0 +1,94 @@
+#include "core/trace.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace simdht {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'H', 'T', 'R', '1', 0, 0, 0};
+
+struct TraceHeader {
+  char magic[8];
+  std::uint32_t key_bits;
+  std::uint32_t pattern;
+  double hit_rate;
+  std::uint64_t table_seed;
+  std::uint64_t num_queries;
+};
+
+}  // namespace
+
+template <typename K>
+bool SaveTrace(const ProbeTrace<K>& trace, std::ostream& out) {
+  TraceHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.key_bits = sizeof(K) * 8;
+  header.pattern = trace.pattern;
+  header.hit_rate = trace.hit_rate;
+  header.table_seed = trace.table_seed;
+  header.num_queries = trace.queries.size();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(trace.queries.data()),
+            static_cast<std::streamsize>(trace.queries.size() * sizeof(K)));
+  return static_cast<bool>(out);
+}
+
+template <typename K>
+std::optional<ProbeTrace<K>> LoadTrace(std::istream& in) {
+  TraceHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  if (header.key_bits != sizeof(K) * 8) return std::nullopt;
+  // Sanity cap: a trace larger than 2^32 probes is a corrupt header.
+  if (header.num_queries > (std::uint64_t{1} << 32)) return std::nullopt;
+
+  ProbeTrace<K> trace;
+  trace.pattern = static_cast<std::uint8_t>(header.pattern);
+  trace.hit_rate = header.hit_rate;
+  trace.table_seed = header.table_seed;
+  trace.queries.resize(header.num_queries);
+  in.read(reinterpret_cast<char*>(trace.queries.data()),
+          static_cast<std::streamsize>(header.num_queries * sizeof(K)));
+  if (!in) return std::nullopt;
+  return trace;
+}
+
+template <typename K>
+bool SaveTraceToFile(const ProbeTrace<K>& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out && SaveTrace(trace, out);
+}
+
+template <typename K>
+std::optional<ProbeTrace<K>> LoadTraceFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return LoadTrace<K>(in);
+}
+
+template bool SaveTrace(const ProbeTrace<std::uint16_t>&, std::ostream&);
+template bool SaveTrace(const ProbeTrace<std::uint32_t>&, std::ostream&);
+template bool SaveTrace(const ProbeTrace<std::uint64_t>&, std::ostream&);
+template std::optional<ProbeTrace<std::uint16_t>> LoadTrace(std::istream&);
+template std::optional<ProbeTrace<std::uint32_t>> LoadTrace(std::istream&);
+template std::optional<ProbeTrace<std::uint64_t>> LoadTrace(std::istream&);
+template bool SaveTraceToFile(const ProbeTrace<std::uint16_t>&,
+                              const std::string&);
+template bool SaveTraceToFile(const ProbeTrace<std::uint32_t>&,
+                              const std::string&);
+template bool SaveTraceToFile(const ProbeTrace<std::uint64_t>&,
+                              const std::string&);
+template std::optional<ProbeTrace<std::uint16_t>> LoadTraceFromFile(
+    const std::string&);
+template std::optional<ProbeTrace<std::uint32_t>> LoadTraceFromFile(
+    const std::string&);
+template std::optional<ProbeTrace<std::uint64_t>> LoadTraceFromFile(
+    const std::string&);
+
+}  // namespace simdht

@@ -1,0 +1,55 @@
+// Probe-trace record & replay.
+//
+// The paper's workload generator is pluggable (Section IV-D); traces are
+// the other half of that story — capture a generated (or production-
+// derived) probe stream once, replay it byte-identically across designs,
+// machines and runs. The format is a small header + raw key array, so a
+// 1M-probe 32-bit trace is 4 MB and loads with one read.
+#ifndef SIMDHT_CORE_TRACE_H_
+#define SIMDHT_CORE_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+// A replayable probe stream plus the metadata needed to rebuild the table
+// it was generated against.
+template <typename K>
+struct ProbeTrace {
+  std::vector<K> queries;
+  double hit_rate = 0.0;       // informational (as generated)
+  std::uint64_t table_seed = 0;  // seed that rebuilds the matching table
+  std::uint8_t pattern = 0;      // AccessPattern as generated
+};
+
+template <typename K>
+bool SaveTrace(const ProbeTrace<K>& trace, std::ostream& out);
+template <typename K>
+bool SaveTraceToFile(const ProbeTrace<K>& trace, const std::string& path);
+
+// Empty optional on malformed input or key-width mismatch.
+template <typename K>
+std::optional<ProbeTrace<K>> LoadTrace(std::istream& in);
+template <typename K>
+std::optional<ProbeTrace<K>> LoadTraceFromFile(const std::string& path);
+
+extern template bool SaveTrace(const ProbeTrace<std::uint16_t>&,
+                               std::ostream&);
+extern template bool SaveTrace(const ProbeTrace<std::uint32_t>&,
+                               std::ostream&);
+extern template bool SaveTrace(const ProbeTrace<std::uint64_t>&,
+                               std::ostream&);
+extern template std::optional<ProbeTrace<std::uint16_t>> LoadTrace(
+    std::istream&);
+extern template std::optional<ProbeTrace<std::uint32_t>> LoadTrace(
+    std::istream&);
+extern template std::optional<ProbeTrace<std::uint64_t>> LoadTrace(
+    std::istream&);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_TRACE_H_

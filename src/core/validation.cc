@@ -1,0 +1,132 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace simdht {
+
+std::string DesignChoice::Describe() const {
+  std::ostringstream os;
+  os << ApproachName(approach) << ", " << width_bits << " bit - "
+     << parallelism;
+  if (approach == Approach::kHorizontal) {
+    os << " bucket/vec";
+  } else {
+    os << " keys/it";
+  }
+  return os.str();
+}
+
+std::vector<DesignChoice> ValidationEngine::Enumerate(
+    const LayoutSpec& spec, const ValidationOptions& options) {
+  std::vector<DesignChoice> out;
+  const KernelRegistry& registry = KernelRegistry::Get();
+  const CpuFeatures& cpu = GetCpuFeatures();
+
+  std::vector<unsigned> widths = options.widths;
+  std::sort(widths.begin(), widths.end());
+  // In strict (Listing 1) mode a wider vector is only listed when it buys
+  // more parallelism than a narrower one — e.g. (2,2) BCHT stops at 256 bit
+  // because 512 bit still probes the same 2 buckets per instruction.
+  unsigned best_parallelism[4] = {0, 0, 0, 0};  // indexed by Approach
+
+  for (unsigned width : widths) {
+    std::vector<Approach> approaches;
+    if (spec.bucketized()) {
+      approaches.push_back(Approach::kHorizontal);
+      if (options.include_hybrid) {
+        approaches.push_back(Approach::kVerticalBcht);
+      }
+    } else {
+      approaches.push_back(Approach::kVertical);
+    }
+
+    for (Approach approach : approaches) {
+      unsigned parallelism = 0;
+      switch (approach) {
+        case Approach::kHorizontal: {
+          parallelism = HorizontalBucketsPerVector(spec, width);
+          if (parallelism == 0 && !options.strict) {
+            parallelism = 1;  // chunked probe: still one bucket per probe
+          }
+          break;
+        }
+        case Approach::kVertical:
+        case Approach::kVerticalBcht:
+          parallelism = VerticalKeysPerIteration(spec, width);
+          break;
+        case Approach::kScalar:
+          break;
+      }
+      if (parallelism == 0) continue;
+      auto& best = best_parallelism[static_cast<unsigned>(approach)];
+      if (options.strict && parallelism <= best) continue;
+      if (parallelism > best) best = parallelism;
+
+      auto kernels = registry.Find(spec, approach, width,
+                                   /*include_unsupported=*/true);
+      const KernelInfo* kernel = kernels.empty() ? nullptr : kernels.front();
+      if (options.filter_by_cpu) {
+        if (kernel == nullptr || !cpu.Supports(kernel->level)) continue;
+      }
+
+      DesignChoice choice;
+      choice.kernel = kernel;
+      choice.approach = approach;
+      choice.width_bits = width;
+      choice.parallelism = parallelism;
+      out.push_back(choice);
+    }
+  }
+  return out;
+}
+
+std::string ValidationEngine::ListingLine(
+    const LayoutSpec& spec, const std::vector<DesignChoice>& choices) {
+  std::ostringstream os;
+  os << "(" << spec.ways << ", " << spec.slots << ") -> ";
+  if (choices.empty()) {
+    os << "no viable SIMD design";
+    return os.str();
+  }
+  os << ApproachName(choices.front().approach);
+  for (const DesignChoice& c : choices) {
+    os << ", Opts: " << c.width_bits << " bit - " << c.parallelism
+       << (c.approach == Approach::kHorizontal ? " bucket/vec" : " keys/it");
+  }
+  return os.str();
+}
+
+std::string ValidationEngine::Listing(const std::vector<LayoutSpec>& specs,
+                                      const ValidationOptions& options) {
+  std::ostringstream os;
+  for (const LayoutSpec& spec : specs) {
+    os << ListingLine(spec, Enumerate(spec, options)) << "\n";
+  }
+  return os.str();
+}
+
+std::vector<LayoutSpec> CaseStudy1Layouts() {
+  std::vector<LayoutSpec> specs;
+  auto add = [&](unsigned n, unsigned m) {
+    LayoutSpec s;
+    s.ways = n;
+    s.slots = m;
+    s.key_bits = 32;
+    s.val_bits = 32;
+    s.bucket_layout = BucketLayout::kInterleaved;
+    specs.push_back(s);
+  };
+  add(2, 1);
+  add(3, 1);
+  add(4, 1);
+  add(2, 2);
+  add(2, 4);
+  add(2, 8);
+  add(3, 2);
+  add(3, 4);
+  add(3, 8);
+  return specs;
+}
+
+}  // namespace simdht

@@ -1,0 +1,67 @@
+// SIMD algorithm validation engine (paper Section IV-B, module 3).
+//
+// Enumerates which (vectorization approach x vector width) combinations are
+// valid for a given table layout — the HorV-Valid / VerV-Valid checks of
+// Algorithms 1 and 2 — and intersects them with what the host CPU supports
+// and what kernels exist in the registry. Its text output reproduces the
+// paper's Listing 1.
+#ifndef SIMDHT_CORE_VALIDATION_H_
+#define SIMDHT_CORE_VALIDATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simd/kernel.h"
+
+namespace simdht {
+
+// One viable SIMD design for a layout.
+struct DesignChoice {
+  const KernelInfo* kernel = nullptr;  // null if no kernel is registered
+  Approach approach = Approach::kScalar;
+  unsigned width_bits = 0;
+  // Horizontal: buckets probed per vector instruction ("bucket/vec");
+  // vertical: keys probed per iteration ("keys/it").
+  unsigned parallelism = 0;
+
+  // "V-Hor, 256 bit - 1 bucket/vec" / "V-Ver, 512 bit - 16 keys/it".
+  std::string Describe() const;
+};
+
+struct ValidationOptions {
+  std::vector<unsigned> widths = {128, 256, 512};
+  // Strict applies the paper's HorV-Valid/VerV-Valid fit rules exactly
+  // (Listing 1); non-strict additionally admits chunked horizontal probes
+  // for buckets wider than the vector (the Fig 7b AVX2-on-(2,8) case).
+  bool strict = true;
+  // Include Case Study 5's vertical-over-BCHT hybrids.
+  bool include_hybrid = false;
+  // Drop choices the host CPU cannot execute.
+  bool filter_by_cpu = true;
+};
+
+class ValidationEngine {
+ public:
+  // All viable SIMD designs for `spec`, ordered by width then approach.
+  static std::vector<DesignChoice> Enumerate(
+      const LayoutSpec& spec, const ValidationOptions& options = {});
+
+  // One Listing-1-style line, e.g.
+  //   "(2, 4) -> V-Hor, Opts: 256 bit - 1 bucket/vec, Opts: 512 bit - 2 bucket/vec".
+  static std::string ListingLine(const LayoutSpec& spec,
+                                 const std::vector<DesignChoice>& choices);
+
+  // The full Listing 1 block for a set of layouts.
+  static std::string Listing(const std::vector<LayoutSpec>& specs,
+                             const ValidationOptions& options = {});
+};
+
+// The (N, m) sweep used by Case Study 1 / Listing 1 for (K,V) = (32, 32):
+// N-way cuckoo for N in {2,3,4} and (N, m) BCHT for N in {2,3}, m in
+// {2,4,8}.
+std::vector<LayoutSpec> CaseStudy1Layouts();
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_VALIDATION_H_

@@ -1,0 +1,64 @@
+#include "core/workload.h"
+
+#include "common/random.h"
+#include "core/zipf.h"
+
+namespace simdht {
+
+const char* AccessPatternName(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kUniform: return "uniform";
+    case AccessPattern::kZipfian: return "zipf";
+  }
+  return "?";
+}
+
+bool ParseAccessPattern(const std::string& name, AccessPattern* out) {
+  if (name == "uniform") { *out = AccessPattern::kUniform; return true; }
+  if (name == "zipf" || name == "zipfian" || name == "skew" ||
+      name == "skewed") {
+    *out = AccessPattern::kZipfian;
+    return true;
+  }
+  return false;
+}
+
+template <typename K>
+std::vector<K> GenerateQueries(const std::vector<K>& present_keys,
+                               const std::vector<K>& miss_pool,
+                               const WorkloadConfig& config) {
+  std::vector<K> queries;
+  if (present_keys.empty()) return queries;
+  if (config.hit_rate < 1.0 && miss_pool.empty()) return queries;
+
+  queries.reserve(config.num_queries);
+  Xoshiro256 rng(config.seed);
+  const ZipfGenerator zipf(present_keys.size(), config.zipf_s);
+
+  for (std::size_t i = 0; i < config.num_queries; ++i) {
+    const bool hit = rng.NextDouble() < config.hit_rate;
+    if (hit) {
+      const std::uint64_t rank = config.pattern == AccessPattern::kZipfian
+                                     ? zipf.Next(&rng)
+                                     : rng.NextBounded(present_keys.size());
+      // present_keys is in randomized insertion order, so Zipf ranks map to
+      // scattered table locations (a scrambled-Zipfian, like mutilate).
+      queries.push_back(present_keys[rank]);
+    } else {
+      queries.push_back(miss_pool[rng.NextBounded(miss_pool.size())]);
+    }
+  }
+  return queries;
+}
+
+template std::vector<std::uint16_t> GenerateQueries(
+    const std::vector<std::uint16_t>&, const std::vector<std::uint16_t>&,
+    const WorkloadConfig&);
+template std::vector<std::uint32_t> GenerateQueries(
+    const std::vector<std::uint32_t>&, const std::vector<std::uint32_t>&,
+    const WorkloadConfig&);
+template std::vector<std::uint64_t> GenerateQueries(
+    const std::vector<std::uint64_t>&, const std::vector<std::uint64_t>&,
+    const WorkloadConfig&);
+
+}  // namespace simdht

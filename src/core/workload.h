@@ -1,0 +1,51 @@
+// Pluggable read-only workload generation (paper Section IV-A, module 2).
+//
+// A workload is a stream of probe keys with (a) an access pattern — uniform
+// or mutilate-like Zipfian skew — over the keys present in the table, and
+// (b) a controlled hit rate: the fraction of probes that find a key
+// (the paper's "selectivity", 90% in most case studies). Misses are drawn
+// from a key pool guaranteed disjoint from the table contents.
+#ifndef SIMDHT_CORE_WORKLOAD_H_
+#define SIMDHT_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+enum class AccessPattern : std::uint8_t { kUniform = 0, kZipfian = 1 };
+
+const char* AccessPatternName(AccessPattern p);
+bool ParseAccessPattern(const std::string& name, AccessPattern* out);
+
+struct WorkloadConfig {
+  AccessPattern pattern = AccessPattern::kUniform;
+  double hit_rate = 0.9;   // fraction of probes that should hit
+  double zipf_s = 0.99;    // skew exponent for kZipfian
+  std::size_t num_queries = 1 << 20;
+  std::uint64_t seed = 7;
+};
+
+// Builds a probe-key stream over `present_keys` (the keys actually stored in
+// the table). Misses come from `miss_pool` which the caller obtains from
+// UniqueRandomKeys with present_keys excluded; an empty miss_pool with
+// hit_rate < 1 is an error (reported by returning an empty vector).
+template <typename K>
+std::vector<K> GenerateQueries(const std::vector<K>& present_keys,
+                               const std::vector<K>& miss_pool,
+                               const WorkloadConfig& config);
+
+extern template std::vector<std::uint16_t> GenerateQueries(
+    const std::vector<std::uint16_t>&, const std::vector<std::uint16_t>&,
+    const WorkloadConfig&);
+extern template std::vector<std::uint32_t> GenerateQueries(
+    const std::vector<std::uint32_t>&, const std::vector<std::uint32_t>&,
+    const WorkloadConfig&);
+extern template std::vector<std::uint64_t> GenerateQueries(
+    const std::vector<std::uint64_t>&, const std::vector<std::uint64_t>&,
+    const WorkloadConfig&);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_WORKLOAD_H_

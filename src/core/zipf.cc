@@ -1,0 +1,63 @@
+#include "core/zipf.h"
+
+#include <cmath>
+
+namespace simdht {
+
+namespace {
+
+// Helper1(x) = (exp(x) - 1) / x with the x -> 0 limit handled.
+double Helper1(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x));
+}
+
+// Helper2(x) = log1p(x) / x with the x -> 0 limit handled.
+double Helper2(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n_ == 0) n_ = 1;
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_num_elements_ = HIntegral(static_cast<double>(n_) + 0.5);
+  s_div_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfGenerator::H(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfGenerator::HIntegral(double x) const {
+  // H(x) = (x^(1-s) - 1) / (1 - s) = ((e^((1-s) ln x)) - 1) / (1-s).
+  const double log_x = std::log(x);
+  return Helper1((1.0 - s_) * log_x) * log_x;
+}
+
+double ZipfGenerator::HIntegralInverse(double x) const {
+  // H^-1(x) = (1 + x(1-s))^(1/(1-s)) = e^(log1p(x(1-s)) / (1-s)).
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // clamp against rounding below the pole
+  return std::exp(Helper2(t) * x);
+}
+
+std::uint64_t ZipfGenerator::Next(Xoshiro256* rng) const {
+  // Rejection-inversion: invert the integral of the hat function, round to
+  // the nearest rank, accept with the exact/hat ratio.
+  for (;;) {
+    const double u =
+        h_integral_num_elements_ +
+        rng->NextDouble() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = HIntegralInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    const double n_d = static_cast<double>(n_);
+    if (k > n_d) k = n_d;
+    if (k - x <= s_div_ || u >= HIntegral(k + 0.5) - H(k)) {
+      return static_cast<std::uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace simdht

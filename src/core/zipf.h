@@ -1,0 +1,42 @@
+// Zipfian rank sampler (rejection-inversion, Hörmann & Derflinger 1996).
+//
+// This is the skew model behind the "mutilate"-style key-value-store access
+// pattern (Section IV-A plugs mutilate in for skewed workloads; mutilate's
+// popularity model is Zipf-shaped per the Facebook ETC analysis [15]).
+// s = 0.99 matches the YCSB/mutilate convention.
+#ifndef SIMDHT_CORE_ZIPF_H_
+#define SIMDHT_CORE_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace simdht {
+
+class ZipfGenerator {
+ public:
+  // Ranks are drawn from [0, n); P(rank = k) ∝ 1 / (k+1)^s.
+  ZipfGenerator(std::uint64_t n, double s = 0.99);
+
+  // Draws one rank using the caller's RNG (keeps the generator stateless
+  // w.r.t. threads: each worker owns an RNG, shares the sampler).
+  std::uint64_t Next(Xoshiro256* rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_div_;  // cached helper for the x <= 1 shortcut
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_ZIPF_H_

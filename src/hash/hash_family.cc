@@ -1,0 +1,28 @@
+#include "hash/hash_family.h"
+
+#include <cstring>
+
+namespace simdht {
+
+std::uint64_t HashBytes(const void* data, std::size_t len,
+                        std::uint64_t seed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ seed;
+  // 8-byte strides with an FNV-style fold, then a full-avalanche finish.
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    h = (h ^ word) * 0x100000001B3ULL;
+    p += 8;
+    len -= 8;
+  }
+  std::uint64_t tail = 0;
+  if (len > 0) {
+    std::memcpy(&tail, p, len);
+    h = (h ^ tail ^ (static_cast<std::uint64_t>(len) << 56)) *
+        0x100000001B3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace simdht

@@ -1,0 +1,101 @@
+// N-way multiply-shift hash family for cuckoo bucket selection.
+//
+// The paper's tables index by an already-hashed fixed-width key (the "hash
+// key", Section VI-A note), so bucket selection only needs a fast universal
+// hash that is *vectorizable*: one multiply and one shift per lane
+// (_mm{256,512}_mullo_epi32 + srli). Each of the N ways uses an independent
+// odd multiplier (Dietzfelbinger et al. multiply-shift scheme).
+#ifndef SIMDHT_HASH_HASH_FAMILY_H_
+#define SIMDHT_HASH_HASH_FAMILY_H_
+
+#include <cstdint>
+
+#include "common/compiler.h"
+#include "common/random.h"
+
+namespace simdht {
+
+// Hard upper bound on cuckoo ways; the paper explores N in [2, 4].
+inline constexpr unsigned kMaxWays = 4;
+
+// Fixed default multipliers (odd, high-entropy); deterministic tables across
+// runs unless a seed is supplied. Index = way.
+inline constexpr std::uint64_t kDefaultMultipliers[kMaxWays] = {
+    0x9E3779B97F4A7C15ULL,  // golden-ratio
+    0xC2B2AE3D27D4EB4FULL,  // xxhash prime
+    0x165667B19E3779F9ULL,  // xxhash prime
+    0x27D4EB2F165667C5ULL,  // xxhash prime
+};
+
+// Bucket-selection family shared by scalar tables and SIMD kernels.
+//
+// For a table of B = 2^log2_buckets buckets:
+//   bucket_i(k) = (k * mult[i]) >> (width - log2_buckets)
+// computed in the key's native width (16-bit keys are widened to 32).
+struct HashFamily {
+  std::uint64_t mult[kMaxWays];
+  unsigned log2_buckets = 0;
+
+  HashFamily() {
+    for (unsigned i = 0; i < kMaxWays; ++i) mult[i] = kDefaultMultipliers[i];
+  }
+
+  // Derives `ways` random odd multipliers from `seed` (seed 0 keeps the
+  // defaults, so tables are reproducible by default).
+  static HashFamily Make(unsigned log2_buckets, std::uint64_t seed = 0) {
+    HashFamily f;
+    f.log2_buckets = log2_buckets;
+    if (seed != 0) {
+      SplitMix64 sm(seed);
+      for (unsigned i = 0; i < kMaxWays; ++i) f.mult[i] = sm.Next() | 1;
+    }
+    return f;
+  }
+
+  // 32-bit domain bucket index (used for 16- and 32-bit keys).
+  SIMDHT_ALWAYS_INLINE std::uint32_t Bucket32(unsigned way,
+                                              std::uint32_t key) const {
+    const auto m = static_cast<std::uint32_t>(mult[way]);
+    return (key * m) >> (32 - log2_buckets);
+  }
+
+  // 64-bit domain bucket index (used for 64-bit keys).
+  SIMDHT_ALWAYS_INLINE std::uint32_t Bucket64(unsigned way,
+                                              std::uint64_t key) const {
+    return static_cast<std::uint32_t>((key * mult[way]) >>
+                                      (64 - log2_buckets));
+  }
+
+  // Dispatches on key width. K in {uint16_t, uint32_t, uint64_t}.
+  template <typename K>
+  SIMDHT_ALWAYS_INLINE std::uint32_t Bucket(unsigned way, K key) const {
+    if constexpr (sizeof(K) == 8) {
+      return Bucket64(way, key);
+    } else {
+      return Bucket32(way, static_cast<std::uint32_t>(key));
+    }
+  }
+};
+
+// 64-bit finalizer (SplitMix64 mix): full-avalanche hash for KVS string keys
+// and workload scrambling.
+SIMDHT_ALWAYS_INLINE std::uint64_t Mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Hashes a byte string (FNV-1a core + Mix64 finalizer). Used by the KVS to
+// derive the 32-bit "hash key" from variable-length Memcached keys.
+std::uint64_t HashBytes(const void* data, std::size_t len,
+                        std::uint64_t seed = 0);
+
+// MemC3-style 8-bit tag: never zero (zero marks an empty slot).
+SIMDHT_ALWAYS_INLINE std::uint8_t Tag8(std::uint64_t hash) {
+  const auto t = static_cast<std::uint8_t>(hash >> 56);
+  return t == 0 ? 1 : t;
+}
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HASH_HASH_FAMILY_H_

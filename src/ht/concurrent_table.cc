@@ -1,0 +1,233 @@
+#include "ht/concurrent_table.h"
+
+#include <vector>
+
+namespace simdht {
+
+template <typename K, typename V>
+ConcurrentCuckooTable<K, V>::ConcurrentCuckooTable(
+    unsigned ways, unsigned slots, std::uint64_t num_buckets,
+    BucketLayout layout, std::uint64_t seed)
+    : table_(ways, slots, num_buckets, layout, seed) {
+  versions_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(kVersionStripes);
+  for (unsigned i = 0; i < kVersionStripes; ++i) versions_[i].store(0);
+}
+
+template <typename K, typename V>
+bool ConcurrentCuckooTable<K, V>::Locate(K key, std::uint64_t* bucket,
+                                         unsigned* slot) const {
+  const LayoutSpec& spec = table_.spec();
+  for (unsigned way = 0; way < spec.ways; ++way) {
+    const std::uint32_t b = table_.view().hash.template Bucket<K>(way, key);
+    for (unsigned s = 0; s < spec.slots; ++s) {
+      if (table_.KeyAt(b, s) == key) {
+        *bucket = b;
+        *slot = s;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+template <typename K, typename V>
+bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
+  const LayoutSpec& spec = table_.spec();
+  const HashFamily& hash = table_.hash_family();
+  std::uint32_t buckets[kMaxWays];
+  for (unsigned w = 0; w < spec.ways; ++w) {
+    buckets[w] = hash.template Bucket<K>(w, key);
+  }
+
+  for (;;) {
+    std::uint64_t before[kMaxWays];
+    bool writer_active = false;
+    for (unsigned w = 0; w < spec.ways; ++w) {
+      before[w] = StripeFor(buckets[w]).load(std::memory_order_acquire);
+      writer_active |= (before[w] & 1) != 0;
+    }
+    if (writer_active) continue;
+
+    V found_val{};
+    bool found = false;
+    for (unsigned w = 0; w < spec.ways && !found; ++w) {
+      for (unsigned s = 0; s < spec.slots; ++s) {
+        if (table_.KeyAt(buckets[w], s) == key) {
+          found_val = table_.ValAt(buckets[w], s);
+          found = true;
+          break;
+        }
+      }
+    }
+
+    std::atomic_thread_fence(std::memory_order_acquire);
+    bool stable = true;
+    for (unsigned w = 0; w < spec.ways; ++w) {
+      stable &= StripeFor(buckets[w]).load(std::memory_order_acquire) ==
+                before[w];
+    }
+    if (stable) {
+      if (found && val != nullptr) *val = found_val;
+      return found;
+    }
+  }
+}
+
+template <typename K, typename V>
+bool ConcurrentCuckooTable<K, V>::Insert(K key, V val) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+
+  // Overwrite in place if present.
+  {
+    std::uint64_t b;
+    unsigned s;
+    if (Locate(key, &b, &s)) {
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      BumpOdd(b);
+      table_.WriteSlot(b, s, key, val);
+      BumpEven(b);
+      epoch_.fetch_add(1, std::memory_order_release);
+      return true;
+    }
+  }
+
+  // A BFS chain can, rarely, visit the same slot twice (a bucket cycle);
+  // the replay detects that via per-move validation and the whole attempt
+  // restarts on the mutated-but-consistent table.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int rc = InsertAttempt(key, val);
+    if (rc >= 0) return rc != 0;
+  }
+  return false;
+}
+
+template <typename K, typename V>
+int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
+  const LayoutSpec& spec = table_.spec();
+  const HashFamily& hash = table_.hash_family();
+
+  // BFS for the nearest bucket with an empty slot, rooted at the key's
+  // candidate buckets. Nodes record how we reached them so the eviction
+  // path can be replayed back-to-front.
+  struct Node {
+    std::uint32_t bucket;
+    std::int32_t parent;   // index into nodes, -1 for roots
+    std::uint16_t via_slot;  // slot in parent whose occupant leads here
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(kMaxBfsNodes);
+  for (unsigned w = 0; w < spec.ways; ++w) {
+    nodes.push_back({hash.template Bucket<K>(w, key), -1, 0});
+  }
+
+  std::int32_t goal = -1;
+  unsigned goal_slot = 0;
+  for (std::size_t head = 0; head < nodes.size() && goal < 0; ++head) {
+    const std::uint32_t b = nodes[head].bucket;
+    for (unsigned s = 0; s < spec.slots; ++s) {
+      if (table_.KeyAt(b, s) == static_cast<K>(kEmptyKey)) {
+        goal = static_cast<std::int32_t>(head);
+        goal_slot = s;
+        break;
+      }
+    }
+    if (goal >= 0) break;
+    if (nodes.size() >= kMaxBfsNodes) continue;  // stop expanding, drain
+    for (unsigned s = 0; s < spec.slots && nodes.size() < kMaxBfsNodes;
+         ++s) {
+      const K occupant = table_.KeyAt(b, s);
+      for (unsigned w = 0; w < spec.ways; ++w) {
+        const std::uint32_t alt = hash.template Bucket<K>(w, occupant);
+        if (alt == b) continue;
+        nodes.push_back({alt, static_cast<std::int32_t>(head),
+                         static_cast<std::uint16_t>(s)});
+        if (nodes.size() >= kMaxBfsNodes) break;
+      }
+    }
+  }
+  if (goal < 0) return 0;  // no path within budget: table full
+
+  // Replay the path back-to-front: move each evictee into the hole below
+  // it, so every key is written to its destination before its source slot
+  // is reused. Readers racing a move retry via the bumped stripes. Each
+  // move is validated — if the chain aliased a slot (the occupant changed
+  // under an earlier move of this very replay), abort; every completed
+  // move left the table consistent, so the caller can simply retry.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  std::uint64_t hole_bucket = nodes[static_cast<std::size_t>(goal)].bucket;
+  unsigned hole_slot = goal_slot;
+  std::int32_t node = goal;
+  bool aborted = false;
+  while (nodes[static_cast<std::size_t>(node)].parent >= 0) {
+    const Node& cur = nodes[static_cast<std::size_t>(node)];
+    const std::uint32_t src_bucket =
+        nodes[static_cast<std::size_t>(cur.parent)].bucket;
+    const unsigned src_slot = cur.via_slot;
+    const K moved_key = table_.KeyAt(src_bucket, src_slot);
+    const V moved_val = table_.ValAt(src_bucket, src_slot);
+
+    bool valid = moved_key != static_cast<K>(kEmptyKey);
+    if (valid) {
+      valid = false;
+      for (unsigned w = 0; w < spec.ways; ++w) {
+        valid |= hash.template Bucket<K>(w, moved_key) == hole_bucket;
+      }
+    }
+    if (!valid) {
+      aborted = true;
+      break;
+    }
+
+    BumpOdd(hole_bucket);
+    BumpOdd(src_bucket);
+    table_.WriteSlot(hole_bucket, hole_slot, moved_key, moved_val);
+    table_.WriteSlot(src_bucket, src_slot, static_cast<K>(kEmptyKey), V{});
+    BumpEven(src_bucket);
+    BumpEven(hole_bucket);
+    hole_bucket = src_bucket;
+    hole_slot = src_slot;
+    node = cur.parent;
+  }
+
+  if (!aborted) {
+    BumpOdd(hole_bucket);
+    table_.WriteSlot(hole_bucket, hole_slot, key, val);
+    BumpEven(hole_bucket);
+    table_.AdjustSize(1);
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+  return aborted ? -1 : 1;
+}
+
+template <typename K, typename V>
+bool ConcurrentCuckooTable<K, V>::UpdateValue(K key, V val) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::uint64_t b;
+  unsigned s;
+  if (!Locate(key, &b, &s)) return false;
+  BumpOdd(b);
+  table_.WriteSlot(b, s, key, val);
+  BumpEven(b);
+  return true;
+}
+
+template <typename K, typename V>
+bool ConcurrentCuckooTable<K, V>::Erase(K key) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::uint64_t b;
+  unsigned s;
+  if (!Locate(key, &b, &s)) return false;
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  BumpOdd(b);
+  table_.WriteSlot(b, s, static_cast<K>(kEmptyKey), V{});
+  BumpEven(b);
+  table_.AdjustSize(-1);
+  epoch_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+template class ConcurrentCuckooTable<std::uint32_t, std::uint32_t>;
+template class ConcurrentCuckooTable<std::uint64_t, std::uint64_t>;
+
+}  // namespace simdht

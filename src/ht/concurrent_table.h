@@ -1,0 +1,152 @@
+// Concurrent (N, m) cuckoo hash table: lock-free readers, locked writers.
+//
+// Generalizes MemC3's optimistic concurrency (Section II-B / [12]) from its
+// fixed (2,4) tag table to every layout the suite supports:
+//
+//  * Readers never lock. Single-key Find snapshots striped seqlock versions
+//    of all candidate buckets before and after probing and retries on a
+//    change; batched lookups validate a global write epoch around each
+//    kernel invocation.
+//  * Writers serialize on a mutex. Inserts use BFS path-search: a read-only
+//    search finds the shortest eviction path to an empty slot, then entries
+//    move back-to-front — each key is written to its destination before its
+//    source slot is overwritten, so a key is never absent mid-move (readers
+//    may transiently see it twice, which is harmless).
+//
+// This is the substrate the paper's future work ("concurrent reads and
+// updates") needs beyond in-place value updates: full inserts and erases
+// racing with SIMD batch lookups.
+#ifndef SIMDHT_HT_CONCURRENT_TABLE_H_
+#define SIMDHT_HT_CONCURRENT_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "ht/cuckoo_table.h"
+
+namespace simdht {
+
+template <typename K, typename V>
+class ConcurrentCuckooTable {
+ public:
+  ConcurrentCuckooTable(unsigned ways, unsigned slots,
+                        std::uint64_t num_buckets, BucketLayout layout,
+                        std::uint64_t seed = 0);
+
+  // Inserts or overwrites; false when no eviction path exists within the
+  // BFS budget (table effectively full). Thread-safe vs readers and other
+  // writers.
+  bool Insert(K key, V val);
+
+  // Lock-free single-key lookup.
+  bool Find(K key, V* val) const;
+
+  // In-place value overwrite (seqlock-bumped); false if absent.
+  bool UpdateValue(K key, V val);
+
+  // Removes the key; thread-safe vs readers.
+  bool Erase(K key);
+
+  // Batched lookup through any lookup kernel (a KernelInfo::fn pointer or
+  // anything with the same call shape), validated against the global write
+  // epoch per chunk. Chunks that raced a structural writer are retried
+  // with progressively smaller chunks; if the writer churns faster than
+  // even a small chunk can validate, the chunk falls back to per-key
+  // seqlock lookups — progress is always guaranteed.
+  template <typename LookupCallable>
+  std::uint64_t BatchLookup(LookupCallable&& lookup, const K* keys, V* vals,
+                            std::uint8_t* found, std::size_t n) const {
+    const TableView batch_view = table_.view();
+    constexpr std::size_t kMaxChunk = 512;
+    constexpr int kRetriesPerSize = 2;
+    std::uint64_t hits = 0;
+    std::size_t off = 0;
+    std::size_t chunk = kMaxChunk;
+    while (off < n) {
+      const std::size_t len = n - off < chunk ? n - off : chunk;
+      bool done = false;
+      for (std::size_t size = len; !done;) {
+        int retries = kRetriesPerSize;
+        while (retries-- > 0) {
+          const std::uint64_t e0 = epoch_.load(std::memory_order_acquire);
+          if (e0 & 1) continue;  // structural write in flight
+          const std::uint64_t chunk_hits =
+              lookup(batch_view, keys + off, vals + off, found + off, size);
+          std::atomic_thread_fence(std::memory_order_acquire);
+          if (epoch_.load(std::memory_order_acquire) == e0) {
+            hits += chunk_hits;
+            off += size;
+            done = true;
+            break;
+          }
+        }
+        if (done) break;
+        if (size > 32) {
+          size /= 4;  // shrink: shorter window, better validation odds
+          continue;
+        }
+        // Writer churn outpaces kernel validation: per-key seqlock path.
+        for (std::size_t i = 0; i < size; ++i) {
+          V value{};
+          const bool ok = Find(keys[off + i], &value);
+          vals[off + i] = ok ? value : V{0};
+          found[off + i] = ok ? 1 : 0;
+          hits += ok;
+        }
+        off += size;
+        done = true;
+      }
+    }
+    return hits;
+  }
+
+  std::uint64_t size() const { return table_.size(); }
+  std::uint64_t capacity() const { return table_.capacity(); }
+  double load_factor() const { return table_.load_factor(); }
+  const LayoutSpec& spec() const { return table_.spec(); }
+  TableView view() const { return table_.view(); }
+
+  // BFS search budget: paths longer than this fail the insert. Depth 5
+  // over N*m fan-out covers the load factors of Fig 2.
+  static constexpr unsigned kMaxBfsNodes = 512;
+
+ private:
+  static constexpr unsigned kVersionStripes = 1 << 11;
+
+  std::atomic<std::uint64_t>& StripeFor(std::uint64_t bucket) const {
+    return versions_[bucket & (kVersionStripes - 1)];
+  }
+  void BumpOdd(std::uint64_t bucket) {
+    StripeFor(bucket).fetch_add(1, std::memory_order_acq_rel);
+  }
+  void BumpEven(std::uint64_t bucket) {
+    StripeFor(bucket).fetch_add(1, std::memory_order_release);
+  }
+
+  // Finds (bucket, slot) of `key`; returns false if absent. Writer-side
+  // helper (no seqlock validation; caller holds the writer mutex).
+  bool Locate(K key, std::uint64_t* bucket, unsigned* slot) const;
+
+  // One BFS + replay attempt: 1 = inserted, 0 = table full,
+  // -1 = replay aborted on a slot-aliased chain (caller retries).
+  int InsertAttempt(K key, V val);
+
+  CuckooTable<K, V> table_;
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  std::mutex writer_mu_;
+};
+
+using ConcurrentCuckooTable32 =
+    ConcurrentCuckooTable<std::uint32_t, std::uint32_t>;
+using ConcurrentCuckooTable64 =
+    ConcurrentCuckooTable<std::uint64_t, std::uint64_t>;
+
+extern template class ConcurrentCuckooTable<std::uint32_t, std::uint32_t>;
+extern template class ConcurrentCuckooTable<std::uint64_t, std::uint64_t>;
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_CONCURRENT_TABLE_H_

@@ -1,0 +1,212 @@
+#include "ht/cuckoo_table.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+#include <string>
+
+namespace simdht {
+
+template <typename K, typename V>
+CuckooTable<K, V>::CuckooTable(unsigned ways, unsigned slots,
+                               std::uint64_t num_buckets, BucketLayout layout,
+                               std::uint64_t seed)
+    : walk_rng_(seed ^ 0xA5A5A5A55A5A5A5AULL) {
+  spec_.ways = ways;
+  spec_.slots = slots;
+  spec_.key_bits = sizeof(K) * 8;
+  spec_.val_bits = sizeof(V) * 8;
+  spec_.bucket_layout = layout;
+  std::string why;
+  if (!spec_.Validate(&why)) {
+    throw std::invalid_argument("CuckooTable: bad layout: " + why);
+  }
+  num_buckets_ = NextPow2(num_buckets < 2 ? 2 : num_buckets);
+  log2_buckets_ = Log2Floor(num_buckets_);
+  // Multiply-shift needs at least one index bit and the key width must be
+  // able to address the bucket range.
+  if (log2_buckets_ >= sizeof(K) * 8) {
+    throw std::invalid_argument(
+        "CuckooTable: too many buckets for the key width");
+  }
+  hash_ = HashFamily::Make(log2_buckets_, seed);
+  storage_.Allocate(num_buckets_ * spec_.bucket_bytes());
+}
+
+template <typename K, typename V>
+std::uint8_t* CuckooTable<K, V>::key_addr(std::uint64_t b, unsigned s) {
+  std::uint8_t* base = storage_.data() + b * spec_.bucket_bytes();
+  if (spec_.bucket_layout == BucketLayout::kInterleaved) {
+    return base + static_cast<std::size_t>(s) * spec_.slot_bytes();
+  }
+  return base + static_cast<std::size_t>(s) * sizeof(K);
+}
+
+template <typename K, typename V>
+const std::uint8_t* CuckooTable<K, V>::key_addr(std::uint64_t b,
+                                                unsigned s) const {
+  return const_cast<CuckooTable*>(this)->key_addr(b, s);
+}
+
+template <typename K, typename V>
+std::uint8_t* CuckooTable<K, V>::val_addr(std::uint64_t b, unsigned s) {
+  if (spec_.bucket_layout == BucketLayout::kInterleaved) {
+    return key_addr(b, s) + sizeof(K);
+  }
+  std::uint8_t* base = storage_.data() + b * spec_.bucket_bytes();
+  return base + static_cast<std::size_t>(spec_.slots) * sizeof(K) +
+         static_cast<std::size_t>(s) * sizeof(V);
+}
+
+template <typename K, typename V>
+const std::uint8_t* CuckooTable<K, V>::val_addr(std::uint64_t b,
+                                                unsigned s) const {
+  return const_cast<CuckooTable*>(this)->val_addr(b, s);
+}
+
+template <typename K, typename V>
+K CuckooTable<K, V>::KeyAt(std::uint64_t bucket, unsigned slot) const {
+  K k;
+  std::memcpy(&k, key_addr(bucket, slot), sizeof(K));
+  return k;
+}
+
+template <typename K, typename V>
+V CuckooTable<K, V>::ValAt(std::uint64_t bucket, unsigned slot) const {
+  V v;
+  std::memcpy(&v, val_addr(bucket, slot), sizeof(V));
+  return v;
+}
+
+template <typename K, typename V>
+void CuckooTable<K, V>::SetSlot(std::uint64_t bucket, unsigned slot, K key,
+                                V val) {
+  std::memcpy(key_addr(bucket, slot), &key, sizeof(K));
+  std::memcpy(val_addr(bucket, slot), &val, sizeof(V));
+}
+
+template <typename K, typename V>
+bool CuckooTable<K, V>::Find(K key, V* val) const {
+  for (unsigned way = 0; way < spec_.ways; ++way) {
+    const std::uint32_t b = BucketOf(way, key);
+    for (unsigned s = 0; s < spec_.slots; ++s) {
+      if (KeyAt(b, s) == key) {
+        if (val != nullptr) *val = ValAt(b, s);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+template <typename K, typename V>
+bool CuckooTable<K, V>::Insert(K key, V val) {
+  assert(key != static_cast<K>(kEmptyKey) && "key 0 is the empty sentinel");
+
+  // Overwrite if present (cuckoo invariant: at most one copy of a key).
+  for (unsigned way = 0; way < spec_.ways; ++way) {
+    const std::uint32_t b = BucketOf(way, key);
+    for (unsigned s = 0; s < spec_.slots; ++s) {
+      if (KeyAt(b, s) == key) {
+        SetSlot(b, s, key, val);
+        return true;
+      }
+    }
+  }
+
+  // Random-walk eviction: place into any empty candidate slot; otherwise
+  // kick a random occupant to one of *its* alternate buckets and repeat.
+  // Every displacement is recorded so a failed walk can be unwound — a
+  // failed Insert leaves the table exactly as it was.
+  struct Step {
+    std::uint32_t bucket;
+    unsigned slot;
+  };
+  std::vector<Step> path;
+  path.reserve(64);
+
+  K cur_key = key;
+  V cur_val = val;
+  for (unsigned kick = 0; kick < kMaxKicks; ++kick) {
+    for (unsigned way = 0; way < spec_.ways; ++way) {
+      const std::uint32_t b = BucketOf(way, cur_key);
+      for (unsigned s = 0; s < spec_.slots; ++s) {
+        if (KeyAt(b, s) == static_cast<K>(kEmptyKey)) {
+          SetSlot(b, s, cur_key, cur_val);
+          ++size_;
+          return true;
+        }
+      }
+    }
+    const auto victim_way =
+        static_cast<unsigned>(walk_rng_.NextBounded(spec_.ways));
+    const auto victim_slot =
+        static_cast<unsigned>(walk_rng_.NextBounded(spec_.slots));
+    const std::uint32_t b = BucketOf(victim_way, cur_key);
+    const K evicted_key = KeyAt(b, victim_slot);
+    const V evicted_val = ValAt(b, victim_slot);
+    SetSlot(b, victim_slot, cur_key, cur_val);
+    path.push_back({b, victim_slot});
+    cur_key = evicted_key;
+    cur_val = evicted_val;
+  }
+
+  // Walk exhausted: unwind the displacements in reverse so every previously
+  // stored entry is back in its original slot and `key` is not inserted.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    const K displaced_key = KeyAt(it->bucket, it->slot);
+    const V displaced_val = ValAt(it->bucket, it->slot);
+    SetSlot(it->bucket, it->slot, cur_key, cur_val);
+    cur_key = displaced_key;
+    cur_val = displaced_val;
+  }
+  // After unwinding the carried entry is the original key/val again.
+  return false;
+}
+
+template <typename K, typename V>
+bool CuckooTable<K, V>::UpdateValue(K key, V val) {
+  for (unsigned way = 0; way < spec_.ways; ++way) {
+    const std::uint32_t b = BucketOf(way, key);
+    for (unsigned s = 0; s < spec_.slots; ++s) {
+      if (KeyAt(b, s) == key) {
+        // Single aligned word store: concurrent readers see old or new.
+        std::memcpy(val_addr(b, s), &val, sizeof(V));
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+template <typename K, typename V>
+bool CuckooTable<K, V>::Erase(K key) {
+  for (unsigned way = 0; way < spec_.ways; ++way) {
+    const std::uint32_t b = BucketOf(way, key);
+    for (unsigned s = 0; s < spec_.slots; ++s) {
+      if (KeyAt(b, s) == key) {
+        SetSlot(b, s, static_cast<K>(kEmptyKey), V{});
+        --size_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+template <typename K, typename V>
+TableView CuckooTable<K, V>::view() const {
+  TableView v;
+  v.data = storage_.data();
+  v.num_buckets = num_buckets_;
+  v.log2_buckets = log2_buckets_;
+  v.spec = spec_;
+  v.hash = hash_;
+  return v;
+}
+
+template class CuckooTable<std::uint16_t, std::uint32_t>;
+template class CuckooTable<std::uint32_t, std::uint32_t>;
+template class CuckooTable<std::uint64_t, std::uint64_t>;
+
+}  // namespace simdht

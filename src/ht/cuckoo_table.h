@@ -1,0 +1,131 @@
+// Runtime-configurable (N, m) cuckoo hash table.
+//
+// One class covers every variant the paper evaluates: non-bucketized N-way
+// cuckoo tables (m = 1, Fig 1a) and bucketized cuckoo hash tables (m > 1,
+// Fig 1b), in interleaved or split bucket layout, over 16/32/64-bit keys.
+//
+// Inserts use random-walk cuckoo eviction (the approach MemC3 and
+// CuckooSwitch use); lookups through the class are the scalar reference —
+// SIMD batch lookups go through the kernel registry using view().
+#ifndef SIMDHT_HT_CUCKOO_TABLE_H_
+#define SIMDHT_HT_CUCKOO_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+#include "common/aligned_buffer.h"
+#include "common/compiler.h"
+#include "common/random.h"
+#include "ht/layout.h"
+
+namespace simdht {
+
+// K in {uint16_t, uint32_t, uint64_t}; V in {uint32_t, uint64_t}.
+template <typename K, typename V>
+class CuckooTable {
+ public:
+  // `num_buckets` is rounded up to a power of two (>= 2).
+  // `seed` randomizes hash multipliers and the eviction walk; seed 0 gives
+  // the deterministic default family.
+  CuckooTable(unsigned ways, unsigned slots, std::uint64_t num_buckets,
+              BucketLayout layout, std::uint64_t seed = 0);
+
+  CuckooTable(CuckooTable&&) noexcept = default;
+  CuckooTable& operator=(CuckooTable&&) noexcept = default;
+
+  // Inserts or overwrites. Returns false when the random-walk eviction gives
+  // up (table effectively full for this key set) — the insert is rolled
+  // forward, i.e. some *other* key/value may have moved buckets but no entry
+  // is ever lost on failure except the one reported.
+  bool Insert(K key, V val);
+
+  // Scalar reference lookup (the paper's "Scalar" baseline inner step).
+  bool Find(K key, V* val) const;
+
+  // Overwrites the value of an existing key without any cuckoo relocation.
+  // Returns false if the key is absent. Because the key never moves and the
+  // value is a single aligned word, this is safe to run concurrently with
+  // readers (they observe either the old or the new value) — the primitive
+  // behind the mixed read/update workloads of Section VII's future work.
+  bool UpdateValue(K key, V val);
+
+  // Removes the key if present.
+  bool Erase(K key);
+
+  // Entries currently stored / storable.
+  std::uint64_t size() const { return size_; }
+  std::uint64_t capacity() const { return num_buckets_ * spec_.slots; }
+  double load_factor() const {
+    return static_cast<double>(size_) / static_cast<double>(capacity());
+  }
+
+  std::uint64_t num_buckets() const { return num_buckets_; }
+  const LayoutSpec& spec() const { return spec_; }
+  std::uint64_t table_bytes() const {
+    return num_buckets_ * spec_.bucket_bytes();
+  }
+
+  // Read-only view for lookup kernels.
+  TableView view() const;
+
+  // Snapshot support (ht/table_io.h): raw bucket storage and hash family.
+  const std::uint8_t* raw_data() const { return storage_.data(); }
+  std::uint8_t* raw_data_mutable() { return storage_.data(); }
+  const HashFamily& hash_family() const { return hash_; }
+  // Adopts deserialized state after the caller filled raw_data_mutable().
+  void RestoreState(const HashFamily& hash, std::uint64_t size) {
+    hash_ = hash;
+    size_ = size;
+  }
+
+  // Advanced: direct slot write + occupancy adjustment, for wrappers that
+  // implement their own insertion discipline (ConcurrentCuckooTable's
+  // BFS path-moves). Does not maintain the occupancy count.
+  void WriteSlot(std::uint64_t bucket, unsigned slot, K key, V val) {
+    SetSlot(bucket, slot, key, val);
+  }
+  void AdjustSize(std::int64_t delta) {
+    size_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(size_) + delta);
+  }
+
+  // Raw slot access for tests and for the insert path.
+  K KeyAt(std::uint64_t bucket, unsigned slot) const;
+  V ValAt(std::uint64_t bucket, unsigned slot) const;
+
+  // Maximum eviction-walk length before Insert() reports failure.
+  static constexpr unsigned kMaxKicks = 512;
+
+ private:
+  void SetSlot(std::uint64_t bucket, unsigned slot, K key, V val);
+
+  std::uint8_t* key_addr(std::uint64_t b, unsigned s);
+  const std::uint8_t* key_addr(std::uint64_t b, unsigned s) const;
+  std::uint8_t* val_addr(std::uint64_t b, unsigned s);
+  const std::uint8_t* val_addr(std::uint64_t b, unsigned s) const;
+
+  std::uint32_t BucketOf(unsigned way, K key) const {
+    return hash_.Bucket<K>(way, key);
+  }
+
+  LayoutSpec spec_;
+  std::uint64_t num_buckets_ = 0;
+  unsigned log2_buckets_ = 0;
+  HashFamily hash_;
+  AlignedBuffer storage_;
+  std::uint64_t size_ = 0;
+  Xoshiro256 walk_rng_;
+};
+
+using CuckooTable16x32 = CuckooTable<std::uint16_t, std::uint32_t>;
+using CuckooTable32 = CuckooTable<std::uint32_t, std::uint32_t>;
+using CuckooTable64 = CuckooTable<std::uint64_t, std::uint64_t>;
+
+extern template class CuckooTable<std::uint16_t, std::uint32_t>;
+extern template class CuckooTable<std::uint32_t, std::uint32_t>;
+extern template class CuckooTable<std::uint64_t, std::uint64_t>;
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_CUCKOO_TABLE_H_

@@ -1,0 +1,58 @@
+#include "ht/layout.h"
+
+#include <sstream>
+
+namespace simdht {
+
+const char* BucketLayoutName(BucketLayout layout) {
+  switch (layout) {
+    case BucketLayout::kInterleaved: return "interleaved";
+    case BucketLayout::kSplit: return "split";
+  }
+  return "?";
+}
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kScalar: return "Scalar";
+    case Approach::kHorizontal: return "V-Hor";
+    case Approach::kVertical: return "V-Ver";
+    case Approach::kVerticalBcht: return "V-Ver/BCHT";
+  }
+  return "?";
+}
+
+std::string LayoutSpec::ToString() const {
+  std::ostringstream os;
+  if (bucketized()) {
+    os << "(" << ways << "," << slots << ") BCHT";
+  } else {
+    os << ways << "-way cuckoo";
+  }
+  os << " k" << key_bits << "/v" << val_bits;
+  if (bucket_layout == BucketLayout::kSplit) os << " split";
+  return os.str();
+}
+
+bool LayoutSpec::Validate(std::string* why) const {
+  auto fail = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (ways < 2 || ways > kMaxWays) return fail("ways (N) must be in [2, 4]");
+  if (slots < 1 || slots > 8 || !IsPow2(slots)) {
+    return fail("slots (m) must be a power of two in [1, 8]");
+  }
+  if (key_bits != 16 && key_bits != 32 && key_bits != 64) {
+    return fail("key size must be 16, 32 or 64 bits");
+  }
+  if (val_bits != 32 && val_bits != 64) {
+    return fail("value size must be 32 or 64 bits");
+  }
+  if (bucket_layout == BucketLayout::kInterleaved && key_bits != val_bits) {
+    return fail("interleaved layout requires key and value widths to match");
+  }
+  return true;
+}
+
+}  // namespace simdht

@@ -1,0 +1,106 @@
+// Memory-layout descriptors for (N, m) cuckoo hash tables.
+//
+// These PODs are the contract between the table implementation (src/ht) and
+// the type-erased SIMD kernels (src/simd): a kernel receives a TableView and
+// must be able to locate any key/value slot from it without knowing the
+// concrete table class.
+#ifndef SIMDHT_HT_LAYOUT_H_
+#define SIMDHT_HT_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/compiler.h"
+#include "hash/hash_family.h"
+
+namespace simdht {
+
+// How slots are arranged inside a bucket.
+//
+// kInterleaved: [k0 v0 k1 v1 ... k(m-1) v(m-1)]  — the paper's Algo 1 layout;
+//   a whole bucket (keys+values) is one contiguous vector load. Requires
+//   key and value widths to match so lanes alternate evenly.
+// kSplit: [k0 k1 ... k(m-1) | v0 v1 ... v(m-1)] — keys first; lets mixed
+//   sizes like (16-bit key, 32-bit value) compare a dense key block
+//   (Case Study 2's (2,8) BCHT with (K,V)=(16,32)).
+enum class BucketLayout : std::uint8_t { kInterleaved = 0, kSplit = 1 };
+
+const char* BucketLayoutName(BucketLayout layout);
+
+// SIMD lookup algorithm family (Section III-B).
+enum class Approach : std::uint8_t {
+  kScalar = 0,          // non-SIMD twin
+  kHorizontal = 1,      // one probe key replicated across the vector (Algo 1)
+  kVertical = 2,        // one distinct key per lane + gathers (Algo 2)
+  kVerticalBcht = 3,    // Case Study 5: vertical with selective per-slot gathers
+};
+
+const char* ApproachName(Approach a);
+
+// Static shape of a table: the paper's "(N, m) x (key size, payload size)"
+// memory-layout dimension (Table I / Section III-A).
+struct LayoutSpec {
+  unsigned ways = 2;        // N: number of hash functions / candidate buckets
+  unsigned slots = 1;       // m: slots per bucket (1 = non-bucketized)
+  unsigned key_bits = 32;   // 16, 32 or 64
+  unsigned val_bits = 32;   // 32 or 64 (and == key_bits for interleaved)
+  BucketLayout bucket_layout = BucketLayout::kInterleaved;
+
+  unsigned key_bytes() const { return key_bits / 8; }
+  unsigned val_bytes() const { return val_bits / 8; }
+  unsigned slot_bytes() const { return key_bytes() + val_bytes(); }
+  unsigned bucket_bytes() const { return slot_bytes() * slots; }
+  bool bucketized() const { return slots > 1; }
+
+  // "(2,4) BCHT k32/v32" or "3-way k32/v32" in reports.
+  std::string ToString() const;
+
+  // Layout sanity rules (interleaved requires equal widths, power-of-two
+  // sizes, N <= kMaxWays, ...). Returns false + reason on violation.
+  bool Validate(std::string* why = nullptr) const;
+};
+
+// Runtime view of a built table, sufficient for any lookup kernel.
+struct TableView {
+  const std::uint8_t* data = nullptr;  // 64 B aligned, tail-padded
+  std::uint64_t num_buckets = 0;       // power of two, >= 2
+  unsigned log2_buckets = 0;
+  LayoutSpec spec;
+  HashFamily hash;                     // multipliers + log2_buckets
+
+  std::uint32_t bucket_stride() const { return spec.bucket_bytes(); }
+
+  const std::uint8_t* bucket_ptr(std::uint64_t b) const {
+    return data + b * bucket_stride();
+  }
+
+  // Address of the key in (bucket, slot) for either layout.
+  const std::uint8_t* key_ptr(std::uint64_t b, unsigned s) const {
+    if (spec.bucket_layout == BucketLayout::kInterleaved) {
+      return bucket_ptr(b) + static_cast<std::size_t>(s) * spec.slot_bytes();
+    }
+    return bucket_ptr(b) + static_cast<std::size_t>(s) * spec.key_bytes();
+  }
+
+  // Address of the value in (bucket, slot) for either layout.
+  const std::uint8_t* val_ptr(std::uint64_t b, unsigned s) const {
+    if (spec.bucket_layout == BucketLayout::kInterleaved) {
+      return key_ptr(b, s) + spec.key_bytes();
+    }
+    return bucket_ptr(b) +
+           static_cast<std::size_t>(spec.slots) * spec.key_bytes() +
+           static_cast<std::size_t>(s) * spec.val_bytes();
+  }
+
+  std::uint64_t total_bytes() const {
+    return num_buckets * static_cast<std::uint64_t>(bucket_stride());
+  }
+};
+
+// Key value 0 marks an empty slot in every table; workload generators never
+// emit key 0.
+inline constexpr std::uint64_t kEmptyKey = 0;
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_LAYOUT_H_

@@ -1,0 +1,168 @@
+#include "ht/memc3_table.h"
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace simdht {
+
+Memc3Table::Memc3Table(std::uint64_t num_buckets, std::uint64_t seed,
+                       TagMatch tag_match)
+    : walk_rng_(seed ^ 0xDEADBEEFCAFEF00DULL) {
+  tag_match_ = tag_match;
+  num_buckets_ = NextPow2(num_buckets < 2 ? 2 : num_buckets);
+  bucket_mask_ = static_cast<std::uint32_t>(num_buckets_ - 1);
+  storage_.Allocate(num_buckets_ * sizeof(Bucket));
+  buckets_ = storage_.as<Bucket>();
+  versions_ = std::make_unique<std::atomic<std::uint64_t>[]>(kVersionStripes);
+  for (unsigned i = 0; i < kVersionStripes; ++i) versions_[i].store(0);
+}
+
+unsigned Memc3Table::ScanBucket(const Bucket& bucket, std::uint8_t tag,
+                                std::uint64_t* out, unsigned count) const {
+  if (tag_match_ == TagMatch::kSse) {
+    // All four tags compared in one shot: broadcast the probe tag, compare
+    // bytewise, movemask. (A 32-bit lane holds the whole tag array.)
+    std::uint32_t tags_word;
+    std::memcpy(&tags_word, bucket.tags, 4);
+    const __m128i probe = _mm_set1_epi8(static_cast<char>(tag));
+    const __m128i tags = _mm_cvtsi32_si128(static_cast<int>(tags_word));
+    unsigned mask = static_cast<unsigned>(
+                        _mm_movemask_epi8(_mm_cmpeq_epi8(tags, probe))) &
+                    0xF;
+    while (mask != 0) {
+      const unsigned s = static_cast<unsigned>(__builtin_ctz(mask));
+      out[count++] = bucket.items[s];
+      mask &= mask - 1;
+    }
+    return count;
+  }
+  for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
+    if (bucket.tags[s] == tag) out[count++] = bucket.items[s];
+  }
+  return count;
+}
+
+unsigned Memc3Table::FindCandidates(std::uint64_t hash,
+                                    std::uint64_t out[kMaxCandidates]) const {
+  const std::uint8_t tag = Tag8(hash);
+  const std::uint32_t b1 = IndexHash(hash);
+  const std::uint32_t b2 = AltBucket(b1, tag);
+
+  for (;;) {
+    // Optimistic read: both buckets hash to possibly different stripes;
+    // snapshot both counters, probe, and re-check.
+    const std::uint64_t v1a = VersionFor(b1).load(std::memory_order_acquire);
+    const std::uint64_t v2a = VersionFor(b2).load(std::memory_order_acquire);
+    if ((v1a | v2a) & 1) continue;  // writer in flight
+
+    unsigned count = 0;
+    for (std::uint32_t b : {b1, b2}) {
+      count = ScanBucket(buckets_[b], tag, out, count);
+      if (b1 == b2) break;  // tag aliased to the same bucket
+    }
+
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t v1b = VersionFor(b1).load(std::memory_order_acquire);
+    const std::uint64_t v2b = VersionFor(b2).load(std::memory_order_acquire);
+    if (v1a == v1b && v2a == v2b) return count;
+  }
+}
+
+bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+
+  std::uint8_t cur_tag = Tag8(hash);
+  std::uint64_t cur_item = item;
+  std::uint32_t b1 = IndexHash(hash);
+
+  // Displacements are recorded so an exhausted walk can be unwound: a
+  // failed Insert must not drop a previously stored entry.
+  struct Step {
+    std::uint32_t bucket;
+    unsigned slot;
+  };
+  std::vector<Step> path;
+
+  for (unsigned kick = 0; kick < kMaxKicks; ++kick) {
+    const std::uint32_t b2 = AltBucket(b1, cur_tag);
+    for (std::uint32_t b : {b1, b2}) {
+      Bucket& bucket = buckets_[b];
+      for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
+        if (bucket.tags[s] == 0) {
+          auto& ver = VersionFor(b);
+          ver.fetch_add(1, std::memory_order_acq_rel);
+          bucket.tags[s] = cur_tag;
+          bucket.items[s] = cur_item;
+          ver.fetch_add(1, std::memory_order_release);
+          ++size_;
+          return true;
+        }
+      }
+      if (b1 == b2) break;
+    }
+
+    // No empty slot: displace a random occupant of b1 to its alternate.
+    const auto victim =
+        static_cast<unsigned>(walk_rng_.NextBounded(kSlotsPerBucket));
+    Bucket& bucket = buckets_[b1];
+    const std::uint8_t evicted_tag = bucket.tags[victim];
+    const std::uint64_t evicted_item = bucket.items[victim];
+    auto& ver = VersionFor(b1);
+    ver.fetch_add(1, std::memory_order_acq_rel);
+    bucket.tags[victim] = cur_tag;
+    bucket.items[victim] = cur_item;
+    ver.fetch_add(1, std::memory_order_release);
+    path.push_back({b1, victim});
+
+    // The evicted entry's other candidate bucket is derived from where it
+    // was and its tag (partial-key displacement).
+    b1 = AltBucket(b1, evicted_tag);
+    cur_tag = evicted_tag;
+    cur_item = evicted_item;
+  }
+
+  // Walk exhausted: unwind in reverse so every displaced entry returns to
+  // its original slot and the new item is not inserted.
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Bucket& bucket = buckets_[it->bucket];
+    const std::uint8_t displaced_tag = bucket.tags[it->slot];
+    const std::uint64_t displaced_item = bucket.items[it->slot];
+    auto& ver = VersionFor(it->bucket);
+    ver.fetch_add(1, std::memory_order_acq_rel);
+    bucket.tags[it->slot] = cur_tag;
+    bucket.items[it->slot] = cur_item;
+    ver.fetch_add(1, std::memory_order_release);
+    cur_tag = displaced_tag;
+    cur_item = displaced_item;
+  }
+  return false;
+}
+
+bool Memc3Table::Erase(std::uint64_t hash, std::uint64_t item) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::uint8_t tag = Tag8(hash);
+  const std::uint32_t b1 = IndexHash(hash);
+  const std::uint32_t b2 = AltBucket(b1, tag);
+  for (std::uint32_t b : {b1, b2}) {
+    Bucket& bucket = buckets_[b];
+    for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
+      if (bucket.tags[s] == tag && bucket.items[s] == item) {
+        auto& ver = VersionFor(b);
+        ver.fetch_add(1, std::memory_order_acq_rel);
+        bucket.tags[s] = 0;
+        bucket.items[s] = 0;
+        ver.fetch_add(1, std::memory_order_release);
+        --size_;
+        return true;
+      }
+    }
+    if (b1 == b2) break;
+  }
+  return false;
+}
+
+}  // namespace simdht

@@ -1,0 +1,114 @@
+// MemC3-style (2,4) bucketized cuckoo hash table (Fan et al., NSDI'13).
+//
+// This is the paper's non-SIMD CPU-optimized baseline for the key-value
+// store use case (Section VI): each bucket holds four slots of a 1-byte
+// partial-key "tag" plus an 8-byte item handle (Table I row 1: 4 x (1 B, 8 B),
+// 2-way). Tags let lookups skip full-key comparison for non-matching slots,
+// and let cuckoo displacement move entries without rehashing the full key
+// (the alternate bucket is derived from the tag).
+//
+// Concurrency follows MemC3's optimistic scheme: readers snapshot a striped
+// version counter before and after probing and retry on a torn read;
+// writers serialize on a mutex and bump the counters around displacements.
+#ifndef SIMDHT_HT_MEMC3_TABLE_H_
+#define SIMDHT_HT_MEMC3_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/aligned_buffer.h"
+#include "common/compiler.h"
+#include "common/random.h"
+
+namespace simdht {
+
+class Memc3Table {
+ public:
+  static constexpr unsigned kSlotsPerBucket = 4;
+  static constexpr unsigned kWays = 2;
+  // 2 buckets x 4 slots of possible tag matches.
+  static constexpr unsigned kMaxCandidates = kWays * kSlotsPerBucket;
+
+  // How candidate tags are scanned. MemC3 proper scans them scalar; kSse
+  // compares all 8 tags of both candidate buckets in one 128-bit op — the
+  // Cuckoo++/F14-style upgrade, useful to isolate how much of the SIMD
+  // backends' win is mere tag scanning (it is not much; the ablation lives
+  // in fig11's --simd-tags mode).
+  enum class TagMatch : std::uint8_t { kScalar = 0, kSse = 1 };
+
+  // `num_buckets` rounded up to a power of two (>= 2).
+  explicit Memc3Table(std::uint64_t num_buckets, std::uint64_t seed = 0,
+                      TagMatch tag_match = TagMatch::kScalar);
+
+  // Inserts an item handle under the 64-bit key hash. The caller is
+  // responsible for ensuring the same full key is not inserted twice
+  // (do a Find + update first — that is what the KVS backend does).
+  // Returns false when the eviction walk fails (table full).
+  bool Insert(std::uint64_t hash, std::uint64_t item);
+
+  // Collects item handles whose tag matches `hash` from both candidate
+  // buckets into out[kMaxCandidates]; returns the count. The caller must
+  // verify the full key behind each handle (tags are 8-bit, ~1/256 false
+  // positive per occupied slot). Safe to call concurrently with one writer.
+  unsigned FindCandidates(std::uint64_t hash,
+                          std::uint64_t out[kMaxCandidates]) const;
+
+  // Removes the slot holding `item` under `hash`; returns true if found.
+  bool Erase(std::uint64_t hash, std::uint64_t item);
+
+  std::uint64_t size() const { return size_; }
+  std::uint64_t capacity() const { return num_buckets_ * kSlotsPerBucket; }
+  double load_factor() const {
+    return static_cast<double>(size_) / static_cast<double>(capacity());
+  }
+  std::uint64_t num_buckets() const { return num_buckets_; }
+  std::uint64_t table_bytes() const { return storage_.size(); }
+
+ private:
+  // One bucket = 4 tags + 4 item handles; 40 bytes, packed so two buckets
+  // straddle at most two cache lines (MemC3 keeps buckets cache-friendly).
+  struct Bucket {
+    std::uint8_t tags[kSlotsPerBucket];
+    std::uint32_t pad;
+    std::uint64_t items[kSlotsPerBucket];
+  };
+  static_assert(sizeof(Bucket) == 40);
+
+  static constexpr unsigned kVersionStripes = 1 << 11;  // MemC3 uses 2048
+
+  std::uint32_t IndexHash(std::uint64_t hash) const {
+    return static_cast<std::uint32_t>(hash) & bucket_mask_;
+  }
+  // Partial-key alternate bucket: depends only on (bucket, tag) so entries
+  // can be displaced without the full key.
+  std::uint32_t AltBucket(std::uint32_t bucket, std::uint8_t tag) const {
+    return (bucket ^ (static_cast<std::uint32_t>(tag) * 0x5BD1E995u)) &
+           bucket_mask_;
+  }
+
+  std::atomic<std::uint64_t>& VersionFor(std::uint32_t bucket) const {
+    return versions_[bucket & (kVersionStripes - 1)];
+  }
+
+  // Collects tag matches from one bucket into out[]; returns new count.
+  unsigned ScanBucket(const Bucket& bucket, std::uint8_t tag,
+                      std::uint64_t* out, unsigned count) const;
+
+  Bucket* buckets_;
+  AlignedBuffer storage_;
+  std::uint64_t num_buckets_;
+  std::uint32_t bucket_mask_;
+  TagMatch tag_match_ = TagMatch::kScalar;
+  std::uint64_t size_ = 0;
+  Xoshiro256 walk_rng_;
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
+  std::mutex writer_mu_;
+
+  static constexpr unsigned kMaxKicks = 512;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_MEMC3_TABLE_H_

@@ -1,0 +1,126 @@
+#include "ht/table_builder.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace simdht {
+
+namespace {
+
+// Number of distinct non-zero keys in K's domain.
+template <typename K>
+std::uint64_t KeySpace() {
+  if constexpr (sizeof(K) == 8) {
+    return std::numeric_limits<std::uint64_t>::max();
+  } else {
+    return (std::uint64_t{1} << (sizeof(K) * 8)) - 1;
+  }
+}
+
+template <typename K>
+K RandomNonZeroKey(Xoshiro256* rng) {
+  for (;;) {
+    const auto k = static_cast<K>(rng->Next());
+    if (k != static_cast<K>(kEmptyKey)) return k;
+  }
+}
+
+}  // namespace
+
+template <typename K>
+std::vector<K> UniqueRandomKeys(std::size_t count, std::uint64_t seed,
+                                const std::vector<K>* exclude) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count + (exclude != nullptr ? exclude->size() : 0));
+  if (exclude != nullptr) {
+    for (K k : *exclude) seen.insert(static_cast<std::uint64_t>(k));
+  }
+  const std::uint64_t space = KeySpace<K>();
+  const std::uint64_t available =
+      space > seen.size() ? space - seen.size() : 0;
+  count = static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, available));
+
+  std::vector<K> keys;
+  keys.reserve(count);
+  Xoshiro256 rng(seed);
+
+  // For narrow key domains, rejection sampling degrades as the domain fills
+  // up; enumerate-and-shuffle instead.
+  if (space <= (1u << 16) && count * 2 >= available) {
+    std::vector<K> pool;
+    pool.reserve(available);
+    for (std::uint64_t v = 1; v <= space; ++v) {
+      if (!seen.count(v)) pool.push_back(static_cast<K>(v));
+    }
+    for (std::size_t i = pool.size(); i > 1; --i) {
+      std::swap(pool[i - 1], pool[rng.NextBounded(i)]);
+    }
+    pool.resize(count);
+    return pool;
+  }
+
+  while (keys.size() < count) {
+    const K k = RandomNonZeroKey<K>(&rng);
+    if (seen.insert(static_cast<std::uint64_t>(k)).second) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+template <typename K, typename V>
+BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
+                                std::uint64_t seed) {
+  BuildResult<K> result;
+  const auto target =
+      static_cast<std::uint64_t>(target_lf *
+                                 static_cast<double>(table->capacity()));
+  result.inserted_keys = UniqueRandomKeys<K>(target, seed);
+  std::vector<K> landed;
+  landed.reserve(result.inserted_keys.size());
+  for (K k : result.inserted_keys) {
+    if (!table->Insert(k, DeriveVal<K, V>(k))) {
+      result.hit_capacity = true;
+      break;
+    }
+    landed.push_back(k);
+  }
+  result.inserted_keys = std::move(landed);
+  result.achieved_load_factor = table->load_factor();
+  return result;
+}
+
+template <typename K, typename V>
+double MeasureMaxLoadFactor(unsigned ways, unsigned slots,
+                            std::uint64_t num_buckets, BucketLayout layout,
+                            std::uint64_t seed) {
+  CuckooTable<K, V> table(ways, slots, num_buckets, layout, seed);
+  // Ask for 100% occupancy; the insert that fails defines the max LF.
+  FillToLoadFactor(&table, 1.0, seed);
+  return table.load_factor();
+}
+
+template std::vector<std::uint16_t> UniqueRandomKeys<std::uint16_t>(
+    std::size_t, std::uint64_t, const std::vector<std::uint16_t>*);
+template std::vector<std::uint32_t> UniqueRandomKeys<std::uint32_t>(
+    std::size_t, std::uint64_t, const std::vector<std::uint32_t>*);
+template std::vector<std::uint64_t> UniqueRandomKeys<std::uint64_t>(
+    std::size_t, std::uint64_t, const std::vector<std::uint64_t>*);
+
+template BuildResult<std::uint16_t> FillToLoadFactor(
+    CuckooTable<std::uint16_t, std::uint32_t>*, double, std::uint64_t);
+template BuildResult<std::uint32_t> FillToLoadFactor(
+    CuckooTable<std::uint32_t, std::uint32_t>*, double, std::uint64_t);
+template BuildResult<std::uint64_t> FillToLoadFactor(
+    CuckooTable<std::uint64_t, std::uint64_t>*, double, std::uint64_t);
+
+template double MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
+    unsigned, unsigned, std::uint64_t, BucketLayout, std::uint64_t);
+template double MeasureMaxLoadFactor<std::uint64_t, std::uint64_t>(
+    unsigned, unsigned, std::uint64_t, BucketLayout, std::uint64_t);
+
+}  // namespace simdht

@@ -1,0 +1,50 @@
+// Table population utilities: fill to a target load factor, or probe the
+// maximum achievable load factor of a layout (reproduces Fig 2).
+#ifndef SIMDHT_HT_TABLE_BUILDER_H_
+#define SIMDHT_HT_TABLE_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ht/cuckoo_table.h"
+
+namespace simdht {
+
+// Result of building a table.
+template <typename K>
+struct BuildResult {
+  std::vector<K> inserted_keys;  // in insertion order; values are key-derived
+  double achieved_load_factor = 0.0;
+  bool hit_capacity = false;     // an insert failed before the target LF
+};
+
+// Fills `table` with unique random non-zero keys until load_factor >=
+// `target_lf` (or an insert fails). The value stored for key k is
+// DeriveVal(k) so lookup kernels can be verified without a shadow map.
+template <typename K, typename V>
+BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
+                                std::uint64_t seed = 1);
+
+// The value every builder stores for a key: a cheap key-derived stamp that
+// fits any value width (tests recompute it to check kernel results).
+template <typename K, typename V>
+inline V DeriveVal(K key) {
+  return static_cast<V>(static_cast<std::uint64_t>(key) * 2654435761ULL + 1);
+}
+
+// Inserts random keys until the eviction walk fails; returns the load factor
+// reached. This is the paper's Fig 2 measurement for one (N, m) point.
+template <typename K, typename V>
+double MeasureMaxLoadFactor(unsigned ways, unsigned slots,
+                            std::uint64_t num_buckets, BucketLayout layout,
+                            std::uint64_t seed = 1);
+
+// Generates `count` unique random keys, none equal to the empty sentinel and
+// none colliding with `exclude` (used to build guaranteed-miss key sets).
+template <typename K>
+std::vector<K> UniqueRandomKeys(std::size_t count, std::uint64_t seed,
+                                const std::vector<K>* exclude = nullptr);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_TABLE_BUILDER_H_

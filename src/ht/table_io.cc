@@ -1,0 +1,127 @@
+#include "ht/table_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace simdht {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'H', 'T', 'B', '1', 0, 0, 0};
+
+struct SnapshotHeader {
+  char magic[8];
+  std::uint32_t key_bits;
+  std::uint32_t val_bits;
+  std::uint32_t ways;
+  std::uint32_t slots;
+  std::uint32_t bucket_layout;
+  std::uint32_t log2_buckets;
+  std::uint64_t size;
+  std::uint64_t mult[kMaxWays];
+  std::uint64_t data_bytes;
+};
+
+}  // namespace
+
+template <typename K, typename V>
+bool SaveTable(const CuckooTable<K, V>& table, std::ostream& out) {
+  SnapshotHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  const LayoutSpec& spec = table.spec();
+  header.key_bits = spec.key_bits;
+  header.val_bits = spec.val_bits;
+  header.ways = spec.ways;
+  header.slots = spec.slots;
+  header.bucket_layout = static_cast<std::uint32_t>(spec.bucket_layout);
+  header.log2_buckets = Log2Floor(table.num_buckets());
+  header.size = table.size();
+  for (unsigned i = 0; i < kMaxWays; ++i) {
+    header.mult[i] = table.hash_family().mult[i];
+  }
+  header.data_bytes = table.table_bytes();
+
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(table.raw_data()),
+            static_cast<std::streamsize>(header.data_bytes));
+  return static_cast<bool>(out);
+}
+
+template <typename K, typename V>
+std::optional<CuckooTable<K, V>> LoadTable(std::istream& in) {
+  SnapshotHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  if (header.key_bits != sizeof(K) * 8 || header.val_bits != sizeof(V) * 8) {
+    return std::nullopt;  // snapshot was taken with different widths
+  }
+  if (header.log2_buckets >= 63 || header.bucket_layout > 1) {
+    return std::nullopt;
+  }
+
+  std::optional<CuckooTable<K, V>> maybe_table;
+  try {
+    maybe_table.emplace(header.ways, header.slots,
+                        std::uint64_t{1} << header.log2_buckets,
+                        static_cast<BucketLayout>(header.bucket_layout));
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // corrupt header: impossible layout
+  }
+  CuckooTable<K, V>& table = *maybe_table;
+  if (table.table_bytes() != header.data_bytes) return std::nullopt;
+
+  in.read(reinterpret_cast<char*>(table.raw_data_mutable()),
+          static_cast<std::streamsize>(header.data_bytes));
+  if (!in) return std::nullopt;
+
+  HashFamily hash;
+  hash.log2_buckets = header.log2_buckets;
+  for (unsigned i = 0; i < kMaxWays; ++i) hash.mult[i] = header.mult[i];
+  table.RestoreState(hash, header.size);
+  return maybe_table;
+}
+
+template <typename K, typename V>
+bool SaveTableToFile(const CuckooTable<K, V>& table,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out && SaveTable(table, out);
+}
+
+template <typename K, typename V>
+std::optional<CuckooTable<K, V>> LoadTableFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return LoadTable<K, V>(in);
+}
+
+template bool SaveTable(const CuckooTable<std::uint32_t, std::uint32_t>&,
+                        std::ostream&);
+template bool SaveTable(const CuckooTable<std::uint64_t, std::uint64_t>&,
+                        std::ostream&);
+template bool SaveTable(const CuckooTable<std::uint16_t, std::uint32_t>&,
+                        std::ostream&);
+template std::optional<CuckooTable<std::uint32_t, std::uint32_t>> LoadTable(
+    std::istream&);
+template std::optional<CuckooTable<std::uint64_t, std::uint64_t>> LoadTable(
+    std::istream&);
+template std::optional<CuckooTable<std::uint16_t, std::uint32_t>> LoadTable(
+    std::istream&);
+template bool SaveTableToFile(
+    const CuckooTable<std::uint32_t, std::uint32_t>&, const std::string&);
+template bool SaveTableToFile(
+    const CuckooTable<std::uint64_t, std::uint64_t>&, const std::string&);
+template bool SaveTableToFile(
+    const CuckooTable<std::uint16_t, std::uint32_t>&, const std::string&);
+template std::optional<CuckooTable<std::uint32_t, std::uint32_t>>
+LoadTableFromFile(const std::string&);
+template std::optional<CuckooTable<std::uint64_t, std::uint64_t>>
+LoadTableFromFile(const std::string&);
+template std::optional<CuckooTable<std::uint16_t, std::uint32_t>>
+LoadTableFromFile(const std::string&);
+
+}  // namespace simdht

@@ -1,0 +1,47 @@
+// Table serialization: snapshot a built table to a stream/file and load it
+// back byte-identically (same layout, hash multipliers and bucket data).
+//
+// Building large tables to a high load factor is the slow part of any
+// experiment; snapshots let a sweep reuse one build across processes and
+// make results byte-reproducible.
+#ifndef SIMDHT_HT_TABLE_IO_H_
+#define SIMDHT_HT_TABLE_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "ht/cuckoo_table.h"
+
+namespace simdht {
+
+// Writes a snapshot; returns false on I/O error.
+template <typename K, typename V>
+bool SaveTable(const CuckooTable<K, V>& table, std::ostream& out);
+template <typename K, typename V>
+bool SaveTableToFile(const CuckooTable<K, V>& table,
+                     const std::string& path);
+
+// Reads a snapshot; empty optional on malformed input, wrong key/value
+// widths, or I/O error.
+template <typename K, typename V>
+std::optional<CuckooTable<K, V>> LoadTable(std::istream& in);
+template <typename K, typename V>
+std::optional<CuckooTable<K, V>> LoadTableFromFile(const std::string& path);
+
+extern template bool SaveTable(
+    const CuckooTable<std::uint32_t, std::uint32_t>&, std::ostream&);
+extern template bool SaveTable(
+    const CuckooTable<std::uint64_t, std::uint64_t>&, std::ostream&);
+extern template bool SaveTable(
+    const CuckooTable<std::uint16_t, std::uint32_t>&, std::ostream&);
+extern template std::optional<CuckooTable<std::uint32_t, std::uint32_t>>
+LoadTable(std::istream&);
+extern template std::optional<CuckooTable<std::uint64_t, std::uint64_t>>
+LoadTable(std::istream&);
+extern template std::optional<CuckooTable<std::uint16_t, std::uint32_t>>
+LoadTable(std::istream&);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_TABLE_IO_H_

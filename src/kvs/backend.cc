@@ -1,0 +1,13 @@
+#include "kvs/backend.h"
+
+#include "kvs/clock_lru.h"
+
+namespace simdht {
+
+void KvBackend::TouchBatch(const std::vector<std::uint64_t>& handles) {
+  for (std::uint64_t h : handles) {
+    if (h != 0) ClockLru::OnAccess(h);
+  }
+}
+
+}  // namespace simdht

@@ -1,0 +1,35 @@
+#include "kvs/client.h"
+
+namespace simdht {
+
+bool KvClient::Set(std::string_view key, std::string_view val) {
+  EncodeSetRequest(key, val, &request_);
+  channel_->ClientSend(request_);
+  if (!channel_->ClientRecv(&response_)) return false;
+  bool ok = false;
+  return DecodeSetResponse(response_, &ok) && ok;
+}
+
+bool KvClient::MultiGet(const std::vector<std::string_view>& keys,
+                        std::vector<std::string>* vals,
+                        std::vector<std::uint8_t>* found) {
+  EncodeMultiGetRequest(keys, &request_);
+  channel_->ClientSend(request_);
+  if (!channel_->ClientRecv(&response_)) return false;
+  MultiGetResponse parsed;
+  if (!DecodeMultiGetResponse(response_, &parsed)) return false;
+  if (vals != nullptr) {
+    vals->clear();
+    vals->reserve(parsed.vals.size());
+    for (std::string_view v : parsed.vals) vals->emplace_back(v);
+  }
+  if (found != nullptr) *found = parsed.found;
+  return true;
+}
+
+void KvClient::Shutdown() {
+  EncodeShutdownRequest(&request_);
+  channel_->ClientSend(request_);
+}
+
+}  // namespace simdht

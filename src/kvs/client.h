@@ -1,0 +1,37 @@
+// Key-value store client endpoint (one channel to one server worker).
+#ifndef SIMDHT_KVS_CLIENT_H_
+#define SIMDHT_KVS_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvs/transport.h"
+
+namespace simdht {
+
+class KvClient {
+ public:
+  explicit KvClient(Channel* channel) : channel_(channel) {}
+
+  // Synchronous Set; returns server-side success.
+  bool Set(std::string_view key, std::string_view val);
+
+  // Synchronous Multi-Get. Values are copied out of the response buffer.
+  // Returns false on transport/decode failure.
+  bool MultiGet(const std::vector<std::string_view>& keys,
+                std::vector<std::string>* vals,
+                std::vector<std::uint8_t>* found);
+
+  // Tells the serving worker to exit.
+  void Shutdown();
+
+ private:
+  Channel* channel_;
+  Buffer request_;
+  Buffer response_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_CLIENT_H_

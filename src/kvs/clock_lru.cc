@@ -1,0 +1,46 @@
+#include "kvs/clock_lru.h"
+
+#include "kvs/item.h"
+
+namespace simdht {
+
+void ClockLru::OnInsert(std::uint64_t handle) {
+  ring_.push_back(handle);
+}
+
+void ClockLru::OnAccess(std::uint64_t handle) { TouchItem(handle); }
+
+std::uint64_t ClockLru::PopEvictionCandidate() {
+  if (ring_.empty()) return 0;
+  // At most two full sweeps: the first may clear every bit, the second must
+  // then find a victim.
+  for (std::size_t step = 0; step < 2 * ring_.size(); ++step) {
+    if (hand_ >= ring_.size()) hand_ = 0;
+    const std::uint64_t handle = ring_[hand_];
+    if (!TestAndClearClockBit(handle)) {
+      ring_[hand_] = ring_.back();
+      ring_.pop_back();
+      return handle;
+    }
+    ++hand_;
+  }
+  // All bits kept getting re-set concurrently; evict at the hand anyway.
+  if (hand_ >= ring_.size()) hand_ = 0;
+  const std::uint64_t handle = ring_[hand_];
+  ring_[hand_] = ring_.back();
+  ring_.pop_back();
+  return handle;
+}
+
+void ClockLru::Remove(std::uint64_t handle) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i] == handle) {
+      ring_[i] = ring_.back();
+      ring_.pop_back();
+      if (hand_ > i) --hand_;
+      return;
+    }
+  }
+}
+
+}  // namespace simdht

@@ -1,0 +1,42 @@
+// CLOCK eviction policy over item handles (MemC3's "dumber caching").
+//
+// MemC3 replaces memcached's doubly-linked LRU with a CLOCK ring: a single
+// reference bit per item, set on access, cleared as the hand sweeps. The
+// paper's post-processing phase charges this metadata update per Multi-Get
+// key, so the cost model matters for Fig 11(b).
+#ifndef SIMDHT_KVS_CLOCK_LRU_H_
+#define SIMDHT_KVS_CLOCK_LRU_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace simdht {
+
+class ClockLru {
+ public:
+  ClockLru() = default;
+
+  // Registers a newly inserted item (reference bit starts set).
+  void OnInsert(std::uint64_t handle);
+
+  // Marks an item recently used (sets its reference bit).
+  static void OnAccess(std::uint64_t handle);
+
+  // Sweeps the ring: clears set bits until an unreferenced item is found,
+  // removes it from the ring and returns it (0 if the ring is empty).
+  std::uint64_t PopEvictionCandidate();
+
+  // Removes an explicitly deleted item from the ring (linear scan; deletes
+  // are rare in the read-dominated workloads this models).
+  void Remove(std::uint64_t handle);
+
+  std::size_t size() const { return ring_.size(); }
+
+ private:
+  std::vector<std::uint64_t> ring_;
+  std::size_t hand_ = 0;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_CLOCK_LRU_H_

@@ -1,0 +1,52 @@
+#include "kvs/consistent_hash.h"
+
+#include "hash/hash_family.h"
+
+namespace simdht {
+
+namespace {
+std::uint64_t PointFor(std::uint32_t server_id, unsigned replica) {
+  const std::uint64_t token =
+      (static_cast<std::uint64_t>(server_id) << 32) | replica;
+  return Mix64(token);
+}
+}  // namespace
+
+void ConsistentHashRing::AddServer(std::uint32_t server_id) {
+  for (unsigned r = 0; r < vnodes_; ++r) {
+    ring_[PointFor(server_id, r)] = server_id;
+  }
+  ++servers_;
+}
+
+void ConsistentHashRing::RemoveServer(std::uint32_t server_id) {
+  bool removed = false;
+  for (unsigned r = 0; r < vnodes_; ++r) {
+    removed |= ring_.erase(PointFor(server_id, r)) > 0;
+  }
+  if (removed && servers_ > 0) --servers_;
+}
+
+std::uint32_t ConsistentHashRing::ServerFor(std::string_view key) const {
+  const std::uint64_t h = HashBytes(key.data(), key.size());
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+std::vector<std::pair<std::uint32_t, std::vector<std::size_t>>>
+ConsistentHashRing::PartitionKeys(
+    const std::vector<std::string_view>& keys) const {
+  std::map<std::uint32_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    groups[ServerFor(keys[i])].push_back(i);
+  }
+  std::vector<std::pair<std::uint32_t, std::vector<std::size_t>>> out;
+  out.reserve(groups.size());
+  for (auto& [server, indices] : groups) {
+    out.emplace_back(server, std::move(indices));
+  }
+  return out;
+}
+
+}  // namespace simdht

@@ -1,0 +1,42 @@
+// Consistent-hash ring for the Multi-Get request phase.
+//
+// Section VI-A step 1: each key in MGet(K1..Kn) is mapped to a specific
+// server via consistent hashing and requests are batched per server. This
+// ring (with virtual nodes for balance) provides that mapping.
+#ifndef SIMDHT_KVS_CONSISTENT_HASH_H_
+#define SIMDHT_KVS_CONSISTENT_HASH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simdht {
+
+class ConsistentHashRing {
+ public:
+  // `vnodes` virtual nodes per server smooth the key distribution.
+  explicit ConsistentHashRing(unsigned vnodes = 64) : vnodes_(vnodes) {}
+
+  void AddServer(std::uint32_t server_id);
+  void RemoveServer(std::uint32_t server_id);
+
+  // Server owning `key`; ring must be non-empty.
+  std::uint32_t ServerFor(std::string_view key) const;
+
+  // Groups keys by owning server: result[i] = (server_id, key indices).
+  std::vector<std::pair<std::uint32_t, std::vector<std::size_t>>>
+  PartitionKeys(const std::vector<std::string_view>& keys) const;
+
+  std::size_t num_servers() const { return servers_; }
+
+ private:
+  unsigned vnodes_;
+  std::size_t servers_ = 0;
+  std::map<std::uint64_t, std::uint32_t> ring_;  // point -> server id
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_CONSISTENT_HASH_H_

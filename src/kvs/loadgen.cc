@@ -1,0 +1,140 @@
+#include "kvs/loadgen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/zipf.h"
+#include "kvs/client.h"
+
+namespace simdht {
+
+std::string MakeKeyString(std::size_t index, std::size_t key_size) {
+  char head[32];
+  const int n = std::snprintf(head, sizeof(head), "key:%010zu", index);
+  std::string key(head, static_cast<std::size_t>(n));
+  if (key.size() < key_size) key.append(key_size - key.size(), 'x');
+  key.resize(key_size);
+  return key;
+}
+
+MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config) {
+  MemslapResult result;
+  result.backend_name = backend->name();
+
+  // Key universe: [0, num_keys) preloaded; a disjoint tail provides misses.
+  const std::size_t miss_pool = std::max<std::size_t>(
+      1024, config.num_keys / 8);
+  std::vector<std::string> keys;
+  keys.reserve(config.num_keys + miss_pool);
+  for (std::size_t i = 0; i < config.num_keys + miss_pool; ++i) {
+    keys.push_back(MakeKeyString(i, config.key_size));
+  }
+  const std::string value(config.val_size, 'v');
+
+  std::vector<std::unique_ptr<Channel>> channels;
+  std::vector<Channel*> channel_ptrs;
+  for (unsigned c = 0; c < config.clients; ++c) {
+    channels.push_back(std::make_unique<Channel>(config.wire));
+    channel_ptrs.push_back(channels.back().get());
+  }
+
+  KvServer server(backend, channel_ptrs);
+  server.Start();
+
+  // --- Preload phase (through the wire, striped across clients). ---
+  {
+    std::vector<std::thread> loaders;
+    std::atomic<std::size_t> loaded{0};
+    for (unsigned c = 0; c < config.clients; ++c) {
+      loaders.emplace_back([&, c] {
+        KvClient client(channel_ptrs[c]);
+        std::size_t ok = 0;
+        for (std::size_t i = c; i < config.num_keys; i += config.clients) {
+          ok += client.Set(keys[i], value);
+        }
+        loaded.fetch_add(ok);
+      });
+    }
+    for (auto& t : loaders) t.join();
+    result.preloaded = loaded.load();
+  }
+
+  // --- Multi-Get phase. ---
+  std::vector<LatencyRecorder> latencies(config.clients);
+  std::vector<std::uint64_t> client_hits(config.clients, 0);
+  std::vector<std::uint64_t> client_keys(config.clients, 0);
+  Timer phase_timer;
+  {
+    std::vector<std::thread> drivers;
+    for (unsigned c = 0; c < config.clients; ++c) {
+      drivers.emplace_back([&, c] {
+        KvClient client(channel_ptrs[c]);
+        Xoshiro256 rng(config.seed + 100 + c);
+        const ZipfGenerator zipf(config.num_keys, config.zipf_s);
+        std::vector<std::string_view> batch(config.mget_size);
+        std::vector<std::string> vals;
+        std::vector<std::uint8_t> found;
+
+        for (std::size_t r = 0; r < config.requests_per_client; ++r) {
+          for (unsigned k = 0; k < config.mget_size; ++k) {
+            const bool hit = rng.NextDouble() < config.hit_rate;
+            std::size_t idx;
+            if (hit) {
+              idx = config.zipf ? zipf.Next(&rng)
+                                : rng.NextBounded(config.num_keys);
+            } else {
+              idx = config.num_keys +
+                    rng.NextBounded(keys.size() - config.num_keys);
+            }
+            batch[k] = keys[idx];
+          }
+          Timer t;
+          client.MultiGet(batch, &vals, &found);
+          latencies[c].Add(t.ElapsedNanos());
+          client_keys[c] += found.size();
+          for (std::uint8_t f : found) client_hits[c] += f;
+        }
+        client.Shutdown();
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  const double phase_secs = phase_timer.ElapsedSeconds();
+  server.Join();
+
+  LatencyRecorder all;
+  for (auto& rec : latencies) all.Merge(rec);
+  result.mget_mean_us = all.mean() / 1e3;
+  result.mget_p50_us = all.Percentile(50) / 1e3;
+  result.mget_p95_us = all.Percentile(95) / 1e3;
+  result.mget_p99_us = all.Percentile(99) / 1e3;
+
+  result.phases = server.stats();
+  const double processing_secs =
+      (result.phases.pre_process_ns + result.phases.ht_lookup_ns +
+       result.phases.post_process_ns) /
+      1e9;
+  result.server_get_mops =
+      processing_secs > 0
+          ? static_cast<double>(result.phases.mget_keys) / processing_secs /
+                1e6
+          : 0;
+  result.client_mgets_per_sec =
+      phase_secs > 0 ? static_cast<double>(all.count()) / phase_secs : 0;
+
+  std::uint64_t hits = 0, total = 0;
+  for (unsigned c = 0; c < config.clients; ++c) {
+    hits += client_hits[c];
+    total += client_keys[c];
+  }
+  result.observed_hit_rate =
+      total ? static_cast<double>(hits) / static_cast<double>(total) : 0;
+  return result;
+}
+
+}  // namespace simdht

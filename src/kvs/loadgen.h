@@ -1,0 +1,66 @@
+// memslap-style Multi-Get load generator (paper Section VI-B).
+//
+// Reproduces the paper's client setup: N client threads, 20 B keys / 32 B
+// values, Multi-Get batches of 16-96 keys, skewed (mutilate-like) or uniform
+// key popularity, measuring end-to-end Multi-Get latency and server-side
+// Get throughput.
+#ifndef SIMDHT_KVS_LOADGEN_H_
+#define SIMDHT_KVS_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "kvs/backend.h"
+#include "kvs/server.h"
+#include "kvs/transport.h"
+
+namespace simdht {
+
+struct MemslapConfig {
+  unsigned clients = 2;                  // client threads / server workers
+  std::size_t num_keys = 100000;         // preloaded key population
+  std::size_t key_size = 20;             // bytes (paper: 20 B)
+  std::size_t val_size = 32;             // bytes (paper: 32 B)
+  unsigned mget_size = 16;               // keys per Multi-Get (16 or 96)
+  std::size_t requests_per_client = 2000;
+  double hit_rate = 0.95;
+  bool zipf = true;                      // mutilate-like skew
+  double zipf_s = 0.99;
+  WireModel wire = WireModel::InfinibandEdr();
+  std::uint64_t seed = 1;
+};
+
+struct MemslapResult {
+  std::string backend_name;
+  std::size_t preloaded = 0;
+
+  // End-to-end Multi-Get latency (client-observed), microseconds.
+  double mget_mean_us = 0;
+  double mget_p50_us = 0;
+  double mget_p95_us = 0;
+  double mget_p99_us = 0;
+
+  // Server-side Get throughput: keys retired per second of server
+  // data-access processing, across all workers (the metric SIMD lookup
+  // acceleration moves in Fig 11a).
+  double server_get_mops = 0;
+
+  // Aggregate client-observed Multi-Get rate (wire time included).
+  double client_mgets_per_sec = 0;
+
+  // Per-phase server breakdown (Fig 11b).
+  PhaseStats phases;
+  double observed_hit_rate = 0;
+};
+
+// Fixed-width key string for index i, e.g. "key:0000000042......".
+std::string MakeKeyString(std::size_t index, std::size_t key_size);
+
+// Preloads `backend` through the wire and drives the Multi-Get phase.
+MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_LOADGEN_H_

@@ -1,0 +1,109 @@
+#include "kvs/memc3_backend.h"
+
+#include "hash/hash_family.h"
+#include "kvs/item.h"
+
+namespace simdht {
+
+Memc3Backend::Memc3Backend(std::uint64_t ht_entries,
+                           std::size_t memory_limit, bool simd_tags)
+    : table_(ht_entries / Memc3Table::kSlotsPerBucket + 1, /*seed=*/0,
+             simd_tags ? Memc3Table::TagMatch::kSse
+                       : Memc3Table::TagMatch::kScalar),
+      slab_(memory_limit),
+      simd_tags_(simd_tags) {}
+
+std::uint64_t Memc3Backend::FindItem(std::string_view key,
+                                     std::uint64_t hash) const {
+  std::uint64_t candidates[Memc3Table::kMaxCandidates];
+  const unsigned n = table_.FindCandidates(hash, candidates);
+  for (unsigned i = 0; i < n; ++i) {
+    // Tags are 8-bit: false positives require the full-key check.
+    if (ItemKeyEquals(candidates[i], key)) return candidates[i];
+  }
+  return 0;
+}
+
+bool Memc3Backend::EvictOne() {
+  const std::uint64_t victim = lru_.PopEvictionCandidate();
+  if (victim == 0) return false;
+  const std::string_view vkey = ItemKey(victim);
+  const std::uint64_t vhash = HashBytes(vkey.data(), vkey.size());
+  table_.Erase(vhash, victim);
+  slab_.Free(victim, ItemBytes(vkey.size(), ItemVal(victim).size()));
+  return true;
+}
+
+bool Memc3Backend::Set(std::string_view key, std::string_view val) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const std::uint64_t hash = HashBytes(key.data(), key.size());
+  const std::size_t bytes = ItemBytes(key.size(), val.size());
+
+  std::uint64_t item = 0;
+  for (int attempt = 0; attempt < 3 && item == 0; ++attempt) {
+    item = slab_.Alloc(bytes);
+    if (item == 0 && !EvictOne()) return false;
+  }
+  if (item == 0) return false;
+  WriteItem(reinterpret_cast<void*>(item), key, val);
+
+  const std::uint64_t old = FindItem(key, hash);
+  if (old != 0) {
+    // Update: replace the table slot, then release the old item.
+    table_.Erase(hash, old);
+    lru_.Remove(old);
+    slab_.Free(old, ItemBytes(key.size(), ItemVal(old).size()));
+  }
+  if (!table_.Insert(hash, item)) {
+    slab_.Free(item, bytes);
+    return false;
+  }
+  lru_.OnInsert(item);
+  return true;
+}
+
+bool Memc3Backend::Get(std::string_view key, std::string* val) {
+  const std::uint64_t hash = HashBytes(key.data(), key.size());
+  const std::uint64_t item = FindItem(key, hash);
+  if (item == 0) return false;
+  ClockLru::OnAccess(item);
+  if (val != nullptr) *val = std::string(ItemVal(item));
+  return true;
+}
+
+std::size_t Memc3Backend::MultiGet(const std::vector<std::string_view>& keys,
+                                   std::vector<std::string_view>* vals,
+                                   std::vector<std::uint8_t>* found,
+                                   std::vector<std::uint64_t>* handles) {
+  vals->resize(keys.size());
+  found->resize(keys.size());
+  handles->resize(keys.size());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint64_t hash = HashBytes(keys[i].data(), keys[i].size());
+    const std::uint64_t item = FindItem(keys[i], hash);
+    (*handles)[i] = item;
+    if (item != 0) {
+      (*vals)[i] = ItemVal(item);
+      (*found)[i] = 1;
+      ++hits;
+    } else {
+      (*vals)[i] = {};
+      (*found)[i] = 0;
+    }
+  }
+  return hits;
+}
+
+bool Memc3Backend::Erase(std::string_view key) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const std::uint64_t hash = HashBytes(key.data(), key.size());
+  const std::uint64_t item = FindItem(key, hash);
+  if (item == 0) return false;
+  table_.Erase(hash, item);
+  lru_.Remove(item);
+  slab_.Free(item, ItemBytes(key.size(), ItemVal(item).size()));
+  return true;
+}
+
+}  // namespace simdht

@@ -1,0 +1,53 @@
+// MemC3 backend: tag-based (2,4) BCHT + slab storage + CLOCK eviction.
+//
+// This is the paper's state-of-the-art non-SIMD baseline ("MemC3 +
+// RDMA-Memcached"): lookups walk 8-bit tags scalar, then dereference the
+// item pointer and compare the full key.
+#ifndef SIMDHT_KVS_MEMC3_BACKEND_H_
+#define SIMDHT_KVS_MEMC3_BACKEND_H_
+
+#include <mutex>
+
+#include "ht/memc3_table.h"
+#include "kvs/backend.h"
+#include "kvs/clock_lru.h"
+#include "kvs/slab.h"
+
+namespace simdht {
+
+class Memc3Backend : public KvBackend {
+ public:
+  // `ht_entries` sizes the hash table (rounded up; 4 slots per bucket);
+  // `memory_limit` caps slab memory. `simd_tags` upgrades the baseline's
+  // tag scan to one SSE compare over both candidate buckets (an ablation
+  // knob; MemC3 proper scans scalar).
+  Memc3Backend(std::uint64_t ht_entries, std::size_t memory_limit,
+               bool simd_tags = false);
+
+  const char* name() const override {
+    return simd_tags_ ? "MemC3+SSE-tags" : "MemC3";
+  }
+  bool Set(std::string_view key, std::string_view val) override;
+  bool Get(std::string_view key, std::string* val) override;
+  std::size_t MultiGet(const std::vector<std::string_view>& keys,
+                       std::vector<std::string_view>* vals,
+                       std::vector<std::uint8_t>* found,
+                       std::vector<std::uint64_t>* handles) override;
+  bool Erase(std::string_view key) override;
+  std::uint64_t size() const override { return table_.size(); }
+
+ private:
+  // Looks up the item handle for `key` (0 when absent). Lock-free.
+  std::uint64_t FindItem(std::string_view key, std::uint64_t hash) const;
+  bool EvictOne();
+
+  Memc3Table table_;
+  SlabAllocator slab_;
+  ClockLru lru_;
+  std::mutex write_mu_;
+  bool simd_tags_ = false;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_MEMC3_BACKEND_H_

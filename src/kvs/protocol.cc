@@ -1,0 +1,187 @@
+#include "kvs/protocol.h"
+
+#include <cstring>
+
+namespace simdht {
+namespace {
+
+void PutU8(Buffer* out, std::uint8_t v) { out->push_back(v); }
+
+void PutU16(Buffer* out, std::uint16_t v) {
+  const std::size_t at = out->size();
+  out->resize(at + 2);
+  std::memcpy(out->data() + at, &v, 2);
+}
+
+void PutU32(Buffer* out, std::uint32_t v) {
+  const std::size_t at = out->size();
+  out->resize(at + 4);
+  std::memcpy(out->data() + at, &v, 4);
+}
+
+void PutBytes(Buffer* out, std::string_view bytes) {
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+// Cursor-style reader with bounds checking.
+class Reader {
+ public:
+  explicit Reader(const Buffer& in) : data_(in.data()), size_(in.size()) {}
+
+  bool U8(std::uint8_t* v) { return Copy(v, 1); }
+  bool U16(std::uint16_t* v) { return Copy(v, 2); }
+  bool U32(std::uint32_t* v) { return Copy(v, 4); }
+
+  bool Bytes(std::size_t n, std::string_view* v) {
+    if (pos_ + n > size_) return false;
+    *v = {reinterpret_cast<const char*>(data_) + pos_, n};
+    pos_ += n;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool Copy(void* v, std::size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(v, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void EncodeSetRequest(std::string_view key, std::string_view val,
+                      Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kSet));
+  PutU32(out, 1);
+  PutU16(out, static_cast<std::uint16_t>(key.size()));
+  PutU32(out, static_cast<std::uint32_t>(val.size()));
+  PutBytes(out, key);
+  PutBytes(out, val);
+}
+
+void EncodeMultiGetRequest(const std::vector<std::string_view>& keys,
+                           Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kMultiGet));
+  PutU32(out, static_cast<std::uint32_t>(keys.size()));
+  for (std::string_view key : keys) {
+    PutU16(out, static_cast<std::uint16_t>(key.size()));
+    PutBytes(out, key);
+  }
+}
+
+void EncodeShutdownRequest(Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kShutdown));
+  PutU32(out, 0);
+}
+
+void EncodeSetResponse(bool ok, Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kSet));
+  PutU32(out, 1);
+  PutU8(out, ok ? 1 : 0);
+}
+
+void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
+                            const std::vector<std::uint8_t>& found,
+                            Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kMultiGet));
+  PutU32(out, static_cast<std::uint32_t>(vals.size()));
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    PutU8(out, found[i] ? 1 : 0);
+    if (found[i]) {
+      PutU32(out, static_cast<std::uint32_t>(vals[i].size()));
+      PutBytes(out, vals[i]);
+    } else {
+      PutU32(out, 0);
+    }
+  }
+}
+
+bool PeekOpcode(const Buffer& in, Opcode* op) {
+  if (in.empty()) return false;
+  *op = static_cast<Opcode>(in[0]);
+  return true;
+}
+
+bool DecodeSetRequest(const Buffer& in, SetRequest* out) {
+  Reader r(in);
+  std::uint8_t op;
+  std::uint32_t count;
+  std::uint16_t klen;
+  std::uint32_t vlen;
+  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kSet)) {
+    return false;
+  }
+  if (!r.U32(&count) || count != 1) return false;
+  if (!r.U16(&klen) || !r.U32(&vlen)) return false;
+  if (!r.Bytes(klen, &out->key) || !r.Bytes(vlen, &out->val)) return false;
+  return r.AtEnd();
+}
+
+bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out) {
+  Reader r(in);
+  std::uint8_t op;
+  std::uint32_t count;
+  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kMultiGet)) {
+    return false;
+  }
+  if (!r.U32(&count)) return false;
+  out->keys.clear();
+  out->keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t klen;
+    std::string_view key;
+    if (!r.U16(&klen) || !r.Bytes(klen, &key)) return false;
+    out->keys.push_back(key);
+  }
+  return r.AtEnd();
+}
+
+bool DecodeSetResponse(const Buffer& in, bool* ok) {
+  Reader r(in);
+  std::uint8_t op;
+  std::uint32_t count;
+  std::uint8_t v;
+  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kSet)) {
+    return false;
+  }
+  if (!r.U32(&count) || !r.U8(&v)) return false;
+  *ok = v != 0;
+  return r.AtEnd();
+}
+
+bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out) {
+  Reader r(in);
+  std::uint8_t op;
+  std::uint32_t count;
+  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kMultiGet)) {
+    return false;
+  }
+  if (!r.U32(&count)) return false;
+  out->found.clear();
+  out->vals.clear();
+  out->found.reserve(count);
+  out->vals.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t found;
+    std::uint32_t vlen;
+    std::string_view val;
+    if (!r.U8(&found) || !r.U32(&vlen) || !r.Bytes(vlen, &val)) return false;
+    out->found.push_back(found);
+    out->vals.push_back(val);
+  }
+  return r.AtEnd();
+}
+
+}  // namespace simdht

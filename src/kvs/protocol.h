@@ -1,0 +1,73 @@
+// Binary wire protocol for the Multi-Get key-value store.
+//
+// Memcached-binary-flavoured framing, sized for the paper's workload
+// (20 B keys, 32 B values, 16-96 keys per Multi-Get):
+//
+//   Request  = [u8 opcode][u32 count] then per entry:
+//     SET:  [u16 klen][u32 vlen][key][value]     (count == 1)
+//     MGET: [u16 klen][key]                       (count == batch size)
+//   Response = [u8 opcode][u32 count] then per entry:
+//     SET:  [u8 ok]
+//     MGET: [u8 found][u32 vlen][value]
+//
+// Encoders append to a reusable buffer; decoders return string_views into
+// the input (zero-copy, mirroring how an RDMA-registered buffer is parsed).
+#ifndef SIMDHT_KVS_PROTOCOL_H_
+#define SIMDHT_KVS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace simdht {
+
+enum class Opcode : std::uint8_t {
+  kSet = 1,
+  kMultiGet = 2,
+  kShutdown = 3,  // closes the server worker serving this channel
+};
+
+using Buffer = std::vector<std::uint8_t>;
+
+// --- encoding (client side requests, server side responses) ---
+
+void EncodeSetRequest(std::string_view key, std::string_view val,
+                      Buffer* out);
+void EncodeMultiGetRequest(const std::vector<std::string_view>& keys,
+                           Buffer* out);
+void EncodeShutdownRequest(Buffer* out);
+
+void EncodeSetResponse(bool ok, Buffer* out);
+void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
+                            const std::vector<std::uint8_t>& found,
+                            Buffer* out);
+
+// --- decoding ---
+
+struct SetRequest {
+  std::string_view key;
+  std::string_view val;
+};
+
+struct MultiGetRequest {
+  std::vector<std::string_view> keys;
+};
+
+struct MultiGetResponse {
+  // found[i] != 0 => vals[i] is the value; otherwise vals[i] is empty.
+  std::vector<std::uint8_t> found;
+  std::vector<std::string_view> vals;
+};
+
+// Peeks the opcode (first byte); false on empty input.
+bool PeekOpcode(const Buffer& in, Opcode* op);
+
+// All decoders return false on malformed/truncated input.
+bool DecodeSetRequest(const Buffer& in, SetRequest* out);
+bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out);
+bool DecodeSetResponse(const Buffer& in, bool* ok);
+bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_PROTOCOL_H_

@@ -1,0 +1,114 @@
+#include "kvs/server.h"
+
+#include "common/timer.h"
+
+namespace simdht {
+
+void PhaseStats::Merge(const PhaseStats& other) {
+  mget_batches += other.mget_batches;
+  mget_keys += other.mget_keys;
+  mget_hits += other.mget_hits;
+  pre_process_ns += other.pre_process_ns;
+  ht_lookup_ns += other.ht_lookup_ns;
+  post_process_ns += other.post_process_ns;
+}
+
+double PhaseStats::MeanPreNs() const {
+  return mget_batches ? pre_process_ns / static_cast<double>(mget_batches)
+                      : 0;
+}
+double PhaseStats::MeanLookupNs() const {
+  return mget_batches ? ht_lookup_ns / static_cast<double>(mget_batches) : 0;
+}
+double PhaseStats::MeanPostNs() const {
+  return mget_batches ? post_process_ns / static_cast<double>(mget_batches)
+                      : 0;
+}
+double PhaseStats::MeanTotalNs() const {
+  return MeanPreNs() + MeanLookupNs() + MeanPostNs();
+}
+
+KvServer::KvServer(KvBackend* backend, std::vector<Channel*> channels)
+    : backend_(backend),
+      channels_(std::move(channels)),
+      worker_stats_(channels_.size()) {}
+
+KvServer::~KvServer() { Join(); }
+
+void KvServer::Start() {
+  workers_.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void KvServer::Join() {
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+PhaseStats KvServer::stats() const {
+  PhaseStats total;
+  for (const PhaseStats& s : worker_stats_) total.Merge(s);
+  return total;
+}
+
+void KvServer::WorkerLoop(std::size_t worker_index) {
+  Channel* channel = channels_[worker_index];
+  PhaseStats& stats = worker_stats_[worker_index];
+  const double ns_per_tick = 1.0 / TscGhz();
+
+  Buffer request;
+  Buffer response;
+  MultiGetRequest mget;
+  std::vector<std::string_view> vals;
+  std::vector<std::uint8_t> found;
+  std::vector<std::uint64_t> handles;
+
+  while (channel->ServerRecv(&request)) {
+    Opcode op;
+    if (!PeekOpcode(request, &op)) continue;
+    switch (op) {
+      case Opcode::kShutdown:
+        return;
+      case Opcode::kSet: {
+        SetRequest set;
+        // Malformed frames are dropped without a response: answering them
+        // would desynchronize the client's request/response pairing.
+        if (!DecodeSetRequest(request, &set)) break;
+        EncodeSetResponse(backend_->Set(set.key, set.val), &response);
+        channel->ServerSend(response);
+        break;
+      }
+      case Opcode::kMultiGet: {
+        // Phase 1: pre-processing (parse batch, extract keys).
+        const std::uint64_t t0 = ReadTsc();
+        if (!DecodeMultiGetRequest(request, &mget)) break;
+        // Phase 2: hash-table lookup (the SIMD-accelerated phase).
+        const std::uint64_t t1 = ReadTsc();
+        const std::size_t hits =
+            backend_->MultiGet(mget.keys, &vals, &found, &handles);
+        // Phase 3: post-processing (cache-freshness metadata + response).
+        const std::uint64_t t2 = ReadTsc();
+        backend_->TouchBatch(handles);
+        EncodeMultiGetResponse(vals, found, &response);
+        const std::uint64_t t3 = ReadTsc();
+
+        stats.mget_batches += 1;
+        stats.mget_keys += mget.keys.size();
+        stats.mget_hits += hits;
+        stats.pre_process_ns += static_cast<double>(t1 - t0) * ns_per_tick;
+        stats.ht_lookup_ns += static_cast<double>(t2 - t1) * ns_per_tick;
+        stats.post_process_ns += static_cast<double>(t3 - t2) * ns_per_tick;
+
+        channel->ServerSend(response);
+        break;
+      }
+      default:
+        break;  // unknown opcode: drop the frame
+    }
+  }
+}
+
+}  // namespace simdht

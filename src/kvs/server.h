@@ -1,0 +1,70 @@
+// Multi-Get key-value server with per-phase timing (paper Section VI-A).
+//
+// Each worker thread services one channel. An MGet request flows through the
+// three server sub-phases the paper's Fig 11(b) breaks down:
+//   (1) pre-processing  — parse the batch, extract keys
+//   (2) hash-table lookup — backend MultiGet (SIMD-accelerated or MemC3)
+//   (3) post-processing — CLOCK/LRU metadata updates + response build
+// Phase times are accumulated per worker with the TSC and reported as
+// nanoseconds per request batch.
+#ifndef SIMDHT_KVS_SERVER_H_
+#define SIMDHT_KVS_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kvs/backend.h"
+#include "kvs/transport.h"
+
+namespace simdht {
+
+// Aggregated server-side timing for the data-access phases.
+struct PhaseStats {
+  std::uint64_t mget_batches = 0;
+  std::uint64_t mget_keys = 0;
+  std::uint64_t mget_hits = 0;
+  double pre_process_ns = 0;   // totals; divide by mget_batches for means
+  double ht_lookup_ns = 0;
+  double post_process_ns = 0;
+
+  void Merge(const PhaseStats& other);
+  double MeanPreNs() const;
+  double MeanLookupNs() const;
+  double MeanPostNs() const;
+  double MeanTotalNs() const;
+};
+
+class KvServer {
+ public:
+  // The server serves every channel with one worker thread; the backend is
+  // shared (the paper's shared-HT, full-subscription setup).
+  KvServer(KvBackend* backend, std::vector<Channel*> channels);
+  ~KvServer();
+
+  KvServer(const KvServer&) = delete;
+  KvServer& operator=(const KvServer&) = delete;
+
+  // Starts worker threads. Workers exit on a Shutdown request or channel
+  // close.
+  void Start();
+
+  // Waits for all workers to finish (after clients send Shutdown).
+  void Join();
+
+  // Total stats across workers (valid after Join).
+  PhaseStats stats() const;
+
+ private:
+  void WorkerLoop(std::size_t worker_index);
+
+  KvBackend* backend_;
+  std::vector<Channel*> channels_;
+  std::vector<std::thread> workers_;
+  std::vector<PhaseStats> worker_stats_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_SERVER_H_

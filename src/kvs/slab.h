@@ -1,0 +1,69 @@
+// Memcached-style slab allocator for key-value items.
+//
+// Memory is carved into fixed-size pages; each page belongs to a size class
+// (chunk sizes grow geometrically, factor 1.25 like memcached's default).
+// Allocation picks the smallest class that fits, pops the class free list or
+// carves a new chunk; Free pushes back onto the class free list. The backend
+// uses Capacity pressure + CLOCK-LRU to decide evictions.
+#ifndef SIMDHT_KVS_SLAB_H_
+#define SIMDHT_KVS_SLAB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.h"
+
+namespace simdht {
+
+class SlabAllocator {
+ public:
+  static constexpr std::size_t kPageBytes = 1 << 20;
+  static constexpr std::size_t kMinChunk = 64;
+  static constexpr double kGrowthFactor = 1.25;
+
+  // `memory_limit` caps the total page memory (like memcached -m).
+  explicit SlabAllocator(std::size_t memory_limit);
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Returns the chunk address as a handle, or 0 when the size exceeds the
+  // largest class or memory is exhausted (caller should evict and retry).
+  std::uint64_t Alloc(std::size_t bytes);
+
+  // Returns a chunk obtained from Alloc. `bytes` must be the original
+  // request size (it selects the class).
+  void Free(std::uint64_t handle, std::size_t bytes);
+
+  // Size-class chunk size that would back an allocation of `bytes`;
+  // 0 if too large.
+  std::size_t ChunkSizeFor(std::size_t bytes) const;
+
+  std::size_t memory_limit() const { return memory_limit_; }
+  std::size_t allocated_pages_bytes() const {
+    return pages_.size() * kPageBytes;
+  }
+  std::size_t live_chunks() const { return live_chunks_; }
+  std::size_t num_classes() const { return classes_.size(); }
+
+ private:
+  struct SizeClass {
+    std::size_t chunk_size = 0;
+    std::vector<std::uint64_t> free_list;
+    // Current partially-carved page (index into pages_), or none.
+    std::size_t carve_page = SIZE_MAX;
+    std::size_t carve_offset = 0;
+  };
+
+  int ClassIndexFor(std::size_t bytes) const;
+  bool AssignFreshPage(SizeClass* size_class);
+
+  std::size_t memory_limit_;
+  std::vector<SizeClass> classes_;
+  std::vector<AlignedBuffer> pages_;
+  std::size_t live_chunks_ = 0;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_SLAB_H_

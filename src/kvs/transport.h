@@ -1,0 +1,95 @@
+// Simulated RDMA-style message transport.
+//
+// Substitution note (see DESIGN.md): the paper runs RDMA-Memcached over
+// InfiniBand EDR with two-sided RDMA SENDs. We model the wire in-process:
+// a channel is a pair of SPSC message queues, and each message becomes
+// visible to the receiver only after
+//     delay = base_latency + bytes / bandwidth
+// has elapsed since the send — EDR-like defaults (1.5 us, 12.5 GB/s). This
+// keeps the compute/communication ratio of the Multi-Get pipeline realistic
+// while exercising the same request/response code paths.
+#ifndef SIMDHT_KVS_TRANSPORT_H_
+#define SIMDHT_KVS_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "kvs/protocol.h"
+
+namespace simdht {
+
+struct WireModel {
+  double base_latency_ns = 1500.0;    // one-way small-message latency
+  double bandwidth_bytes_per_ns = 12.5;  // ~100 Gbps EDR
+  // Loopback: no modeled delay (unit tests, pure server-side studies).
+  static WireModel Loopback() { return {0.0, 0.0}; }
+  static WireModel InfinibandEdr() { return {1500.0, 12.5}; }
+
+  double DelayNs(std::size_t bytes) const {
+    if (base_latency_ns == 0.0 && bandwidth_bytes_per_ns == 0.0) return 0.0;
+    const double wire = bandwidth_bytes_per_ns > 0
+                            ? static_cast<double>(bytes) /
+                                  bandwidth_bytes_per_ns
+                            : 0.0;
+    return base_latency_ns + wire;
+  }
+};
+
+// One direction of a channel: MPSC-safe in practice but used as SPSC.
+class MessageQueue {
+ public:
+  explicit MessageQueue(const WireModel& wire) : wire_(wire) {}
+
+  void Send(Buffer message);
+
+  // Blocks until a message is deliverable (its modeled arrival time has
+  // passed). Returns false if the queue was closed and drained.
+  bool Recv(Buffer* message);
+
+  void Close();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Pending {
+    Buffer payload;
+    Clock::time_point deliver_at;
+  };
+
+  const WireModel wire_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool closed_ = false;
+};
+
+// Bidirectional endpoint pair: client Send -> server Recv and vice versa.
+class Channel {
+ public:
+  explicit Channel(const WireModel& wire)
+      : to_server_(wire), to_client_(wire) {}
+
+  // Client-side endpoint operations.
+  void ClientSend(Buffer message) { to_server_.Send(std::move(message)); }
+  bool ClientRecv(Buffer* message) { return to_client_.Recv(message); }
+
+  // Server-side endpoint operations.
+  bool ServerRecv(Buffer* message) { return to_server_.Recv(message); }
+  void ServerSend(Buffer message) { to_client_.Send(std::move(message)); }
+
+  void Close() {
+    to_server_.Close();
+    to_client_.Close();
+  }
+
+ private:
+  MessageQueue to_server_;
+  MessageQueue to_client_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_KVS_TRANSPORT_H_

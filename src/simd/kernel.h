@@ -1,0 +1,108 @@
+// Type-erased batched-lookup kernel interface and registry.
+//
+// Every lookup algorithm the suite evaluates — scalar twins, horizontal
+// (Algo 1) and vertical (Algo 2) vectorizations at each vector width — is a
+// free function with the same signature, registered with metadata describing
+// which table layouts and which CPU ISA tier it needs. The validation engine
+// (src/core/validation.h) joins this registry against a workload's LayoutSpec
+// and the host CPUID to produce the paper's "viable design choices" list.
+#ifndef SIMDHT_SIMD_KERNEL_H_
+#define SIMDHT_SIMD_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "ht/layout.h"
+
+namespace simdht {
+
+// Batched lookup: searches keys[0..n) in the table behind `view`.
+//   keys: array of n keys, element width = view.spec.key_bits
+//   vals: array of n values (element width = view.spec.val_bits); entry i is
+//         written with the payload when found, 0 otherwise
+//   found: n bytes, 1 if keys[i] was found
+// Returns the number of keys found.
+using LookupFn = std::uint64_t (*)(const TableView& view, const void* keys,
+                                   void* vals, std::uint8_t* found,
+                                   std::size_t n);
+
+// Registry entry: one lookup algorithm specialization.
+struct KernelInfo {
+  std::string name;          // e.g. "V-Hor/AVX2/k32v32"
+  Approach approach = Approach::kScalar;
+  SimdLevel level = SimdLevel::kScalar;  // ISA requirement
+  unsigned width_bits = 64;  // vector width the kernel uses
+  unsigned key_bits = 32;
+  unsigned val_bits = 32;
+  BucketLayout bucket_layout = BucketLayout::kInterleaved;
+  // Horizontal kernels handle any m; vertical kernels require m == 1 and
+  // vertical-over-BCHT (Case Study 5) requires m > 1.
+  LookupFn fn = nullptr;
+
+  // True if this kernel can run lookups against `spec` (structural match:
+  // key/value widths, bucket layout, slots constraint).
+  bool Matches(const LayoutSpec& spec) const;
+};
+
+// Process-wide kernel registry. Thread-safe for reads after the first call;
+// all registration happens inside the constructor.
+class KernelRegistry {
+ public:
+  static const KernelRegistry& Get();
+
+  const std::vector<KernelInfo>& all() const { return kernels_; }
+
+  // Kernels usable for `spec` on this CPU, optionally filtered by approach
+  // and/or exact vector width (0 = any).
+  std::vector<const KernelInfo*> Find(const LayoutSpec& spec,
+                                      Approach approach,
+                                      unsigned width_bits = 0,
+                                      bool include_unsupported = false) const;
+
+  // The scalar twin for a spec (never null for supported key/val combos;
+  // null if the spec itself is unsupported).
+  const KernelInfo* Scalar(const LayoutSpec& spec) const;
+
+  // Exact-name lookup (for tests / CLI selection); null if absent.
+  const KernelInfo* ByName(const std::string& name) const;
+
+ private:
+  KernelRegistry();
+  void Register(KernelInfo info);
+
+  std::vector<KernelInfo> kernels_;
+
+  friend void RegisterScalarKernels(KernelRegistry*);
+  friend void RegisterSseKernels(KernelRegistry*);
+  friend void RegisterAvx2Kernels(KernelRegistry*);
+  friend void RegisterAvx512Kernels(KernelRegistry*);
+};
+
+// Defined in the per-ISA translation units (compiled with the matching -m
+// flags); called once from the registry constructor.
+void RegisterScalarKernels(KernelRegistry* registry);
+void RegisterSseKernels(KernelRegistry* registry);
+void RegisterAvx2Kernels(KernelRegistry* registry);
+void RegisterAvx512Kernels(KernelRegistry* registry);
+
+// --- Capacity helpers (shared with the validation engine) ---
+
+// Horizontal: how many whole buckets fit into a `width_bits` vector for
+// `spec` (the paper's Buckets-Per-Vector). 0 = the bucket does not fit.
+// A bucket's comparable block is the full bucket for interleaved layout and
+// the key block for split layout. Multi-bucket probes need >= 256-bit
+// vectors (two half-vector loads); the result is capped at min(2, N).
+unsigned HorizontalBucketsPerVector(const LayoutSpec& spec,
+                                    unsigned width_bits);
+
+// Vertical: keys probed per iteration (the paper's Keys-Per-Iteration).
+// 0 = not vectorizable at this width (needs hardware gathers: >= 256-bit,
+// and key width must be gatherable: 32 or 64 bits, key_bits == val_bits).
+unsigned VerticalKeysPerIteration(const LayoutSpec& spec,
+                                  unsigned width_bits);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_SIMD_KERNEL_H_

@@ -1,0 +1,41 @@
+// Shared software-prefetch helper for batched lookup kernels.
+//
+// Batched lookups know the whole probe stream up front, so every kernel —
+// scalar twin included, to keep comparisons fair — prefetches the candidate
+// buckets of keys a fixed distance ahead while the current keys are being
+// compared. This overlaps the random-access latency that otherwise
+// dominates out-of-cache tables.
+#ifndef SIMDHT_SIMD_PREFETCH_H_
+#define SIMDHT_SIMD_PREFETCH_H_
+
+#include <cstddef>
+
+#include "ht/layout.h"
+
+namespace simdht {
+namespace detail {
+
+// Prefetches all candidate buckets of keys [i+ahead, i+ahead+count) into L2.
+template <typename K>
+SIMDHT_ALWAYS_INLINE void PrefetchCandidates(const TableView& view,
+                                             const K* keys, std::size_t i,
+                                             std::size_t n,
+                                             std::size_t ahead,
+                                             std::size_t count) {
+  std::size_t first = i + ahead;
+  if (first >= n) return;
+  const std::size_t last = first + count > n ? n : first + count;
+  const unsigned ways = view.spec.ways;
+  for (; first < last; ++first) {
+    const K pk = keys[first];
+    for (unsigned w = 0; w < ways; ++w) {
+      __builtin_prefetch(
+          view.bucket_ptr(view.hash.template Bucket<K>(w, pk)), 0, 1);
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace simdht
+
+#endif  // SIMDHT_SIMD_PREFETCH_H_

@@ -1,0 +1,102 @@
+#include "simd/kernel.h"
+
+namespace simdht {
+
+bool KernelInfo::Matches(const LayoutSpec& spec) const {
+  if (spec.key_bits != key_bits || spec.val_bits != val_bits) return false;
+  if (spec.bucket_layout != bucket_layout) return false;
+  switch (approach) {
+    case Approach::kScalar:
+      return true;
+    case Approach::kHorizontal:
+      // Needs a bucketized table. Buckets larger than the vector are probed
+      // in chunks (the Fig 7b AVX2-on-(2,8) configuration); the *strict*
+      // HorV-Valid rule that reproduces Listing 1 lives in the validation
+      // engine, not here.
+      return spec.slots > 1;
+    case Approach::kVertical:
+      return spec.slots == 1 &&
+             VerticalKeysPerIteration(spec, width_bits) >= 2;
+    case Approach::kVerticalBcht:
+      return spec.slots > 1 &&
+             VerticalKeysPerIteration(spec, width_bits) >= 2;
+  }
+  return false;
+}
+
+unsigned HorizontalBucketsPerVector(const LayoutSpec& spec,
+                                    unsigned width_bits) {
+  // Algo 1, HorV-Valid: the comparable block must fit into the vector.
+  const unsigned block_bits =
+      spec.bucket_layout == BucketLayout::kInterleaved
+          ? spec.bucket_bytes() * 8
+          : spec.slots * spec.key_bits;
+  if (block_bits > width_bits) return 0;
+  unsigned fit = width_bits / block_bits;
+  // Buckets live at unrelated addresses, so multi-bucket probes are built
+  // from two half-vector loads; that needs >= 256-bit vectors and caps
+  // buckets-per-vector at 2. More than N buckets is never useful.
+  if (width_bits < 256 || block_bits * 2 > width_bits) fit = 1;
+  if (fit > 2) fit = 2;
+  if (fit > spec.ways) fit = spec.ways;
+  return fit;
+}
+
+unsigned VerticalKeysPerIteration(const LayoutSpec& spec,
+                                  unsigned width_bits) {
+  // Algo 2, VerV-Valid, plus the hardware constraints: vertical lookups
+  // need per-lane gathers (AVX2+, i.e. >= 256-bit) over gatherable
+  // element sizes. The packed-pair gather trick additionally requires
+  // key and value widths to match (8- or 16-byte {key,val} slots).
+  if (width_bits < 256) return 0;
+  if (spec.key_bits != 32 && spec.key_bits != 64) return 0;
+  if (spec.key_bits != spec.val_bits) return 0;
+  if (spec.bucket_layout != BucketLayout::kInterleaved) return 0;
+  if (width_bits <= spec.key_bits + spec.val_bits) return 0;  // VerV-Valid
+  return width_bits / spec.key_bits;
+}
+
+KernelRegistry::KernelRegistry() {
+  RegisterScalarKernels(this);
+  RegisterSseKernels(this);
+  RegisterAvx2Kernels(this);
+  RegisterAvx512Kernels(this);
+}
+
+void KernelRegistry::Register(KernelInfo info) {
+  kernels_.push_back(std::move(info));
+}
+
+const KernelRegistry& KernelRegistry::Get() {
+  static const KernelRegistry registry;
+  return registry;
+}
+
+std::vector<const KernelInfo*> KernelRegistry::Find(
+    const LayoutSpec& spec, Approach approach, unsigned width_bits,
+    bool include_unsupported) const {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  std::vector<const KernelInfo*> out;
+  for (const KernelInfo& k : kernels_) {
+    if (k.approach != approach) continue;
+    if (width_bits != 0 && k.width_bits != width_bits) continue;
+    if (!k.Matches(spec)) continue;
+    if (!include_unsupported && !cpu.Supports(k.level)) continue;
+    out.push_back(&k);
+  }
+  return out;
+}
+
+const KernelInfo* KernelRegistry::Scalar(const LayoutSpec& spec) const {
+  auto matches = Find(spec, Approach::kScalar);
+  return matches.empty() ? nullptr : matches.front();
+}
+
+const KernelInfo* KernelRegistry::ByName(const std::string& name) const {
+  for (const KernelInfo& k : kernels_) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+}  // namespace simdht

@@ -1,0 +1,115 @@
+// SimdHashTable<K, V>: the one-class public API.
+//
+// Wraps a CuckooTable with an automatically selected SIMD lookup kernel
+// (best viable design for the layout on this CPU, scalar fallback) so
+// downstream users get the paper's fastest batched lookups without touching
+// the registry or validation engine:
+//
+//   simdht::SimdHashTable<uint32_t, uint32_t> ht(
+//       simdht::SimdHashTable<uint32_t, uint32_t>::Options{});
+//   ht.Insert(k, v);
+//   ht.BatchGet(keys, n, vals, found);   // vectorized
+#ifndef SIMDHT_SIMD_SIMD_HASH_TABLE_H_
+#define SIMDHT_SIMD_SIMD_HASH_TABLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/cpu_features.h"
+#include "ht/cuckoo_table.h"
+#include "simd/kernel.h"
+
+namespace simdht {
+
+template <typename K, typename V>
+class SimdHashTable {
+ public:
+  struct Options {
+    // Defaults to the paper's best load-factor/performance combinations:
+    // (2,4) BCHT for horizontal probing. Use ways=3, slots=1 for the
+    // vertical-gather design.
+    unsigned ways = 2;
+    unsigned slots = 4;
+    std::uint64_t capacity = 1 << 20;  // entries (buckets derived)
+    BucketLayout layout = sizeof(K) == sizeof(V) ? BucketLayout::kInterleaved
+                                                 : BucketLayout::kSplit;
+    std::uint64_t seed = 0;
+    // Force a specific kernel by registry name; empty = auto-select the
+    // widest viable design the CPU supports.
+    std::string kernel_name;
+  };
+
+  explicit SimdHashTable(const Options& options)
+      : table_(options.ways, options.slots,
+               options.capacity / options.slots + 1, options.layout,
+               options.seed) {
+    SelectKernel(options.kernel_name);
+  }
+
+  // --- single-key operations (scalar paths) ---
+  bool Insert(K key, V val) { return table_.Insert(key, val); }
+  bool Find(K key, V* val) const { return table_.Find(key, val); }
+  bool UpdateValue(K key, V val) { return table_.UpdateValue(key, val); }
+  bool Erase(K key) { return table_.Erase(key); }
+
+  // --- the batched, SIMD-accelerated lookup ---
+  // Looks up keys[0..n); writes vals[i] (0 on miss) and found[i] (0/1).
+  // Returns the number of keys found.
+  std::uint64_t BatchGet(const K* keys, std::size_t n, V* vals,
+                         std::uint8_t* found) const {
+    return kernel_->fn(table_.view(), keys, vals, found, n);
+  }
+
+  std::uint64_t size() const { return table_.size(); }
+  std::uint64_t capacity() const { return table_.capacity(); }
+  double load_factor() const { return table_.load_factor(); }
+  const LayoutSpec& spec() const { return table_.spec(); }
+
+  // Which lookup algorithm BatchGet uses ("V-Hor/AVX-512/k32v32", ...).
+  const std::string& kernel_name() const { return kernel_->name; }
+  bool using_simd() const {
+    return kernel_->approach != Approach::kScalar;
+  }
+
+  // Access to the underlying table (snapshots, custom kernels, view()).
+  CuckooTable<K, V>& table() { return table_; }
+  const CuckooTable<K, V>& table() const { return table_; }
+
+ private:
+  void SelectKernel(const std::string& forced_name) {
+    const KernelRegistry& registry = KernelRegistry::Get();
+    if (!forced_name.empty()) {
+      const KernelInfo* forced = registry.ByName(forced_name);
+      if (forced == nullptr || !forced->Matches(table_.spec()) ||
+          !GetCpuFeatures().Supports(forced->level)) {
+        throw std::invalid_argument("SimdHashTable: kernel '" + forced_name +
+                                    "' unavailable for this layout/CPU");
+      }
+      kernel_ = forced;
+      return;
+    }
+    // Auto: widest supported design for the layout's natural approach.
+    const Approach approach = table_.spec().bucketized()
+                                  ? Approach::kHorizontal
+                                  : Approach::kVertical;
+    auto candidates = registry.Find(table_.spec(), approach);
+    kernel_ = nullptr;
+    for (const KernelInfo* k : candidates) {
+      if (kernel_ == nullptr || k->width_bits > kernel_->width_bits) {
+        kernel_ = k;
+      }
+    }
+    if (kernel_ == nullptr) kernel_ = registry.Scalar(table_.spec());
+    if (kernel_ == nullptr) {
+      throw std::runtime_error(
+          "SimdHashTable: no lookup kernel for this layout");
+    }
+  }
+
+  CuckooTable<K, V> table_;
+  const KernelInfo* kernel_ = nullptr;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_SIMD_SIMD_HASH_TABLE_H_

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "common/aligned_buffer.h"
+
+namespace simdht {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer buf(100);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes,
+            0u);
+  EXPECT_EQ(buf.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(buf.data()[i], 0);
+}
+
+TEST(AlignedBuffer, TailPadIsReadable) {
+  // A 512-bit load at the last byte must not fault; the pad guarantees
+  // kCacheLineBytes beyond size() are mapped.
+  AlignedBuffer buf(64);
+  volatile std::uint8_t sink = 0;
+  for (std::size_t i = 0; i < 64 + kCacheLineBytes; ++i) {
+    sink = static_cast<std::uint8_t>(sink + buf.data()[i]);
+  }
+  EXPECT_EQ(sink, 0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(32);
+  a.data()[0] = 42;
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data()[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data()[0], 42);
+}
+
+TEST(AlignedBuffer, ZeroClearsIncludingPad) {
+  AlignedBuffer buf(16);
+  buf.data()[3] = 9;
+  buf.Zero();
+  EXPECT_EQ(buf.data()[3], 0);
+}
+
+TEST(AlignedBuffer, TypedAccessor) {
+  AlignedBuffer buf(8 * sizeof(std::uint64_t));
+  buf.as<std::uint64_t>()[7] = 0xFEEDFACE;
+  EXPECT_EQ(buf.as<std::uint64_t>()[7], 0xFEEDFACEULL);
+}
+
+}  // namespace
+}  // namespace simdht

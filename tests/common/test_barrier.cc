@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/barrier.h"
+
+namespace simdht {
+namespace {
+
+TEST(SpinBarrier, SingleParty) {
+  SpinBarrier barrier(1);
+  barrier.Wait();  // must not block
+  barrier.Wait();
+  SUCCEED();
+}
+
+TEST(SpinBarrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1);
+        barrier.Wait();
+        // After the barrier, all kThreads increments of this phase are in.
+        if (counter.load() < (phase + 1) * kThreads) failed.store(true);
+        barrier.Wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kPhases);
+}
+
+}  // namespace
+}  // namespace simdht

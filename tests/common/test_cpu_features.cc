@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+
+namespace simdht {
+namespace {
+
+TEST(CpuFeatures, LevelsAreCumulative) {
+  const CpuFeatures& f = GetCpuFeatures();
+  // Any x86-64 CPU this suite targets has SSE4.2.
+  EXPECT_TRUE(f.Supports(SimdLevel::kScalar));
+  if (f.Supports(SimdLevel::kAvx512)) {
+    EXPECT_TRUE(f.Supports(SimdLevel::kAvx2));
+  }
+  if (f.Supports(SimdLevel::kAvx2)) {
+    EXPECT_TRUE(f.Supports(SimdLevel::kSse42));
+  }
+}
+
+TEST(CpuFeatures, MaxLevelConsistent) {
+  const CpuFeatures& f = GetCpuFeatures();
+  EXPECT_TRUE(f.Supports(f.max_level()));
+}
+
+TEST(CpuFeatures, ToStringNonEmpty) {
+  EXPECT_FALSE(GetCpuFeatures().ToString().empty());
+}
+
+TEST(SimdLevel, WidthsAndNames) {
+  EXPECT_EQ(SimdLevelBits(SimdLevel::kScalar), 64u);
+  EXPECT_EQ(SimdLevelBits(SimdLevel::kSse42), 128u);
+  EXPECT_EQ(SimdLevelBits(SimdLevel::kAvx2), 256u);
+  EXPECT_EQ(SimdLevelBits(SimdLevel::kAvx512), 512u);
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx512), "AVX-512");
+}
+
+TEST(SimdLevel, ParseAliases) {
+  SimdLevel level;
+  EXPECT_TRUE(ParseSimdLevel("avx2", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  EXPECT_TRUE(ParseSimdLevel("AVX-512", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx512);
+  EXPECT_TRUE(ParseSimdLevel("sse", &level));
+  EXPECT_EQ(level, SimdLevel::kSse42);
+  EXPECT_TRUE(ParseSimdLevel("scalar", &level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  EXPECT_TRUE(ParseSimdLevel("512", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx512);
+  EXPECT_FALSE(ParseSimdLevel("mmx", &level));
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace simdht {
+namespace {
+
+Flags Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  auto f = Parse({"--size=1024", "--name=test", "--ratio=0.5"});
+  EXPECT_EQ(f.GetInt("size", 0), 1024);
+  EXPECT_EQ(f.GetString("name", ""), "test");
+  EXPECT_DOUBLE_EQ(f.GetDouble("ratio", 0), 0.5);
+}
+
+TEST(Flags, SpaceSyntaxAndBareBool) {
+  auto f = Parse({"--size", "42", "--verbose"});
+  EXPECT_EQ(f.GetInt("size", 0), 42);
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_FALSE(f.Has("quiet"));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  auto f = Parse({});
+  EXPECT_EQ(f.GetInt("missing", 7), 7);
+  EXPECT_EQ(f.GetString("missing", "d"), "d");
+  EXPECT_FALSE(f.GetBool("missing", false));
+}
+
+TEST(Flags, IntList) {
+  auto f = Parse({"--sizes=1,2,8"});
+  EXPECT_EQ(f.GetIntList("sizes", {}),
+            (std::vector<std::int64_t>{1, 2, 8}));
+  EXPECT_EQ(f.GetIntList("absent", {5}), (std::vector<std::int64_t>{5}));
+}
+
+TEST(Flags, BooleanSpellings) {
+  auto f = Parse({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(f.GetBool("a", false));
+  EXPECT_FALSE(f.GetBool("b", true));
+  EXPECT_TRUE(f.GetBool("c", false));
+  EXPECT_FALSE(f.GetBool("d", true));
+}
+
+TEST(Flags, PositionalArguments) {
+  auto f = Parse({"--x=1", "pos1", "pos2"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(Flags, HexIntegers) {
+  auto f = Parse({"--mask=0xff"});
+  EXPECT_EQ(f.GetInt("mask", 0), 255);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/random.h"
+
+namespace simdht {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ExactForSmallValues) {
+  // Values below 2^sub_bits land in unit buckets: quantiles are exact.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 20; ++v) h.Add(v);
+  EXPECT_EQ(h.count(), 20u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 20u);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.5);
+  EXPECT_EQ(h.Quantile(0.0), 1u);
+  EXPECT_EQ(h.Quantile(1.0), 20u);
+  EXPECT_EQ(h.Quantile(0.5), 10u);
+}
+
+TEST(Histogram, BoundedRelativeErrorForLargeValues) {
+  Histogram h;  // 32 sub-buckets -> ~3% error
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = 1000 + rng.NextBounded(9000000);
+    samples.push_back(v);
+    h.Add(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const auto exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    const double approx = static_cast<double>(h.Quantile(q));
+    EXPECT_NEAR(approx, static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05)
+        << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantileNeverExceedsMax) {
+  Histogram h;
+  h.Add(1000000);
+  EXPECT_EQ(h.Quantile(1.0), 1000000u);
+  EXPECT_LE(h.Quantile(0.999), 1000000u);
+}
+
+TEST(Histogram, MergeSameResolution) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Add(10);
+  for (int i = 0; i < 100; ++i) b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_EQ(a.Quantile(0.25), 10u);
+  EXPECT_GE(a.Quantile(0.75), 950u);
+}
+
+TEST(Histogram, MergeDifferentResolutionReBuckets) {
+  Histogram coarse(3), fine(6);
+  for (int i = 0; i < 50; ++i) fine.Add(5000);
+  coarse.Merge(fine);
+  EXPECT_EQ(coarse.count(), 50u);
+  // Re-bucketed through upper bounds: within the coarse resolution.
+  EXPECT_NEAR(static_cast<double>(coarse.Quantile(0.5)), 5000.0,
+              5000.0 * 0.15);
+}
+
+TEST(Histogram, SummaryContainsFields) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<std::uint64_t>(i));
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+  EXPECT_NE(s.find("p99="), std::string::npos);
+  EXPECT_NE(s.find("max=100"), std::string::npos);
+}
+
+TEST(Histogram, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.Add(~std::uint64_t{0});  // far beyond 2^40: must not crash
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Quantile(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,63 @@
+// PRNG sanity: determinism, range, rough uniformity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace simdht {
+namespace {
+
+TEST(SplitMix64, DeterministicAndKnownValues) {
+  SplitMix64 a(0);
+  SplitMix64 b(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  // Reference value for seed 1234567 (SplitMix64 is a published algorithm).
+  SplitMix64 c(1234567);
+  EXPECT_EQ(c.Next(), 6457827717110365317ULL);
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro256, NextBoundedStaysInRange) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBoundedRoughlyUniform) {
+  Xoshiro256 rng(4);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace simdht

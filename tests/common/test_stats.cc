@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace simdht {
+namespace {
+
+TEST(RunningStat, MeanMinMaxStddev) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_NEAR(s.cv(), 2.138 / 5.0, 1e-3);
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(LatencyRecorder, Percentiles) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) r.Add(i);
+  EXPECT_EQ(r.count(), 100u);
+  EXPECT_NEAR(r.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(r.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(r.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(r.mean(), 50.5, 1e-9);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.mean(), 2.0, 1e-9);
+}
+
+TEST(LatencyRecorder, AddAfterPercentileStillSorts) {
+  LatencyRecorder r;
+  r.Add(5.0);
+  EXPECT_NEAR(r.Percentile(50), 5.0, 1e-9);
+  r.Add(1.0);
+  EXPECT_NEAR(r.Percentile(0), 1.0, 1e-9);
+}
+
+TEST(Human, CountAndBytes) {
+  EXPECT_EQ(HumanCount(1250000.0), "1.25 M");
+  EXPECT_EQ(HumanCount(42.0), "42.00 ");
+  EXPECT_EQ(HumanBytes(1024.0 * 1024.0), "1.00 MiB");
+  EXPECT_EQ(HumanBytes(512.0), "512.00 B");
+}
+
+}  // namespace
+}  // namespace simdht

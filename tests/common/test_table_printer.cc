@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/table_printer.h"
+
+namespace simdht {
+namespace {
+
+std::string Render(const TablePrinter& t, bool csv) {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  if (csv) {
+    t.PrintCsv(mem);
+  } else {
+    t.Print(mem);
+  }
+  std::fclose(mem);
+  std::string out(buf, len);
+  std::free(buf);
+  return out;
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x", "y"});
+  EXPECT_EQ(Render(t, true), "a,b\n1,2\nx,y\n");
+}
+
+TEST(TablePrinter, AsciiTableContainsCellsAligned) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"throughput", "123"});
+  const std::string out = Render(t, false);
+  EXPECT_NE(out.find("| name       | value |"), std::string::npos);
+  EXPECT_NE(out.find("| throughput | 123   |"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(Render(t, true), "a,b,c\n1,,\n");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinter, FmtHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(std::int64_t{-5}), "-5");
+  EXPECT_EQ(TablePrinter::Fmt(std::uint64_t{7}), "7");
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/thread_pool.h"
+
+namespace simdht {
+namespace {
+
+TEST(ThreadPool, RunsOnAllWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::set<std::size_t> indices;
+  pool.RunOnAll([&](std::size_t i) {
+    count.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    indices.insert(i);
+  });
+  EXPECT_EQ(count.load(), 4);
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int job = 0; job < 20; ++job) {
+    pool.RunOnAll([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 40);
+}
+
+TEST(ThreadPool, PinnedPoolStillRuns) {
+  ThreadPool pool(HardwareThreads(), /*pin_cores=*/true);
+  std::atomic<int> count{0};
+  pool.RunOnAll([&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), static_cast<int>(HardwareThreads()));
+}
+
+TEST(ThreadPool, HardwareThreadsPositive) {
+  EXPECT_GE(HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+
+namespace simdht {
+namespace {
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double secs = t.ElapsedSeconds();
+  EXPECT_GE(secs, 0.009);
+  EXPECT_LT(secs, 1.0);
+  EXPECT_NEAR(t.ElapsedNanos() / 1e9, t.ElapsedSeconds(), 0.01);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 0.004);
+}
+
+TEST(Tsc, MonotonicAndCalibrated) {
+  const std::uint64_t a = ReadTsc();
+  const std::uint64_t b = ReadTsc();
+  EXPECT_GE(b, a);
+  const double ghz = TscGhz();
+  EXPECT_GT(ghz, 0.2);
+  EXPECT_LT(ghz, 10.0);
+}
+
+}  // namespace
+}  // namespace simdht

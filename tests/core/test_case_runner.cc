@@ -1,0 +1,102 @@
+// Performance-engine integration tests (small sizes: correctness of the
+// plumbing, not performance).
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "core/case_runner.h"
+
+namespace simdht {
+namespace {
+
+CaseSpec SmallSpec() {
+  CaseSpec spec;
+  spec.layout.ways = 2;
+  spec.layout.slots = 4;
+  spec.layout.key_bits = 32;
+  spec.layout.val_bits = 32;
+  spec.table_bytes = 64 << 10;
+  spec.load_factor = 0.85;
+  spec.hit_rate = 0.9;
+  spec.threads = 2;
+  spec.queries_per_thread = 1 << 14;
+  spec.repeats = 2;
+  return spec;
+}
+
+TEST(CaseRunner, ScalarOnlyRunProducesThroughput) {
+  const CaseResult result = RunCase(SmallSpec(), {});
+  ASSERT_EQ(result.kernels.size(), 1u);
+  const MeasuredKernel& scalar = result.kernels[0];
+  EXPECT_EQ(scalar.approach, Approach::kScalar);
+  EXPECT_GT(scalar.mlps_per_core, 0.0);
+  EXPECT_NEAR(scalar.hit_fraction, 0.9, 0.02);
+  EXPECT_NEAR(result.achieved_load_factor, 0.85, 0.01);
+  EXPECT_EQ(result.threads, 2u);
+  EXPECT_EQ(result.Best(), nullptr);
+}
+
+TEST(CaseRunner, AutoRunMeasuresViableDesigns) {
+  const CaseResult result = RunCaseAuto(SmallSpec());
+  ASSERT_GE(result.kernels.size(), 1u);
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx2)) {
+    ASSERT_GE(result.kernels.size(), 2u);
+    const MeasuredKernel* best = result.Best();
+    ASSERT_NE(best, nullptr);
+    EXPECT_GT(best->mlps_per_core, 0.0);
+    EXPECT_GT(best->speedup, 0.0);
+    // Every measured kernel observes the same workload hit rate.
+    for (const MeasuredKernel& k : result.kernels) {
+      EXPECT_NEAR(k.hit_fraction, 0.9, 0.02) << k.name;
+    }
+  }
+}
+
+TEST(CaseRunner, DedicatedTablesPerCore) {
+  CaseSpec spec = SmallSpec();
+  spec.shared_table = false;
+  const CaseResult result = RunCase(spec, {});
+  EXPECT_GT(result.kernels[0].mlps_per_core, 0.0);
+  EXPECT_NEAR(result.kernels[0].hit_fraction, 0.9, 0.02);
+}
+
+TEST(CaseRunner, VerticalLayoutAuto) {
+  CaseSpec spec = SmallSpec();
+  spec.layout.ways = 3;
+  spec.layout.slots = 1;
+  const CaseResult result = RunCaseAuto(spec);
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx2)) {
+    bool saw_vertical = false;
+    for (const MeasuredKernel& k : result.kernels) {
+      if (k.approach == Approach::kVertical) saw_vertical = true;
+    }
+    EXPECT_TRUE(saw_vertical);
+  }
+}
+
+TEST(CaseRunner, RejectsInvalidLayout) {
+  CaseSpec spec = SmallSpec();
+  spec.layout.ways = 7;
+  EXPECT_THROW(RunCase(spec, {}), std::invalid_argument);
+}
+
+TEST(BucketsForBytes, PowerOfTwoWithinBudget) {
+  LayoutSpec layout;
+  layout.ways = 2;
+  layout.slots = 4;
+  layout.key_bits = 32;
+  layout.val_bits = 32;  // bucket = 32 B
+  EXPECT_EQ(BucketsForBytes(layout, 1 << 20), (1u << 20) / 32);
+  EXPECT_EQ(BucketsForBytes(layout, (1 << 20) + 5000), (1u << 20) / 32);
+  EXPECT_EQ(BucketsForBytes(layout, 1), 2u);  // floor
+}
+
+TEST(CaseRunner, ZipfPatternRuns) {
+  CaseSpec spec = SmallSpec();
+  spec.pattern = AccessPattern::kZipfian;
+  const CaseResult result = RunCase(spec, {});
+  EXPECT_GT(result.kernels[0].mlps_per_core, 0.0);
+  EXPECT_NEAR(result.kernels[0].hit_fraction, 0.9, 0.02);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,101 @@
+// Mixed read/update runner tests, including reader/writer consistency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/mixed_runner.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+
+namespace simdht {
+namespace {
+
+TEST(UpdateValue, OverwritesWithoutRelocation) {
+  CuckooTable32 table(2, 4, 256, BucketLayout::kInterleaved);
+  ASSERT_TRUE(table.Insert(5, 50));
+  EXPECT_TRUE(table.UpdateValue(5, 51));
+  std::uint32_t val = 0;
+  ASSERT_TRUE(table.Find(5, &val));
+  EXPECT_EQ(val, 51u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.UpdateValue(6, 60));  // absent key
+}
+
+// Readers racing with an in-place writer must only ever observe values the
+// writer actually stored (old stamp or new stamp), never torn garbage.
+TEST(UpdateValue, ConcurrentReadersSeeValidValues) {
+  CuckooTable32 table(2, 4, 1024, BucketLayout::kInterleaved);
+  auto build = FillToLoadFactor(&table, 0.7, 3);
+  const auto& keys = build.inserted_keys;
+  ASSERT_FALSE(keys.empty());
+
+  // Writer alternates every key's value between stamp A and stamp B.
+  auto stamp_a = [](std::uint32_t k) {
+    return DeriveVal<std::uint32_t, std::uint32_t>(k);
+  };
+  auto stamp_b = [&](std::uint32_t k) { return stamp_a(k) ^ 0x55555555u; };
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::thread writer([&] {
+    bool phase = false;
+    while (!stop.load()) {
+      for (std::uint32_t k : keys) {
+        table.UpdateValue(k, phase ? stamp_b(k) : stamp_a(k));
+      }
+      phase = !phase;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(t + 1);
+      for (int i = 0; i < 200000; ++i) {
+        const std::uint32_t k = keys[rng.NextBounded(keys.size())];
+        std::uint32_t val = 0;
+        if (!table.Find(k, &val)) {
+          bad.fetch_add(1);  // keys never move: must always be found
+          continue;
+        }
+        if (val != stamp_a(k) && val != stamp_b(k)) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(bad.load(), 0u);
+}
+
+TEST(MixedRunner, ProducesComparableThroughputs) {
+  CaseSpec spec;
+  spec.layout.ways = 2;
+  spec.layout.slots = 4;
+  spec.table_bytes = 64 << 10;
+  spec.load_factor = 0.8;
+  spec.threads = 2;
+  spec.queries_per_thread = 1 << 14;
+  spec.repeats = 1;
+
+  const auto results = RunMixedCase(spec, {});
+  ASSERT_EQ(results.size(), 1u);  // scalar twin only
+  const MixedResult& r = results[0];
+  EXPECT_GT(r.read_only_mlps, 0.0);
+  EXPECT_GT(r.with_writer_mlps, 0.0);
+  EXPECT_GT(r.writer_mups, 0.0);
+  EXPECT_LT(r.degradation, 1.0);
+}
+
+TEST(MixedRunner, RejectsUnsupportedLayouts) {
+  CaseSpec spec;
+  spec.layout.ways = 2;
+  spec.layout.slots = 4;
+  spec.layout.key_bits = 64;
+  spec.layout.val_bits = 64;
+  EXPECT_THROW(RunMixedCase(spec, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/trace.h"
+#include "core/workload.h"
+#include "ht/table_builder.h"
+
+namespace simdht {
+namespace {
+
+TEST(Trace, RoundTrip) {
+  ProbeTrace<std::uint32_t> trace;
+  trace.queries = {1, 2, 3, 0xDEADBEEF, 42};
+  trace.hit_rate = 0.9;
+  trace.table_seed = 77;
+  trace.pattern = 1;
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(trace, stream));
+  auto loaded = LoadTrace<std::uint32_t>(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->queries, trace.queries);
+  EXPECT_DOUBLE_EQ(loaded->hit_rate, 0.9);
+  EXPECT_EQ(loaded->table_seed, 77u);
+  EXPECT_EQ(loaded->pattern, 1);
+}
+
+TEST(Trace, RejectsWrongKeyWidthAndGarbage) {
+  ProbeTrace<std::uint32_t> trace;
+  trace.queries = {1, 2, 3};
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(trace, stream));
+  EXPECT_FALSE(LoadTrace<std::uint64_t>(stream).has_value());
+
+  std::stringstream garbage("nope");
+  EXPECT_FALSE(LoadTrace<std::uint32_t>(garbage).has_value());
+
+  std::stringstream stream2;
+  ASSERT_TRUE(SaveTrace(trace, stream2));
+  const std::string bytes = stream2.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 2));
+  EXPECT_FALSE(LoadTrace<std::uint32_t>(truncated).has_value());
+}
+
+TEST(Trace, GeneratedWorkloadRoundTripsThroughFile) {
+  auto present = UniqueRandomKeys<std::uint32_t>(2000, 1);
+  auto misses = UniqueRandomKeys<std::uint32_t>(500, 2, &present);
+  WorkloadConfig wc;
+  wc.pattern = AccessPattern::kZipfian;
+  wc.num_queries = 10000;
+  wc.seed = 3;
+
+  ProbeTrace<std::uint32_t> trace;
+  trace.queries = GenerateQueries(present, misses, wc);
+  trace.hit_rate = wc.hit_rate;
+  trace.pattern = static_cast<std::uint8_t>(wc.pattern);
+  ASSERT_EQ(trace.queries.size(), 10000u);
+
+  const std::string path = "/tmp/simdht_test_trace.bin";
+  ASSERT_TRUE(SaveTraceToFile(trace, path));
+  auto loaded = LoadTraceFromFile<std::uint32_t>(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->queries, trace.queries);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, EmptyTraceIsValid) {
+  ProbeTrace<std::uint16_t> trace;
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(trace, stream));
+  auto loaded = LoadTrace<std::uint16_t>(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->queries.empty());
+}
+
+}  // namespace
+}  // namespace simdht

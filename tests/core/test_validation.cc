@@ -1,0 +1,126 @@
+// Validation-engine tests, including an exact lock-in of the paper's
+// Listing 1 output for (K,V) = (32,32) on an AVX-512-capable host.
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "core/validation.h"
+
+namespace simdht {
+namespace {
+
+LayoutSpec Spec32(unsigned n, unsigned m) {
+  LayoutSpec s;
+  s.ways = n;
+  s.slots = m;
+  s.key_bits = 32;
+  s.val_bits = 32;
+  s.bucket_layout = BucketLayout::kInterleaved;
+  return s;
+}
+
+TEST(ValidationEngine, Listing1ExactReproduction) {
+  if (!GetCpuFeatures().Supports(SimdLevel::kAvx512)) {
+    GTEST_SKIP() << "Listing 1 is the Skylake (AVX-512) output";
+  }
+  const std::string listing =
+      ValidationEngine::Listing(CaseStudy1Layouts());
+  const std::string expected =
+      "(2, 1) -> V-Ver, Opts: 256 bit - 8 keys/it, Opts: 512 bit - 16 keys/it\n"
+      "(3, 1) -> V-Ver, Opts: 256 bit - 8 keys/it, Opts: 512 bit - 16 keys/it\n"
+      "(4, 1) -> V-Ver, Opts: 256 bit - 8 keys/it, Opts: 512 bit - 16 keys/it\n"
+      "(2, 2) -> V-Hor, Opts: 128 bit - 1 bucket/vec, Opts: 256 bit - 2 bucket/vec\n"
+      "(2, 4) -> V-Hor, Opts: 256 bit - 1 bucket/vec, Opts: 512 bit - 2 bucket/vec\n"
+      "(2, 8) -> V-Hor, Opts: 512 bit - 1 bucket/vec\n"
+      "(3, 2) -> V-Hor, Opts: 128 bit - 1 bucket/vec, Opts: 256 bit - 2 bucket/vec\n"
+      "(3, 4) -> V-Hor, Opts: 256 bit - 1 bucket/vec, Opts: 512 bit - 2 bucket/vec\n"
+      "(3, 8) -> V-Hor, Opts: 512 bit - 1 bucket/vec\n";
+  EXPECT_EQ(listing, expected);
+}
+
+TEST(ValidationEngine, EveryChoiceHasARunnableKernel) {
+  for (const LayoutSpec& spec : CaseStudy1Layouts()) {
+    for (const DesignChoice& c : ValidationEngine::Enumerate(spec)) {
+      ASSERT_NE(c.kernel, nullptr) << spec.ToString();
+      EXPECT_TRUE(c.kernel->Matches(spec)) << c.kernel->name;
+      EXPECT_TRUE(GetCpuFeatures().Supports(c.kernel->level));
+    }
+  }
+}
+
+TEST(ValidationEngine, StrictExcludesChunkedProbes) {
+  // (2,8) interleaved: bucket = 512 bits. Strict -> no 256-bit horizontal;
+  // non-strict (Fig 7b mode) -> a chunked 256-bit probe appears.
+  const LayoutSpec spec = Spec32(2, 8);
+  ValidationOptions strict;
+  strict.widths = {256};
+  EXPECT_TRUE(ValidationEngine::Enumerate(spec, strict).empty());
+
+  ValidationOptions loose = strict;
+  loose.strict = false;
+  auto choices = ValidationEngine::Enumerate(spec, loose);
+  ASSERT_EQ(choices.size(), 1u);
+  EXPECT_EQ(choices[0].approach, Approach::kHorizontal);
+  EXPECT_EQ(choices[0].width_bits, 256u);
+}
+
+TEST(ValidationEngine, HybridOnRequest) {
+  const LayoutSpec spec = Spec32(2, 2);
+  ValidationOptions opts;
+  opts.include_hybrid = true;
+  bool saw_hybrid = false;
+  for (const DesignChoice& c : ValidationEngine::Enumerate(spec, opts)) {
+    if (c.approach == Approach::kVerticalBcht) saw_hybrid = true;
+  }
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx2)) {
+    EXPECT_TRUE(saw_hybrid);
+  }
+}
+
+TEST(ValidationEngine, DescribeFormats) {
+  const LayoutSpec spec = Spec32(2, 4);
+  auto choices = ValidationEngine::Enumerate(spec);
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx2)) {
+    ASSERT_FALSE(choices.empty());
+    EXPECT_EQ(choices.front().Describe(), "V-Hor, 256 bit - 1 bucket/vec");
+  }
+}
+
+TEST(ValidationEngine, CaseStudy1LayoutsShape) {
+  const auto layouts = CaseStudy1Layouts();
+  ASSERT_EQ(layouts.size(), 9u);
+  for (const LayoutSpec& s : layouts) {
+    std::string why;
+    EXPECT_TRUE(s.Validate(&why)) << why;
+    EXPECT_EQ(s.key_bits, 32u);
+  }
+}
+
+TEST(ValidationEngine, MixedSizeSplitLayout) {
+  // Case Study 2's (2,8) BCHT with (K,V) = (16,32): key block = 16 B.
+  LayoutSpec spec;
+  spec.ways = 2;
+  spec.slots = 8;
+  spec.key_bits = 16;
+  spec.val_bits = 32;
+  spec.bucket_layout = BucketLayout::kSplit;
+  auto choices = ValidationEngine::Enumerate(spec);
+  bool saw_128 = false, saw_256 = false;
+  for (const DesignChoice& c : choices) {
+    EXPECT_EQ(c.approach, Approach::kHorizontal);
+    if (c.width_bits == 128) {
+      saw_128 = true;
+      EXPECT_EQ(c.parallelism, 1u);
+    }
+    if (c.width_bits == 256) {
+      saw_256 = true;
+      EXPECT_EQ(c.parallelism, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_128);
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx2)) {
+    EXPECT_TRUE(saw_256);
+  }
+}
+
+}  // namespace
+}  // namespace simdht

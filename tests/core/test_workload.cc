@@ -1,0 +1,119 @@
+// Workload generator properties: hit-rate control, pattern shape.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/workload.h"
+#include "ht/table_builder.h"
+
+namespace simdht {
+namespace {
+
+struct Fixture {
+  std::vector<std::uint32_t> present;
+  std::vector<std::uint32_t> misses;
+  std::unordered_set<std::uint32_t> present_set;
+
+  Fixture() {
+    present = UniqueRandomKeys<std::uint32_t>(10000, 1);
+    misses = UniqueRandomKeys<std::uint32_t>(2000, 2, &present);
+    present_set.insert(present.begin(), present.end());
+  }
+};
+
+TEST(Workload, HitRateIsRespected) {
+  Fixture fx;
+  for (double hit_rate : {0.5, 0.9, 1.0}) {
+    WorkloadConfig wc;
+    wc.hit_rate = hit_rate;
+    wc.num_queries = 100000;
+    wc.seed = 3;
+    auto queries = GenerateQueries(fx.present, fx.misses, wc);
+    ASSERT_EQ(queries.size(), wc.num_queries);
+    std::size_t hits = 0;
+    for (auto q : queries) hits += fx.present_set.count(q);
+    EXPECT_NEAR(static_cast<double>(hits) / queries.size(), hit_rate, 0.01);
+  }
+}
+
+TEST(Workload, UniformCoversKeySpace) {
+  Fixture fx;
+  WorkloadConfig wc;
+  wc.pattern = AccessPattern::kUniform;
+  wc.hit_rate = 1.0;
+  wc.num_queries = 100000;
+  auto queries = GenerateQueries(fx.present, fx.misses, wc);
+  std::unordered_set<std::uint32_t> distinct(queries.begin(), queries.end());
+  // 100k uniform draws over 10k keys should touch nearly all of them.
+  EXPECT_GT(distinct.size(), 9900u);
+}
+
+TEST(Workload, ZipfConcentratesOnFewKeys) {
+  Fixture fx;
+  WorkloadConfig wc;
+  wc.pattern = AccessPattern::kZipfian;
+  wc.hit_rate = 1.0;
+  wc.num_queries = 100000;
+  auto queries = GenerateQueries(fx.present, fx.misses, wc);
+  std::unordered_map<std::uint32_t, int> counts;
+  for (auto q : queries) ++counts[q];
+  int max_count = 0;
+  for (const auto& [k, c] : counts) max_count = std::max(max_count, c);
+  // The hottest key must dominate; uniform would give ~10 per key.
+  EXPECT_GT(max_count, 1000);
+}
+
+TEST(Workload, MissesComeFromPool) {
+  Fixture fx;
+  WorkloadConfig wc;
+  wc.hit_rate = 0.0;
+  wc.num_queries = 5000;
+  auto queries = GenerateQueries(fx.present, fx.misses, wc);
+  std::unordered_set<std::uint32_t> pool(fx.misses.begin(), fx.misses.end());
+  for (auto q : queries) {
+    EXPECT_TRUE(pool.count(q));
+    EXPECT_FALSE(fx.present_set.count(q));
+  }
+}
+
+TEST(Workload, EmptyInputsFailSafely) {
+  std::vector<std::uint32_t> empty;
+  std::vector<std::uint32_t> keys = {1, 2, 3};
+  WorkloadConfig wc;
+  EXPECT_TRUE(GenerateQueries(empty, keys, wc).empty());
+  // hit_rate < 1 with no miss pool is an error.
+  EXPECT_TRUE(GenerateQueries(keys, empty, wc).empty());
+  // hit_rate == 1 needs no miss pool.
+  wc.hit_rate = 1.0;
+  wc.num_queries = 10;
+  EXPECT_EQ(GenerateQueries(keys, empty, wc).size(), 10u);
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  Fixture fx;
+  WorkloadConfig wc;
+  wc.num_queries = 1000;
+  wc.seed = 42;
+  EXPECT_EQ(GenerateQueries(fx.present, fx.misses, wc),
+            GenerateQueries(fx.present, fx.misses, wc));
+  wc.seed = 43;
+  EXPECT_NE(GenerateQueries(fx.present, fx.misses, wc),
+            GenerateQueries(fx.present, fx.misses, {}));
+}
+
+TEST(Workload, PatternNamesRoundTrip) {
+  AccessPattern p;
+  EXPECT_TRUE(ParseAccessPattern("uniform", &p));
+  EXPECT_EQ(p, AccessPattern::kUniform);
+  EXPECT_TRUE(ParseAccessPattern("zipf", &p));
+  EXPECT_EQ(p, AccessPattern::kZipfian);
+  EXPECT_TRUE(ParseAccessPattern("skewed", &p));
+  EXPECT_EQ(p, AccessPattern::kZipfian);
+  EXPECT_FALSE(ParseAccessPattern("bogus", &p));
+  EXPECT_STREQ(AccessPatternName(AccessPattern::kUniform), "uniform");
+  EXPECT_STREQ(AccessPatternName(AccessPattern::kZipfian), "zipf");
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,83 @@
+// Zipf sampler statistical properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/zipf.h"
+
+namespace simdht {
+namespace {
+
+TEST(Zipf, RanksInRange) {
+  const ZipfGenerator zipf(100, 0.99);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(&rng), 100u);
+  }
+}
+
+TEST(Zipf, SingleElementDomain) {
+  const ZipfGenerator zipf(1, 0.99);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(&rng), 0u);
+}
+
+TEST(Zipf, RankZeroIsHottest) {
+  const ZipfGenerator zipf(1000, 0.99);
+  Xoshiro256 rng(3);
+  std::vector<int> counts(1000, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(Zipf, FrequenciesMatchTheory) {
+  constexpr std::uint64_t kN = 1000;
+  constexpr double kS = 0.99;
+  const ZipfGenerator zipf(kN, kS);
+  Xoshiro256 rng(4);
+  std::vector<double> counts(kN, 0);
+  constexpr int kDraws = 500000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+
+  double harmonic = 0;
+  for (std::uint64_t k = 1; k <= kN; ++k) harmonic += std::pow(k, -kS);
+  // Check the head ranks where counts are large enough for tight bounds.
+  for (std::uint64_t k : {1ULL, 2ULL, 5ULL, 10ULL, 50ULL}) {
+    const double expected =
+        kDraws * std::pow(static_cast<double>(k), -kS) / harmonic;
+    EXPECT_NEAR(counts[k - 1], expected, expected * 0.1)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  // With s = 0.99 over 10k elements, the top 10% of ranks should absorb
+  // the majority of accesses (the key-value-store skew the paper relies on).
+  const ZipfGenerator zipf(10000, 0.99);
+  Xoshiro256 rng(5);
+  constexpr int kDraws = 200000;
+  int head = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(&rng) < 1000) ++head;
+  }
+  EXPECT_GT(static_cast<double>(head) / kDraws, 0.6);
+}
+
+TEST(Zipf, LowSkewApproachesUniform) {
+  const ZipfGenerator zipf(100, 0.01);
+  Xoshiro256 rng(6);
+  std::vector<int> counts(100, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Next(&rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 100 / 2);
+    EXPECT_LT(c, kDraws / 100 * 2);
+  }
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,128 @@
+// Hash family tests: determinism, range, distribution, way independence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "hash/hash_family.h"
+
+namespace simdht {
+namespace {
+
+TEST(HashFamily, BucketsInRange) {
+  const HashFamily f = HashFamily::Make(10);  // 1024 buckets
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k32 = static_cast<std::uint32_t>(rng.Next());
+    const std::uint64_t k64 = rng.Next();
+    for (unsigned way = 0; way < kMaxWays; ++way) {
+      EXPECT_LT(f.Bucket32(way, k32), 1024u);
+      EXPECT_LT(f.Bucket64(way, k64), 1024u);
+    }
+  }
+}
+
+TEST(HashFamily, DeterministicDefaults) {
+  const HashFamily a = HashFamily::Make(8);
+  const HashFamily b = HashFamily::Make(8);
+  for (unsigned way = 0; way < kMaxWays; ++way) {
+    EXPECT_EQ(a.mult[way], b.mult[way]);
+    EXPECT_EQ(a.Bucket32(way, 12345), b.Bucket32(way, 12345));
+  }
+}
+
+TEST(HashFamily, SeededFamiliesDiffer) {
+  const HashFamily a = HashFamily::Make(8, 1);
+  const HashFamily b = HashFamily::Make(8, 2);
+  int same = 0;
+  for (unsigned way = 0; way < kMaxWays; ++way) {
+    same += a.mult[way] == b.mult[way];
+    EXPECT_EQ(a.mult[way] & 1, 1u) << "multipliers must be odd";
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(HashFamily, WaysAreIndependent) {
+  // Two ways mapping a key to the same bucket should be ~1/B, not common.
+  const HashFamily f = HashFamily::Make(10);
+  Xoshiro256 rng(2);
+  int collisions = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng.Next());
+    if (f.Bucket32(0, k) == f.Bucket32(1, k)) ++collisions;
+  }
+  EXPECT_LT(collisions, kTrials / 100);  // expect ~ kTrials/1024
+}
+
+TEST(HashFamily, BucketDistributionRoughlyUniform) {
+  const HashFamily f = HashFamily::Make(6);  // 64 buckets
+  std::vector<int> counts(64, 0);
+  Xoshiro256 rng(3);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[f.Bucket32(0, static_cast<std::uint32_t>(rng.Next()))];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);   // expected 1000 each
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(HashFamily, TemplateDispatchMatchesWidth) {
+  const HashFamily f = HashFamily::Make(8);
+  const std::uint32_t k32 = 0xDEADBEEF;
+  const std::uint16_t k16 = 0xBEEF;
+  EXPECT_EQ(f.Bucket<std::uint32_t>(0, k32), f.Bucket32(0, k32));
+  EXPECT_EQ(f.Bucket<std::uint16_t>(0, k16), f.Bucket32(0, k16));
+  EXPECT_EQ(f.Bucket<std::uint64_t>(1, 42), f.Bucket64(1, 42));
+}
+
+TEST(HashBytes, DeterministicAndSpread) {
+  EXPECT_EQ(HashBytes("hello", 5), HashBytes("hello", 5));
+  EXPECT_NE(HashBytes("hello", 5), HashBytes("hellp", 5));
+  EXPECT_NE(HashBytes("hello", 5), HashBytes("hello", 4));
+  EXPECT_NE(HashBytes("a", 1), HashBytes("a", 1, /*seed=*/1));
+  // Long keys cross the 8-byte stride path.
+  const char long_key[] = "a-rather-long-memcached-style-key:user:12345";
+  EXPECT_EQ(HashBytes(long_key, sizeof(long_key) - 1),
+            HashBytes(long_key, sizeof(long_key) - 1));
+}
+
+TEST(HashBytes, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip ~half the output bits.
+  const std::uint64_t h1 = HashBytes("abcdefgh", 8);
+  const std::uint64_t h2 = HashBytes("abcdefgi", 8);
+  const int flipped = __builtin_popcountll(h1 ^ h2);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(Tag8, NeverZero) {
+  SplitMix64 sm(4);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_NE(Tag8(sm.Next()), 0);
+  }
+  EXPECT_EQ(Tag8(0), 1);  // hash with zero top byte maps to tag 1
+}
+
+TEST(Mix64, BijectivityOnSamples) {
+  // Mix64 is invertible; distinct inputs must give distinct outputs.
+  SplitMix64 sm(5);
+  std::vector<std::uint64_t> inputs, outputs;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = sm.Next();
+    inputs.push_back(x);
+    outputs.push_back(Mix64(x));
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    for (std::size_t j = i + 1; j < inputs.size(); ++j) {
+      if (inputs[i] != inputs[j]) {
+        ASSERT_NE(outputs[i], outputs[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,190 @@
+// CuckooTable unit + property tests.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+
+namespace simdht {
+namespace {
+
+TEST(CuckooTable, InsertThenFind) {
+  CuckooTable32 table(2, 4, 1024, BucketLayout::kInterleaved);
+  EXPECT_TRUE(table.Insert(42, 4242));
+  std::uint32_t val = 0;
+  EXPECT_TRUE(table.Find(42, &val));
+  EXPECT_EQ(val, 4242u);
+  EXPECT_FALSE(table.Find(43, &val));
+}
+
+TEST(CuckooTable, OverwriteKeepsSingleCopy) {
+  CuckooTable32 table(2, 4, 256, BucketLayout::kInterleaved);
+  EXPECT_TRUE(table.Insert(7, 1));
+  EXPECT_TRUE(table.Insert(7, 2));
+  EXPECT_EQ(table.size(), 1u);
+  std::uint32_t val = 0;
+  EXPECT_TRUE(table.Find(7, &val));
+  EXPECT_EQ(val, 2u);
+}
+
+TEST(CuckooTable, EraseRemoves) {
+  CuckooTable32 table(2, 2, 256, BucketLayout::kInterleaved);
+  EXPECT_TRUE(table.Insert(9, 90));
+  EXPECT_TRUE(table.Erase(9));
+  EXPECT_FALSE(table.Find(9, nullptr));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.Erase(9));
+}
+
+TEST(CuckooTable, RoundsBucketsToPowerOfTwo) {
+  CuckooTable32 table(2, 4, 1000, BucketLayout::kInterleaved);
+  EXPECT_EQ(table.num_buckets(), 1024u);
+  EXPECT_EQ(table.capacity(), 4096u);
+}
+
+TEST(CuckooTable, RejectsBadLayouts) {
+  EXPECT_THROW(CuckooTable32(1, 4, 64, BucketLayout::kInterleaved),
+               std::invalid_argument);
+  EXPECT_THROW(CuckooTable32(5, 4, 64, BucketLayout::kInterleaved),
+               std::invalid_argument);
+  EXPECT_THROW(CuckooTable32(2, 3, 64, BucketLayout::kInterleaved),
+               std::invalid_argument);
+  EXPECT_THROW(CuckooTable32(2, 16, 64, BucketLayout::kInterleaved),
+               std::invalid_argument);
+  // Interleaved with mismatched widths is invalid.
+  EXPECT_THROW(CuckooTable16x32(2, 4, 64, BucketLayout::kInterleaved),
+               std::invalid_argument);
+  // 16-bit keys cannot address 2^20 buckets.
+  EXPECT_THROW(CuckooTable16x32(2, 4, 1 << 20, BucketLayout::kSplit),
+               std::invalid_argument);
+}
+
+// Property: everything inserted is findable with its exact value, nothing
+// else is findable — across all (N, m) x layout combos.
+struct ShapeParam {
+  unsigned ways;
+  unsigned slots;
+  BucketLayout layout;
+};
+
+class CuckooPropertyTest : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(CuckooPropertyTest, InsertedKeysAllFindable) {
+  const ShapeParam p = GetParam();
+  CuckooTable32 table(p.ways, p.slots, 2048, p.layout, 17);
+  std::unordered_map<std::uint32_t, std::uint32_t> shadow;
+  Xoshiro256 rng(3);
+  while (table.load_factor() < 0.8) {
+    const auto key = static_cast<std::uint32_t>(rng.Next()) | 1;
+    const auto val = static_cast<std::uint32_t>(rng.Next());
+    if (shadow.count(key)) continue;
+    if (!table.Insert(key, val)) break;
+    shadow[key] = val;
+  }
+  ASSERT_EQ(table.size(), shadow.size());
+  for (const auto& [key, val] : shadow) {
+    std::uint32_t got = 0;
+    ASSERT_TRUE(table.Find(key, &got)) << key;
+    ASSERT_EQ(got, val) << key;
+  }
+  // Keys not inserted are not found.
+  for (int i = 0; i < 1000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.Next()) | 1;
+    if (shadow.count(key)) continue;
+    EXPECT_FALSE(table.Find(key, nullptr));
+  }
+}
+
+TEST_P(CuckooPropertyTest, EraseHalfThenVerify) {
+  const ShapeParam p = GetParam();
+  CuckooTable32 table(p.ways, p.slots, 1024, p.layout, 21);
+  auto build = FillToLoadFactor(&table, 0.7, 5);
+  const auto& keys = build.inserted_keys;
+  ASSERT_FALSE(keys.empty());
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    ASSERT_TRUE(table.Erase(keys[i]));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    std::uint32_t val = 0;
+    if (i % 2 == 0) {
+      EXPECT_FALSE(table.Find(keys[i], &val));
+    } else {
+      EXPECT_TRUE(table.Find(keys[i], &val));
+      EXPECT_EQ(val, (DeriveVal<std::uint32_t, std::uint32_t>(keys[i])));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CuckooPropertyTest,
+    ::testing::Values(ShapeParam{2, 1, BucketLayout::kInterleaved},
+                      ShapeParam{3, 1, BucketLayout::kInterleaved},
+                      ShapeParam{4, 1, BucketLayout::kInterleaved},
+                      ShapeParam{2, 2, BucketLayout::kInterleaved},
+                      ShapeParam{2, 4, BucketLayout::kInterleaved},
+                      ShapeParam{2, 8, BucketLayout::kInterleaved},
+                      ShapeParam{3, 4, BucketLayout::kInterleaved},
+                      ShapeParam{2, 4, BucketLayout::kSplit},
+                      ShapeParam{3, 8, BucketLayout::kSplit}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.ways) + "m" +
+             std::to_string(info.param.slots) +
+             (info.param.layout == BucketLayout::kSplit ? "split" : "il");
+    });
+
+// 64-bit and 16-bit key variants.
+TEST(CuckooTable, Wide64BitKeys) {
+  CuckooTable64 table(3, 1, 4096, BucketLayout::kInterleaved);
+  Xoshiro256 rng(11);
+  std::unordered_map<std::uint64_t, std::uint64_t> shadow;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t key = rng.Next() | 1;
+    if (!table.Insert(key, key * 3)) break;
+    shadow[key] = key * 3;
+  }
+  EXPECT_GT(shadow.size(), 2000u);
+  for (const auto& [key, val] : shadow) {
+    std::uint64_t got = 0;
+    ASSERT_TRUE(table.Find(key, &got));
+    ASSERT_EQ(got, val);
+  }
+}
+
+TEST(CuckooTable, Narrow16BitKeysSplitLayout) {
+  CuckooTable16x32 table(2, 8, 512, BucketLayout::kSplit);
+  for (std::uint16_t k = 1; k < 2000; ++k) {
+    ASSERT_TRUE(table.Insert(k, k * 5u));
+  }
+  for (std::uint16_t k = 1; k < 2000; ++k) {
+    std::uint32_t val = 0;
+    ASSERT_TRUE(table.Find(k, &val));
+    ASSERT_EQ(val, k * 5u);
+  }
+  EXPECT_FALSE(table.Find(3000, nullptr));
+}
+
+// Fig 2 sanity: the empirical max load factors must reproduce the known
+// cuckoo-hashing occupancy ordering.
+TEST(CuckooTable, MaxLoadFactorOrdering) {
+  const double lf_2way =
+      MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
+          2, 1, 1 << 12, BucketLayout::kInterleaved);
+  const double lf_3way =
+      MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
+          3, 1, 1 << 12, BucketLayout::kInterleaved);
+  const double lf_2x4 =
+      MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
+          2, 4, 1 << 10, BucketLayout::kInterleaved);
+  // Paper Fig 2: 2-way ~50%, 3-way ~91%, (2,4) ~93%.
+  EXPECT_GT(lf_2way, 0.35);
+  EXPECT_LT(lf_2way, 0.65);
+  EXPECT_GT(lf_3way, 0.85);
+  EXPECT_GT(lf_2x4, 0.88);
+  EXPECT_GT(lf_3way, lf_2way);
+  EXPECT_GT(lf_2x4, lf_2way);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,87 @@
+// LayoutSpec / TableView addressing tests.
+#include <gtest/gtest.h>
+
+#include "ht/cuckoo_table.h"
+#include "ht/layout.h"
+
+namespace simdht {
+namespace {
+
+TEST(LayoutSpec, SizesAndNames) {
+  LayoutSpec s;
+  s.ways = 2;
+  s.slots = 4;
+  s.key_bits = 32;
+  s.val_bits = 32;
+  EXPECT_EQ(s.slot_bytes(), 8u);
+  EXPECT_EQ(s.bucket_bytes(), 32u);
+  EXPECT_TRUE(s.bucketized());
+  EXPECT_EQ(s.ToString(), "(2,4) BCHT k32/v32");
+
+  s.slots = 1;
+  s.ways = 3;
+  EXPECT_FALSE(s.bucketized());
+  EXPECT_EQ(s.ToString(), "3-way cuckoo k32/v32");
+}
+
+TEST(LayoutSpec, ValidateRules) {
+  LayoutSpec s;
+  s.ways = 2;
+  s.slots = 4;
+  s.key_bits = 16;
+  s.val_bits = 32;
+  s.bucket_layout = BucketLayout::kInterleaved;
+  std::string why;
+  EXPECT_FALSE(s.Validate(&why));  // interleaved needs equal widths
+  s.bucket_layout = BucketLayout::kSplit;
+  EXPECT_TRUE(s.Validate(&why)) << why;
+
+  s.key_bits = 8;
+  EXPECT_FALSE(s.Validate(&why));
+}
+
+TEST(TableView, AddressingMatchesTableAccessors) {
+  for (BucketLayout layout :
+       {BucketLayout::kInterleaved, BucketLayout::kSplit}) {
+    CuckooTable32 table(2, 4, 64, layout);
+    ASSERT_TRUE(table.Insert(123456, 654321));
+    const TableView view = table.view();
+    bool located = false;
+    for (std::uint64_t b = 0; b < view.num_buckets && !located; ++b) {
+      for (unsigned s = 0; s < view.spec.slots; ++s) {
+        std::uint32_t key;
+        std::memcpy(&key, view.key_ptr(b, s), 4);
+        if (key == 123456u) {
+          std::uint32_t val;
+          std::memcpy(&val, view.val_ptr(b, s), 4);
+          EXPECT_EQ(val, 654321u);
+          EXPECT_EQ(table.KeyAt(b, s), 123456u);
+          EXPECT_EQ(table.ValAt(b, s), 654321u);
+          located = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(located) << BucketLayoutName(layout);
+  }
+}
+
+TEST(TableView, TotalBytesMatchesBucketStride) {
+  CuckooTable32 table(2, 4, 128, BucketLayout::kInterleaved);
+  const TableView view = table.view();
+  EXPECT_EQ(view.bucket_stride(), 32u);
+  EXPECT_EQ(view.total_bytes(), 128u * 32u);
+  EXPECT_EQ(view.total_bytes(), table.table_bytes());
+}
+
+TEST(Names, EnumPrinters) {
+  EXPECT_STREQ(BucketLayoutName(BucketLayout::kInterleaved), "interleaved");
+  EXPECT_STREQ(BucketLayoutName(BucketLayout::kSplit), "split");
+  EXPECT_STREQ(ApproachName(Approach::kScalar), "Scalar");
+  EXPECT_STREQ(ApproachName(Approach::kHorizontal), "V-Hor");
+  EXPECT_STREQ(ApproachName(Approach::kVertical), "V-Ver");
+  EXPECT_STREQ(ApproachName(Approach::kVerticalBcht), "V-Ver/BCHT");
+}
+
+}  // namespace
+}  // namespace simdht

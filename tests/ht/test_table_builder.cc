@@ -1,0 +1,80 @@
+// Table-builder behaviour: fill targets, key uniqueness, miss pools.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+
+namespace simdht {
+namespace {
+
+TEST(TableBuilder, FillReachesTargetLoadFactor) {
+  CuckooTable32 table(2, 4, 4096, BucketLayout::kInterleaved);
+  auto result = FillToLoadFactor(&table, 0.9, 1);
+  EXPECT_FALSE(result.hit_capacity);
+  EXPECT_NEAR(result.achieved_load_factor, 0.9, 0.01);
+  EXPECT_EQ(result.inserted_keys.size(), table.size());
+}
+
+TEST(TableBuilder, InsertedKeysAreUniqueAndNonZero) {
+  CuckooTable32 table(3, 1, 4096, BucketLayout::kInterleaved);
+  auto result = FillToLoadFactor(&table, 0.8, 2);
+  std::unordered_set<std::uint32_t> seen;
+  for (auto k : result.inserted_keys) {
+    EXPECT_NE(k, 0u);
+    EXPECT_TRUE(seen.insert(k).second);
+  }
+}
+
+TEST(TableBuilder, ValuesAreDerivedStamp) {
+  CuckooTable32 table(2, 2, 1024, BucketLayout::kInterleaved);
+  auto result = FillToLoadFactor(&table, 0.5, 3);
+  for (auto k : result.inserted_keys) {
+    std::uint32_t val = 0;
+    ASSERT_TRUE(table.Find(k, &val));
+    EXPECT_EQ(val, (DeriveVal<std::uint32_t, std::uint32_t>(k)));
+  }
+}
+
+TEST(TableBuilder, UniqueRandomKeysExcludes) {
+  auto base = UniqueRandomKeys<std::uint32_t>(1000, 5);
+  auto disjoint = UniqueRandomKeys<std::uint32_t>(1000, 6, &base);
+  std::unordered_set<std::uint32_t> base_set(base.begin(), base.end());
+  for (auto k : disjoint) {
+    EXPECT_EQ(base_set.count(k), 0u);
+    EXPECT_NE(k, 0u);
+  }
+}
+
+TEST(TableBuilder, UniqueRandomKeysNarrowDomainEnumerates) {
+  // u16 domain: ask for most of the keyspace; must still be unique.
+  auto keys = UniqueRandomKeys<std::uint16_t>(60000, 7);
+  std::unordered_set<std::uint16_t> seen(keys.begin(), keys.end());
+  EXPECT_EQ(seen.size(), keys.size());
+  EXPECT_EQ(keys.size(), 60000u);
+  // Over-asking caps at the domain size.
+  auto all = UniqueRandomKeys<std::uint16_t>(100000, 8);
+  EXPECT_EQ(all.size(), 65535u);
+}
+
+TEST(TableBuilder, OverfullTargetReportsCapacity) {
+  // 2-way non-bucketized cuckoo saturates near 50%: asking for 100% must
+  // flag hit_capacity and land well below 1.0.
+  CuckooTable32 table(2, 1, 4096, BucketLayout::kInterleaved);
+  auto result = FillToLoadFactor(&table, 1.0, 4);
+  EXPECT_TRUE(result.hit_capacity);
+  EXPECT_LT(result.achieved_load_factor, 0.75);
+  EXPECT_GT(result.achieved_load_factor, 0.3);
+}
+
+TEST(TableBuilder, DeterministicGivenSeed) {
+  CuckooTable32 t1(2, 4, 1024, BucketLayout::kInterleaved, 9);
+  CuckooTable32 t2(2, 4, 1024, BucketLayout::kInterleaved, 9);
+  auto r1 = FillToLoadFactor(&t1, 0.6, 10);
+  auto r2 = FillToLoadFactor(&t2, 0.6, 10);
+  EXPECT_EQ(r1.inserted_keys, r2.inserted_keys);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,95 @@
+// Snapshot round-trip tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ht/table_builder.h"
+#include "ht/table_io.h"
+
+namespace simdht {
+namespace {
+
+TEST(TableIo, RoundTripPreservesEverything) {
+  CuckooTable32 original(2, 4, 1024, BucketLayout::kInterleaved, 77);
+  auto build = FillToLoadFactor(&original, 0.85, 3);
+  ASSERT_FALSE(build.inserted_keys.empty());
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTable(original, stream));
+
+  auto loaded = LoadTable<std::uint32_t, std::uint32_t>(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->num_buckets(), original.num_buckets());
+  EXPECT_EQ(loaded->spec().ways, 2u);
+  EXPECT_EQ(loaded->spec().slots, 4u);
+
+  // Every key resolves identically (same hash family + same bytes).
+  for (std::uint32_t key : build.inserted_keys) {
+    std::uint32_t a = 0, b = 0;
+    ASSERT_TRUE(original.Find(key, &a));
+    ASSERT_TRUE(loaded->Find(key, &b));
+    ASSERT_EQ(a, b);
+  }
+  EXPECT_EQ(std::memcmp(original.raw_data(), loaded->raw_data(),
+                        original.table_bytes()),
+            0);
+}
+
+TEST(TableIo, SeededHashFamilySurvives) {
+  // A non-default hash family (seed != 0) must be restored; otherwise
+  // lookups would probe the wrong buckets.
+  CuckooTable64 original(3, 1, 512, BucketLayout::kInterleaved, 12345);
+  ASSERT_TRUE(original.Insert(999, 111));
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTable(original, stream));
+  auto loaded = LoadTable<std::uint64_t, std::uint64_t>(stream);
+  ASSERT_TRUE(loaded.has_value());
+  std::uint64_t val = 0;
+  ASSERT_TRUE(loaded->Find(999, &val));
+  EXPECT_EQ(val, 111u);
+}
+
+TEST(TableIo, RejectsWrongWidths) {
+  CuckooTable32 table(2, 4, 64, BucketLayout::kInterleaved);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTable(table, stream));
+  // Loading a k32/v32 snapshot as k64/v64 must fail cleanly.
+  EXPECT_FALSE(
+      (LoadTable<std::uint64_t, std::uint64_t>(stream)).has_value());
+}
+
+TEST(TableIo, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("not a snapshot at all");
+  EXPECT_FALSE(
+      (LoadTable<std::uint32_t, std::uint32_t>(garbage)).has_value());
+
+  CuckooTable32 table(2, 4, 64, BucketLayout::kInterleaved);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTable(table, stream));
+  const std::string bytes = stream.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(
+      (LoadTable<std::uint32_t, std::uint32_t>(truncated)).has_value());
+}
+
+TEST(TableIo, FileRoundTrip) {
+  CuckooTable16x32 table(2, 8, 128, BucketLayout::kSplit);
+  ASSERT_TRUE(table.Insert(42, 4242));
+  const std::string path = "/tmp/simdht_test_snapshot.bin";
+  ASSERT_TRUE(SaveTableToFile(table, path));
+  auto loaded = LoadTableFromFile<std::uint16_t, std::uint32_t>(path);
+  ASSERT_TRUE(loaded.has_value());
+  std::uint32_t val = 0;
+  ASSERT_TRUE(loaded->Find(42, &val));
+  EXPECT_EQ(val, 4242u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      (LoadTableFromFile<std::uint16_t, std::uint32_t>("/no/such/file"))
+          .has_value());
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "kvs/consistent_hash.h"
+
+namespace simdht {
+namespace {
+
+TEST(ConsistentHash, DeterministicMapping) {
+  ConsistentHashRing ring;
+  ring.AddServer(0);
+  ring.AddServer(1);
+  ring.AddServer(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    EXPECT_EQ(ring.ServerFor(key), ring.ServerFor(key));
+    EXPECT_LT(ring.ServerFor(key), 3u);
+  }
+}
+
+TEST(ConsistentHash, RoughlyBalanced) {
+  ConsistentHashRing ring(128);
+  for (std::uint32_t s = 0; s < 4; ++s) ring.AddServer(s);
+  std::map<std::uint32_t, int> counts;
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    ++counts[ring.ServerFor("user:" + std::to_string(i))];
+  }
+  for (const auto& [server, count] : counts) {
+    EXPECT_GT(count, kKeys / 4 / 2) << server;
+    EXPECT_LT(count, kKeys / 4 * 2) << server;
+  }
+}
+
+TEST(ConsistentHash, RemovalOnlyMovesVictimKeys) {
+  ConsistentHashRing ring;
+  for (std::uint32_t s = 0; s < 4; ++s) ring.AddServer(s);
+  std::map<std::string, std::uint32_t> before;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    before[key] = ring.ServerFor(key);
+  }
+  ring.RemoveServer(2);
+  EXPECT_EQ(ring.num_servers(), 3u);
+  for (const auto& [key, server] : before) {
+    const std::uint32_t now = ring.ServerFor(key);
+    if (server != 2) {
+      EXPECT_EQ(now, server) << key;  // stability: untouched keys stay
+    } else {
+      EXPECT_NE(now, 2u) << key;
+    }
+  }
+}
+
+TEST(ConsistentHash, PartitionCoversAllKeys) {
+  ConsistentHashRing ring;
+  ring.AddServer(7);
+  ring.AddServer(9);
+  std::vector<std::string> storage;
+  for (int i = 0; i < 64; ++i) storage.push_back("p" + std::to_string(i));
+  std::vector<std::string_view> keys(storage.begin(), storage.end());
+
+  auto parts = ring.PartitionKeys(keys);
+  std::size_t total = 0;
+  for (const auto& [server, indices] : parts) {
+    EXPECT_TRUE(server == 7 || server == 9);
+    for (std::size_t idx : indices) {
+      EXPECT_EQ(ring.ServerFor(keys[idx]), server);
+    }
+    total += indices.size();
+  }
+  EXPECT_EQ(total, keys.size());
+}
+
+TEST(ConsistentHash, SingleServerTakesAll) {
+  ConsistentHashRing ring;
+  ring.AddServer(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ring.ServerFor("x" + std::to_string(i)), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace simdht

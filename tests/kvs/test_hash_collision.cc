@@ -1,0 +1,64 @@
+// The SIMD backend's 32-bit hash-key collision path: two distinct full keys
+// whose 64-bit hashes share the top 32 bits cannot coexist in the index.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "hash/hash_family.h"
+#include "kvs/loadgen.h"
+#include "kvs/simd_backend.h"
+
+namespace simdht {
+namespace {
+
+// Finds two distinct key strings with colliding 32-bit hash keys by a
+// birthday search (~2^17 candidates make a collision in the 2^32 space
+// overwhelmingly likely; we search deterministically until found).
+bool FindCollidingPair(std::string* a, std::string* b) {
+  std::unordered_map<std::uint32_t, std::string> seen;
+  for (std::size_t i = 0; i < (1u << 19); ++i) {
+    std::string key = "collide:" + std::to_string(i);
+    auto hk = static_cast<std::uint32_t>(
+        HashBytes(key.data(), key.size()) >> 32);
+    if (hk == 0) hk = 1;
+    auto [it, inserted] = seen.try_emplace(hk, key);
+    if (!inserted) {
+      *a = it->second;
+      *b = key;
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(SimdBackendCollision, SecondKeyRejectedAndCounted) {
+  std::string a, b;
+  if (!FindCollidingPair(&a, &b)) {
+    GTEST_SKIP() << "no 32-bit collision found in the search budget";
+  }
+  ASSERT_NE(a, b);
+
+  SimdBackend backend(SimdBackend::ScalarBucketCuckoo(), 1 << 12, 16 << 20);
+  EXPECT_TRUE(backend.Set(a, "first"));
+  EXPECT_EQ(backend.hash_collisions(), 0u);
+
+  // The colliding key cannot be stored...
+  EXPECT_FALSE(backend.Set(b, "second"));
+  EXPECT_EQ(backend.hash_collisions(), 1u);
+
+  // ...and must not corrupt the resident one; lookups of the collider
+  // fail full-key verification instead of returning the wrong value.
+  std::string val;
+  EXPECT_TRUE(backend.Get(a, &val));
+  EXPECT_EQ(val, "first");
+  EXPECT_FALSE(backend.Get(b, &val));
+
+  // The resident key remains updatable.
+  EXPECT_TRUE(backend.Set(a, "updated"));
+  EXPECT_TRUE(backend.Get(a, &val));
+  EXPECT_EQ(val, "updated");
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,163 @@
+// Behavioural equivalence tests for every KV backend: MemC3 baseline and
+// both SIMD-integrated designs must agree with a std::unordered_map oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/cpu_features.h"
+#include "common/random.h"
+#include "kvs/memc3_backend.h"
+#include "kvs/simd_backend.h"
+
+namespace simdht {
+namespace {
+
+std::vector<std::unique_ptr<KvBackend>> AllBackends(std::uint64_t entries,
+                                                    std::size_t mem) {
+  std::vector<std::unique_ptr<KvBackend>> out;
+  out.push_back(std::make_unique<Memc3Backend>(entries, mem));
+  out.push_back(std::make_unique<SimdBackend>(
+      SimdBackend::ScalarBucketCuckoo(), entries, mem));
+  const auto& cpu = GetCpuFeatures();
+  if (cpu.Supports(SimdLevel::kAvx2)) {
+    out.push_back(std::make_unique<SimdBackend>(
+        SimdBackend::BucketCuckooHorAvx2(), entries, mem));
+  }
+  if (cpu.Supports(SimdLevel::kAvx512)) {
+    out.push_back(std::make_unique<SimdBackend>(
+        SimdBackend::CuckooVerAvx512(), entries, mem));
+  }
+  return out;
+}
+
+TEST(KvBackends, SetGetRoundTrip) {
+  for (auto& backend : AllBackends(1 << 12, 8 << 20)) {
+    SCOPED_TRACE(backend->name());
+    EXPECT_TRUE(backend->Set("alpha", "one"));
+    EXPECT_TRUE(backend->Set("beta", "two"));
+    std::string val;
+    EXPECT_TRUE(backend->Get("alpha", &val));
+    EXPECT_EQ(val, "one");
+    EXPECT_TRUE(backend->Get("beta", &val));
+    EXPECT_EQ(val, "two");
+    EXPECT_FALSE(backend->Get("gamma", &val));
+    EXPECT_EQ(backend->size(), 2u);
+  }
+}
+
+TEST(KvBackends, OverwriteUpdatesValue) {
+  for (auto& backend : AllBackends(1 << 10, 8 << 20)) {
+    SCOPED_TRACE(backend->name());
+    EXPECT_TRUE(backend->Set("k", "v1"));
+    EXPECT_TRUE(backend->Set("k", "a-longer-second-value"));
+    std::string val;
+    EXPECT_TRUE(backend->Get("k", &val));
+    EXPECT_EQ(val, "a-longer-second-value");
+    EXPECT_EQ(backend->size(), 1u);
+  }
+}
+
+TEST(KvBackends, EraseRemoves) {
+  for (auto& backend : AllBackends(1 << 10, 8 << 20)) {
+    SCOPED_TRACE(backend->name());
+    EXPECT_TRUE(backend->Set("k", "v"));
+    EXPECT_TRUE(backend->Erase("k"));
+    EXPECT_FALSE(backend->Get("k", nullptr));
+    EXPECT_FALSE(backend->Erase("k"));
+    EXPECT_EQ(backend->size(), 0u);
+  }
+}
+
+TEST(KvBackends, MultiGetMatchesOracle) {
+  for (auto& backend : AllBackends(1 << 14, 32 << 20)) {
+    SCOPED_TRACE(backend->name());
+    std::unordered_map<std::string, std::string> oracle;
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 5000; ++i) {
+      const std::string key = "user:" + std::to_string(rng.NextBounded(8000));
+      const std::string val = "val-" + std::to_string(i);
+      if (backend->Set(key, val)) oracle[key] = val;
+    }
+    ASSERT_GT(oracle.size(), 3000u);
+
+    // Batch of mixed present/absent keys.
+    std::vector<std::string> key_storage;
+    for (int i = 0; i < 96; ++i) {
+      key_storage.push_back("user:" + std::to_string(rng.NextBounded(16000)));
+    }
+    std::vector<std::string_view> keys(key_storage.begin(),
+                                       key_storage.end());
+    std::vector<std::string_view> vals;
+    std::vector<std::uint8_t> found;
+    std::vector<std::uint64_t> handles;
+    const std::size_t hits =
+        backend->MultiGet(keys, &vals, &found, &handles);
+
+    std::size_t expected_hits = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      auto it = oracle.find(key_storage[i]);
+      if (it != oracle.end()) {
+        ++expected_hits;
+        ASSERT_TRUE(found[i]) << key_storage[i];
+        EXPECT_EQ(vals[i], it->second);
+        EXPECT_NE(handles[i], 0u);
+      } else {
+        EXPECT_FALSE(found[i]) << key_storage[i];
+        EXPECT_EQ(handles[i], 0u);
+      }
+    }
+    EXPECT_EQ(hits, expected_hits);
+    backend->TouchBatch(handles);  // must not crash with zero handles mixed
+  }
+}
+
+TEST(KvBackends, EvictionUnderMemoryPressure) {
+  // Tiny memory: inserting far more than fits must trigger CLOCK eviction
+  // rather than failing, and the store must stay consistent.
+  for (auto& backend : AllBackends(1 << 14, 2 << 20)) {
+    SCOPED_TRACE(backend->name());
+    const std::string big_val(1000, 'x');
+    std::size_t ok = 0;
+    for (int i = 0; i < 5000; ++i) {
+      ok += backend->Set("evict:" + std::to_string(i), big_val);
+    }
+    EXPECT_GT(ok, 2500u);  // far more Sets succeed than fit simultaneously
+    EXPECT_LT(backend->size(), 2500u);
+    // Whatever remains must read back correctly.
+    std::string val;
+    std::size_t readable = 0;
+    for (int i = 0; i < 5000; ++i) {
+      if (backend->Get("evict:" + std::to_string(i), &val)) {
+        EXPECT_EQ(val, big_val);
+        ++readable;
+      }
+    }
+    EXPECT_EQ(readable, backend->size());
+  }
+}
+
+TEST(SimdBackendConfigs, KernelSelectionMatchesConfig) {
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx2)) {
+    SimdBackend hor(SimdBackend::BucketCuckooHorAvx2(), 1 << 10, 4 << 20);
+    EXPECT_EQ(hor.kernel().approach, Approach::kHorizontal);
+    EXPECT_EQ(hor.kernel().width_bits, 256u);
+  }
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx512)) {
+    SimdBackend ver(SimdBackend::CuckooVerAvx512(), 1 << 10, 4 << 20);
+    EXPECT_EQ(ver.kernel().approach, Approach::kVertical);
+    EXPECT_EQ(ver.kernel().width_bits, 512u);
+  }
+  SimdBackend scalar(SimdBackend::ScalarBucketCuckoo(), 1 << 10, 4 << 20);
+  EXPECT_EQ(scalar.kernel().approach, Approach::kScalar);
+}
+
+TEST(SimdBackendConfigs, CollisionCounterStartsZero) {
+  SimdBackend backend(SimdBackend::ScalarBucketCuckoo(), 1 << 10, 4 << 20);
+  backend.Set("a", "1");
+  backend.Set("b", "2");
+  EXPECT_EQ(backend.hash_collisions(), 0u);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "kvs/protocol.h"
+
+namespace simdht {
+namespace {
+
+TEST(Protocol, SetRequestRoundTrip) {
+  Buffer buf;
+  EncodeSetRequest("mykey", "myvalue", &buf);
+  Opcode op;
+  ASSERT_TRUE(PeekOpcode(buf, &op));
+  EXPECT_EQ(op, Opcode::kSet);
+  SetRequest req;
+  ASSERT_TRUE(DecodeSetRequest(buf, &req));
+  EXPECT_EQ(req.key, "mykey");
+  EXPECT_EQ(req.val, "myvalue");
+}
+
+TEST(Protocol, MultiGetRequestRoundTrip) {
+  Buffer buf;
+  std::vector<std::string_view> keys = {"a", "bb", "ccc", ""};
+  EncodeMultiGetRequest(keys, &buf);
+  MultiGetRequest req;
+  ASSERT_TRUE(DecodeMultiGetRequest(buf, &req));
+  ASSERT_EQ(req.keys.size(), 4u);
+  EXPECT_EQ(req.keys[0], "a");
+  EXPECT_EQ(req.keys[1], "bb");
+  EXPECT_EQ(req.keys[2], "ccc");
+  EXPECT_EQ(req.keys[3], "");
+}
+
+TEST(Protocol, MultiGetResponseRoundTrip) {
+  Buffer buf;
+  std::vector<std::string_view> vals = {"v1", "", "value3"};
+  std::vector<std::uint8_t> found = {1, 0, 1};
+  EncodeMultiGetResponse(vals, found, &buf);
+  MultiGetResponse resp;
+  ASSERT_TRUE(DecodeMultiGetResponse(buf, &resp));
+  ASSERT_EQ(resp.found.size(), 3u);
+  EXPECT_EQ(resp.found[0], 1);
+  EXPECT_EQ(resp.vals[0], "v1");
+  EXPECT_EQ(resp.found[1], 0);
+  EXPECT_EQ(resp.vals[1], "");
+  EXPECT_EQ(resp.vals[2], "value3");
+}
+
+TEST(Protocol, SetResponseRoundTrip) {
+  Buffer buf;
+  EncodeSetResponse(true, &buf);
+  bool ok = false;
+  ASSERT_TRUE(DecodeSetResponse(buf, &ok));
+  EXPECT_TRUE(ok);
+  EncodeSetResponse(false, &buf);
+  ASSERT_TRUE(DecodeSetResponse(buf, &ok));
+  EXPECT_FALSE(ok);
+}
+
+TEST(Protocol, ShutdownOpcode) {
+  Buffer buf;
+  EncodeShutdownRequest(&buf);
+  Opcode op;
+  ASSERT_TRUE(PeekOpcode(buf, &op));
+  EXPECT_EQ(op, Opcode::kShutdown);
+}
+
+TEST(Protocol, RejectsTruncatedInput) {
+  Buffer buf;
+  EncodeMultiGetRequest({"abcdef", "ghijkl"}, &buf);
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    Buffer truncated(buf.begin(), buf.begin() + static_cast<long>(cut));
+    MultiGetRequest req;
+    EXPECT_FALSE(DecodeMultiGetRequest(truncated, &req)) << "cut=" << cut;
+  }
+}
+
+TEST(Protocol, RejectsWrongOpcode) {
+  Buffer buf;
+  EncodeSetRequest("k", "v", &buf);
+  MultiGetRequest req;
+  EXPECT_FALSE(DecodeMultiGetRequest(buf, &req));
+  bool ok;
+  EXPECT_FALSE(DecodeSetResponse(buf, &ok));
+  EXPECT_FALSE(PeekOpcode(Buffer{}, nullptr) &&
+               false);  // empty buffer has no opcode
+  Opcode op;
+  EXPECT_FALSE(PeekOpcode(Buffer{}, &op));
+}
+
+TEST(Protocol, RejectsTrailingGarbage) {
+  Buffer buf;
+  EncodeSetRequest("k", "v", &buf);
+  buf.push_back(0xEE);
+  SetRequest req;
+  EXPECT_FALSE(DecodeSetRequest(buf, &req));
+}
+
+TEST(Protocol, LargeBatchRoundTrip) {
+  // 96 keys of 20 bytes — the paper's largest Multi-Get shape.
+  std::vector<std::string> storage;
+  std::vector<std::string_view> keys;
+  for (int i = 0; i < 96; ++i) {
+    storage.push_back(std::string(20, static_cast<char>('a' + i % 26)));
+    keys.push_back(storage.back());
+  }
+  Buffer buf;
+  EncodeMultiGetRequest(keys, &buf);
+  MultiGetRequest req;
+  ASSERT_TRUE(DecodeMultiGetRequest(buf, &req));
+  ASSERT_EQ(req.keys.size(), 96u);
+  for (int i = 0; i < 96; ++i) EXPECT_EQ(req.keys[i], keys[i]);
+}
+
+}  // namespace
+}  // namespace simdht

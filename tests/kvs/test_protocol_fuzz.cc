@@ -1,0 +1,66 @@
+// Randomized robustness tests: decoders must never crash, over-read, or
+// report success on structurally invalid input.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "kvs/protocol.h"
+
+namespace simdht {
+namespace {
+
+TEST(ProtocolFuzz, RandomBytesNeverCrashDecoders) {
+  Xoshiro256 rng(42);
+  for (int round = 0; round < 20000; ++round) {
+    const std::size_t len = rng.NextBounded(128);
+    Buffer buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.Next());
+
+    SetRequest set;
+    MultiGetRequest mget;
+    MultiGetResponse mresp;
+    bool ok;
+    Opcode op;
+    // Any result is acceptable; crashing or sanitizer faults are not.
+    (void)PeekOpcode(buf, &op);
+    (void)DecodeSetRequest(buf, &set);
+    (void)DecodeMultiGetRequest(buf, &mget);
+    (void)DecodeSetResponse(buf, &ok);
+    (void)DecodeMultiGetResponse(buf, &mresp);
+  }
+}
+
+TEST(ProtocolFuzz, BitFlippedValidFramesEitherFailOrStayInBounds) {
+  Buffer valid;
+  EncodeMultiGetRequest({"some-key-aaaa", "other-key-bbb"}, &valid);
+  Xoshiro256 rng(43);
+  for (int round = 0; round < 5000; ++round) {
+    Buffer mutated = valid;
+    const std::size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.NextBounded(8));
+
+    MultiGetRequest req;
+    if (DecodeMultiGetRequest(mutated, &req)) {
+      // If it still parses, every view must lie inside the buffer.
+      const char* lo = reinterpret_cast<const char*>(mutated.data());
+      const char* hi = lo + mutated.size();
+      for (std::string_view key : req.keys) {
+        EXPECT_GE(key.data(), lo);
+        EXPECT_LE(key.data() + key.size(), hi);
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, LengthFieldCorruptionRejected) {
+  Buffer valid;
+  EncodeSetRequest("key", "value", &valid);
+  // Blow up the key length field (offset 5..6 after opcode+count).
+  Buffer mutated = valid;
+  mutated[5] = 0xFF;
+  mutated[6] = 0xFF;
+  SetRequest req;
+  EXPECT_FALSE(DecodeSetRequest(mutated, &req));
+}
+
+}  // namespace
+}  // namespace simdht

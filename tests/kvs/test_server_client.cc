@@ -1,0 +1,143 @@
+// End-to-end server/client integration over the simulated transport.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/cpu_features.h"
+#include "kvs/client.h"
+#include "kvs/loadgen.h"
+#include "kvs/memc3_backend.h"
+#include "kvs/server.h"
+#include "kvs/simd_backend.h"
+
+namespace simdht {
+namespace {
+
+TEST(ServerClient, SetThenMultiGet) {
+  Memc3Backend backend(1 << 12, 16 << 20);
+  Channel channel(WireModel::Loopback());
+  KvServer server(&backend, {&channel});
+  server.Start();
+
+  KvClient client(&channel);
+  EXPECT_TRUE(client.Set("k1", "v1"));
+  EXPECT_TRUE(client.Set("k2", "v2"));
+
+  std::vector<std::string> vals;
+  std::vector<std::uint8_t> found;
+  ASSERT_TRUE(client.MultiGet({"k1", "missing", "k2"}, &vals, &found));
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_EQ(found[0], 1);
+  EXPECT_EQ(vals[0], "v1");
+  EXPECT_EQ(found[1], 0);
+  EXPECT_EQ(found[2], 1);
+  EXPECT_EQ(vals[2], "v2");
+
+  client.Shutdown();
+  server.Join();
+
+  const PhaseStats stats = server.stats();
+  EXPECT_EQ(stats.mget_batches, 1u);
+  EXPECT_EQ(stats.mget_keys, 3u);
+  EXPECT_EQ(stats.mget_hits, 2u);
+  EXPECT_GT(stats.ht_lookup_ns, 0.0);
+}
+
+TEST(ServerClient, MultipleWorkersSharedBackend) {
+  Memc3Backend backend(1 << 12, 16 << 20);
+  Channel ch0(WireModel::Loopback());
+  Channel ch1(WireModel::Loopback());
+  KvServer server(&backend, {&ch0, &ch1});
+  server.Start();
+
+  KvClient c0(&ch0);
+  KvClient c1(&ch1);
+  EXPECT_TRUE(c0.Set("from0", "a"));
+  EXPECT_TRUE(c1.Set("from1", "b"));
+
+  std::vector<std::string> vals;
+  std::vector<std::uint8_t> found;
+  // Each client sees the other's writes (shared backend).
+  ASSERT_TRUE(c0.MultiGet({"from1"}, &vals, &found));
+  EXPECT_EQ(found[0], 1);
+  EXPECT_EQ(vals[0], "b");
+  ASSERT_TRUE(c1.MultiGet({"from0"}, &vals, &found));
+  EXPECT_EQ(found[0], 1);
+  EXPECT_EQ(vals[0], "a");
+
+  c0.Shutdown();
+  c1.Shutdown();
+  server.Join();
+}
+
+TEST(Memslap, EndToEndSmallRun) {
+  Memc3Backend backend(1 << 14, 32 << 20);
+  MemslapConfig config;
+  config.clients = 2;
+  config.num_keys = 2000;
+  config.mget_size = 16;
+  config.requests_per_client = 100;
+  config.hit_rate = 0.95;
+  config.wire = WireModel::Loopback();
+
+  const MemslapResult result = RunMemslap(&backend, config);
+  EXPECT_EQ(result.preloaded, 2000u);
+  EXPECT_EQ(result.phases.mget_batches, 200u);
+  EXPECT_EQ(result.phases.mget_keys, 200u * 16u);
+  EXPECT_NEAR(result.observed_hit_rate, 0.95, 0.03);
+  EXPECT_GT(result.server_get_mops, 0.0);
+  EXPECT_GT(result.mget_p50_us, 0.0);
+  EXPECT_LE(result.mget_p50_us, result.mget_p99_us);
+}
+
+TEST(Memslap, SimdBackendMatchesHitRate) {
+  std::unique_ptr<SimdBackend> backend;
+  if (GetCpuFeatures().Supports(SimdLevel::kAvx2)) {
+    backend = std::make_unique<SimdBackend>(
+        SimdBackend::BucketCuckooHorAvx2(), 1 << 14, 32 << 20);
+  } else {
+    backend = std::make_unique<SimdBackend>(
+        SimdBackend::ScalarBucketCuckoo(), 1 << 14, 32 << 20);
+  }
+  MemslapConfig config;
+  config.clients = 2;
+  config.num_keys = 2000;
+  config.mget_size = 96;
+  config.requests_per_client = 50;
+  config.hit_rate = 0.9;
+  config.wire = WireModel::Loopback();
+
+  const MemslapResult result = RunMemslap(backend.get(), config);
+  EXPECT_EQ(result.preloaded, 2000u);
+  EXPECT_NEAR(result.observed_hit_rate, 0.9, 0.03);
+}
+
+TEST(Memslap, ModeledWireEnforcesLatencyFloor) {
+  // Recv never completes before a message's modeled arrival time, so every
+  // request/response round trip over the EDR model costs >= 2 x 1.5 us of
+  // wire time regardless of host speed or scheduler noise.
+  MemslapConfig config;
+  config.clients = 1;
+  config.num_keys = 500;
+  config.mget_size = 16;
+  config.requests_per_client = 50;
+  config.wire = WireModel::InfinibandEdr();
+
+  Memc3Backend backend(1 << 12, 16 << 20);
+  const MemslapResult edr = RunMemslap(&backend, config);
+  // p0 (the minimum observed latency) must respect the modeled floor.
+  EXPECT_GE(edr.mget_p50_us, 3.0);
+  EXPECT_GT(edr.mget_mean_us, 3.0);
+}
+
+TEST(MakeKeyStringHelper, FixedWidthDistinctKeys) {
+  const std::string a = MakeKeyString(1, 20);
+  const std::string b = MakeKeyString(2, 20);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(b.size(), 20u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(MakeKeyString(42, 8).size(), 8u);  // truncation also works
+}
+
+}  // namespace
+}  // namespace simdht

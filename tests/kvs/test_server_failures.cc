@@ -1,0 +1,64 @@
+// Failure-injection tests for the server path: exhausted backends, garbage
+// requests, and abrupt channel closure must not wedge or crash workers.
+#include <gtest/gtest.h>
+
+#include "kvs/client.h"
+#include "kvs/memc3_backend.h"
+#include "kvs/server.h"
+
+namespace simdht {
+namespace {
+
+TEST(ServerFailures, SetFailureReportedToClient) {
+  // A backend with almost no memory: large Sets fail after eviction gives
+  // up (the value alone exceeds the largest slab class).
+  Memc3Backend backend(64, 2 << 20);
+  Channel channel(WireModel::Loopback());
+  KvServer server(&backend, {&channel});
+  server.Start();
+
+  KvClient client(&channel);
+  const std::string huge(2 << 20, 'x');
+  EXPECT_FALSE(client.Set("k", huge));
+  // The worker keeps serving after the failure.
+  EXPECT_TRUE(client.Set("k", "small"));
+  std::vector<std::string> vals;
+  std::vector<std::uint8_t> found;
+  ASSERT_TRUE(client.MultiGet({"k"}, &vals, &found));
+  EXPECT_EQ(found[0], 1);
+  EXPECT_EQ(vals[0], "small");
+
+  client.Shutdown();
+  server.Join();
+}
+
+TEST(ServerFailures, GarbageRequestIsIgnored) {
+  Memc3Backend backend(1 << 10, 8 << 20);
+  Channel channel(WireModel::Loopback());
+  KvServer server(&backend, {&channel});
+  server.Start();
+
+  // Unknown opcode byte followed by junk: the worker must skip it and
+  // keep serving well-formed requests.
+  channel.ClientSend({0x7F, 0x01, 0x02});
+  // Truncated Set request (claims a key longer than the payload).
+  channel.ClientSend({1, 1, 0, 0, 0, 0xFF, 0xFF, 9, 9, 9, 9});
+
+  KvClient client(&channel);
+  EXPECT_TRUE(client.Set("still", "alive"));
+  client.Shutdown();
+  server.Join();
+}
+
+TEST(ServerFailures, ChannelCloseStopsWorker) {
+  Memc3Backend backend(1 << 10, 8 << 20);
+  Channel channel(WireModel::Loopback());
+  KvServer server(&backend, {&channel});
+  server.Start();
+  channel.Close();  // abrupt disconnect, no Shutdown opcode
+  server.Join();    // must return (worker sees the closed queue)
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kvs/slab.h"
+
+namespace simdht {
+namespace {
+
+TEST(Slab, AllocatesDistinctChunks) {
+  SlabAllocator slab(4 << 20);
+  std::set<std::uint64_t> handles;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t h = slab.Alloc(100);
+    ASSERT_NE(h, 0u);
+    EXPECT_TRUE(handles.insert(h).second);
+  }
+  EXPECT_EQ(slab.live_chunks(), 1000u);
+}
+
+TEST(Slab, FreeListReusesChunks) {
+  SlabAllocator slab(2 << 20);
+  const std::uint64_t a = slab.Alloc(100);
+  slab.Free(a, 100);
+  EXPECT_EQ(slab.live_chunks(), 0u);
+  const std::uint64_t b = slab.Alloc(100);
+  EXPECT_EQ(a, b);  // LIFO free list
+}
+
+TEST(Slab, SizeClassesGrowGeometrically) {
+  SlabAllocator slab(1 << 20);
+  EXPECT_GT(slab.num_classes(), 10u);
+  EXPECT_EQ(slab.ChunkSizeFor(1), SlabAllocator::kMinChunk);
+  EXPECT_GE(slab.ChunkSizeFor(65), 65u);
+  // Requests above a page are unserviceable.
+  EXPECT_EQ(slab.ChunkSizeFor(SlabAllocator::kPageBytes + 1), 0u);
+  EXPECT_EQ(slab.Alloc(SlabAllocator::kPageBytes + 1), 0u);
+}
+
+TEST(Slab, MemoryLimitEnforced) {
+  SlabAllocator slab(SlabAllocator::kPageBytes);  // exactly one page
+  std::size_t got = 0;
+  // 1024-byte class chunks: at most ~1 MiB worth from the single page.
+  while (slab.Alloc(1000) != 0) ++got;
+  EXPECT_GT(got, 0u);
+  EXPECT_LE(got * slab.ChunkSizeFor(1000), SlabAllocator::kPageBytes);
+  EXPECT_LE(slab.allocated_pages_bytes(), SlabAllocator::kPageBytes);
+}
+
+TEST(Slab, ChunksDoNotOverlap) {
+  SlabAllocator slab(2 << 20);
+  const std::size_t chunk = slab.ChunkSizeFor(200);
+  std::vector<std::uint64_t> handles;
+  for (int i = 0; i < 100; ++i) handles.push_back(slab.Alloc(200));
+  std::sort(handles.begin(), handles.end());
+  for (std::size_t i = 1; i < handles.size(); ++i) {
+    EXPECT_GE(handles[i] - handles[i - 1], chunk);
+  }
+}
+
+TEST(Slab, DifferentClassesIndependentFreeLists) {
+  SlabAllocator slab(4 << 20);
+  const std::uint64_t small = slab.Alloc(64);
+  const std::uint64_t large = slab.Alloc(4096);
+  slab.Free(small, 64);
+  // Freeing the small chunk must not satisfy a large request.
+  const std::uint64_t large2 = slab.Alloc(4096);
+  EXPECT_NE(large2, small);
+  EXPECT_NE(large2, large);
+}
+
+}  // namespace
+}  // namespace simdht

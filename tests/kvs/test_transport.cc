@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/timer.h"
+#include "kvs/transport.h"
+
+namespace simdht {
+namespace {
+
+TEST(WireModel, DelayFormula) {
+  const WireModel edr = WireModel::InfinibandEdr();
+  EXPECT_DOUBLE_EQ(edr.DelayNs(0), 1500.0);
+  EXPECT_DOUBLE_EQ(edr.DelayNs(1250), 1500.0 + 100.0);
+  const WireModel loop = WireModel::Loopback();
+  EXPECT_DOUBLE_EQ(loop.DelayNs(1 << 20), 0.0);
+}
+
+TEST(MessageQueue, DeliversInOrder) {
+  MessageQueue q(WireModel::Loopback());
+  q.Send({1});
+  q.Send({2});
+  q.Send({3});
+  Buffer m;
+  ASSERT_TRUE(q.Recv(&m));
+  EXPECT_EQ(m, Buffer{1});
+  ASSERT_TRUE(q.Recv(&m));
+  EXPECT_EQ(m, Buffer{2});
+  ASSERT_TRUE(q.Recv(&m));
+  EXPECT_EQ(m, Buffer{3});
+}
+
+TEST(MessageQueue, CloseUnblocksAndDrains) {
+  MessageQueue q(WireModel::Loopback());
+  q.Send({42});
+  q.Close();
+  Buffer m;
+  ASSERT_TRUE(q.Recv(&m));  // queued message still delivered
+  EXPECT_EQ(m, Buffer{42});
+  EXPECT_FALSE(q.Recv(&m));  // then closed
+}
+
+TEST(MessageQueue, CloseWakesBlockedReceiver) {
+  MessageQueue q(WireModel::Loopback());
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Close();
+  });
+  Buffer m;
+  EXPECT_FALSE(q.Recv(&m));
+  closer.join();
+}
+
+TEST(MessageQueue, ModeledLatencyIsApplied) {
+  // 0.5 ms base latency: receive must not complete sooner.
+  MessageQueue q({500000.0, 0.0});
+  Timer t;
+  q.Send({7});
+  Buffer m;
+  ASSERT_TRUE(q.Recv(&m));
+  EXPECT_GE(t.ElapsedNanos(), 400000.0);  // allow scheduler slop downward
+}
+
+TEST(Channel, BidirectionalRoundTrip) {
+  Channel ch(WireModel::Loopback());
+  ch.ClientSend({1, 2});
+  Buffer m;
+  ASSERT_TRUE(ch.ServerRecv(&m));
+  EXPECT_EQ(m, (Buffer{1, 2}));
+  ch.ServerSend({3, 4});
+  ASSERT_TRUE(ch.ClientRecv(&m));
+  EXPECT_EQ(m, (Buffer{3, 4}));
+}
+
+TEST(Channel, CrossThreadPingPong) {
+  Channel ch(WireModel{1000.0, 12.5});
+  constexpr int kRounds = 50;
+  std::thread server([&] {
+    Buffer m;
+    for (int i = 0; i < kRounds; ++i) {
+      ASSERT_TRUE(ch.ServerRecv(&m));
+      m.push_back(0xFF);
+      ch.ServerSend(m);
+    }
+  });
+  Buffer m;
+  for (int i = 0; i < kRounds; ++i) {
+    ch.ClientSend({static_cast<std::uint8_t>(i)});
+    ASSERT_TRUE(ch.ClientRecv(&m));
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_EQ(m[0], static_cast<std::uint8_t>(i));
+  }
+  server.join();
+}
+
+}  // namespace
+}  // namespace simdht

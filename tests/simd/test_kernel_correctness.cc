@@ -1,0 +1,161 @@
+// Property test: every registered lookup kernel must agree exactly with the
+// scalar reference (CuckooTable::Find) on mixed hit/miss probe streams, for
+// every table shape it claims to support.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "core/workload.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+#include "simd/kernel.h"
+
+namespace simdht {
+namespace {
+
+struct ShapeCase {
+  unsigned ways;
+  unsigned slots;
+  std::uint64_t buckets;
+  double load_factor;
+};
+
+// Table shapes to exercise: every (N, m) family the paper evaluates, at a
+// mix of sizes (including non-tiny ones so multi-cache-line paths run) and
+// load factors (including nearly full).
+const ShapeCase kShapes[] = {
+    {2, 1, 1 << 10, 0.45}, {3, 1, 1 << 10, 0.85}, {4, 1, 1 << 12, 0.90},
+    {2, 2, 1 << 10, 0.80}, {2, 4, 1 << 8, 0.90},  {2, 8, 1 << 8, 0.90},
+    {3, 2, 1 << 12, 0.85}, {3, 4, 1 << 10, 0.90}, {3, 8, 1 << 6, 0.90},
+    {2, 4, 1 << 14, 0.93},
+};
+
+template <typename K, typename V>
+void VerifyKernelOnShape(const KernelInfo& kernel, const ShapeCase& shape,
+                         BucketLayout layout) {
+  LayoutSpec spec;
+  spec.ways = shape.ways;
+  spec.slots = shape.slots;
+  spec.key_bits = sizeof(K) * 8;
+  spec.val_bits = sizeof(V) * 8;
+  spec.bucket_layout = layout;
+  if (!kernel.Matches(spec)) return;
+  std::string why;
+  ASSERT_TRUE(spec.Validate(&why)) << why;
+
+  CuckooTable<K, V> table(shape.ways, shape.slots, shape.buckets, layout,
+                          /*seed=*/shape.ways * 1000 + shape.slots);
+  auto build = FillToLoadFactor(&table, shape.load_factor, /*seed=*/99);
+  ASSERT_GT(build.inserted_keys.size(), 0u);
+
+  auto miss_pool = UniqueRandomKeys<K>(2048, 1234, &build.inserted_keys);
+  WorkloadConfig wc;
+  wc.pattern = AccessPattern::kUniform;
+  wc.hit_rate = 0.7;
+  wc.num_queries = 4099;  // odd on purpose: exercises vector tails
+  wc.seed = 5;
+  auto queries = GenerateQueries(build.inserted_keys, miss_pool, wc);
+  ASSERT_EQ(queries.size(), wc.num_queries);
+
+  std::vector<V> vals(queries.size(), V{0xAA});
+  std::vector<std::uint8_t> found(queries.size(), 0xAA);
+  const std::uint64_t hits = kernel.fn(table.view(), queries.data(),
+                                       vals.data(), found.data(),
+                                       queries.size());
+
+  std::uint64_t expected_hits = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    V expected_val = 0;
+    const bool expected_found = table.Find(queries[i], &expected_val);
+    expected_hits += expected_found;
+    ASSERT_EQ(static_cast<bool>(found[i]), expected_found)
+        << kernel.name << " shape (" << shape.ways << "," << shape.slots
+        << ") query " << i << " key " << +queries[i];
+    if (expected_found) {
+      ASSERT_EQ(vals[i], expected_val)
+          << kernel.name << " shape (" << shape.ways << "," << shape.slots
+          << ") query " << i;
+      ASSERT_EQ(vals[i], (DeriveVal<K, V>(queries[i])));
+    } else {
+      ASSERT_EQ(vals[i], V{0}) << kernel.name << " miss must write 0";
+    }
+  }
+  ASSERT_EQ(hits, expected_hits) << kernel.name;
+}
+
+class KernelCorrectnessTest
+    : public ::testing::TestWithParam<const KernelInfo*> {};
+
+TEST_P(KernelCorrectnessTest, MatchesScalarReferenceOnAllShapes) {
+  const KernelInfo& kernel = *GetParam();
+  if (!GetCpuFeatures().Supports(kernel.level)) {
+    GTEST_SKIP() << "CPU lacks " << SimdLevelName(kernel.level);
+  }
+  for (const ShapeCase& shape : kShapes) {
+    if (kernel.key_bits == 16 && kernel.val_bits == 32) {
+      VerifyKernelOnShape<std::uint16_t, std::uint32_t>(
+          kernel, shape, kernel.bucket_layout);
+    } else if (kernel.key_bits == 32 && kernel.val_bits == 32) {
+      VerifyKernelOnShape<std::uint32_t, std::uint32_t>(
+          kernel, shape, kernel.bucket_layout);
+    } else if (kernel.key_bits == 64 && kernel.val_bits == 64) {
+      VerifyKernelOnShape<std::uint64_t, std::uint64_t>(
+          kernel, shape, kernel.bucket_layout);
+    } else {
+      FAIL() << "unexpected kernel key/val widths in registry: "
+             << kernel.name;
+    }
+  }
+}
+
+std::vector<const KernelInfo*> AllKernels() {
+  std::vector<const KernelInfo*> out;
+  for (const KernelInfo& k : KernelRegistry::Get().all()) out.push_back(&k);
+  return out;
+}
+
+std::string KernelTestName(
+    const ::testing::TestParamInfo<const KernelInfo*>& info) {
+  std::string name = info.param->name;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredKernels, KernelCorrectnessTest,
+                         ::testing::ValuesIn(AllKernels()), KernelTestName);
+
+// Kernels must also behave on empty input and all-miss input.
+TEST(KernelEdgeCases, EmptyBatchAndAllMisses) {
+  CuckooTable32 table(2, 4, 256, BucketLayout::kInterleaved);
+  auto build = FillToLoadFactor(&table, 0.5, 3);
+  const auto view = table.view();
+  auto miss_pool = UniqueRandomKeys<std::uint32_t>(512, 9,
+                                                   &build.inserted_keys);
+  for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
+    LayoutSpec spec = view.spec;
+    if (!kernel.Matches(spec)) continue;
+    if (!GetCpuFeatures().Supports(kernel.level)) continue;
+    // Empty batch.
+    EXPECT_EQ(kernel.fn(view, miss_pool.data(), nullptr, nullptr, 0), 0u)
+        << kernel.name;
+    // All misses.
+    std::vector<std::uint32_t> vals(miss_pool.size());
+    std::vector<std::uint8_t> found(miss_pool.size());
+    EXPECT_EQ(kernel.fn(view, miss_pool.data(), vals.data(), found.data(),
+                        miss_pool.size()),
+              0u)
+        << kernel.name;
+    for (std::size_t i = 0; i < miss_pool.size(); ++i) {
+      EXPECT_EQ(found[i], 0) << kernel.name;
+      EXPECT_EQ(vals[i], 0u) << kernel.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simdht

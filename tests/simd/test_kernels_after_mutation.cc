@@ -1,0 +1,87 @@
+// Kernels must stay correct on tables that have been mutated after the
+// initial build: erased slots (empty-key holes), in-place value updates,
+// and re-inserts that trigger cuckoo displacement.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/random.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+#include "simd/kernel.h"
+
+namespace simdht {
+namespace {
+
+template <typename K, typename V>
+void CheckAgainstScalar(const CuckooTable<K, V>& table,
+                        const std::vector<K>& probes) {
+  const TableView view = table.view();
+  std::vector<V> vals(probes.size());
+  std::vector<std::uint8_t> found(probes.size());
+  for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
+    if (!kernel.Matches(view.spec)) continue;
+    if (!GetCpuFeatures().Supports(kernel.level)) continue;
+    kernel.fn(view, probes.data(), vals.data(), found.data(), probes.size());
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      V expected = 0;
+      const bool expected_found = table.Find(probes[i], &expected);
+      ASSERT_EQ(static_cast<bool>(found[i]), expected_found)
+          << kernel.name << " probe " << i;
+      if (expected_found) {
+        ASSERT_EQ(vals[i], expected) << kernel.name << " probe " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelsAfterMutation, EraseUpdateReinsertCycle) {
+  for (unsigned slots : {1u, 4u}) {
+    CuckooTable32 table(2 + (slots == 1), slots, 2048,
+                        BucketLayout::kInterleaved, 5);
+    auto build = FillToLoadFactor(&table, 0.8, 7);
+    auto& keys = build.inserted_keys;
+    ASSERT_GT(keys.size(), 100u);
+
+    Xoshiro256 rng(9);
+    // Erase a third, update a third in place, reinsert some erased ones.
+    for (std::size_t i = 0; i < keys.size(); i += 3) {
+      ASSERT_TRUE(table.Erase(keys[i]));
+    }
+    for (std::size_t i = 1; i < keys.size(); i += 3) {
+      ASSERT_TRUE(table.UpdateValue(
+          keys[i], static_cast<std::uint32_t>(rng.Next())));
+    }
+    for (std::size_t i = 0; i < keys.size(); i += 6) {
+      table.Insert(keys[i], static_cast<std::uint32_t>(rng.Next()));
+    }
+
+    // Probe everything (erased, updated, reinserted, untouched) plus noise.
+    std::vector<std::uint32_t> probes = keys;
+    auto noise = UniqueRandomKeys<std::uint32_t>(512, 13, &keys);
+    probes.insert(probes.end(), noise.begin(), noise.end());
+    CheckAgainstScalar(table, probes);
+  }
+}
+
+TEST(KernelsAfterMutation, NearlyEmptyTable) {
+  // A table with exactly one resident key: every kernel must find only it.
+  CuckooTable32 table(3, 1, 4096, BucketLayout::kInterleaved);
+  ASSERT_TRUE(table.Insert(0xDEADBEEF, 7));
+  std::vector<std::uint32_t> probes = {0xDEADBEEFu, 1u, 2u, 3u, 4u,
+                                       5u, 6u, 7u, 8u, 9u};
+  CheckAgainstScalar(table, probes);
+}
+
+TEST(KernelsAfterMutation, DuplicateProbesInOneBatch) {
+  CuckooTable32 table(2, 4, 512, BucketLayout::kInterleaved);
+  ASSERT_TRUE(table.Insert(11, 110));
+  ASSERT_TRUE(table.Insert(22, 220));
+  std::vector<std::uint32_t> probes(64, 11);
+  for (std::size_t i = 1; i < probes.size(); i += 2) probes[i] = 22;
+  CheckAgainstScalar(table, probes);
+}
+
+}  // namespace
+}  // namespace simdht

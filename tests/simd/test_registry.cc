@@ -1,0 +1,90 @@
+// Registry structure tests: the kernel inventory the suite depends on.
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "simd/kernel.h"
+
+namespace simdht {
+namespace {
+
+LayoutSpec Spec(unsigned n, unsigned m, unsigned kb, unsigned vb,
+                BucketLayout layout = BucketLayout::kInterleaved) {
+  LayoutSpec s;
+  s.ways = n;
+  s.slots = m;
+  s.key_bits = kb;
+  s.val_bits = vb;
+  s.bucket_layout = layout;
+  return s;
+}
+
+TEST(KernelRegistry, HasScalarTwinForEverySupportedCombo) {
+  const auto& reg = KernelRegistry::Get();
+  EXPECT_NE(reg.Scalar(Spec(2, 4, 32, 32)), nullptr);
+  EXPECT_NE(reg.Scalar(Spec(3, 1, 64, 64)), nullptr);
+  EXPECT_NE(reg.Scalar(Spec(2, 8, 16, 32, BucketLayout::kSplit)), nullptr);
+  EXPECT_NE(reg.Scalar(Spec(2, 2, 32, 32, BucketLayout::kSplit)), nullptr);
+}
+
+TEST(KernelRegistry, NamesAreUnique) {
+  const auto& all = KernelRegistry::Get().all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+  }
+}
+
+TEST(KernelRegistry, ByNameRoundTrips) {
+  const auto& reg = KernelRegistry::Get();
+  for (const KernelInfo& k : reg.all()) {
+    EXPECT_EQ(reg.ByName(k.name), &k);
+  }
+  EXPECT_EQ(reg.ByName("no-such-kernel"), nullptr);
+}
+
+TEST(KernelRegistry, VerticalRequiresNonBucketized) {
+  const auto& reg = KernelRegistry::Get();
+  // m = 1: vertical applies, horizontal does not.
+  EXPECT_FALSE(reg.Find(Spec(2, 1, 32, 32), Approach::kVertical, 0, true)
+                   .empty());
+  EXPECT_TRUE(reg.Find(Spec(2, 1, 32, 32), Approach::kHorizontal, 0, true)
+                  .empty());
+  // m = 4: the reverse; hybrid vertical-over-BCHT applies.
+  EXPECT_TRUE(reg.Find(Spec(2, 4, 32, 32), Approach::kVertical, 0, true)
+                  .empty());
+  EXPECT_FALSE(reg.Find(Spec(2, 4, 32, 32), Approach::kHorizontal, 0, true)
+                   .empty());
+  EXPECT_FALSE(
+      reg.Find(Spec(2, 4, 32, 32), Approach::kVerticalBcht, 0, true).empty());
+}
+
+TEST(KernelRegistry, NoGatherKernelsBelow256Bits) {
+  // SSE has no hardware gather: no 128-bit vertical kernels may exist.
+  for (const KernelInfo& k : KernelRegistry::Get().all()) {
+    if (k.approach == Approach::kVertical ||
+        k.approach == Approach::kVerticalBcht) {
+      EXPECT_GE(k.width_bits, 256u) << k.name;
+    }
+  }
+}
+
+TEST(KernelRegistry, FindFiltersByCpuSupport) {
+  const auto& reg = KernelRegistry::Get();
+  const auto& cpu = GetCpuFeatures();
+  for (const KernelInfo* k :
+       reg.Find(Spec(2, 4, 32, 32), Approach::kHorizontal)) {
+    EXPECT_TRUE(cpu.Supports(k->level)) << k->name;
+  }
+}
+
+TEST(KernelRegistry, WidthFilterIsExact) {
+  const auto& reg = KernelRegistry::Get();
+  for (const KernelInfo* k :
+       reg.Find(Spec(2, 4, 32, 32), Approach::kHorizontal, 256, true)) {
+    EXPECT_EQ(k->width_bits, 256u);
+  }
+}
+
+}  // namespace
+}  // namespace simdht

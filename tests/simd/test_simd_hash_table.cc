@@ -1,0 +1,118 @@
+// SimdHashTable facade tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/random.h"
+#include "simd/simd_hash_table.h"
+
+namespace simdht {
+namespace {
+
+using Table32 = SimdHashTable<std::uint32_t, std::uint32_t>;
+
+TEST(SimdHashTable, BasicOperations) {
+  Table32::Options options;
+  options.capacity = 1 << 12;
+  Table32 ht(options);
+  EXPECT_TRUE(ht.Insert(1, 10));
+  EXPECT_TRUE(ht.Insert(2, 20));
+  std::uint32_t val = 0;
+  EXPECT_TRUE(ht.Find(1, &val));
+  EXPECT_EQ(val, 10u);
+  EXPECT_TRUE(ht.UpdateValue(1, 11));
+  EXPECT_TRUE(ht.Find(1, &val));
+  EXPECT_EQ(val, 11u);
+  EXPECT_TRUE(ht.Erase(2));
+  EXPECT_FALSE(ht.Find(2, &val));
+  EXPECT_EQ(ht.size(), 1u);
+}
+
+TEST(SimdHashTable, AutoSelectsWidestSupportedKernel) {
+  Table32::Options options;
+  options.capacity = 1 << 10;
+  Table32 ht(options);
+  const auto& cpu = GetCpuFeatures();
+  if (cpu.Supports(SimdLevel::kAvx512)) {
+    EXPECT_TRUE(ht.using_simd());
+    EXPECT_NE(ht.kernel_name().find("AVX-512"), std::string::npos);
+  } else if (cpu.Supports(SimdLevel::kAvx2)) {
+    EXPECT_TRUE(ht.using_simd());
+  }
+}
+
+TEST(SimdHashTable, BatchGetMatchesScalarFind) {
+  Table32::Options options;
+  options.ways = 3;
+  options.slots = 1;
+  options.capacity = 1 << 14;
+  Table32 ht(options);
+
+  Xoshiro256 rng(5);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 8000; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng.Next()) | 1;
+    if (ht.Insert(k, k ^ 0xABCD)) keys.push_back(k);
+  }
+  // Mix hits and misses.
+  std::vector<std::uint32_t> probes = keys;
+  for (int i = 0; i < 1000; ++i) {
+    probes.push_back(static_cast<std::uint32_t>(rng.Next()) | 1);
+  }
+
+  std::vector<std::uint32_t> vals(probes.size());
+  std::vector<std::uint8_t> found(probes.size());
+  const std::uint64_t hits =
+      ht.BatchGet(probes.data(), probes.size(), vals.data(), found.data());
+
+  std::uint64_t expected_hits = 0;
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    std::uint32_t expected = 0;
+    const bool expect_found = ht.Find(probes[i], &expected);
+    expected_hits += expect_found;
+    ASSERT_EQ(static_cast<bool>(found[i]), expect_found) << i;
+    if (expect_found) {
+      ASSERT_EQ(vals[i], expected) << i;
+    }
+  }
+  EXPECT_EQ(hits, expected_hits);
+}
+
+TEST(SimdHashTable, ForcedKernelByName) {
+  Table32::Options options;
+  options.capacity = 1 << 10;
+  options.kernel_name = "Scalar/k32v32";
+  Table32 ht(options);
+  EXPECT_FALSE(ht.using_simd());
+  EXPECT_EQ(ht.kernel_name(), "Scalar/k32v32");
+}
+
+TEST(SimdHashTable, ForcedKernelMismatchThrows) {
+  Table32::Options options;
+  options.capacity = 1 << 10;
+  options.kernel_name = "no-such-kernel";
+  EXPECT_THROW(Table32 ht(options), std::invalid_argument);
+
+  // A vertical kernel cannot serve a bucketized layout.
+  options.kernel_name = "V-Ver/AVX2/k32v32";
+  options.ways = 2;
+  options.slots = 4;
+  EXPECT_THROW(Table32 ht2(options), std::invalid_argument);
+}
+
+TEST(SimdHashTable, MixedWidthDefaultsToSplitLayout) {
+  SimdHashTable<std::uint16_t, std::uint32_t>::Options options;
+  options.ways = 2;
+  options.slots = 8;
+  options.capacity = 1 << 12;
+  SimdHashTable<std::uint16_t, std::uint32_t> ht(options);
+  EXPECT_EQ(ht.spec().bucket_layout, BucketLayout::kSplit);
+  EXPECT_TRUE(ht.Insert(7, 70));
+  std::uint32_t val = 0;
+  EXPECT_TRUE(ht.Find(7, &val));
+  EXPECT_EQ(val, 70u);
+}
+
+}  // namespace
+}  // namespace simdht

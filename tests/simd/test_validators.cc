@@ -1,0 +1,101 @@
+// Tests for the HorV-Valid / VerV-Valid capacity rules (Algorithms 1 & 2).
+#include <gtest/gtest.h>
+
+#include "simd/kernel.h"
+
+namespace simdht {
+namespace {
+
+LayoutSpec Spec(unsigned n, unsigned m, unsigned kb, unsigned vb,
+                BucketLayout layout = BucketLayout::kInterleaved) {
+  LayoutSpec s;
+  s.ways = n;
+  s.slots = m;
+  s.key_bits = kb;
+  s.val_bits = vb;
+  s.bucket_layout = layout;
+  return s;
+}
+
+// --- HorV-Valid (paper Algo 1): buckets-per-vector ---
+
+TEST(HorizontalValidator, PaperListing1Bcht32) {
+  // (2,2): bucket = 16 B -> 128 bit: 1 bucket/vec, 256 bit: 2.
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(2, 2, 32, 32), 128), 1u);
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(2, 2, 32, 32), 256), 2u);
+  // (2,4): bucket = 32 B -> 128: no fit; 256: 1; 512: 2.
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(2, 4, 32, 32), 128), 0u);
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(2, 4, 32, 32), 256), 1u);
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(2, 4, 32, 32), 512), 2u);
+  // (2,8): bucket = 64 B -> only 512: 1 bucket/vec.
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(2, 8, 32, 32), 256), 0u);
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(2, 8, 32, 32), 512), 1u);
+  // (3,2) mirrors (2,2); (3,4) mirrors (2,4).
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(3, 2, 32, 32), 128), 1u);
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(3, 2, 32, 32), 256), 2u);
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(3, 4, 32, 32), 256), 1u);
+  EXPECT_EQ(HorizontalBucketsPerVector(Spec(3, 4, 32, 32), 512), 2u);
+}
+
+TEST(HorizontalValidator, BucketsPerVectorCappedAtTwoAndAtN) {
+  // (2,2) at 512 bit could fit 4 buckets, but multi-bucket probes are two
+  // half-vector loads and N = 2 anyway.
+  EXPECT_LE(HorizontalBucketsPerVector(Spec(2, 2, 32, 32), 512), 2u);
+}
+
+TEST(HorizontalValidator, SplitLayoutComparesKeyBlockOnly) {
+  // (2,8) with (K,V) = (16,32): interleaved bucket would be 48 B (does not
+  // fit 256 bits), but the split key block is 16 B.
+  EXPECT_EQ(
+      HorizontalBucketsPerVector(Spec(2, 8, 16, 32, BucketLayout::kSplit),
+                                 128),
+      1u);
+  EXPECT_EQ(
+      HorizontalBucketsPerVector(Spec(2, 8, 16, 32, BucketLayout::kSplit),
+                                 256),
+      2u);
+}
+
+TEST(HorizontalValidator, NoMultiBucketProbeAt128Bits) {
+  // Split (2,2) key block = 8 B; two would fit in 128 bits numerically but
+  // multi-bucket probes need >= 256-bit vectors.
+  EXPECT_EQ(
+      HorizontalBucketsPerVector(Spec(2, 2, 32, 32, BucketLayout::kSplit),
+                                 128),
+      1u);
+}
+
+// --- VerV-Valid (paper Algo 2): keys-per-iteration ---
+
+TEST(VerticalValidator, PaperListing1NWay32) {
+  // (N,1) with (32,32): 256 bit -> 8 keys/it, 512 bit -> 16 keys/it,
+  // 128 bit -> invalid (no hardware gather below AVX2).
+  for (unsigned n : {2u, 3u, 4u}) {
+    EXPECT_EQ(VerticalKeysPerIteration(Spec(n, 1, 32, 32), 128), 0u);
+    EXPECT_EQ(VerticalKeysPerIteration(Spec(n, 1, 32, 32), 256), 8u);
+    EXPECT_EQ(VerticalKeysPerIteration(Spec(n, 1, 32, 32), 512), 16u);
+  }
+}
+
+TEST(VerticalValidator, Wide64BitKeys) {
+  EXPECT_EQ(VerticalKeysPerIteration(Spec(3, 1, 64, 64), 256), 4u);
+  EXPECT_EQ(VerticalKeysPerIteration(Spec(3, 1, 64, 64), 512), 8u);
+}
+
+TEST(VerticalValidator, RejectsUngatherableShapes) {
+  // 16-bit keys have no gather granularity.
+  EXPECT_EQ(VerticalKeysPerIteration(Spec(2, 1, 16, 32,
+                                          BucketLayout::kSplit), 256), 0u);
+  // Split layout breaks the packed {key,val} slot addressing.
+  EXPECT_EQ(VerticalKeysPerIteration(Spec(2, 1, 32, 32,
+                                          BucketLayout::kSplit), 256), 0u);
+}
+
+TEST(VerticalValidator, VectorMustExceedSlotWidth) {
+  // VerV-Valid: w must be > (k + v).
+  LayoutSpec s = Spec(2, 1, 64, 64);
+  EXPECT_EQ(VerticalKeysPerIteration(s, 128), 0u);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,260 @@
+// simdht — the SimdHT-Bench command-line interface (paper Fig 4).
+//
+// Wires the suite's four modules together for ad-hoc studies:
+//   1. configurable input parameters  (flags below)
+//   2. workload/table generator
+//   3. SIMD algorithm validation engine (prints the Listing-1 line)
+//   4. performance engine (scalar twin vs every viable SIMD design)
+//
+// Examples:
+//   simdht --ways=2 --slots=4 --bytes=1M --pattern=zipf
+//   simdht --ways=3 --slots=1 --key-bits=64 --hit-rate=0.5 --threads=4
+//   simdht --ways=2 --slots=8 --key-bits=16 --layout=split --csv
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cpu_features.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "core/case_runner.h"
+#include "core/trace.h"
+#include "core/validation.h"
+#include "ht/table_builder.h"
+
+using namespace simdht;
+
+namespace {
+
+std::uint64_t ParseBytes(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != nullptr) {
+    switch (*end) {
+      case 'k': case 'K': v *= 1 << 10; break;
+      case 'm': case 'M': v *= 1 << 20; break;
+      case 'g': case 'G': v *= 1 << 30; break;
+      default: break;
+    }
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "table layout:\n"
+      "  --ways=N          hash functions, 2-4 (default 2)\n"
+      "  --slots=M         slots per bucket, 1/2/4/8 (default 4)\n"
+      "  --key-bits=B      16, 32 or 64 (default 32)\n"
+      "  --val-bits=B      32 or 64 (default = key-bits, min 32)\n"
+      "  --layout=X        interleaved | split (default interleaved)\n"
+      "  --bytes=S         target table size, e.g. 1M, 256K (default 1M)\n"
+      "  --load-factor=F   fill target (default 0.9)\n"
+      "workload:\n"
+      "  --pattern=P       uniform | zipf (default uniform)\n"
+      "  --hit-rate=F      probe selectivity (default 0.9)\n"
+      "  --zipf-s=F        skew exponent (default 0.99)\n"
+      "engine:\n"
+      "  --threads=N       worker threads (default: all cores)\n"
+      "  --queries=N       probes per thread per run (default 1M)\n"
+      "  --repeats=N       runs averaged (default 5)\n"
+      "  --widths=LIST     vector widths to consider (default 128,256,512)\n"
+      "  --hybrid          include vertical-over-BCHT designs\n"
+      "  --no-strict       admit chunked horizontal probes\n"
+      "  --per-core-table  dedicated table per thread (default shared)\n"
+      "  --csv             machine-readable output\n"
+      "traces (32-bit interleaved layouts):\n"
+      "  --trace-out=PATH  record the generated probe stream and exit\n"
+      "  --trace-in=PATH   replay a recorded stream (single-threaded)\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("help") || flags.Has("h")) {
+    Usage(argv[0]);
+    return 0;
+  }
+
+  CaseSpec spec;
+  spec.layout.ways = static_cast<unsigned>(flags.GetInt("ways", 2));
+  spec.layout.slots = static_cast<unsigned>(flags.GetInt("slots", 4));
+  spec.layout.key_bits =
+      static_cast<unsigned>(flags.GetInt("key-bits", 32));
+  spec.layout.val_bits = static_cast<unsigned>(flags.GetInt(
+      "val-bits", spec.layout.key_bits < 32 ? 32 : spec.layout.key_bits));
+  const std::string layout_name =
+      flags.GetString("layout", spec.layout.key_bits == spec.layout.val_bits
+                                    ? "interleaved"
+                                    : "split");
+  spec.layout.bucket_layout = layout_name == "split"
+                                  ? BucketLayout::kSplit
+                                  : BucketLayout::kInterleaved;
+  spec.table_bytes = ParseBytes(flags.GetString("bytes", "1M"));
+  spec.load_factor = flags.GetDouble("load-factor", 0.9);
+  spec.hit_rate = flags.GetDouble("hit-rate", 0.9);
+  spec.zipf_s = flags.GetDouble("zipf-s", 0.99);
+  spec.threads = static_cast<unsigned>(flags.GetInt("threads", 0));
+  spec.queries_per_thread =
+      static_cast<std::size_t>(flags.GetInt("queries", 1 << 20));
+  spec.repeats = static_cast<unsigned>(flags.GetInt("repeats", 5));
+  spec.shared_table = !flags.GetBool("per-core-table", false);
+  spec.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  const std::string pattern = flags.GetString("pattern", "uniform");
+  if (!ParseAccessPattern(pattern, &spec.pattern)) {
+    std::fprintf(stderr, "unknown --pattern '%s'\n", pattern.c_str());
+    return 1;
+  }
+
+  std::string why;
+  if (!spec.layout.Validate(&why)) {
+    std::fprintf(stderr, "invalid layout: %s\n", why.c_str());
+    return 1;
+  }
+
+  ValidationOptions options;
+  options.strict = !flags.GetBool("no-strict", false);
+  options.include_hybrid = flags.GetBool("hybrid", false);
+  for (std::int64_t w : flags.GetIntList("widths", {128, 256, 512})) {
+    if (w != 128 && w != 256 && w != 512) {
+      std::fprintf(stderr, "unsupported width %lld\n",
+                   static_cast<long long>(w));
+      return 1;
+    }
+  }
+  options.widths.clear();
+  for (std::int64_t w : flags.GetIntList("widths", {128, 256, 512})) {
+    options.widths.push_back(static_cast<unsigned>(w));
+  }
+
+  // --- trace record / replay (32-bit interleaved layouts) ---
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string trace_in = flags.GetString("trace-in", "");
+  if ((!trace_out.empty() || !trace_in.empty()) &&
+      (spec.layout.key_bits != 32 || spec.layout.val_bits != 32)) {
+    std::fprintf(stderr, "traces support 32-bit layouts only\n");
+    return 1;
+  }
+  if (!trace_out.empty() || !trace_in.empty()) {
+    CuckooTable32 table(spec.layout.ways, spec.layout.slots,
+                        BucketsForBytes(spec.layout, spec.table_bytes),
+                        spec.layout.bucket_layout, spec.seed);
+    auto build = FillToLoadFactor(&table, spec.load_factor, spec.seed + 1000);
+
+    if (!trace_out.empty()) {
+      auto misses = UniqueRandomKeys<std::uint32_t>(
+          std::max<std::size_t>(1024, build.inserted_keys.size() / 8),
+          spec.seed + 77, &build.inserted_keys);
+      WorkloadConfig wc;
+      wc.pattern = spec.pattern;
+      wc.hit_rate = spec.hit_rate;
+      wc.zipf_s = spec.zipf_s;
+      wc.num_queries = spec.queries_per_thread;
+      wc.seed = spec.seed + 31;
+      ProbeTrace<std::uint32_t> trace;
+      trace.queries = GenerateQueries(build.inserted_keys, misses, wc);
+      trace.hit_rate = spec.hit_rate;
+      trace.table_seed = spec.seed;
+      trace.pattern = static_cast<std::uint8_t>(spec.pattern);
+      if (!SaveTraceToFile(trace, trace_out)) {
+        std::fprintf(stderr, "cannot write trace to %s\n",
+                     trace_out.c_str());
+        return 1;
+      }
+      std::printf("recorded %zu probes to %s (table seed %llu)\n",
+                  trace.queries.size(), trace_out.c_str(),
+                  static_cast<unsigned long long>(spec.seed));
+      return 0;
+    }
+
+    auto trace = LoadTraceFromFile<std::uint32_t>(trace_in);
+    if (!trace.has_value()) {
+      std::fprintf(stderr, "cannot read trace from %s\n", trace_in.c_str());
+      return 1;
+    }
+    if (trace->table_seed != spec.seed) {
+      std::fprintf(stderr,
+                   "warning: trace was recorded against table seed %llu, "
+                   "current --seed is %llu (hit rate will differ)\n",
+                   static_cast<unsigned long long>(trace->table_seed),
+                   static_cast<unsigned long long>(spec.seed));
+    }
+    std::printf("replaying %zu probes from %s\n", trace->queries.size(),
+                trace_in.c_str());
+    TablePrinter replay({"kernel", "Mlookups/s", "hits"});
+    std::vector<std::uint32_t> vals(trace->queries.size());
+    std::vector<std::uint8_t> found(trace->queries.size());
+    std::vector<const KernelInfo*> kernels = {
+        KernelRegistry::Get().Scalar(spec.layout)};
+    ValidationOptions replay_opts;
+    for (const DesignChoice& c :
+         ValidationEngine::Enumerate(spec.layout, replay_opts)) {
+      kernels.push_back(c.kernel);
+    }
+    for (const KernelInfo* kernel : kernels) {
+      if (kernel == nullptr) continue;
+      RunningStat stat;
+      std::uint64_t hits = 0;
+      for (unsigned rep = 0; rep < spec.repeats; ++rep) {
+        Timer timer;
+        hits = kernel->fn(table.view(), trace->queries.data(), vals.data(),
+                          found.data(), trace->queries.size());
+        stat.Add(static_cast<double>(trace->queries.size()) /
+                 timer.ElapsedSeconds() / 1e6);
+      }
+      replay.AddRow({kernel->name, TablePrinter::Fmt(stat.mean(), 1),
+                     TablePrinter::Fmt(hits)});
+    }
+    replay.Print();
+    return 0;
+  }
+
+  const bool csv = flags.GetBool("csv", false);
+  if (!csv) {
+    std::printf("SimdHT-Bench\nCPU: %s\n\n",
+                GetCpuFeatures().ToString().c_str());
+    std::printf("-- validation engine --\n%s: %s\n\n",
+                spec.layout.ToString().c_str(),
+                ValidationEngine::ListingLine(
+                    spec.layout,
+                    ValidationEngine::Enumerate(spec.layout, options))
+                    .c_str());
+    std::printf("-- performance engine --\n");
+  }
+
+  const CaseResult result = RunCaseAuto(spec, options);
+  TablePrinter table({"kernel", "approach", "width", "Mlookups/s/core",
+                      "stddev", "hit rate", "speedup vs scalar"});
+  for (const MeasuredKernel& k : result.kernels) {
+    table.AddRow({k.name, ApproachName(k.approach),
+                  k.approach == Approach::kScalar
+                      ? "-"
+                      : TablePrinter::Fmt(std::int64_t{k.width_bits}),
+                  TablePrinter::Fmt(k.mlps_per_core, 1),
+                  TablePrinter::Fmt(k.stddev_mlps, 1),
+                  TablePrinter::Fmt(k.hit_fraction, 3),
+                  TablePrinter::Fmt(k.speedup, 2)});
+  }
+  if (csv) {
+    table.PrintCsv();
+  } else {
+    table.Print();
+    std::printf(
+        "\ntable: %s buckets over %s; achieved load factor %.2f; %u "
+        "threads, %s table\n",
+        HumanCount(static_cast<double>(
+                       BucketsForBytes(spec.layout, spec.table_bytes)))
+            .c_str(),
+        HumanBytes(static_cast<double>(result.actual_table_bytes)).c_str(),
+        result.achieved_load_factor, result.threads,
+        spec.shared_table ? "shared" : "per-core");
+  }
+  return 0;
+}

@@ -48,13 +48,18 @@ ChurnResult RunChurnCase(const LayoutSpec& layout, const KernelInfo* kernel,
   std::vector<std::uint32_t> vals(probes.size());
   std::vector<std::uint8_t> found(probes.size());
 
+  const auto lookup = [&](const TableView& view, const std::uint32_t* keys,
+                          std::uint32_t* out_vals, std::uint8_t* out_found,
+                          std::size_t n) {
+    return kernel->Lookup(view, ProbeBatch::Of(keys, out_vals, out_found, n));
+  };
   ChurnResult result;
   RunningStat idle, churn, ops;
   for (unsigned rep = 0; rep < repeats; ++rep) {
     {
       Timer t;
-      table.BatchLookup(kernel->fn, probes.data(), vals.data(),
-                        found.data(), probes.size());
+      table.BatchLookup(lookup, probes.data(), vals.data(), found.data(),
+                        probes.size());
       idle.Add(static_cast<double>(probes.size()) / t.ElapsedSeconds() /
                1e6);
     }
@@ -85,8 +90,8 @@ ChurnResult RunChurnCase(const LayoutSpec& layout, const KernelInfo* kernel,
         writer_ops.store(count);
       });
       Timer t;
-      table.BatchLookup(kernel->fn, probes.data(), vals.data(),
-                        found.data(), probes.size());
+      table.BatchLookup(lookup, probes.data(), vals.data(), found.data(),
+                        probes.size());
       const double secs = t.ElapsedSeconds();
       stop.store(true);
       writer.join();

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     } else {
       // Only the vertical-over-BCHT kernels are of interest here.
       auto kernels = KernelRegistry::Get().Find(
-          spec.layout, Approach::kVerticalBcht, 512);
+          KernelQuery{spec.layout, Approach::kVerticalBcht, 512});
       const CaseResult result = RunCase(spec, kernels);
       for (const MeasuredKernel& k : result.kernels) {
         table.AddRow({"C: hybrid slots", "m=" + std::to_string(m), k.name,

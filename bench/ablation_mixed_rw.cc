@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       spec.layout = layout;
       spec.table_bytes = 1 << 20;
       spec.pattern = pattern;
-      spec.repeats = opt.quick ? 2 : 5;
+      spec.run.repeats = opt.quick ? 2 : 5;
 
       std::vector<const KernelInfo*> kernels;
       for (const DesignChoice& c : ValidationEngine::Enumerate(layout)) {

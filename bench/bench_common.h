@@ -7,6 +7,10 @@
 //   --repeats=N      repetitions averaged (paper protocol: 5)
 //   --csv            machine-readable output
 //   --seed=N         workload/table seed
+//   --prefetch=P     none | group | amac: also measure kernels through the
+//                    prefetch pipeline (binaries that RunCase)
+//   --group-size=N   keys per prefetch group (default 32)
+//   --amac-groups=G  prefetch groups in flight for amac (default 4)
 #ifndef SIMDHT_BENCH_BENCH_COMMON_H_
 #define SIMDHT_BENCH_BENCH_COMMON_H_
 
@@ -30,6 +34,7 @@ struct BenchOptions {
   std::size_t queries_per_thread = 0;  // 0 = per-binary default
   unsigned repeats = 0;                // 0 = per-binary default
   std::uint64_t seed = 42;
+  PipelineConfig pipeline;  // kNone = direct-only measurements
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -42,17 +47,27 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("queries", 0));
   opt.repeats = static_cast<unsigned>(flags.GetInt("repeats", 0));
   opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::string prefetch = flags.GetString("prefetch", "none");
+  if (!ParsePrefetchPolicy(prefetch, &opt.pipeline.policy)) {
+    std::fprintf(stderr, "unknown --prefetch '%s', using 'none'\n",
+                 prefetch.c_str());
+  }
+  opt.pipeline.group_size =
+      static_cast<unsigned>(flags.GetInt("group-size", 32));
+  opt.pipeline.amac_groups =
+      static_cast<unsigned>(flags.GetInt("amac-groups", 4));
   return opt;
 }
 
 // Applies global options onto a per-binary CaseSpec default.
 inline void ApplyOptions(const BenchOptions& opt, CaseSpec* spec) {
-  if (opt.threads != 0) spec->threads = opt.threads;
+  if (opt.threads != 0) spec->run.threads = opt.threads;
   if (opt.queries_per_thread != 0) {
-    spec->queries_per_thread = opt.queries_per_thread;
+    spec->run.queries_per_thread = opt.queries_per_thread;
   }
-  if (opt.repeats != 0) spec->repeats = opt.repeats;
-  spec->seed = opt.seed;
+  if (opt.repeats != 0) spec->run.repeats = opt.repeats;
+  spec->run.seed = opt.seed;
+  spec->run.pipeline = opt.pipeline;
 }
 
 inline void PrintHeader(const char* title, const BenchOptions& opt) {
@@ -79,8 +94,8 @@ inline CaseSpec PaperCaseDefaults(const BenchOptions& opt) {
   CaseSpec spec;
   spec.load_factor = 0.9;
   spec.hit_rate = 0.9;
-  spec.repeats = opt.quick ? 3 : 5;
-  spec.queries_per_thread = opt.quick ? (1u << 18) : (1u << 21);
+  spec.run.repeats = opt.quick ? 3 : 5;
+  spec.run.queries_per_thread = opt.quick ? (1u << 18) : (1u << 21);
   ApplyOptions(opt, &spec);
   return spec;
 }

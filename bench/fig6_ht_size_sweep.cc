@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       spec.table_bytes = bytes;
       // Keep the probe volume constant-ish in time across sizes.
       if (bytes >= (16u << 20) && opt.quick) {
-        spec.queries_per_thread /= 2;
+        spec.run.queries_per_thread /= 2;
       }
       const CaseResult result = RunCaseAuto(spec);
       for (const MeasuredKernel& k : result.kernels) {

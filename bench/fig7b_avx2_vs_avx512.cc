@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
         CaseSpec spec = PaperCaseDefaults(opt);
         spec.layout = layout;
         spec.table_bytes = bytes;
-        spec.threads = threads;
+        spec.run.threads = threads;
 
         // Explicit kernels: include the non-strict chunked AVX2 probe for
         // (2,8), which the strict validator (Listing 1) excludes.

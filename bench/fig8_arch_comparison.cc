@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
           spec.layout = layout;
           spec.table_bytes = bytes;
           spec.pattern = pattern;
-          spec.threads = proxy.threads;
+          spec.run.threads = proxy.threads;
 
           // Measure the paper's chosen kernel per design: AVX2 horizontal
           // for (2,4), AVX-512 vertical for 3-way.
@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
                                         ? Approach::kHorizontal
                                         : Approach::kVertical;
           const unsigned width = layout.bucketized() ? 256 : 512;
-          auto kernels =
-              KernelRegistry::Get().Find(layout, approach, width);
+          auto kernels = KernelRegistry::Get().Find(
+              KernelQuery{layout, approach, width});
           const CaseResult result = RunCase(spec, kernels);
           for (const MeasuredKernel& k : result.kernels) {
             table.AddRow({proxy.label, layout.ToString(),

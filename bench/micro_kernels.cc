@@ -50,9 +50,9 @@ void RunKernelBench(benchmark::State& state, const KernelInfo* kernel,
   std::size_t offset = 0;
   for (auto _ : state) {
     if (offset + batch > fixture->queries.size()) offset = 0;
-    const std::uint64_t hits =
-        kernel->fn(view, fixture->queries.data() + offset, vals.data(),
-                   found.data(), batch);
+    const std::uint64_t hits = kernel->Lookup(
+        view, ProbeBatch::Of(fixture->queries.data() + offset, vals.data(),
+                             found.data(), batch));
     benchmark::DoNotOptimize(hits);
     offset += batch;
   }

@@ -72,8 +72,9 @@ int main(int argc, char** argv) {
     Timer timer;
     for (std::size_t off = 0; off < num_orders; off += kBatch) {
       const std::size_t n = std::min(kBatch, num_orders - off);
-      join_matches += kernel->fn(customers.view(), order_keys.data() + off,
-                                 regions.data(), matched.data(), n);
+      join_matches += kernel->Lookup(
+          customers.view(), ProbeBatch::Of(order_keys.data() + off,
+                                           regions.data(), matched.data(), n));
       for (std::size_t i = 0; i < n; ++i) {
         if (matched[i]) {
           region_sum[regions[i] & 15] += order_amounts[off + i];

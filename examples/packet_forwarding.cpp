@@ -90,8 +90,9 @@ int main(int argc, char** argv) {
     Timer timer;
     for (std::size_t b = 0; b < num_bursts; ++b) {
       const std::uint32_t* burst_keys = packets.data() + b * burst;
-      const std::uint64_t hits = kernel->fn(table.view(), burst_keys,
-                                            ports.data(), hit.data(), burst);
+      const std::uint64_t hits = kernel->Lookup(
+          table.view(),
+          ProbeBatch::Of(burst_keys, ports.data(), hit.data(), burst));
       forwarded += hits;
       missed += burst - hits;
     }

@@ -55,9 +55,9 @@ int main() {
   std::vector<std::uint32_t> keys = {1, 42, 777, 50001, 123456, 33333};
   std::vector<std::uint32_t> vals(keys.size());
   std::vector<std::uint8_t> found(keys.size());
-  const std::uint64_t hits = kernel->fn(table.view(), keys.data(),
-                                        vals.data(), found.data(),
-                                        keys.size());
+  const std::uint64_t hits = kernel->Lookup(
+      table.view(),
+      ProbeBatch::Of(keys.data(), vals.data(), found.data(), keys.size()));
 
   std::printf("\nbatched lookup via %s: %lu/%zu found\n",
               kernel->name.c_str(), static_cast<unsigned long>(hits),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local check: build + test the default preset, then ASan+UBSan.
+#
+#   scripts/check.sh            # both presets
+#   scripts/check.sh default    # just the release build
+#   scripts/check.sh asan       # just the sanitizer build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan)
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+for preset in "${presets[@]}"; do
+  echo "=== preset: ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "${jobs}"
+  ctest --preset "${preset}"
+done
+echo "=== all checks passed ==="

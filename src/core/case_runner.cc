@@ -34,30 +34,36 @@ std::uint64_t BucketsForBytes(const LayoutSpec& layout,
 
 namespace {
 
-// Measures one kernel over pre-generated per-thread query streams.
+// Measures one kernel over pre-generated per-thread query streams, using
+// the prefetch schedule in `pipeline` (kNone = the direct path).
 template <typename K, typename V>
 MeasuredKernel MeasureKernel(const KernelInfo& kernel,
                              const std::vector<TableView>& views,
                              const std::vector<std::vector<K>>& queries,
-                             const CaseSpec& spec, ThreadPool* pool) {
+                             const CaseSpec& spec,
+                             const PipelineConfig& pipeline,
+                             ThreadPool* pool) {
   const unsigned threads = static_cast<unsigned>(pool->size());
+  const bool pipelined = pipeline.policy != PrefetchPolicy::kNone;
   MeasuredKernel result;
-  result.name = kernel.name;
+  result.name =
+      pipelined ? kernel.name + " [" + pipeline.Describe() + "]" : kernel.name;
   result.approach = kernel.approach;
   result.width_bits = kernel.width_bits;
+  result.policy = pipeline.policy;
 
   // Per-thread output buffers, reused across repetitions.
   std::vector<std::vector<V>> vals(threads);
   std::vector<std::vector<std::uint8_t>> found(threads);
   for (unsigned t = 0; t < threads; ++t) {
-    vals[t].resize(spec.batch);
-    found[t].resize(spec.batch);
+    vals[t].resize(spec.run.batch);
+    found[t].resize(spec.run.batch);
   }
 
   RunningStat per_core_mlps;
   double hit_fraction = 0.0;
 
-  for (unsigned rep = 0; rep < spec.repeats; ++rep) {
+  for (unsigned rep = 0; rep < spec.run.repeats; ++rep) {
     SpinBarrier barrier(threads);
     std::vector<double> secs(threads, 0.0);
     std::vector<std::uint64_t> hits(threads, 0);
@@ -65,19 +71,25 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
     pool->RunOnAll([&](std::size_t tid) {
       const TableView& view = views[views.size() == 1 ? 0 : tid];
       const std::vector<K>& q = queries[tid];
-      std::uint64_t local_hits = 0;
+      ProbeBatchStats stats;
       barrier.Wait();
       Timer timer;
       std::size_t off = 0;
       while (off < q.size()) {
-        const std::size_t chunk = std::min(spec.batch, q.size() - off);
-        local_hits += kernel.fn(view, q.data() + off, vals[tid].data(),
-                                found[tid].data(), chunk);
+        const std::size_t chunk = std::min(spec.run.batch, q.size() - off);
+        const ProbeBatch batch = ProbeBatch::Of(
+            q.data() + off, vals[tid].data(), found[tid].data(), chunk,
+            &stats);
+        if (pipelined) {
+          PipelinedLookup(kernel, view, batch, pipeline);
+        } else {
+          kernel.Lookup(view, batch);
+        }
         off += chunk;
       }
       secs[tid] = timer.ElapsedSeconds();
-      hits[tid] = local_hits;
-      DoNotOptimize(local_hits);
+      hits[tid] = stats.hits;
+      DoNotOptimize(stats.hits);
     });
 
     double sum_mlps = 0.0;
@@ -109,8 +121,8 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
   CaseResult result;
   result.layout = spec.layout;
   const unsigned threads =
-      spec.threads == 0 ? static_cast<unsigned>(HardwareThreads())
-                        : spec.threads;
+      spec.run.threads == 0 ? static_cast<unsigned>(HardwareThreads())
+                            : spec.run.threads;
   result.threads = threads;
 
   const std::uint64_t num_buckets =
@@ -124,9 +136,9 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
   for (unsigned t = 0; t < num_tables; ++t) {
     auto table = std::make_unique<CuckooTable<K, V>>(
         spec.layout.ways, spec.layout.slots, num_buckets,
-        spec.layout.bucket_layout, spec.seed + t);
-    builds.push_back(
-        FillToLoadFactor(table.get(), spec.load_factor, spec.seed + 1000 + t));
+        spec.layout.bucket_layout, spec.run.seed + t);
+    builds.push_back(FillToLoadFactor(table.get(), spec.load_factor,
+                                      spec.run.seed + 1000 + t));
     views.push_back(table->view());
     tables.push_back(std::move(table));
   }
@@ -138,7 +150,7 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
   for (unsigned t = 0; t < num_tables; ++t) {
     const std::size_t pool_size = std::max<std::size_t>(
         1024, builds[t].inserted_keys.size() / 8);
-    miss_pools.push_back(UniqueRandomKeys<K>(pool_size, spec.seed + 77 + t,
+    miss_pools.push_back(UniqueRandomKeys<K>(pool_size, spec.run.seed + 77 + t,
                                              &builds[t].inserted_keys));
   }
 
@@ -150,8 +162,8 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
     wc.pattern = spec.pattern;
     wc.hit_rate = spec.hit_rate;
     wc.zipf_s = spec.zipf_s;
-    wc.num_queries = spec.queries_per_thread;
-    wc.seed = spec.seed + 31 * (t + 1);
+    wc.num_queries = spec.run.queries_per_thread;
+    wc.seed = spec.run.seed + 31 * (t + 1);
     queries[t] = GenerateQueries(builds[src].inserted_keys, miss_pools[src],
                                  wc);
     if (queries[t].empty()) {
@@ -159,24 +171,38 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
     }
   }
 
-  ThreadPool pool(threads, spec.pin_threads);
+  ThreadPool pool(threads, spec.run.pin_threads);
 
-  // Scalar twin first.
+  const PipelineConfig direct;  // policy == kNone
+  const PipelineConfig& pipe = spec.run.pipeline;
+  const bool add_pipelined = pipe.policy != PrefetchPolicy::kNone;
+
+  // Scalar twin first (direct path = the speedup baseline).
   const KernelInfo* scalar = KernelRegistry::Get().Scalar(spec.layout);
   if (scalar == nullptr) {
     throw std::runtime_error("RunCase: no scalar kernel for layout " +
                              spec.layout.ToString());
   }
   result.kernels.push_back(
-      MeasureKernel<K, V>(*scalar, views, queries, spec, &pool));
+      MeasureKernel<K, V>(*scalar, views, queries, spec, direct, &pool));
   const double scalar_mlps = result.kernels.front().mlps_per_core;
+  const auto relative = [scalar_mlps](MeasuredKernel m) {
+    m.speedup = scalar_mlps > 0 ? m.mlps_per_core / scalar_mlps : 0.0;
+    return m;
+  };
+  if (add_pipelined) {
+    result.kernels.push_back(relative(
+        MeasureKernel<K, V>(*scalar, views, queries, spec, pipe, &pool)));
+  }
 
   for (const KernelInfo* kernel : kernels) {
     if (kernel == nullptr || kernel == scalar) continue;
-    MeasuredKernel m =
-        MeasureKernel<K, V>(*kernel, views, queries, spec, &pool);
-    m.speedup = scalar_mlps > 0 ? m.mlps_per_core / scalar_mlps : 0.0;
-    result.kernels.push_back(std::move(m));
+    result.kernels.push_back(relative(
+        MeasureKernel<K, V>(*kernel, views, queries, spec, direct, &pool)));
+    if (add_pipelined) {
+      result.kernels.push_back(relative(
+          MeasureKernel<K, V>(*kernel, views, queries, spec, pipe, &pool)));
+    }
   }
   return result;
 }

@@ -12,10 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "core/run_options.h"
 #include "core/validation.h"
 #include "core/workload.h"
 #include "ht/layout.h"
 #include "simd/kernel.h"
+#include "simd/pipeline.h"
 
 namespace simdht {
 
@@ -26,24 +28,25 @@ struct CaseSpec {
   AccessPattern pattern = AccessPattern::kUniform;
   double hit_rate = 0.9;
   double zipf_s = 0.99;
-  unsigned threads = 0;                   // 0 = all hardware threads
-  std::size_t queries_per_thread = 1 << 20;
-  unsigned repeats = 5;                   // paper: average of five runs
-  std::size_t batch = 2048;               // keys per kernel invocation
-  bool shared_table = true;               // false = dedicated table per core
-  bool pin_threads = true;
-  std::uint64_t seed = 42;
+  bool shared_table = true;  // false = dedicated table per core
+  // Execution knobs shared with the mixed runner / CLI / benches. When
+  // run.pipeline.policy != kNone every kernel (scalar twin included) is
+  // additionally measured through the prefetch pipeline as an extra
+  // design point.
+  RunOptions run;
 };
 
 // One kernel's measurement within a case.
 struct MeasuredKernel {
-  std::string name;
+  std::string name;             // kernel name, plus " [group:32]"-style
+                                // suffix for pipelined design points
   Approach approach = Approach::kScalar;
   unsigned width_bits = 0;
+  PrefetchPolicy policy = PrefetchPolicy::kNone;  // prefetch schedule used
   double mlps_per_core = 0.0;   // million lookups/sec per core (mean)
   double stddev_mlps = 0.0;
   double hit_fraction = 0.0;    // observed (should track CaseSpec.hit_rate)
-  double speedup = 1.0;         // vs the scalar twin in the same case
+  double speedup = 1.0;         // vs the direct scalar twin in the same case
 };
 
 struct CaseResult {

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "common/barrier.h"
 #include "common/stats.h"
@@ -27,8 +28,8 @@ struct PassResult {
 PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
                    const std::vector<std::vector<std::uint32_t>>& queries,
                    const std::vector<std::uint32_t>& resident_keys,
-                   std::size_t batch, bool with_writer,
-                   std::uint64_t seed) {
+                   std::size_t batch, const PipelineConfig& pipeline,
+                   bool with_writer, std::uint64_t seed) {
   const auto readers = static_cast<unsigned>(queries.size());
   const TableView view = table->view();
   SpinBarrier barrier(readers + (with_writer ? 1 : 0));
@@ -49,8 +50,9 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
       std::uint64_t sink = 0;
       while (off < q.size()) {
         const std::size_t chunk = std::min(batch, q.size() - off);
-        sink += kernel.fn(view, q.data() + off, vals.data(), found.data(),
-                          chunk);
+        const ProbeBatch probe = ProbeBatch::Of(q.data() + off, vals.data(),
+                                                found.data(), chunk);
+        sink += PipelinedLookup(kernel, view, probe, pipeline);
         off += chunk;
       }
       reader_secs[r] = timer.ElapsedSeconds();
@@ -107,17 +109,17 @@ std::vector<MixedResult> RunMixedCase(
   }
 
   const unsigned threads =
-      spec.threads == 0 ? static_cast<unsigned>(HardwareThreads())
-                        : spec.threads;
+      spec.run.threads == 0 ? static_cast<unsigned>(HardwareThreads())
+                            : spec.run.threads;
   const unsigned readers = threads > 1 ? threads - 1 : 1;
 
   CuckooTable32 table(spec.layout.ways, spec.layout.slots,
                       BucketsForBytes(spec.layout, spec.table_bytes),
-                      spec.layout.bucket_layout, spec.seed);
-  auto build = FillToLoadFactor(&table, spec.load_factor, spec.seed + 1);
+                      spec.layout.bucket_layout, spec.run.seed);
+  auto build = FillToLoadFactor(&table, spec.load_factor, spec.run.seed + 1);
   auto misses = UniqueRandomKeys<std::uint32_t>(
       std::max<std::size_t>(1024, build.inserted_keys.size() / 8),
-      spec.seed + 2, &build.inserted_keys);
+      spec.run.seed + 2, &build.inserted_keys);
 
   std::vector<std::vector<std::uint32_t>> queries(readers);
   for (unsigned r = 0; r < readers; ++r) {
@@ -125,8 +127,8 @@ std::vector<MixedResult> RunMixedCase(
     wc.pattern = spec.pattern;
     wc.hit_rate = spec.hit_rate;
     wc.zipf_s = spec.zipf_s;
-    wc.num_queries = spec.queries_per_thread;
-    wc.seed = spec.seed + 9 * (r + 1);
+    wc.num_queries = spec.run.queries_per_thread;
+    wc.seed = spec.run.seed + 9 * (r + 1);
     queries[r] = GenerateQueries(build.inserted_keys, misses, wc);
   }
 
@@ -134,19 +136,33 @@ std::vector<MixedResult> RunMixedCase(
       KernelRegistry::Get().Scalar(spec.layout)};
   all.insert(all.end(), kernels.begin(), kernels.end());
 
-  std::vector<MixedResult> results;
+  // Like the read-only engine: when a pipeline policy is configured each
+  // kernel is measured direct *and* pipelined, as separate design points.
+  std::vector<std::pair<const KernelInfo*, PipelineConfig>> rows;
   for (const KernelInfo* kernel : all) {
     if (kernel == nullptr) continue;
+    rows.emplace_back(kernel, PipelineConfig{});
+    if (spec.run.pipeline.policy != PrefetchPolicy::kNone) {
+      rows.emplace_back(kernel, spec.run.pipeline);
+    }
+  }
+
+  std::vector<MixedResult> results;
+  for (const auto& [kernel, pipeline] : rows) {
     MixedResult r;
-    r.kernel = kernel->name;
+    r.kernel = pipeline.policy != PrefetchPolicy::kNone
+                   ? kernel->name + " [" + pipeline.Describe() + "]"
+                   : kernel->name;
     RunningStat ro, ww, wu;
-    for (unsigned rep = 0; rep < spec.repeats; ++rep) {
+    for (unsigned rep = 0; rep < spec.run.repeats; ++rep) {
       ro.Add(RunPass(*kernel, &table, queries, build.inserted_keys,
-                     spec.batch, /*with_writer=*/false, spec.seed + rep)
+                     spec.run.batch, pipeline, /*with_writer=*/false,
+                     spec.run.seed + rep)
                  .reader_mlps);
-      const PassResult with = RunPass(*kernel, &table, queries,
-                                      build.inserted_keys, spec.batch,
-                                      /*with_writer=*/true, spec.seed + rep);
+      const PassResult with =
+          RunPass(*kernel, &table, queries, build.inserted_keys,
+                  spec.run.batch, pipeline, /*with_writer=*/true,
+                  spec.run.seed + rep);
       ww.Add(with.reader_mlps);
       wu.Add(with.writer_mups);
     }

@@ -1,0 +1,31 @@
+// Execution knobs shared by every measurement driver.
+//
+// The performance engine (CaseSpec in case_runner.h), the mixed read/write
+// runner, the CLI and the bench binaries all used to duplicate these fields;
+// RunOptions hoists them so the defaults — and any new knob, like the
+// prefetch-pipelining config — live in exactly one place.
+#ifndef SIMDHT_CORE_RUN_OPTIONS_H_
+#define SIMDHT_CORE_RUN_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/pipeline.h"
+
+namespace simdht {
+
+struct RunOptions {
+  unsigned threads = 0;                      // 0 = all hardware threads
+  std::size_t queries_per_thread = 1 << 20;  // probe-stream length per thread
+  unsigned repeats = 5;                      // paper: average of five runs
+  std::size_t batch = 2048;                  // keys per kernel invocation
+  bool pin_threads = true;
+  std::uint64_t seed = 42;
+  // When policy != kNone, the runners measure each kernel both direct and
+  // through the prefetch pipeline, as separate design points.
+  PipelineConfig pipeline;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_RUN_OPTIONS_H_

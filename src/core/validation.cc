@@ -63,8 +63,12 @@ std::vector<DesignChoice> ValidationEngine::Enumerate(
       if (options.strict && parallelism <= best) continue;
       if (parallelism > best) best = parallelism;
 
-      auto kernels = registry.Find(spec, approach, width,
-                                   /*include_unsupported=*/true);
+      KernelQuery query;
+      query.layout = spec;
+      query.approach = approach;
+      query.width_bits = width;
+      query.include_unsupported = true;
+      auto kernels = registry.Find(query);
       const KernelInfo* kernel = kernels.empty() ? nullptr : kernels.front();
       if (options.filter_by_cpu) {
         if (kernel == nullptr || !cpu.Supports(kernel->level)) continue;

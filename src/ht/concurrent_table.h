@@ -49,8 +49,9 @@ class ConcurrentCuckooTable {
   // Removes the key; thread-safe vs readers.
   bool Erase(K key);
 
-  // Batched lookup through any lookup kernel (a KernelInfo::fn pointer or
-  // anything with the same call shape), validated against the global write
+  // Batched lookup through any lookup kernel (typically a lambda wrapping
+  // KernelInfo::Lookup, or anything with the raw (view, keys, vals, found,
+  // n) call shape), validated against the global write
   // epoch per chunk. Chunks that raced a structural writer are retried
   // with progressively smaller chunks; if the writer churns faster than
   // even a small chunk can validate, the chunk falls back to per-key

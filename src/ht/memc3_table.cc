@@ -46,6 +46,19 @@ unsigned Memc3Table::ScanBucket(const Bucket& bucket, std::uint8_t tag,
   return count;
 }
 
+void Memc3Table::PrefetchCandidates(std::uint64_t hash) const {
+  const std::uint8_t tag = Tag8(hash);
+  const std::uint32_t b1 = IndexHash(hash);
+  const std::uint32_t b2 = AltBucket(b1, tag);
+  // A 40-byte bucket can straddle a cache-line boundary: cover both ends.
+  __builtin_prefetch(&buckets_[b1], 0, 1);
+  __builtin_prefetch(reinterpret_cast<const std::uint8_t*>(&buckets_[b1]) +
+                         sizeof(Bucket) - 1, 0, 1);
+  __builtin_prefetch(&buckets_[b2], 0, 1);
+  __builtin_prefetch(reinterpret_cast<const std::uint8_t*>(&buckets_[b2]) +
+                         sizeof(Bucket) - 1, 0, 1);
+}
+
 unsigned Memc3Table::FindCandidates(std::uint64_t hash,
                                     std::uint64_t out[kMaxCandidates]) const {
   const std::uint8_t tag = Tag8(hash);

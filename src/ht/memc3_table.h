@@ -55,6 +55,11 @@ class Memc3Table {
   unsigned FindCandidates(std::uint64_t hash,
                           std::uint64_t out[kMaxCandidates]) const;
 
+  // Prefetches both candidate buckets of `hash` into L2 — the group-prefetch
+  // stage of a batched Multi-Get, issued one mini-batch ahead of the
+  // FindCandidates calls that will touch the same buckets.
+  void PrefetchCandidates(std::uint64_t hash) const;
+
   // Removes the slot holding `item` under `hash`; returns true if found.
   bool Erase(std::uint64_t hash, std::uint64_t item);
 

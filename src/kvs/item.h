@@ -1,6 +1,8 @@
 // Key-value item format stored in slab memory.
 //
-// An item is a contiguous allocation: [ItemHeader][key bytes][value bytes].
+// An item is a contiguous allocation: [ItemHeader][key bytes][value bytes],
+// placed at an address aligned for ItemHeader (slab chunks are 8-byte
+// aligned, so this holds for every slab allocation).
 // Item handles are the item's address as a 64-bit integer — this is what
 // the MemC3 table stores next to its tags, and what the SIMD backends'
 // shared pointer array holds (Section VI-B: the 32-bit HT payload indexes

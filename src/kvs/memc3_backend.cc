@@ -1,5 +1,7 @@
 #include "kvs/memc3_backend.h"
 
+#include <algorithm>
+
 #include "hash/hash_family.h"
 #include "kvs/item.h"
 
@@ -75,21 +77,40 @@ std::size_t Memc3Backend::MultiGet(const std::vector<std::string_view>& keys,
                                    std::vector<std::string_view>* vals,
                                    std::vector<std::uint8_t>* found,
                                    std::vector<std::uint64_t>* handles) {
-  vals->resize(keys.size());
-  found->resize(keys.size());
-  handles->resize(keys.size());
+  const std::size_t n = keys.size();
+  vals->resize(n);
+  found->resize(n);
+  handles->resize(n);
+
+  // The batch is known in full, so run the same group-prefetch schedule as
+  // the SIMD backends: hash every key up front, then keep one mini-batch of
+  // candidate buckets in flight ahead of the probe loop.
+  std::vector<std::uint64_t> hashes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hashes[i] = HashBytes(keys[i].data(), keys[i].size());
+  }
+
+  constexpr std::size_t kGroup = 32;
+  for (std::size_t i = 0; i < std::min(kGroup, n); ++i) {
+    table_.PrefetchCandidates(hashes[i]);
+  }
   std::size_t hits = 0;
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    const std::uint64_t hash = HashBytes(keys[i].data(), keys[i].size());
-    const std::uint64_t item = FindItem(keys[i], hash);
-    (*handles)[i] = item;
-    if (item != 0) {
-      (*vals)[i] = ItemVal(item);
-      (*found)[i] = 1;
-      ++hits;
-    } else {
-      (*vals)[i] = {};
-      (*found)[i] = 0;
+  for (std::size_t g = 0; g < n; g += kGroup) {
+    for (std::size_t i = g + kGroup; i < std::min(g + 2 * kGroup, n); ++i) {
+      table_.PrefetchCandidates(hashes[i]);
+    }
+    const std::size_t end = std::min(g + kGroup, n);
+    for (std::size_t i = g; i < end; ++i) {
+      const std::uint64_t item = FindItem(keys[i], hashes[i]);
+      (*handles)[i] = item;
+      if (item != 0) {
+        (*vals)[i] = ItemVal(item);
+        (*found)[i] = 1;
+        ++hits;
+      } else {
+        (*vals)[i] = {};
+        (*found)[i] = 0;
+      }
     }
   }
   return hits;

@@ -39,7 +39,8 @@ SimdBackend::Config SimdBackend::ScalarBucketCuckoo() {
 
 SimdBackend::SimdBackend(const Config& config, std::uint64_t ht_entries,
                          std::size_t memory_limit)
-    : name_(config.display_name), slab_(memory_limit) {
+    : name_(config.display_name), pipeline_(config.pipeline),
+      slab_(memory_limit) {
   const std::uint64_t buckets = ht_entries / config.slots + 1;
   table_ = std::make_unique<CuckooTable32>(config.ways, config.slots, buckets,
                                            BucketLayout::kInterleaved);
@@ -47,8 +48,11 @@ SimdBackend::SimdBackend(const Config& config, std::uint64_t ht_entries,
   if (config.approach == Approach::kScalar) {
     kernel_ = KernelRegistry::Get().Scalar(spec);
   } else {
-    auto kernels = KernelRegistry::Get().Find(spec, config.approach,
-                                              config.width_bits);
+    KernelQuery query;
+    query.layout = spec;
+    query.approach = config.approach;
+    query.width_bits = config.width_bits;
+    auto kernels = KernelRegistry::Get().Find(query);
     kernel_ = kernels.empty() ? nullptr : kernels.front();
   }
   if (kernel_ == nullptr) {
@@ -167,22 +171,34 @@ std::size_t SimdBackend::MultiGet(const std::vector<std::string_view>& keys,
         HashKey32(keys[i], HashBytes(keys[i].data(), keys[i].size()));
   }
 
-  // Stage 2: the SIMD (or scalar-twin) batched index lookup.
+  // Stage 2: the SIMD (or scalar-twin) batched index lookup, run through
+  // the prefetch pipeline so the candidate index-table buckets stream into
+  // cache ahead of the compare kernel.
   std::vector<std::uint32_t> indices(n);
-  const std::uint64_t raw_hits = kernel_->fn(
-      table_->view(), hash_keys.data(), indices.data(), found->data(), n);
+  const ProbeBatch batch =
+      ProbeBatch::Of(hash_keys.data(), indices.data(), found->data(), n);
+  const std::uint64_t raw_hits =
+      PipelinedLookup(*kernel_, table_->view(), batch, pipeline_);
   (void)raw_hits;
 
   // Stage 3: pointer dereference + full-key verification (the non-SIMD key
-  // matching step Section VI-B identifies as the residual cost).
+  // matching step Section VI-B identifies as the residual cost). Each hit
+  // chases two dependent pointers (pointer-array entry, then the item
+  // record); prefetch each level across the whole batch before touching it
+  // so the misses overlap instead of serializing per key.
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((*found)[i]) __builtin_prefetch(&pointer_array_[indices[i]], 0, 1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t item = (*found)[i] ? pointer_array_[indices[i]] : 0;
+    (*handles)[i] = item;
+    if (item != 0) __builtin_prefetch(reinterpret_cast<const void*>(item), 0, 1);
+  }
   std::size_t hits = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t item = 0;
-    if ((*found)[i]) {
-      item = pointer_array_[indices[i]];
-      if (item == 0 || !ItemKeyEquals(item, keys[i])) {
-        item = 0;  // tag/hash false positive
-      }
+    std::uint64_t item = (*handles)[i];
+    if (item != 0 && !ItemKeyEquals(item, keys[i])) {
+      item = 0;  // tag/hash false positive
     }
     (*handles)[i] = item;
     if (item != 0) {

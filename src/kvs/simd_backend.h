@@ -20,6 +20,7 @@
 #include "kvs/clock_lru.h"
 #include "kvs/slab.h"
 #include "simd/kernel.h"
+#include "simd/pipeline.h"
 
 namespace simdht {
 
@@ -32,6 +33,12 @@ class SimdBackend : public KvBackend {
     Approach approach = Approach::kHorizontal;
     unsigned width_bits = 256;
     std::string display_name;  // e.g. "Bucket-Cuckoo-Hor(AVX-256)"
+    // Prefetch schedule for the Multi-Get index lookup (stage 2). Multi-Get
+    // batches are the textbook case for hiding index-table DRAM latency;
+    // AMAC fuses into a per-key interleave on the scalar twin and degrades
+    // to a windowed slice schedule on SIMD kernels.
+    PipelineConfig pipeline{PrefetchPolicy::kAmac, /*group_size=*/32,
+                            /*amac_groups=*/4};
   };
 
   // Paper configurations.
@@ -65,6 +72,7 @@ class SimdBackend : public KvBackend {
 
   std::string name_;
   std::unique_ptr<CuckooTable32> table_;
+  PipelineConfig pipeline_;
   const KernelInfo* kernel_ = nullptr;
   SlabAllocator slab_;
   ClockLru lru_;

@@ -9,7 +9,6 @@
 #include <immintrin.h>
 
 #include "simd/horizontal_impl.h"
-#include "simd/prefetch.h"
 #include "simd/kernel.h"
 
 namespace simdht {
@@ -111,7 +110,6 @@ std::uint64_t VerAvx2K32(const TableView& view, const void* keys_raw,
 
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    detail::PrefetchCandidates(view, keys, i, n, /*ahead=*/16, /*count=*/4);
     const __m128i k4 =
         _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + i));
     const __m256i k64 = _mm256_cvtepu32_epi64(k4);
@@ -196,7 +194,6 @@ std::uint64_t VerAvx2K64(const TableView& view, const void* keys_raw,
 
   std::size_t i = 0;
   for (; i + 4 <= n; i += 4) {
-    detail::PrefetchCandidates(view, keys, i, n, /*ahead=*/16, /*count=*/4);
     const __m256i k4 =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
     __m256i pending = _mm256_set1_epi64x(-1);
@@ -269,7 +266,7 @@ std::uint64_t VerAvx2K64(const TableView& view, const void* keys_raw,
 }
 
 KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
-                BucketLayout layout, LookupFn fn) {
+                BucketLayout layout, RawLookupFn fn) {
   KernelInfo info;
   info.name = name;
   info.approach = approach;
@@ -278,7 +275,7 @@ KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
   info.key_bits = kb;
   info.val_bits = vb;
   info.bucket_layout = layout;
-  info.fn = fn;
+  info.raw_fn = fn;
   return info;
 }
 

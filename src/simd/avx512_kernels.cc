@@ -8,7 +8,6 @@
 #include <immintrin.h>
 
 #include "simd/horizontal_impl.h"
-#include "simd/prefetch.h"
 #include "simd/kernel.h"
 
 namespace simdht {
@@ -101,7 +100,6 @@ std::uint64_t VerAvx512K32(const TableView& view, const void* keys_raw,
 
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    detail::PrefetchCandidates(view, keys, i, n, /*ahead=*/16, /*count=*/8);
     const __m256i k8 =
         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
     const __m512i k64 = _mm512_cvtepu32_epi64(k8);
@@ -180,7 +178,6 @@ std::uint64_t VerAvx512K64(const TableView& view, const void* keys_raw,
 
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
-    detail::PrefetchCandidates(view, keys, i, n, /*ahead=*/16, /*count=*/8);
     const __m512i k8 = _mm512_loadu_si512(keys + i);
     __mmask8 pending = 0xFF;
     __m512i val64 = _mm512_setzero_si512();
@@ -245,7 +242,7 @@ std::uint64_t VerAvx512K64(const TableView& view, const void* keys_raw,
 }
 
 KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
-                BucketLayout layout, LookupFn fn) {
+                BucketLayout layout, RawLookupFn fn) {
   KernelInfo info;
   info.name = name;
   info.approach = approach;
@@ -254,7 +251,7 @@ KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
   info.key_bits = kb;
   info.val_bits = vb;
   info.bucket_layout = layout;
-  info.fn = fn;
+  info.raw_fn = fn;
   return info;
 }
 

@@ -74,22 +74,11 @@ std::uint64_t HorizontalLookupImpl(const TableView& view,
   const unsigned step = buckets_per_vec >= 2 ? 2 : 1;
   const unsigned groups = (ways + step - 1) / step;
 
-  // Software-pipelined probing: bucket addresses for key i+kPrefetchAhead
-  // are prefetched while key i is compared, overlapping the random-access
-  // latency across the batch (batched lookups are what make this legal —
-  // the whole probe stream is known up front).
-  constexpr std::size_t kPrefetchAhead = 8;
-
+  // Pure compare loop. Latency hiding for out-of-cache tables is the
+  // pipeline engine's job (simd/pipeline.h): it prefetches candidate
+  // buckets a whole group ahead before handing the slice to this kernel.
   std::uint64_t hits = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchAhead < n) {
-      const K pk = keys[i + kPrefetchAhead];
-      for (unsigned w = 0; w < ways; ++w) {
-        __builtin_prefetch(
-            view.bucket_ptr(view.hash.template Bucket<K>(w, pk)), 0, 1);
-      }
-    }
-
     const K key = keys[i];
     const auto keyvec = Ops::Splat(key);
     std::uint8_t hit = 0;

@@ -6,6 +6,13 @@
 // which table layouts and which CPU ISA tier it needs. The validation engine
 // (src/core/validation.h) joins this registry against a workload's LayoutSpec
 // and the host CPUID to produce the paper's "viable design choices" list.
+//
+// Batched probes travel as a ProbeBatch view: typed key/val spans, found
+// bytes, and an optional per-batch stats slot. KernelInfo::Lookup is the
+// canonical entry point; the per-ISA kernel free functions keep the raw
+// out-param signature (RawLookupFn) and are thin-adapted behind it, and the
+// prefetch-pipelined engine (src/simd/pipeline.h) slices the same batch into
+// groups without the kernels knowing.
 #ifndef SIMDHT_SIMD_KERNEL_H_
 #define SIMDHT_SIMD_KERNEL_H_
 
@@ -18,15 +25,83 @@
 
 namespace simdht {
 
-// Batched lookup: searches keys[0..n) in the table behind `view`.
-//   keys: array of n keys, element width = view.spec.key_bits
-//   vals: array of n values (element width = view.spec.val_bits); entry i is
-//         written with the payload when found, 0 otherwise
+// Optional per-batch statistics slot. Counters accumulate across
+// invocations, so one slot can aggregate a whole measurement run or a
+// backend's lifetime; not thread-safe — use one slot per thread.
+struct ProbeBatchStats {
+  std::uint64_t lookups = 0;          // keys probed
+  std::uint64_t hits = 0;             // keys found
+  std::uint64_t kernel_calls = 0;     // compare-kernel invocations
+  std::uint64_t prefetch_groups = 0;  // pipeline prefetch stages issued
+
+  void Reset() { *this = ProbeBatchStats{}; }
+};
+
+// One batched probe request: n keys in, n values and n found bytes out.
+// Non-owning view; the caller keeps the spans alive for the call.
+//   keys:  n keys, element width = key_bits (must match the kernel/table)
+//   vals:  n values (element width = val_bits); entry i is written with the
+//          payload when found, 0 otherwise
 //   found: n bytes, 1 if keys[i] was found
-// Returns the number of keys found.
-using LookupFn = std::uint64_t (*)(const TableView& view, const void* keys,
-                                   void* vals, std::uint8_t* found,
-                                   std::size_t n);
+struct ProbeBatch {
+  const void* keys = nullptr;
+  void* vals = nullptr;
+  std::uint8_t* found = nullptr;
+  std::size_t size = 0;
+  // Element widths of the spans in bits; set by Of(). 0 = untyped (legacy
+  // callers) — Slice() and the pipeline need them and fill from the table.
+  unsigned key_bits = 0;
+  unsigned val_bits = 0;
+  ProbeBatchStats* stats = nullptr;  // optional; see ProbeBatchStats
+
+  // Builds a typed batch view over caller-owned spans.
+  template <typename K, typename V>
+  static ProbeBatch Of(const K* keys, V* vals, std::uint8_t* found,
+                       std::size_t n, ProbeBatchStats* stats = nullptr) {
+    ProbeBatch batch;
+    batch.keys = keys;
+    batch.vals = vals;
+    batch.found = found;
+    batch.size = n;
+    batch.key_bits = sizeof(K) * 8;
+    batch.val_bits = sizeof(V) * 8;
+    batch.stats = stats;
+    return batch;
+  }
+
+  template <typename K>
+  const K* keys_as() const {
+    return static_cast<const K*>(keys);
+  }
+  template <typename V>
+  V* vals_as() const {
+    return static_cast<V*>(vals);
+  }
+
+  // Sub-batch view [offset, offset + count). Requires typed spans
+  // (key_bits/val_bits != 0) for the pointer arithmetic.
+  ProbeBatch Slice(std::size_t offset, std::size_t count) const {
+    ProbeBatch sub = *this;
+    sub.keys =
+        static_cast<const std::uint8_t*>(keys) + offset * (key_bits / 8);
+    if (vals != nullptr) {
+      sub.vals = static_cast<std::uint8_t*>(vals) + offset * (val_bits / 8);
+    }
+    if (found != nullptr) sub.found = found + offset;
+    sub.size = count;
+    return sub;
+  }
+};
+
+// Batched lookup over a ProbeBatch; returns the number of keys found.
+using LookupFn = std::uint64_t (*)(const TableView& view,
+                                   const ProbeBatch& batch);
+
+// Legacy raw out-param signature. The ~30 per-ISA kernel free functions keep
+// it; KernelInfo::Lookup adapts them to the ProbeBatch API.
+using RawLookupFn = std::uint64_t (*)(const TableView& view, const void* keys,
+                                      void* vals, std::uint8_t* found,
+                                      std::size_t n);
 
 // Registry entry: one lookup algorithm specialization.
 struct KernelInfo {
@@ -39,11 +114,35 @@ struct KernelInfo {
   BucketLayout bucket_layout = BucketLayout::kInterleaved;
   // Horizontal kernels handle any m; vertical kernels require m == 1 and
   // vertical-over-BCHT (Case Study 5) requires m > 1.
-  LookupFn fn = nullptr;
+  LookupFn fn = nullptr;         // native ProbeBatch entry point, or
+  RawLookupFn raw_fn = nullptr;  // ... the raw free function, adapted below
+
+  // Canonical entry point: runs the kernel over `batch` and maintains the
+  // batch's stats slot. Dispatches to `fn` or thin-adapts `raw_fn`.
+  std::uint64_t Lookup(const TableView& view, const ProbeBatch& batch) const {
+    const std::uint64_t found =
+        fn != nullptr ? fn(view, batch)
+                      : raw_fn(view, batch.keys, batch.vals, batch.found,
+                               batch.size);
+    if (batch.stats != nullptr) {
+      batch.stats->lookups += batch.size;
+      batch.stats->hits += found;
+      batch.stats->kernel_calls += 1;
+    }
+    return found;
+  }
 
   // True if this kernel can run lookups against `spec` (structural match:
   // key/value widths, bucket layout, slots constraint).
   bool Matches(const LayoutSpec& spec) const;
+};
+
+// Registry query: which kernels can serve this layout?
+struct KernelQuery {
+  LayoutSpec layout;
+  Approach approach = Approach::kScalar;
+  unsigned width_bits = 0;           // exact vector width; 0 = any
+  bool include_unsupported = false;  // admit kernels this CPU cannot run
 };
 
 // Process-wide kernel registry. Thread-safe for reads after the first call;
@@ -54,8 +153,12 @@ class KernelRegistry {
 
   const std::vector<KernelInfo>& all() const { return kernels_; }
 
-  // Kernels usable for `spec` on this CPU, optionally filtered by approach
-  // and/or exact vector width (0 = any).
+  // Kernels usable for `query.layout` on this CPU, filtered by approach
+  // and optionally by exact vector width.
+  std::vector<const KernelInfo*> Find(const KernelQuery& query) const;
+
+  // Deprecated positional form; forwards to the KernelQuery overload.
+  [[deprecated("build a KernelQuery and call Find(const KernelQuery&)")]]
   std::vector<const KernelInfo*> Find(const LayoutSpec& spec,
                                       Approach approach,
                                       unsigned width_bits = 0,

@@ -1,0 +1,78 @@
+// Software-prefetch pipelined batch-lookup engine.
+//
+// The compare kernels (scalar, horizontal, vertical) issue dependent loads:
+// hash the key, then fetch the candidate buckets. Once the table exceeds
+// the LLC every probe stalls on DRAM. The kernels themselves are pure
+// compare loops — all latency hiding lives here, as a software pipeline
+// layered over *any* registered kernel without touching its compare loop:
+//
+//   kGroup  Group prefetch: split the batch into mini-batches of
+//           `group_size` keys. Hash every key of group g+1 and prefetch both
+//           candidate buckets, then hand group g to the compare kernel.
+//           By the time the kernel reaches group g+1 its lines are in L2.
+//   kAmac   AMAC-style interleaving (after Kocberber et al.'s Asynchronous
+//           Memory Access Chaining): keep a window of amac_groups x
+//           group_size probes in flight. On the scalar twin the engine owns
+//           the compare loop, so the interleave is fully fused: one probe's
+//           candidate buckets are prefetched per probe completed, which
+//           keeps a steady window-deep miss stream without the bursts that
+//           overrun the core's outstanding-miss buffers. SIMD kernels keep
+//           their vector compare loops, so for them kAmac falls back to the
+//           windowed slice schedule (group bursts, amac_groups deep).
+//
+// Except for the fused scalar-AMAC path, the kernel sees plain ProbeBatch
+// slices, so the engine plugs in behind every kernel family registered in
+// kernel.h; results are bit-identical to the direct path in all cases.
+#ifndef SIMDHT_SIMD_PIPELINE_H_
+#define SIMDHT_SIMD_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "simd/kernel.h"
+
+namespace simdht {
+
+// How the batch-lookup engine schedules candidate-bucket prefetches.
+enum class PrefetchPolicy : std::uint8_t {
+  kNone = 0,   // direct: hand the whole batch straight to the kernel
+  kGroup = 1,  // group prefetch: one mini-batch of lines ahead
+  kAmac = 2,   // AMAC-style: `amac_groups` mini-batches in flight
+};
+
+const char* PrefetchPolicyName(PrefetchPolicy policy);
+
+// Parses "none" / "group" / "amac"; returns false on unknown names.
+bool ParsePrefetchPolicy(const std::string& name, PrefetchPolicy* out);
+
+// Knobs for PipelinedLookup. The defaults are the crossover sweet spot on
+// the machines measured by bench/micro_prefetch_pipeline (see
+// docs/kernels.md): large enough to cover DRAM latency, small enough that
+// the prefetched lines still live in L2 when the kernel consumes them.
+struct PipelineConfig {
+  PrefetchPolicy policy = PrefetchPolicy::kNone;
+  unsigned group_size = 32;  // keys per mini-batch
+  unsigned amac_groups = 4;  // mini-batches in flight (kAmac only)
+
+  // Label suffix for design points: "direct", "group:32", "amac:4x32".
+  std::string Describe() const;
+
+  // Rejects zero-sized knobs. Returns false + reason on violation.
+  bool Validate(std::string* why = nullptr) const;
+};
+
+// Runs `kernel` over `batch` with the prefetch schedule in `config`.
+// Produces results bit-identical to kernel.Lookup(view, batch) — the policy
+// only changes when candidate buckets are prefetched, never what is
+// compared. Returns the number of keys found; maintains batch.stats
+// (including prefetch_groups) when present.
+//
+// batch.key_bits/val_bits may be 0 (untyped legacy callers); the engine
+// fills them from view.spec before slicing.
+std::uint64_t PipelinedLookup(const KernelInfo& kernel, const TableView& view,
+                              const ProbeBatch& batch,
+                              const PipelineConfig& config);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_SIMD_PIPELINE_H_

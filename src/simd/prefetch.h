@@ -1,10 +1,11 @@
-// Shared software-prefetch helper for batched lookup kernels.
+// Shared software-prefetch primitives.
 //
-// Batched lookups know the whole probe stream up front, so every kernel —
-// scalar twin included, to keep comparisons fair — prefetches the candidate
-// buckets of keys a fixed distance ahead while the current keys are being
-// compared. This overlaps the random-access latency that otherwise
-// dominates out-of-cache tables.
+// Batched lookups know the whole probe stream up front, so the candidate
+// buckets of upcoming keys can be pulled into cache while the current keys
+// are being compared — that overlap is what hides the random-access
+// latency dominating out-of-cache tables. The compare kernels themselves
+// stay schedule-free; the pipelined engine (pipeline.h) drives these
+// primitives a configurable group of keys ahead of the kernel.
 #ifndef SIMDHT_SIMD_PREFETCH_H_
 #define SIMDHT_SIMD_PREFETCH_H_
 
@@ -13,29 +14,26 @@
 #include "ht/layout.h"
 
 namespace simdht {
-namespace detail {
 
-// Prefetches all candidate buckets of keys [i+ahead, i+ahead+count) into L2.
-template <typename K>
-SIMDHT_ALWAYS_INLINE void PrefetchCandidates(const TableView& view,
-                                             const K* keys, std::size_t i,
-                                             std::size_t n,
-                                             std::size_t ahead,
-                                             std::size_t count) {
-  std::size_t first = i + ahead;
-  if (first >= n) return;
-  const std::size_t last = first + count > n ? n : first + count;
-  const unsigned ways = view.spec.ways;
-  for (; first < last; ++first) {
-    const K pk = keys[first];
-    for (unsigned w = 0; w < ways; ++w) {
-      __builtin_prefetch(
-          view.bucket_ptr(view.hash.template Bucket<K>(w, pk)), 0, 1);
-    }
+// Prefetches every cache line of bucket `bucket` into L2.
+SIMDHT_ALWAYS_INLINE void PrefetchBucket(const TableView& view,
+                                         std::uint64_t bucket) {
+  const std::uint8_t* ptr = view.bucket_ptr(bucket);
+  const unsigned bytes = view.spec.bucket_bytes();
+  for (unsigned off = 0; off < bytes; off += kCacheLineBytes) {
+    __builtin_prefetch(ptr + off, 0, 1);
   }
 }
 
-}  // namespace detail
+// Prefetches all N candidate buckets of `key` into L2.
+template <typename K>
+SIMDHT_ALWAYS_INLINE void PrefetchCandidateBuckets(const TableView& view,
+                                                   K key) {
+  for (unsigned w = 0; w < view.spec.ways; ++w) {
+    PrefetchBucket(view, view.hash.template Bucket<K>(w, key));
+  }
+}
+
 }  // namespace simdht
 
 #endif  // SIMDHT_SIMD_PREFETCH_H_

@@ -73,22 +73,27 @@ const KernelRegistry& KernelRegistry::Get() {
 }
 
 std::vector<const KernelInfo*> KernelRegistry::Find(
-    const LayoutSpec& spec, Approach approach, unsigned width_bits,
-    bool include_unsupported) const {
+    const KernelQuery& query) const {
   const CpuFeatures& cpu = GetCpuFeatures();
   std::vector<const KernelInfo*> out;
   for (const KernelInfo& k : kernels_) {
-    if (k.approach != approach) continue;
-    if (width_bits != 0 && k.width_bits != width_bits) continue;
-    if (!k.Matches(spec)) continue;
-    if (!include_unsupported && !cpu.Supports(k.level)) continue;
+    if (k.approach != query.approach) continue;
+    if (query.width_bits != 0 && k.width_bits != query.width_bits) continue;
+    if (!k.Matches(query.layout)) continue;
+    if (!query.include_unsupported && !cpu.Supports(k.level)) continue;
     out.push_back(&k);
   }
   return out;
 }
 
+std::vector<const KernelInfo*> KernelRegistry::Find(
+    const LayoutSpec& spec, Approach approach, unsigned width_bits,
+    bool include_unsupported) const {
+  return Find(KernelQuery{spec, approach, width_bits, include_unsupported});
+}
+
 const KernelInfo* KernelRegistry::Scalar(const LayoutSpec& spec) const {
-  auto matches = Find(spec, Approach::kScalar);
+  auto matches = Find(KernelQuery{spec, Approach::kScalar});
   return matches.empty() ? nullptr : matches.front();
 }
 

@@ -20,18 +20,10 @@ std::uint64_t ScalarLookup(const TableView& view, const void* keys_raw,
   const unsigned slots = view.spec.slots;
   std::uint64_t hits = 0;
 
-  // Same prefetch-ahead pipelining as the SIMD kernels so the comparison
-  // isolates the compare/reduce work, not the memory schedule.
-  constexpr std::size_t kPrefetchAhead = 8;
-
+  // Pure compare loop: the memory schedule (candidate-bucket prefetching)
+  // is owned by the pipeline engine (simd/pipeline.h), not the kernel, so
+  // scalar and SIMD variants see the identical schedule for any policy.
   for (std::size_t i = 0; i < n; ++i) {
-    if (i + kPrefetchAhead < n) {
-      const K pk = keys[i + kPrefetchAhead];
-      for (unsigned w = 0; w < ways; ++w) {
-        __builtin_prefetch(
-            view.bucket_ptr(view.hash.template Bucket<K>(w, pk)), 0, 1);
-      }
-    }
     const K key = keys[i];
     V value = 0;
     std::uint8_t hit = 0;
@@ -64,7 +56,7 @@ KernelInfo MakeScalar(const char* name, BucketLayout layout) {
   info.key_bits = sizeof(K) * 8;
   info.val_bits = sizeof(V) * 8;
   info.bucket_layout = layout;
-  info.fn = &ScalarLookup<K, V>;
+  info.raw_fn = &ScalarLookup<K, V>;
   return info;
 }
 

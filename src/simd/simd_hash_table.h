@@ -18,6 +18,7 @@
 #include "common/cpu_features.h"
 #include "ht/cuckoo_table.h"
 #include "simd/kernel.h"
+#include "simd/pipeline.h"
 
 namespace simdht {
 
@@ -37,12 +38,21 @@ class SimdHashTable {
     // Force a specific kernel by registry name; empty = auto-select the
     // widest viable design the CPU supports.
     std::string kernel_name;
+    // Prefetch schedule for BatchGet (see simd/pipeline.h). The kernels are
+    // pure compare loops, so this is the only latency hiding. AMAC is the
+    // right default: on the scalar twin it fuses into a per-key interleave
+    // (the big out-of-LLC win), on SIMD kernels it degrades to a windowed
+    // slice schedule that stays cheap even on cache-resident tables. Set
+    // policy = kNone for the raw direct path.
+    PipelineConfig pipeline{PrefetchPolicy::kAmac, /*group_size=*/32,
+                            /*amac_groups=*/4};
   };
 
   explicit SimdHashTable(const Options& options)
       : table_(options.ways, options.slots,
                options.capacity / options.slots + 1, options.layout,
-               options.seed) {
+               options.seed),
+        pipeline_(options.pipeline) {
     SelectKernel(options.kernel_name);
   }
 
@@ -57,7 +67,8 @@ class SimdHashTable {
   // Returns the number of keys found.
   std::uint64_t BatchGet(const K* keys, std::size_t n, V* vals,
                          std::uint8_t* found) const {
-    return kernel_->fn(table_.view(), keys, vals, found, n);
+    const ProbeBatch batch = ProbeBatch::Of(keys, vals, found, n);
+    return PipelinedLookup(*kernel_, table_.view(), batch, pipeline_);
   }
 
   std::uint64_t size() const { return table_.size(); }
@@ -92,7 +103,7 @@ class SimdHashTable {
     const Approach approach = table_.spec().bucketized()
                                   ? Approach::kHorizontal
                                   : Approach::kVertical;
-    auto candidates = registry.Find(table_.spec(), approach);
+    auto candidates = registry.Find(KernelQuery{table_.spec(), approach});
     kernel_ = nullptr;
     for (const KernelInfo* k : candidates) {
       if (kernel_ == nullptr || k->width_bits > kernel_->width_bits) {
@@ -107,6 +118,7 @@ class SimdHashTable {
   }
 
   CuckooTable<K, V> table_;
+  PipelineConfig pipeline_;
   const KernelInfo* kernel_ = nullptr;
 };
 

@@ -82,7 +82,7 @@ std::uint64_t HorSse64(const TableView& v, const void* k, void* o,
 }
 
 KernelInfo Make(const char* name, unsigned kb, unsigned vb,
-                BucketLayout layout, LookupFn fn) {
+                BucketLayout layout, RawLookupFn fn) {
   KernelInfo info;
   info.name = name;
   info.approach = Approach::kHorizontal;
@@ -91,7 +91,7 @@ KernelInfo Make(const char* name, unsigned kb, unsigned vb,
   info.key_bits = kb;
   info.val_bits = vb;
   info.bucket_layout = layout;
-  info.fn = fn;
+  info.raw_fn = fn;
   return info;
 }
 

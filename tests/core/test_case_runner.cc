@@ -17,9 +17,9 @@ CaseSpec SmallSpec() {
   spec.table_bytes = 64 << 10;
   spec.load_factor = 0.85;
   spec.hit_rate = 0.9;
-  spec.threads = 2;
-  spec.queries_per_thread = 1 << 14;
-  spec.repeats = 2;
+  spec.run.threads = 2;
+  spec.run.queries_per_thread = 1 << 14;
+  spec.run.repeats = 2;
   return spec;
 }
 

@@ -75,9 +75,9 @@ TEST(MixedRunner, ProducesComparableThroughputs) {
   spec.layout.slots = 4;
   spec.table_bytes = 64 << 10;
   spec.load_factor = 0.8;
-  spec.threads = 2;
-  spec.queries_per_thread = 1 << 14;
-  spec.repeats = 1;
+  spec.run.threads = 2;
+  spec.run.queries_per_thread = 1 << 14;
+  spec.run.repeats = 1;
 
   const auto results = RunMixedCase(spec, {});
   ASSERT_EQ(results.size(), 1u);  // scalar twin only

@@ -128,8 +128,8 @@ TEST(ConcurrentTable, BatchLookupRacingWriter) {
   }
 
   const KernelInfo* kernel = nullptr;
-  for (const KernelInfo* k :
-       KernelRegistry::Get().Find(table.spec(), Approach::kVertical)) {
+  for (const KernelInfo* k : KernelRegistry::Get().Find(
+           KernelQuery{table.spec(), Approach::kVertical})) {
     kernel = k;  // any supported vertical kernel
   }
   if (kernel == nullptr) kernel = KernelRegistry::Get().Scalar(table.spec());
@@ -146,9 +146,14 @@ TEST(ConcurrentTable, BatchLookupRacingWriter) {
   std::vector<std::uint32_t> vals(resident.size());
   std::vector<std::uint8_t> found(resident.size());
   for (int round = 0; round < 50; ++round) {
+    const auto lookup = [&](const TableView& view, const std::uint32_t* keys,
+                            std::uint32_t* out_vals, std::uint8_t* out_found,
+                            std::size_t n) {
+      return kernel->Lookup(view,
+                            ProbeBatch::Of(keys, out_vals, out_found, n));
+    };
     const std::uint64_t hits = table.BatchLookup(
-        kernel->fn, resident.data(), vals.data(), found.data(),
-        resident.size());
+        lookup, resident.data(), vals.data(), found.data(), resident.size());
     ASSERT_EQ(hits, resident.size()) << "round " << round;
     for (std::size_t i = 0; i < resident.size(); ++i) {
       ASSERT_TRUE(found[i]);

@@ -8,10 +8,12 @@
 namespace simdht {
 namespace {
 
-// Builds a real item in `storage` and returns its handle.
+// Builds a real item in `storage` and returns its handle. Item handles
+// must be ItemHeader-aligned (slab chunks are 8-byte aligned), so each
+// item starts at the next 8-byte boundary.
 std::uint64_t MakeItem(std::vector<std::uint8_t>* storage,
                        std::string_view key) {
-  const std::size_t at = storage->size();
+  const std::size_t at = (storage->size() + 7) & ~std::size_t{7};
   storage->resize(at + ItemBytes(key.size(), 4));
   WriteItem(storage->data() + at, key, "vvvv");
   return reinterpret_cast<std::uint64_t>(storage->data() + at);

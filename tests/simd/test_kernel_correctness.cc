@@ -62,9 +62,9 @@ void VerifyKernelOnShape(const KernelInfo& kernel, const ShapeCase& shape,
 
   std::vector<V> vals(queries.size(), V{0xAA});
   std::vector<std::uint8_t> found(queries.size(), 0xAA);
-  const std::uint64_t hits = kernel.fn(table.view(), queries.data(),
-                                       vals.data(), found.data(),
-                                       queries.size());
+  const std::uint64_t hits = kernel.Lookup(
+      table.view(), ProbeBatch::Of(queries.data(), vals.data(), found.data(),
+                                   queries.size()));
 
   std::uint64_t expected_hits = 0;
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -141,13 +141,16 @@ TEST(KernelEdgeCases, EmptyBatchAndAllMisses) {
     if (!kernel.Matches(spec)) continue;
     if (!GetCpuFeatures().Supports(kernel.level)) continue;
     // Empty batch.
-    EXPECT_EQ(kernel.fn(view, miss_pool.data(), nullptr, nullptr, 0), 0u)
+    EXPECT_EQ(kernel.Lookup(view, ProbeBatch::Of<std::uint32_t, std::uint32_t>(
+                                      miss_pool.data(), nullptr, nullptr, 0)),
+              0u)
         << kernel.name;
     // All misses.
     std::vector<std::uint32_t> vals(miss_pool.size());
     std::vector<std::uint8_t> found(miss_pool.size());
-    EXPECT_EQ(kernel.fn(view, miss_pool.data(), vals.data(), found.data(),
-                        miss_pool.size()),
+    EXPECT_EQ(kernel.Lookup(view, ProbeBatch::Of(miss_pool.data(), vals.data(),
+                                                 found.data(),
+                                                 miss_pool.size())),
               0u)
         << kernel.name;
     for (std::size_t i = 0; i < miss_pool.size(); ++i) {

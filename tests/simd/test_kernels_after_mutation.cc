@@ -23,7 +23,8 @@ void CheckAgainstScalar(const CuckooTable<K, V>& table,
   for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
     if (!kernel.Matches(view.spec)) continue;
     if (!GetCpuFeatures().Supports(kernel.level)) continue;
-    kernel.fn(view, probes.data(), vals.data(), found.data(), probes.size());
+    kernel.Lookup(view, ProbeBatch::Of(probes.data(), vals.data(),
+                                       found.data(), probes.size()));
     for (std::size_t i = 0; i < probes.size(); ++i) {
       V expected = 0;
       const bool expected_found = table.Find(probes[i], &expected);

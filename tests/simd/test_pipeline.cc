@@ -1,0 +1,234 @@
+// Pipeline-vs-direct equivalence, plus unit coverage for the redesigned
+// probe-batch API (ProbeBatch / ProbeBatchStats / KernelQuery /
+// PipelineConfig).
+//
+// The prefetch pipeline only changes *when* candidate buckets are fetched,
+// never what is compared — so for every registered kernel, on every table
+// shape it supports, the group and AMAC paths must produce bit-identical
+// vals/found (and the same hit count) as the direct path. Edge cases: n=0,
+// n smaller than the group size, and 0%-hit-rate batches.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "core/workload.h"
+#include "ht/cuckoo_table.h"
+#include "ht/table_builder.h"
+#include "simd/kernel.h"
+#include "simd/pipeline.h"
+
+namespace simdht {
+namespace {
+
+// Pipeline schedules under test: group sizes straddling the batch size,
+// a degenerate group of 1, and AMAC windows both shallow and deep.
+const PipelineConfig kConfigs[] = {
+    {PrefetchPolicy::kGroup, 1, 1},  {PrefetchPolicy::kGroup, 5, 1},
+    {PrefetchPolicy::kGroup, 32, 1}, {PrefetchPolicy::kGroup, 4096, 1},
+    {PrefetchPolicy::kAmac, 7, 3},   {PrefetchPolicy::kAmac, 32, 4},
+};
+
+struct ShapeCase {
+  unsigned ways;
+  unsigned slots;
+  std::uint64_t buckets;
+};
+
+const ShapeCase kShapes[] = {
+    {2, 1, 1 << 10},
+    {3, 1, 1 << 10},
+    {2, 4, 1 << 8},
+    {2, 8, 1 << 6},
+};
+
+template <typename K, typename V>
+void VerifyPipelineOnShape(const KernelInfo& kernel, const ShapeCase& shape,
+                           BucketLayout layout, double hit_rate) {
+  LayoutSpec spec;
+  spec.ways = shape.ways;
+  spec.slots = shape.slots;
+  spec.key_bits = sizeof(K) * 8;
+  spec.val_bits = sizeof(V) * 8;
+  spec.bucket_layout = layout;
+  if (!kernel.Matches(spec)) return;
+  std::string why;
+  ASSERT_TRUE(spec.Validate(&why)) << why;
+
+  CuckooTable<K, V> table(shape.ways, shape.slots, shape.buckets, layout,
+                          /*seed=*/shape.ways * 100 + shape.slots);
+  auto build = FillToLoadFactor(&table, 0.85, /*seed=*/7);
+  ASSERT_GT(build.inserted_keys.size(), 0u);
+  auto miss_pool = UniqueRandomKeys<K>(1024, 55, &build.inserted_keys);
+
+  WorkloadConfig wc;
+  wc.pattern = AccessPattern::kUniform;
+  wc.hit_rate = hit_rate;
+  wc.num_queries = 4099;  // odd on purpose: exercises partial tail groups
+  wc.seed = 13;
+  auto queries = GenerateQueries(build.inserted_keys, miss_pool, wc);
+  ASSERT_EQ(queries.size(), wc.num_queries);
+  const TableView view = table.view();
+
+  // Direct reference run.
+  std::vector<V> direct_vals(queries.size(), V{0xAA});
+  std::vector<std::uint8_t> direct_found(queries.size(), 0xAA);
+  const std::uint64_t direct_hits = kernel.Lookup(
+      view, ProbeBatch::Of(queries.data(), direct_vals.data(),
+                           direct_found.data(), queries.size()));
+
+  for (const PipelineConfig& config : kConfigs) {
+    const std::string label =
+        kernel.name + " [" + config.Describe() + "] hit_rate=" +
+        std::to_string(hit_rate);
+    // Poisoned output buffers: every byte must be (re)written identically.
+    std::vector<V> vals(queries.size(), V{0x55});
+    std::vector<std::uint8_t> found(queries.size(), 0x55);
+    const std::uint64_t hits = PipelinedLookup(
+        kernel, view,
+        ProbeBatch::Of(queries.data(), vals.data(), found.data(),
+                       queries.size()),
+        config);
+    EXPECT_EQ(hits, direct_hits) << label;
+    ASSERT_EQ(std::memcmp(vals.data(), direct_vals.data(),
+                          vals.size() * sizeof(V)),
+              0)
+        << label;
+    ASSERT_EQ(std::memcmp(found.data(), direct_found.data(), found.size()),
+              0)
+        << label;
+
+    // n = 0 and n < group_size must work (a sub-group batch becomes one
+    // primed group; n = 0 short-circuits).
+    EXPECT_EQ(PipelinedLookup(kernel, view,
+                              ProbeBatch::Of<K, V>(queries.data(), nullptr,
+                                                   nullptr, 0),
+                              config),
+              0u)
+        << label;
+    const std::size_t small = std::min<std::size_t>(3, queries.size());
+    std::vector<V> small_vals(small);
+    std::vector<std::uint8_t> small_found(small);
+    const std::uint64_t small_hits = PipelinedLookup(
+        kernel, view,
+        ProbeBatch::Of(queries.data(), small_vals.data(), small_found.data(),
+                       small),
+        config);
+    std::uint64_t small_direct = 0;
+    for (std::size_t i = 0; i < small; ++i) small_direct += direct_found[i];
+    EXPECT_EQ(small_hits, small_direct) << label;
+  }
+}
+
+template <typename K, typename V>
+void VerifyAllShapes(const KernelInfo& kernel, BucketLayout layout) {
+  for (const ShapeCase& shape : kShapes) {
+    // 0.7 = mixed batch; 0.0 = the all-miss batch the issue calls out.
+    VerifyPipelineOnShape<K, V>(kernel, shape, layout, 0.7);
+    VerifyPipelineOnShape<K, V>(kernel, shape, layout, 0.0);
+  }
+}
+
+TEST(PrefetchPipeline, MatchesDirectPathForEveryKernel) {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
+    if (!cpu.Supports(kernel.level)) continue;
+    if (kernel.key_bits == 16 && kernel.val_bits == 32) {
+      VerifyAllShapes<std::uint16_t, std::uint32_t>(kernel,
+                                                    kernel.bucket_layout);
+    } else if (kernel.key_bits == 32 && kernel.val_bits == 32) {
+      VerifyAllShapes<std::uint32_t, std::uint32_t>(kernel,
+                                                    kernel.bucket_layout);
+    } else if (kernel.key_bits == 64 && kernel.val_bits == 64) {
+      VerifyAllShapes<std::uint64_t, std::uint64_t>(kernel,
+                                                    kernel.bucket_layout);
+    } else {
+      ADD_FAILURE() << "untested (key, val) widths for " << kernel.name;
+    }
+  }
+}
+
+TEST(PrefetchPipeline, StatsAccumulateAcrossGroups) {
+  CuckooTable32 table(2, 4, 1 << 8, BucketLayout::kInterleaved, 1);
+  auto build = FillToLoadFactor(&table, 0.8, 2);
+  const KernelInfo* scalar = KernelRegistry::Get().Scalar(table.spec());
+  ASSERT_NE(scalar, nullptr);
+
+  const std::size_t n = 100;
+  std::vector<std::uint32_t> keys(build.inserted_keys.begin(),
+                                  build.inserted_keys.begin() + n);
+  std::vector<std::uint32_t> vals(n);
+  std::vector<std::uint8_t> found(n);
+
+  PipelineConfig config{PrefetchPolicy::kGroup, 32, 1};
+  ProbeBatchStats stats;
+  const std::uint64_t hits = PipelinedLookup(
+      *scalar, table.view(),
+      ProbeBatch::Of(keys.data(), vals.data(), found.data(), n, &stats),
+      config);
+  EXPECT_EQ(hits, n);  // all keys resident
+  EXPECT_EQ(stats.lookups, n);
+  EXPECT_EQ(stats.hits, n);
+  EXPECT_EQ(stats.kernel_calls, (n + 31) / 32);  // ceil(100/32) = 4 slices
+  EXPECT_EQ(stats.prefetch_groups, (n + 31) / 32);
+
+  // Counters accumulate: a second run doubles everything.
+  PipelinedLookup(
+      *scalar, table.view(),
+      ProbeBatch::Of(keys.data(), vals.data(), found.data(), n, &stats),
+      config);
+  EXPECT_EQ(stats.lookups, 2 * n);
+  EXPECT_EQ(stats.hits, 2 * n);
+}
+
+TEST(ProbeBatch, SliceOffsetsTypedSpans) {
+  std::vector<std::uint64_t> keys(10), vals(10);
+  std::vector<std::uint8_t> found(10);
+  const ProbeBatch batch =
+      ProbeBatch::Of(keys.data(), vals.data(), found.data(), keys.size());
+  EXPECT_EQ(batch.key_bits, 64u);
+  EXPECT_EQ(batch.val_bits, 64u);
+
+  const ProbeBatch sub = batch.Slice(4, 3);
+  EXPECT_EQ(sub.size, 3u);
+  EXPECT_EQ(sub.keys_as<std::uint64_t>(), keys.data() + 4);
+  EXPECT_EQ(sub.vals_as<std::uint64_t>(), vals.data() + 4);
+  EXPECT_EQ(sub.found, found.data() + 4);
+
+  // Null outputs (count-only probes) stay null through slicing.
+  const ProbeBatch count_only =
+      ProbeBatch::Of<std::uint64_t, std::uint64_t>(keys.data(), nullptr,
+                                                   nullptr, keys.size());
+  const ProbeBatch count_sub = count_only.Slice(2, 2);
+  EXPECT_EQ(count_sub.vals, nullptr);
+  EXPECT_EQ(count_sub.found, nullptr);
+}
+
+TEST(PipelineConfig, ParseAndDescribeRoundTrip) {
+  PrefetchPolicy policy = PrefetchPolicy::kAmac;
+  EXPECT_TRUE(ParsePrefetchPolicy("none", &policy));
+  EXPECT_EQ(policy, PrefetchPolicy::kNone);
+  EXPECT_TRUE(ParsePrefetchPolicy("group", &policy));
+  EXPECT_EQ(policy, PrefetchPolicy::kGroup);
+  EXPECT_TRUE(ParsePrefetchPolicy("amac", &policy));
+  EXPECT_EQ(policy, PrefetchPolicy::kAmac);
+  EXPECT_FALSE(ParsePrefetchPolicy("bogus", &policy));
+
+  EXPECT_STREQ(PrefetchPolicyName(PrefetchPolicy::kGroup), "group");
+  EXPECT_EQ((PipelineConfig{PrefetchPolicy::kNone, 32, 4}).Describe(),
+            "direct");
+  EXPECT_EQ((PipelineConfig{PrefetchPolicy::kGroup, 64, 4}).Describe(),
+            "group:64");
+  EXPECT_EQ((PipelineConfig{PrefetchPolicy::kAmac, 16, 8}).Describe(),
+            "amac:8x16");
+
+  std::string why;
+  EXPECT_TRUE((PipelineConfig{PrefetchPolicy::kGroup, 32, 4}).Validate(&why));
+  EXPECT_FALSE((PipelineConfig{PrefetchPolicy::kGroup, 0, 4}).Validate(&why));
+  EXPECT_FALSE((PipelineConfig{PrefetchPolicy::kAmac, 32, 0}).Validate(&why));
+}
+
+}  // namespace
+}  // namespace simdht

@@ -46,17 +46,17 @@ TEST(KernelRegistry, ByNameRoundTrips) {
 TEST(KernelRegistry, VerticalRequiresNonBucketized) {
   const auto& reg = KernelRegistry::Get();
   // m = 1: vertical applies, horizontal does not.
-  EXPECT_FALSE(reg.Find(Spec(2, 1, 32, 32), Approach::kVertical, 0, true)
+  EXPECT_FALSE(reg.Find(KernelQuery{Spec(2, 1, 32, 32), Approach::kVertical, 0, true})
                    .empty());
-  EXPECT_TRUE(reg.Find(Spec(2, 1, 32, 32), Approach::kHorizontal, 0, true)
+  EXPECT_TRUE(reg.Find(KernelQuery{Spec(2, 1, 32, 32), Approach::kHorizontal, 0, true})
                   .empty());
   // m = 4: the reverse; hybrid vertical-over-BCHT applies.
-  EXPECT_TRUE(reg.Find(Spec(2, 4, 32, 32), Approach::kVertical, 0, true)
+  EXPECT_TRUE(reg.Find(KernelQuery{Spec(2, 4, 32, 32), Approach::kVertical, 0, true})
                   .empty());
-  EXPECT_FALSE(reg.Find(Spec(2, 4, 32, 32), Approach::kHorizontal, 0, true)
+  EXPECT_FALSE(reg.Find(KernelQuery{Spec(2, 4, 32, 32), Approach::kHorizontal, 0, true})
                    .empty());
   EXPECT_FALSE(
-      reg.Find(Spec(2, 4, 32, 32), Approach::kVerticalBcht, 0, true).empty());
+      reg.Find(KernelQuery{Spec(2, 4, 32, 32), Approach::kVerticalBcht, 0, true}).empty());
 }
 
 TEST(KernelRegistry, NoGatherKernelsBelow256Bits) {
@@ -73,7 +73,7 @@ TEST(KernelRegistry, FindFiltersByCpuSupport) {
   const auto& reg = KernelRegistry::Get();
   const auto& cpu = GetCpuFeatures();
   for (const KernelInfo* k :
-       reg.Find(Spec(2, 4, 32, 32), Approach::kHorizontal)) {
+       reg.Find(KernelQuery{Spec(2, 4, 32, 32), Approach::kHorizontal})) {
     EXPECT_TRUE(cpu.Supports(k->level)) << k->name;
   }
 }
@@ -81,9 +81,21 @@ TEST(KernelRegistry, FindFiltersByCpuSupport) {
 TEST(KernelRegistry, WidthFilterIsExact) {
   const auto& reg = KernelRegistry::Get();
   for (const KernelInfo* k :
-       reg.Find(Spec(2, 4, 32, 32), Approach::kHorizontal, 256, true)) {
+       reg.Find(KernelQuery{Spec(2, 4, 32, 32), Approach::kHorizontal, 256, true})) {
     EXPECT_EQ(k->width_bits, 256u);
   }
+}
+
+TEST(KernelRegistry, DeprecatedPositionalFindMatchesQueryForm) {
+  const auto& reg = KernelRegistry::Get();
+  const LayoutSpec spec = Spec(2, 4, 32, 32);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = reg.Find(spec, Approach::kHorizontal, 0, true);
+#pragma GCC diagnostic pop
+  const auto query =
+      reg.Find(KernelQuery{spec, Approach::kHorizontal, 0, true});
+  EXPECT_EQ(legacy, query);
 }
 
 }  // namespace

@@ -62,6 +62,10 @@ void Usage(const char* prog) {
       "  --threads=N       worker threads (default: all cores)\n"
       "  --queries=N       probes per thread per run (default 1M)\n"
       "  --repeats=N       runs averaged (default 5)\n"
+      "  --prefetch=P      none | group | amac (default none): also measure\n"
+      "                    each kernel through the prefetch pipeline\n"
+      "  --group-size=N    keys per prefetch group (default 32)\n"
+      "  --amac-groups=G   prefetch groups in flight for amac (default 4)\n"
       "  --widths=LIST     vector widths to consider (default 128,256,512)\n"
       "  --hybrid          include vertical-over-BCHT designs\n"
       "  --no-strict       admit chunked horizontal probes\n"
@@ -100,16 +104,31 @@ int main(int argc, char** argv) {
   spec.load_factor = flags.GetDouble("load-factor", 0.9);
   spec.hit_rate = flags.GetDouble("hit-rate", 0.9);
   spec.zipf_s = flags.GetDouble("zipf-s", 0.99);
-  spec.threads = static_cast<unsigned>(flags.GetInt("threads", 0));
-  spec.queries_per_thread =
+  spec.run.threads = static_cast<unsigned>(flags.GetInt("threads", 0));
+  spec.run.queries_per_thread =
       static_cast<std::size_t>(flags.GetInt("queries", 1 << 20));
-  spec.repeats = static_cast<unsigned>(flags.GetInt("repeats", 5));
+  spec.run.repeats = static_cast<unsigned>(flags.GetInt("repeats", 5));
   spec.shared_table = !flags.GetBool("per-core-table", false);
-  spec.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  spec.run.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
 
   const std::string pattern = flags.GetString("pattern", "uniform");
   if (!ParseAccessPattern(pattern, &spec.pattern)) {
     std::fprintf(stderr, "unknown --pattern '%s'\n", pattern.c_str());
+    return 1;
+  }
+
+  const std::string prefetch = flags.GetString("prefetch", "none");
+  if (!ParsePrefetchPolicy(prefetch, &spec.run.pipeline.policy)) {
+    std::fprintf(stderr, "unknown --prefetch '%s'\n", prefetch.c_str());
+    return 1;
+  }
+  spec.run.pipeline.group_size =
+      static_cast<unsigned>(flags.GetInt("group-size", 32));
+  spec.run.pipeline.amac_groups =
+      static_cast<unsigned>(flags.GetInt("amac-groups", 4));
+  std::string pipeline_why;
+  if (!spec.run.pipeline.Validate(&pipeline_why)) {
+    std::fprintf(stderr, "invalid prefetch config: %s\n", pipeline_why.c_str());
     return 1;
   }
 
@@ -145,23 +164,23 @@ int main(int argc, char** argv) {
   if (!trace_out.empty() || !trace_in.empty()) {
     CuckooTable32 table(spec.layout.ways, spec.layout.slots,
                         BucketsForBytes(spec.layout, spec.table_bytes),
-                        spec.layout.bucket_layout, spec.seed);
-    auto build = FillToLoadFactor(&table, spec.load_factor, spec.seed + 1000);
+                        spec.layout.bucket_layout, spec.run.seed);
+    auto build = FillToLoadFactor(&table, spec.load_factor, spec.run.seed + 1000);
 
     if (!trace_out.empty()) {
       auto misses = UniqueRandomKeys<std::uint32_t>(
           std::max<std::size_t>(1024, build.inserted_keys.size() / 8),
-          spec.seed + 77, &build.inserted_keys);
+          spec.run.seed + 77, &build.inserted_keys);
       WorkloadConfig wc;
       wc.pattern = spec.pattern;
       wc.hit_rate = spec.hit_rate;
       wc.zipf_s = spec.zipf_s;
-      wc.num_queries = spec.queries_per_thread;
-      wc.seed = spec.seed + 31;
+      wc.num_queries = spec.run.queries_per_thread;
+      wc.seed = spec.run.seed + 31;
       ProbeTrace<std::uint32_t> trace;
       trace.queries = GenerateQueries(build.inserted_keys, misses, wc);
       trace.hit_rate = spec.hit_rate;
-      trace.table_seed = spec.seed;
+      trace.table_seed = spec.run.seed;
       trace.pattern = static_cast<std::uint8_t>(spec.pattern);
       if (!SaveTraceToFile(trace, trace_out)) {
         std::fprintf(stderr, "cannot write trace to %s\n",
@@ -170,7 +189,7 @@ int main(int argc, char** argv) {
       }
       std::printf("recorded %zu probes to %s (table seed %llu)\n",
                   trace.queries.size(), trace_out.c_str(),
-                  static_cast<unsigned long long>(spec.seed));
+                  static_cast<unsigned long long>(spec.run.seed));
       return 0;
     }
 
@@ -179,12 +198,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read trace from %s\n", trace_in.c_str());
       return 1;
     }
-    if (trace->table_seed != spec.seed) {
+    if (trace->table_seed != spec.run.seed) {
       std::fprintf(stderr,
                    "warning: trace was recorded against table seed %llu, "
                    "current --seed is %llu (hit rate will differ)\n",
                    static_cast<unsigned long long>(trace->table_seed),
-                   static_cast<unsigned long long>(spec.seed));
+                   static_cast<unsigned long long>(spec.run.seed));
     }
     std::printf("replaying %zu probes from %s\n", trace->queries.size(),
                 trace_in.c_str());
@@ -202,10 +221,14 @@ int main(int argc, char** argv) {
       if (kernel == nullptr) continue;
       RunningStat stat;
       std::uint64_t hits = 0;
-      for (unsigned rep = 0; rep < spec.repeats; ++rep) {
+      const ProbeBatch batch =
+          ProbeBatch::Of(trace->queries.data(), vals.data(), found.data(),
+                         trace->queries.size());
+      for (unsigned rep = 0; rep < spec.run.repeats; ++rep) {
         Timer timer;
-        hits = kernel->fn(table.view(), trace->queries.data(), vals.data(),
-                          found.data(), trace->queries.size());
+        // Replay honors --prefetch: the pipeline is a no-op for 'none'.
+        hits = PipelinedLookup(*kernel, table.view(), batch,
+                               spec.run.pipeline);
         stat.Add(static_cast<double>(trace->queries.size()) /
                  timer.ElapsedSeconds() / 1e6);
       }

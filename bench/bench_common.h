@@ -11,11 +11,18 @@
 //                    prefetch pipeline (binaries that RunCase)
 //   --group-size=N   keys per prefetch group (default 32)
 //   --amac-groups=G  prefetch groups in flight for amac (default 4)
+//   --perf           attach hardware counters per worker and add
+//                    cycles/lookup, IPC, LLC-miss and dTLB-miss columns
+//                    (TSC-estimated cycles, marked "~", where
+//                    perf_event_open is unavailable)
+//   --perf-events=L  comma list to restrict the event set, e.g.
+//                    cycles,instructions,llc-misses
 #ifndef SIMDHT_BENCH_BENCH_COMMON_H_
 #define SIMDHT_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/cpu_features.h"
 #include "common/flags.h"
@@ -23,6 +30,7 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "core/case_runner.h"
+#include "perf/perf_events.h"
 
 namespace simdht {
 namespace bench {
@@ -35,6 +43,7 @@ struct BenchOptions {
   unsigned repeats = 0;                // 0 = per-binary default
   std::uint64_t seed = 42;
   PipelineConfig pipeline;  // kNone = direct-only measurements
+  PerfOptions perf;         // disabled = wall-clock-only measurements
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -56,6 +65,15 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
       static_cast<unsigned>(flags.GetInt("group-size", 32));
   opt.pipeline.amac_groups =
       static_cast<unsigned>(flags.GetInt("amac-groups", 4));
+  opt.perf.enabled =
+      flags.GetBool("perf", false) || flags.Has("perf-events");
+  std::string perf_why;
+  if (!ParsePerfEventList(flags.GetString("perf-events", ""),
+                          &opt.perf.events, &perf_why)) {
+    std::fprintf(stderr, "--perf-events: %s; using the default set\n",
+                 perf_why.c_str());
+    opt.perf.events = DefaultPerfEvents();
+  }
   return opt;
 }
 
@@ -68,6 +86,42 @@ inline void ApplyOptions(const BenchOptions& opt, CaseSpec* spec) {
   if (opt.repeats != 0) spec->run.repeats = opt.repeats;
   spec->run.seed = opt.seed;
   spec->run.pipeline = opt.pipeline;
+  spec->run.perf = opt.perf;
+}
+
+// --- shared --perf reporting -----------------------------------------------
+//
+// Binaries that print MeasuredKernel rows extend their header with
+// AppendPerfColumns() and each row with AppendPerfCells(); both are no-ops
+// while --perf is off, so tables keep their historical shape by default.
+
+inline void AppendPerfColumns(const BenchOptions& opt,
+                              std::vector<std::string>* headers) {
+  if (!opt.perf.enabled) return;
+  headers->insert(headers->end(),
+                  {"cycles/lookup", "IPC", "LLC-miss/lookup",
+                   "dTLB-miss/lookup", "perf src"});
+}
+
+inline void AppendPerfCells(const BenchOptions& opt, const MeasuredKernel& k,
+                            std::vector<std::string>* row) {
+  if (!opt.perf.enabled) return;
+  const DerivedPerf d = k.Derived();
+  row->push_back(FormatPerfValue(d.cycles_per_op, d.estimated, 1));
+  row->push_back(FormatPerfValue(d.ipc, /*estimated=*/false, 2));
+  row->push_back(FormatPerfValue(d.llc_misses_per_op, false, 3));
+  row->push_back(FormatPerfValue(d.dtlb_misses_per_op, false, 3));
+  row->push_back(!k.perf_collected ? "-" : d.estimated ? "tsc-est" : "hw");
+}
+
+// One-line provenance note under a --perf table (skipped for CSV output).
+inline void PrintPerfFooter(const BenchOptions& opt) {
+  if (!opt.perf.enabled || opt.csv) return;
+  std::printf(
+      "\nperf: 'hw' = perf_event_open counters (multiplexing-scaled); "
+      "'tsc-est' = rdtsc fallback, cycle values marked '~' are estimates "
+      "(perf_event_paranoid=%d)\n",
+      PerfEventParanoid());
 }
 
 inline void PrintHeader(const char* title, const BenchOptions& opt) {

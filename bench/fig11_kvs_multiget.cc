@@ -16,6 +16,7 @@
 #include "kvs/loadgen.h"
 #include "kvs/memc3_backend.h"
 #include "kvs/simd_backend.h"
+#include "perf/metrics.h"
 
 using namespace simdht;
 using namespace simdht::bench;
@@ -80,6 +81,10 @@ int main(int argc, char** argv) {
   TablePrinter fig11b({"batch", "backend", "pre-process us/req",
                        "HT lookup us/req", "post-process us/req",
                        "total us/req", "lookup share"});
+  // --perf: per-phase tail latencies from the server's MetricsRegistry —
+  // the seqlock histograms see every request, not just the means.
+  TablePrinter phase_tails({"batch", "backend", "phase", "p50 us", "p95 us",
+                            "p99 us", "max us"});
 
   for (const unsigned batch : {16u, 96u}) {
     config.mget_size = batch;
@@ -92,11 +97,18 @@ int main(int argc, char** argv) {
       // server-side throughput (the least-perturbed one).
       const unsigned runs = opt.quick ? 3 : 5;
       MemslapResult r;
+      MetricsSnapshot metrics;
       for (unsigned rerun = 0; rerun < runs; ++rerun) {
         auto backend = candidate.make(ht_entries, mem_limit);
-        MemslapResult attempt = RunMemslap(backend.get(), config);
+        // One registry per attempt so the kept snapshot covers exactly the
+        // kept run.
+        auto registry = opt.perf.enabled ? std::make_unique<MetricsRegistry>()
+                                         : nullptr;
+        MemslapResult attempt =
+            RunMemslap(backend.get(), config, registry.get());
         if (rerun == 0 || attempt.server_get_mops > r.server_get_mops) {
           r = std::move(attempt);
+          if (registry) metrics = registry->Aggregate();
         }
       }
       if (&candidate == &candidates[0]) {
@@ -125,6 +137,32 @@ int main(int argc, char** argv) {
                      TablePrinter::Fmt(pre, 2), TablePrinter::Fmt(lookup, 2),
                      TablePrinter::Fmt(post, 2), TablePrinter::Fmt(total, 2),
                      TablePrinter::Fmt(lookup / total * 100.0, 1) + "%"});
+      if (opt.perf.enabled) {
+        const struct {
+          const char* label;
+          const char* metric;
+        } phases[] = {{"parse", kvs_metrics::kParseNs},
+                      {"index probe", kvs_metrics::kIndexProbeNs},
+                      {"value copy", kvs_metrics::kValueCopyNs},
+                      {"transport send", kvs_metrics::kTransportNs}};
+        for (const auto& phase : phases) {
+          const auto it = metrics.histograms.find(phase.metric);
+          if (it == metrics.histograms.end() || it->second.count() == 0) {
+            continue;
+          }
+          const Histogram& h = it->second;
+          phase_tails.AddRow(
+              {TablePrinter::Fmt(std::int64_t{batch}), candidate.label,
+               phase.label,
+               TablePrinter::Fmt(static_cast<double>(h.Percentile(50)) / 1e3,
+                                 2),
+               TablePrinter::Fmt(static_cast<double>(h.Percentile(95)) / 1e3,
+                                 2),
+               TablePrinter::Fmt(static_cast<double>(h.Percentile(99)) / 1e3,
+                                 2),
+               TablePrinter::Fmt(static_cast<double>(h.max()) / 1e3, 2)});
+        }
+      }
     }
   }
 
@@ -134,5 +172,11 @@ int main(int argc, char** argv) {
     std::printf("\nFig 11(b): server-side time breakdown per Multi-Get\n");
   }
   Emit(fig11b, opt);
+  if (opt.perf.enabled) {
+    if (!opt.csv) {
+      std::printf("\nServer phase tails (MetricsRegistry histograms)\n");
+    }
+    Emit(phase_tails, opt);
+  }
   return 0;
 }

@@ -17,8 +17,11 @@ int main(int argc, char** argv) {
       "Fig 5 / Case Study 1(a): horizontal vs vertical, uniform vs skew",
       opt);
 
-  TablePrinter table({"layout", "pattern", "LF", "kernel", "width",
-                      "Mlookups/s/core", "stddev", "speedup vs scalar"});
+  std::vector<std::string> headers = {"layout", "pattern", "LF",
+                                      "kernel", "width", "Mlookups/s/core",
+                                      "stddev", "speedup vs scalar"};
+  AppendPerfColumns(opt, &headers);
+  TablePrinter table(std::move(headers));
 
   for (const AccessPattern pattern :
        {AccessPattern::kUniform, AccessPattern::kZipfian}) {
@@ -30,20 +33,22 @@ int main(int argc, char** argv) {
 
       const CaseResult result = RunCaseAuto(spec);
       for (const MeasuredKernel& k : result.kernels) {
-        table.AddRow({layout.ToString(), AccessPatternName(pattern),
-                      TablePrinter::Fmt(result.achieved_load_factor, 2),
-                      k.name,
-                      k.approach == Approach::kScalar
-                          ? "64"
-                          : TablePrinter::Fmt(std::int64_t{k.width_bits}),
-                      TablePrinter::Fmt(k.mlps_per_core, 1),
-                      TablePrinter::Fmt(k.stddev_mlps, 1),
-                      k.approach == Approach::kScalar
-                          ? "1.00"
-                          : TablePrinter::Fmt(k.speedup, 2)});
+        std::vector<std::string> row = {
+            layout.ToString(), AccessPatternName(pattern),
+            TablePrinter::Fmt(result.achieved_load_factor, 2), k.name,
+            k.approach == Approach::kScalar
+                ? "64"
+                : TablePrinter::Fmt(std::int64_t{k.width_bits}),
+            TablePrinter::Fmt(k.mlps_per_core, 1),
+            TablePrinter::Fmt(k.stddev_mlps, 1),
+            k.approach == Approach::kScalar ? "1.00"
+                                            : TablePrinter::Fmt(k.speedup, 2)};
+        AppendPerfCells(opt, k, &row);
+        table.AddRow(std::move(row));
       }
     }
   }
   Emit(table, opt);
+  PrintPerfFooter(opt);
   return 0;
 }

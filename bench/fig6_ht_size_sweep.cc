@@ -19,8 +19,10 @@ int main(int argc, char** argv) {
   // The paper's two representative designs.
   const LayoutSpec designs[] = {Layout(2, 4), Layout(3, 1)};
 
-  TablePrinter table({"HT size", "layout", "kernel", "Mlookups/s/core",
-                      "speedup vs scalar"});
+  std::vector<std::string> headers = {"HT size", "layout", "kernel",
+                                      "Mlookups/s/core", "speedup vs scalar"};
+  AppendPerfColumns(opt, &headers);
+  TablePrinter table(std::move(headers));
   for (const std::uint64_t bytes : sizes) {
     for (const LayoutSpec& layout : designs) {
       CaseSpec spec = PaperCaseDefaults(opt);
@@ -32,15 +34,17 @@ int main(int argc, char** argv) {
       }
       const CaseResult result = RunCaseAuto(spec);
       for (const MeasuredKernel& k : result.kernels) {
-        table.AddRow({HumanBytes(static_cast<double>(bytes)),
-                      layout.ToString(), k.name,
-                      TablePrinter::Fmt(k.mlps_per_core, 1),
-                      k.approach == Approach::kScalar
-                          ? "1.00"
-                          : TablePrinter::Fmt(k.speedup, 2)});
+        std::vector<std::string> row = {
+            HumanBytes(static_cast<double>(bytes)), layout.ToString(), k.name,
+            TablePrinter::Fmt(k.mlps_per_core, 1),
+            k.approach == Approach::kScalar ? "1.00"
+                                            : TablePrinter::Fmt(k.speedup, 2)};
+        AppendPerfCells(opt, k, &row);
+        table.AddRow(std::move(row));
       }
     }
   }
   Emit(table, opt);
+  PrintPerfFooter(opt);
   return 0;
 }

@@ -26,11 +26,17 @@ namespace {
 double MeasureMlps(const KernelInfo& kernel, const TableView& view,
                    const std::vector<std::uint32_t>& queries,
                    const PipelineConfig& config, unsigned repeats,
-                   std::size_t batch) {
+                   std::size_t batch, const PerfOptions& perf,
+                   MeasuredKernel* perf_row) {
   std::vector<std::uint32_t> vals(queries.size());
   std::vector<std::uint8_t> found(queries.size());
   RunningStat stat;
   for (unsigned rep = 0; rep < repeats; ++rep) {
+    CounterGroup counters(perf.enabled
+                              ? (perf.events.empty() ? DefaultPerfEvents()
+                                                     : perf.events)
+                              : std::vector<PerfEvent>{});
+    if (perf.enabled) counters.Start();
     Timer t;
     for (std::size_t off = 0; off < queries.size(); off += batch) {
       const std::size_t chunk = std::min(batch, queries.size() - off);
@@ -40,7 +46,12 @@ double MeasureMlps(const KernelInfo& kernel, const TableView& view,
                       config);
     }
     stat.Add(static_cast<double>(queries.size()) / t.ElapsedSeconds() / 1e6);
+    if (perf.enabled) {
+      perf_row->perf.Accumulate(counters.Stop());
+      perf_row->perf_lookups += queries.size();
+    }
   }
+  perf_row->perf_collected = perf.enabled && perf_row->perf.valid_mask != 0;
   return stat.mean();
 }
 
@@ -78,8 +89,10 @@ int main(int argc, char** argv) {
   }
   if (widest != nullptr) kernels.push_back(widest);
 
-  TablePrinter table(
-      {"HT size", "kernel", "schedule", "Mlookups/s", "vs direct"});
+  std::vector<std::string> headers = {"HT size", "kernel", "schedule",
+                                      "Mlookups/s", "vs direct"};
+  AppendPerfColumns(opt, &headers);
+  TablePrinter table(std::move(headers));
   for (const std::uint64_t bytes : sizes) {
     auto tbl = std::make_unique<CuckooTable32>(
         layout.ways, layout.slots, BucketsForBytes(layout, bytes),
@@ -101,17 +114,23 @@ int main(int argc, char** argv) {
       if (kernel == nullptr) continue;
       double direct_mlps = 0;
       for (const PipelineConfig& schedule : schedules) {
-        const double mlps = MeasureMlps(*kernel, view, probe_stream,
-                                        schedule, repeats, kBatch);
+        MeasuredKernel perf_row;  // carries only the perf aggregate here
+        const double mlps =
+            MeasureMlps(*kernel, view, probe_stream, schedule, repeats,
+                        kBatch, opt.perf, &perf_row);
         if (schedule.policy == PrefetchPolicy::kNone) direct_mlps = mlps;
-        table.AddRow({HumanBytes(static_cast<double>(bytes)), kernel->name,
-                      schedule.Describe(), TablePrinter::Fmt(mlps, 1),
-                      schedule.policy == PrefetchPolicy::kNone
-                          ? "1.00"
-                          : TablePrinter::Fmt(mlps / direct_mlps, 2)});
+        std::vector<std::string> row = {
+            HumanBytes(static_cast<double>(bytes)), kernel->name,
+            schedule.Describe(), TablePrinter::Fmt(mlps, 1),
+            schedule.policy == PrefetchPolicy::kNone
+                ? "1.00"
+                : TablePrinter::Fmt(mlps / direct_mlps, 2)};
+        AppendPerfCells(opt, perf_row, &row);
+        table.AddRow(std::move(row));
       }
     }
   }
   Emit(table, opt);
+  PrintPerfFooter(opt);
   return 0;
 }

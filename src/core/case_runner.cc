@@ -62,17 +62,27 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
 
   RunningStat per_core_mlps;
   double hit_fraction = 0.0;
+  const bool collect_perf = spec.run.perf.enabled;
+  const std::vector<PerfEvent>& perf_events = spec.run.perf.events.empty()
+                                                  ? DefaultPerfEvents()
+                                                  : spec.run.perf.events;
 
   for (unsigned rep = 0; rep < spec.run.repeats; ++rep) {
     SpinBarrier barrier(threads);
     std::vector<double> secs(threads, 0.0);
     std::vector<std::uint64_t> hits(threads, 0);
+    std::vector<PerfSample> samples(collect_perf ? threads : 0);
 
     pool->RunOnAll([&](std::size_t tid) {
       const TableView& view = views[views.size() == 1 ? 0 : tid];
       const std::vector<K>& q = queries[tid];
       ProbeBatchStats stats;
+      // Counters must be opened on the measured thread itself
+      // (self-monitoring), so the group lives inside the worker lambda.
+      CounterGroup counters(collect_perf ? perf_events
+                                         : std::vector<PerfEvent>{});
       barrier.Wait();
+      if (collect_perf) counters.Start();
       Timer timer;
       std::size_t off = 0;
       while (off < q.size()) {
@@ -88,6 +98,7 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
         off += chunk;
       }
       secs[tid] = timer.ElapsedSeconds();
+      if (collect_perf) samples[tid] = counters.Stop();
       hits[tid] = stats.hits;
       DoNotOptimize(stats.hits);
     });
@@ -101,6 +112,10 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
       sum_mlps += lps / 1e6;
       total_hits += hits[t];
       total_queries += queries[t].size();
+      if (collect_perf) {
+        result.perf.Accumulate(samples[t]);
+        result.perf_lookups += queries[t].size();
+      }
     }
     per_core_mlps.Add(sum_mlps / threads);
     hit_fraction = total_queries
@@ -108,6 +123,7 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
                              static_cast<double>(total_queries)
                        : 0.0;
   }
+  result.perf_collected = collect_perf && result.perf.valid_mask != 0;
 
   result.mlps_per_core = per_core_mlps.mean();
   result.stddev_mlps = per_core_mlps.stddev();

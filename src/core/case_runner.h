@@ -16,6 +16,7 @@
 #include "core/validation.h"
 #include "core/workload.h"
 #include "ht/layout.h"
+#include "perf/perf_events.h"
 #include "simd/kernel.h"
 #include "simd/pipeline.h"
 
@@ -47,6 +48,14 @@ struct MeasuredKernel {
   double stddev_mlps = 0.0;
   double hit_fraction = 0.0;    // observed (should track CaseSpec.hit_rate)
   double speedup = 1.0;         // vs the direct scalar twin in the same case
+  // Hardware-counter aggregate over all threads and repeats; populated when
+  // spec.run.perf.enabled. perf_lookups is the matching operation count, so
+  // Derived() yields per-lookup metrics.
+  PerfSample perf;
+  std::uint64_t perf_lookups = 0;
+  bool perf_collected = false;
+
+  DerivedPerf Derived() const { return ComputeDerived(perf, perf_lookups); }
 };
 
 struct CaseResult {

@@ -29,7 +29,8 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
                    const std::vector<std::vector<std::uint32_t>>& queries,
                    const std::vector<std::uint32_t>& resident_keys,
                    std::size_t batch, const PipelineConfig& pipeline,
-                   bool with_writer, std::uint64_t seed) {
+                   bool with_writer, std::uint64_t seed,
+                   const PerfOptions& perf, PerfSample* perf_out) {
   const auto readers = static_cast<unsigned>(queries.size());
   const TableView view = table->view();
   SpinBarrier barrier(readers + (with_writer ? 1 : 0));
@@ -37,6 +38,8 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
   std::vector<double> reader_secs(readers, 0.0);
   std::atomic<std::uint64_t> writer_updates{0};
   double writer_secs = 0.0;
+  const bool collect_perf = perf.enabled && perf_out != nullptr;
+  std::vector<PerfSample> samples(collect_perf ? readers : 0);
 
   std::vector<std::thread> threads;
   for (unsigned r = 0; r < readers; ++r) {
@@ -44,7 +47,12 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
       const auto& q = queries[r];
       std::vector<std::uint32_t> vals(batch);
       std::vector<std::uint8_t> found(batch);
+      CounterGroup counters(
+          collect_perf ? (perf.events.empty() ? DefaultPerfEvents()
+                                              : perf.events)
+                       : std::vector<PerfEvent>{});
       barrier.Wait();
+      if (collect_perf) counters.Start();
       Timer timer;
       std::size_t off = 0;
       std::uint64_t sink = 0;
@@ -56,6 +64,7 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
         off += chunk;
       }
       reader_secs[r] = timer.ElapsedSeconds();
+      if (collect_perf) samples[r] = counters.Stop();
       DoNotOptimize(sink);
     });
   }
@@ -82,6 +91,10 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
   for (auto& t : threads) t.join();
   stop_writer.store(true);
   if (writer.joinable()) writer.join();
+
+  if (collect_perf) {
+    for (const PerfSample& s : samples) perf_out->Accumulate(s);
+  }
 
   PassResult result;
   double sum = 0.0;
@@ -157,14 +170,20 @@ std::vector<MixedResult> RunMixedCase(
     for (unsigned rep = 0; rep < spec.run.repeats; ++rep) {
       ro.Add(RunPass(*kernel, &table, queries, build.inserted_keys,
                      spec.run.batch, pipeline, /*with_writer=*/false,
-                     spec.run.seed + rep)
+                     spec.run.seed + rep, spec.run.perf, &r.perf_read_only)
                  .reader_mlps);
       const PassResult with =
           RunPass(*kernel, &table, queries, build.inserted_keys,
                   spec.run.batch, pipeline, /*with_writer=*/true,
-                  spec.run.seed + rep);
+                  spec.run.seed + rep, spec.run.perf, &r.perf_with_writer);
       ww.Add(with.reader_mlps);
       wu.Add(with.writer_mups);
+    }
+    if (spec.run.perf.enabled) {
+      for (const auto& q : queries) {
+        r.perf_lookups += q.size() * spec.run.repeats;
+      }
+      r.perf_collected = r.perf_read_only.valid_mask != 0;
     }
     r.read_only_mlps = ro.mean();
     r.with_writer_mlps = ww.mean();

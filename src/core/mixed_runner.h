@@ -22,6 +22,20 @@ struct MixedResult {
   double with_writer_mlps = 0.0;  // same, with the writer running
   double writer_mups = 0.0;       // writer updates/s (millions)
   double degradation = 0.0;       // 1 - with_writer/read_only
+  // Reader-side counter aggregates (threads x repeats, per pass kind);
+  // populated when spec.run.perf.enabled. The contrast between the two
+  // samples shows *why* the writer hurts (e.g. extra LLC misses/lookup).
+  PerfSample perf_read_only;
+  PerfSample perf_with_writer;
+  std::uint64_t perf_lookups = 0;  // lookups behind each sample
+  bool perf_collected = false;
+
+  DerivedPerf DerivedReadOnly() const {
+    return ComputeDerived(perf_read_only, perf_lookups);
+  }
+  DerivedPerf DerivedWithWriter() const {
+    return ComputeDerived(perf_with_writer, perf_lookups);
+  }
 };
 
 // Runs the scalar twin plus `kernels` over `spec` (shared table, reader

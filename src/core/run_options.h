@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "perf/perf_events.h"
 #include "simd/pipeline.h"
 
 namespace simdht {
@@ -24,6 +25,10 @@ struct RunOptions {
   // When policy != kNone, the runners measure each kernel both direct and
   // through the prefetch pipeline, as separate design points.
   PipelineConfig pipeline;
+  // When enabled, every worker attaches a CounterGroup around its measured
+  // region and the result rows carry cycles/lookup, IPC, and miss-rate
+  // columns (TSC-estimated cycles when perf_event_open is unavailable).
+  PerfOptions perf;
 };
 
 }  // namespace simdht

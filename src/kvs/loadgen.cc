@@ -22,7 +22,8 @@ std::string MakeKeyString(std::size_t index, std::size_t key_size) {
   return key;
 }
 
-MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config) {
+MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config,
+                         MetricsRegistry* metrics) {
   MemslapResult result;
   result.backend_name = backend->name();
 
@@ -43,7 +44,7 @@ MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config) {
     channel_ptrs.push_back(channels.back().get());
   }
 
-  KvServer server(backend, channel_ptrs);
+  KvServer server(backend, channel_ptrs, metrics);
   server.Start();
 
   // --- Preload phase (through the wire, striped across clients). ---

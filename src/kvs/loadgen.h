@@ -59,7 +59,12 @@ struct MemslapResult {
 std::string MakeKeyString(std::size_t index, std::size_t key_size);
 
 // Preloads `backend` through the wire and drives the Multi-Get phase.
-MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config);
+// When `metrics` is non-null it is attached to the server, which exports
+// the kvs_metrics:: per-phase series into it (see kvs/server.h); the
+// registry then holds tail latencies (p95/p99) the mean-based PhaseStats
+// cannot provide.
+MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config,
+                         MetricsRegistry* metrics = nullptr);
 
 }  // namespace simdht
 

@@ -28,10 +28,22 @@ double PhaseStats::MeanTotalNs() const {
   return MeanPreNs() + MeanLookupNs() + MeanPostNs();
 }
 
-KvServer::KvServer(KvBackend* backend, std::vector<Channel*> channels)
+KvServer::KvServer(KvBackend* backend, std::vector<Channel*> channels,
+                   MetricsRegistry* metrics)
     : backend_(backend),
       channels_(std::move(channels)),
-      worker_stats_(channels_.size()) {}
+      worker_stats_(channels_.size()),
+      metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    ids_.batches = metrics_->Counter(kvs_metrics::kMgetBatches);
+    ids_.keys = metrics_->Counter(kvs_metrics::kMgetKeys);
+    ids_.hits = metrics_->Counter(kvs_metrics::kMgetHits);
+    ids_.parse_ns = metrics_->Histogram(kvs_metrics::kParseNs);
+    ids_.index_probe_ns = metrics_->Histogram(kvs_metrics::kIndexProbeNs);
+    ids_.value_copy_ns = metrics_->Histogram(kvs_metrics::kValueCopyNs);
+    ids_.transport_ns = metrics_->Histogram(kvs_metrics::kTransportNs);
+  }
+}
 
 KvServer::~KvServer() { Join(); }
 
@@ -58,6 +70,11 @@ void KvServer::WorkerLoop(std::size_t worker_index) {
   Channel* channel = channels_[worker_index];
   PhaseStats& stats = worker_stats_[worker_index];
   const double ns_per_tick = 1.0 / TscGhz();
+  ThreadMetrics* m = metrics_ != nullptr ? metrics_->Local() : nullptr;
+  const auto ns = [ns_per_tick](std::uint64_t a, std::uint64_t b) {
+    return static_cast<std::uint64_t>(static_cast<double>(b - a) *
+                                      ns_per_tick);
+  };
 
   Buffer request;
   Buffer response;
@@ -103,6 +120,17 @@ void KvServer::WorkerLoop(std::size_t worker_index) {
         stats.post_process_ns += static_cast<double>(t3 - t2) * ns_per_tick;
 
         channel->ServerSend(response);
+
+        if (m != nullptr) {
+          const std::uint64_t t4 = ReadTsc();
+          m->Add(ids_.batches, 1);
+          m->Add(ids_.keys, mget.keys.size());
+          m->Add(ids_.hits, hits);
+          m->Record(ids_.parse_ns, ns(t0, t1));
+          m->Record(ids_.index_probe_ns, ns(t1, t2));
+          m->Record(ids_.value_copy_ns, ns(t2, t3));
+          m->Record(ids_.transport_ns, ns(t3, t4));
+        }
         break;
       }
       default:

@@ -7,6 +7,13 @@
 //   (3) post-processing — CLOCK/LRU metadata updates + response build
 // Phase times are accumulated per worker with the TSC and reported as
 // nanoseconds per request batch.
+//
+// When a MetricsRegistry is attached the same phases are additionally
+// exported as live histograms/counters (lock-free per-worker slabs), split
+// one step finer than PhaseStats: the index probe (backend MultiGet), the
+// value-copy side (freshness updates + response build) and the transport
+// send. PhaseStats keeps means for the Fig 11(b) tables; the registry adds
+// tails (p95/p99) and lets an external reporter poll a running server.
 #ifndef SIMDHT_KVS_SERVER_H_
 #define SIMDHT_KVS_SERVER_H_
 
@@ -17,6 +24,7 @@
 
 #include "kvs/backend.h"
 #include "kvs/transport.h"
+#include "perf/metrics.h"
 
 namespace simdht {
 
@@ -36,11 +44,25 @@ struct PhaseStats {
   double MeanTotalNs() const;
 };
 
+// Metric names exported by KvServer into an attached registry.
+namespace kvs_metrics {
+inline constexpr char kMgetBatches[] = "kvs.mget.batches";
+inline constexpr char kMgetKeys[] = "kvs.mget.keys";
+inline constexpr char kMgetHits[] = "kvs.mget.hits";
+inline constexpr char kParseNs[] = "kvs.mget.parse_ns";            // phase 1
+inline constexpr char kIndexProbeNs[] = "kvs.mget.index_probe_ns";  // phase 2
+inline constexpr char kValueCopyNs[] = "kvs.mget.value_copy_ns";    // phase 3
+inline constexpr char kTransportNs[] = "kvs.mget.transport_ns";     // send
+}  // namespace kvs_metrics
+
 class KvServer {
  public:
   // The server serves every channel with one worker thread; the backend is
-  // shared (the paper's shared-HT, full-subscription setup).
-  KvServer(KvBackend* backend, std::vector<Channel*> channels);
+  // shared (the paper's shared-HT, full-subscription setup). `metrics` is
+  // optional and caller-owned; when non-null it must outlive the server and
+  // receives the kvs_metrics:: series from every worker.
+  KvServer(KvBackend* backend, std::vector<Channel*> channels,
+           MetricsRegistry* metrics = nullptr);
   ~KvServer();
 
   KvServer(const KvServer&) = delete;
@@ -57,12 +79,19 @@ class KvServer {
   PhaseStats stats() const;
 
  private:
+  struct MetricIds {
+    MetricId batches, keys, hits;
+    MetricId parse_ns, index_probe_ns, value_copy_ns, transport_ns;
+  };
+
   void WorkerLoop(std::size_t worker_index);
 
   KvBackend* backend_;
   std::vector<Channel*> channels_;
   std::vector<std::thread> workers_;
   std::vector<PhaseStats> worker_stats_;
+  MetricsRegistry* metrics_;  // nullable, caller-owned
+  MetricIds ids_{};           // valid when metrics_ != nullptr
 };
 
 }  // namespace simdht

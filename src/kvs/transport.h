@@ -24,17 +24,18 @@ namespace simdht {
 
 struct WireModel {
   double base_latency_ns = 1500.0;    // one-way small-message latency
+  // Bytes per nanosecond; 0 means "latency-only" (infinite bandwidth), so
+  // the serialization term vanishes instead of the whole delay collapsing.
   double bandwidth_bytes_per_ns = 12.5;  // ~100 Gbps EDR
   // Loopback: no modeled delay (unit tests, pure server-side studies).
   static WireModel Loopback() { return {0.0, 0.0}; }
   static WireModel InfinibandEdr() { return {1500.0, 12.5}; }
 
   double DelayNs(std::size_t bytes) const {
-    if (base_latency_ns == 0.0 && bandwidth_bytes_per_ns == 0.0) return 0.0;
-    const double wire = bandwidth_bytes_per_ns > 0
-                            ? static_cast<double>(bytes) /
-                                  bandwidth_bytes_per_ns
-                            : 0.0;
+    const double wire =
+        bandwidth_bytes_per_ns > 0
+            ? static_cast<double>(bytes) / bandwidth_bytes_per_ns
+            : 0.0;
     return base_latency_ns + wire;
   }
 };

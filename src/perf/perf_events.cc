@@ -1,0 +1,375 @@
+#include "perf/perf_events.h"
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "common/timer.h"
+
+namespace simdht {
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+// type/config pair for each PerfEvent.
+struct EventCode {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::uint64_t CacheConfig(std::uint64_t cache, std::uint64_t op,
+                                    std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+EventCode CodeFor(PerfEvent event) {
+  switch (event) {
+    case PerfEvent::kCycles:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+    case PerfEvent::kInstructions:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS};
+    case PerfEvent::kLlcLoads:
+      return {PERF_TYPE_HW_CACHE,
+              CacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                          PERF_COUNT_HW_CACHE_RESULT_ACCESS)};
+    case PerfEvent::kLlcMisses:
+      return {PERF_TYPE_HW_CACHE,
+              CacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                          PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case PerfEvent::kDtlbLoads:
+      return {PERF_TYPE_HW_CACHE,
+              CacheConfig(PERF_COUNT_HW_CACHE_DTLB,
+                          PERF_COUNT_HW_CACHE_OP_READ,
+                          PERF_COUNT_HW_CACHE_RESULT_ACCESS)};
+    case PerfEvent::kDtlbMisses:
+      return {PERF_TYPE_HW_CACHE,
+              CacheConfig(PERF_COUNT_HW_CACHE_DTLB,
+                          PERF_COUNT_HW_CACHE_OP_READ,
+                          PERF_COUNT_HW_CACHE_RESULT_MISS)};
+    case PerfEvent::kBranchMisses:
+      return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES};
+  }
+  return {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES};
+}
+
+perf_event_attr AttrFor(PerfEvent event) {
+  const EventCode code = CodeFor(event);
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = code.type;
+  attr.config = code.config;
+  attr.disabled = 1;
+  attr.inherit = 0;
+  attr.exclude_kernel = 1;  // user-space characterization; also the only
+  attr.exclude_hv = 1;      // mode allowed at perf_event_paranoid >= 2
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return attr;
+}
+
+// Per-fd read layout matching read_format above.
+struct ReadBuf {
+  std::uint64_t value;
+  std::uint64_t time_enabled;
+  std::uint64_t time_running;
+};
+
+}  // namespace
+
+const char* PerfEventName(PerfEvent event) {
+  switch (event) {
+    case PerfEvent::kCycles: return "cycles";
+    case PerfEvent::kInstructions: return "instructions";
+    case PerfEvent::kLlcLoads: return "llc-loads";
+    case PerfEvent::kLlcMisses: return "llc-misses";
+    case PerfEvent::kDtlbLoads: return "dtlb-loads";
+    case PerfEvent::kDtlbMisses: return "dtlb-misses";
+    case PerfEvent::kBranchMisses: return "branch-misses";
+  }
+  return "?";
+}
+
+bool ParsePerfEvent(const std::string& name, PerfEvent* out) {
+  for (unsigned i = 0; i < kNumPerfEvents; ++i) {
+    const PerfEvent e = static_cast<PerfEvent>(i);
+    if (name == PerfEventName(e)) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParsePerfEventList(const std::string& csv, std::vector<PerfEvent>* out,
+                        std::string* why) {
+  if (csv.empty()) {
+    *out = DefaultPerfEvents();
+    return true;
+  }
+  std::vector<PerfEvent> events;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!token.empty()) {
+      PerfEvent e;
+      if (!ParsePerfEvent(token, &e)) {
+        if (why != nullptr) *why = "unknown perf event '" + token + "'";
+        return false;
+      }
+      events.push_back(e);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (events.empty()) {
+    if (why != nullptr) *why = "empty perf event list";
+    return false;
+  }
+  *out = std::move(events);
+  return true;
+}
+
+const std::vector<PerfEvent>& DefaultPerfEvents() {
+  static const std::vector<PerfEvent> events = [] {
+    std::vector<PerfEvent> all;
+    for (unsigned i = 0; i < kNumPerfEvents; ++i) {
+      all.push_back(static_cast<PerfEvent>(i));
+    }
+    return all;
+  }();
+  return events;
+}
+
+void PerfSample::Accumulate(const PerfSample& other) {
+  for (unsigned i = 0; i < kNumPerfEvents; ++i) {
+    const PerfEvent e = static_cast<PerfEvent>(i);
+    if (other.Has(e)) {
+      values[i] += other.values[i];
+      valid_mask |= 1u << i;
+    }
+  }
+  estimated_cycles = estimated_cycles || other.estimated_cycles;
+  time_enabled_ns += other.time_enabled_ns;
+  time_running_ns += other.time_running_ns;
+  if (other.max_scale > max_scale) max_scale = other.max_scale;
+}
+
+DerivedPerf ComputeDerived(const PerfSample& sample, std::uint64_t ops) {
+  DerivedPerf d;
+  const double nan = std::nan("");
+  d.cycles_per_op = nan;
+  d.ipc = nan;
+  d.llc_misses_per_op = nan;
+  d.llc_miss_rate = nan;
+  d.dtlb_misses_per_op = nan;
+  d.branch_misses_per_op = nan;
+  d.collected = sample.valid_mask != 0;
+  d.estimated = sample.estimated_cycles;
+  if (!d.collected || ops == 0) return d;
+
+  const double n = static_cast<double>(ops);
+  if (sample.Has(PerfEvent::kCycles)) {
+    d.cycles_per_op = sample.Value(PerfEvent::kCycles) / n;
+    if (sample.Has(PerfEvent::kInstructions) &&
+        sample.Value(PerfEvent::kCycles) > 0) {
+      d.ipc = sample.Value(PerfEvent::kInstructions) /
+              sample.Value(PerfEvent::kCycles);
+    }
+  }
+  if (sample.Has(PerfEvent::kLlcMisses)) {
+    d.llc_misses_per_op = sample.Value(PerfEvent::kLlcMisses) / n;
+    if (sample.Has(PerfEvent::kLlcLoads) &&
+        sample.Value(PerfEvent::kLlcLoads) > 0) {
+      d.llc_miss_rate = sample.Value(PerfEvent::kLlcMisses) /
+                        sample.Value(PerfEvent::kLlcLoads);
+    }
+  }
+  if (sample.Has(PerfEvent::kDtlbMisses)) {
+    d.dtlb_misses_per_op = sample.Value(PerfEvent::kDtlbMisses) / n;
+  }
+  if (sample.Has(PerfEvent::kBranchMisses)) {
+    d.branch_misses_per_op = sample.Value(PerfEvent::kBranchMisses) / n;
+  }
+  return d;
+}
+
+std::string FormatPerfValue(double value, bool estimated, int precision) {
+  if (std::isnan(value)) return "-";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%.*f", estimated ? "~" : "", precision,
+                value);
+  return buf;
+}
+
+std::vector<PerfEventProbe> ProbePerfEvents(
+    const std::vector<PerfEvent>& events) {
+  const std::vector<PerfEvent>& set =
+      events.empty() ? DefaultPerfEvents() : events;
+  std::vector<PerfEventProbe> probes;
+  for (PerfEvent e : set) {
+    PerfEventProbe probe;
+    probe.event = e;
+    if (PerfForceDisabled()) {
+      probe.error = "disabled by SIMDHT_PERF_DISABLE";
+    } else {
+      perf_event_attr attr = AttrFor(e);
+      const long fd = PerfEventOpen(&attr, 0, -1, -1, 0);
+      if (fd >= 0) {
+        probe.available = true;
+        close(static_cast<int>(fd));
+      } else {
+        probe.error = std::strerror(errno);
+      }
+    }
+    probes.push_back(std::move(probe));
+  }
+  return probes;
+}
+
+int PerfEventParanoid() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+  if (f == nullptr) return INT_MIN;
+  int level = INT_MIN;
+  if (std::fscanf(f, "%d", &level) != 1) level = INT_MIN;
+  std::fclose(f);
+  return level;
+}
+
+bool PerfForceDisabled() {
+  const char* v = std::getenv("SIMDHT_PERF_DISABLE");
+  return v != nullptr && v[0] == '1';
+}
+
+CounterGroup::CounterGroup(const std::vector<PerfEvent>& events) {
+  want_cycles_ = false;
+  for (PerfEvent e : events) {
+    if (e == PerfEvent::kCycles) want_cycles_ = true;
+  }
+  if (PerfForceDisabled()) return;
+  for (PerfEvent e : events) {
+    perf_event_attr attr = AttrFor(e);
+    // Prefer the leader's group so siblings are co-scheduled; if the PMU
+    // cannot fit the event there, fall back to a standalone counter (its own
+    // time_enabled/time_running keeps the scaling correct either way).
+    long fd = PerfEventOpen(&attr, 0, -1, leader_fd_, 0);
+    if (fd < 0 && leader_fd_ >= 0) fd = PerfEventOpen(&attr, 0, -1, -1, 0);
+    if (fd < 0) continue;
+    if (leader_fd_ < 0) leader_fd_ = static_cast<int>(fd);
+    fds_.push_back(OpenEvent{e, static_cast<int>(fd)});
+  }
+}
+
+CounterGroup::~CounterGroup() { CloseAll(); }
+
+CounterGroup::CounterGroup(CounterGroup&& other) noexcept
+    : fds_(std::move(other.fds_)),
+      leader_fd_(other.leader_fd_),
+      want_cycles_(other.want_cycles_),
+      tsc_start_(other.tsc_start_),
+      wall_start_ns_(other.wall_start_ns_),
+      started_(other.started_) {
+  other.fds_.clear();
+  other.leader_fd_ = -1;
+}
+
+CounterGroup& CounterGroup::operator=(CounterGroup&& other) noexcept {
+  if (this != &other) {
+    CloseAll();
+    fds_ = std::move(other.fds_);
+    leader_fd_ = other.leader_fd_;
+    want_cycles_ = other.want_cycles_;
+    tsc_start_ = other.tsc_start_;
+    wall_start_ns_ = other.wall_start_ns_;
+    started_ = other.started_;
+    other.fds_.clear();
+    other.leader_fd_ = -1;
+  }
+  return *this;
+}
+
+void CounterGroup::CloseAll() {
+  for (const OpenEvent& oe : fds_) close(oe.fd);
+  fds_.clear();
+  leader_fd_ = -1;
+}
+
+std::vector<PerfEvent> CounterGroup::open_events() const {
+  std::vector<PerfEvent> events;
+  for (const OpenEvent& oe : fds_) events.push_back(oe.event);
+  return events;
+}
+
+void CounterGroup::Start() {
+  for (const OpenEvent& oe : fds_) {
+    ioctl(oe.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(oe.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+  started_ = true;
+  wall_start_ns_ = 0;  // unused; TSC carries the fallback window
+  tsc_start_ = ReadTsc();
+}
+
+PerfSample CounterGroup::Stop() {
+  const std::uint64_t tsc_end = ReadTsc();
+  PerfSample sample;
+  if (!started_) return sample;
+  started_ = false;
+
+  for (const OpenEvent& oe : fds_) {
+    ioctl(oe.fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  bool have_hw_cycles = false;
+  for (const OpenEvent& oe : fds_) {
+    ReadBuf buf{};
+    if (read(oe.fd, &buf, sizeof(buf)) != sizeof(buf)) continue;
+    // An event that was enabled but never scheduled onto the PMU has
+    // time_running == 0: report it as unmeasured rather than zero.
+    if (buf.time_running == 0) continue;
+    const double scale = static_cast<double>(buf.time_enabled) /
+                         static_cast<double>(buf.time_running);
+    const unsigned idx = static_cast<unsigned>(oe.event);
+    sample.values[idx] = static_cast<double>(buf.value) * scale;
+    sample.valid_mask |= 1u << idx;
+    if (oe.event == PerfEvent::kCycles) have_hw_cycles = true;
+    if (scale > sample.max_scale) sample.max_scale = scale;
+    if (static_cast<double>(buf.time_enabled) > sample.time_enabled_ns) {
+      sample.time_enabled_ns = static_cast<double>(buf.time_enabled);
+      sample.time_running_ns = static_cast<double>(buf.time_running);
+    }
+  }
+
+  if (want_cycles_ && !have_hw_cycles) {
+    // Fallback: TSC delta as a cycle estimate. The TSC ticks at a constant
+    // reference rate (not the core clock) and keeps counting while this
+    // thread is scheduled out, so it is an estimate — flagged as such.
+    const unsigned idx = static_cast<unsigned>(PerfEvent::kCycles);
+    sample.values[idx] = static_cast<double>(tsc_end - tsc_start_);
+    sample.valid_mask |= 1u << idx;
+    sample.estimated_cycles = true;
+    if (sample.time_enabled_ns == 0) {
+      const double ns =
+          static_cast<double>(tsc_end - tsc_start_) / TscGhz();
+      sample.time_enabled_ns = ns;
+      sample.time_running_ns = ns;
+    }
+  }
+  return sample;
+}
+
+}  // namespace simdht

@@ -1,0 +1,174 @@
+// Hardware performance-counter groups over perf_event_open(2).
+//
+// The paper's characterization claims rest on microarchitectural metrics —
+// cycles per lookup, IPC, LLC and dTLB misses per lookup — not just
+// wall-clock throughput. CounterGroup gives every measurement driver a
+// per-thread window onto those counters:
+//
+//   CounterGroup group;          // opens the default event set for this
+//   group.Start();               //   thread (self-monitoring, all CPUs)
+//   ... measured region ...
+//   PerfSample s = group.Stop(); // scaled, multiplexing-aware readings
+//
+// Counters are opened as one perf group where the PMU allows it (siblings
+// share the leader's scheduling, so ratios like IPC come from the same
+// intervals); events the group cannot accommodate are opened standalone and
+// every event is scaled individually by time_enabled / time_running, so
+// multiplexed runs stay unbiased.
+//
+// Graceful degradation: perf_event_open is often unavailable — containers
+// with a restrictive perf_event_paranoid, seccomp filters, or VMs without a
+// PMU (ENOENT). In that case the group falls back to a serializing-TSC
+// cycle estimate so "cycles" (and cycles/lookup) survive everywhere, and the
+// sample is marked estimated so reporters can flag the column. Setting
+// SIMDHT_PERF_DISABLE=1 forces the fallback (used by tests and for A/B-ing
+// counter overhead).
+#ifndef SIMDHT_PERF_PERF_EVENTS_H_
+#define SIMDHT_PERF_PERF_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+// The event set the characterization needs (docs/perf_counters.md).
+enum class PerfEvent : unsigned {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcMisses,
+  kDtlbLoads,
+  kDtlbMisses,
+  kBranchMisses,
+};
+inline constexpr unsigned kNumPerfEvents = 7;
+
+// Canonical flag-facing names: "cycles", "instructions", "llc-loads",
+// "llc-misses", "dtlb-loads", "dtlb-misses", "branch-misses".
+const char* PerfEventName(PerfEvent event);
+
+// Parses one canonical name; returns false on unknown names.
+bool ParsePerfEvent(const std::string& name, PerfEvent* out);
+
+// Parses a comma-separated list of names (e.g. "--perf-events=cycles,llc-
+// misses"); empty input yields the default set. Returns false and leaves
+// *out untouched on any unknown name (reported via *why when non-null).
+bool ParsePerfEventList(const std::string& csv, std::vector<PerfEvent>* out,
+                        std::string* why = nullptr);
+
+// The full default set, in enum order.
+const std::vector<PerfEvent>& DefaultPerfEvents();
+
+// One scaled reading of a counter group (or an accumulation of many — see
+// Accumulate; derived ratios stay meaningful because numerators and
+// denominators accumulate together).
+struct PerfSample {
+  double values[kNumPerfEvents] = {};  // scaled counts; Has() gates validity
+  std::uint32_t valid_mask = 0;        // bit i => values[i] was measured
+  bool estimated_cycles = false;  // kCycles came from the TSC fallback
+  double time_enabled_ns = 0;     // max over events (0 if nothing measured)
+  double time_running_ns = 0;
+  // Largest time_enabled/time_running ratio applied to any event; 1.0 means
+  // the PMU never multiplexed this sample.
+  double max_scale = 1.0;
+
+  bool Has(PerfEvent e) const {
+    return (valid_mask >> static_cast<unsigned>(e)) & 1u;
+  }
+  double Value(PerfEvent e) const {
+    return Has(e) ? values[static_cast<unsigned>(e)] : 0.0;
+  }
+  void Accumulate(const PerfSample& other);
+};
+
+// Derived, per-operation metrics computed by reporters. A metric is NaN
+// when its inputs were not measured; use the formatter below for display.
+struct DerivedPerf {
+  bool collected = false;  // any sample data at all (hardware or estimated)
+  bool estimated = false;  // cycles are a TSC estimate, not a PMU count
+  double cycles_per_op = 0;
+  double ipc = 0;
+  double llc_misses_per_op = 0;
+  double llc_miss_rate = 0;  // misses / loads
+  double dtlb_misses_per_op = 0;
+  double branch_misses_per_op = 0;
+};
+
+DerivedPerf ComputeDerived(const PerfSample& sample, std::uint64_t ops);
+
+// Formats one derived value for tables: "-" when NaN/unmeasured, "~"-prefixed
+// when the sample is estimated (the fallback path), plain otherwise.
+std::string FormatPerfValue(double value, bool estimated, int precision = 2);
+
+// Per-event availability on this kernel/CPU, as probed by TryOpen.
+struct PerfEventProbe {
+  PerfEvent event = PerfEvent::kCycles;
+  bool available = false;
+  std::string error;  // strerror for the open failure, empty when available
+};
+
+// Probes every event in `events` (default set when empty) by actually
+// opening it for the calling thread. Powers `simdht perf-check`.
+std::vector<PerfEventProbe> ProbePerfEvents(
+    const std::vector<PerfEvent>& events = {});
+
+// /proc/sys/kernel/perf_event_paranoid, or INT_MIN when unreadable.
+int PerfEventParanoid();
+
+// True when SIMDHT_PERF_DISABLE=1 is set (forces the TSC fallback).
+bool PerfForceDisabled();
+
+// RAII group of per-thread hardware counters. Move-only; open on
+// construction for the *calling* thread (pid=0, any CPU), so construct it on
+// the thread being measured.
+class CounterGroup {
+ public:
+  explicit CounterGroup(const std::vector<PerfEvent>& events =
+                            DefaultPerfEvents());
+  ~CounterGroup();
+
+  CounterGroup(CounterGroup&& other) noexcept;
+  CounterGroup& operator=(CounterGroup&& other) noexcept;
+  CounterGroup(const CounterGroup&) = delete;
+  CounterGroup& operator=(const CounterGroup&) = delete;
+
+  // Resets and enables all counters (and arms the TSC fallback window).
+  void Start();
+
+  // Disables the counters and returns the scaled readings since Start().
+  PerfSample Stop();
+
+  // True when at least one hardware event opened; false means Stop() only
+  // carries the estimated-TSC cycle count.
+  bool hardware_available() const { return !fds_.empty(); }
+
+  // Events that actually opened (subset of the requested set).
+  std::vector<PerfEvent> open_events() const;
+
+ private:
+  struct OpenEvent {
+    PerfEvent event;
+    int fd;
+  };
+
+  void CloseAll();
+
+  std::vector<OpenEvent> fds_;  // empty => full fallback
+  int leader_fd_ = -1;
+  bool want_cycles_ = true;     // requested set includes kCycles
+  std::uint64_t tsc_start_ = 0;
+  double wall_start_ns_ = 0;
+  bool started_ = false;
+};
+
+// Execution knob carried by RunOptions: should the measurement drivers
+// attach a CounterGroup, and over which events.
+struct PerfOptions {
+  bool enabled = false;
+  std::vector<PerfEvent> events;  // empty = DefaultPerfEvents()
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_PERF_PERF_EVENTS_H_

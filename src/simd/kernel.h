@@ -157,13 +157,6 @@ class KernelRegistry {
   // and optionally by exact vector width.
   std::vector<const KernelInfo*> Find(const KernelQuery& query) const;
 
-  // Deprecated positional form; forwards to the KernelQuery overload.
-  [[deprecated("build a KernelQuery and call Find(const KernelQuery&)")]]
-  std::vector<const KernelInfo*> Find(const LayoutSpec& spec,
-                                      Approach approach,
-                                      unsigned width_bits = 0,
-                                      bool include_unsupported = false) const;
-
   // The scalar twin for a spec (never null for supported key/val combos;
   // null if the spec itself is unsupported).
   const KernelInfo* Scalar(const LayoutSpec& spec) const;

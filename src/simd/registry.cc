@@ -86,12 +86,6 @@ std::vector<const KernelInfo*> KernelRegistry::Find(
   return out;
 }
 
-std::vector<const KernelInfo*> KernelRegistry::Find(
-    const LayoutSpec& spec, Approach approach, unsigned width_bits,
-    bool include_unsupported) const {
-  return Find(KernelQuery{spec, approach, width_bits, include_unsupported});
-}
-
 const KernelInfo* KernelRegistry::Scalar(const LayoutSpec& spec) const {
   auto matches = Find(KernelQuery{spec, Approach::kScalar});
   return matches.empty() ? nullptr : matches.front();

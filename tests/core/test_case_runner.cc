@@ -2,6 +2,9 @@
 // plumbing, not performance).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+
 #include "common/cpu_features.h"
 #include "core/case_runner.h"
 
@@ -88,6 +91,46 @@ TEST(BucketsForBytes, PowerOfTwoWithinBudget) {
   EXPECT_EQ(BucketsForBytes(layout, 1 << 20), (1u << 20) / 32);
   EXPECT_EQ(BucketsForBytes(layout, (1 << 20) + 5000), (1u << 20) / 32);
   EXPECT_EQ(BucketsForBytes(layout, 1), 2u);  // floor
+}
+
+TEST(CaseRunner, PerfDisabledByDefault) {
+  const CaseResult result = RunCase(SmallSpec(), {});
+  EXPECT_FALSE(result.kernels[0].perf_collected);
+  EXPECT_FALSE(result.kernels[0].Derived().collected);
+}
+
+// Acceptance path: --perf with perf_event_open forced off must still yield
+// cycles/lookup via the TSC estimate, clearly marked as estimated.
+TEST(CaseRunner, PerfForcedFallbackEstimatesCycles) {
+  setenv("SIMDHT_PERF_DISABLE", "1", 1);
+  CaseSpec spec = SmallSpec();
+  spec.run.perf.enabled = true;
+  const CaseResult result = RunCase(spec, {});
+  unsetenv("SIMDHT_PERF_DISABLE");
+
+  const MeasuredKernel& scalar = result.kernels[0];
+  ASSERT_TRUE(scalar.perf_collected);
+  EXPECT_GT(scalar.perf_lookups, 0u);
+  const DerivedPerf d = scalar.Derived();
+  EXPECT_TRUE(d.collected);
+  EXPECT_TRUE(d.estimated);
+  EXPECT_GT(d.cycles_per_op, 0.0);
+  EXPECT_LT(d.cycles_per_op, 1e7);    // sane per-lookup magnitude
+  EXPECT_TRUE(std::isnan(d.ipc));     // no instruction counts in fallback
+  // The formatter marks the estimate so tables show "~value".
+  EXPECT_EQ(FormatPerfValue(d.cycles_per_op, d.estimated, 1)[0], '~');
+}
+
+TEST(CaseRunner, PerfRestrictedEventSet) {
+  CaseSpec spec = SmallSpec();
+  spec.run.perf.enabled = true;
+  spec.run.perf.events = {PerfEvent::kCycles};
+  const CaseResult result = RunCase(spec, {});
+  const MeasuredKernel& scalar = result.kernels[0];
+  // Hardware cycles or the TSC estimate — either way cycles exist.
+  ASSERT_TRUE(scalar.perf_collected);
+  EXPECT_TRUE(scalar.perf.Has(PerfEvent::kCycles));
+  EXPECT_FALSE(scalar.perf.Has(PerfEvent::kInstructions));
 }
 
 TEST(CaseRunner, ZipfPatternRuns) {

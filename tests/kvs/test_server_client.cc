@@ -43,6 +43,52 @@ TEST(ServerClient, SetThenMultiGet) {
   EXPECT_GT(stats.ht_lookup_ns, 0.0);
 }
 
+TEST(ServerClient, ExportsPhaseMetricsWhenRegistryAttached) {
+  Memc3Backend backend(1 << 12, 16 << 20);
+  Channel channel(WireModel::Loopback());
+  MetricsRegistry metrics;
+  KvServer server(&backend, {&channel}, &metrics);
+  server.Start();
+
+  KvClient client(&channel);
+  EXPECT_TRUE(client.Set("k1", "v1"));
+  std::vector<std::string> vals;
+  std::vector<std::uint8_t> found;
+  ASSERT_TRUE(client.MultiGet({"k1", "missing"}, &vals, &found));
+  ASSERT_TRUE(client.MultiGet({"k1"}, &vals, &found));
+  client.Shutdown();
+  server.Join();
+
+  const MetricsSnapshot snap = metrics.Aggregate();
+  EXPECT_EQ(snap.counter(kvs_metrics::kMgetBatches), 2u);
+  EXPECT_EQ(snap.counter(kvs_metrics::kMgetKeys), 3u);
+  EXPECT_EQ(snap.counter(kvs_metrics::kMgetHits), 2u);
+  for (const char* name :
+       {kvs_metrics::kParseNs, kvs_metrics::kIndexProbeNs,
+        kvs_metrics::kValueCopyNs, kvs_metrics::kTransportNs}) {
+    const auto it = snap.histograms.find(name);
+    ASSERT_NE(it, snap.histograms.end()) << name;
+    EXPECT_EQ(it->second.count(), 2u) << name;
+  }
+  // The phases measure real work: probing the index takes time.
+  EXPECT_GT(snap.histograms.at(kvs_metrics::kIndexProbeNs).max(), 0u);
+}
+
+TEST(ServerClient, NoMetricsRegistryMeansNoExport) {
+  Memc3Backend backend(1 << 12, 16 << 20);
+  Channel channel(WireModel::Loopback());
+  KvServer server(&backend, {&channel});  // default: metrics == nullptr
+  server.Start();
+  KvClient client(&channel);
+  EXPECT_TRUE(client.Set("k", "v"));
+  std::vector<std::string> vals;
+  std::vector<std::uint8_t> found;
+  ASSERT_TRUE(client.MultiGet({"k"}, &vals, &found));
+  client.Shutdown();
+  server.Join();
+  EXPECT_EQ(server.stats().mget_batches, 1u);  // PhaseStats still work
+}
+
 TEST(ServerClient, MultipleWorkersSharedBackend) {
   Memc3Backend backend(1 << 12, 16 << 20);
   Channel ch0(WireModel::Loopback());

@@ -16,6 +16,29 @@ TEST(WireModel, DelayFormula) {
   EXPECT_DOUBLE_EQ(loop.DelayNs(1 << 20), 0.0);
 }
 
+TEST(WireModel, PinnedFactoryDelays) {
+  // The factory models are part of the reproduction's methodology (Fig 11
+  // runs over the EDR model); pin their exact delays so a parameter change
+  // cannot silently shift measured latencies.
+  const WireModel edr = WireModel::InfinibandEdr();
+  EXPECT_DOUBLE_EQ(edr.base_latency_ns, 1500.0);
+  EXPECT_DOUBLE_EQ(edr.bandwidth_bytes_per_ns, 12.5);
+  EXPECT_DOUBLE_EQ(edr.DelayNs(64), 1500.0 + 64 / 12.5);
+  EXPECT_DOUBLE_EQ(edr.DelayNs(4096), 1500.0 + 4096 / 12.5);
+  const WireModel loop = WireModel::Loopback();
+  EXPECT_DOUBLE_EQ(loop.DelayNs(0), 0.0);
+  EXPECT_DOUBLE_EQ(loop.DelayNs(1), 0.0);
+}
+
+TEST(WireModel, ZeroBandwidthMeansLatencyOnly) {
+  // bandwidth == 0 is "infinite wire": the base latency must survive at
+  // every message size instead of degenerating to zero or infinity.
+  const WireModel latency_only{250.0, 0.0};
+  EXPECT_DOUBLE_EQ(latency_only.DelayNs(0), 250.0);
+  EXPECT_DOUBLE_EQ(latency_only.DelayNs(1), 250.0);
+  EXPECT_DOUBLE_EQ(latency_only.DelayNs(1 << 20), 250.0);
+}
+
 TEST(MessageQueue, DeliversInOrder) {
   MessageQueue q(WireModel::Loopback());
   q.Send({1});

@@ -86,17 +86,5 @@ TEST(KernelRegistry, WidthFilterIsExact) {
   }
 }
 
-TEST(KernelRegistry, DeprecatedPositionalFindMatchesQueryForm) {
-  const auto& reg = KernelRegistry::Get();
-  const LayoutSpec spec = Spec(2, 4, 32, 32);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = reg.Find(spec, Approach::kHorizontal, 0, true);
-#pragma GCC diagnostic pop
-  const auto query =
-      reg.Find(KernelQuery{spec, Approach::kHorizontal, 0, true});
-  EXPECT_EQ(legacy, query);
-}
-
 }  // namespace
 }  // namespace simdht

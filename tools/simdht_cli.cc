@@ -10,6 +10,8 @@
 //   simdht --ways=2 --slots=4 --bytes=1M --pattern=zipf
 //   simdht --ways=3 --slots=1 --key-bits=64 --hit-rate=0.5 --threads=4
 //   simdht --ways=2 --slots=8 --key-bits=16 --layout=split --csv
+//   simdht perf-check        # report hardware-counter availability
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +25,7 @@
 #include "core/trace.h"
 #include "core/validation.h"
 #include "ht/table_builder.h"
+#include "perf/perf_events.h"
 
 using namespace simdht;
 
@@ -42,10 +45,57 @@ std::uint64_t ParseBytes(const std::string& s) {
   return static_cast<std::uint64_t>(v);
 }
 
+// `simdht perf-check`: report what the perf subsystem can measure here —
+// per-event open results, the paranoid level, and whether measurement
+// drivers will use hardware counters or the TSC fallback.
+int RunPerfCheck(const Flags& flags) {
+  std::string why;
+  std::vector<PerfEvent> events;
+  if (!ParsePerfEventList(flags.GetString("perf-events", ""), &events,
+                          &why)) {
+    std::fprintf(stderr, "--perf-events: %s\n", why.c_str());
+    return 1;
+  }
+
+  std::printf("perf-check: perf_event_open availability\n");
+  const int paranoid = PerfEventParanoid();
+  if (paranoid == INT_MIN) {
+    std::printf("kernel.perf_event_paranoid: unreadable\n");
+  } else {
+    std::printf("kernel.perf_event_paranoid: %d%s\n", paranoid,
+                paranoid >= 2 ? " (user-space-only counting)" : "");
+  }
+  if (PerfForceDisabled()) {
+    std::printf("SIMDHT_PERF_DISABLE=1: hardware counters forced off\n");
+  }
+
+  TablePrinter table({"event", "status", "detail"});
+  unsigned available = 0;
+  for (const PerfEventProbe& probe : ProbePerfEvents(events)) {
+    available += probe.available;
+    table.AddRow({PerfEventName(probe.event),
+                  probe.available ? "ok" : "unavailable",
+                  probe.available ? "-" : probe.error});
+  }
+  table.Print();
+
+  if (available == 0) {
+    std::printf(
+        "\nno hardware events usable: --perf falls back to rdtsc cycle\n"
+        "estimates (reported as '~value' with perf src 'tsc-est').\n");
+  } else {
+    std::printf("\n%u event(s) usable: --perf reports hardware counts.\n",
+                available);
+  }
+  return 0;
+}
+
 void Usage(const char* prog) {
   std::fprintf(
       stderr,
-      "usage: %s [options]\n"
+      "usage: %s [perf-check] [options]\n"
+      "subcommands:\n"
+      "  perf-check        probe hardware-counter availability and exit\n"
       "table layout:\n"
       "  --ways=N          hash functions, 2-4 (default 2)\n"
       "  --slots=M         slots per bucket, 1/2/4/8 (default 4)\n"
@@ -70,6 +120,10 @@ void Usage(const char* prog) {
       "  --hybrid          include vertical-over-BCHT designs\n"
       "  --no-strict       admit chunked horizontal probes\n"
       "  --per-core-table  dedicated table per thread (default shared)\n"
+      "  --perf            attach hardware counters; adds cycles/lookup,\n"
+      "                    IPC and LLC/dTLB miss columns (rdtsc-estimated\n"
+      "                    cycles, marked '~', without perf_event_open)\n"
+      "  --perf-events=L   restrict the counter set (see perf-check)\n"
       "  --csv             machine-readable output\n"
       "traces (32-bit interleaved layouts):\n"
       "  --trace-out=PATH  record the generated probe stream and exit\n"
@@ -84,6 +138,14 @@ int main(int argc, char** argv) {
   if (flags.Has("help") || flags.Has("h")) {
     Usage(argv[0]);
     return 0;
+  }
+
+  if (!flags.positional().empty()) {
+    if (flags.positional()[0] == "perf-check") return RunPerfCheck(flags);
+    std::fprintf(stderr, "unknown subcommand '%s'\n",
+                 flags.positional()[0].c_str());
+    Usage(argv[0]);
+    return 1;
   }
 
   CaseSpec spec;
@@ -129,6 +191,15 @@ int main(int argc, char** argv) {
   std::string pipeline_why;
   if (!spec.run.pipeline.Validate(&pipeline_why)) {
     std::fprintf(stderr, "invalid prefetch config: %s\n", pipeline_why.c_str());
+    return 1;
+  }
+
+  spec.run.perf.enabled =
+      flags.GetBool("perf", false) || flags.Has("perf-events");
+  std::string perf_why;
+  if (!ParsePerfEventList(flags.GetString("perf-events", ""),
+                          &spec.run.perf.events, &perf_why)) {
+    std::fprintf(stderr, "--perf-events: %s\n", perf_why.c_str());
     return 1;
   }
 
@@ -253,17 +324,32 @@ int main(int argc, char** argv) {
   }
 
   const CaseResult result = RunCaseAuto(spec, options);
-  TablePrinter table({"kernel", "approach", "width", "Mlookups/s/core",
-                      "stddev", "hit rate", "speedup vs scalar"});
+  std::vector<std::string> headers = {"kernel", "approach", "width",
+                                      "Mlookups/s/core", "stddev",
+                                      "hit rate", "speedup vs scalar"};
+  if (spec.run.perf.enabled) {
+    headers.insert(headers.end(),
+                   {"cycles/lookup", "IPC", "LLC-miss/lookup", "perf src"});
+  }
+  TablePrinter table(std::move(headers));
   for (const MeasuredKernel& k : result.kernels) {
-    table.AddRow({k.name, ApproachName(k.approach),
-                  k.approach == Approach::kScalar
-                      ? "-"
-                      : TablePrinter::Fmt(std::int64_t{k.width_bits}),
-                  TablePrinter::Fmt(k.mlps_per_core, 1),
-                  TablePrinter::Fmt(k.stddev_mlps, 1),
-                  TablePrinter::Fmt(k.hit_fraction, 3),
-                  TablePrinter::Fmt(k.speedup, 2)});
+    std::vector<std::string> row = {
+        k.name, ApproachName(k.approach),
+        k.approach == Approach::kScalar
+            ? "-"
+            : TablePrinter::Fmt(std::int64_t{k.width_bits}),
+        TablePrinter::Fmt(k.mlps_per_core, 1),
+        TablePrinter::Fmt(k.stddev_mlps, 1),
+        TablePrinter::Fmt(k.hit_fraction, 3),
+        TablePrinter::Fmt(k.speedup, 2)};
+    if (spec.run.perf.enabled) {
+      const DerivedPerf d = k.Derived();
+      row.push_back(FormatPerfValue(d.cycles_per_op, d.estimated, 1));
+      row.push_back(FormatPerfValue(d.ipc, false, 2));
+      row.push_back(FormatPerfValue(d.llc_misses_per_op, false, 3));
+      row.push_back(!k.perf_collected ? "-" : d.estimated ? "tsc-est" : "hw");
+    }
+    table.AddRow(std::move(row));
   }
   if (csv) {
     table.PrintCsv();

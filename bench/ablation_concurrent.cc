@@ -110,6 +110,7 @@ ChurnResult RunChurnCase(const LayoutSpec& layout, const KernelInfo* kernel,
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Concurrent structural churn vs batch lookups", opt);
+  ReportSession session(opt, "Concurrent structural churn vs lookups");
 
   const std::size_t queries =
       opt.queries_per_thread ? opt.queries_per_thread
@@ -137,6 +138,12 @@ int main(int argc, char** argv) {
         if (kernel == nullptr) continue;
         const ChurnResult r = RunChurnCase(layout, kernel, queries, repeats,
                                            opt.seed, pace.per_ms);
+        session.AddRow(
+            kernel->name,
+            {{"pace", pace.label}, {"layout", layout.ToString()}},
+            {{"idle_mlps", ReportSession::Stat(r.idle_mlps)},
+             {"churn_mlps", ReportSession::Stat(r.churn_mlps)},
+             {"churn_kops", ReportSession::Stat(r.churn_ops)}});
         table.AddRow(
             {pace.label, layout.ToString(), kernel->name,
              TablePrinter::Fmt(r.idle_mlps, 1),
@@ -149,5 +156,5 @@ int main(int argc, char** argv) {
     }
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

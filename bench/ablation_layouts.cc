@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Ablations: layout, probe policy, hybrid slots, hit rate",
               opt);
+  ReportSession session(opt, "Ablations: layout, probe, slots, hit rate");
 
   TablePrinter table({"ablation", "config", "kernel", "Mlookups/s/core",
                       "speedup vs scalar"});
@@ -20,6 +21,8 @@ int main(int argc, char** argv) {
   auto run = [&](const std::string& section, const std::string& label,
                  CaseSpec spec, const ValidationOptions& options) {
     const CaseResult result = RunCaseAuto(spec, options);
+    session.AddCase(result,
+                    {{"ablation", section}, {"config", label}});
     for (const MeasuredKernel& k : result.kernels) {
       table.AddRow({section, label, k.name,
                     TablePrinter::Fmt(k.mlps_per_core, 1),
@@ -68,6 +71,8 @@ int main(int argc, char** argv) {
       auto kernels = KernelRegistry::Get().Find(
           KernelQuery{spec.layout, Approach::kVerticalBcht, 512});
       const CaseResult result = RunCase(spec, kernels);
+      session.AddCase(result, {{"ablation", "C: hybrid slots"},
+                               {"config", "m=" + std::to_string(m)}});
       for (const MeasuredKernel& k : result.kernels) {
         table.AddRow({"C: hybrid slots", "m=" + std::to_string(m), k.name,
                       TablePrinter::Fmt(k.mlps_per_core, 1),
@@ -91,5 +96,5 @@ int main(int argc, char** argv) {
   }
 
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

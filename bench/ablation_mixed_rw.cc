@@ -14,6 +14,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Mixed read/update workloads (Section VII extension)", opt);
+  ReportSession session(opt, "Mixed read/update workloads");
 
   TablePrinter table({"layout", "pattern", "kernel", "read-only Mlps/core",
                       "with writer Mlps/core", "writer Mupd/s",
@@ -32,7 +33,10 @@ int main(int argc, char** argv) {
       for (const DesignChoice& c : ValidationEngine::Enumerate(layout)) {
         kernels.push_back(c.kernel);
       }
-      for (const MixedResult& r : RunMixedCase(spec, kernels)) {
+      const std::vector<MixedResult> mixed = RunMixedCase(spec, kernels);
+      session.AddMixed(mixed, {{"layout", layout.ToString()},
+                               {"pattern", AccessPatternName(pattern)}});
+      for (const MixedResult& r : mixed) {
         table.AddRow({layout.ToString(), AccessPatternName(pattern),
                       r.kernel, TablePrinter::Fmt(r.read_only_mlps, 1),
                       TablePrinter::Fmt(r.with_writer_mlps, 1),
@@ -42,5 +46,5 @@ int main(int argc, char** argv) {
     }
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

@@ -17,11 +17,18 @@
 //                    perf_event_open is unavailable)
 //   --perf-events=L  comma list to restrict the event set, e.g.
 //                    cycles,instructions,llc-misses
+//   --json=PATH      write a structured RunReport (schema, provenance, one
+//                    row per kernel x config) — diffable via simdht_compare
+//   --timeline=PATH  record a Chrome/Perfetto trace of build/warmup/rep
+//                    spans (load at ui.perfetto.dev)
+//   --sample-ms=N    snapshot per-worker progress every N ms into the
+//                    report's sample series (0 = off)
 #ifndef SIMDHT_BENCH_BENCH_COMMON_H_
 #define SIMDHT_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cpu_features.h"
@@ -29,7 +36,11 @@
 #include "common/stats.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "core/case_report.h"
 #include "core/case_runner.h"
+#include "core/mixed_runner.h"
+#include "obs/run_report.h"
+#include "obs/timeline.h"
 #include "perf/perf_events.h"
 
 namespace simdht {
@@ -44,6 +55,11 @@ struct BenchOptions {
   std::uint64_t seed = 42;
   PipelineConfig pipeline;  // kNone = direct-only measurements
   PerfOptions perf;         // disabled = wall-clock-only measurements
+  std::string json_path;      // --json: RunReport destination ("" = off)
+  std::string timeline_path;  // --timeline: trace destination ("" = off)
+  unsigned sample_ms = 0;     // --sample-ms: progress-sampling period
+  std::string tool;           // binary basename, stamped into reports
+  StringPairs raw_flags;      // every --name=value pair as parsed
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -55,7 +71,7 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   opt.queries_per_thread =
       static_cast<std::size_t>(flags.GetInt("queries", 0));
   opt.repeats = static_cast<unsigned>(flags.GetInt("repeats", 0));
-  opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  opt.seed = flags.GetUint64("seed", 42);
   const std::string prefetch = flags.GetString("prefetch", "none");
   if (!ParsePrefetchPolicy(prefetch, &opt.pipeline.policy)) {
     std::fprintf(stderr, "unknown --prefetch '%s', using 'none'\n",
@@ -74,6 +90,16 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
                  perf_why.c_str());
     opt.perf.events = DefaultPerfEvents();
   }
+  opt.json_path = flags.GetString("json", "");
+  opt.timeline_path = flags.GetString("timeline", "");
+  opt.sample_ms = static_cast<unsigned>(flags.GetInt("sample-ms", 0));
+  if (!opt.timeline_path.empty()) Timeline::Global().Enable();
+  std::string tool = flags.program_name();
+  const std::size_t slash = tool.find_last_of('/');
+  opt.tool = slash == std::string::npos ? tool : tool.substr(slash + 1);
+  for (const auto& [name, value] : flags.items()) {
+    opt.raw_flags.emplace_back(name, value);
+  }
   return opt;
 }
 
@@ -87,6 +113,7 @@ inline void ApplyOptions(const BenchOptions& opt, CaseSpec* spec) {
   spec->run.seed = opt.seed;
   spec->run.pipeline = opt.pipeline;
   spec->run.perf = opt.perf;
+  spec->run.sample_ms = opt.sample_ms;
 }
 
 // --- shared --perf reporting -----------------------------------------------
@@ -153,6 +180,86 @@ inline CaseSpec PaperCaseDefaults(const BenchOptions& opt) {
   ApplyOptions(opt, &spec);
   return spec;
 }
+
+// --- structured run reports (--json / --timeline) --------------------------
+//
+// One ReportSession per binary run: benches feed it every CaseResult (or
+// hand-built row) alongside their TablePrinter output, then return
+// `session.Finish()` from main. While neither --json nor --timeline is
+// given everything is a no-op, so report-less runs stay byte-identical.
+class ReportSession {
+ public:
+  ReportSession(const BenchOptions& opt, const std::string& title)
+      : opt_(opt), active_(!opt.json_path.empty() ||
+                           !opt.timeline_path.empty()) {
+    if (!active_) return;
+    report_ = NewRunReport(opt.tool, title);
+    report_.flags = opt.raw_flags;
+    const auto opt_str = [this](const char* k, std::string v) {
+      report_.options.emplace_back(k, std::move(v));
+    };
+    opt_str("quick", opt.quick ? "true" : "false");
+    opt_str("threads",
+            std::to_string(opt.threads
+                               ? opt.threads
+                               : static_cast<unsigned>(HardwareThreads())));
+    opt_str("queries_per_thread", std::to_string(opt.queries_per_thread));
+    opt_str("repeats", std::to_string(opt.repeats));
+    opt_str("seed", std::to_string(opt.seed));
+    opt_str("prefetch", PrefetchPolicyName(opt.pipeline.policy));
+    opt_str("perf", opt.perf.enabled ? "true" : "false");
+    opt_str("sample_ms", std::to_string(opt.sample_ms));
+  }
+
+  bool active() const { return active_; }
+  RunReport& report() { return report_; }
+
+  // Sweep-point config helper: Config({{"ht_size","1048576"}, ...}).
+  static StringPairs Config(StringPairs pairs) { return pairs; }
+
+  void AddCase(const CaseResult& result, const StringPairs& config) {
+    if (!active_) return;
+    AppendCaseResult(&report_, result, config, opt_.sample_ms);
+  }
+
+  void AddMixed(const std::vector<MixedResult>& results,
+                const StringPairs& config) {
+    if (!active_) return;
+    AppendMixedResults(&report_, results, config);
+  }
+
+  // Hand-built row for benches whose measurements are not MeasuredKernels
+  // (e.g. fig2's max load factor, table1's layout geometry).
+  void AddRow(const std::string& kernel, const StringPairs& config,
+              std::vector<std::pair<std::string, MetricStat>> metrics) {
+    if (!active_) return;
+    ResultRow row;
+    row.kernel = kernel;
+    row.config = config;
+    row.metrics = std::move(metrics);
+    report_.results.push_back(std::move(row));
+  }
+
+  static MetricStat Stat(double mean, double stddev = 0.0) {
+    MetricStat s;
+    s.mean = mean;
+    s.stddev = stddev;
+    return s;
+  }
+
+  // Writes --json / --timeline outputs; the return value is main()'s exit
+  // code (0, or 1 on I/O failure).
+  int Finish() {
+    if (!active_) return 0;
+    return WriteReportOutputs(report_, opt_.json_path, opt_.timeline_path,
+                              opt_.csv);
+  }
+
+ private:
+  BenchOptions opt_;
+  bool active_ = false;
+  RunReport report_;
+};
 
 inline LayoutSpec Layout(unsigned n, unsigned m, unsigned kb = 32,
                          unsigned vb = 32,

@@ -24,6 +24,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Fig 11: RDMA-Memcached Multi-Get with SIMD-aware HT", opt);
+  ReportSession session(opt, "Fig 11: KVS Multi-Get with SIMD-aware HT");
 
   MemslapConfig config;
   // Each client pairs with a dedicated server worker (2 threads per
@@ -133,6 +134,16 @@ int main(int argc, char** argv) {
       const double lookup = r.phases.MeanLookupNs() / 1e3;
       const double post = r.phases.MeanPostNs() / 1e3;
       const double total = r.phases.MeanTotalNs() / 1e3;
+      session.AddRow(candidate.label,
+                     {{"batch", std::to_string(batch)}},
+                     {{"server_get_mops",
+                       ReportSession::Stat(r.server_get_mops)},
+                      {"mget_mean_us", ReportSession::Stat(r.mget_mean_us)},
+                      {"mget_p50_us", ReportSession::Stat(r.mget_p50_us)},
+                      {"mget_p99_us", ReportSession::Stat(r.mget_p99_us)},
+                      {"pre_process_us", ReportSession::Stat(pre)},
+                      {"ht_lookup_us", ReportSession::Stat(lookup)},
+                      {"post_process_us", ReportSession::Stat(post)}});
       fig11b.AddRow({TablePrinter::Fmt(std::int64_t{batch}), candidate.label,
                      TablePrinter::Fmt(pre, 2), TablePrinter::Fmt(lookup, 2),
                      TablePrinter::Fmt(post, 2), TablePrinter::Fmt(total, 2),
@@ -178,5 +189,5 @@ int main(int argc, char** argv) {
     }
     Emit(phase_tails, opt);
   }
-  return 0;
+  return session.Finish();
 }

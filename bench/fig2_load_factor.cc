@@ -12,6 +12,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Fig 2: max load factor vs (N, m) cuckoo variants", opt);
+  ReportSession session(opt, "Fig 2: max load factor per cuckoo variant");
 
   const std::uint64_t buckets = opt.quick ? (1u << 13) : (1u << 16);
   const unsigned seeds = opt.quick ? 3 : 5;
@@ -30,18 +31,23 @@ int main(int argc, char** argv) {
   };
 
   for (const Reference& ref : refs) {
-    double sum = 0;
+    RunningStat lf;
     for (unsigned s = 0; s < seeds; ++s) {
       // Slot count held comparable across shapes: scale buckets down by m.
-      sum += MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
+      lf.Add(MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
           ref.n, ref.m, buckets / ref.m, BucketLayout::kInterleaved,
-          opt.seed + s + 1);
+          opt.seed + s + 1));
     }
     table.AddRow({TablePrinter::Fmt(std::int64_t{ref.n}),
                   TablePrinter::Fmt(std::int64_t{ref.m}),
                   ref.m == 1 ? "N-way cuckoo" : "BCHT",
-                  TablePrinter::Fmt(sum / seeds, 3), ref.paper});
+                  TablePrinter::Fmt(lf.mean(), 3), ref.paper});
+    session.AddRow(
+        ref.m == 1 ? "N-way cuckoo" : "BCHT",
+        {{"ways", std::to_string(ref.n)}, {"slots", std::to_string(ref.m)}},
+        {{"max_load_factor",
+          ReportSession::Stat(lf.mean(), lf.stddev())}});
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

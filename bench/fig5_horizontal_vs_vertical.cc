@@ -16,6 +16,8 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Fig 5 / Case Study 1(a): horizontal vs vertical, uniform vs skew",
       opt);
+  ReportSession session(opt,
+                        "Fig 5: horizontal vs vertical, uniform vs skew");
 
   std::vector<std::string> headers = {"layout", "pattern", "LF",
                                       "kernel", "width", "Mlookups/s/core",
@@ -32,6 +34,8 @@ int main(int argc, char** argv) {
       spec.pattern = pattern;
 
       const CaseResult result = RunCaseAuto(spec);
+      session.AddCase(result, {{"layout", layout.ToString()},
+                               {"pattern", AccessPatternName(pattern)}});
       for (const MeasuredKernel& k : result.kernels) {
         std::vector<std::string> row = {
             layout.ToString(), AccessPatternName(pattern),
@@ -50,5 +54,5 @@ int main(int argc, char** argv) {
   }
   Emit(table, opt);
   PrintPerfFooter(opt);
-  return 0;
+  return session.Finish();
 }

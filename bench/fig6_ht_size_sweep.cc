@@ -11,6 +11,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Fig 6 / Case Study 1(b): HT size sweep (uniform)", opt);
+  ReportSession session(opt, "Fig 6: HT size sweep (uniform)");
 
   std::vector<std::uint64_t> sizes = {256 << 10, 1 << 20, 4 << 20,
                                       16 << 20, 64 << 20};
@@ -33,6 +34,8 @@ int main(int argc, char** argv) {
         spec.run.queries_per_thread /= 2;
       }
       const CaseResult result = RunCaseAuto(spec);
+      session.AddCase(result, {{"ht_size", std::to_string(bytes)},
+                               {"layout", layout.ToString()}});
       for (const MeasuredKernel& k : result.kernels) {
         std::vector<std::string> row = {
             HumanBytes(static_cast<double>(bytes)), layout.ToString(), k.name,
@@ -46,5 +49,5 @@ int main(int argc, char** argv) {
   }
   Emit(table, opt);
   PrintPerfFooter(opt);
-  return 0;
+  return session.Finish();
 }

@@ -12,6 +12,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Fig 7(a) / Case Study 2: (K,V) = (64,64) and (16,32)", opt);
+  ReportSession session(opt, "Fig 7(a): 16-bit and 64-bit hash keys");
 
   struct Config {
     LayoutSpec layout;
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
       spec.table_bytes = 512 << 10;  // paper: 512 KB HT
       spec.pattern = pattern;
       const CaseResult result = RunCaseAuto(spec);
+      session.AddCase(result, {{"config", config.label},
+                               {"pattern", AccessPatternName(pattern)}});
       for (const MeasuredKernel& k : result.kernels) {
         table.AddRow({config.label, AccessPatternName(pattern), k.name,
                       TablePrinter::Fmt(k.mlps_per_core, 1),
@@ -45,5 +48,5 @@ int main(int argc, char** argv) {
     }
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

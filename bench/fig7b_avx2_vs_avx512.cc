@@ -15,6 +15,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Fig 7(b) / Case Study 3: AVX2 vs AVX-512", opt);
+  ReportSession session(opt, "Fig 7(b): AVX2 vs AVX-512 vector widths");
 
   const unsigned all_threads = opt.threads
                                    ? opt.threads
@@ -39,6 +40,10 @@ int main(int argc, char** argv) {
         options.strict = false;
         options.widths = {256, 512};
         const CaseResult result = RunCaseAuto(spec, options);
+        session.AddCase(result,
+                        {{"layout", layout.ToString()},
+                         {"ht_size", std::to_string(bytes)},
+                         {"threads", std::to_string(threads)}});
         for (const MeasuredKernel& k : result.kernels) {
           table.AddRow({layout.ToString(),
                         HumanBytes(static_cast<double>(bytes)),
@@ -52,5 +57,5 @@ int main(int argc, char** argv) {
     }
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

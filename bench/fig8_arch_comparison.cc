@@ -17,6 +17,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Fig 8 / Case Study 4: platform proxies (see DESIGN.md)", opt);
+  ReportSession session(opt, "Fig 8: platform subscription proxies");
 
   const unsigned all_threads = opt.threads
                                    ? opt.threads
@@ -53,6 +54,11 @@ int main(int argc, char** argv) {
           auto kernels = KernelRegistry::Get().Find(
               KernelQuery{layout, approach, width});
           const CaseResult result = RunCase(spec, kernels);
+          session.AddCase(result,
+                          {{"platform", proxy.label},
+                           {"layout", layout.ToString()},
+                           {"ht_size", std::to_string(bytes)},
+                           {"pattern", AccessPatternName(pattern)}});
           for (const MeasuredKernel& k : result.kernels) {
             table.AddRow({proxy.label, layout.ToString(),
                           HumanBytes(static_cast<double>(bytes)),
@@ -67,5 +73,5 @@ int main(int argc, char** argv) {
     }
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

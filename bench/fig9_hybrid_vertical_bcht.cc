@@ -12,6 +12,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Fig 9 / Case Study 5: vertical SIMD over BCHT", opt);
+  ReportSession session(opt, "Fig 9: vertical SIMD over BCHT");
 
   struct Config {
     LayoutSpec layout;
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
     ValidationOptions options;
     options.include_hybrid = true;
     const CaseResult result = RunCaseAuto(spec, options);
+    session.AddCase(result, {{"layout", config.layout.ToString()},
+                             {"ht_size", std::to_string(config.bytes)}});
     for (const MeasuredKernel& k : result.kernels) {
       // This figure is about the vertical family only.
       if (k.approach == Approach::kHorizontal) continue;
@@ -47,5 +50,5 @@ int main(int argc, char** argv) {
     }
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

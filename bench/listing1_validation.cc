@@ -12,10 +12,22 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Listing 1: SIMD-aware cuckoo HT design choices", opt);
+  ReportSession session(opt, "Listing 1: validation-engine design choices");
+  const auto record = [&session](const LayoutSpec& spec,
+                                 const ValidationOptions& options) {
+    const auto choices = ValidationEngine::Enumerate(spec, options);
+    session.AddRow(spec.ToString(), {{"layout", spec.ToString()}},
+                   {{"viable_designs",
+                     ReportSession::Stat(static_cast<double>(
+                         choices.size()))}});
+  };
 
   std::printf("(k,v) = (32, 32); 'w' = 128, 256, 512\n");
   std::printf("%s\n",
               ValidationEngine::Listing(CaseStudy1Layouts()).c_str());
+  for (const LayoutSpec& spec : CaseStudy1Layouts()) {
+    record(spec, ValidationOptions{});
+  }
 
   std::printf("Case Study 2 layouts:\n");
   std::vector<LayoutSpec> extra = {
@@ -27,6 +39,7 @@ int main(int argc, char** argv) {
                 ValidationEngine::ListingLine(
                     spec, ValidationEngine::Enumerate(spec))
                     .c_str());
+    record(spec, ValidationOptions{});
   }
 
   std::printf("\nCase Study 5 (hybrid vertical-over-BCHT) choices:\n");
@@ -39,6 +52,7 @@ int main(int argc, char** argv) {
                     c.Describe().c_str());
       }
     }
+    record(spec, hybrid);
   }
-  return 0;
+  return session.Finish();
 }

@@ -5,17 +5,81 @@
 // reduce) without the performance engine around them.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/cpu_features.h"
 #include "core/workload.h"
 #include "ht/cuckoo_table.h"
 #include "ht/table_builder.h"
+#include "obs/run_report.h"
+#include "obs/timeline.h"
 #include "simd/kernel.h"
 
 namespace simdht {
 namespace {
+
+// google-benchmark owns argv parsing here, so the shared report flags are
+// peeled off before Initialize() sees (and rejects) them.
+struct ReportFlags {
+  std::string json_path;
+  std::string timeline_path;
+
+  static ReportFlags Strip(int* argc, char** argv) {
+    ReportFlags out;
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--json=", 7) == 0) {
+        out.json_path = arg + 7;
+      } else if (std::strncmp(arg, "--timeline=", 11) == 0) {
+        out.timeline_path = arg + 11;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    *argc = kept;
+    if (!out.timeline_path.empty()) Timeline::Global().Enable();
+    return out;
+  }
+};
+
+// Captures every finished benchmark run as a report row alongside the
+// normal console output.
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(RunReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      ResultRow row;
+      // "shape/kernel/batch" -> kernel = "shape/kernel", config batch.
+      const std::string name = run.benchmark_name();
+      const std::size_t slash = name.find_last_of('/');
+      row.kernel = slash == std::string::npos ? name : name.substr(0, slash);
+      row.config.emplace_back(
+          "batch",
+          slash == std::string::npos ? "0" : name.substr(slash + 1));
+      MetricStat mlps;
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        mlps.mean = items->second.value / 1e6;
+      }
+      row.metrics.emplace_back("mlps", mlps);
+      MetricStat wall;
+      wall.mean = run.GetAdjustedRealTime();
+      row.metrics.emplace_back("wall_time", wall);
+      report_->results.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  RunReport* report_;
+};
 
 // A lazily-built fixture per layout shape, shared across kernels.
 template <typename K, typename V>
@@ -97,6 +161,7 @@ void RegisterShape(const char* shape_name, unsigned ways, unsigned slots,
 
 int main(int argc, char** argv) {
   using simdht::BucketLayout;
+  const auto report_flags = simdht::ReportFlags::Strip(&argc, argv);
   simdht::RegisterShape<std::uint32_t, std::uint32_t>(
       "bcht_2x4_k32", 2, 4, BucketLayout::kInterleaved);
   simdht::RegisterShape<std::uint32_t, std::uint32_t>(
@@ -106,7 +171,12 @@ int main(int argc, char** argv) {
   simdht::RegisterShape<std::uint16_t, std::uint32_t>(
       "bcht_2x8_k16_split", 2, 8, BucketLayout::kSplit);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  simdht::RunReport report =
+      simdht::NewRunReport("micro_kernels", "Raw lookup-kernel microbench");
+  simdht::ReportingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  return 0;
+  return simdht::WriteReportOutputs(report, report_flags.json_path,
+                                    report_flags.timeline_path,
+                                    /*quiet=*/false);
 }

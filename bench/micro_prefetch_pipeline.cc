@@ -60,6 +60,7 @@ double MeasureMlps(const KernelInfo& kernel, const TableView& view,
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Prefetch pipeline: table size x schedule sweep", opt);
+  ReportSession session(opt, "Prefetch pipeline: size x schedule sweep");
 
   std::vector<std::uint64_t> sizes = {1 << 20, 16 << 20, 64 << 20,
                                       256 << 20};
@@ -119,6 +120,14 @@ int main(int argc, char** argv) {
             MeasureMlps(*kernel, view, probe_stream, schedule, repeats,
                         kBatch, opt.perf, &perf_row);
         if (schedule.policy == PrefetchPolicy::kNone) direct_mlps = mlps;
+        session.AddRow(
+            kernel->name,
+            {{"ht_size", std::to_string(bytes)},
+             {"schedule", schedule.Describe()}},
+            {{"mlps", ReportSession::Stat(mlps)},
+             {"vs_direct",
+              ReportSession::Stat(
+                  direct_mlps > 0 ? mlps / direct_mlps : 1.0)}});
         std::vector<std::string> row = {
             HumanBytes(static_cast<double>(bytes)), kernel->name,
             schedule.Describe(), TablePrinter::Fmt(mlps, 1),
@@ -132,5 +141,5 @@ int main(int argc, char** argv) {
   }
   Emit(table, opt);
   PrintPerfFooter(opt);
-  return 0;
+  return session.Finish();
 }

@@ -12,6 +12,7 @@ using namespace simdht::bench;
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
   PrintHeader("Table I: state-of-the-art layout profiles", opt);
+  ReportSession session(opt, "Table I: state-of-the-art layout profiles");
 
   struct Profile {
     const char* work;
@@ -51,6 +52,10 @@ int main(int argc, char** argv) {
     spec.table_bytes = profile.table_bytes;
     spec.pattern = profile.pattern;
     const CaseResult result = RunCaseAuto(spec);
+    session.AddCase(result,
+                    {{"profile", profile.work},
+                     {"layout", profile.layout.ToString()},
+                     {"pattern", AccessPatternName(profile.pattern)}});
 
     const MeasuredKernel& scalar = result.kernels.front();
     const MeasuredKernel* best = result.Best();
@@ -65,5 +70,5 @@ int main(int argc, char** argv) {
          profile.note});
   }
   Emit(table, opt);
-  return 0;
+  return session.Finish();
 }

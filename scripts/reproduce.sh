@@ -22,15 +22,26 @@ echo "== tests =="
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 echo "== benchmarks =="
+# Each binary also leaves a structured RunReport under reports/ so two
+# reproduction runs are diffable with tools/simdht_compare (see
+# docs/observability.md).
+mkdir -p reports
 {
   for b in build/bench/*; do
     if [[ -x "$b" && -f "$b" ]]; then
-      echo "### $(basename "$b")"
-      "$b" ${MODE_FLAG}
+      name="$(basename "$b")"
+      echo "### ${name}"
+      "$b" ${MODE_FLAG} --json="reports/${name}.json"
       echo
     fi
   done
 } 2>&1 | tee bench_output.txt
+
+echo "== report sanity (self-compare must be clean) =="
+./build/tools/simdht_compare reports/fig6_ht_size_sweep.json \
+  reports/fig6_ht_size_sweep.json > /dev/null
+echo "reports/: $(ls reports | wc -l) run reports (compare two runs with" \
+  "build/tools/simdht_compare A.json B.json)"
 
 echo "== examples (smoke) =="
 ./build/examples/quickstart
@@ -38,4 +49,4 @@ echo "== examples (smoke) =="
 ./build/examples/db_hash_join --customers=20000 --orders=500000
 ./build/examples/multiget_kvs --keys=5000 --requests=100
 
-echo "done: see test_output.txt, bench_output.txt, EXPERIMENTS.md"
+echo "done: see test_output.txt, bench_output.txt, reports/, EXPERIMENTS.md"

@@ -49,6 +49,22 @@ std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) const {
   return v;
 }
 
+std::uint64_t Flags::GetUint64(const std::string& name,
+                               std::uint64_t def) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0' || text.empty() || text[0] == '-') {
+    std::fprintf(stderr,
+                 "%s: flag --%s expects an unsigned integer, got '%s'\n",
+                 program_name_.c_str(), name.c_str(), text.c_str());
+    std::exit(1);
+  }
+  return v;
+}
+
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;

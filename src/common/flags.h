@@ -22,6 +22,9 @@ class Flags {
   std::string GetString(const std::string& name,
                         const std::string& def) const;
   std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  // Full-range unsigned parse (strtoull): accepts values up to 2^64-1 that
+  // GetInt would truncate or reject; negative input is an error.
+  std::uint64_t GetUint64(const std::string& name, std::uint64_t def) const;
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
 
@@ -31,6 +34,10 @@ class Flags {
 
   // Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
+
+  // Every parsed --name=value pair (sorted by name) — the raw command line
+  // as seen by the binary, recorded into run reports for provenance.
+  const std::map<std::string, std::string>& items() const { return values_; }
 
   const std::string& program_name() const { return program_name_; }
 

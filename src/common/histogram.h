@@ -29,7 +29,7 @@ class Histogram {
   double mean() const;
 
   // Quantile q in [0, 1]: upper bound of the bucket holding the q-th
-  // sample (bounded relative error).
+  // sample (bounded relative error). Returns 0 on an empty histogram.
   std::uint64_t Quantile(double q) const;
   std::uint64_t Percentile(double p) const { return Quantile(p / 100.0); }
 

@@ -43,7 +43,8 @@ class LatencyRecorder {
 
   std::size_t count() const { return samples_.size(); }
   double mean() const;
-  // p in [0, 100]; nearest-rank on the sorted samples.
+  // p in [0, 100]; nearest-rank on the sorted samples. Returns 0.0 with no
+  // samples recorded — callers may percentile an idle recorder.
   double Percentile(double p) const;
 
  private:

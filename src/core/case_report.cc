@@ -1,0 +1,84 @@
+#include "core/case_report.h"
+
+namespace simdht {
+
+namespace {
+
+MetricStat Stat(double mean, double stddev = 0.0) {
+  MetricStat s;
+  s.mean = mean;
+  s.stddev = stddev;
+  return s;
+}
+
+void AppendPerfMetrics(ResultRow* row, const DerivedPerf& d) {
+  row->metrics.emplace_back("cycles_per_lookup", Stat(d.cycles_per_op));
+  row->metrics.emplace_back("ipc", Stat(d.ipc));
+  row->metrics.emplace_back("llc_misses_per_lookup",
+                            Stat(d.llc_misses_per_op));
+  row->metrics.emplace_back("llc_miss_rate", Stat(d.llc_miss_rate));
+  row->metrics.emplace_back("dtlb_misses_per_lookup",
+                            Stat(d.dtlb_misses_per_op));
+  row->metrics.emplace_back("branch_misses_per_lookup",
+                            Stat(d.branch_misses_per_op));
+}
+
+}  // namespace
+
+void AppendCaseResult(RunReport* report, const CaseResult& result,
+                      const StringPairs& config, unsigned sample_ms) {
+  for (const MeasuredKernel& k : result.kernels) {
+    ResultRow row;
+    row.kernel = k.name;
+    row.config = config;
+    row.metrics.emplace_back("mlps_per_core",
+                             Stat(k.mlps_per_core, k.stddev_mlps));
+    row.metrics.emplace_back("hit_fraction", Stat(k.hit_fraction));
+    row.metrics.emplace_back("speedup", Stat(k.speedup));
+    if (k.perf_collected) {
+      const DerivedPerf d = k.Derived();
+      AppendPerfMetrics(&row, d);
+      row.perf_source = d.estimated ? "tsc-est" : "hw";
+    }
+    report->results.push_back(std::move(row));
+
+    if (!k.slices.empty()) {
+      SampleSeries series;
+      series.label = k.name;
+      series.config = config;
+      series.sample_ms = sample_ms;
+      const std::size_t workers =
+          k.slices.front().per_worker_ops.size();
+      series.workers.resize(workers);
+      for (const TimeSlice& slice : k.slices) {
+        series.t_ms.push_back(slice.t_ms);
+        for (std::size_t w = 0; w < workers; ++w) {
+          series.workers[w].push_back(slice.per_worker_ops[w]);
+        }
+      }
+      report->samples.push_back(std::move(series));
+    }
+  }
+}
+
+void AppendMixedResults(RunReport* report,
+                        const std::vector<MixedResult>& results,
+                        const StringPairs& config) {
+  for (const MixedResult& r : results) {
+    ResultRow row;
+    row.kernel = r.kernel;
+    row.config = config;
+    row.metrics.emplace_back("read_only_mlps", Stat(r.read_only_mlps));
+    row.metrics.emplace_back("with_writer_mlps", Stat(r.with_writer_mlps));
+    row.metrics.emplace_back("writer_mups", Stat(r.writer_mups));
+    row.metrics.emplace_back("degradation", Stat(r.degradation));
+    if (r.perf_collected) {
+      const DerivedPerf d = r.DerivedReadOnly();
+      AppendPerfMetrics(&row, d);
+      row.perf_source = d.estimated ? "tsc-est" : "hw";
+    }
+    report->results.push_back(std::move(row));
+  }
+}
+
+}  // namespace simdht

@@ -1,0 +1,31 @@
+// Conversions from the measurement engines' result structs to run-report
+// rows, shared by the bench binaries (bench_common's ReportSession) and the
+// `simdht` CLI so the JSON schema stays identical everywhere.
+#ifndef SIMDHT_CORE_CASE_REPORT_H_
+#define SIMDHT_CORE_CASE_REPORT_H_
+
+#include <vector>
+
+#include "core/case_runner.h"
+#include "core/mixed_runner.h"
+#include "obs/run_report.h"
+
+namespace simdht {
+
+// Appends one ResultRow per measured kernel (metrics: mlps_per_core with
+// its recorded stddev, hit_fraction, speedup, plus per-lookup counter
+// derivatives when collected) and, when time-sliced sampling ran, one
+// SampleSeries per kernel. `config` identifies the sweep point and is
+// copied onto every row.
+void AppendCaseResult(RunReport* report, const CaseResult& result,
+                      const StringPairs& config, unsigned sample_ms = 0);
+
+// Same for the mixed read/write runner: read_only_mlps, with_writer_mlps,
+// writer_mups, degradation per kernel.
+void AppendMixedResults(RunReport* report,
+                        const std::vector<MixedResult>& results,
+                        const StringPairs& config);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_CASE_REPORT_H_

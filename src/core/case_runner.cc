@@ -10,6 +10,7 @@
 #include "common/timer.h"
 #include "ht/cuckoo_table.h"
 #include "ht/table_builder.h"
+#include "obs/timeline.h"
 
 namespace simdht {
 
@@ -60,12 +61,39 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
     found[t].resize(spec.run.batch);
   }
 
+  // Untimed warmup: one batch per thread primes caches, branch predictors,
+  // and (for pipelined points) the prefetch schedule before measurement.
+  {
+    TimelineSpan warmup_span("bench", "warmup " + result.name);
+    pool->RunOnAll([&](std::size_t tid) {
+      const TableView& view = views[views.size() == 1 ? 0 : tid];
+      const std::vector<K>& q = queries[tid];
+      ProbeBatchStats stats;
+      const std::size_t chunk = std::min(spec.run.batch, q.size());
+      const ProbeBatch batch = ProbeBatch::Of(q.data(), vals[tid].data(),
+                                              found[tid].data(), chunk,
+                                              &stats);
+      if (pipelined) {
+        PipelinedLookup(kernel, view, batch, pipeline);
+      } else {
+        kernel.Lookup(view, batch);
+      }
+      DoNotOptimize(stats.hits);
+    });
+  }
+
   RunningStat per_core_mlps;
   double hit_fraction = 0.0;
   const bool collect_perf = spec.run.perf.enabled;
   const std::vector<PerfEvent>& perf_events = spec.run.perf.events.empty()
                                                   ? DefaultPerfEvents()
                                                   : spec.run.perf.events;
+
+  // The slicer spans all repeats so the series shows the whole measurement
+  // (counters are cumulative; rep boundaries appear as timeline spans).
+  TimeSlicer slicer(threads, spec.run.sample_ms);
+  slicer.Start();
+  Timeline& timeline = Timeline::Global();
 
   for (unsigned rep = 0; rep < spec.run.repeats; ++rep) {
     SpinBarrier barrier(threads);
@@ -77,12 +105,16 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
       const TableView& view = views[views.size() == 1 ? 0 : tid];
       const std::vector<K>& q = queries[tid];
       ProbeBatchStats stats;
+      std::atomic<std::uint64_t>* slice_cell =
+          slicer.cell(static_cast<unsigned>(tid));
       // Counters must be opened on the measured thread itself
       // (self-monitoring), so the group lives inside the worker lambda.
       CounterGroup counters(collect_perf ? perf_events
                                          : std::vector<PerfEvent>{});
       barrier.Wait();
       if (collect_perf) counters.Start();
+      const double span_start_us =
+          timeline.enabled() ? timeline.NowUs() : 0.0;
       Timer timer;
       std::size_t off = 0;
       while (off < q.size()) {
@@ -96,8 +128,16 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
           kernel.Lookup(view, batch);
         }
         off += chunk;
+        if (slice_cell != nullptr) {
+          slice_cell->fetch_add(chunk, std::memory_order_relaxed);
+        }
       }
       secs[tid] = timer.ElapsedSeconds();
+      if (timeline.enabled()) {
+        timeline.RecordSpan(
+            "bench", result.name + " rep" + std::to_string(rep),
+            span_start_us, timeline.NowUs());
+      }
       if (collect_perf) samples[tid] = counters.Stop();
       hits[tid] = stats.hits;
       DoNotOptimize(stats.hits);
@@ -123,6 +163,7 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
                              static_cast<double>(total_queries)
                        : 0.0;
   }
+  result.slices = slicer.Stop();
   result.perf_collected = collect_perf && result.perf.valid_mask != 0;
 
   result.mlps_per_core = per_core_mlps.mean();
@@ -145,6 +186,8 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
       BucketsForBytes(spec.layout, spec.table_bytes);
 
   // Build one shared table or one table per core.
+  Timeline& timeline = Timeline::Global();
+  const double build_start_us = timeline.enabled() ? timeline.NowUs() : 0.0;
   const unsigned num_tables = spec.shared_table ? 1 : threads;
   std::vector<std::unique_ptr<CuckooTable<K, V>>> tables;
   std::vector<TableView> views;
@@ -160,6 +203,10 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
   }
   result.achieved_load_factor = builds.front().achieved_load_factor;
   result.actual_table_bytes = tables.front()->table_bytes();
+  if (timeline.enabled()) {
+    timeline.RecordSpan("bench", "table build " + spec.layout.ToString(),
+                        build_start_us, timeline.NowUs());
+  }
 
   // Miss pools disjoint from each table's contents.
   std::vector<std::vector<K>> miss_pools;

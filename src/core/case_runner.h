@@ -16,6 +16,7 @@
 #include "core/validation.h"
 #include "core/workload.h"
 #include "ht/layout.h"
+#include "obs/time_slicer.h"
 #include "perf/perf_events.h"
 #include "simd/kernel.h"
 #include "simd/pipeline.h"
@@ -54,6 +55,9 @@ struct MeasuredKernel {
   PerfSample perf;
   std::uint64_t perf_lookups = 0;
   bool perf_collected = false;
+  // Time-sliced progress (cumulative lookups per worker, one snapshot per
+  // spec.run.sample_ms across all repeats); empty unless sampling is on.
+  std::vector<TimeSlice> slices;
 
   DerivedPerf Derived() const { return ComputeDerived(perf, perf_lookups); }
 };

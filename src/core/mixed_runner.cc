@@ -13,6 +13,7 @@
 #include "common/timer.h"
 #include "ht/cuckoo_table.h"
 #include "ht/table_builder.h"
+#include "obs/timeline.h"
 
 namespace simdht {
 
@@ -168,10 +169,15 @@ std::vector<MixedResult> RunMixedCase(
                    : kernel->name;
     RunningStat ro, ww, wu;
     for (unsigned rep = 0; rep < spec.run.repeats; ++rep) {
-      ro.Add(RunPass(*kernel, &table, queries, build.inserted_keys,
-                     spec.run.batch, pipeline, /*with_writer=*/false,
-                     spec.run.seed + rep, spec.run.perf, &r.perf_read_only)
-                 .reader_mlps);
+      const std::string rep_tag = " rep" + std::to_string(rep);
+      {
+        TimelineSpan span("bench", r.kernel + " read-only" + rep_tag);
+        ro.Add(RunPass(*kernel, &table, queries, build.inserted_keys,
+                       spec.run.batch, pipeline, /*with_writer=*/false,
+                       spec.run.seed + rep, spec.run.perf, &r.perf_read_only)
+                   .reader_mlps);
+      }
+      TimelineSpan span("bench", r.kernel + " with-writer" + rep_tag);
       const PassResult with =
           RunPass(*kernel, &table, queries, build.inserted_keys,
                   spec.run.batch, pipeline, /*with_writer=*/true,

@@ -22,6 +22,10 @@ struct RunOptions {
   std::size_t batch = 2048;                  // keys per kernel invocation
   bool pin_threads = true;
   std::uint64_t seed = 42;
+  // When nonzero, a background sampler snapshots every worker's cumulative
+  // lookups-completed counter at this period; the slices land on each
+  // MeasuredKernel row and in the run report (--json) as a SampleSeries.
+  unsigned sample_ms = 0;
   // When policy != kNone, the runners measure each kernel both direct and
   // through the prefetch pipeline, as separate design points.
   PipelineConfig pipeline;

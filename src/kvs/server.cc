@@ -1,6 +1,7 @@
 #include "kvs/server.h"
 
 #include "common/timer.h"
+#include "obs/timeline.h"
 
 namespace simdht {
 
@@ -121,15 +122,32 @@ void KvServer::WorkerLoop(std::size_t worker_index) {
 
         channel->ServerSend(response);
 
-        if (m != nullptr) {
+        Timeline& timeline = Timeline::Global();
+        if (m != nullptr || timeline.enabled()) {
           const std::uint64_t t4 = ReadTsc();
-          m->Add(ids_.batches, 1);
-          m->Add(ids_.keys, mget.keys.size());
-          m->Add(ids_.hits, hits);
-          m->Record(ids_.parse_ns, ns(t0, t1));
-          m->Record(ids_.index_probe_ns, ns(t1, t2));
-          m->Record(ids_.value_copy_ns, ns(t2, t3));
-          m->Record(ids_.transport_ns, ns(t3, t4));
+          if (m != nullptr) {
+            m->Add(ids_.batches, 1);
+            m->Add(ids_.keys, mget.keys.size());
+            m->Add(ids_.hits, hits);
+            m->Record(ids_.parse_ns, ns(t0, t1));
+            m->Record(ids_.index_probe_ns, ns(t1, t2));
+            m->Record(ids_.value_copy_ns, ns(t2, t3));
+            m->Record(ids_.transport_ns, ns(t3, t4));
+          }
+          if (timeline.enabled()) {
+            // Anchor the request's TSC stamps to the trace clock by placing
+            // t4 at "now" and laying the phases out backwards from it.
+            const double end_us = timeline.NowUs();
+            const double us_per_tick = ns_per_tick / 1e3;
+            const auto at = [&](std::uint64_t tick) {
+              return end_us -
+                     static_cast<double>(t4 - tick) * us_per_tick;
+            };
+            timeline.RecordSpan("kvs", "parse", at(t0), at(t1));
+            timeline.RecordSpan("kvs", "index-probe", at(t1), at(t2));
+            timeline.RecordSpan("kvs", "value-copy", at(t2), at(t3));
+            timeline.RecordSpan("kvs", "transport", at(t3), end_us);
+          }
         }
         break;
       }

@@ -1,0 +1,400 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace simdht {
+
+// --- writer ----------------------------------------------------------------
+
+void JsonWriter::Comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (!has_items_.empty()) {
+    if (has_items_.back()) out_ += ',';
+    has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  has_items_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Comma();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view v) {
+  Comma();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // NaN/inf are not representable in JSON
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  Comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t v) {
+  Comma();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Comma();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 passes through untouched
+        }
+    }
+  }
+  return out;
+}
+
+// --- value -----------------------------------------------------------------
+
+double JsonValue::AsDouble(double def) const {
+  return kind_ == Kind::kNumber ? number_ : def;
+}
+
+std::int64_t JsonValue::AsInt(std::int64_t def) const {
+  return kind_ == Kind::kNumber ? static_cast<std::int64_t>(number_) : def;
+}
+
+std::uint64_t JsonValue::AsUint(std::uint64_t def) const {
+  if (kind_ != Kind::kNumber || number_ < 0) return def;
+  return static_cast<std::uint64_t>(number_);
+}
+
+bool JsonValue::AsBool(bool def) const {
+  return kind_ == Kind::kBool ? bool_ : def;
+}
+
+const std::string& JsonValue::AsString() const {
+  static const std::string kEmpty;
+  return kind_ == Kind::kString ? string_ : kEmpty;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue out(Kind::kBool);
+  out.bool_ = v;
+  return out;
+}
+JsonValue JsonValue::MakeNumber(double v) {
+  JsonValue out(Kind::kNumber);
+  out.number_ = v;
+  return out;
+}
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue out(Kind::kString);
+  out.string_ = std::move(v);
+  return out;
+}
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> v) {
+  JsonValue out(Kind::kArray);
+  out.array_ = std::move(v);
+  return out;
+}
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> v) {
+  JsonValue out(Kind::kObject);
+  out.object_ = std::move(v);
+  return out;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err)
+      : text_(text), err_(err) {}
+
+  std::optional<JsonValue> Parse() {
+    auto value = ParseValue(0);
+    if (!value.has_value()) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing garbage after document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr unsigned kMaxDepth = 100;
+
+  std::optional<JsonValue> Fail(const std::string& what) {
+    if (err_ != nullptr && err_->empty()) {
+      *err_ = what + " at byte " + std::to_string(pos_);
+    }
+    return std::nullopt;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.substr(pos_, n) == lit) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue(unsigned depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        auto s = ParseString();
+        if (!s.has_value()) return std::nullopt;
+        return JsonValue::MakeString(std::move(*s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::MakeBool(true);
+        return Fail("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::MakeBool(false);
+        return Fail("bad literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::MakeNull();
+        return Fail("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseObject(unsigned depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      auto key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      if (!Consume(':')) return Fail("expected ':'");
+      auto value = ParseValue(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      members.emplace_back(std::move(*key), std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue::MakeObject(std::move(members));
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::optional<JsonValue> ParseArray(unsigned depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+    while (true) {
+      auto value = ParseValue(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      items.push_back(std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue::MakeArray(std::move(items));
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              Fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                Fail("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate halves are kept
+            // as-is: reports never emit them, and dropping them would lose
+            // information from foreign documents).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            Fail("bad escape");
+            return std::nullopt;
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) return Fail("expected a value");
+    pos_ += static_cast<std::size_t>(end - start);
+    return JsonValue::MakeNumber(v);
+  }
+
+  std::string_view text_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> ParseJson(std::string_view text, std::string* err) {
+  if (err != nullptr) err->clear();
+  return Parser(text, err).Parse();
+}
+
+}  // namespace simdht

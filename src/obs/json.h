@@ -1,0 +1,122 @@
+// Dependency-free JSON writer and parser for the observability subsystem.
+//
+// Run reports and trace timelines must be consumable by external tooling
+// (CI diffing, Perfetto, pandas), so the on-disk format is plain JSON; this
+// header keeps the suite free of third-party JSON libraries. The writer is
+// a streaming emitter with automatic comma/nesting management; the parser
+// builds a small value tree, enough to round-trip a RunReport and to let
+// `simdht_compare` reject malformed input with a useful error.
+#ifndef SIMDHT_OBS_JSON_H_
+#define SIMDHT_OBS_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace simdht {
+
+// --- writer ----------------------------------------------------------------
+
+// Streaming JSON emitter. Usage:
+//   JsonWriter w;
+//   w.BeginObject().Key("n").Value(3).Key("xs").BeginArray()
+//    .Value(1.5).EndArray().EndObject();
+//   w.str();  // {"n":3,"xs":[1.5]}
+// Nesting/comma bookkeeping is automatic; non-finite doubles emit null so
+// the output always parses.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Object member key; must be followed by a value or container.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view v);
+  JsonWriter& Value(const char* v) { return Value(std::string_view(v)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(unsigned v) {
+    return Value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  // The document so far. Valid once every container is closed.
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void Comma();
+
+  std::string out_;
+  std::vector<bool> has_items_;  // per open container
+  bool after_key_ = false;
+};
+
+// --- parser ----------------------------------------------------------------
+
+// Parsed JSON value tree. Objects preserve member order (reports stay
+// diffable as text) and expose map-style lookup via Find().
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+
+  // Typed accessors; the default is returned on kind mismatch.
+  double AsDouble(double def = 0.0) const;
+  std::int64_t AsInt(std::int64_t def = 0) const;
+  std::uint64_t AsUint(std::uint64_t def = 0) const;
+  bool AsBool(bool def = false) const;
+  const std::string& AsString() const;  // empty string on mismatch
+
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+  // Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Construction (used by the parser and tests).
+  static JsonValue MakeNull() { return JsonValue(Kind::kNull); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> v);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage rejected). On failure returns nullopt and, when `err` is
+// non-null, a message with the byte offset of the problem.
+std::optional<JsonValue> ParseJson(std::string_view text,
+                                   std::string* err = nullptr);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_OBS_JSON_H_

@@ -1,0 +1,349 @@
+#include "obs/run_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "common/cpu_features.h"
+#include "common/thread_pool.h"
+#include "obs/timeline.h"
+#include "perf/perf_events.h"
+
+#ifndef SIMDHT_GIT_SHA
+#define SIMDHT_GIT_SHA "unknown"
+#endif
+
+namespace simdht {
+
+const MetricStat* ResultRow::FindMetric(std::string_view name) const {
+  for (const auto& [metric_name, stat] : metrics) {
+    if (metric_name == name) return &stat;
+  }
+  return nullptr;
+}
+
+std::string ResultRow::ConfigKey() const {
+  StringPairs sorted = config;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [name, value] : sorted) {
+    if (!key.empty()) key += ',';
+    key += name;
+    key += '=';
+    key += value;
+  }
+  return key;
+}
+
+namespace {
+
+void WritePairs(JsonWriter* w, const char* key, const StringPairs& pairs) {
+  w->Key(key).BeginObject();
+  for (const auto& [name, value] : pairs) w->Key(name).Value(value);
+  w->EndObject();
+}
+
+bool ReadPairs(const JsonValue& root, const char* key, StringPairs* out) {
+  const JsonValue* obj = root.Find(key);
+  if (obj == nullptr) return true;  // optional section
+  if (!obj->is_object()) return false;
+  for (const auto& [name, value] : obj->members()) {
+    if (!value.is_string()) return false;
+    out->emplace_back(name, value.AsString());
+  }
+  return true;
+}
+
+std::string GetString(const JsonValue& root, const char* key) {
+  const JsonValue* v = root.Find(key);
+  return v != nullptr ? v->AsString() : std::string();
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Value(schema_version);
+  w.Key("tool").Value(tool);
+  w.Key("title").Value(title);
+  w.Key("timestamp_utc").Value(timestamp_utc);
+  w.Key("git_sha").Value(git_sha);
+
+  w.Key("host").BeginObject();
+  w.Key("cpu").Value(cpu);
+  w.Key("simd_level").Value(simd_level);
+  w.Key("vector_bits").Value(vector_bits);
+  w.Key("hardware_threads").Value(hardware_threads);
+  w.EndObject();
+
+  w.Key("perf").BeginObject();
+  w.Key("paranoid").Value(std::int64_t{perf_paranoid});
+  w.Key("force_disabled").Value(perf_force_disabled);
+  w.Key("hardware_events").Value(perf_hardware_events);
+  w.EndObject();
+
+  WritePairs(&w, "flags", flags);
+  WritePairs(&w, "options", options);
+
+  w.Key("results").BeginArray();
+  for (const ResultRow& row : results) {
+    w.BeginObject();
+    w.Key("kernel").Value(row.kernel);
+    WritePairs(&w, "config", row.config);
+    w.Key("metrics").BeginObject();
+    for (const auto& [name, stat] : row.metrics) {
+      w.Key(name).BeginObject();
+      w.Key("mean").Value(stat.mean);
+      w.Key("stddev").Value(stat.stddev);
+      w.EndObject();
+    }
+    w.EndObject();
+    if (!row.perf_source.empty()) {
+      w.Key("perf_source").Value(row.perf_source);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("samples").BeginArray();
+  for (const SampleSeries& series : samples) {
+    w.BeginObject();
+    w.Key("label").Value(series.label);
+    WritePairs(&w, "config", series.config);
+    w.Key("sample_ms").Value(series.sample_ms);
+    w.Key("t_ms").BeginArray();
+    for (const double t : series.t_ms) w.Value(t);
+    w.EndArray();
+    w.Key("workers").BeginArray();
+    for (const auto& worker : series.workers) {
+      w.BeginArray();
+      for (const std::uint64_t ops : worker) w.Value(ops);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+bool RunReport::WriteToFile(const std::string& path, std::string* err) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (err != nullptr) *err = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << ToJson() << '\n';
+  out.flush();
+  if (!out) {
+    if (err != nullptr) *err = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::optional<RunReport> RunReport::FromJson(const JsonValue& root,
+                                             std::string* err) {
+  const auto fail = [err](const char* what) -> std::optional<RunReport> {
+    if (err != nullptr) *err = what;
+    return std::nullopt;
+  };
+  if (!root.is_object()) return fail("document is not a JSON object");
+  const JsonValue* version = root.Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return fail("missing schema_version");
+  }
+  RunReport report;
+  report.schema_version = static_cast<int>(version->AsInt());
+  if (report.schema_version != kRunReportSchemaVersion) {
+    return fail("unsupported schema_version");
+  }
+  report.tool = GetString(root, "tool");
+  report.title = GetString(root, "title");
+  report.timestamp_utc = GetString(root, "timestamp_utc");
+  report.git_sha = GetString(root, "git_sha");
+
+  if (const JsonValue* host = root.Find("host"); host != nullptr) {
+    if (!host->is_object()) return fail("host is not an object");
+    report.cpu = GetString(*host, "cpu");
+    report.simd_level = GetString(*host, "simd_level");
+    if (const JsonValue* v = host->Find("vector_bits")) {
+      report.vector_bits = static_cast<unsigned>(v->AsUint());
+    }
+    if (const JsonValue* v = host->Find("hardware_threads")) {
+      report.hardware_threads = static_cast<unsigned>(v->AsUint());
+    }
+  }
+  if (const JsonValue* perf = root.Find("perf"); perf != nullptr) {
+    if (!perf->is_object()) return fail("perf is not an object");
+    if (const JsonValue* v = perf->Find("paranoid")) {
+      report.perf_paranoid = static_cast<int>(v->AsInt());
+    }
+    if (const JsonValue* v = perf->Find("force_disabled")) {
+      report.perf_force_disabled = v->AsBool();
+    }
+    if (const JsonValue* v = perf->Find("hardware_events")) {
+      report.perf_hardware_events = static_cast<unsigned>(v->AsUint());
+    }
+  }
+  if (!ReadPairs(root, "flags", &report.flags)) return fail("bad flags");
+  if (!ReadPairs(root, "options", &report.options)) {
+    return fail("bad options");
+  }
+
+  const JsonValue* results = root.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    return fail("missing results array");
+  }
+  for (const JsonValue& item : results->array()) {
+    if (!item.is_object()) return fail("result row is not an object");
+    ResultRow row;
+    row.kernel = GetString(item, "kernel");
+    if (row.kernel.empty()) return fail("result row without kernel");
+    if (!ReadPairs(item, "config", &row.config)) {
+      return fail("bad result config");
+    }
+    const JsonValue* metrics = item.Find("metrics");
+    if (metrics == nullptr || !metrics->is_object()) {
+      return fail("result row without metrics");
+    }
+    for (const auto& [name, value] : metrics->members()) {
+      if (!value.is_object()) return fail("metric is not an object");
+      MetricStat stat;
+      if (const JsonValue* mean = value.Find("mean")) {
+        if (!mean->is_number()) return fail("metric mean is not a number");
+        stat.mean = mean->AsDouble();
+      } else {
+        return fail("metric without mean");
+      }
+      if (const JsonValue* stddev = value.Find("stddev")) {
+        stat.stddev = stddev->AsDouble();
+      }
+      row.metrics.emplace_back(name, stat);
+    }
+    row.perf_source = GetString(item, "perf_source");
+    report.results.push_back(std::move(row));
+  }
+
+  if (const JsonValue* samples = root.Find("samples"); samples != nullptr) {
+    if (!samples->is_array()) return fail("samples is not an array");
+    for (const JsonValue& item : samples->array()) {
+      if (!item.is_object()) return fail("sample series is not an object");
+      SampleSeries series;
+      series.label = GetString(item, "label");
+      if (!ReadPairs(item, "config", &series.config)) {
+        return fail("bad sample config");
+      }
+      if (const JsonValue* v = item.Find("sample_ms")) {
+        series.sample_ms = static_cast<unsigned>(v->AsUint());
+      }
+      if (const JsonValue* t = item.Find("t_ms"); t != nullptr) {
+        if (!t->is_array()) return fail("t_ms is not an array");
+        for (const JsonValue& v : t->array()) {
+          series.t_ms.push_back(v.AsDouble());
+        }
+      }
+      if (const JsonValue* ws = item.Find("workers"); ws != nullptr) {
+        if (!ws->is_array()) return fail("workers is not an array");
+        for (const JsonValue& worker : ws->array()) {
+          if (!worker.is_array()) return fail("worker series is not an array");
+          std::vector<std::uint64_t> ops;
+          for (const JsonValue& v : worker.array()) {
+            ops.push_back(v.AsUint());
+          }
+          series.workers.push_back(std::move(ops));
+        }
+      }
+      report.samples.push_back(std::move(series));
+    }
+  }
+  return report;
+}
+
+std::optional<RunReport> RunReport::FromJsonText(std::string_view text,
+                                                 std::string* err) {
+  auto root = ParseJson(text, err);
+  if (!root.has_value()) return std::nullopt;
+  return FromJson(*root, err);
+}
+
+std::optional<RunReport> RunReport::LoadFromFile(const std::string& path,
+                                                 std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return FromJsonText(text.str(), err);
+}
+
+RunReport NewRunReport(std::string tool, std::string title) {
+  RunReport report;
+  report.tool = std::move(tool);
+  report.title = std::move(title);
+
+  char stamp[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  report.timestamp_utc = stamp;
+
+  // The env override lets CI stamp the exact commit under test even when
+  // the build cache predates it (the macro is baked at configure time).
+  const char* sha_env = std::getenv("SIMDHT_GIT_SHA");
+  report.git_sha = sha_env != nullptr && sha_env[0] != '\0' ? sha_env
+                                                            : SIMDHT_GIT_SHA;
+
+  const CpuFeatures& cpu = GetCpuFeatures();
+  report.cpu = cpu.ToString();
+  report.simd_level = SimdLevelName(cpu.max_level());
+  report.vector_bits = SimdLevelBits(cpu.max_level());
+  report.hardware_threads = static_cast<unsigned>(HardwareThreads());
+
+  report.perf_paranoid = PerfEventParanoid();
+  report.perf_force_disabled = PerfForceDisabled();
+  unsigned available = 0;
+  for (const PerfEventProbe& probe : ProbePerfEvents()) {
+    available += probe.available;
+  }
+  report.perf_hardware_events = available;
+  return report;
+}
+
+int WriteReportOutputs(const RunReport& report, const std::string& json_path,
+                       const std::string& timeline_path, bool quiet) {
+  int rc = 0;
+  if (!json_path.empty()) {
+    std::string err;
+    if (!report.WriteToFile(json_path, &err)) {
+      std::fprintf(stderr, "--json: %s\n", err.c_str());
+      rc = 1;
+    } else if (!quiet) {
+      std::printf("run report: %s (%zu result rows, %zu sample series)\n",
+                  json_path.c_str(), report.results.size(),
+                  report.samples.size());
+    }
+  }
+  if (!timeline_path.empty()) {
+    std::string err;
+    if (!Timeline::Global().WriteToFile(timeline_path, &err)) {
+      std::fprintf(stderr, "--timeline: %s\n", err.c_str());
+      rc = 1;
+    } else if (!quiet) {
+      std::printf("trace timeline: %s (%zu events)\n", timeline_path.c_str(),
+                  Timeline::Global().event_count());
+    }
+  }
+  return rc;
+}
+
+}  // namespace simdht

@@ -1,0 +1,116 @@
+// Structured, provenance-stamped run reports.
+//
+// Every bench binary and the `simdht` CLI can serialize its measurements as
+// a RunReport (--json=PATH): schema version, timestamp, git sha, the CPU
+// feature snapshot, resolved flags, perf-counter provenance, and one row
+// per (kernel x config) with mean/stddev over repeats. Reports from two
+// commits or two machines are then diffable with `simdht_compare`, which is
+// what turns terminal output into regression tracking (the paper's
+// cross-architecture story, Figs 2-11, depends on exactly this context
+// traveling with every number).
+#ifndef SIMDHT_OBS_RUN_REPORT_H_
+#define SIMDHT_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace simdht {
+
+inline constexpr int kRunReportSchemaVersion = 1;
+
+// One measured statistic: mean and sample stddev over repeats. stddev 0
+// means single-shot (or deterministic) measurements.
+struct MetricStat {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+// Ordered key/value pairs; order is preserved so reports stay stable as
+// text, lookup is by key.
+using StringPairs = std::vector<std::pair<std::string, std::string>>;
+
+// One (kernel x config) measurement row.
+struct ResultRow {
+  std::string kernel;  // kernel/design name, or a row label for
+                       // non-kernel measurements (e.g. "cuckoo(2,4)")
+  StringPairs config;  // the sweep dimensions, e.g. ht_size, pattern
+  std::vector<std::pair<std::string, MetricStat>> metrics;
+  std::string perf_source;  // "", "hw" or "tsc-est"
+
+  const MetricStat* FindMetric(std::string_view name) const;
+
+  // Canonical "k=v,k=v" (sorted by key) identity used to match rows across
+  // two reports.
+  std::string ConfigKey() const;
+};
+
+// Time-sliced progress samples for one measured design: cumulative
+// lookups-completed per worker every sample_ms, revealing warmup and
+// thermal drift inside a repetition.
+struct SampleSeries {
+  std::string label;
+  StringPairs config;
+  unsigned sample_ms = 0;
+  std::vector<double> t_ms;  // slice timestamps since measurement start
+  // workers[w][i] = cumulative lookups by worker w at t_ms[i].
+  std::vector<std::vector<std::uint64_t>> workers;
+};
+
+struct RunReport {
+  int schema_version = kRunReportSchemaVersion;
+  std::string tool;   // producing binary, e.g. "fig6_ht_size_sweep"
+  std::string title;  // human-readable run title
+  std::string timestamp_utc;  // ISO-8601, e.g. "2026-08-06T12:00:00Z"
+  std::string git_sha;        // build sha ($SIMDHT_GIT_SHA overrides)
+
+  // Host snapshot (the cross-machine comparison context).
+  std::string cpu;         // CpuFeatures::ToString()
+  std::string simd_level;  // highest usable tier name
+  unsigned vector_bits = 0;
+  unsigned hardware_threads = 0;
+
+  // Perf-counter provenance: whether --perf numbers in this report came
+  // from the PMU or the TSC fallback, and why.
+  int perf_paranoid = 0;  // INT_MIN when unreadable
+  bool perf_force_disabled = false;
+  unsigned perf_hardware_events = 0;  // events that actually open here
+
+  StringPairs flags;    // raw command-line flags as parsed
+  StringPairs options;  // resolved effective options (threads, seed, ...)
+
+  std::vector<ResultRow> results;
+  std::vector<SampleSeries> samples;
+
+  std::string ToJson() const;
+  bool WriteToFile(const std::string& path, std::string* err = nullptr) const;
+
+  // Rejects documents with a missing/unknown schema_version or a shape the
+  // schema does not allow; `err` explains.
+  static std::optional<RunReport> FromJson(const JsonValue& root,
+                                           std::string* err = nullptr);
+  static std::optional<RunReport> FromJsonText(std::string_view text,
+                                               std::string* err = nullptr);
+  static std::optional<RunReport> LoadFromFile(const std::string& path,
+                                               std::string* err = nullptr);
+};
+
+// Fresh report with tool/title set and every provenance field (timestamp,
+// git sha, CPU snapshot, perf availability) stamped from this process.
+RunReport NewRunReport(std::string tool, std::string title);
+
+// Writes the report to `json_path` and the global timeline to
+// `timeline_path` (either may be empty = skip). Returns 0 on success, 1 on
+// any I/O failure (reported on stderr). `quiet` suppresses the one-line
+// "wrote ..." confirmations (CSV mode).
+int WriteReportOutputs(const RunReport& report, const std::string& json_path,
+                       const std::string& timeline_path, bool quiet);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_OBS_RUN_REPORT_H_

@@ -1,0 +1,64 @@
+#include "obs/time_slicer.h"
+
+#include <chrono>
+
+namespace simdht {
+
+namespace {
+
+double SteadyNowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TimeSlicer::TimeSlicer(unsigned workers, unsigned sample_ms)
+    : workers_(workers), sample_ms_(sample_ms) {
+  if (enabled()) cells_ = std::vector<PaddedCounter>(workers_);
+}
+
+TimeSlicer::~TimeSlicer() {
+  if (running_.load(std::memory_order_acquire)) Stop();
+}
+
+TimeSlice TimeSlicer::Snapshot() const {
+  TimeSlice slice;
+  slice.t_ms = (SteadyNowNs() - start_ns_) / 1e6;
+  slice.per_worker_ops.reserve(workers_);
+  for (const PaddedCounter& cell : cells_) {
+    slice.per_worker_ops.push_back(cell.ops.load(std::memory_order_relaxed));
+  }
+  return slice;
+}
+
+void TimeSlicer::Start() {
+  if (!enabled()) return;
+  for (PaddedCounter& cell : cells_) {
+    cell.ops.store(0, std::memory_order_relaxed);
+  }
+  slices_.clear();
+  start_ns_ = SteadyNowNs();
+  running_.store(true, std::memory_order_release);
+  sampler_ = std::thread([this] {
+    const auto period = std::chrono::milliseconds(sample_ms_);
+    auto next = std::chrono::steady_clock::now() + period;
+    while (running_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_until(next);
+      next += period;
+      if (!running_.load(std::memory_order_acquire)) break;
+      slices_.push_back(Snapshot());
+    }
+  });
+}
+
+std::vector<TimeSlice> TimeSlicer::Stop() {
+  if (!enabled() || !running_.load(std::memory_order_acquire)) return {};
+  running_.store(false, std::memory_order_release);
+  sampler_.join();
+  slices_.push_back(Snapshot());  // final state, covers sub-period runs
+  return std::move(slices_);
+}
+
+}  // namespace simdht

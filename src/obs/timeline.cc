@@ -1,0 +1,124 @@
+#include "obs/timeline.h"
+
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace simdht {
+
+namespace {
+
+double SteadyNowNs() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::atomic<unsigned> g_next_thread_id{0};
+
+}  // namespace
+
+unsigned TimelineThreadId() {
+  thread_local const unsigned id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Timeline::Timeline() : epoch_ns_(SteadyNowNs()) {}
+
+Timeline& Timeline::Global() {
+  static Timeline instance;
+  return instance;
+}
+
+void Timeline::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) {
+    epoch_ns_ = SteadyNowNs();
+    enabled_.store(true, std::memory_order_release);
+  }
+}
+
+double Timeline::NowUs() const {
+  return (SteadyNowNs() - epoch_ns_) / 1e3;
+}
+
+void Timeline::RecordSpan(const char* category, std::string name,
+                          double start_us, double end_us) {
+  if (!enabled()) return;
+  Event event;
+  event.name = std::move(name);
+  event.category = category;
+  event.tid = TimelineThreadId();
+  event.ts_us = start_us;
+  event.dur_us = end_us > start_us ? end_us - start_us : 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t Timeline::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Timeline::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::string Timeline::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Event& event : events_) {
+      w.BeginObject();
+      w.Key("name").Value(event.name);
+      w.Key("cat").Value(event.category);
+      w.Key("ph").Value("X");
+      w.Key("ts").Value(event.ts_us);
+      w.Key("dur").Value(event.dur_us);
+      w.Key("pid").Value(1);
+      w.Key("tid").Value(event.tid);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+bool Timeline::WriteToFile(const std::string& path, std::string* err) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (err != nullptr) *err = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << ToJson() << '\n';
+  out.flush();
+  if (!out) {
+    if (err != nullptr) *err = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+TimelineSpan::TimelineSpan(const char* category, std::string name)
+    : category_(category), name_(std::move(name)) {
+  Timeline& timeline = Timeline::Global();
+  active_ = timeline.enabled();
+  if (active_) start_us_ = timeline.NowUs();
+}
+
+TimelineSpan::~TimelineSpan() {
+  if (!active_) return;
+  Timeline& timeline = Timeline::Global();
+  timeline.RecordSpan(category_, std::move(name_), start_us_,
+                      timeline.NowUs());
+}
+
+}  // namespace simdht

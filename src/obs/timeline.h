@@ -1,0 +1,90 @@
+// Chrome/Perfetto trace-event timeline (--timeline=PATH).
+//
+// The measurement drivers and the KVS server record coarse spans — table
+// build, warmup, each repetition per worker, per-request server phases —
+// into a process-global recorder; WriteToFile emits the Chrome trace-event
+// JSON format, which loads directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Recording is off by default: every probe is a single
+// relaxed atomic load, so instrumented code costs nothing until a binary
+// opts in with --timeline.
+#ifndef SIMDHT_OBS_TIMELINE_H_
+#define SIMDHT_OBS_TIMELINE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simdht {
+
+// Stable small per-thread id for trace tracks (assigned on first use, so
+// worker threads get consecutive track numbers in spawn order).
+unsigned TimelineThreadId();
+
+class Timeline {
+ public:
+  // The process-wide recorder every instrumentation site reports into.
+  static Timeline& Global();
+
+  // Starts recording; the trace epoch (ts = 0) is set at the first Enable.
+  void Enable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds since the trace epoch (monotonic). Meaningful whether or
+  // not recording is enabled, so callers can take timestamps first and
+  // decide later.
+  double NowUs() const;
+
+  // Records one complete span ("ph":"X") on the calling thread's track.
+  // start_us/end_us are NowUs() timestamps; no-op while disabled.
+  void RecordSpan(const char* category, std::string name, double start_us,
+                  double end_us);
+
+  std::size_t event_count() const;
+  void Clear();
+
+  // Emits {"traceEvents":[...]} — the Chrome trace-event JSON object form.
+  bool WriteToFile(const std::string& path, std::string* err = nullptr) const;
+  std::string ToJson() const;
+
+  Timeline();
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+ private:
+  struct Event {
+    std::string name;
+    const char* category;
+    unsigned tid;
+    double ts_us;
+    double dur_us;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  double epoch_ns_ = 0.0;  // steady_clock origin for ts = 0
+};
+
+// RAII span: captures the start time at construction and records the span
+// at destruction. All work is skipped while the global timeline is
+// disabled (the constructor reads one relaxed atomic).
+class TimelineSpan {
+ public:
+  TimelineSpan(const char* category, std::string name);
+  ~TimelineSpan();
+
+  TimelineSpan(const TimelineSpan&) = delete;
+  TimelineSpan& operator=(const TimelineSpan&) = delete;
+
+ private:
+  const char* category_;
+  std::string name_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_OBS_TIMELINE_H_

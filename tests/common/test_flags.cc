@@ -62,5 +62,55 @@ TEST(Flags, HexIntegers) {
   EXPECT_EQ(f.GetInt("mask", 0), 255);
 }
 
+TEST(Flags, Uint64Basics) {
+  auto f = Parse({"--seed=12345", "--hex=0xdeadbeef"});
+  EXPECT_EQ(f.GetUint64("seed", 0), 12345u);
+  EXPECT_EQ(f.GetUint64("hex", 0), 0xdeadbeefu);
+  EXPECT_EQ(f.GetUint64("absent", 99), 99u);
+}
+
+TEST(Flags, Uint64FullRange) {
+  // Values above INT64_MAX that GetInt cannot represent.
+  auto f = Parse({"--seed=18446744073709551615"});
+  EXPECT_EQ(f.GetUint64("seed", 0), 18446744073709551615ull);
+}
+
+using FlagsDeathTest = ::testing::Test;
+
+TEST(FlagsDeathTest, Uint64RejectsNegative) {
+  EXPECT_EXIT(
+      {
+        auto f = Parse({"--seed=-1"});
+        (void)f.GetUint64("seed", 0);
+      },
+      ::testing::ExitedWithCode(1), "seed");
+}
+
+TEST(FlagsDeathTest, Uint64RejectsTrailingGarbage) {
+  EXPECT_EXIT(
+      {
+        auto f = Parse({"--seed=42abc"});
+        (void)f.GetUint64("seed", 0);
+      },
+      ::testing::ExitedWithCode(1), "seed");
+}
+
+TEST(FlagsDeathTest, Uint64RejectsEmpty) {
+  EXPECT_EXIT(
+      {
+        auto f = Parse({"--seed="});
+        (void)f.GetUint64("seed", 0);
+      },
+      ::testing::ExitedWithCode(1), "seed");
+}
+
+TEST(Flags, ItemsExposesParsedPairs) {
+  auto f = Parse({"--b=2", "--a=1"});
+  const auto& items = f.items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items.at("a"), "1");
+  EXPECT_EQ(items.at("b"), "2");
+}
+
 }  // namespace
 }  // namespace simdht

@@ -17,6 +17,21 @@ TEST(Histogram, EmptyIsZero) {
   EXPECT_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, EmptyPercentileAtExtremes) {
+  Histogram h;
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 0u) << "p=" << p;
+  }
+}
+
+TEST(Histogram, SingleSampleAllQuantiles) {
+  Histogram h;
+  h.Add(42);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 42u) << "q=" << q;
+  }
+}
+
 TEST(Histogram, ExactForSmallValues) {
   // Values below 2^sub_bits land in unit buckets: quantiles are exact.
   Histogram h;

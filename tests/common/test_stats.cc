@@ -35,6 +35,25 @@ TEST(LatencyRecorder, Percentiles) {
   EXPECT_NEAR(r.mean(), 50.5, 1e-9);
 }
 
+TEST(LatencyRecorder, EmptyPercentileIsZero) {
+  // Report paths percentile idle recorders (e.g. a worker that received no
+  // requests); every p must be a defined 0.0, not UB on an empty vector.
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(r.Percentile(p), 0.0) << "p=" << p;
+  }
+  EXPECT_EQ(r.mean(), 0.0);
+}
+
+TEST(LatencyRecorder, SingleSampleAllPercentiles) {
+  LatencyRecorder r;
+  r.Add(7.5);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_NEAR(r.Percentile(p), 7.5, 1e-9) << "p=" << p;
+  }
+}
+
 TEST(LatencyRecorder, MergeCombinesSamples) {
   LatencyRecorder a, b;
   a.Add(1.0);

@@ -133,6 +133,30 @@ TEST(CaseRunner, PerfRestrictedEventSet) {
   EXPECT_FALSE(scalar.perf.Has(PerfEvent::kInstructions));
 }
 
+TEST(CaseRunner, SampleMsCollectsPerWorkerSlices) {
+  CaseSpec spec = SmallSpec();
+  spec.run.sample_ms = 1;
+  const CaseResult result = RunCase(spec, {});
+  const MeasuredKernel& scalar = result.kernels[0];
+  ASSERT_FALSE(scalar.slices.empty());
+  for (const TimeSlice& slice : scalar.slices) {
+    ASSERT_EQ(slice.per_worker_ops.size(), spec.run.threads);
+  }
+  // The final snapshot accounts for every measured lookup: repeats x
+  // queries_per_thread per worker.
+  const std::uint64_t expected =
+      std::uint64_t{spec.run.repeats} * spec.run.queries_per_thread;
+  for (unsigned w = 0; w < spec.run.threads; ++w) {
+    EXPECT_EQ(scalar.slices.back().per_worker_ops[w], expected)
+        << "worker " << w;
+  }
+}
+
+TEST(CaseRunner, SampleMsZeroCollectsNothing) {
+  const CaseResult result = RunCase(SmallSpec(), {});
+  EXPECT_TRUE(result.kernels[0].slices.empty());
+}
+
 TEST(CaseRunner, ZipfPatternRuns) {
   CaseSpec spec = SmallSpec();
   spec.pattern = AccessPattern::kZipfian;

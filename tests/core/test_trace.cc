@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "core/trace.h"
@@ -42,6 +43,70 @@ TEST(Trace, RejectsWrongKeyWidthAndGarbage) {
   const std::string bytes = stream2.str();
   std::stringstream truncated(bytes.substr(0, bytes.size() - 2));
   EXPECT_FALSE(LoadTrace<std::uint32_t>(truncated).has_value());
+}
+
+TEST(Trace, TruncatedHeaderAtEveryByte) {
+  // A file that ends anywhere inside the fixed header must load as
+  // nullopt, never as a partially-initialized trace.
+  ProbeTrace<std::uint32_t> trace;
+  trace.queries = {10, 20, 30};
+  std::stringstream full;
+  ASSERT_TRUE(SaveTrace(trace, full));
+  const std::string bytes = full.str();
+  const std::size_t header_size = bytes.size() - 3 * sizeof(std::uint32_t);
+  for (std::size_t len = 0; len < header_size; ++len) {
+    std::stringstream cut(bytes.substr(0, len));
+    EXPECT_FALSE(LoadTrace<std::uint32_t>(cut).has_value())
+        << "header cut at byte " << len;
+  }
+}
+
+TEST(Trace, ShortKeyArrayRejected) {
+  // Header promises N keys; the payload carries fewer. Every short length
+  // (including zero payload bytes) must be rejected.
+  ProbeTrace<std::uint32_t> trace;
+  trace.queries = {1, 2, 3, 4};
+  std::stringstream full;
+  ASSERT_TRUE(SaveTrace(trace, full));
+  const std::string bytes = full.str();
+  const std::size_t header_size = bytes.size() - 4 * sizeof(std::uint32_t);
+  for (std::size_t payload = 0; payload < 4 * sizeof(std::uint32_t);
+       payload += sizeof(std::uint32_t)) {
+    std::stringstream cut(bytes.substr(0, header_size + payload));
+    EXPECT_FALSE(LoadTrace<std::uint32_t>(cut).has_value())
+        << "payload bytes " << payload;
+  }
+}
+
+TEST(Trace, KeyWidthMismatchBothDirections) {
+  ProbeTrace<std::uint16_t> narrow;
+  narrow.queries = {7, 8};
+  std::stringstream ns;
+  ASSERT_TRUE(SaveTrace(narrow, ns));
+  EXPECT_FALSE(LoadTrace<std::uint32_t>(ns).has_value());
+
+  ProbeTrace<std::uint64_t> wide;
+  wide.queries = {9};
+  std::stringstream ws;
+  ASSERT_TRUE(SaveTrace(wide, ws));
+  EXPECT_FALSE(LoadTrace<std::uint16_t>(ws).has_value());
+}
+
+TEST(Trace, CorruptQueryCountRejected) {
+  // A num_queries field beyond the 2^32 sanity cap must be rejected before
+  // any allocation is attempted.
+  ProbeTrace<std::uint32_t> trace;
+  trace.queries = {1};
+  std::stringstream stream;
+  ASSERT_TRUE(SaveTrace(trace, stream));
+  std::string bytes = stream.str();
+  // num_queries is the trailing u64 of the header.
+  const std::size_t header_size = bytes.size() - sizeof(std::uint32_t);
+  const std::uint64_t huge = std::uint64_t{1} << 33;
+  std::memcpy(bytes.data() + header_size - sizeof(std::uint64_t), &huge,
+              sizeof(huge));
+  std::stringstream corrupt(bytes);
+  EXPECT_FALSE(LoadTrace<std::uint32_t>(corrupt).has_value());
 }
 
 TEST(Trace, GeneratedWorkloadRoundTripsThroughFile) {

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/json.h"
+
+namespace simdht {
+namespace {
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("n")
+      .Value(3)
+      .Key("xs")
+      .BeginArray()
+      .Value(1.5)
+      .Value("two")
+      .Value(true)
+      .Null()
+      .EndArray()
+      .Key("nested")
+      .BeginObject()
+      .EndObject()
+      .EndObject();
+  EXPECT_EQ(w.str(), R"({"n":3,"xs":[1.5,"two",true,null],"nested":{}})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.BeginObject().Key("s").Value("a\"b\\c\n\t\x01").EndObject();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Value(std::numeric_limits<double>::infinity())
+      .Value(std::nan(""))
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+  ASSERT_TRUE(ParseJson(w.str()).has_value());
+}
+
+TEST(JsonWriter, FullUint64RangeSurvives) {
+  JsonWriter w;
+  w.BeginArray().Value(std::uint64_t{18446744073709551615ull}).EndArray();
+  EXPECT_EQ(w.str(), "[18446744073709551615]");
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .Value("bench \"quoted\"")
+      .Key("mean")
+      .Value(12.25)
+      .Key("reps")
+      .Value(5)
+      .Key("ok")
+      .Value(true)
+      .EndObject();
+  auto v = ParseJson(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("name")->AsString(), "bench \"quoted\"");
+  EXPECT_DOUBLE_EQ(v->Find("mean")->AsDouble(), 12.25);
+  EXPECT_EQ(v->Find("reps")->AsInt(), 5);
+  EXPECT_TRUE(v->Find("ok")->AsBool());
+  EXPECT_EQ(v->Find("absent"), nullptr);
+}
+
+TEST(JsonParser, PreservesMemberOrder) {
+  auto v = ParseJson(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->members()[2].first, "m");
+}
+
+TEST(JsonParser, NumbersExponentsAndNegatives) {
+  auto v = ParseJson(R"([0, -1, 2.5, 1e3, -1.25e-2, 18446744073709551615])");
+  ASSERT_TRUE(v.has_value());
+  const auto& a = v->array();
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_DOUBLE_EQ(a[1].AsDouble(), -1.0);
+  EXPECT_DOUBLE_EQ(a[2].AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(a[3].AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(a[4].AsDouble(), -0.0125);
+  EXPECT_GT(a[5].AsDouble(), 1.8e19);
+}
+
+TEST(JsonParser, UnicodeEscapes) {
+  // \u escapes decode to UTF-8: 1-, 2- and 3-byte sequences.
+  auto v = ParseJson("[\"A\\u0041\\u00e9\\u20ac\"]");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->array()[0].AsString(), "AA\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  std::string err;
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "[1] extra",
+        "{\"a\":1,}", "\"unterminated", "[\"bad\\escape\"]"}) {
+    err.clear();
+    EXPECT_FALSE(ParseJson(bad, &err).has_value()) << "input: " << bad;
+    EXPECT_FALSE(err.empty()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParser, RejectsRunawayNesting) {
+  // Parser depth is capped so hostile input cannot blow the stack.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).has_value());
+}
+
+TEST(JsonParser, TypedAccessorDefaultsOnMismatch) {
+  auto v = ParseJson(R"({"s":"x"})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* s = v->Find("s");
+  EXPECT_DOUBLE_EQ(s->AsDouble(7.0), 7.0);
+  EXPECT_EQ(s->AsInt(-3), -3);
+  EXPECT_TRUE(s->AsBool(true));
+  EXPECT_TRUE(v->AsString().empty());
+}
+
+}  // namespace
+}  // namespace simdht

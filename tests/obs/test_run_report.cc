@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/run_report.h"
+
+namespace simdht {
+namespace {
+
+RunReport MakeReport() {
+  RunReport r = NewRunReport("test_tool", "unit-test report");
+  r.flags = {{"threads", "4"}, {"seed", "42"}};
+  r.options = {{"pattern", "uniform"}};
+
+  ResultRow row;
+  row.kernel = "V-Ver/AVX2/k32v32";
+  row.config = {{"ht_size", "1048576"}, {"layout", "3-way"}};
+  row.metrics = {{"mlps_per_core", {123.5, 2.25}},
+                 {"hit_fraction", {0.9, 0.0}}};
+  row.perf_source = "tsc-est";
+  r.results.push_back(row);
+
+  SampleSeries s;
+  s.label = "V-Ver/AVX2/k32v32";
+  s.config = row.config;
+  s.sample_ms = 10;
+  s.t_ms = {10.0, 20.0, 30.0};
+  s.workers = {{100, 220, 350}, {90, 210, 330}};
+  r.samples.push_back(s);
+  return r;
+}
+
+TEST(RunReport, ProvenanceIsStamped) {
+  const RunReport r = NewRunReport("tool", "title");
+  EXPECT_EQ(r.schema_version, kRunReportSchemaVersion);
+  EXPECT_EQ(r.tool, "tool");
+  EXPECT_FALSE(r.timestamp_utc.empty());
+  EXPECT_FALSE(r.git_sha.empty());
+  EXPECT_FALSE(r.cpu.empty());
+  EXPECT_GT(r.hardware_threads, 0u);
+  EXPECT_GT(r.vector_bits, 0u);
+}
+
+TEST(RunReport, JsonRoundTripPreservesEverything) {
+  const RunReport r = MakeReport();
+  std::string err;
+  const auto back = RunReport::FromJsonText(r.ToJson(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+
+  EXPECT_EQ(back->schema_version, r.schema_version);
+  EXPECT_EQ(back->tool, r.tool);
+  EXPECT_EQ(back->title, r.title);
+  EXPECT_EQ(back->timestamp_utc, r.timestamp_utc);
+  EXPECT_EQ(back->git_sha, r.git_sha);
+  EXPECT_EQ(back->cpu, r.cpu);
+  EXPECT_EQ(back->simd_level, r.simd_level);
+  EXPECT_EQ(back->vector_bits, r.vector_bits);
+  EXPECT_EQ(back->flags, r.flags);
+  EXPECT_EQ(back->options, r.options);
+
+  ASSERT_EQ(back->results.size(), 1u);
+  const ResultRow& row = back->results[0];
+  EXPECT_EQ(row.kernel, "V-Ver/AVX2/k32v32");
+  EXPECT_EQ(row.config, r.results[0].config);
+  EXPECT_EQ(row.perf_source, "tsc-est");
+  const MetricStat* m = row.FindMetric("mlps_per_core");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->mean, 123.5);
+  EXPECT_DOUBLE_EQ(m->stddev, 2.25);
+
+  ASSERT_EQ(back->samples.size(), 1u);
+  EXPECT_EQ(back->samples[0].sample_ms, 10u);
+  EXPECT_EQ(back->samples[0].t_ms, r.samples[0].t_ms);
+  EXPECT_EQ(back->samples[0].workers, r.samples[0].workers);
+}
+
+TEST(RunReport, FileRoundTrip) {
+  const std::string path = "/tmp/simdht_test_report.json";
+  const RunReport r = MakeReport();
+  std::string err;
+  ASSERT_TRUE(r.WriteToFile(path, &err)) << err;
+  const auto back = RunReport::LoadFromFile(path, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->results.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, RejectsWrongSchemaVersion) {
+  RunReport r = MakeReport();
+  std::string text = r.ToJson();
+  const std::string needle = "\"schema_version\":1";
+  const auto at = text.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, needle.size(), "\"schema_version\":999");
+  std::string err;
+  EXPECT_FALSE(RunReport::FromJsonText(text, &err).has_value());
+  EXPECT_NE(err.find("schema"), std::string::npos) << err;
+}
+
+TEST(RunReport, RejectsMalformedShapes) {
+  std::string err;
+  // Not JSON at all.
+  EXPECT_FALSE(RunReport::FromJsonText("nope", &err).has_value());
+  // Valid JSON, wrong shape.
+  EXPECT_FALSE(RunReport::FromJsonText("[1,2,3]", &err).has_value());
+  // Object missing schema_version.
+  EXPECT_FALSE(RunReport::FromJsonText("{\"tool\":\"x\"}", &err).has_value());
+}
+
+TEST(RunReport, LoadFromMissingFileFails) {
+  std::string err;
+  EXPECT_FALSE(
+      RunReport::LoadFromFile("/nonexistent/nowhere.json", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ResultRow, ConfigKeyIsSortedAndCanonical) {
+  ResultRow a, b;
+  a.config = {{"z", "1"}, {"a", "2"}};
+  b.config = {{"a", "2"}, {"z", "1"}};
+  EXPECT_EQ(a.ConfigKey(), b.ConfigKey());
+  EXPECT_EQ(a.ConfigKey(), "a=2,z=1");
+}
+
+TEST(ResultRow, FindMetricMissingIsNull) {
+  ResultRow row;
+  row.metrics = {{"x", {1.0, 0.0}}};
+  EXPECT_NE(row.FindMetric("x"), nullptr);
+  EXPECT_EQ(row.FindMetric("y"), nullptr);
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "obs/time_slicer.h"
+
+namespace simdht {
+namespace {
+
+TEST(TimeSlicer, DisabledIsInert) {
+  TimeSlicer s(4, 0);
+  EXPECT_FALSE(s.enabled());
+  EXPECT_EQ(s.cell(0), nullptr);
+  EXPECT_EQ(s.cell(3), nullptr);
+  s.Start();
+  EXPECT_TRUE(s.Stop().empty());
+}
+
+TEST(TimeSlicer, FinalSnapshotAlwaysPresent) {
+  // A run shorter than sample_ms still yields one slice (from Stop()).
+  TimeSlicer s(2, 1000);
+  s.Start();
+  s.cell(0)->fetch_add(10, std::memory_order_relaxed);
+  s.cell(1)->fetch_add(20, std::memory_order_relaxed);
+  const auto slices = s.Stop();
+  ASSERT_GE(slices.size(), 1u);
+  const TimeSlice& last = slices.back();
+  ASSERT_EQ(last.per_worker_ops.size(), 2u);
+  EXPECT_EQ(last.per_worker_ops[0], 10u);
+  EXPECT_EQ(last.per_worker_ops[1], 20u);
+}
+
+TEST(TimeSlicer, SamplesAreCumulativeAndMonotonic) {
+  TimeSlicer s(1, 2);
+  s.Start();
+  auto* cell = s.cell(0);
+  ASSERT_NE(cell, nullptr);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    cell->fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  const auto slices = s.Stop();
+  ASSERT_GE(slices.size(), 2u);
+  for (std::size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_GE(slices[i].t_ms, slices[i - 1].t_ms) << "slice " << i;
+    EXPECT_GE(slices[i].per_worker_ops[0], slices[i - 1].per_worker_ops[0])
+        << "slice " << i;
+  }
+  EXPECT_GT(slices.back().per_worker_ops[0], 0u);
+}
+
+TEST(TimeSlicer, RestartResetsCounters) {
+  TimeSlicer s(1, 500);
+  s.Start();
+  s.cell(0)->fetch_add(100, std::memory_order_relaxed);
+  auto first = s.Stop();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.back().per_worker_ops[0], 100u);
+
+  s.Start();
+  auto second = s.Stop();
+  ASSERT_FALSE(second.empty());
+  EXPECT_EQ(second.back().per_worker_ops[0], 0u);
+}
+
+TEST(TimeSlicer, ConcurrentWorkersDoNotLoseCounts) {
+  constexpr unsigned kWorkers = 4;
+  constexpr std::uint64_t kPerWorker = 50000;
+  TimeSlicer s(kWorkers, 1);
+  s.Start();
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&s, w] {
+      auto* cell = s.cell(w);
+      for (std::uint64_t i = 0; i < kPerWorker; ++i) {
+        cell->fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto slices = s.Stop();
+  ASSERT_FALSE(slices.empty());
+  for (unsigned w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(slices.back().per_worker_ops[w], kPerWorker) << "worker " << w;
+  }
+}
+
+}  // namespace
+}  // namespace simdht

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/timeline.h"
+
+namespace simdht {
+namespace {
+
+// The global timeline is shared across this binary's tests: each test
+// clears it first and re-enables recording as needed.
+class TimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Timeline::Global().Clear(); }
+};
+
+TEST_F(TimelineTest, DisabledRecordsNothingUntilEnabled) {
+  Timeline local;
+  EXPECT_FALSE(local.enabled());
+  local.RecordSpan("cat", "ignored", 0.0, 1.0);
+  { TimelineSpan span("cat", "also-ignored-on-global-if-disabled"); }
+  EXPECT_EQ(local.event_count(), 0u);
+
+  local.Enable();
+  EXPECT_TRUE(local.enabled());
+  local.RecordSpan("cat", "kept", 0.0, 1.0);
+  EXPECT_EQ(local.event_count(), 1u);
+}
+
+TEST_F(TimelineTest, SpanRecordsNameCategoryAndDuration) {
+  Timeline local;
+  local.Enable();
+  local.RecordSpan("bench", "rep0", 100.0, 250.5);
+  const auto doc = ParseJson(local.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("displayTimeUnit")->AsString(), "ms");
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array().size(), 1u);
+  const JsonValue& e = events->array()[0];
+  EXPECT_EQ(e.Find("name")->AsString(), "rep0");
+  EXPECT_EQ(e.Find("cat")->AsString(), "bench");
+  EXPECT_EQ(e.Find("ph")->AsString(), "X");
+  EXPECT_DOUBLE_EQ(e.Find("ts")->AsDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(e.Find("dur")->AsDouble(), 150.5);
+  EXPECT_EQ(e.Find("pid")->AsInt(), 1);
+  EXPECT_GE(e.Find("tid")->AsInt(), 0);
+}
+
+TEST_F(TimelineTest, RaiiSpanRecordsOnGlobal) {
+  Timeline& g = Timeline::Global();
+  g.Enable();
+  g.Clear();
+  { TimelineSpan span("test", "scoped"); }
+  ASSERT_EQ(g.event_count(), 1u);
+  const auto doc = ParseJson(g.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& e = doc->Find("traceEvents")->array()[0];
+  EXPECT_EQ(e.Find("name")->AsString(), "scoped");
+  EXPECT_GE(e.Find("dur")->AsDouble(), 0.0);
+  g.Clear();
+}
+
+TEST_F(TimelineTest, ThreadsGetDistinctTrackIds) {
+  const unsigned main_tid = TimelineThreadId();
+  unsigned other_tid = main_tid;
+  std::thread t([&] { other_tid = TimelineThreadId(); });
+  t.join();
+  EXPECT_NE(main_tid, other_tid);
+  // Stable across calls on the same thread.
+  EXPECT_EQ(TimelineThreadId(), main_tid);
+}
+
+TEST_F(TimelineTest, NowUsIsMonotonic) {
+  Timeline local;
+  const double a = local.NowUs();
+  const double b = local.NowUs();
+  EXPECT_GE(b, a);
+}
+
+TEST_F(TimelineTest, WriteToFileEmitsLoadableChromeTrace) {
+  const std::string path = "/tmp/simdht_test_timeline.json";
+  Timeline local;
+  local.Enable();
+  local.RecordSpan("bench", "warmup", 0.0, 10.0);
+  local.RecordSpan("kvs", "parse", 10.0, 12.0);
+  std::string err;
+  ASSERT_TRUE(local.WriteToFile(path, &err)) << err;
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto doc = ParseJson(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("traceEvents")->array().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TimelineTest, ClearResetsEventCount) {
+  Timeline local;
+  local.Enable();
+  local.RecordSpan("c", "x", 0.0, 1.0);
+  EXPECT_EQ(local.event_count(), 1u);
+  local.Clear();
+  EXPECT_EQ(local.event_count(), 0u);
+  EXPECT_TRUE(ParseJson(local.ToJson()).has_value());
+}
+
+}  // namespace
+}  // namespace simdht

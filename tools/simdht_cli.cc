@@ -21,10 +21,13 @@
 #include "common/stats.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "core/case_report.h"
 #include "core/case_runner.h"
 #include "core/trace.h"
 #include "core/validation.h"
 #include "ht/table_builder.h"
+#include "obs/run_report.h"
+#include "obs/timeline.h"
 #include "perf/perf_events.h"
 
 using namespace simdht;
@@ -125,6 +128,13 @@ void Usage(const char* prog) {
       "                    cycles, marked '~', without perf_event_open)\n"
       "  --perf-events=L   restrict the counter set (see perf-check)\n"
       "  --csv             machine-readable output\n"
+      "observability:\n"
+      "  --json=PATH       write a structured RunReport (provenance + one\n"
+      "                    row per kernel; diff with simdht_compare)\n"
+      "  --timeline=PATH   record a Chrome/Perfetto trace of build/warmup/\n"
+      "                    repetition spans\n"
+      "  --sample-ms=N     snapshot per-worker progress every N ms into\n"
+      "                    the report's sample series\n"
       "traces (32-bit interleaved layouts):\n"
       "  --trace-out=PATH  record the generated probe stream and exit\n"
       "  --trace-in=PATH   replay a recorded stream (single-threaded)\n",
@@ -171,7 +181,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("queries", 1 << 20));
   spec.run.repeats = static_cast<unsigned>(flags.GetInt("repeats", 5));
   spec.shared_table = !flags.GetBool("per-core-table", false);
-  spec.run.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  spec.run.seed = flags.GetUint64("seed", 42);
+  spec.run.sample_ms =
+      static_cast<unsigned>(flags.GetInt("sample-ms", 0));
+
+  const std::string json_path = flags.GetString("json", "");
+  const std::string timeline_path = flags.GetString("timeline", "");
+  if (!timeline_path.empty()) Timeline::Global().Enable();
 
   const std::string pattern = flags.GetString("pattern", "uniform");
   if (!ParseAccessPattern(pattern, &spec.pattern)) {
@@ -324,6 +340,30 @@ int main(int argc, char** argv) {
   }
 
   const CaseResult result = RunCaseAuto(spec, options);
+
+  RunReport report;
+  const bool want_report = !json_path.empty() || !timeline_path.empty();
+  if (want_report) {
+    report = NewRunReport("simdht", "simdht CLI ad-hoc case");
+    for (const auto& [name, value] : flags.items()) {
+      report.flags.emplace_back(name, value);
+    }
+    report.options.emplace_back("layout", spec.layout.ToString());
+    report.options.emplace_back("table_bytes",
+                                std::to_string(spec.table_bytes));
+    report.options.emplace_back("pattern", pattern);
+    report.options.emplace_back("threads",
+                                std::to_string(result.threads));
+    report.options.emplace_back("repeats",
+                                std::to_string(spec.run.repeats));
+    report.options.emplace_back("seed", std::to_string(spec.run.seed));
+    AppendCaseResult(&report, result,
+                     {{"layout", spec.layout.ToString()},
+                      {"pattern", pattern},
+                      {"table_bytes", std::to_string(spec.table_bytes)}},
+                     spec.run.sample_ms);
+  }
+
   std::vector<std::string> headers = {"kernel", "approach", "width",
                                       "Mlookups/s/core", "stddev",
                                       "hit rate", "speedup vs scalar"};
@@ -364,6 +404,9 @@ int main(int argc, char** argv) {
         HumanBytes(static_cast<double>(result.actual_table_bytes)).c_str(),
         result.achieved_load_factor, result.threads,
         spec.shared_table ? "shared" : "per-core");
+  }
+  if (want_report) {
+    return WriteReportOutputs(report, json_path, timeline_path, csv);
   }
   return 0;
 }

@@ -1,0 +1,201 @@
+// simdht_compare — diff two RunReports and flag throughput regressions.
+//
+// Rows are matched by (kernel, canonical config key). For each matched row
+// the primary metric (default mlps_per_core, falling back per-row to the
+// first metric both sides share) is compared; a delta counts as significant
+// only beyond a noise band combining the relative threshold with the
+// recorded stddev of both runs. Intended for CI: exit 0 = no regressions,
+// 1 = at least one regression, 2 = usage/parse error.
+//
+//   simdht_compare baseline.json current.json
+//   simdht_compare --metric=mlps_per_core --threshold=0.05 --sigma=3 a b
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "obs/run_report.h"
+
+using namespace simdht;
+
+namespace {
+
+struct RowDelta {
+  const ResultRow* base;
+  const ResultRow* cur;
+  std::string metric;
+  double base_mean = 0.0;
+  double cur_mean = 0.0;
+  double rel_delta = 0.0;   // (cur - base) / base
+  double noise_band = 0.0;  // relative threshold actually applied
+  bool regression = false;
+  bool improvement = false;
+};
+
+using RowKey = std::pair<std::string, std::string>;  // kernel, config key
+
+std::map<RowKey, const ResultRow*> IndexRows(const RunReport& report) {
+  std::map<RowKey, const ResultRow*> index;
+  for (const ResultRow& row : report.results) {
+    index[{row.kernel, row.ConfigKey()}] = &row;
+  }
+  return index;
+}
+
+// The metric to diff for this row pair: the requested one when both sides
+// have it, else the first metric they share (so e.g. fig2's
+// max_load_factor rows are still compared).
+std::string PickMetric(const ResultRow& base, const ResultRow& cur,
+                       const std::string& requested) {
+  if (base.FindMetric(requested) != nullptr &&
+      cur.FindMetric(requested) != nullptr) {
+    return requested;
+  }
+  for (const auto& [name, stat] : base.metrics) {
+    if (cur.FindMetric(name) != nullptr) return name;
+  }
+  return "";
+}
+
+std::string Pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", v * 100.0);
+  return buf;
+}
+
+std::string Band(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", v * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("help") || flags.positional().size() != 2) {
+    std::fprintf(
+        stderr,
+        "usage: %s [options] BASELINE.json CURRENT.json\n"
+        "  --metric=NAME     primary metric (default mlps_per_core; falls\n"
+        "                    back per row to the first shared metric)\n"
+        "  --threshold=F     relative noise floor (default 0.05 = 5%%)\n"
+        "  --sigma=F         stddev multiplier widening the band for noisy\n"
+        "                    rows (default 3.0; 0 disables)\n"
+        "  --fail-on-missing also fail when a baseline row disappears\n",
+        flags.program_name().c_str());
+    return flags.Has("help") ? 0 : 2;
+  }
+  const std::string metric = flags.GetString("metric", "mlps_per_core");
+  const double threshold = flags.GetDouble("threshold", 0.05);
+  const double sigma = flags.GetDouble("sigma", 3.0);
+  const bool fail_on_missing = flags.GetBool("fail-on-missing", false);
+
+  std::string err;
+  const auto base = RunReport::LoadFromFile(flags.positional()[0], &err);
+  if (!base.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", flags.positional()[0].c_str(),
+                 err.c_str());
+    return 2;
+  }
+  const auto cur = RunReport::LoadFromFile(flags.positional()[1], &err);
+  if (!cur.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", flags.positional()[1].c_str(),
+                 err.c_str());
+    return 2;
+  }
+
+  std::printf("baseline: %s  (%s, %s)\n", flags.positional()[0].c_str(),
+              base->git_sha.c_str(), base->timestamp_utc.c_str());
+  std::printf("current:  %s  (%s, %s)\n", flags.positional()[1].c_str(),
+              cur->git_sha.c_str(), cur->timestamp_utc.c_str());
+  if (base->cpu != cur->cpu) {
+    std::printf("note: reports come from different CPUs\n  base: %s\n"
+                "  cur:  %s\n",
+                base->cpu.c_str(), cur->cpu.c_str());
+  }
+  std::printf("\n");
+
+  const auto base_index = IndexRows(*base);
+  const auto cur_index = IndexRows(*cur);
+
+  std::vector<RowDelta> deltas;
+  unsigned missing = 0, added = 0, skipped = 0;
+  for (const auto& [key, base_row] : base_index) {
+    const auto it = cur_index.find(key);
+    if (it == cur_index.end()) {
+      std::fprintf(stderr, "missing in current: %s [%s]\n",
+                   key.first.c_str(), key.second.c_str());
+      ++missing;
+      continue;
+    }
+    const ResultRow* cur_row = it->second;
+    RowDelta d;
+    d.base = base_row;
+    d.cur = cur_row;
+    d.metric = PickMetric(*base_row, *cur_row, metric);
+    if (d.metric.empty()) {
+      ++skipped;
+      continue;
+    }
+    const MetricStat* b = base_row->FindMetric(d.metric);
+    const MetricStat* c = cur_row->FindMetric(d.metric);
+    d.base_mean = b->mean;
+    d.cur_mean = c->mean;
+    if (b->mean == 0.0) {
+      // Zero baselines can't express a relative delta; only flag
+      // something-from-nothing changes beyond the threshold as additions.
+      d.rel_delta = c->mean == 0.0 ? 0.0 : 1.0;
+      d.noise_band = threshold;
+    } else {
+      d.rel_delta = (c->mean - b->mean) / b->mean;
+      // Pooled stddev of the two runs, relative to the baseline mean.
+      const double pooled =
+          std::sqrt(b->stddev * b->stddev + c->stddev * c->stddev);
+      d.noise_band = std::max(threshold, sigma * pooled / b->mean);
+    }
+    d.regression = d.rel_delta < -d.noise_band;
+    d.improvement = d.rel_delta > d.noise_band;
+    deltas.push_back(d);
+  }
+  for (const auto& [key, row] : cur_index) {
+    if (base_index.find(key) == base_index.end()) ++added;
+  }
+
+  // Largest regressions first, then largest improvements.
+  std::sort(deltas.begin(), deltas.end(),
+            [](const RowDelta& a, const RowDelta& b) {
+              return a.rel_delta < b.rel_delta;
+            });
+
+  TablePrinter table({"kernel", "config", "metric", "baseline", "current",
+                      "delta", "band", "verdict"});
+  unsigned regressions = 0, improvements = 0;
+  for (const RowDelta& d : deltas) {
+    if (d.regression) ++regressions;
+    if (d.improvement) ++improvements;
+    table.AddRow({d.base->kernel, d.base->ConfigKey(), d.metric,
+                  TablePrinter::Fmt(d.base_mean, 2),
+                  TablePrinter::Fmt(d.cur_mean, 2), Pct(d.rel_delta),
+                  Band(d.noise_band),
+                  d.regression    ? "REGRESSION"
+                  : d.improvement ? "improved"
+                                  : "ok"});
+  }
+  table.Print();
+
+  std::printf(
+      "\n%zu rows compared: %u regression(s), %u improvement(s), %u within "
+      "noise; %u missing, %u added, %u without a shared metric\n",
+      deltas.size(), regressions, improvements,
+      static_cast<unsigned>(deltas.size()) - regressions - improvements,
+      missing, added, skipped);
+
+  if (regressions > 0) return 1;
+  if (fail_on_missing && missing > 0) return 1;
+  return 0;
+}

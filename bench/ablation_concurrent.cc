@@ -5,13 +5,20 @@
 // continuous insert/erase churn costs the readers — the step beyond
 // ablation_mixed_rw's in-place value updates, completing the paper's
 // Section VII future-work axis.
+//
+// --shards=1,2,4,8 sweeps the shard count: with S > 1 the table is a
+// ShardedTable (per-shard seeds and writer locks), batches partition by
+// shard before hitting the kernel, and the writer's churn contends with
+// readers only on the shard it routes to. The shard count lands in both
+// the printed table and the RunReport config so tools/simdht_compare can
+// diff shard configs.
 #include <atomic>
 #include <thread>
 
 #include "bench_common.h"
 #include "common/random.h"
 #include "common/timer.h"
-#include "ht/concurrent_table.h"
+#include "ht/sharded_table.h"
 
 using namespace simdht;
 using namespace simdht::bench;
@@ -26,11 +33,12 @@ struct ChurnResult {
 
 // pace_per_ms = writer ops per millisecond (0 = unthrottled).
 ChurnResult RunChurnCase(const LayoutSpec& layout, const KernelInfo* kernel,
-                         std::size_t queries, unsigned repeats,
-                         std::uint64_t seed, unsigned pace_per_ms) {
-  ConcurrentCuckooTable32 table(layout.ways, layout.slots,
-                                BucketsForBytes(layout, 1 << 20),
-                                layout.bucket_layout, seed);
+                         unsigned shards, std::size_t queries,
+                         unsigned repeats, std::uint64_t seed,
+                         unsigned pace_per_ms) {
+  ShardedTable32 table(shards, layout.ways, layout.slots,
+                       BucketsForBytes(layout, 1 << 20),
+                       layout.bucket_layout, seed);
   Xoshiro256 rng(seed);
   std::vector<std::uint32_t> resident;
   while (table.load_factor() < 0.7) {
@@ -117,8 +125,8 @@ int main(int argc, char** argv) {
                              : (opt.quick ? (1u << 19) : (1u << 21));
   const unsigned repeats = opt.repeats ? opt.repeats : (opt.quick ? 3 : 5);
 
-  TablePrinter table({"writer pace", "layout", "kernel", "idle Mlps",
-                      "under churn Mlps", "churn Kops/s",
+  TablePrinter table({"shards", "writer pace", "layout", "kernel",
+                      "idle Mlps", "under churn Mlps", "churn Kops/s",
                       "reader slowdown"});
   struct Pace {
     const char* label;
@@ -127,31 +135,35 @@ int main(int argc, char** argv) {
   // ~50 K structural ops/s is an aggressive but realistic KVS write rate;
   // "unthrottled" is the adversarial worst case for epoch validation.
   const Pace paces[] = {{"50 Kops/s", 50}, {"unthrottled", 0}};
-  for (const Pace& pace : paces) {
-    for (const LayoutSpec& layout : {Layout(2, 4), Layout(3, 1)}) {
-      std::vector<const KernelInfo*> kernels = {
-          KernelRegistry::Get().Scalar(layout)};
-      for (const DesignChoice& c : ValidationEngine::Enumerate(layout)) {
-        kernels.push_back(c.kernel);
-      }
-      for (const KernelInfo* kernel : kernels) {
-        if (kernel == nullptr) continue;
-        const ChurnResult r = RunChurnCase(layout, kernel, queries, repeats,
-                                           opt.seed, pace.per_ms);
-        session.AddRow(
-            kernel->name,
-            {{"pace", pace.label}, {"layout", layout.ToString()}},
-            {{"idle_mlps", ReportSession::Stat(r.idle_mlps)},
-             {"churn_mlps", ReportSession::Stat(r.churn_mlps)},
-             {"churn_kops", ReportSession::Stat(r.churn_ops)}});
-        table.AddRow(
-            {pace.label, layout.ToString(), kernel->name,
-             TablePrinter::Fmt(r.idle_mlps, 1),
-             TablePrinter::Fmt(r.churn_mlps, 1),
-             TablePrinter::Fmt(r.churn_ops, 1),
-             TablePrinter::Fmt((1.0 - r.churn_mlps / r.idle_mlps) * 100.0,
-                               1) +
-                 "%"});
+  for (const unsigned shards : opt.shard_sweep) {
+    for (const Pace& pace : paces) {
+      for (const LayoutSpec& layout : {Layout(2, 4), Layout(3, 1)}) {
+        std::vector<const KernelInfo*> kernels = {
+            KernelRegistry::Get().Scalar(layout)};
+        for (const DesignChoice& c : ValidationEngine::Enumerate(layout)) {
+          kernels.push_back(c.kernel);
+        }
+        for (const KernelInfo* kernel : kernels) {
+          if (kernel == nullptr) continue;
+          const ChurnResult r = RunChurnCase(layout, kernel, shards, queries,
+                                             repeats, opt.seed, pace.per_ms);
+          session.AddRow(
+              kernel->name,
+              {{"shards", std::to_string(shards)},
+               {"pace", pace.label},
+               {"layout", layout.ToString()}},
+              {{"idle_mlps", ReportSession::Stat(r.idle_mlps)},
+               {"churn_mlps", ReportSession::Stat(r.churn_mlps)},
+               {"churn_kops", ReportSession::Stat(r.churn_ops)}});
+          table.AddRow(
+              {std::to_string(shards), pace.label, layout.ToString(),
+               kernel->name, TablePrinter::Fmt(r.idle_mlps, 1),
+               TablePrinter::Fmt(r.churn_mlps, 1),
+               TablePrinter::Fmt(r.churn_ops, 1),
+               TablePrinter::Fmt((1.0 - r.churn_mlps / r.idle_mlps) * 100.0,
+                                 1) +
+                   "%"});
+        }
       }
     }
   }

@@ -23,6 +23,10 @@
 //                    spans (load at ui.perfetto.dev)
 //   --sample-ms=N    snapshot per-worker progress every N ms into the
 //                    report's sample series (0 = off)
+//   --shards=LIST    table shards (comma list, e.g. 1,2,4,8). Case runners
+//                    use the first value; sweep-aware binaries (e.g.
+//                    ablation_concurrent) measure every value as a config
+//                    column.
 #ifndef SIMDHT_BENCH_BENCH_COMMON_H_
 #define SIMDHT_BENCH_BENCH_COMMON_H_
 
@@ -58,6 +62,8 @@ struct BenchOptions {
   std::string json_path;      // --json: RunReport destination ("" = off)
   std::string timeline_path;  // --timeline: trace destination ("" = off)
   unsigned sample_ms = 0;     // --sample-ms: progress-sampling period
+  unsigned shards = 1;                      // first --shards value
+  std::vector<unsigned> shard_sweep = {1};  // full --shards list, in order
   std::string tool;           // binary basename, stamped into reports
   StringPairs raw_flags;      // every --name=value pair as parsed
 };
@@ -93,6 +99,17 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   opt.json_path = flags.GetString("json", "");
   opt.timeline_path = flags.GetString("timeline", "");
   opt.sample_ms = static_cast<unsigned>(flags.GetInt("sample-ms", 0));
+  opt.shard_sweep.clear();
+  for (std::int64_t s : flags.GetIntList("shards", {1})) {
+    if (s < 1) {
+      std::fprintf(stderr, "--shards values must be >= 1; ignoring %lld\n",
+                   static_cast<long long>(s));
+      continue;
+    }
+    opt.shard_sweep.push_back(static_cast<unsigned>(s));
+  }
+  if (opt.shard_sweep.empty()) opt.shard_sweep.push_back(1);
+  opt.shards = opt.shard_sweep.front();
   if (!opt.timeline_path.empty()) Timeline::Global().Enable();
   std::string tool = flags.program_name();
   const std::size_t slash = tool.find_last_of('/');
@@ -114,6 +131,7 @@ inline void ApplyOptions(const BenchOptions& opt, CaseSpec* spec) {
   spec->run.pipeline = opt.pipeline;
   spec->run.perf = opt.perf;
   spec->run.sample_ms = opt.sample_ms;
+  spec->run.shards = opt.shards;
 }
 
 // --- shared --perf reporting -----------------------------------------------
@@ -209,6 +227,7 @@ class ReportSession {
     opt_str("prefetch", PrefetchPolicyName(opt.pipeline.policy));
     opt_str("perf", opt.perf.enabled ? "true" : "false");
     opt_str("sample_ms", std::to_string(opt.sample_ms));
+    opt_str("shards", std::to_string(opt.shards));
   }
 
   bool active() const { return active_; }

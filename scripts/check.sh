@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
-# Full local check: build + test the default preset, then ASan+UBSan.
+# Full local check: build + test the default preset, then ASan+UBSan,
+# then the concurrency suites under ThreadSanitizer.
 #
-#   scripts/check.sh            # both presets
+#   scripts/check.sh            # all three presets
 #   scripts/check.sh default    # just the release build
-#   scripts/check.sh asan       # just the sanitizer build
+#   scripts/check.sh asan       # just the ASan+UBSan build
+#   scripts/check.sh tsan       # just the TSan build (runs the concurrent-
+#                               # table / sharded-table / mixed-runner tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default asan)
+  presets=(default asan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || echo 4)

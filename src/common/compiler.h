@@ -14,6 +14,23 @@
 #define SIMDHT_NOINLINE __attribute__((noinline))
 #define SIMDHT_RESTRICT __restrict__
 
+// Marks the seqlock-protected slot accesses: readers intentionally race
+// writers on the bucket arena and discard any result whose stripe version
+// or write epoch changed, so the C++ data-race rules don't apply but TSan
+// cannot see the validation protocol. Only ever put this on an access whose
+// result is gated by that protocol.
+#if defined(__SANITIZE_THREAD__)
+#define SIMDHT_NO_TSAN __attribute__((no_sanitize("thread")))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SIMDHT_NO_TSAN __attribute__((no_sanitize("thread")))
+#else
+#define SIMDHT_NO_TSAN
+#endif
+#else
+#define SIMDHT_NO_TSAN
+#endif
+
 namespace simdht {
 
 // x86 cache line size; every hot structure is aligned/padded to this.

@@ -36,14 +36,17 @@ std::uint64_t BucketsForBytes(const LayoutSpec& layout,
 namespace {
 
 // Measures one kernel over pre-generated per-thread query streams, using
-// the prefetch schedule in `pipeline` (kNone = the direct path).
+// the prefetch schedule in `pipeline` (kNone = the direct path). With a
+// non-null `sharded` table every chunk is partitioned by shard and the
+// kernel runs per shard (views then index shards, not threads).
 template <typename K, typename V>
 MeasuredKernel MeasureKernel(const KernelInfo& kernel,
                              const std::vector<TableView>& views,
                              const std::vector<std::vector<K>>& queries,
                              const CaseSpec& spec,
                              const PipelineConfig& pipeline,
-                             ThreadPool* pool) {
+                             ThreadPool* pool,
+                             const ShardedTable<K, V>* sharded = nullptr) {
   const unsigned threads = static_cast<unsigned>(pool->size());
   const bool pipelined = pipeline.policy != PrefetchPolicy::kNone;
   MeasuredKernel result;
@@ -61,24 +64,37 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
     found[t].resize(spec.run.batch);
   }
 
+  // One chunk through the kernel: direct to a view, or partitioned across
+  // the sharded table (which invokes this same kernel per shard slice).
+  const bool use_shards = sharded != nullptr;
+  const auto kernel_chunk = [&kernel, pipelined, &pipeline](
+                                const TableView& view, const K* k, V* v,
+                                std::uint8_t* f,
+                                std::size_t chunk) -> std::uint64_t {
+    const ProbeBatch batch = ProbeBatch::Of(k, v, f, chunk);
+    return pipelined ? PipelinedLookup(kernel, view, batch, pipeline)
+                     : kernel.Lookup(view, batch);
+  };
+  const auto run_chunk = [&](std::size_t tid, const TableView& view,
+                             const K* k, std::size_t chunk) -> std::uint64_t {
+    if (use_shards) {
+      return sharded->BatchLookup(kernel_chunk, k, vals[tid].data(),
+                                  found[tid].data(), chunk);
+    }
+    return kernel_chunk(view, k, vals[tid].data(), found[tid].data(), chunk);
+  };
+
   // Untimed warmup: one batch per thread primes caches, branch predictors,
   // and (for pipelined points) the prefetch schedule before measurement.
   {
     TimelineSpan warmup_span("bench", "warmup " + result.name);
     pool->RunOnAll([&](std::size_t tid) {
-      const TableView& view = views[views.size() == 1 ? 0 : tid];
+      const TableView& view =
+          views[use_shards || views.size() == 1 ? 0 : tid];
       const std::vector<K>& q = queries[tid];
-      ProbeBatchStats stats;
       const std::size_t chunk = std::min(spec.run.batch, q.size());
-      const ProbeBatch batch = ProbeBatch::Of(q.data(), vals[tid].data(),
-                                              found[tid].data(), chunk,
-                                              &stats);
-      if (pipelined) {
-        PipelinedLookup(kernel, view, batch, pipeline);
-      } else {
-        kernel.Lookup(view, batch);
-      }
-      DoNotOptimize(stats.hits);
+      const std::uint64_t warm_hits = run_chunk(tid, view, q.data(), chunk);
+      DoNotOptimize(warm_hits);
     });
   }
 
@@ -102,9 +118,9 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
     std::vector<PerfSample> samples(collect_perf ? threads : 0);
 
     pool->RunOnAll([&](std::size_t tid) {
-      const TableView& view = views[views.size() == 1 ? 0 : tid];
+      const TableView& view =
+          views[use_shards || views.size() == 1 ? 0 : tid];
       const std::vector<K>& q = queries[tid];
-      ProbeBatchStats stats;
       std::atomic<std::uint64_t>* slice_cell =
           slicer.cell(static_cast<unsigned>(tid));
       // Counters must be opened on the measured thread itself
@@ -117,16 +133,10 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
           timeline.enabled() ? timeline.NowUs() : 0.0;
       Timer timer;
       std::size_t off = 0;
+      std::uint64_t thread_hits = 0;
       while (off < q.size()) {
         const std::size_t chunk = std::min(spec.run.batch, q.size() - off);
-        const ProbeBatch batch = ProbeBatch::Of(
-            q.data() + off, vals[tid].data(), found[tid].data(), chunk,
-            &stats);
-        if (pipelined) {
-          PipelinedLookup(kernel, view, batch, pipeline);
-        } else {
-          kernel.Lookup(view, batch);
-        }
+        thread_hits += run_chunk(tid, view, q.data() + off, chunk);
         off += chunk;
         if (slice_cell != nullptr) {
           slice_cell->fetch_add(chunk, std::memory_order_relaxed);
@@ -139,8 +149,8 @@ MeasuredKernel MeasureKernel(const KernelInfo& kernel,
             span_start_us, timeline.NowUs());
       }
       if (collect_perf) samples[tid] = counters.Stop();
-      hits[tid] = stats.hits;
-      DoNotOptimize(stats.hits);
+      hits[tid] = thread_hits;
+      DoNotOptimize(thread_hits);
     });
 
     double sum_mlps = 0.0;
@@ -182,27 +192,49 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
                             : spec.run.threads;
   result.threads = threads;
 
+  const unsigned shards = spec.run.shards == 0 ? 1 : spec.run.shards;
+  if (shards > 1 && !spec.shared_table) {
+    throw std::invalid_argument(
+        "RunCase: shards > 1 requires the shared-table mode (per-thread "
+        "tables are already partitioned)");
+  }
+  result.shards = shards;
+
   const std::uint64_t num_buckets =
       BucketsForBytes(spec.layout, spec.table_bytes);
 
-  // Build one shared table or one table per core.
+  // Build one shared table (optionally sharded) or one table per core.
   Timeline& timeline = Timeline::Global();
   const double build_start_us = timeline.enabled() ? timeline.NowUs() : 0.0;
   const unsigned num_tables = spec.shared_table ? 1 : threads;
   std::vector<std::unique_ptr<CuckooTable<K, V>>> tables;
+  std::unique_ptr<ShardedTable<K, V>> sharded;
   std::vector<TableView> views;
   std::vector<BuildResult<K>> builds;
-  for (unsigned t = 0; t < num_tables; ++t) {
-    auto table = std::make_unique<CuckooTable<K, V>>(
-        spec.layout.ways, spec.layout.slots, num_buckets,
-        spec.layout.bucket_layout, spec.run.seed + t);
-    builds.push_back(FillToLoadFactor(table.get(), spec.load_factor,
-                                      spec.run.seed + 1000 + t));
-    views.push_back(table->view());
-    tables.push_back(std::move(table));
+  if (shards > 1) {
+    sharded = std::make_unique<ShardedTable<K, V>>(
+        shards, spec.layout.ways, spec.layout.slots, num_buckets,
+        spec.layout.bucket_layout, spec.run.seed);
+    builds.push_back(FillToLoadFactor(sharded.get(), spec.load_factor,
+                                      spec.run.seed + 1000));
+    for (unsigned s = 0; s < shards; ++s) {
+      views.push_back(sharded->shard(s).view());
+    }
+    result.achieved_load_factor = builds.front().achieved_load_factor;
+    result.actual_table_bytes = sharded->table_bytes();
+  } else {
+    for (unsigned t = 0; t < num_tables; ++t) {
+      auto table = std::make_unique<CuckooTable<K, V>>(
+          spec.layout.ways, spec.layout.slots, num_buckets,
+          spec.layout.bucket_layout, spec.run.seed + t);
+      builds.push_back(FillToLoadFactor(table.get(), spec.load_factor,
+                                        spec.run.seed + 1000 + t));
+      views.push_back(table->view());
+      tables.push_back(std::move(table));
+    }
+    result.achieved_load_factor = builds.front().achieved_load_factor;
+    result.actual_table_bytes = tables.front()->table_bytes();
   }
-  result.achieved_load_factor = builds.front().achieved_load_factor;
-  result.actual_table_bytes = tables.front()->table_bytes();
   if (timeline.enabled()) {
     timeline.RecordSpan("bench", "table build " + spec.layout.ToString(),
                         build_start_us, timeline.NowUs());
@@ -247,7 +279,7 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
                              spec.layout.ToString());
   }
   result.kernels.push_back(
-      MeasureKernel<K, V>(*scalar, views, queries, spec, direct, &pool));
+      MeasureKernel<K, V>(*scalar, views, queries, spec, direct, &pool, sharded.get()));
   const double scalar_mlps = result.kernels.front().mlps_per_core;
   const auto relative = [scalar_mlps](MeasuredKernel m) {
     m.speedup = scalar_mlps > 0 ? m.mlps_per_core / scalar_mlps : 0.0;
@@ -255,16 +287,16 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
   };
   if (add_pipelined) {
     result.kernels.push_back(relative(
-        MeasureKernel<K, V>(*scalar, views, queries, spec, pipe, &pool)));
+        MeasureKernel<K, V>(*scalar, views, queries, spec, pipe, &pool, sharded.get())));
   }
 
   for (const KernelInfo* kernel : kernels) {
     if (kernel == nullptr || kernel == scalar) continue;
     result.kernels.push_back(relative(
-        MeasureKernel<K, V>(*kernel, views, queries, spec, direct, &pool)));
+        MeasureKernel<K, V>(*kernel, views, queries, spec, direct, &pool, sharded.get())));
     if (add_pipelined) {
       result.kernels.push_back(relative(
-          MeasureKernel<K, V>(*kernel, views, queries, spec, pipe, &pool)));
+          MeasureKernel<K, V>(*kernel, views, queries, spec, pipe, &pool, sharded.get())));
     }
   }
   return result;

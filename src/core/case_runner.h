@@ -67,6 +67,7 @@ struct CaseResult {
   double achieved_load_factor = 0.0;
   std::uint64_t actual_table_bytes = 0;
   unsigned threads = 0;
+  unsigned shards = 1;  // table shards measured (spec.run.shards)
   // First entry is always the scalar twin.
   std::vector<MeasuredKernel> kernels;
 

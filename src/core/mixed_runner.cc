@@ -26,14 +26,18 @@ struct PassResult {
   double writer_mups = 0.0;
 };
 
+// Exactly one of `table` / `sharded` is non-null. With a sharded table,
+// readers partition each batch by shard (epoch-validated per shard) and the
+// writer's updates route through the shard router.
 PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
+                   ShardedTable32* sharded,
                    const std::vector<std::vector<std::uint32_t>>& queries,
                    const std::vector<std::uint32_t>& resident_keys,
                    std::size_t batch, const PipelineConfig& pipeline,
                    bool with_writer, std::uint64_t seed,
                    const PerfOptions& perf, PerfSample* perf_out) {
   const auto readers = static_cast<unsigned>(queries.size());
-  const TableView view = table->view();
+  const TableView view = table != nullptr ? table->view() : TableView{};
   SpinBarrier barrier(readers + (with_writer ? 1 : 0));
   std::atomic<bool> stop_writer{false};
   std::vector<double> reader_secs(readers, 0.0);
@@ -59,9 +63,19 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
       std::uint64_t sink = 0;
       while (off < q.size()) {
         const std::size_t chunk = std::min(batch, q.size() - off);
-        const ProbeBatch probe = ProbeBatch::Of(q.data() + off, vals.data(),
-                                                found.data(), chunk);
-        sink += PipelinedLookup(kernel, view, probe, pipeline);
+        if (sharded != nullptr) {
+          sink += sharded->BatchLookup(
+              [&](const TableView& shard_view, const std::uint32_t* k,
+                  std::uint32_t* v, std::uint8_t* f, std::size_t m) {
+                return PipelinedLookup(kernel, shard_view,
+                                       ProbeBatch::Of(k, v, f, m), pipeline);
+              },
+              q.data() + off, vals.data(), found.data(), chunk);
+        } else {
+          const ProbeBatch probe = ProbeBatch::Of(q.data() + off, vals.data(),
+                                                  found.data(), chunk);
+          sink += PipelinedLookup(kernel, view, probe, pipeline);
+        }
         off += chunk;
       }
       reader_secs[r] = timer.ElapsedSeconds();
@@ -80,8 +94,13 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
       while (!stop_writer.load(std::memory_order_relaxed)) {
         const std::uint32_t key =
             resident_keys[rng.NextBounded(resident_keys.size())];
-        table->UpdateValue(
-            key, static_cast<std::uint32_t>(rng.Next()) | 0x80000000u);
+        const auto new_val = static_cast<std::uint32_t>(rng.Next()) |
+                             0x80000000u;
+        if (sharded != nullptr) {
+          sharded->UpdateValue(key, new_val);
+        } else {
+          table->UpdateValue(key, new_val);
+        }
         ++updates;
       }
       writer_secs = timer.ElapsedSeconds();
@@ -127,10 +146,25 @@ std::vector<MixedResult> RunMixedCase(
                             : spec.run.threads;
   const unsigned readers = threads > 1 ? threads - 1 : 1;
 
-  CuckooTable32 table(spec.layout.ways, spec.layout.slots,
-                      BucketsForBytes(spec.layout, spec.table_bytes),
-                      spec.layout.bucket_layout, spec.run.seed);
-  auto build = FillToLoadFactor(&table, spec.load_factor, spec.run.seed + 1);
+  const unsigned shards = spec.run.shards == 0 ? 1 : spec.run.shards;
+  std::unique_ptr<CuckooTable32> table;
+  std::unique_ptr<ShardedTable32> sharded;
+  BuildResult<std::uint32_t> build;
+  const std::uint64_t num_buckets =
+      BucketsForBytes(spec.layout, spec.table_bytes);
+  if (shards > 1) {
+    sharded = std::make_unique<ShardedTable32>(
+        shards, spec.layout.ways, spec.layout.slots, num_buckets,
+        spec.layout.bucket_layout, spec.run.seed);
+    build = FillToLoadFactor(sharded.get(), spec.load_factor,
+                             spec.run.seed + 1);
+  } else {
+    table = std::make_unique<CuckooTable32>(
+        spec.layout.ways, spec.layout.slots, num_buckets,
+        spec.layout.bucket_layout, spec.run.seed);
+    build = FillToLoadFactor(table.get(), spec.load_factor,
+                             spec.run.seed + 1);
+  }
   auto misses = UniqueRandomKeys<std::uint32_t>(
       std::max<std::size_t>(1024, build.inserted_keys.size() / 8),
       spec.run.seed + 2, &build.inserted_keys);
@@ -172,16 +206,18 @@ std::vector<MixedResult> RunMixedCase(
       const std::string rep_tag = " rep" + std::to_string(rep);
       {
         TimelineSpan span("bench", r.kernel + " read-only" + rep_tag);
-        ro.Add(RunPass(*kernel, &table, queries, build.inserted_keys,
-                       spec.run.batch, pipeline, /*with_writer=*/false,
-                       spec.run.seed + rep, spec.run.perf, &r.perf_read_only)
+        ro.Add(RunPass(*kernel, table.get(), sharded.get(), queries,
+                       build.inserted_keys, spec.run.batch, pipeline,
+                       /*with_writer=*/false, spec.run.seed + rep,
+                       spec.run.perf, &r.perf_read_only)
                    .reader_mlps);
       }
       TimelineSpan span("bench", r.kernel + " with-writer" + rep_tag);
       const PassResult with =
-          RunPass(*kernel, &table, queries, build.inserted_keys,
-                  spec.run.batch, pipeline, /*with_writer=*/true,
-                  spec.run.seed + rep, spec.run.perf, &r.perf_with_writer);
+          RunPass(*kernel, table.get(), sharded.get(), queries,
+                  build.inserted_keys, spec.run.batch, pipeline,
+                  /*with_writer=*/true, spec.run.seed + rep, spec.run.perf,
+                  &r.perf_with_writer);
       ww.Add(with.reader_mlps);
       wu.Add(with.writer_mups);
     }

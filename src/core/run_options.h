@@ -17,6 +17,12 @@ namespace simdht {
 
 struct RunOptions {
   unsigned threads = 0;                      // 0 = all hardware threads
+  // Shards of the measured table (ht/sharded_table.h). 1 = the classic
+  // single-table setup; >1 builds one ShardedTable shared by all threads
+  // (requires the shared-table mode) and batches partition by shard before
+  // hitting the kernel. Independent of `threads`: shards partition storage,
+  // threads partition the probe streams.
+  unsigned shards = 1;
   std::size_t queries_per_thread = 1 << 20;  // probe-stream length per thread
   unsigned repeats = 5;                      // paper: average of five runs
   std::size_t batch = 2048;                  // keys per kernel invocation

@@ -8,18 +8,14 @@ template <typename K, typename V>
 ConcurrentCuckooTable<K, V>::ConcurrentCuckooTable(
     unsigned ways, unsigned slots, std::uint64_t num_buckets,
     BucketLayout layout, std::uint64_t seed)
-    : table_(ways, slots, num_buckets, layout, seed) {
-  versions_ =
-      std::make_unique<std::atomic<std::uint64_t>[]>(kVersionStripes);
-  for (unsigned i = 0; i < kVersionStripes; ++i) versions_[i].store(0);
-}
+    : table_(ways, slots, num_buckets, layout, seed) {}
 
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Locate(K key, std::uint64_t* bucket,
                                          unsigned* slot) const {
   const LayoutSpec& spec = table_.spec();
   for (unsigned way = 0; way < spec.ways; ++way) {
-    const std::uint32_t b = table_.view().hash.template Bucket<K>(way, key);
+    const std::uint32_t b = table_.hash_family().template Bucket<K>(way, key);
     for (unsigned s = 0; s < spec.slots; ++s) {
       if (table_.KeyAt(b, s) == key) {
         *bucket = b;
@@ -35,6 +31,7 @@ template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
   const LayoutSpec& spec = table_.spec();
   const HashFamily& hash = table_.hash_family();
+  const TableStore& st = store();
   std::uint32_t buckets[kMaxWays];
   for (unsigned w = 0; w < spec.ways; ++w) {
     buckets[w] = hash.template Bucket<K>(w, key);
@@ -44,7 +41,7 @@ bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
     std::uint64_t before[kMaxWays];
     bool writer_active = false;
     for (unsigned w = 0; w < spec.ways; ++w) {
-      before[w] = StripeFor(buckets[w]).load(std::memory_order_acquire);
+      before[w] = st.StripeFor(buckets[w]).load(std::memory_order_acquire);
       writer_active |= (before[w] & 1) != 0;
     }
     if (writer_active) continue;
@@ -64,7 +61,7 @@ bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
     std::atomic_thread_fence(std::memory_order_acquire);
     bool stable = true;
     for (unsigned w = 0; w < spec.ways; ++w) {
-      stable &= StripeFor(buckets[w]).load(std::memory_order_acquire) ==
+      stable &= st.StripeFor(buckets[w]).load(std::memory_order_acquire) ==
                 before[w];
     }
     if (stable) {
@@ -77,17 +74,18 @@ bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Insert(K key, V val) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  TableStore& st = store();
 
   // Overwrite in place if present.
   {
     std::uint64_t b;
     unsigned s;
     if (Locate(key, &b, &s)) {
-      epoch_.fetch_add(1, std::memory_order_acq_rel);
-      BumpOdd(b);
+      st.EpochEnterWrite();
+      st.BumpOdd(b);
       table_.WriteSlot(b, s, key, val);
-      BumpEven(b);
-      epoch_.fetch_add(1, std::memory_order_release);
+      st.BumpEven(b);
+      st.EpochExitWrite();
       return true;
     }
   }
@@ -106,6 +104,7 @@ template <typename K, typename V>
 int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
   const LayoutSpec& spec = table_.spec();
   const HashFamily& hash = table_.hash_family();
+  TableStore& st = store();
 
   // BFS for the nearest bucket with an empty slot, rooted at the key's
   // candidate buckets. Nodes record how we reached them so the eviction
@@ -154,7 +153,7 @@ int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
   // move is validated — if the chain aliased a slot (the occupant changed
   // under an earlier move of this very replay), abort; every completed
   // move left the table consistent, so the caller can simply retry.
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  st.EpochEnterWrite();
   std::uint64_t hole_bucket = nodes[static_cast<std::size_t>(goal)].bucket;
   unsigned hole_slot = goal_slot;
   std::int32_t node = goal;
@@ -179,54 +178,57 @@ int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
       break;
     }
 
-    BumpOdd(hole_bucket);
-    BumpOdd(src_bucket);
+    st.BumpOdd(hole_bucket);
+    st.BumpOdd(src_bucket);
     table_.WriteSlot(hole_bucket, hole_slot, moved_key, moved_val);
     table_.WriteSlot(src_bucket, src_slot, static_cast<K>(kEmptyKey), V{});
-    BumpEven(src_bucket);
-    BumpEven(hole_bucket);
+    st.BumpEven(src_bucket);
+    st.BumpEven(hole_bucket);
     hole_bucket = src_bucket;
     hole_slot = src_slot;
     node = cur.parent;
   }
 
   if (!aborted) {
-    BumpOdd(hole_bucket);
+    st.BumpOdd(hole_bucket);
     table_.WriteSlot(hole_bucket, hole_slot, key, val);
-    BumpEven(hole_bucket);
+    st.BumpEven(hole_bucket);
     table_.AdjustSize(1);
   }
-  epoch_.fetch_add(1, std::memory_order_release);
+  st.EpochExitWrite();
   return aborted ? -1 : 1;
 }
 
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::UpdateValue(K key, V val) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  TableStore& st = store();
   std::uint64_t b;
   unsigned s;
   if (!Locate(key, &b, &s)) return false;
-  BumpOdd(b);
+  st.BumpOdd(b);
   table_.WriteSlot(b, s, key, val);
-  BumpEven(b);
+  st.BumpEven(b);
   return true;
 }
 
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Erase(K key) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  TableStore& st = store();
   std::uint64_t b;
   unsigned s;
   if (!Locate(key, &b, &s)) return false;
-  epoch_.fetch_add(1, std::memory_order_acq_rel);
-  BumpOdd(b);
+  st.EpochEnterWrite();
+  st.BumpOdd(b);
   table_.WriteSlot(b, s, static_cast<K>(kEmptyKey), V{});
-  BumpEven(b);
+  st.BumpEven(b);
   table_.AdjustSize(-1);
-  epoch_.fetch_add(1, std::memory_order_release);
+  st.EpochExitWrite();
   return true;
 }
 
+template class ConcurrentCuckooTable<std::uint16_t, std::uint32_t>;
 template class ConcurrentCuckooTable<std::uint32_t, std::uint32_t>;
 template class ConcurrentCuckooTable<std::uint64_t, std::uint64_t>;
 

@@ -13,16 +13,20 @@
 //    source slot is overwritten, so a key is never absent mid-move (readers
 //    may transiently see it twice, which is harmless).
 //
+// Like CuckooTable, this is a policy wrapper: the seqlock stripes and the
+// write epoch it bumps are owned by the underlying TableStore
+// (ht/table_store.h), not duplicated here — this class only adds the
+// writer mutex and the BFS insertion/erase discipline.
+//
 // This is the substrate the paper's future work ("concurrent reads and
 // updates") needs beyond in-place value updates: full inserts and erases
 // racing with SIMD batch lookups.
 #ifndef SIMDHT_HT_CONCURRENT_TABLE_H_
 #define SIMDHT_HT_CONCURRENT_TABLE_H_
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
 #include <mutex>
+#include <utility>
 
 #include "ht/cuckoo_table.h"
 
@@ -34,6 +38,10 @@ class ConcurrentCuckooTable {
   ConcurrentCuckooTable(unsigned ways, unsigned slots,
                         std::uint64_t num_buckets, BucketLayout layout,
                         std::uint64_t seed = 0);
+
+  // Adopts an already-built (e.g. deserialized) table.
+  explicit ConcurrentCuckooTable(CuckooTable<K, V>&& table)
+      : table_(std::move(table)) {}
 
   // Inserts or overwrites; false when no eviction path exists within the
   // BFS budget (table effectively full). Thread-safe vs readers and other
@@ -59,7 +67,8 @@ class ConcurrentCuckooTable {
   template <typename LookupCallable>
   std::uint64_t BatchLookup(LookupCallable&& lookup, const K* keys, V* vals,
                             std::uint8_t* found, std::size_t n) const {
-    const TableView batch_view = table_.view();
+    const TableStore& store = table_.store();
+    const TableView batch_view = store.view();
     constexpr std::size_t kMaxChunk = 512;
     constexpr int kRetriesPerSize = 2;
     std::uint64_t hits = 0;
@@ -71,12 +80,11 @@ class ConcurrentCuckooTable {
       for (std::size_t size = len; !done;) {
         int retries = kRetriesPerSize;
         while (retries-- > 0) {
-          const std::uint64_t e0 = epoch_.load(std::memory_order_acquire);
+          const std::uint64_t e0 = store.EpochBegin();
           if (e0 & 1) continue;  // structural write in flight
           const std::uint64_t chunk_hits =
               lookup(batch_view, keys + off, vals + off, found + off, size);
-          std::atomic_thread_fence(std::memory_order_acquire);
-          if (epoch_.load(std::memory_order_acquire) == e0) {
+          if (store.EpochValidate(e0)) {
             hits += chunk_hits;
             off += size;
             done = true;
@@ -109,21 +117,17 @@ class ConcurrentCuckooTable {
   const LayoutSpec& spec() const { return table_.spec(); }
   TableView view() const { return table_.view(); }
 
+  // The wrapped policy table (snapshots via ht/table_io.h). Callers must
+  // not mutate it while readers are active.
+  const CuckooTable<K, V>& table() const { return table_; }
+
   // BFS search budget: paths longer than this fail the insert. Depth 5
   // over N*m fan-out covers the load factors of Fig 2.
   static constexpr unsigned kMaxBfsNodes = 512;
 
  private:
-  static constexpr unsigned kVersionStripes = 1 << 11;
-
-  std::atomic<std::uint64_t>& StripeFor(std::uint64_t bucket) const {
-    return versions_[bucket & (kVersionStripes - 1)];
-  }
-  void BumpOdd(std::uint64_t bucket) {
-    StripeFor(bucket).fetch_add(1, std::memory_order_acq_rel);
-  }
-  void BumpEven(std::uint64_t bucket) {
-    StripeFor(bucket).fetch_add(1, std::memory_order_release);
+  TableStore& store() const {
+    return const_cast<CuckooTable<K, V>&>(table_).store();
   }
 
   // Finds (bucket, slot) of `key`; returns false if absent. Writer-side
@@ -135,8 +139,6 @@ class ConcurrentCuckooTable {
   int InsertAttempt(K key, V val);
 
   CuckooTable<K, V> table_;
-  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
-  mutable std::atomic<std::uint64_t> epoch_{0};
   std::mutex writer_mu_;
 };
 
@@ -145,6 +147,7 @@ using ConcurrentCuckooTable32 =
 using ConcurrentCuckooTable64 =
     ConcurrentCuckooTable<std::uint64_t, std::uint64_t>;
 
+extern template class ConcurrentCuckooTable<std::uint16_t, std::uint32_t>;
 extern template class ConcurrentCuckooTable<std::uint32_t, std::uint32_t>;
 extern template class ConcurrentCuckooTable<std::uint64_t, std::uint64_t>;
 

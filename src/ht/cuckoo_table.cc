@@ -1,95 +1,39 @@
 #include "ht/cuckoo_table.h"
 
 #include <cassert>
-#include <stdexcept>
 #include <vector>
-#include <string>
 
 namespace simdht {
+
+namespace {
+
+template <typename K, typename V>
+LayoutSpec SpecFor(unsigned ways, unsigned slots, BucketLayout layout) {
+  LayoutSpec spec;
+  spec.ways = ways;
+  spec.slots = slots;
+  spec.key_bits = sizeof(K) * 8;
+  spec.val_bits = sizeof(V) * 8;
+  spec.bucket_layout = layout;
+  return spec;
+}
+
+}  // namespace
 
 template <typename K, typename V>
 CuckooTable<K, V>::CuckooTable(unsigned ways, unsigned slots,
                                std::uint64_t num_buckets, BucketLayout layout,
                                std::uint64_t seed)
-    : walk_rng_(seed ^ 0xA5A5A5A55A5A5A5AULL) {
-  spec_.ways = ways;
-  spec_.slots = slots;
-  spec_.key_bits = sizeof(K) * 8;
-  spec_.val_bits = sizeof(V) * 8;
-  spec_.bucket_layout = layout;
-  std::string why;
-  if (!spec_.Validate(&why)) {
-    throw std::invalid_argument("CuckooTable: bad layout: " + why);
-  }
-  num_buckets_ = NextPow2(num_buckets < 2 ? 2 : num_buckets);
-  log2_buckets_ = Log2Floor(num_buckets_);
-  // Multiply-shift needs at least one index bit and the key width must be
-  // able to address the bucket range.
-  if (log2_buckets_ >= sizeof(K) * 8) {
-    throw std::invalid_argument(
-        "CuckooTable: too many buckets for the key width");
-  }
-  hash_ = HashFamily::Make(log2_buckets_, seed);
-  storage_.Allocate(num_buckets_ * spec_.bucket_bytes());
-}
-
-template <typename K, typename V>
-std::uint8_t* CuckooTable<K, V>::key_addr(std::uint64_t b, unsigned s) {
-  std::uint8_t* base = storage_.data() + b * spec_.bucket_bytes();
-  if (spec_.bucket_layout == BucketLayout::kInterleaved) {
-    return base + static_cast<std::size_t>(s) * spec_.slot_bytes();
-  }
-  return base + static_cast<std::size_t>(s) * sizeof(K);
-}
-
-template <typename K, typename V>
-const std::uint8_t* CuckooTable<K, V>::key_addr(std::uint64_t b,
-                                                unsigned s) const {
-  return const_cast<CuckooTable*>(this)->key_addr(b, s);
-}
-
-template <typename K, typename V>
-std::uint8_t* CuckooTable<K, V>::val_addr(std::uint64_t b, unsigned s) {
-  if (spec_.bucket_layout == BucketLayout::kInterleaved) {
-    return key_addr(b, s) + sizeof(K);
-  }
-  std::uint8_t* base = storage_.data() + b * spec_.bucket_bytes();
-  return base + static_cast<std::size_t>(spec_.slots) * sizeof(K) +
-         static_cast<std::size_t>(s) * sizeof(V);
-}
-
-template <typename K, typename V>
-const std::uint8_t* CuckooTable<K, V>::val_addr(std::uint64_t b,
-                                                unsigned s) const {
-  return const_cast<CuckooTable*>(this)->val_addr(b, s);
-}
-
-template <typename K, typename V>
-K CuckooTable<K, V>::KeyAt(std::uint64_t bucket, unsigned slot) const {
-  K k;
-  std::memcpy(&k, key_addr(bucket, slot), sizeof(K));
-  return k;
-}
-
-template <typename K, typename V>
-V CuckooTable<K, V>::ValAt(std::uint64_t bucket, unsigned slot) const {
-  V v;
-  std::memcpy(&v, val_addr(bucket, slot), sizeof(V));
-  return v;
-}
-
-template <typename K, typename V>
-void CuckooTable<K, V>::SetSlot(std::uint64_t bucket, unsigned slot, K key,
-                                V val) {
-  std::memcpy(key_addr(bucket, slot), &key, sizeof(K));
-  std::memcpy(val_addr(bucket, slot), &val, sizeof(V));
-}
+    : store_(TableShape::For(SpecFor<K, V>(ways, slots, layout), num_buckets),
+             seed),
+      walk_rng_(seed ^ 0xA5A5A5A55A5A5A5AULL) {}
 
 template <typename K, typename V>
 bool CuckooTable<K, V>::Find(K key, V* val) const {
-  for (unsigned way = 0; way < spec_.ways; ++way) {
+  const LayoutSpec& spec = store_.spec();
+  for (unsigned way = 0; way < spec.ways; ++way) {
     const std::uint32_t b = BucketOf(way, key);
-    for (unsigned s = 0; s < spec_.slots; ++s) {
+    for (unsigned s = 0; s < spec.slots; ++s) {
       if (KeyAt(b, s) == key) {
         if (val != nullptr) *val = ValAt(b, s);
         return true;
@@ -102,13 +46,14 @@ bool CuckooTable<K, V>::Find(K key, V* val) const {
 template <typename K, typename V>
 bool CuckooTable<K, V>::Insert(K key, V val) {
   assert(key != static_cast<K>(kEmptyKey) && "key 0 is the empty sentinel");
+  const LayoutSpec& spec = store_.spec();
 
   // Overwrite if present (cuckoo invariant: at most one copy of a key).
-  for (unsigned way = 0; way < spec_.ways; ++way) {
+  for (unsigned way = 0; way < spec.ways; ++way) {
     const std::uint32_t b = BucketOf(way, key);
-    for (unsigned s = 0; s < spec_.slots; ++s) {
+    for (unsigned s = 0; s < spec.slots; ++s) {
       if (KeyAt(b, s) == key) {
-        SetSlot(b, s, key, val);
+        store_.SetSlot(b, s, key, val);
         return true;
       }
     }
@@ -128,24 +73,24 @@ bool CuckooTable<K, V>::Insert(K key, V val) {
   K cur_key = key;
   V cur_val = val;
   for (unsigned kick = 0; kick < kMaxKicks; ++kick) {
-    for (unsigned way = 0; way < spec_.ways; ++way) {
+    for (unsigned way = 0; way < spec.ways; ++way) {
       const std::uint32_t b = BucketOf(way, cur_key);
-      for (unsigned s = 0; s < spec_.slots; ++s) {
+      for (unsigned s = 0; s < spec.slots; ++s) {
         if (KeyAt(b, s) == static_cast<K>(kEmptyKey)) {
-          SetSlot(b, s, cur_key, cur_val);
-          ++size_;
+          store_.SetSlot(b, s, cur_key, cur_val);
+          store_.AdjustSize(1);
           return true;
         }
       }
     }
     const auto victim_way =
-        static_cast<unsigned>(walk_rng_.NextBounded(spec_.ways));
+        static_cast<unsigned>(walk_rng_.NextBounded(spec.ways));
     const auto victim_slot =
-        static_cast<unsigned>(walk_rng_.NextBounded(spec_.slots));
+        static_cast<unsigned>(walk_rng_.NextBounded(spec.slots));
     const std::uint32_t b = BucketOf(victim_way, cur_key);
     const K evicted_key = KeyAt(b, victim_slot);
     const V evicted_val = ValAt(b, victim_slot);
-    SetSlot(b, victim_slot, cur_key, cur_val);
+    store_.SetSlot(b, victim_slot, cur_key, cur_val);
     path.push_back({b, victim_slot});
     cur_key = evicted_key;
     cur_val = evicted_val;
@@ -156,7 +101,7 @@ bool CuckooTable<K, V>::Insert(K key, V val) {
   for (auto it = path.rbegin(); it != path.rend(); ++it) {
     const K displaced_key = KeyAt(it->bucket, it->slot);
     const V displaced_val = ValAt(it->bucket, it->slot);
-    SetSlot(it->bucket, it->slot, cur_key, cur_val);
+    store_.SetSlot(it->bucket, it->slot, cur_key, cur_val);
     cur_key = displaced_key;
     cur_val = displaced_val;
   }
@@ -166,12 +111,13 @@ bool CuckooTable<K, V>::Insert(K key, V val) {
 
 template <typename K, typename V>
 bool CuckooTable<K, V>::UpdateValue(K key, V val) {
-  for (unsigned way = 0; way < spec_.ways; ++way) {
+  const LayoutSpec& spec = store_.spec();
+  for (unsigned way = 0; way < spec.ways; ++way) {
     const std::uint32_t b = BucketOf(way, key);
-    for (unsigned s = 0; s < spec_.slots; ++s) {
+    for (unsigned s = 0; s < spec.slots; ++s) {
       if (KeyAt(b, s) == key) {
         // Single aligned word store: concurrent readers see old or new.
-        std::memcpy(val_addr(b, s), &val, sizeof(V));
+        store_.SetVal(b, s, val);
         return true;
       }
     }
@@ -181,28 +127,18 @@ bool CuckooTable<K, V>::UpdateValue(K key, V val) {
 
 template <typename K, typename V>
 bool CuckooTable<K, V>::Erase(K key) {
-  for (unsigned way = 0; way < spec_.ways; ++way) {
+  const LayoutSpec& spec = store_.spec();
+  for (unsigned way = 0; way < spec.ways; ++way) {
     const std::uint32_t b = BucketOf(way, key);
-    for (unsigned s = 0; s < spec_.slots; ++s) {
+    for (unsigned s = 0; s < spec.slots; ++s) {
       if (KeyAt(b, s) == key) {
-        SetSlot(b, s, static_cast<K>(kEmptyKey), V{});
-        --size_;
+        store_.SetSlot(b, s, static_cast<K>(kEmptyKey), V{});
+        store_.AdjustSize(-1);
         return true;
       }
     }
   }
   return false;
-}
-
-template <typename K, typename V>
-TableView CuckooTable<K, V>::view() const {
-  TableView v;
-  v.data = storage_.data();
-  v.num_buckets = num_buckets_;
-  v.log2_buckets = log2_buckets_;
-  v.spec = spec_;
-  v.hash = hash_;
-  return v;
 }
 
 template class CuckooTable<std::uint16_t, std::uint32_t>;

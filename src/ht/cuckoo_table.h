@@ -4,8 +4,11 @@
 // cuckoo tables (m = 1, Fig 1a) and bucketized cuckoo hash tables (m > 1,
 // Fig 1b), in interleaved or split bucket layout, over 16/32/64-bit keys.
 //
-// Inserts use random-walk cuckoo eviction (the approach MemC3 and
-// CuckooSwitch use); lookups through the class are the scalar reference —
+// This is a *policy* class: all storage concerns (bucket arena, shape
+// resolution, seqlock stripes, TableView construction) live in the shared
+// TableStore (ht/table_store.h); CuckooTable only decides what to write —
+// random-walk cuckoo eviction on insert (the approach MemC3 and
+// CuckooSwitch use). Lookups through the class are the scalar reference;
 // SIMD batch lookups go through the kernel registry using view().
 #ifndef SIMDHT_HT_CUCKOO_TABLE_H_
 #define SIMDHT_HT_CUCKOO_TABLE_H_
@@ -14,10 +17,9 @@
 #include <cstring>
 #include <optional>
 
-#include "common/aligned_buffer.h"
 #include "common/compiler.h"
 #include "common/random.h"
-#include "ht/layout.h"
+#include "ht/table_store.h"
 
 namespace simdht {
 
@@ -54,67 +56,61 @@ class CuckooTable {
   bool Erase(K key);
 
   // Entries currently stored / storable.
-  std::uint64_t size() const { return size_; }
-  std::uint64_t capacity() const { return num_buckets_ * spec_.slots; }
+  std::uint64_t size() const { return store_.size(); }
+  std::uint64_t capacity() const {
+    return store_.num_buckets() * store_.spec().slots;
+  }
   double load_factor() const {
-    return static_cast<double>(size_) / static_cast<double>(capacity());
+    return static_cast<double>(size()) / static_cast<double>(capacity());
   }
 
-  std::uint64_t num_buckets() const { return num_buckets_; }
-  const LayoutSpec& spec() const { return spec_; }
-  std::uint64_t table_bytes() const {
-    return num_buckets_ * spec_.bucket_bytes();
-  }
+  std::uint64_t num_buckets() const { return store_.num_buckets(); }
+  const LayoutSpec& spec() const { return store_.spec(); }
+  std::uint64_t table_bytes() const { return store_.table_bytes(); }
 
   // Read-only view for lookup kernels.
-  TableView view() const;
+  TableView view() const { return store_.view(); }
+
+  // The storage layer: wrappers that add their own concurrency discipline
+  // (ConcurrentCuckooTable) reach the shared seqlock stripes and write
+  // epoch through here instead of owning duplicates.
+  TableStore& store() { return store_; }
+  const TableStore& store() const { return store_; }
 
   // Snapshot support (ht/table_io.h): raw bucket storage and hash family.
-  const std::uint8_t* raw_data() const { return storage_.data(); }
-  std::uint8_t* raw_data_mutable() { return storage_.data(); }
-  const HashFamily& hash_family() const { return hash_; }
+  const std::uint8_t* raw_data() const { return store_.data(); }
+  std::uint8_t* raw_data_mutable() { return store_.data(); }
+  const HashFamily& hash_family() const { return store_.hash(); }
   // Adopts deserialized state after the caller filled raw_data_mutable().
   void RestoreState(const HashFamily& hash, std::uint64_t size) {
-    hash_ = hash;
-    size_ = size;
+    store_.Restore(hash, size);
   }
 
   // Advanced: direct slot write + occupancy adjustment, for wrappers that
   // implement their own insertion discipline (ConcurrentCuckooTable's
   // BFS path-moves). Does not maintain the occupancy count.
   void WriteSlot(std::uint64_t bucket, unsigned slot, K key, V val) {
-    SetSlot(bucket, slot, key, val);
+    store_.SetSlot(bucket, slot, key, val);
   }
-  void AdjustSize(std::int64_t delta) {
-    size_ = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(size_) + delta);
-  }
+  void AdjustSize(std::int64_t delta) { store_.AdjustSize(delta); }
 
   // Raw slot access for tests and for the insert path.
-  K KeyAt(std::uint64_t bucket, unsigned slot) const;
-  V ValAt(std::uint64_t bucket, unsigned slot) const;
+  K KeyAt(std::uint64_t bucket, unsigned slot) const {
+    return store_.KeyAt<K>(bucket, slot);
+  }
+  V ValAt(std::uint64_t bucket, unsigned slot) const {
+    return store_.ValAt<V>(bucket, slot);
+  }
 
   // Maximum eviction-walk length before Insert() reports failure.
   static constexpr unsigned kMaxKicks = 512;
 
  private:
-  void SetSlot(std::uint64_t bucket, unsigned slot, K key, V val);
-
-  std::uint8_t* key_addr(std::uint64_t b, unsigned s);
-  const std::uint8_t* key_addr(std::uint64_t b, unsigned s) const;
-  std::uint8_t* val_addr(std::uint64_t b, unsigned s);
-  const std::uint8_t* val_addr(std::uint64_t b, unsigned s) const;
-
   std::uint32_t BucketOf(unsigned way, K key) const {
-    return hash_.Bucket<K>(way, key);
+    return store_.Bucket<K>(way, key);
   }
 
-  LayoutSpec spec_;
-  std::uint64_t num_buckets_ = 0;
-  unsigned log2_buckets_ = 0;
-  HashFamily hash_;
-  AlignedBuffer storage_;
-  std::uint64_t size_ = 0;
+  TableStore store_;
   Xoshiro256 walk_rng_;
 };
 

@@ -11,14 +11,11 @@ namespace simdht {
 
 Memc3Table::Memc3Table(std::uint64_t num_buckets, std::uint64_t seed,
                        TagMatch tag_match)
-    : walk_rng_(seed ^ 0xDEADBEEFCAFEF00DULL) {
+    : store_(TableShape::Raw(num_buckets, sizeof(Bucket)), seed),
+      walk_rng_(seed ^ 0xDEADBEEFCAFEF00DULL) {
   tag_match_ = tag_match;
-  num_buckets_ = NextPow2(num_buckets < 2 ? 2 : num_buckets);
-  bucket_mask_ = static_cast<std::uint32_t>(num_buckets_ - 1);
-  storage_.Allocate(num_buckets_ * sizeof(Bucket));
-  buckets_ = storage_.as<Bucket>();
-  versions_ = std::make_unique<std::atomic<std::uint64_t>[]>(kVersionStripes);
-  for (unsigned i = 0; i < kVersionStripes; ++i) versions_[i].store(0);
+  bucket_mask_ = static_cast<std::uint32_t>(store_.num_buckets() - 1);
+  buckets_ = store_.as<Bucket>();
 }
 
 unsigned Memc3Table::ScanBucket(const Bucket& bucket, std::uint8_t tag,
@@ -108,10 +105,9 @@ bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
         if (bucket.tags[s] == 0) {
           auto& ver = VersionFor(b);
           ver.fetch_add(1, std::memory_order_acq_rel);
-          bucket.tags[s] = cur_tag;
-          bucket.items[s] = cur_item;
+          StoreEntry(bucket, s, cur_tag, cur_item);
           ver.fetch_add(1, std::memory_order_release);
-          ++size_;
+          store_.AdjustSize(1);
           return true;
         }
       }
@@ -126,8 +122,7 @@ bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
     const std::uint64_t evicted_item = bucket.items[victim];
     auto& ver = VersionFor(b1);
     ver.fetch_add(1, std::memory_order_acq_rel);
-    bucket.tags[victim] = cur_tag;
-    bucket.items[victim] = cur_item;
+    StoreEntry(bucket, victim, cur_tag, cur_item);
     ver.fetch_add(1, std::memory_order_release);
     path.push_back({b1, victim});
 
@@ -146,8 +141,7 @@ bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
     const std::uint64_t displaced_item = bucket.items[it->slot];
     auto& ver = VersionFor(it->bucket);
     ver.fetch_add(1, std::memory_order_acq_rel);
-    bucket.tags[it->slot] = cur_tag;
-    bucket.items[it->slot] = cur_item;
+    StoreEntry(bucket, it->slot, cur_tag, cur_item);
     ver.fetch_add(1, std::memory_order_release);
     cur_tag = displaced_tag;
     cur_item = displaced_item;
@@ -166,10 +160,9 @@ bool Memc3Table::Erase(std::uint64_t hash, std::uint64_t item) {
       if (bucket.tags[s] == tag && bucket.items[s] == item) {
         auto& ver = VersionFor(b);
         ver.fetch_add(1, std::memory_order_acq_rel);
-        bucket.tags[s] = 0;
-        bucket.items[s] = 0;
+        StoreEntry(bucket, s, 0, 0);
         ver.fetch_add(1, std::memory_order_release);
-        --size_;
+        store_.AdjustSize(-1);
         return true;
       }
     }

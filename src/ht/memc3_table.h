@@ -10,17 +10,20 @@
 // Concurrency follows MemC3's optimistic scheme: readers snapshot a striped
 // version counter before and after probing and retry on a torn read;
 // writers serialize on a mutex and bump the counters around displacements.
+//
+// Storage (bucket arena, power-of-two shape resolution, seqlock stripes)
+// comes from a raw-shaped TableStore (ht/table_store.h) — the same layer
+// under CuckooTable — leaving only the tag/displacement policy here.
 #ifndef SIMDHT_HT_MEMC3_TABLE_H_
 #define SIMDHT_HT_MEMC3_TABLE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <mutex>
 
-#include "common/aligned_buffer.h"
 #include "common/compiler.h"
 #include "common/random.h"
+#include "ht/table_store.h"
 
 namespace simdht {
 
@@ -63,13 +66,15 @@ class Memc3Table {
   // Removes the slot holding `item` under `hash`; returns true if found.
   bool Erase(std::uint64_t hash, std::uint64_t item);
 
-  std::uint64_t size() const { return size_; }
-  std::uint64_t capacity() const { return num_buckets_ * kSlotsPerBucket; }
-  double load_factor() const {
-    return static_cast<double>(size_) / static_cast<double>(capacity());
+  std::uint64_t size() const { return store_.size(); }
+  std::uint64_t capacity() const {
+    return store_.num_buckets() * kSlotsPerBucket;
   }
-  std::uint64_t num_buckets() const { return num_buckets_; }
-  std::uint64_t table_bytes() const { return storage_.size(); }
+  double load_factor() const {
+    return static_cast<double>(size()) / static_cast<double>(capacity());
+  }
+  std::uint64_t num_buckets() const { return store_.num_buckets(); }
+  std::uint64_t table_bytes() const { return store_.table_bytes(); }
 
  private:
   // One bucket = 4 tags + 4 item handles; 40 bytes, packed so two buckets
@@ -80,8 +85,6 @@ class Memc3Table {
     std::uint64_t items[kSlotsPerBucket];
   };
   static_assert(sizeof(Bucket) == 40);
-
-  static constexpr unsigned kVersionStripes = 1 << 11;  // MemC3 uses 2048
 
   std::uint32_t IndexHash(std::uint64_t hash) const {
     return static_cast<std::uint32_t>(hash) & bucket_mask_;
@@ -94,21 +97,30 @@ class Memc3Table {
   }
 
   std::atomic<std::uint64_t>& VersionFor(std::uint32_t bucket) const {
-    return versions_[bucket & (kVersionStripes - 1)];
+    return store_.StripeFor(bucket);
   }
 
   // Collects tag matches from one bucket into out[]; returns new count.
-  unsigned ScanBucket(const Bucket& bucket, std::uint8_t tag,
-                      std::uint64_t* out, unsigned count) const;
+  // SIMDHT_NO_TSAN: readers race the slot stores by design and retry via
+  // the stripe versions (optimistic concurrency TSan cannot see through).
+  SIMDHT_NO_TSAN unsigned ScanBucket(const Bucket& bucket, std::uint8_t tag,
+                                     std::uint64_t* out,
+                                     unsigned count) const;
 
+  // The one slot-mutation point, bracketed by the caller's version bumps;
+  // un-instrumented for the same reason as ScanBucket.
+  SIMDHT_NO_TSAN static void StoreEntry(Bucket& bucket, unsigned slot,
+                                        std::uint8_t tag,
+                                        std::uint64_t item) {
+    bucket.tags[slot] = tag;
+    bucket.items[slot] = item;
+  }
+
+  TableStore store_;
   Bucket* buckets_;
-  AlignedBuffer storage_;
-  std::uint64_t num_buckets_;
   std::uint32_t bucket_mask_;
   TagMatch tag_match_ = TagMatch::kScalar;
-  std::uint64_t size_ = 0;
   Xoshiro256 walk_rng_;
-  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
   std::mutex writer_mu_;
 
   static constexpr unsigned kMaxKicks = 512;

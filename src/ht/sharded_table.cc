@@ -1,0 +1,49 @@
+#include "ht/sharded_table.h"
+
+namespace simdht {
+
+template <typename K, typename V>
+ShardedTable<K, V>::ShardedTable(unsigned shards, unsigned ways,
+                                 unsigned slots,
+                                 std::uint64_t num_buckets_total,
+                                 BucketLayout layout, std::uint64_t seed) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedTable: shard count must be >= 1");
+  }
+  // Ceil-divide so the sharded table never has less total capacity than the
+  // unsharded one the caller sized for.
+  const std::uint64_t per_shard =
+      (num_buckets_total + shards - 1) / shards;
+  shards_.reserve(shards);
+  shard_seeds_.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    const std::uint64_t shard_seed = SeedForShard(seed, s);
+    shards_.push_back(std::make_unique<ConcurrentCuckooTable<K, V>>(
+        ways, slots, per_shard, layout, shard_seed));
+    shard_seeds_.push_back(shard_seed);
+  }
+}
+
+template <typename K, typename V>
+ShardedTable<K, V>::ShardedTable(std::vector<CuckooTable<K, V>>&& shard_tables,
+                                 std::vector<std::uint64_t> shard_seeds)
+    : shard_seeds_(std::move(shard_seeds)) {
+  if (shard_tables.empty()) {
+    throw std::invalid_argument("ShardedTable: no shards to adopt");
+  }
+  if (shard_tables.size() != shard_seeds_.size()) {
+    throw std::invalid_argument(
+        "ShardedTable: shard/seed count mismatch");
+  }
+  shards_.reserve(shard_tables.size());
+  for (auto& t : shard_tables) {
+    shards_.push_back(
+        std::make_unique<ConcurrentCuckooTable<K, V>>(std::move(t)));
+  }
+}
+
+template class ShardedTable<std::uint16_t, std::uint32_t>;
+template class ShardedTable<std::uint32_t, std::uint32_t>;
+template class ShardedTable<std::uint64_t, std::uint64_t>;
+
+}  // namespace simdht

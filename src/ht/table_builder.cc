@@ -95,6 +95,28 @@ BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
 }
 
 template <typename K, typename V>
+BuildResult<K> FillToLoadFactor(ShardedTable<K, V>* table, double target_lf,
+                                std::uint64_t seed) {
+  BuildResult<K> result;
+  const auto target =
+      static_cast<std::uint64_t>(target_lf *
+                                 static_cast<double>(table->capacity()));
+  result.inserted_keys = UniqueRandomKeys<K>(target, seed);
+  std::vector<K> landed;
+  landed.reserve(result.inserted_keys.size());
+  for (K k : result.inserted_keys) {
+    if (!table->Insert(k, DeriveVal<K, V>(k))) {
+      result.hit_capacity = true;
+      break;
+    }
+    landed.push_back(k);
+  }
+  result.inserted_keys = std::move(landed);
+  result.achieved_load_factor = table->load_factor();
+  return result;
+}
+
+template <typename K, typename V>
 double MeasureMaxLoadFactor(unsigned ways, unsigned slots,
                             std::uint64_t num_buckets, BucketLayout layout,
                             std::uint64_t seed) {
@@ -117,6 +139,13 @@ template BuildResult<std::uint32_t> FillToLoadFactor(
     CuckooTable<std::uint32_t, std::uint32_t>*, double, std::uint64_t);
 template BuildResult<std::uint64_t> FillToLoadFactor(
     CuckooTable<std::uint64_t, std::uint64_t>*, double, std::uint64_t);
+
+template BuildResult<std::uint16_t> FillToLoadFactor(
+    ShardedTable<std::uint16_t, std::uint32_t>*, double, std::uint64_t);
+template BuildResult<std::uint32_t> FillToLoadFactor(
+    ShardedTable<std::uint32_t, std::uint32_t>*, double, std::uint64_t);
+template BuildResult<std::uint64_t> FillToLoadFactor(
+    ShardedTable<std::uint64_t, std::uint64_t>*, double, std::uint64_t);
 
 template double MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
     unsigned, unsigned, std::uint64_t, BucketLayout, std::uint64_t);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ht/cuckoo_table.h"
+#include "ht/sharded_table.h"
 
 namespace simdht {
 
@@ -23,6 +24,13 @@ struct BuildResult {
 // DeriveVal(k) so lookup kernels can be verified without a shadow map.
 template <typename K, typename V>
 BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
+                                std::uint64_t seed = 1);
+
+// Sharded variant: every key is routed to its shard by the table itself, so
+// the built distribution is exactly what the shard router will probe.
+// `target_lf` applies to the aggregate capacity.
+template <typename K, typename V>
+BuildResult<K> FillToLoadFactor(ShardedTable<K, V>* table, double target_lf,
                                 std::uint64_t seed = 1);
 
 // The value every builder stores for a key: a cheap key-derived stamp that

@@ -10,6 +10,24 @@ namespace simdht {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'H', 'T', 'B', '1', 0, 0, 0};
+constexpr char kShardedMagic[8] = {'S', 'H', 'T', 'S', '1', 0, 0, 0};
+
+// Anything above this is a corrupt count, not a configuration: the router
+// folds shard indices out of 32 avalanche bits, and no machine this suite
+// targets runs more in one process.
+constexpr std::uint32_t kMaxSnapshotShards = 1u << 12;
+
+struct ShardedHeader {
+  char magic[8];
+  std::uint32_t shard_count;
+  std::uint32_t reserved;
+};
+
+struct ShardRecord {
+  std::uint32_t shard_index;
+  std::uint32_t reserved;
+  std::uint64_t seed;
+};
 
 struct SnapshotHeader {
   char magic[8];
@@ -99,6 +117,77 @@ std::optional<CuckooTable<K, V>> LoadTableFromFile(const std::string& path) {
   return LoadTable<K, V>(in);
 }
 
+template <typename K, typename V>
+bool SaveShardedTable(const ShardedTable<K, V>& table, std::ostream& out) {
+  ShardedHeader header{};
+  std::memcpy(header.magic, kShardedMagic, sizeof(kShardedMagic));
+  header.shard_count = table.num_shards();
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (unsigned s = 0; s < table.num_shards(); ++s) {
+    ShardRecord record{};
+    record.shard_index = s;
+    record.seed = table.shard_seed(s);
+    out.write(reinterpret_cast<const char*>(&record), sizeof(record));
+    if (!SaveTable(table.shard(s).table(), out)) return false;
+  }
+  return static_cast<bool>(out);
+}
+
+template <typename K, typename V>
+std::optional<ShardedTable<K, V>> LoadShardedTable(std::istream& in) {
+  ShardedHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in ||
+      std::memcmp(header.magic, kShardedMagic, sizeof(kShardedMagic)) != 0) {
+    return std::nullopt;
+  }
+  if (header.shard_count == 0 || header.shard_count > kMaxSnapshotShards) {
+    return std::nullopt;  // corrupt shard count
+  }
+
+  std::vector<CuckooTable<K, V>> shard_tables;
+  std::vector<std::uint64_t> shard_seeds;
+  shard_tables.reserve(header.shard_count);
+  shard_seeds.reserve(header.shard_count);
+  for (std::uint32_t s = 0; s < header.shard_count; ++s) {
+    ShardRecord record{};
+    in.read(reinterpret_cast<char*>(&record), sizeof(record));
+    if (!in || record.shard_index != s) {
+      return std::nullopt;  // truncated or out-of-sequence shard record
+    }
+    std::optional<CuckooTable<K, V>> shard = LoadTable<K, V>(in);
+    if (!shard) return std::nullopt;
+    // A shard's stored multipliers must be the ones its recorded seed
+    // derives: otherwise the router/seed metadata lies about the data and
+    // every re-derived hash (rebuilds, resharding) would misplace keys.
+    const HashFamily expected = HashFamily::Make(
+        Log2Floor(shard->num_buckets()), record.seed);
+    for (unsigned w = 0; w < kMaxWays; ++w) {
+      if (shard->hash_family().mult[w] != expected.mult[w]) {
+        return std::nullopt;  // seed mismatch
+      }
+    }
+    shard_tables.push_back(std::move(*shard));
+    shard_seeds.push_back(record.seed);
+  }
+  return ShardedTable<K, V>(std::move(shard_tables), std::move(shard_seeds));
+}
+
+template <typename K, typename V>
+bool SaveShardedTableToFile(const ShardedTable<K, V>& table,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out && SaveShardedTable(table, out);
+}
+
+template <typename K, typename V>
+std::optional<ShardedTable<K, V>> LoadShardedTableFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return LoadShardedTable<K, V>(in);
+}
+
 template bool SaveTable(const CuckooTable<std::uint32_t, std::uint32_t>&,
                         std::ostream&);
 template bool SaveTable(const CuckooTable<std::uint64_t, std::uint64_t>&,
@@ -123,5 +212,30 @@ template std::optional<CuckooTable<std::uint64_t, std::uint64_t>>
 LoadTableFromFile(const std::string&);
 template std::optional<CuckooTable<std::uint16_t, std::uint32_t>>
 LoadTableFromFile(const std::string&);
+
+template bool SaveShardedTable(
+    const ShardedTable<std::uint32_t, std::uint32_t>&, std::ostream&);
+template bool SaveShardedTable(
+    const ShardedTable<std::uint64_t, std::uint64_t>&, std::ostream&);
+template bool SaveShardedTable(
+    const ShardedTable<std::uint16_t, std::uint32_t>&, std::ostream&);
+template std::optional<ShardedTable<std::uint32_t, std::uint32_t>>
+LoadShardedTable(std::istream&);
+template std::optional<ShardedTable<std::uint64_t, std::uint64_t>>
+LoadShardedTable(std::istream&);
+template std::optional<ShardedTable<std::uint16_t, std::uint32_t>>
+LoadShardedTable(std::istream&);
+template bool SaveShardedTableToFile(
+    const ShardedTable<std::uint32_t, std::uint32_t>&, const std::string&);
+template bool SaveShardedTableToFile(
+    const ShardedTable<std::uint64_t, std::uint64_t>&, const std::string&);
+template bool SaveShardedTableToFile(
+    const ShardedTable<std::uint16_t, std::uint32_t>&, const std::string&);
+template std::optional<ShardedTable<std::uint32_t, std::uint32_t>>
+LoadShardedTableFromFile(const std::string&);
+template std::optional<ShardedTable<std::uint64_t, std::uint64_t>>
+LoadShardedTableFromFile(const std::string&);
+template std::optional<ShardedTable<std::uint16_t, std::uint32_t>>
+LoadShardedTableFromFile(const std::string&);
 
 }  // namespace simdht

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "ht/cuckoo_table.h"
+#include "ht/sharded_table.h"
 
 namespace simdht {
 
@@ -29,6 +30,27 @@ std::optional<CuckooTable<K, V>> LoadTable(std::istream& in);
 template <typename K, typename V>
 std::optional<CuckooTable<K, V>> LoadTableFromFile(const std::string& path);
 
+// --- sharded snapshots ---
+// Container format: a sharded header (magic "SHTS1" + shard count), then
+// per shard a record {shard_index, seed} followed by an ordinary per-shard
+// table snapshot. Loading rebuilds a ShardedTable with every shard's hash
+// family and router position intact.
+//
+// Rejected with an empty optional: bad magic, a zero or absurd shard count,
+// shard records out of sequence, a corrupt embedded snapshot, or a shard
+// whose stored hash multipliers do not match its recorded seed (the router
+// would silently misroute keys if such a snapshot were accepted).
+template <typename K, typename V>
+bool SaveShardedTable(const ShardedTable<K, V>& table, std::ostream& out);
+template <typename K, typename V>
+bool SaveShardedTableToFile(const ShardedTable<K, V>& table,
+                            const std::string& path);
+template <typename K, typename V>
+std::optional<ShardedTable<K, V>> LoadShardedTable(std::istream& in);
+template <typename K, typename V>
+std::optional<ShardedTable<K, V>> LoadShardedTableFromFile(
+    const std::string& path);
+
 extern template bool SaveTable(
     const CuckooTable<std::uint32_t, std::uint32_t>&, std::ostream&);
 extern template bool SaveTable(
@@ -41,6 +63,19 @@ extern template std::optional<CuckooTable<std::uint64_t, std::uint64_t>>
 LoadTable(std::istream&);
 extern template std::optional<CuckooTable<std::uint16_t, std::uint32_t>>
 LoadTable(std::istream&);
+
+extern template bool SaveShardedTable(
+    const ShardedTable<std::uint32_t, std::uint32_t>&, std::ostream&);
+extern template bool SaveShardedTable(
+    const ShardedTable<std::uint64_t, std::uint64_t>&, std::ostream&);
+extern template bool SaveShardedTable(
+    const ShardedTable<std::uint16_t, std::uint32_t>&, std::ostream&);
+extern template std::optional<ShardedTable<std::uint32_t, std::uint32_t>>
+LoadShardedTable(std::istream&);
+extern template std::optional<ShardedTable<std::uint64_t, std::uint64_t>>
+LoadShardedTable(std::istream&);
+extern template std::optional<ShardedTable<std::uint16_t, std::uint32_t>>
+LoadShardedTable(std::istream&);
 
 }  // namespace simdht
 

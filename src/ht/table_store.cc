@@ -1,0 +1,67 @@
+#include "ht/table_store.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace simdht {
+
+namespace {
+
+std::uint64_t ResolveBuckets(std::uint64_t min_buckets) {
+  return NextPow2(min_buckets < 2 ? 2 : min_buckets);
+}
+
+}  // namespace
+
+TableShape TableShape::For(const LayoutSpec& spec,
+                           std::uint64_t min_buckets) {
+  std::string why;
+  if (!spec.Validate(&why)) {
+    throw std::invalid_argument("TableShape: bad layout: " + why);
+  }
+  TableShape shape;
+  shape.spec = spec;
+  shape.num_buckets = ResolveBuckets(min_buckets);
+  shape.log2_buckets = Log2Floor(shape.num_buckets);
+  shape.bucket_bytes = spec.bucket_bytes();
+  // Multiply-shift needs at least one index bit and the key width must be
+  // able to address the bucket range.
+  if (shape.log2_buckets >= spec.key_bits) {
+    throw std::invalid_argument(
+        "TableShape: too many buckets for the key width");
+  }
+  return shape;
+}
+
+TableShape TableShape::Raw(std::uint64_t min_buckets,
+                           std::uint32_t bucket_bytes) {
+  if (bucket_bytes == 0) {
+    throw std::invalid_argument("TableShape: raw bucket stride must be > 0");
+  }
+  TableShape shape;
+  shape.raw = true;
+  shape.num_buckets = ResolveBuckets(min_buckets);
+  shape.log2_buckets = Log2Floor(shape.num_buckets);
+  shape.bucket_bytes = bucket_bytes;
+  return shape;
+}
+
+TableStore::TableStore(const TableShape& shape, std::uint64_t seed)
+    : shape_(shape), hash_(HashFamily::Make(shape.log2_buckets, seed)) {
+  arena_.Allocate(shape_.total_bytes());
+  versions_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(kVersionStripes + 1);
+  for (unsigned i = 0; i <= kVersionStripes; ++i) versions_[i].store(0);
+}
+
+TableView TableStore::view() const {
+  TableView v;
+  v.data = arena_.data();
+  v.num_buckets = shape_.num_buckets;
+  v.log2_buckets = shape_.log2_buckets;
+  v.spec = shape_.spec;
+  v.hash = hash_;
+  return v;
+}
+
+}  // namespace simdht

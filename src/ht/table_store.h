@@ -1,0 +1,204 @@
+// TableStore: the one storage layer under every table family.
+//
+// Before this layer existed, CuckooTable, ConcurrentCuckooTable and
+// Memc3Table each reimplemented bucket-arena allocation, (N, m) shape
+// resolution, striped seqlock versions and TableView construction. The
+// kernels were already layout-generic (any kernel probes any TableView), so
+// the storage underneath is hoisted here exactly once and the table classes
+// become policy wrappers: they decide *what* to write (insert/eviction
+// discipline), TableStore decides *where bytes live* and how readers
+// validate them.
+//
+// A store resolves a TableShape (validated layout + power-of-two bucket
+// count + bucket stride), owns the aligned/hugepage bucket arena
+// (common/aligned_buffer.h), the striped seqlock version counters and the
+// global write epoch that optimistic readers validate against, and builds
+// the TableView the SIMD kernels consume. Raw-shaped stores (Memc3's
+// tag+handle buckets) skip the LayoutSpec and view but share everything
+// else.
+#ifndef SIMDHT_HT_TABLE_STORE_H_
+#define SIMDHT_HT_TABLE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+#include "common/aligned_buffer.h"
+#include "common/compiler.h"
+#include "hash/hash_family.h"
+#include "ht/layout.h"
+
+namespace simdht {
+
+// Resolved table geometry: the step every table constructor used to
+// duplicate. `For` validates the LayoutSpec and rounds the bucket count to
+// a power of two >= 2; `Raw` does the same rounding for a caller-defined
+// bucket record (no LayoutSpec semantics, no TableView).
+struct TableShape {
+  LayoutSpec spec;                 // meaningful only when !raw
+  std::uint64_t num_buckets = 0;   // power of two, >= 2
+  unsigned log2_buckets = 0;
+  std::uint32_t bucket_bytes = 0;  // arena stride
+  bool raw = false;
+
+  // Throws std::invalid_argument on an invalid spec.
+  static TableShape For(const LayoutSpec& spec, std::uint64_t min_buckets);
+  static TableShape Raw(std::uint64_t min_buckets,
+                        std::uint32_t bucket_bytes);
+
+  std::uint64_t total_bytes() const {
+    return num_buckets * static_cast<std::uint64_t>(bucket_bytes);
+  }
+};
+
+class TableStore {
+ public:
+  // Stripe count shared by every optimistic-concurrency table (MemC3 uses
+  // 2048); versions are allocated per store, never per policy class.
+  static constexpr unsigned kVersionStripes = 1 << 11;
+
+  // `seed` randomizes the hash family (seed 0 = deterministic defaults).
+  TableStore(const TableShape& shape, std::uint64_t seed);
+
+  TableStore(TableStore&&) noexcept = default;
+  TableStore& operator=(TableStore&&) noexcept = default;
+
+  // --- shape / layout ---
+  const TableShape& shape() const { return shape_; }
+  const LayoutSpec& spec() const { return shape_.spec; }
+  std::uint64_t num_buckets() const { return shape_.num_buckets; }
+  unsigned log2_buckets() const { return shape_.log2_buckets; }
+  std::uint32_t bucket_stride() const { return shape_.bucket_bytes; }
+  std::uint64_t table_bytes() const { return shape_.total_bytes(); }
+
+  // --- bucket arena ---
+  std::uint8_t* data() { return arena_.data(); }
+  const std::uint8_t* data() const { return arena_.data(); }
+  template <typename T>
+  T* as() { return arena_.as<T>(); }
+  template <typename T>
+  const T* as() const { return arena_.as<T>(); }
+
+  // --- hash family ---
+  const HashFamily& hash() const { return hash_; }
+  template <typename K>
+  std::uint32_t Bucket(unsigned way, K key) const {
+    return hash_.Bucket<K>(way, key);
+  }
+
+  // --- occupancy (maintained by the policy layer) ---
+  std::uint64_t size() const { return size_; }
+  void AdjustSize(std::int64_t delta) {
+    size_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(size_) +
+                                       delta);
+  }
+
+  // Adopts deserialized state (ht/table_io.h) after the caller filled
+  // data() with snapshot bytes.
+  void Restore(const HashFamily& hash, std::uint64_t size) {
+    hash_ = hash;
+    size_ = size;
+  }
+
+  // --- typed slot addressing (LayoutSpec-shaped stores only) ---
+  // Key/value addresses for (bucket, slot) under either bucket layout.
+  std::uint8_t* key_addr(std::uint64_t b, unsigned s) {
+    const LayoutSpec& spec = shape_.spec;
+    std::uint8_t* base = arena_.data() + b * shape_.bucket_bytes;
+    if (spec.bucket_layout == BucketLayout::kInterleaved) {
+      return base + static_cast<std::size_t>(s) * spec.slot_bytes();
+    }
+    return base + static_cast<std::size_t>(s) * spec.key_bytes();
+  }
+  const std::uint8_t* key_addr(std::uint64_t b, unsigned s) const {
+    return const_cast<TableStore*>(this)->key_addr(b, s);
+  }
+  std::uint8_t* val_addr(std::uint64_t b, unsigned s) {
+    const LayoutSpec& spec = shape_.spec;
+    if (spec.bucket_layout == BucketLayout::kInterleaved) {
+      return key_addr(b, s) + spec.key_bytes();
+    }
+    std::uint8_t* base = arena_.data() + b * shape_.bucket_bytes;
+    return base + static_cast<std::size_t>(spec.slots) * spec.key_bytes() +
+           static_cast<std::size_t>(s) * spec.val_bytes();
+  }
+  const std::uint8_t* val_addr(std::uint64_t b, unsigned s) const {
+    return const_cast<TableStore*>(this)->val_addr(b, s);
+  }
+
+  // Slot accesses carry SIMDHT_NO_TSAN: optimistic readers race these
+  // stores by design and retry via the stripe versions / write epoch below,
+  // a protocol TSan cannot see through.
+  template <typename K>
+  SIMDHT_NO_TSAN K KeyAt(std::uint64_t b, unsigned s) const {
+    K k;
+    std::memcpy(&k, key_addr(b, s), sizeof(K));
+    return k;
+  }
+  template <typename V>
+  SIMDHT_NO_TSAN V ValAt(std::uint64_t b, unsigned s) const {
+    V v;
+    std::memcpy(&v, val_addr(b, s), sizeof(V));
+    return v;
+  }
+  template <typename K, typename V>
+  SIMDHT_NO_TSAN void SetSlot(std::uint64_t b, unsigned s, K key, V val) {
+    std::memcpy(key_addr(b, s), &key, sizeof(K));
+    std::memcpy(val_addr(b, s), &val, sizeof(V));
+  }
+  // In-place value overwrite: a single aligned word store, safe against
+  // concurrent readers (they observe old or new).
+  template <typename V>
+  SIMDHT_NO_TSAN void SetVal(std::uint64_t b, unsigned s, V val) {
+    std::memcpy(val_addr(b, s), &val, sizeof(V));
+  }
+
+  // Read-only view for the lookup kernels (LayoutSpec-shaped stores only).
+  TableView view() const;
+
+  // --- optimistic-read machinery ---
+  // Striped seqlock versions: writers bump the stripe of every bucket they
+  // mutate to odd before the write and back to even after; readers snapshot
+  // before/after probing and retry on change.
+  std::atomic<std::uint64_t>& StripeFor(std::uint64_t bucket) const {
+    return versions_[bucket & (kVersionStripes - 1)];
+  }
+  void BumpOdd(std::uint64_t bucket) {
+    StripeFor(bucket).fetch_add(1, std::memory_order_acq_rel);
+  }
+  void BumpEven(std::uint64_t bucket) {
+    StripeFor(bucket).fetch_add(1, std::memory_order_release);
+  }
+
+  // Global write epoch for batched lookups: odd while a structural write
+  // (relocation, erase) is in flight; a batch that observed the same even
+  // value before and after a kernel invocation is valid.
+  std::uint64_t EpochBegin() const {
+    return epoch().load(std::memory_order_acquire);
+  }
+  bool EpochValidate(std::uint64_t e0) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return epoch().load(std::memory_order_acquire) == e0;
+  }
+  void EpochEnterWrite() { epoch().fetch_add(1, std::memory_order_acq_rel); }
+  void EpochExitWrite() { epoch().fetch_add(1, std::memory_order_release); }
+
+ private:
+  // The epoch shares the version allocation (slot kVersionStripes) so the
+  // store stays movable — a bare std::atomic member would delete the move
+  // operations CuckooTable and table_io depend on.
+  std::atomic<std::uint64_t>& epoch() const {
+    return versions_[kVersionStripes];
+  }
+
+  TableShape shape_;
+  HashFamily hash_;
+  AlignedBuffer arena_;
+  std::uint64_t size_ = 0;
+  mutable std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_TABLE_STORE_H_

@@ -1,14 +1,17 @@
 #include "kvs/consistent_hash.h"
 
 #include "hash/hash_family.h"
+#include "ht/sharded_table.h"
 
 namespace simdht {
 
 namespace {
+// Ring points use the same Mix64 avalanche as the in-process shard router
+// (ht/sharded_table.h): one randomization for both tiers of partitioning.
 std::uint64_t PointFor(std::uint32_t server_id, unsigned replica) {
   const std::uint64_t token =
       (static_cast<std::uint64_t>(server_id) << 32) | replica;
-  return Mix64(token);
+  return ShardRouterHash(token);
 }
 }  // namespace
 

@@ -8,17 +8,27 @@
 namespace simdht {
 
 Memc3Backend::Memc3Backend(std::uint64_t ht_entries,
-                           std::size_t memory_limit, bool simd_tags)
-    : table_(ht_entries / Memc3Table::kSlotsPerBucket + 1, /*seed=*/0,
-             simd_tags ? Memc3Table::TagMatch::kSse
-                       : Memc3Table::TagMatch::kScalar),
-      slab_(memory_limit),
-      simd_tags_(simd_tags) {}
+                           std::size_t memory_limit, bool simd_tags,
+                           unsigned shards)
+    : slab_(memory_limit), simd_tags_(simd_tags) {
+  if (shards == 0) {
+    throw std::invalid_argument("Memc3Backend: shards must be >= 1");
+  }
+  const std::uint64_t per_shard_buckets =
+      (ht_entries / Memc3Table::kSlotsPerBucket) / shards + 1;
+  const auto tag_match = simd_tags ? Memc3Table::TagMatch::kSse
+                                   : Memc3Table::TagMatch::kScalar;
+  tables_.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) {
+    tables_.push_back(std::make_unique<Memc3Table>(
+        per_shard_buckets, ShardSeedFor(/*seed=*/0, s), tag_match));
+  }
+}
 
 std::uint64_t Memc3Backend::FindItem(std::string_view key,
                                      std::uint64_t hash) const {
   std::uint64_t candidates[Memc3Table::kMaxCandidates];
-  const unsigned n = table_.FindCandidates(hash, candidates);
+  const unsigned n = shard_for(hash).FindCandidates(hash, candidates);
   for (unsigned i = 0; i < n; ++i) {
     // Tags are 8-bit: false positives require the full-key check.
     if (ItemKeyEquals(candidates[i], key)) return candidates[i];
@@ -31,7 +41,7 @@ bool Memc3Backend::EvictOne() {
   if (victim == 0) return false;
   const std::string_view vkey = ItemKey(victim);
   const std::uint64_t vhash = HashBytes(vkey.data(), vkey.size());
-  table_.Erase(vhash, victim);
+  shard_for(vhash).Erase(vhash, victim);
   slab_.Free(victim, ItemBytes(vkey.size(), ItemVal(victim).size()));
   return true;
 }
@@ -52,11 +62,11 @@ bool Memc3Backend::Set(std::string_view key, std::string_view val) {
   const std::uint64_t old = FindItem(key, hash);
   if (old != 0) {
     // Update: replace the table slot, then release the old item.
-    table_.Erase(hash, old);
+    shard_for(hash).Erase(hash, old);
     lru_.Remove(old);
     slab_.Free(old, ItemBytes(key.size(), ItemVal(old).size()));
   }
-  if (!table_.Insert(hash, item)) {
+  if (!shard_for(hash).Insert(hash, item)) {
     slab_.Free(item, bytes);
     return false;
   }
@@ -92,12 +102,12 @@ std::size_t Memc3Backend::MultiGet(const std::vector<std::string_view>& keys,
 
   constexpr std::size_t kGroup = 32;
   for (std::size_t i = 0; i < std::min(kGroup, n); ++i) {
-    table_.PrefetchCandidates(hashes[i]);
+    shard_for(hashes[i]).PrefetchCandidates(hashes[i]);
   }
   std::size_t hits = 0;
   for (std::size_t g = 0; g < n; g += kGroup) {
     for (std::size_t i = g + kGroup; i < std::min(g + 2 * kGroup, n); ++i) {
-      table_.PrefetchCandidates(hashes[i]);
+      shard_for(hashes[i]).PrefetchCandidates(hashes[i]);
     }
     const std::size_t end = std::min(g + kGroup, n);
     for (std::size_t i = g; i < end; ++i) {
@@ -121,7 +131,7 @@ bool Memc3Backend::Erase(std::string_view key) {
   const std::uint64_t hash = HashBytes(key.data(), key.size());
   const std::uint64_t item = FindItem(key, hash);
   if (item == 0) return false;
-  table_.Erase(hash, item);
+  shard_for(hash).Erase(hash, item);
   lru_.Remove(item);
   slab_.Free(item, ItemBytes(key.size(), ItemVal(item).size()));
   return true;

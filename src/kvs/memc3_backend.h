@@ -6,9 +6,12 @@
 #ifndef SIMDHT_KVS_MEMC3_BACKEND_H_
 #define SIMDHT_KVS_MEMC3_BACKEND_H_
 
+#include <memory>
 #include <mutex>
+#include <vector>
 
 #include "ht/memc3_table.h"
+#include "ht/sharded_table.h"
 #include "kvs/backend.h"
 #include "kvs/clock_lru.h"
 #include "kvs/slab.h"
@@ -20,9 +23,11 @@ class Memc3Backend : public KvBackend {
   // `ht_entries` sizes the hash table (rounded up; 4 slots per bucket);
   // `memory_limit` caps slab memory. `simd_tags` upgrades the baseline's
   // tag scan to one SSE compare over both candidate buckets (an ablation
-  // knob; MemC3 proper scans scalar).
+  // knob; MemC3 proper scans scalar). `shards` > 1 partitions the tag table
+  // into independent Memc3Tables routed by the same Mix64 shard router as
+  // the SIMD backends (entries and seeds split per shard).
   Memc3Backend(std::uint64_t ht_entries, std::size_t memory_limit,
-               bool simd_tags = false);
+               bool simd_tags = false, unsigned shards = 1);
 
   const char* name() const override {
     return simd_tags_ ? "MemC3+SSE-tags" : "MemC3";
@@ -34,14 +39,26 @@ class Memc3Backend : public KvBackend {
                        std::vector<std::uint8_t>* found,
                        std::vector<std::uint64_t>* handles) override;
   bool Erase(std::string_view key) override;
-  std::uint64_t size() const override { return table_.size(); }
+  std::uint64_t size() const override {
+    std::uint64_t total = 0;
+    for (const auto& t : tables_) total += t->size();
+    return total;
+  }
+  unsigned num_shards() const {
+    return static_cast<unsigned>(tables_.size());
+  }
 
  private:
+  Memc3Table& shard_for(std::uint64_t hash) const {
+    return *tables_[ShardIndexOf(ShardRouterHash(hash), num_shards())];
+  }
+
   // Looks up the item handle for `key` (0 when absent). Lock-free.
   std::uint64_t FindItem(std::string_view key, std::uint64_t hash) const;
   bool EvictOne();
 
-  Memc3Table table_;
+  // One tag table per shard (unique_ptr: Memc3Table owns a writer mutex).
+  std::vector<std::unique_ptr<Memc3Table>> tables_;
   SlabAllocator slab_;
   ClockLru lru_;
   std::mutex write_mu_;

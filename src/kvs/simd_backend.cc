@@ -41,9 +41,13 @@ SimdBackend::SimdBackend(const Config& config, std::uint64_t ht_entries,
                          std::size_t memory_limit)
     : name_(config.display_name), pipeline_(config.pipeline),
       slab_(memory_limit) {
+  if (config.shards == 0) {
+    throw std::invalid_argument("SimdBackend: shards must be >= 1");
+  }
   const std::uint64_t buckets = ht_entries / config.slots + 1;
-  table_ = std::make_unique<CuckooTable32>(config.ways, config.slots, buckets,
-                                           BucketLayout::kInterleaved);
+  table_ = std::make_unique<ShardedTable32>(config.shards, config.ways,
+                                            config.slots, buckets,
+                                            BucketLayout::kInterleaved);
   const LayoutSpec& spec = table_->spec();
   if (config.approach == Approach::kScalar) {
     kernel_ = KernelRegistry::Get().Scalar(spec);
@@ -173,12 +177,17 @@ std::size_t SimdBackend::MultiGet(const std::vector<std::string_view>& keys,
 
   // Stage 2: the SIMD (or scalar-twin) batched index lookup, run through
   // the prefetch pipeline so the candidate index-table buckets stream into
-  // cache ahead of the compare kernel.
+  // cache ahead of the compare kernel. The sharded store partitions the
+  // batch by shard and validates each shard's write epoch around the
+  // kernel call; with one shard it is a pass-through.
   std::vector<std::uint32_t> indices(n);
-  const ProbeBatch batch =
-      ProbeBatch::Of(hash_keys.data(), indices.data(), found->data(), n);
-  const std::uint64_t raw_hits =
-      PipelinedLookup(*kernel_, table_->view(), batch, pipeline_);
+  const std::uint64_t raw_hits = table_->BatchLookup(
+      [this](const TableView& view, const std::uint32_t* k, std::uint32_t* v,
+             std::uint8_t* f, std::size_t m) {
+        return PipelinedLookup(*kernel_, view, ProbeBatch::Of(k, v, f, m),
+                               pipeline_);
+      },
+      hash_keys.data(), indices.data(), found->data(), n);
   (void)raw_hits;
 
   // Stage 3: pointer dereference + full-key verification (the non-SIMD key

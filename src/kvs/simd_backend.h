@@ -15,7 +15,7 @@
 #include <memory>
 #include <mutex>
 
-#include "ht/cuckoo_table.h"
+#include "ht/sharded_table.h"
 #include "kvs/backend.h"
 #include "kvs/clock_lru.h"
 #include "kvs/slab.h"
@@ -29,6 +29,10 @@ class SimdBackend : public KvBackend {
   struct Config {
     unsigned ways = 2;
     unsigned slots = 4;
+    // Index-table shards (ht/sharded_table.h). 1 = the single-table layout
+    // the paper measures; >1 partitions the index so structural writes in
+    // one shard never force a batched reader in another to retry.
+    unsigned shards = 1;
     // The lookup kernel; Scalar twin is used when approach == kScalar.
     Approach approach = Approach::kHorizontal;
     unsigned width_bits = 256;
@@ -71,7 +75,7 @@ class SimdBackend : public KvBackend {
   bool EvictOne();
 
   std::string name_;
-  std::unique_ptr<CuckooTable32> table_;
+  std::unique_ptr<ShardedTable32> table_;
   PipelineConfig pipeline_;
   const KernelInfo* kernel_ = nullptr;
   SlabAllocator slab_;

@@ -1,6 +1,6 @@
 // SimdHashTable<K, V>: the one-class public API.
 //
-// Wraps a CuckooTable with an automatically selected SIMD lookup kernel
+// Wraps a cuckoo table with an automatically selected SIMD lookup kernel
 // (best viable design for the layout on this CPU, scalar fallback) so
 // downstream users get the paper's fastest batched lookups without touching
 // the registry or validation engine:
@@ -9,14 +9,25 @@
 //       simdht::SimdHashTable<uint32_t, uint32_t>::Options{});
 //   ht.Insert(k, v);
 //   ht.BatchGet(keys, n, vals, found);   // vectorized
+//
+// Options are validated up front: an unsupported (ways, slots, layout,
+// key/value width) combination throws std::invalid_argument naming the rule
+// it broke — it never silently degrades. With Options::shards > 1 the
+// storage becomes a ShardedTable (P concurrent shards, writer lock and
+// seqlock stripes per shard); BatchGet then partitions each batch by shard
+// and runs the same kernel per shard, and single-key writes become safe to
+// race with readers.
 #ifndef SIMDHT_SIMD_SIMD_HASH_TABLE_H_
 #define SIMDHT_SIMD_SIMD_HASH_TABLE_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "common/cpu_features.h"
 #include "ht/cuckoo_table.h"
+#include "ht/sharded_table.h"
 #include "simd/kernel.h"
 #include "simd/pipeline.h"
 
@@ -25,6 +36,10 @@ namespace simdht {
 template <typename K, typename V>
 class SimdHashTable {
  public:
+  // Routing hashes fold the shard index out of 32 bits of avalanche;
+  // anything beyond this is a configuration typo, not a real deployment.
+  static constexpr unsigned kMaxShards = 1u << 12;
+
   struct Options {
     // Defaults to the paper's best load-factor/performance combinations:
     // (2,4) BCHT for horizontal probing. Use ways=3, slots=1 for the
@@ -35,9 +50,17 @@ class SimdHashTable {
     BucketLayout layout = sizeof(K) == sizeof(V) ? BucketLayout::kInterleaved
                                                  : BucketLayout::kSplit;
     std::uint64_t seed = 0;
+    // 1 = a single plain CuckooTable (single-writer). >1 = that many
+    // independent concurrent shards; writes lock per shard and batched
+    // lookups partition by shard.
+    unsigned shards = 1;
     // Force a specific kernel by registry name; empty = auto-select the
     // widest viable design the CPU supports.
     std::string kernel_name;
+    // When auto-selecting and no SIMD kernel exists for this layout on this
+    // CPU: true (default) accepts the scalar twin, false makes the
+    // constructor throw so "I asked for SIMD" failures are loud.
+    bool allow_scalar_fallback = true;
     // Prefetch schedule for BatchGet (see simd/pipeline.h). The kernels are
     // pure compare loops, so this is the only latency hiding. AMAC is the
     // right default: on the scalar twin it fuses into a per-key interleave
@@ -48,33 +71,103 @@ class SimdHashTable {
                             /*amac_groups=*/4};
   };
 
+  // The LayoutSpec `options` describes (width fields from K/V).
+  static LayoutSpec SpecOf(const Options& options) {
+    LayoutSpec spec;
+    spec.ways = options.ways;
+    spec.slots = options.slots;
+    spec.key_bits = sizeof(K) * 8;
+    spec.val_bits = sizeof(V) * 8;
+    spec.bucket_layout = options.layout;
+    return spec;
+  }
+
+  // Throws std::invalid_argument on any unsupported combination, with the
+  // violated rule spelled out. Called by the constructor; exposed so config
+  // parsers can validate before building a multi-gigabyte table.
+  static void Validate(const Options& options) {
+    const LayoutSpec spec = SpecOf(options);
+    std::string why;
+    if (!spec.Validate(&why)) {
+      throw std::invalid_argument("SimdHashTable: unsupported layout " +
+                                  spec.ToString() + ": " + why);
+    }
+    if (options.capacity == 0) {
+      throw std::invalid_argument("SimdHashTable: capacity must be > 0");
+    }
+    if (options.shards == 0) {
+      throw std::invalid_argument("SimdHashTable: shards must be >= 1");
+    }
+    if (options.shards > kMaxShards) {
+      throw std::invalid_argument(
+          "SimdHashTable: shards=" + std::to_string(options.shards) +
+          " exceeds the maximum of " + std::to_string(kMaxShards));
+    }
+  }
+
   explicit SimdHashTable(const Options& options)
-      : table_(options.ways, options.slots,
-               options.capacity / options.slots + 1, options.layout,
-               options.seed),
-        pipeline_(options.pipeline) {
-    SelectKernel(options.kernel_name);
+      : pipeline_(options.pipeline) {
+    Validate(options);
+    const std::uint64_t num_buckets = options.capacity / options.slots + 1;
+    if (options.shards == 1) {
+      table_.emplace(options.ways, options.slots, num_buckets, options.layout,
+                     options.seed);
+    } else {
+      sharded_ = std::make_unique<ShardedTable<K, V>>(
+          options.shards, options.ways, options.slots, num_buckets,
+          options.layout, options.seed);
+    }
+    SelectKernel(options.kernel_name, options.allow_scalar_fallback);
   }
 
   // --- single-key operations (scalar paths) ---
-  bool Insert(K key, V val) { return table_.Insert(key, val); }
-  bool Find(K key, V* val) const { return table_.Find(key, val); }
-  bool UpdateValue(K key, V val) { return table_.UpdateValue(key, val); }
-  bool Erase(K key) { return table_.Erase(key); }
+  bool Insert(K key, V val) {
+    return table_ ? table_->Insert(key, val) : sharded_->Insert(key, val);
+  }
+  bool Find(K key, V* val) const {
+    return table_ ? table_->Find(key, val) : sharded_->Find(key, val);
+  }
+  bool UpdateValue(K key, V val) {
+    return table_ ? table_->UpdateValue(key, val)
+                  : sharded_->UpdateValue(key, val);
+  }
+  bool Erase(K key) {
+    return table_ ? table_->Erase(key) : sharded_->Erase(key);
+  }
 
   // --- the batched, SIMD-accelerated lookup ---
   // Looks up keys[0..n); writes vals[i] (0 on miss) and found[i] (0/1).
-  // Returns the number of keys found.
+  // Returns the number of keys found. Sharded tables partition the batch by
+  // shard and validate each shard's write epoch around the kernel call, so
+  // this is safe to race with Insert/Erase when shards > 1.
   std::uint64_t BatchGet(const K* keys, std::size_t n, V* vals,
                          std::uint8_t* found) const {
-    const ProbeBatch batch = ProbeBatch::Of(keys, vals, found, n);
-    return PipelinedLookup(*kernel_, table_.view(), batch, pipeline_);
+    if (table_) {
+      const ProbeBatch batch = ProbeBatch::Of(keys, vals, found, n);
+      return PipelinedLookup(*kernel_, table_->view(), batch, pipeline_);
+    }
+    return sharded_->BatchLookup(
+        [this](const TableView& view, const K* k, V* v, std::uint8_t* f,
+               std::size_t m) {
+          return PipelinedLookup(*kernel_, view, ProbeBatch::Of(k, v, f, m),
+                                 pipeline_);
+        },
+        keys, vals, found, n);
   }
 
-  std::uint64_t size() const { return table_.size(); }
-  std::uint64_t capacity() const { return table_.capacity(); }
-  double load_factor() const { return table_.load_factor(); }
-  const LayoutSpec& spec() const { return table_.spec(); }
+  std::uint64_t size() const {
+    return table_ ? table_->size() : sharded_->size();
+  }
+  std::uint64_t capacity() const {
+    return table_ ? table_->capacity() : sharded_->capacity();
+  }
+  double load_factor() const {
+    return table_ ? table_->load_factor() : sharded_->load_factor();
+  }
+  const LayoutSpec& spec() const {
+    return table_ ? table_->spec() : sharded_->spec();
+  }
+  unsigned num_shards() const { return table_ ? 1 : sharded_->num_shards(); }
 
   // Which lookup algorithm BatchGet uses ("V-Hor/AVX-512/k32v32", ...).
   const std::string& kernel_name() const { return kernel_->name; }
@@ -82,16 +175,43 @@ class SimdHashTable {
     return kernel_->approach != Approach::kScalar;
   }
 
-  // Access to the underlying table (snapshots, custom kernels, view()).
-  CuckooTable<K, V>& table() { return table_; }
-  const CuckooTable<K, V>& table() const { return table_; }
+  // Access to the underlying unsharded table (snapshots, custom kernels,
+  // view()). Throws std::logic_error when shards > 1 — use sharded().
+  CuckooTable<K, V>& table() {
+    if (!table_) {
+      throw std::logic_error("SimdHashTable: table() on a sharded table");
+    }
+    return *table_;
+  }
+  const CuckooTable<K, V>& table() const {
+    if (!table_) {
+      throw std::logic_error("SimdHashTable: table() on a sharded table");
+    }
+    return *table_;
+  }
+
+  // The sharded store (only when constructed with shards > 1).
+  ShardedTable<K, V>& sharded() {
+    if (!sharded_) {
+      throw std::logic_error("SimdHashTable: sharded() on a 1-shard table");
+    }
+    return *sharded_;
+  }
+  const ShardedTable<K, V>& sharded() const {
+    if (!sharded_) {
+      throw std::logic_error("SimdHashTable: sharded() on a 1-shard table");
+    }
+    return *sharded_;
+  }
 
  private:
-  void SelectKernel(const std::string& forced_name) {
+  void SelectKernel(const std::string& forced_name,
+                    bool allow_scalar_fallback) {
     const KernelRegistry& registry = KernelRegistry::Get();
+    const LayoutSpec& spec = this->spec();
     if (!forced_name.empty()) {
       const KernelInfo* forced = registry.ByName(forced_name);
-      if (forced == nullptr || !forced->Matches(table_.spec()) ||
+      if (forced == nullptr || !forced->Matches(spec) ||
           !GetCpuFeatures().Supports(forced->level)) {
         throw std::invalid_argument("SimdHashTable: kernel '" + forced_name +
                                     "' unavailable for this layout/CPU");
@@ -100,24 +220,31 @@ class SimdHashTable {
       return;
     }
     // Auto: widest supported design for the layout's natural approach.
-    const Approach approach = table_.spec().bucketized()
-                                  ? Approach::kHorizontal
-                                  : Approach::kVertical;
-    auto candidates = registry.Find(KernelQuery{table_.spec(), approach});
+    const Approach approach =
+        spec.bucketized() ? Approach::kHorizontal : Approach::kVertical;
+    auto candidates = registry.Find(KernelQuery{spec, approach});
     kernel_ = nullptr;
     for (const KernelInfo* k : candidates) {
       if (kernel_ == nullptr || k->width_bits > kernel_->width_bits) {
         kernel_ = k;
       }
     }
-    if (kernel_ == nullptr) kernel_ = registry.Scalar(table_.spec());
+    if (kernel_ == nullptr) {
+      if (!allow_scalar_fallback) {
+        throw std::invalid_argument(
+            "SimdHashTable: no SIMD kernel for layout " + spec.ToString() +
+            " on this CPU and scalar fallback is disabled");
+      }
+      kernel_ = registry.Scalar(spec);
+    }
     if (kernel_ == nullptr) {
       throw std::runtime_error(
           "SimdHashTable: no lookup kernel for this layout");
     }
   }
 
-  CuckooTable<K, V> table_;
+  std::optional<CuckooTable<K, V>> table_;       // shards == 1
+  std::unique_ptr<ShardedTable<K, V>> sharded_;  // shards > 1
   PipelineConfig pipeline_;
   const KernelInfo* kernel_ = nullptr;
 };

@@ -82,6 +82,23 @@ TEST(CaseRunner, RejectsInvalidLayout) {
   EXPECT_THROW(RunCase(spec, {}), std::invalid_argument);
 }
 
+TEST(CaseRunner, ShardedSharedTableRun) {
+  CaseSpec spec = SmallSpec();
+  spec.run.shards = 4;
+  const CaseResult result = RunCase(spec, {});
+  EXPECT_EQ(result.shards, 4u);
+  EXPECT_GT(result.kernels[0].mlps_per_core, 0.0);
+  EXPECT_NEAR(result.kernels[0].hit_fraction, 0.9, 0.02);
+  EXPECT_NEAR(result.achieved_load_factor, 0.85, 0.02);
+}
+
+TEST(CaseRunner, ShardsRequireSharedTable) {
+  CaseSpec spec = SmallSpec();
+  spec.run.shards = 2;
+  spec.shared_table = false;  // per-thread tables are already partitioned
+  EXPECT_THROW(RunCase(spec, {}), std::invalid_argument);
+}
+
 TEST(BucketsForBytes, PowerOfTwoWithinBudget) {
   LayoutSpec layout;
   layout.ways = 2;

@@ -88,6 +88,24 @@ TEST(MixedRunner, ProducesComparableThroughputs) {
   EXPECT_LT(r.degradation, 1.0);
 }
 
+TEST(MixedRunner, ShardedRun) {
+  CaseSpec spec;
+  spec.layout.ways = 2;
+  spec.layout.slots = 4;
+  spec.table_bytes = 64 << 10;
+  spec.load_factor = 0.8;
+  spec.run.shards = 4;
+  spec.run.threads = 2;
+  spec.run.queries_per_thread = 1 << 14;
+  spec.run.repeats = 1;
+
+  const auto results = RunMixedCase(spec, {});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].read_only_mlps, 0.0);
+  EXPECT_GT(results[0].with_writer_mlps, 0.0);
+  EXPECT_GT(results[0].writer_mups, 0.0);
+}
+
 TEST(MixedRunner, RejectsUnsupportedLayouts) {
   CaseSpec spec;
   spec.layout.ways = 2;

@@ -164,6 +164,78 @@ TEST(ConcurrentTable, BatchLookupRacingWriter) {
   writer.join();
 }
 
+// Erases racing batch lookups: after the writer publishes "first E doomed
+// keys erased", a batch that starts later must not report any of them as
+// found — a stale hit would mean a torn view slipped past epoch
+// validation. Untouched keys stay found with exact values throughout.
+TEST(ConcurrentTable, EraseRacingBatchLookupNeverYieldsStaleHits) {
+  ConcurrentCuckooTable32 table(2, 4, 8192, BucketLayout::kInterleaved, 13);
+  Xoshiro256 rng(14);
+  std::vector<std::uint32_t> stable, doomed;
+  while (stable.size() < 3000) {
+    const auto key = static_cast<std::uint32_t>(rng.Next()) | 1;
+    if (table.Insert(key, key ^ 0xBEEF)) stable.push_back(key);
+  }
+  while (doomed.size() < 2000) {
+    // Disjoint from `stable`: high bit set.
+    const auto key = static_cast<std::uint32_t>(rng.Next()) | 0x80000001u;
+    if (table.Insert(key, key + 1)) doomed.push_back(key);
+  }
+
+  std::vector<std::uint32_t> probes = stable;
+  probes.insert(probes.end(), doomed.begin(), doomed.end());
+  const KernelInfo* kernel = nullptr;
+  for (const KernelInfo* k : KernelRegistry::Get().Find(
+           KernelQuery{table.spec(), Approach::kHorizontal})) {
+    kernel = k;
+  }
+  if (kernel == nullptr) kernel = KernelRegistry::Get().Scalar(table.spec());
+  ASSERT_NE(kernel, nullptr);
+  const auto lookup = [&](const TableView& view, const std::uint32_t* keys,
+                          std::uint32_t* out_vals, std::uint8_t* out_found,
+                          std::size_t n) {
+    return kernel->Lookup(view, ProbeBatch::Of(keys, out_vals, out_found, n));
+  };
+
+  std::atomic<std::size_t> erased{0};
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < doomed.size(); ++i) {
+      table.Erase(doomed[i]);
+      erased.store(i + 1, std::memory_order_release);
+      if (i % 256 == 0) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::uint32_t> vals(probes.size());
+  std::vector<std::uint8_t> found(probes.size());
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t erased_before =
+        erased.load(std::memory_order_acquire);
+    table.BatchLookup(lookup, probes.data(), vals.data(), found.data(),
+                      probes.size());
+    for (std::size_t i = 0; i < stable.size(); ++i) {
+      ASSERT_TRUE(found[i]) << "round " << round;
+      ASSERT_EQ(vals[i], stable[i] ^ 0xBEEF) << "round " << round;
+    }
+    for (std::size_t i = 0; i < doomed.size(); ++i) {
+      const std::size_t pos = stable.size() + i;
+      if (i < erased_before) {
+        ASSERT_FALSE(found[pos])
+            << "stale hit for erased key " << doomed[i] << " in round "
+            << round;
+      } else if (found[pos]) {
+        ASSERT_EQ(vals[pos], doomed[i] + 1) << "round " << round;
+      }
+    }
+  }
+  writer.join();
+
+  const std::uint64_t hits = table.BatchLookup(
+      lookup, probes.data(), vals.data(), found.data(), probes.size());
+  EXPECT_EQ(hits, stable.size());
+  EXPECT_EQ(table.size(), stable.size());
+}
+
 TEST(ConcurrentTable, InsertFailsCleanlyWhenFull) {
   // Non-bucketized 2-way saturates near 50% under the paper's protocol
   // (insert until the FIRST failure); the fill must stop rather than hang,

@@ -1,8 +1,10 @@
-// Snapshot round-trip tests.
+// Snapshot round-trip tests, unsharded and sharded.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
 
 #include "ht/table_builder.h"
 #include "ht/table_io.h"
@@ -89,6 +91,132 @@ TEST(TableIo, FileRoundTrip) {
   EXPECT_FALSE(
       (LoadTableFromFile<std::uint16_t, std::uint32_t>("/no/such/file"))
           .has_value());
+}
+
+// --- sharded snapshots ---
+// Container layout under test: ShardedHeader{magic[8], u32 shard_count,
+// u32 reserved} then per shard ShardRecord{u32 shard_index, u32 reserved,
+// u64 seed} + an embedded per-shard snapshot.
+constexpr std::size_t kShardCountOffset = 8;
+constexpr std::size_t kFirstRecordOffset = 16;
+constexpr std::size_t kFirstSeedOffset = kFirstRecordOffset + 8;
+
+ShardedTable32 BuildShardedFixture(unsigned shards, std::uint64_t seed) {
+  ShardedTable32 table(shards, 2, 4, 2048, BucketLayout::kInterleaved, seed);
+  const auto build = FillToLoadFactor(&table, 0.6, seed + 1);
+  EXPECT_FALSE(build.inserted_keys.empty());
+  return table;
+}
+
+std::string SaveToBytes(const ShardedTable32& table) {
+  std::stringstream stream;
+  EXPECT_TRUE(SaveShardedTable(table, stream));
+  return stream.str();
+}
+
+std::optional<ShardedTable32> LoadFromBytes(std::string bytes) {
+  std::stringstream stream(std::move(bytes));
+  return LoadShardedTable<std::uint32_t, std::uint32_t>(stream);
+}
+
+TEST(TableIo, ShardedRoundTripPreservesEverything) {
+  ShardedTable32 original = BuildShardedFixture(4, 55);
+  auto loaded = LoadFromBytes(SaveToBytes(original));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_shards(), 4u);
+  EXPECT_EQ(loaded->size(), original.size());
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_EQ(loaded->shard_seed(s), original.shard_seed(s)) << s;
+    const CuckooTable32& a = original.shard(s).table();
+    const CuckooTable32& b = loaded->shard(s).table();
+    ASSERT_EQ(a.table_bytes(), b.table_bytes()) << s;
+    EXPECT_EQ(std::memcmp(a.raw_data(), b.raw_data(), a.table_bytes()), 0)
+        << s;
+  }
+  // Routed lookups resolve identically (router seeds + hash families and
+  // bucket bytes all survived).
+  for (unsigned s = 0; s < 4; ++s) {
+    EXPECT_EQ(loaded->shard(s).size(), original.shard(s).size()) << s;
+  }
+}
+
+TEST(TableIo, ShardedSingleShardRoundTrip) {
+  ShardedTable32 original = BuildShardedFixture(1, 77);
+  auto loaded = LoadFromBytes(SaveToBytes(original));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_shards(), 1u);
+  EXPECT_EQ(loaded->shard_seed(0), 77u);
+  EXPECT_EQ(loaded->size(), original.size());
+}
+
+TEST(TableIo, ShardedRejectsBadMagic) {
+  std::string bytes = SaveToBytes(BuildShardedFixture(2, 5));
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(LoadFromBytes(std::move(bytes)).has_value());
+  // An *unsharded* snapshot is not a sharded one either.
+  CuckooTable32 plain(2, 4, 64, BucketLayout::kInterleaved);
+  std::stringstream plain_stream;
+  ASSERT_TRUE(SaveTable(plain, plain_stream));
+  EXPECT_FALSE((LoadShardedTable<std::uint32_t, std::uint32_t>(plain_stream))
+                   .has_value());
+}
+
+TEST(TableIo, ShardedRejectsCorruptShardCount) {
+  const std::string good = SaveToBytes(BuildShardedFixture(2, 5));
+
+  std::string zero = good;
+  const std::uint32_t zero_count = 0;
+  std::memcpy(&zero[kShardCountOffset], &zero_count, sizeof(zero_count));
+  EXPECT_FALSE(LoadFromBytes(std::move(zero)).has_value());
+
+  std::string absurd = good;
+  const std::uint32_t absurd_count = 0xFFFFFFFFu;
+  std::memcpy(&absurd[kShardCountOffset], &absurd_count,
+              sizeof(absurd_count));
+  EXPECT_FALSE(LoadFromBytes(std::move(absurd)).has_value());
+
+  // Claiming more shards than the stream holds trips the embedded-snapshot
+  // reads, not an allocation.
+  std::string extra = good;
+  const std::uint32_t extra_count = 3;
+  std::memcpy(&extra[kShardCountOffset], &extra_count, sizeof(extra_count));
+  EXPECT_FALSE(LoadFromBytes(std::move(extra)).has_value());
+}
+
+TEST(TableIo, ShardedRejectsOutOfSequenceRecords) {
+  std::string bytes = SaveToBytes(BuildShardedFixture(2, 5));
+  const std::uint32_t wrong_index = 1;  // record 0 must carry index 0
+  std::memcpy(&bytes[kFirstRecordOffset], &wrong_index, sizeof(wrong_index));
+  EXPECT_FALSE(LoadFromBytes(std::move(bytes)).has_value());
+}
+
+TEST(TableIo, ShardedRejectsSeedMismatch) {
+  // A tampered seed no longer matches the stored hash multipliers; loading
+  // such a snapshot would silently misroute keys, so it must be refused.
+  std::string bytes = SaveToBytes(BuildShardedFixture(2, 5));
+  bytes[kFirstSeedOffset] ^= 0xFF;
+  EXPECT_FALSE(LoadFromBytes(std::move(bytes)).has_value());
+}
+
+TEST(TableIo, ShardedRejectsTruncation) {
+  const std::string bytes = SaveToBytes(BuildShardedFixture(4, 5));
+  EXPECT_FALSE(
+      LoadFromBytes(bytes.substr(0, bytes.size() / 2)).has_value());
+  EXPECT_FALSE(LoadFromBytes(bytes.substr(0, 10)).has_value());
+}
+
+TEST(TableIo, ShardedFileRoundTrip) {
+  ShardedTable32 original = BuildShardedFixture(3, 91);
+  const std::string path = "/tmp/simdht_test_sharded_snapshot.bin";
+  ASSERT_TRUE(SaveShardedTableToFile(original, path));
+  auto loaded = LoadShardedTableFromFile<std::uint32_t, std::uint32_t>(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_shards(), 3u);
+  EXPECT_EQ(loaded->size(), original.size());
+  std::remove(path.c_str());
+  EXPECT_FALSE((LoadShardedTableFromFile<std::uint32_t, std::uint32_t>(
+                    "/no/such/file"))
+                   .has_value());
 }
 
 }  // namespace

@@ -1,0 +1,160 @@
+// TableStore: the shared storage layer every table family sits on.
+// Shape resolution, typed slot addressing under both bucket layouts, the
+// seqlock stripes / write epoch, and movability (table_io depends on it).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "ht/table_store.h"
+
+namespace simdht {
+namespace {
+
+LayoutSpec Spec(unsigned ways, unsigned slots, unsigned key_bits,
+                unsigned val_bits, BucketLayout layout) {
+  LayoutSpec spec;
+  spec.ways = ways;
+  spec.slots = slots;
+  spec.key_bits = key_bits;
+  spec.val_bits = val_bits;
+  spec.bucket_layout = layout;
+  return spec;
+}
+
+TEST(TableShape, RoundsBucketsToPowerOfTwo) {
+  const auto spec = Spec(2, 4, 32, 32, BucketLayout::kInterleaved);
+  const TableShape shape = TableShape::For(spec, 1000);
+  EXPECT_EQ(shape.num_buckets, 1024u);
+  EXPECT_EQ(shape.log2_buckets, 10u);
+  EXPECT_EQ(shape.bucket_bytes, spec.bucket_bytes());
+  EXPECT_EQ(shape.total_bytes(), 1024u * spec.bucket_bytes());
+  EXPECT_FALSE(shape.raw);
+
+  // Minimum is 2 buckets even for tiny requests.
+  EXPECT_EQ(TableShape::For(spec, 0).num_buckets, 2u);
+  EXPECT_EQ(TableShape::For(spec, 1).num_buckets, 2u);
+}
+
+TEST(TableShape, RejectsInvalidSpecs) {
+  EXPECT_THROW(
+      TableShape::For(Spec(5, 1, 32, 32, BucketLayout::kInterleaved), 64),
+      std::invalid_argument);
+  EXPECT_THROW(
+      TableShape::For(Spec(2, 4, 16, 32, BucketLayout::kInterleaved), 64),
+      std::invalid_argument);
+}
+
+TEST(TableShape, RawShapeSkipsLayoutRules) {
+  const TableShape shape = TableShape::Raw(600, 24);
+  EXPECT_TRUE(shape.raw);
+  EXPECT_EQ(shape.num_buckets, 1024u);
+  EXPECT_EQ(shape.bucket_bytes, 24u);
+}
+
+TEST(TableStore, SlotAddressingInterleaved) {
+  const auto spec = Spec(2, 4, 32, 32, BucketLayout::kInterleaved);
+  TableStore store(TableShape::For(spec, 64), /*seed=*/0);
+  store.SetSlot<std::uint32_t, std::uint32_t>(3, 2, 0xAAAA, 0xBBBB);
+  EXPECT_EQ((store.KeyAt<std::uint32_t>(3, 2)), 0xAAAAu);
+  EXPECT_EQ((store.ValAt<std::uint32_t>(3, 2)), 0xBBBBu);
+  // Interleaved: value sits right after its key.
+  EXPECT_EQ(store.val_addr(3, 2), store.key_addr(3, 2) + spec.key_bytes());
+  store.SetVal<std::uint32_t>(3, 2, 0xCCCC);
+  EXPECT_EQ((store.ValAt<std::uint32_t>(3, 2)), 0xCCCCu);
+}
+
+TEST(TableStore, SlotAddressingSplit) {
+  const auto spec = Spec(2, 8, 16, 32, BucketLayout::kSplit);
+  TableStore store(TableShape::For(spec, 64), /*seed=*/0);
+  store.SetSlot<std::uint16_t, std::uint32_t>(5, 7, 0x1234, 0x9999);
+  EXPECT_EQ((store.KeyAt<std::uint16_t>(5, 7)), 0x1234u);
+  EXPECT_EQ((store.ValAt<std::uint32_t>(5, 7)), 0x9999u);
+  // Split: the value block starts after all m keys.
+  EXPECT_EQ(store.val_addr(5, 0),
+            store.key_addr(5, 0) + spec.slots * spec.key_bytes());
+}
+
+TEST(TableStore, ViewMatchesShapeAndArena) {
+  const auto spec = Spec(3, 1, 32, 32, BucketLayout::kInterleaved);
+  TableStore store(TableShape::For(spec, 256), /*seed=*/9);
+  const TableView view = store.view();
+  EXPECT_EQ(view.data, store.data());
+  EXPECT_EQ(view.num_buckets, store.num_buckets());
+  EXPECT_EQ(view.log2_buckets, store.log2_buckets());
+  EXPECT_EQ(view.spec.ways, 3u);
+  EXPECT_EQ(view.hash.mult[0], store.hash().mult[0]);
+}
+
+TEST(TableStore, SeededHashMatchesHashFamilyMake) {
+  const auto spec = Spec(2, 4, 32, 32, BucketLayout::kInterleaved);
+  TableStore store(TableShape::For(spec, 512), /*seed=*/777);
+  const HashFamily expected = HashFamily::Make(store.log2_buckets(), 777);
+  for (unsigned w = 0; w < kMaxWays; ++w) {
+    EXPECT_EQ(store.hash().mult[w], expected.mult[w]) << w;
+  }
+}
+
+TEST(TableStore, ArenaStartsZeroedAndSizeAdjusts) {
+  const auto spec = Spec(2, 4, 32, 32, BucketLayout::kInterleaved);
+  TableStore store(TableShape::For(spec, 128), /*seed=*/0);
+  for (std::uint64_t i = 0; i < store.table_bytes(); ++i) {
+    ASSERT_EQ(store.data()[i], 0u) << i;  // kEmptyKey everywhere
+  }
+  EXPECT_EQ(store.size(), 0u);
+  store.AdjustSize(+3);
+  store.AdjustSize(-1);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(TableStore, StripesAliasModuloStripeCount) {
+  const auto spec = Spec(2, 4, 32, 32, BucketLayout::kInterleaved);
+  TableStore store(TableShape::For(spec, 64), /*seed=*/0);
+  const std::uint64_t b = 17;
+  EXPECT_EQ(&store.StripeFor(b),
+            &store.StripeFor(b + TableStore::kVersionStripes));
+  EXPECT_NE(&store.StripeFor(b), &store.StripeFor(b + 1));
+
+  // Writer discipline: odd while mutating, even (advanced) after.
+  const std::uint64_t v0 = store.StripeFor(b).load();
+  store.BumpOdd(b);
+  EXPECT_EQ(store.StripeFor(b).load(), v0 + 1);
+  store.BumpEven(b);
+  EXPECT_EQ(store.StripeFor(b).load(), v0 + 2);
+}
+
+TEST(TableStore, EpochValidatesAcrossWrites) {
+  const auto spec = Spec(2, 4, 32, 32, BucketLayout::kInterleaved);
+  TableStore store(TableShape::For(spec, 64), /*seed=*/0);
+  const std::uint64_t e0 = store.EpochBegin();
+  EXPECT_EQ(e0 % 2, 0u);  // even = no write in flight
+  EXPECT_TRUE(store.EpochValidate(e0));
+  store.EpochEnterWrite();
+  EXPECT_FALSE(store.EpochValidate(e0));  // odd: write in flight
+  store.EpochExitWrite();
+  EXPECT_FALSE(store.EpochValidate(e0));  // new even epoch
+  EXPECT_TRUE(store.EpochValidate(store.EpochBegin()));
+}
+
+TEST(TableStore, MoveKeepsStateAndMachinery) {
+  const auto spec = Spec(2, 4, 32, 32, BucketLayout::kInterleaved);
+  TableStore a(TableShape::For(spec, 64), /*seed=*/42);
+  a.SetSlot<std::uint32_t, std::uint32_t>(1, 0, 7, 70);
+  a.AdjustSize(+1);
+  a.EpochEnterWrite();
+  a.EpochExitWrite();
+  const std::uint64_t epoch = a.EpochBegin();
+
+  TableStore b(std::move(a));
+  EXPECT_EQ((b.KeyAt<std::uint32_t>(1, 0)), 7u);
+  EXPECT_EQ((b.ValAt<std::uint32_t>(1, 0)), 70u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.EpochBegin(), epoch);  // epoch rides in the versions array
+  b.BumpOdd(0);
+  b.BumpEven(0);
+  EXPECT_TRUE(b.EpochValidate(epoch));
+}
+
+}  // namespace
+}  // namespace simdht

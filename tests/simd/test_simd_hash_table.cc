@@ -1,6 +1,12 @@
-// SimdHashTable facade tests.
+// SimdHashTable facade tests: kernel selection, batched lookups, option
+// validation (every rejection path), and the sharded storage mode.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "common/cpu_features.h"
@@ -11,6 +17,19 @@ namespace simdht {
 namespace {
 
 using Table32 = SimdHashTable<std::uint32_t, std::uint32_t>;
+
+// Constructs with `options` and returns the invalid_argument message.
+template <typename K, typename V>
+std::string RejectionMessage(
+    const typename SimdHashTable<K, V>::Options& options) {
+  try {
+    SimdHashTable<K, V>::Validate(options);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "Validate accepted an unsupported configuration";
+  return "";
+}
 
 TEST(SimdHashTable, BasicOperations) {
   Table32::Options options;
@@ -99,6 +118,198 @@ TEST(SimdHashTable, ForcedKernelMismatchThrows) {
   options.ways = 2;
   options.slots = 4;
   EXPECT_THROW(Table32 ht2(options), std::invalid_argument);
+}
+
+// --- Options validation: every unsupported combination must throw with the
+// violated rule named, never degrade silently. ---
+
+TEST(SimdHashTableValidate, RejectsTooManyWays) {
+  Table32::Options options;
+  options.ways = 5;  // kMaxWays is 4
+  const std::string msg = RejectionMessage<std::uint32_t, std::uint32_t>(
+      options);
+  EXPECT_NE(msg.find("unsupported layout"), std::string::npos) << msg;
+  EXPECT_THROW(Table32 ht(options), std::invalid_argument);
+}
+
+TEST(SimdHashTableValidate, RejectsNonPowerOfTwoSlots) {
+  Table32::Options options;
+  options.slots = 3;
+  const std::string msg = RejectionMessage<std::uint32_t, std::uint32_t>(
+      options);
+  EXPECT_NE(msg.find("unsupported layout"), std::string::npos) << msg;
+  EXPECT_THROW(Table32 ht(options), std::invalid_argument);
+
+  options.slots = 16;  // beyond the max bucket width
+  EXPECT_THROW(Table32 ht2(options), std::invalid_argument);
+}
+
+TEST(SimdHashTableValidate, RejectsMixedWidthInterleaved) {
+  // Interleaved lanes must alternate evenly, so k16/v32 needs kSplit.
+  SimdHashTable<std::uint16_t, std::uint32_t>::Options options;
+  options.ways = 2;
+  options.slots = 8;
+  options.layout = BucketLayout::kInterleaved;
+  const std::string msg = RejectionMessage<std::uint16_t, std::uint32_t>(
+      options);
+  EXPECT_NE(msg.find("unsupported layout"), std::string::npos) << msg;
+}
+
+TEST(SimdHashTableValidate, RejectsUnsupportedKeyWidth) {
+  // 8-bit keys are outside the paper's {16, 32, 64} design space. Validate
+  // is static, so no table (and no kernel instantiation) is required.
+  SimdHashTable<std::uint8_t, std::uint32_t>::Options options;
+  EXPECT_THROW(
+      (SimdHashTable<std::uint8_t, std::uint32_t>::Validate(options)),
+      std::invalid_argument);
+}
+
+TEST(SimdHashTableValidate, RejectsZeroCapacity) {
+  Table32::Options options;
+  options.capacity = 0;
+  const std::string msg = RejectionMessage<std::uint32_t, std::uint32_t>(
+      options);
+  EXPECT_NE(msg.find("capacity"), std::string::npos) << msg;
+}
+
+TEST(SimdHashTableValidate, RejectsBadShardCounts) {
+  Table32::Options options;
+  options.shards = 0;
+  const std::string zero_msg =
+      RejectionMessage<std::uint32_t, std::uint32_t>(options);
+  EXPECT_NE(zero_msg.find("shards"), std::string::npos) << zero_msg;
+  options.shards = Table32::kMaxShards + 1;
+  const std::string msg = RejectionMessage<std::uint32_t, std::uint32_t>(
+      options);
+  EXPECT_NE(msg.find("exceeds the maximum"), std::string::npos) << msg;
+}
+
+TEST(SimdHashTableValidate, AcceptsEveryDocumentedCombination) {
+  for (unsigned ways : {2u, 3u, 4u}) {
+    for (unsigned slots : {1u, 2u, 4u, 8u}) {
+      Table32::Options options;
+      options.ways = ways;
+      options.slots = slots;
+      EXPECT_NO_THROW(Table32::Validate(options)) << ways << "," << slots;
+    }
+  }
+}
+
+TEST(SimdHashTableValidate, ScalarFallbackDisabledFailsLoudly) {
+  Table32::Options options;
+  options.capacity = 1 << 10;
+  options.allow_scalar_fallback = false;
+  // Either a SIMD kernel exists for the layout on this CPU (then the table
+  // must actually be using it), or construction throws naming the rule —
+  // never a silent scalar downgrade.
+  try {
+    Table32 ht(options);
+    EXPECT_TRUE(ht.using_simd());
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scalar fallback is disabled"),
+              std::string::npos);
+  }
+}
+
+// --- Sharded storage mode ---
+
+TEST(SimdHashTable, ShardedBasicOperations) {
+  Table32::Options options;
+  options.capacity = 1 << 14;
+  options.shards = 8;
+  Table32 ht(options);
+  EXPECT_EQ(ht.num_shards(), 8u);
+  EXPECT_THROW(ht.table(), std::logic_error);
+  EXPECT_EQ(ht.sharded().num_shards(), 8u);
+
+  Xoshiro256 rng(41);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng.Next()) | 1;
+    if (ht.Insert(k, k ^ 0x77)) keys.push_back(k);
+  }
+  EXPECT_EQ(ht.size(), keys.size());
+
+  std::vector<std::uint32_t> vals(keys.size());
+  std::vector<std::uint8_t> found(keys.size());
+  const std::uint64_t hits =
+      ht.BatchGet(keys.data(), keys.size(), vals.data(), found.data());
+  EXPECT_EQ(hits, keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(found[i]) << i;
+    ASSERT_EQ(vals[i], keys[i] ^ 0x77) << i;
+  }
+}
+
+TEST(SimdHashTable, UnshardedShardedAccessorThrows) {
+  Table32::Options options;
+  options.capacity = 1 << 10;
+  Table32 ht(options);
+  EXPECT_EQ(ht.num_shards(), 1u);
+  EXPECT_NO_THROW(ht.table());
+  EXPECT_THROW(ht.sharded(), std::logic_error);
+}
+
+// Satellite: erases racing BatchGet on a sharded table. Once the writer
+// publishes "first E doomed keys erased", no later batch may report any of
+// them found; untouched keys keep their exact values.
+TEST(SimdHashTable, ShardedEraseRacingBatchGetHasNoStaleHits) {
+  Table32::Options options;
+  options.capacity = 1 << 14;
+  options.shards = 4;
+  Table32 ht(options);
+
+  Xoshiro256 rng(51);
+  std::unordered_set<std::uint32_t> used;
+  std::vector<std::uint32_t> stable, doomed;
+  while (stable.size() < 2000) {
+    const auto k = static_cast<std::uint32_t>(rng.Next()) | 1;
+    if (!used.insert(k).second) continue;
+    if (ht.Insert(k, k ^ 0xBEEF)) stable.push_back(k);
+  }
+  while (doomed.size() < 1500) {
+    const auto k = static_cast<std::uint32_t>(rng.Next()) | 1;
+    if (!used.insert(k).second) continue;
+    if (ht.Insert(k, k + 1)) doomed.push_back(k);
+  }
+  std::vector<std::uint32_t> probes = stable;
+  probes.insert(probes.end(), doomed.begin(), doomed.end());
+
+  std::atomic<std::size_t> erased{0};
+  std::thread writer([&] {
+    for (std::size_t i = 0; i < doomed.size(); ++i) {
+      ht.Erase(doomed[i]);
+      erased.store(i + 1, std::memory_order_release);
+      if (i % 256 == 0) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::uint32_t> vals(probes.size());
+  std::vector<std::uint8_t> found(probes.size());
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t erased_before =
+        erased.load(std::memory_order_acquire);
+    ht.BatchGet(probes.data(), probes.size(), vals.data(), found.data());
+    for (std::size_t i = 0; i < stable.size(); ++i) {
+      ASSERT_TRUE(found[i]) << "round " << round;
+      ASSERT_EQ(vals[i], stable[i] ^ 0xBEEF) << "round " << round;
+    }
+    for (std::size_t i = 0; i < doomed.size(); ++i) {
+      const std::size_t pos = stable.size() + i;
+      if (i < erased_before) {
+        ASSERT_FALSE(found[pos])
+            << "stale hit for erased key in round " << round;
+      } else if (found[pos]) {
+        ASSERT_EQ(vals[pos], doomed[i] + 1) << "round " << round;
+      }
+    }
+  }
+  writer.join();
+
+  const std::uint64_t hits =
+      ht.BatchGet(probes.data(), probes.size(), vals.data(), found.data());
+  EXPECT_EQ(hits, stable.size());
+  EXPECT_EQ(ht.size(), stable.size());
 }
 
 TEST(SimdHashTable, MixedWidthDefaultsToSplitLayout) {

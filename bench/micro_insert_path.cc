@@ -1,0 +1,172 @@
+// Insertion-engine microbench: random-walk vs BFS path-search placement.
+//
+// For each (N, m) shape, fills a fresh table to saturation under both
+// policies and reports the achieved load factor (median and min-max band
+// over the seed set), successful-insert throughput, and the engine's
+// failure/recovery counters. The walk configuration disables the stash and
+// rebuild tiers so it reproduces the legacy insert path; the BFS
+// configuration runs the full engine (path search + stash + rebuild).
+//
+// --check turns the run into a regression gate (used by scripts/check.sh
+// and CI): exits non-zero unless BFS (4,8) reaches >= 0.95 LF and BFS (2,1)
+// lands inside the theoretical non-bucketized band.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "ht/table_builder.h"
+
+using namespace simdht;
+using namespace simdht::bench;
+
+namespace {
+
+struct Shape {
+  unsigned n, m;
+};
+
+struct PolicyRun {
+  const char* name;
+  InsertPolicy policy;
+  unsigned stash_capacity;
+  bool rebuild;
+};
+
+struct ShapeResult {
+  std::vector<double> lf_samples;  // sorted after collection
+  double minserts_per_sec = 0.0;   // mean over seeds
+  double failed_inserts = 0.0;     // mean over seeds
+  double rebuilds = 0.0;           // mean over seeds
+  double stash_used = 0.0;         // mean over seeds
+  double median_lf() const {
+    const std::size_t k = lf_samples.size();
+    return (k % 2) != 0 ? lf_samples[k / 2]
+                        : 0.5 * (lf_samples[k / 2 - 1] + lf_samples[k / 2]);
+  }
+};
+
+ShapeResult RunShape(const Shape& shape, const PolicyRun& policy,
+                     std::uint64_t buckets, unsigned seeds,
+                     std::uint64_t base_seed) {
+  ShapeResult out;
+  RunningStat rate, failed, rebuilds, stash;
+  for (unsigned i = 0; i < seeds; ++i) {
+    std::uint64_t s = base_seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+    if (s == 0) s = 1;
+    CuckooTable<std::uint32_t, std::uint32_t> table(
+        shape.n, shape.m, buckets, BucketLayout::kInterleaved, s);
+    table.set_insert_policy(policy.policy);
+    table.set_stash_capacity(policy.stash_capacity);
+    table.set_rebuild_enabled(policy.rebuild);
+
+    Timer timer;
+    const BuildResult<std::uint32_t> result =
+        FillToSaturation(&table, Mix64(s) | 1);
+    const double secs = timer.ElapsedSeconds();
+
+    out.lf_samples.push_back(result.achieved_load_factor);
+    const double landed = static_cast<double>(result.inserted_keys.size());
+    rate.Add(secs > 0.0 ? landed / secs / 1e6 : 0.0);
+    failed.Add(static_cast<double>(result.failed_inserts));
+    rebuilds.Add(static_cast<double>(table.insert_stats().rebuilds));
+    stash.Add(static_cast<double>(table.stash_count()));
+  }
+  std::sort(out.lf_samples.begin(), out.lf_samples.end());
+  out.minserts_per_sec = rate.mean();
+  out.failed_inserts = failed.mean();
+  out.rebuilds = rebuilds.mean();
+  out.stash_used = stash.mean();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = ParseBenchOptions(argc, argv);
+  bool check = false;
+  for (const auto& [name, value] : opt.raw_flags) {
+    if (name == "check") check = true;
+    (void)value;
+  }
+  PrintHeader("Insertion engine: random-walk vs BFS path search", opt);
+  ReportSession session(opt, "Insertion engine: walk vs BFS path search");
+
+  // Comparable slot count across shapes: scale buckets down by m.
+  const std::uint64_t base_buckets = opt.quick ? (1u << 12) : (1u << 15);
+  const unsigned seeds = opt.quick ? 3 : 5;
+
+  const Shape shapes[] = {{2, 1}, {3, 1}, {4, 1}, {2, 4}, {2, 8}, {4, 8}};
+  const PolicyRun policies[] = {
+      // Legacy configuration: bounded random walk, no stash, no rebuild.
+      {"walk", InsertPolicy::kRandomWalk, 0, false},
+      // The full engine at its defaults.
+      {"bfs", InsertPolicy::kBfs, kDefaultStashCapacity, true},
+  };
+
+  TablePrinter table({"N", "m", "policy", "max LF (median)", "LF min-max",
+                      "Minserts/s", "failed", "rebuilds", "stash"});
+  double bfs_lf_4_8 = 0.0;
+  double bfs_lf_2_1 = 0.0;
+  for (const Shape& shape : shapes) {
+    const std::uint64_t buckets = std::max<std::uint64_t>(
+        1, base_buckets / shape.m);
+    for (const PolicyRun& policy : policies) {
+      const ShapeResult r =
+          RunShape(shape, policy, buckets, seeds, opt.seed);
+      const double median = r.median_lf();
+      if (policy.policy == InsertPolicy::kBfs) {
+        if (shape.n == 4 && shape.m == 8) bfs_lf_4_8 = median;
+        if (shape.n == 2 && shape.m == 1) bfs_lf_2_1 = median;
+      }
+      char band[64];
+      std::snprintf(band, sizeof(band), "%.3f-%.3f", r.lf_samples.front(),
+                    r.lf_samples.back());
+      table.AddRow({TablePrinter::Fmt(std::int64_t{shape.n}),
+                    TablePrinter::Fmt(std::int64_t{shape.m}), policy.name,
+                    TablePrinter::Fmt(median, 3), band,
+                    TablePrinter::Fmt(r.minserts_per_sec, 2),
+                    TablePrinter::Fmt(r.failed_inserts, 1),
+                    TablePrinter::Fmt(r.rebuilds, 1),
+                    TablePrinter::Fmt(r.stash_used, 1)});
+      session.AddRow(
+          std::string("insert/") + policy.name,
+          {{"ways", std::to_string(shape.n)},
+           {"slots", std::to_string(shape.m)},
+           {"policy", policy.name}},
+          {{"max_load_factor", ReportSession::Stat(median)},
+           {"minserts_per_sec", ReportSession::Stat(r.minserts_per_sec)},
+           {"failed_inserts", ReportSession::Stat(r.failed_inserts)},
+           {"rebuilds", ReportSession::Stat(r.rebuilds)},
+           {"stash_entries", ReportSession::Stat(r.stash_used)}});
+    }
+  }
+  Emit(table, opt);
+
+  const int report_rc = session.Finish();
+  if (!check) return report_rc;
+
+  // Regression gate. (4,8) BCHT must fill essentially full under BFS; (2,1)
+  // non-bucketized cuckoo sits at the ~0.5 theoretical threshold — values
+  // far outside that band mean the engine (or the measurement) regressed.
+  int rc = report_rc;
+  if (bfs_lf_4_8 < 0.95) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: BFS (4,8) max LF %.3f < 0.95\n", bfs_lf_4_8);
+    rc = 1;
+  }
+  if (bfs_lf_2_1 < 0.40 || bfs_lf_2_1 > 0.65) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: BFS (2,1) max LF %.3f outside [0.40, 0.65]\n",
+                 bfs_lf_2_1);
+    rc = 1;
+  }
+  if (rc == 0 && !opt.csv) {
+    std::printf("\ncheck: BFS (4,8) LF %.3f >= 0.95, (2,1) LF %.3f in "
+                "[0.40, 0.65] — OK\n",
+                bfs_lf_4_8, bfs_lf_2_1);
+  }
+  return rc;
+}

@@ -21,5 +21,11 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "${jobs}"
   ctest --preset "${preset}"
+  if [ "${preset}" = "default" ]; then
+    # Insertion-engine regression gate: BFS must keep (4,8) BCHT at >= 0.95
+    # max load factor and (2,1) cuckoo inside the theoretical band.
+    echo "=== insertion-engine max-LF gate ==="
+    ./build/bench/micro_insert_path --quick --check
+  fi
 done
 echo "=== all checks passed ==="

@@ -29,17 +29,30 @@ bool ConcurrentCuckooTable<K, V>::Locate(K key, std::uint64_t* bucket,
 
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
+  if (key == static_cast<K>(kEmptyKey)) return false;
   const LayoutSpec& spec = table_.spec();
-  const HashFamily& hash = table_.hash_family();
   const TableStore& st = store();
-  std::uint32_t buckets[kMaxWays];
-  for (unsigned w = 0; w < spec.ways; ++w) {
-    buckets[w] = hash.template Bucket<K>(w, key);
-  }
 
   for (;;) {
+    // StashVersion doubles as the rebuild generation: every rebuild
+    // publication brackets itself with it, so it MUST be snapshotted
+    // before the hash family is read. Reading the hash first loses: a
+    // rebuild can complete in between, and the stripe versions — all even
+    // again and only snapshotted afterwards — would validate a probe of
+    // buckets computed from the dead hash family.
+    const std::uint64_t stash_before =
+        st.StashVersion().load(std::memory_order_acquire);
+    bool writer_active = (stash_before & 1) != 0;
+
+    // Candidate buckets are recomputed on every attempt: a rebuild
+    // recovery can reseed the hash family mid-read.
+    const HashFamily& hash = table_.hash_family();
+    std::uint32_t buckets[kMaxWays];
+    for (unsigned w = 0; w < spec.ways; ++w) {
+      buckets[w] = hash.template Bucket<K>(w, key);
+    }
+
     std::uint64_t before[kMaxWays];
-    bool writer_active = false;
     for (unsigned w = 0; w < spec.ways; ++w) {
       before[w] = st.StripeFor(buckets[w]).load(std::memory_order_acquire);
       writer_active |= (before[w] & 1) != 0;
@@ -57,6 +70,17 @@ bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
         }
       }
     }
+    if (!found) {
+      const unsigned stash_n = st.stash_count();
+      for (unsigned i = 0; i < stash_n; ++i) {
+        const StashEntry e = st.stash_at(i);
+        if (e.key == static_cast<std::uint64_t>(key)) {
+          found_val = static_cast<V>(e.val);
+          found = true;
+          break;
+        }
+      }
+    }
 
     std::atomic_thread_fence(std::memory_order_acquire);
     bool stable = true;
@@ -64,6 +88,8 @@ bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
       stable &= st.StripeFor(buckets[w]).load(std::memory_order_acquire) ==
                 before[w];
     }
+    stable &= st.StashVersion().load(std::memory_order_acquire) ==
+              stash_before;
     if (stable) {
       if (found && val != nullptr) *val = found_val;
       return found;
@@ -73,10 +99,11 @@ bool ConcurrentCuckooTable<K, V>::Find(K key, V* val) const {
 
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Insert(K key, V val) {
+  if (key == static_cast<K>(kEmptyKey)) return false;
   std::lock_guard<std::mutex> lock(writer_mu_);
   TableStore& st = store();
 
-  // Overwrite in place if present.
+  // Overwrite in place if present (buckets, then stash).
   {
     std::uint64_t b;
     unsigned s;
@@ -88,6 +115,14 @@ bool ConcurrentCuckooTable<K, V>::Insert(K key, V val) {
       st.EpochExitWrite();
       return true;
     }
+    const unsigned stash_n = st.stash_count();
+    for (unsigned i = 0; i < stash_n; ++i) {
+      if (st.stash_at(i).key == static_cast<std::uint64_t>(key)) {
+        // Single aligned word store: readers observe old or new.
+        st.StashSetVal(i, static_cast<std::uint64_t>(val));
+        return true;
+      }
+    }
   }
 
   // A BFS chain can, rarely, visit the same slot twice (a bucket cycle);
@@ -95,8 +130,39 @@ bool ConcurrentCuckooTable<K, V>::Insert(K key, V val) {
   // restarts on the mutated-but-consistent table.
   for (int attempt = 0; attempt < 8; ++attempt) {
     const int rc = InsertAttempt(key, val);
-    if (rc >= 0) return rc != 0;
+    if (rc >= 0) {
+      if (rc != 0) return true;
+      break;  // BFS found no path: fall through to stash / rebuild
+    }
   }
+
+  // No eviction path: spill to the overflow stash. An append publishes the
+  // entry before the count (release), so readers need no retry.
+  if (st.StashAppend(static_cast<std::uint64_t>(key),
+                     static_cast<std::uint64_t>(val))) {
+    table_.AdjustSize(1);
+    ++table_.mutable_insert_stats().stash_inserts;
+    return true;
+  }
+
+  // Stash full too: rebuild into a staging table off to the side, then
+  // publish by overwriting the live arena under the write epoch with every
+  // stripe odd — readers that raced the copy retry and see only the fully
+  // published table.
+  std::optional<CuckooTable<K, V>> staging =
+      table_.BuildRecoveryTable(key, val);
+  if (staging) {
+    st.EpochEnterWrite();
+    st.BumpAllOdd();
+    st.StashVersion().fetch_add(1, std::memory_order_acq_rel);
+    table_.AdoptRebuilt(*staging);
+    st.StashVersion().fetch_add(1, std::memory_order_release);
+    st.BumpAllEven();
+    st.EpochExitWrite();
+    return true;
+  }
+
+  ++table_.mutable_insert_stats().failed_inserts;
   return false;
 }
 
@@ -106,46 +172,10 @@ int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
   const HashFamily& hash = table_.hash_family();
   TableStore& st = store();
 
-  // BFS for the nearest bucket with an empty slot, rooted at the key's
-  // candidate buckets. Nodes record how we reached them so the eviction
-  // path can be replayed back-to-front.
-  struct Node {
-    std::uint32_t bucket;
-    std::int32_t parent;   // index into nodes, -1 for roots
-    std::uint16_t via_slot;  // slot in parent whose occupant leads here
-  };
-  std::vector<Node> nodes;
-  nodes.reserve(kMaxBfsNodes);
-  for (unsigned w = 0; w < spec.ways; ++w) {
-    nodes.push_back({hash.template Bucket<K>(w, key), -1, 0});
-  }
-
-  std::int32_t goal = -1;
-  unsigned goal_slot = 0;
-  for (std::size_t head = 0; head < nodes.size() && goal < 0; ++head) {
-    const std::uint32_t b = nodes[head].bucket;
-    for (unsigned s = 0; s < spec.slots; ++s) {
-      if (table_.KeyAt(b, s) == static_cast<K>(kEmptyKey)) {
-        goal = static_cast<std::int32_t>(head);
-        goal_slot = s;
-        break;
-      }
-    }
-    if (goal >= 0) break;
-    if (nodes.size() >= kMaxBfsNodes) continue;  // stop expanding, drain
-    for (unsigned s = 0; s < spec.slots && nodes.size() < kMaxBfsNodes;
-         ++s) {
-      const K occupant = table_.KeyAt(b, s);
-      for (unsigned w = 0; w < spec.ways; ++w) {
-        const std::uint32_t alt = hash.template Bucket<K>(w, occupant);
-        if (alt == b) continue;
-        nodes.push_back({alt, static_cast<std::int32_t>(head),
-                         static_cast<std::uint16_t>(s)});
-        if (nodes.size() >= kMaxBfsNodes) break;
-      }
-    }
-  }
-  if (goal < 0) return 0;  // no path within budget: table full
+  // Shortest eviction chain via the shared BFS engine (read-only; holding
+  // the writer mutex means the search result is stale only if this very
+  // replay aliases a slot, which the per-move validation below catches).
+  if (!table_.FindInsertionPath(key, &path_)) return 0;
 
   // Replay the path back-to-front: move each evictee into the hole below
   // it, so every key is written to its destination before its source slot
@@ -154,23 +184,19 @@ int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
   // under an earlier move of this very replay), abort; every completed
   // move left the table consistent, so the caller can simply retry.
   st.EpochEnterWrite();
-  std::uint64_t hole_bucket = nodes[static_cast<std::size_t>(goal)].bucket;
-  unsigned hole_slot = goal_slot;
-  std::int32_t node = goal;
   bool aborted = false;
-  while (nodes[static_cast<std::size_t>(node)].parent >= 0) {
-    const Node& cur = nodes[static_cast<std::size_t>(node)];
-    const std::uint32_t src_bucket =
-        nodes[static_cast<std::size_t>(cur.parent)].bucket;
-    const unsigned src_slot = cur.via_slot;
-    const K moved_key = table_.KeyAt(src_bucket, src_slot);
-    const V moved_val = table_.ValAt(src_bucket, src_slot);
+  std::size_t applied_from = path_.size();  // first index whose move ran
+  for (std::size_t i = path_.size(); i-- > 1;) {
+    const PathStep& src = path_[i - 1];
+    const PathStep& dst = path_[i];
+    const K moved_key = table_.KeyAt(src.bucket, src.slot);
+    const V moved_val = table_.ValAt(src.bucket, src.slot);
 
     bool valid = moved_key != static_cast<K>(kEmptyKey);
     if (valid) {
       valid = false;
       for (unsigned w = 0; w < spec.ways; ++w) {
-        valid |= hash.template Bucket<K>(w, moved_key) == hole_bucket;
+        valid |= hash.template Bucket<K>(w, moved_key) == dst.bucket;
       }
     }
     if (!valid) {
@@ -178,22 +204,28 @@ int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
       break;
     }
 
-    st.BumpOdd(hole_bucket);
-    st.BumpOdd(src_bucket);
-    table_.WriteSlot(hole_bucket, hole_slot, moved_key, moved_val);
-    table_.WriteSlot(src_bucket, src_slot, static_cast<K>(kEmptyKey), V{});
-    st.BumpEven(src_bucket);
-    st.BumpEven(hole_bucket);
-    hole_bucket = src_bucket;
-    hole_slot = src_slot;
-    node = cur.parent;
+    st.BumpOdd(dst.bucket);
+    st.BumpOdd(src.bucket);
+    table_.WriteSlot(dst.bucket, dst.slot, moved_key, moved_val);
+    table_.WriteSlot(src.bucket, src.slot, static_cast<K>(kEmptyKey), V{});
+    st.BumpEven(src.bucket);
+    st.BumpEven(dst.bucket);
+    applied_from = i;
   }
 
   if (!aborted) {
-    st.BumpOdd(hole_bucket);
-    table_.WriteSlot(hole_bucket, hole_slot, key, val);
-    st.BumpEven(hole_bucket);
+    const PathStep& home = path_.front();
+    st.BumpOdd(home.bucket);
+    table_.WriteSlot(home.bucket, home.slot, key, val);
+    st.BumpEven(home.bucket);
     table_.AdjustSize(1);
+    InsertStats& stats = table_.mutable_insert_stats();
+    if (path_.size() == 1) {
+      ++stats.direct_inserts;
+    } else {
+      ++stats.path_inserts;
+      stats.path_moves += path_.size() - applied_from;
+    }
   }
   st.EpochExitWrite();
   return aborted ? -1 : 1;
@@ -201,31 +233,58 @@ int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
 
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::UpdateValue(K key, V val) {
+  if (key == static_cast<K>(kEmptyKey)) return false;
   std::lock_guard<std::mutex> lock(writer_mu_);
   TableStore& st = store();
   std::uint64_t b;
   unsigned s;
-  if (!Locate(key, &b, &s)) return false;
-  st.BumpOdd(b);
-  table_.WriteSlot(b, s, key, val);
-  st.BumpEven(b);
-  return true;
+  if (Locate(key, &b, &s)) {
+    st.BumpOdd(b);
+    table_.WriteSlot(b, s, key, val);
+    st.BumpEven(b);
+    return true;
+  }
+  const unsigned stash_n = st.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    if (st.stash_at(i).key == static_cast<std::uint64_t>(key)) {
+      st.StashSetVal(i, static_cast<std::uint64_t>(val));
+      return true;
+    }
+  }
+  return false;
 }
 
 template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Erase(K key) {
+  if (key == static_cast<K>(kEmptyKey)) return false;
   std::lock_guard<std::mutex> lock(writer_mu_);
   TableStore& st = store();
   std::uint64_t b;
   unsigned s;
-  if (!Locate(key, &b, &s)) return false;
-  st.EpochEnterWrite();
-  st.BumpOdd(b);
-  table_.WriteSlot(b, s, static_cast<K>(kEmptyKey), V{});
-  st.BumpEven(b);
-  table_.AdjustSize(-1);
-  st.EpochExitWrite();
-  return true;
+  if (Locate(key, &b, &s)) {
+    st.EpochEnterWrite();
+    st.BumpOdd(b);
+    table_.WriteSlot(b, s, static_cast<K>(kEmptyKey), V{});
+    st.BumpEven(b);
+    table_.AdjustSize(-1);
+    st.EpochExitWrite();
+    return true;
+  }
+  const unsigned stash_n = st.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    if (st.stash_at(i).key == static_cast<std::uint64_t>(key)) {
+      // Swap-remove mutates entry `i` in place: readers validate against
+      // the stash seqlock (scalar Find) or the write epoch (batches).
+      st.EpochEnterWrite();
+      st.StashVersion().fetch_add(1, std::memory_order_acq_rel);
+      st.StashRemoveAt(i);
+      st.StashVersion().fetch_add(1, std::memory_order_release);
+      table_.AdjustSize(-1);
+      st.EpochExitWrite();
+      return true;
+    }
+  }
+  return false;
 }
 
 template class ConcurrentCuckooTable<std::uint16_t, std::uint32_t>;

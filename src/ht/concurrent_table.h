@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "ht/cuckoo_table.h"
 
@@ -43,12 +44,13 @@ class ConcurrentCuckooTable {
   explicit ConcurrentCuckooTable(CuckooTable<K, V>&& table)
       : table_(std::move(table)) {}
 
-  // Inserts or overwrites; false when no eviction path exists within the
-  // BFS budget (table effectively full). Thread-safe vs readers and other
-  // writers.
+  // Inserts or overwrites; false only when the table is genuinely full:
+  // no eviction path within the BFS budget, overflow stash full, and
+  // reseed-and-rebuild recovery exhausted. Key 0 (the empty-slot sentinel)
+  // is rejected. Thread-safe vs readers and other writers.
   bool Insert(K key, V val);
 
-  // Lock-free single-key lookup.
+  // Lock-free single-key lookup (candidate buckets, then overflow stash).
   bool Find(K key, V* val) const;
 
   // In-place value overwrite (seqlock-bumped); false if absent.
@@ -68,7 +70,6 @@ class ConcurrentCuckooTable {
   std::uint64_t BatchLookup(LookupCallable&& lookup, const K* keys, V* vals,
                             std::uint8_t* found, std::size_t n) const {
     const TableStore& store = table_.store();
-    const TableView batch_view = store.view();
     constexpr std::size_t kMaxChunk = 512;
     constexpr int kRetriesPerSize = 2;
     std::uint64_t hits = 0;
@@ -82,6 +83,10 @@ class ConcurrentCuckooTable {
         while (retries-- > 0) {
           const std::uint64_t e0 = store.EpochBegin();
           if (e0 & 1) continue;  // structural write in flight
+          // The view is re-captured per attempt: a rebuild recovery can
+          // reseed the hash family and the stash grows/shrinks — a view
+          // cached across the epoch check would probe stale buckets.
+          const TableView batch_view = store.view();
           const std::uint64_t chunk_hits =
               lookup(batch_view, keys + off, vals + off, found + off, size);
           if (store.EpochValidate(e0)) {
@@ -121,9 +126,16 @@ class ConcurrentCuckooTable {
   // not mutate it while readers are active.
   const CuckooTable<K, V>& table() const { return table_; }
 
-  // BFS search budget: paths longer than this fail the insert. Depth 5
-  // over N*m fan-out covers the load factors of Fig 2.
-  static constexpr unsigned kMaxBfsNodes = 512;
+  // --- insertion-engine knobs (forwarded to the wrapped table) ---
+  void set_stash_capacity(unsigned cap) { table_.set_stash_capacity(cap); }
+  unsigned stash_count() const { return table_.stash_count(); }
+  void set_rebuild_enabled(bool enabled) {
+    table_.set_rebuild_enabled(enabled);
+  }
+  const InsertStats& insert_stats() const { return table_.insert_stats(); }
+
+  // BFS search budget (shared engine defaults, see CuckooTable).
+  static constexpr unsigned kMaxBfsNodes = CuckooTable<K, V>::kMaxBfsNodes;
 
  private:
   TableStore& store() const {
@@ -139,6 +151,7 @@ class ConcurrentCuckooTable {
   int InsertAttempt(K key, V val);
 
   CuckooTable<K, V> table_;
+  std::vector<PathStep> path_;
   std::mutex writer_mu_;
 };
 

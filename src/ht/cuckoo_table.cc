@@ -1,6 +1,6 @@
 #include "ht/cuckoo_table.h"
 
-#include <cassert>
+#include <utility>
 #include <vector>
 
 namespace simdht {
@@ -18,7 +18,43 @@ LayoutSpec SpecFor(unsigned ways, unsigned slots, BucketLayout layout) {
   return spec;
 }
 
+// Graph adapter over a full-key TableStore for the shared BFS engine: roots
+// are the new key's candidate buckets, edges lead from an occupant to the
+// buckets it could be displaced into.
+template <typename K>
+struct CuckooPathGraph {
+  const TableStore* store;
+  K key;
+
+  unsigned roots() const { return store->spec().ways; }
+  std::uint64_t root(unsigned w) const {
+    return store->Bucket<K>(w, key);
+  }
+  unsigned slots() const { return store->spec().slots; }
+  bool empty_slot(std::uint64_t b, unsigned s) const {
+    return store->KeyAt<K>(b, s) == static_cast<K>(kEmptyKey);
+  }
+  unsigned alts(std::uint64_t b, unsigned s, std::uint64_t* out) const {
+    const K occupant = store->KeyAt<K>(b, s);
+    if (occupant == static_cast<K>(kEmptyKey)) return 0;
+    unsigned n = 0;
+    for (unsigned w = 0; w < store->spec().ways; ++w) {
+      const std::uint64_t alt = store->Bucket<K>(w, occupant);
+      if (alt != b) out[n++] = alt;
+    }
+    return n;
+  }
+};
+
 }  // namespace
+
+const char* InsertPolicyName(InsertPolicy policy) {
+  switch (policy) {
+    case InsertPolicy::kBfs: return "bfs";
+    case InsertPolicy::kRandomWalk: return "walk";
+  }
+  return "?";
+}
 
 template <typename K, typename V>
 CuckooTable<K, V>::CuckooTable(unsigned ways, unsigned slots,
@@ -30,6 +66,7 @@ CuckooTable<K, V>::CuckooTable(unsigned ways, unsigned slots,
 
 template <typename K, typename V>
 bool CuckooTable<K, V>::Find(K key, V* val) const {
+  if (key == static_cast<K>(kEmptyKey)) return false;
   const LayoutSpec& spec = store_.spec();
   for (unsigned way = 0; way < spec.ways; ++way) {
     const std::uint32_t b = BucketOf(way, key);
@@ -40,29 +77,60 @@ bool CuckooTable<K, V>::Find(K key, V* val) const {
       }
     }
   }
+  const unsigned stash_n = store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    const StashEntry e = store_.stash_at(i);
+    if (e.key == static_cast<std::uint64_t>(key)) {
+      if (val != nullptr) *val = static_cast<V>(e.val);
+      return true;
+    }
+  }
   return false;
 }
 
 template <typename K, typename V>
-bool CuckooTable<K, V>::Insert(K key, V val) {
-  assert(key != static_cast<K>(kEmptyKey) && "key 0 is the empty sentinel");
-  const LayoutSpec& spec = store_.spec();
+bool CuckooTable<K, V>::FindInsertionPath(K key,
+                                          std::vector<PathStep>* path) {
+  CuckooPathGraph<K> graph{&store_, key};
+  PathSearchLimits limits;
+  limits.max_nodes = kMaxBfsNodes;
+  limits.max_depth = kMaxBfsDepth;
+  return FindEvictionPath(graph, limits, &scratch_, path);
+}
 
-  // Overwrite if present (cuckoo invariant: at most one copy of a key).
-  for (unsigned way = 0; way < spec.ways; ++way) {
-    const std::uint32_t b = BucketOf(way, key);
-    for (unsigned s = 0; s < spec.slots; ++s) {
-      if (KeyAt(b, s) == key) {
-        store_.SetSlot(b, s, key, val);
-        return true;
-      }
-    }
+template <typename K, typename V>
+bool CuckooTable<K, V>::InsertBfs(K key, V val) {
+  if (!FindInsertionPath(key, &path_)) return false;
+  // Apply the chain from the tail: each occupant is written to its
+  // destination before its own slot is overwritten by the entry below it,
+  // so a partial application never loses an entry. (Single-writer tables
+  // need no intermediate clears — every source slot is itself a
+  // destination of the next move, or of the new key.)
+  for (std::size_t i = path_.size() - 1; i > 0; --i) {
+    const PathStep& src = path_[i - 1];
+    const PathStep& dst = path_[i];
+    store_.SetSlot(dst.bucket, dst.slot, KeyAt(src.bucket, src.slot),
+                   ValAt(src.bucket, src.slot));
   }
+  store_.SetSlot(path_.front().bucket, path_.front().slot, key, val);
+  store_.AdjustSize(1);
+  if (path_.size() == 1) {
+    ++stats_.direct_inserts;
+  } else {
+    ++stats_.path_inserts;
+    stats_.path_moves += path_.size() - 1;
+  }
+  return true;
+}
+
+template <typename K, typename V>
+bool CuckooTable<K, V>::InsertRandomWalk(K key, V val) {
+  const LayoutSpec& spec = store_.spec();
 
   // Random-walk eviction: place into any empty candidate slot; otherwise
   // kick a random occupant to one of *its* alternate buckets and repeat.
   // Every displacement is recorded so a failed walk can be unwound — a
-  // failed Insert leaves the table exactly as it was.
+  // failed walk leaves the table exactly as it was.
   struct Step {
     std::uint32_t bucket;
     unsigned slot;
@@ -79,6 +147,11 @@ bool CuckooTable<K, V>::Insert(K key, V val) {
         if (KeyAt(b, s) == static_cast<K>(kEmptyKey)) {
           store_.SetSlot(b, s, cur_key, cur_val);
           store_.AdjustSize(1);
+          if (path.empty()) {
+            ++stats_.direct_inserts;
+          } else {
+            ++stats_.path_inserts;
+          }
           return true;
         }
       }
@@ -92,6 +165,7 @@ bool CuckooTable<K, V>::Insert(K key, V val) {
     const V evicted_val = ValAt(b, victim_slot);
     store_.SetSlot(b, victim_slot, cur_key, cur_val);
     path.push_back({b, victim_slot});
+    ++stats_.walk_kicks;
     cur_key = evicted_key;
     cur_val = evicted_val;
   }
@@ -110,7 +184,121 @@ bool CuckooTable<K, V>::Insert(K key, V val) {
 }
 
 template <typename K, typename V>
+std::optional<CuckooTable<K, V>> CuckooTable<K, V>::BuildRecoveryTable(
+    K key, V val) {
+  if (!rebuild_enabled_) return std::nullopt;
+  // A rebuild that failed at this occupancy fails again — the attempt is
+  // O(n); only retry once entries have been erased.
+  if (size() >= rebuild_blocked_size_) return std::nullopt;
+
+  const LayoutSpec& spec = store_.spec();
+  std::vector<std::pair<K, V>> entries;
+  entries.reserve(static_cast<std::size_t>(size()) + 1);
+  for (std::uint64_t b = 0; b < store_.num_buckets(); ++b) {
+    for (unsigned s = 0; s < spec.slots; ++s) {
+      const K k = KeyAt(b, s);
+      if (k != static_cast<K>(kEmptyKey)) entries.push_back({k, ValAt(b, s)});
+    }
+  }
+  const unsigned stash_n = store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    const StashEntry e = store_.stash_at(i);
+    entries.push_back({static_cast<K>(e.key), static_cast<V>(e.val)});
+  }
+  entries.push_back({key, val});
+
+  for (unsigned attempt = 1; attempt <= kMaxRebuildAttempts; ++attempt) {
+    std::uint64_t seed =
+        Mix64(store_.seed() + 0x9E3779B97F4A7C15ULL * attempt);
+    if (seed == 0) seed = attempt;  // seed 0 means "default multipliers"
+    CuckooTable<K, V> staging(spec.ways, spec.slots, store_.num_buckets(),
+                              spec.bucket_layout, seed);
+    staging.store_.set_stash_capacity(store_.stash_capacity());
+    staging.rebuild_enabled_ = false;  // no recursive recovery
+    bool ok = true;
+    for (const auto& [k, v] : entries) {
+      if (!staging.Insert(k, v)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return staging;
+  }
+  rebuild_blocked_size_ = size();
+  return std::nullopt;
+}
+
+template <typename K, typename V>
+void CuckooTable<K, V>::AdoptRebuilt(const CuckooTable<K, V>& staging) {
+  store_.AdoptArena(staging.store_.data());
+  store_.Reseed(staging.store_.seed());
+  store_.SetSize(staging.size());
+  store_.StashClear();
+  const unsigned stash_n = staging.store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    const StashEntry e = staging.store_.stash_at(i);
+    store_.StashAppend(e.key, e.val);
+  }
+  ++stats_.rebuilds;
+}
+
+template <typename K, typename V>
+bool CuckooTable<K, V>::TryRebuild(K key, V val) {
+  std::optional<CuckooTable<K, V>> staging = BuildRecoveryTable(key, val);
+  if (!staging) return false;
+  AdoptRebuilt(*staging);
+  return true;
+}
+
+template <typename K, typename V>
+bool CuckooTable<K, V>::Insert(K key, V val) {
+  // Key 0 is the empty-slot sentinel: storing it would silently corrupt
+  // occupancy accounting (and Erase(0) would "free" an empty slot), so it
+  // is rejected in every build mode — not just under assert.
+  if (key == static_cast<K>(kEmptyKey)) return false;
+  const LayoutSpec& spec = store_.spec();
+
+  // Overwrite if present (cuckoo invariant: at most one copy of a key).
+  for (unsigned way = 0; way < spec.ways; ++way) {
+    const std::uint32_t b = BucketOf(way, key);
+    for (unsigned s = 0; s < spec.slots; ++s) {
+      if (KeyAt(b, s) == key) {
+        store_.SetSlot(b, s, key, val);
+        return true;
+      }
+    }
+  }
+  const unsigned stash_n = store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    if (store_.stash_at(i).key == static_cast<std::uint64_t>(key)) {
+      store_.StashSetVal(i, static_cast<std::uint64_t>(val));
+      return true;
+    }
+  }
+
+  const bool placed = insert_policy_ == InsertPolicy::kRandomWalk
+                          ? InsertRandomWalk(key, val)
+                          : InsertBfs(key, val);
+  if (placed) return true;
+
+  // No eviction path: spill to the overflow stash.
+  if (store_.StashAppend(static_cast<std::uint64_t>(key),
+                         static_cast<std::uint64_t>(val))) {
+    store_.AdjustSize(1);
+    ++stats_.stash_inserts;
+    return true;
+  }
+
+  // Stash full too: last resort, rebuild everything under a fresh seed.
+  if (TryRebuild(key, val)) return true;
+
+  ++stats_.failed_inserts;
+  return false;
+}
+
+template <typename K, typename V>
 bool CuckooTable<K, V>::UpdateValue(K key, V val) {
+  if (key == static_cast<K>(kEmptyKey)) return false;
   const LayoutSpec& spec = store_.spec();
   for (unsigned way = 0; way < spec.ways; ++way) {
     const std::uint32_t b = BucketOf(way, key);
@@ -122,11 +310,19 @@ bool CuckooTable<K, V>::UpdateValue(K key, V val) {
       }
     }
   }
+  const unsigned stash_n = store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    if (store_.stash_at(i).key == static_cast<std::uint64_t>(key)) {
+      store_.StashSetVal(i, static_cast<std::uint64_t>(val));
+      return true;
+    }
+  }
   return false;
 }
 
 template <typename K, typename V>
 bool CuckooTable<K, V>::Erase(K key) {
+  if (key == static_cast<K>(kEmptyKey)) return false;
   const LayoutSpec& spec = store_.spec();
   for (unsigned way = 0; way < spec.ways; ++way) {
     const std::uint32_t b = BucketOf(way, key);
@@ -136,6 +332,14 @@ bool CuckooTable<K, V>::Erase(K key) {
         store_.AdjustSize(-1);
         return true;
       }
+    }
+  }
+  const unsigned stash_n = store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    if (store_.stash_at(i).key == static_cast<std::uint64_t>(key)) {
+      store_.StashRemoveAt(i);
+      store_.AdjustSize(-1);
+      return true;
     }
   }
   return false;

@@ -1,8 +1,58 @@
 #include "ht/layout.h"
 
+#include <cstring>
 #include <sstream>
 
 namespace simdht {
+
+namespace {
+
+template <typename K, typename V>
+std::uint64_t ProbeStashTyped(const TableView& view, const void* keys,
+                              void* vals, std::uint8_t* found,
+                              std::size_t n) {
+  const K* k = static_cast<const K*>(keys);
+  V* v = static_cast<V*>(vals);
+  const StashEntry* stash = view.stash;
+  const unsigned count = view.stash_count;
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (found[i] != 0) continue;
+    const auto key = static_cast<std::uint64_t>(k[i]);
+    if (key == kEmptyKey) continue;
+    for (unsigned j = 0; j < count; ++j) {
+      if (stash[j].key == key) {
+        v[i] = static_cast<V>(stash[j].val);
+        found[i] = 1;
+        ++hits;
+        break;
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace
+
+std::uint64_t ProbeStash(const TableView& view, const void* keys, void* vals,
+                         std::uint8_t* found, std::size_t n) {
+  if (view.stash == nullptr || view.stash_count == 0) return 0;
+  const unsigned kb = view.spec.key_bits;
+  const unsigned vb = view.spec.val_bits;
+  if (kb == 32 && vb == 32) {
+    return ProbeStashTyped<std::uint32_t, std::uint32_t>(view, keys, vals,
+                                                         found, n);
+  }
+  if (kb == 64 && vb == 64) {
+    return ProbeStashTyped<std::uint64_t, std::uint64_t>(view, keys, vals,
+                                                         found, n);
+  }
+  if (kb == 16 && vb == 32) {
+    return ProbeStashTyped<std::uint16_t, std::uint32_t>(view, keys, vals,
+                                                         found, n);
+  }
+  return 0;
+}
 
 const char* BucketLayoutName(BucketLayout layout) {
   switch (layout) {

@@ -60,6 +60,23 @@ struct LayoutSpec {
   bool Validate(std::string* why = nullptr) const;
 };
 
+// One overflow-stash entry. Key and value are stored widened to 64 bits so
+// every (key, value) width shares a single representation — the probe
+// helper, the snapshot format and the tag tables (which stash (tag, item)
+// pairs) all read the same struct.
+struct StashEntry {
+  std::uint64_t key = 0;
+  std::uint64_t val = 0;
+};
+
+// Hard ceiling on stash storage (a fixed array inside TableStore); the
+// per-table capacity defaults lower. A stash is a constant-size escape
+// hatch, not a second table: it absorbs the last few keys no eviction path
+// could place (Kirsch/Mitzenmacher-style), and every lookup path scans it
+// linearly.
+inline constexpr unsigned kMaxStashEntries = 16;
+inline constexpr unsigned kDefaultStashCapacity = 8;
+
 // Runtime view of a built table, sufficient for any lookup kernel.
 struct TableView {
   const std::uint8_t* data = nullptr;  // 64 B aligned, tail-padded
@@ -95,11 +112,25 @@ struct TableView {
   std::uint64_t total_bytes() const {
     return num_buckets * static_cast<std::uint64_t>(bucket_stride());
   }
+
+  // Overflow stash of the owning store (may be null/0: raw stores, or
+  // tables built before any insert overflowed). Kernels ignore these; the
+  // KernelInfo::Lookup wrapper probes them after the bucket pass.
+  const StashEntry* stash = nullptr;
+  unsigned stash_count = 0;
 };
 
 // Key value 0 marks an empty slot in every table; workload generators never
 // emit key 0.
 inline constexpr std::uint64_t kEmptyKey = 0;
+
+// Scans view.stash for every key the bucket probe missed (found[i] == 0),
+// filling vals/found in place; returns the number of stash hits. Key/value
+// widths come from view.spec, matching the raw kernel signature. This is
+// the post-pass KernelInfo::Lookup runs after every kernel invocation, so
+// stash entries are visible through the scalar and SIMD lookup paths alike.
+std::uint64_t ProbeStash(const TableView& view, const void* keys, void* vals,
+                         std::uint8_t* found, std::size_t n);
 
 }  // namespace simdht
 

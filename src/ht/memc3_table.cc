@@ -11,11 +11,11 @@ namespace simdht {
 
 Memc3Table::Memc3Table(std::uint64_t num_buckets, std::uint64_t seed,
                        TagMatch tag_match)
-    : store_(TableShape::Raw(num_buckets, sizeof(Bucket)), seed),
-      walk_rng_(seed ^ 0xDEADBEEFCAFEF00DULL) {
+    : store_(TableShape::Raw(num_buckets, sizeof(Bucket)), seed) {
   tag_match_ = tag_match;
   bucket_mask_ = static_cast<std::uint32_t>(store_.num_buckets() - 1);
   buckets_ = store_.as<Bucket>();
+  store_.set_stash_capacity(kStashCapacity);
 }
 
 unsigned Memc3Table::ScanBucket(const Bucket& bucket, std::uint8_t tag,
@@ -64,87 +64,104 @@ unsigned Memc3Table::FindCandidates(std::uint64_t hash,
 
   for (;;) {
     // Optimistic read: both buckets hash to possibly different stripes;
-    // snapshot both counters, probe, and re-check.
+    // snapshot both counters (and the stash seqlock), probe, and re-check.
     const std::uint64_t v1a = VersionFor(b1).load(std::memory_order_acquire);
     const std::uint64_t v2a = VersionFor(b2).load(std::memory_order_acquire);
-    if ((v1a | v2a) & 1) continue;  // writer in flight
+    const std::uint64_t vsa =
+        store_.StashVersion().load(std::memory_order_acquire);
+    if ((v1a | v2a | vsa) & 1) continue;  // writer in flight
 
     unsigned count = 0;
     for (std::uint32_t b : {b1, b2}) {
       count = ScanBucket(buckets_[b], tag, out, count);
       if (b1 == b2) break;  // tag aliased to the same bucket
     }
+    // Overflow-stash entries are (tag, item) pairs: same tag-match
+    // contract as bucket slots (caller verifies the full key).
+    const unsigned stash_n = store_.stash_count();
+    for (unsigned i = 0; i < stash_n && count < kMaxCandidates; ++i) {
+      const StashEntry e = store_.stash_at(i);
+      if (static_cast<std::uint8_t>(e.key) == tag) out[count++] = e.val;
+    }
 
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint64_t v1b = VersionFor(b1).load(std::memory_order_acquire);
     const std::uint64_t v2b = VersionFor(b2).load(std::memory_order_acquire);
-    if (v1a == v1b && v2a == v2b) return count;
+    const std::uint64_t vsb =
+        store_.StashVersion().load(std::memory_order_acquire);
+    if (v1a == v1b && v2a == v2b && vsa == vsb) return count;
   }
 }
 
 bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
   std::lock_guard<std::mutex> lock(writer_mu_);
 
-  std::uint8_t cur_tag = Tag8(hash);
-  std::uint64_t cur_item = item;
-  std::uint32_t b1 = IndexHash(hash);
+  const std::uint8_t tag = Tag8(hash);
+  const std::uint32_t b1 = IndexHash(hash);
 
-  // Displacements are recorded so an exhausted walk can be unwound: a
-  // failed Insert must not drop a previously stored entry.
-  struct Step {
-    std::uint32_t bucket;
-    unsigned slot;
-  };
-  std::vector<Step> path;
+  // Graph adapter for the shared BFS engine over (tag, item) buckets:
+  // partial-key displacement — an occupant's alternate bucket is derived
+  // from (bucket, tag) alone, so each occupied slot has exactly one edge.
+  // (A local class may touch the enclosing class's private members.)
+  struct TagGraph {
+    const Memc3Table* t;
+    std::uint8_t tag;
+    std::uint32_t b1;
 
-  for (unsigned kick = 0; kick < kMaxKicks; ++kick) {
-    const std::uint32_t b2 = AltBucket(b1, cur_tag);
-    for (std::uint32_t b : {b1, b2}) {
-      Bucket& bucket = buckets_[b];
-      for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
-        if (bucket.tags[s] == 0) {
-          auto& ver = VersionFor(b);
-          ver.fetch_add(1, std::memory_order_acq_rel);
-          StoreEntry(bucket, s, cur_tag, cur_item);
-          ver.fetch_add(1, std::memory_order_release);
-          store_.AdjustSize(1);
-          return true;
-        }
-      }
-      if (b1 == b2) break;
+    unsigned roots() const { return kWays; }
+    std::uint64_t root(unsigned i) const {
+      return i == 0 ? b1 : t->AltBucket(b1, tag);
     }
+    unsigned slots() const { return kSlotsPerBucket; }
+    bool empty_slot(std::uint64_t b, unsigned s) const {
+      return t->buckets_[b].tags[s] == 0;
+    }
+    unsigned alts(std::uint64_t b, unsigned s, std::uint64_t* out) const {
+      const std::uint8_t occupant = t->buckets_[b].tags[s];
+      if (occupant == 0) return 0;
+      const std::uint32_t alt =
+          t->AltBucket(static_cast<std::uint32_t>(b), occupant);
+      if (alt == b) return 0;
+      out[0] = alt;
+      return 1;
+    }
+  };
 
-    // No empty slot: displace a random occupant of b1 to its alternate.
-    const auto victim =
-        static_cast<unsigned>(walk_rng_.NextBounded(kSlotsPerBucket));
-    Bucket& bucket = buckets_[b1];
-    const std::uint8_t evicted_tag = bucket.tags[victim];
-    const std::uint64_t evicted_item = bucket.items[victim];
-    auto& ver = VersionFor(b1);
+  PathSearchLimits limits;
+  limits.max_nodes = kMaxBfsNodes;
+  limits.max_depth = kMaxBfsDepth;
+  if (FindEvictionPath(TagGraph{this, tag, b1}, limits, &scratch_, &path_)) {
+    // Apply from the tail: each displaced (tag, item) is written to its
+    // destination before its source slot is overwritten, so readers never
+    // observe a missing entry (transient duplicates are harmless — the
+    // caller verifies full keys behind every candidate anyway). Only one
+    // bucket mutates per step, so only its stripe bumps odd.
+    for (std::size_t i = path_.size() - 1; i > 0; --i) {
+      const PathStep& src = path_[i - 1];
+      const PathStep& dst = path_[i];
+      const std::uint8_t moved_tag = buckets_[src.bucket].tags[src.slot];
+      const std::uint64_t moved_item = buckets_[src.bucket].items[src.slot];
+      auto& ver = VersionFor(static_cast<std::uint32_t>(dst.bucket));
+      ver.fetch_add(1, std::memory_order_acq_rel);
+      StoreEntry(buckets_[dst.bucket], dst.slot, moved_tag, moved_item);
+      ver.fetch_add(1, std::memory_order_release);
+    }
+    const PathStep& home = path_.front();
+    auto& ver = VersionFor(static_cast<std::uint32_t>(home.bucket));
     ver.fetch_add(1, std::memory_order_acq_rel);
-    StoreEntry(bucket, victim, cur_tag, cur_item);
+    StoreEntry(buckets_[home.bucket], home.slot, tag, item);
     ver.fetch_add(1, std::memory_order_release);
-    path.push_back({b1, victim});
-
-    // The evicted entry's other candidate bucket is derived from where it
-    // was and its tag (partial-key displacement).
-    b1 = AltBucket(b1, evicted_tag);
-    cur_tag = evicted_tag;
-    cur_item = evicted_item;
+    store_.AdjustSize(1);
+    return true;
   }
 
-  // Walk exhausted: unwind in reverse so every displaced entry returns to
-  // its original slot and the new item is not inserted.
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    Bucket& bucket = buckets_[it->bucket];
-    const std::uint8_t displaced_tag = bucket.tags[it->slot];
-    const std::uint64_t displaced_item = bucket.items[it->slot];
-    auto& ver = VersionFor(it->bucket);
-    ver.fetch_add(1, std::memory_order_acq_rel);
-    StoreEntry(bucket, it->slot, cur_tag, cur_item);
-    ver.fetch_add(1, std::memory_order_release);
-    cur_tag = displaced_tag;
-    cur_item = displaced_item;
+  // No eviction path: spill (tag, item) to the overflow stash. An append
+  // publishes the entry before the count, so readers need no retry. There
+  // is no rebuild tier behind the stash — a tag table cannot re-derive
+  // buckets from its partial keys — so a full stash means genuinely full.
+  if (store_.StashAppend(tag, item)) {
+    store_.AdjustSize(1);
+    return true;
   }
   return false;
 }
@@ -167,6 +184,19 @@ bool Memc3Table::Erase(std::uint64_t hash, std::uint64_t item) {
       }
     }
     if (b1 == b2) break;
+  }
+  const unsigned stash_n = store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    const StashEntry e = store_.stash_at(i);
+    if (static_cast<std::uint8_t>(e.key) == tag && e.val == item) {
+      // Swap-remove mutates the entry in place: readers validate against
+      // the stash seqlock snapshot taken in FindCandidates.
+      store_.StashVersion().fetch_add(1, std::memory_order_acq_rel);
+      store_.StashRemoveAt(i);
+      store_.StashVersion().fetch_add(1, std::memory_order_release);
+      store_.AdjustSize(-1);
+      return true;
+    }
   }
   return false;
 }

@@ -20,9 +20,10 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "common/compiler.h"
-#include "common/random.h"
+#include "ht/path_search.h"
 #include "ht/table_store.h"
 
 namespace simdht {
@@ -31,8 +32,14 @@ class Memc3Table {
  public:
   static constexpr unsigned kSlotsPerBucket = 4;
   static constexpr unsigned kWays = 2;
-  // 2 buckets x 4 slots of possible tag matches.
-  static constexpr unsigned kMaxCandidates = kWays * kSlotsPerBucket;
+  // Overflow-stash capacity: entries whose eviction search failed. Smaller
+  // than the full-key tables' default because a tag table cannot rebuild
+  // itself (hashes are not recoverable from tags), so the stash is the only
+  // recovery tier and stays deliberately tiny.
+  static constexpr unsigned kStashCapacity = 4;
+  // 2 buckets x 4 slots of possible tag matches, plus stash entries.
+  static constexpr unsigned kMaxCandidates =
+      kWays * kSlotsPerBucket + kStashCapacity;
 
   // How candidate tags are scanned. MemC3 proper scans them scalar; kSse
   // compares all 8 tags of both candidate buckets in one 128-bit op — the
@@ -48,11 +55,15 @@ class Memc3Table {
   // Inserts an item handle under the 64-bit key hash. The caller is
   // responsible for ensuring the same full key is not inserted twice
   // (do a Find + update first — that is what the KVS backend does).
-  // Returns false when the eviction walk fails (table full).
+  // Placement runs the shared BFS path-search engine (shortest eviction
+  // chain); when no path exists the (tag, item) pair spills to the
+  // overflow stash. Returns false only when the stash is full too — a
+  // partial-key table has no rebuild tier (see kStashCapacity).
   bool Insert(std::uint64_t hash, std::uint64_t item);
 
   // Collects item handles whose tag matches `hash` from both candidate
-  // buckets into out[kMaxCandidates]; returns the count. The caller must
+  // buckets and the overflow stash into out[kMaxCandidates]; returns the
+  // count. The caller must
   // verify the full key behind each handle (tags are 8-bit, ~1/256 false
   // positive per occupied slot). Safe to call concurrently with one writer.
   unsigned FindCandidates(std::uint64_t hash,
@@ -120,10 +131,14 @@ class Memc3Table {
   Bucket* buckets_;
   std::uint32_t bucket_mask_;
   TagMatch tag_match_ = TagMatch::kScalar;
-  Xoshiro256 walk_rng_;
+  PathSearchScratch scratch_;
+  std::vector<PathStep> path_;
   std::mutex writer_mu_;
 
-  static constexpr unsigned kMaxKicks = 512;
+  // BFS budget: a (2,4) tag table has fan-out 4, so any reachable empty
+  // slot surfaces within a few hundred buckets.
+  static constexpr unsigned kMaxBfsNodes = 512;
+  static constexpr unsigned kMaxBfsDepth = 64;
 };
 
 }  // namespace simdht

@@ -1,0 +1,40 @@
+#include "ht/path_search.h"
+
+#include "common/compiler.h"
+
+namespace simdht {
+
+void PathSearchScratch::Prepare(unsigned max_nodes) {
+  nodes.clear();
+  if (nodes.capacity() < max_nodes) nodes.reserve(max_nodes);
+  // Open addressing at <= 50% occupancy even if every node plus every root
+  // marks a distinct bucket, so MarkVisited always terminates.
+  const auto want = static_cast<std::uint32_t>(
+      NextPow2(std::uint64_t{2} * (max_nodes + kMaxWays)));
+  if (visited_buckets_.size() != want) {
+    visited_buckets_.assign(want, 0);
+    visited_gen_.assign(want, 0);
+    generation_ = 0;
+    mask_ = want - 1;
+  }
+  ++generation_;
+  if (generation_ == 0) {  // stamp wrapped: invalidate all old generations
+    std::fill(visited_gen_.begin(), visited_gen_.end(), 0);
+    generation_ = 1;
+  }
+}
+
+bool PathSearchScratch::MarkVisited(std::uint64_t bucket) {
+  std::uint32_t i = static_cast<std::uint32_t>(Mix64(bucket)) & mask_;
+  for (;;) {
+    if (visited_gen_[i] != generation_) {
+      visited_gen_[i] = generation_;
+      visited_buckets_[i] = bucket;
+      return true;
+    }
+    if (visited_buckets_[i] == bucket) return false;
+    i = (i + 1) & mask_;
+  }
+}
+
+}  // namespace simdht

@@ -169,7 +169,29 @@ class ShardedTable {
   const ConcurrentCuckooTable<K, V>& shard(unsigned i) const {
     return *shards_[i];
   }
-  std::uint64_t shard_seed(unsigned i) const { return shard_seeds_[i]; }
+  // The seed shard `i`'s hash family is *currently* derived from — read
+  // from the live store, not the construction-time record, because a
+  // rebuild recovery reseeds a shard in place (snapshots validate seed
+  // against stored multipliers, so a stale answer would poison them).
+  std::uint64_t shard_seed(unsigned i) const {
+    return shards_[i]->table().store().seed();
+  }
+
+  // Aggregated insertion counters across shards.
+  InsertStats insert_stats() const {
+    InsertStats total;
+    for (const auto& s : shards_) {
+      const InsertStats& st = s->insert_stats();
+      total.direct_inserts += st.direct_inserts;
+      total.path_inserts += st.path_inserts;
+      total.path_moves += st.path_moves;
+      total.walk_kicks += st.walk_kicks;
+      total.stash_inserts += st.stash_inserts;
+      total.rebuilds += st.rebuilds;
+      total.failed_inserts += st.failed_inserts;
+    }
+    return total;
+  }
 
  private:
   ConcurrentCuckooTable<K, V>& shard_for(K key) {

@@ -72,58 +72,161 @@ std::vector<K> UniqueRandomKeys(std::size_t count, std::uint64_t seed,
   return keys;
 }
 
-template <typename K, typename V>
-BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
-                                std::uint64_t seed) {
+namespace {
+
+// Fully-failed top-up rounds before the fill concedes the table is full.
+// Two rounds: BFS placement is deterministic, so one round without a single
+// landing already means saturation — the second guards against a round
+// whose keys were simply unlucky under the random-walk policy.
+constexpr unsigned kTopUpGiveUpRounds = 2;
+
+// Shared fill discipline for plain and sharded tables: full first pass
+// (no early abort), one retry pass over the failures, then fresh-key
+// top-up until the target entry count is met or insertions stall.
+template <typename K, typename V, typename Table>
+BuildResult<K> FillImpl(Table* table, double target_lf, std::uint64_t seed) {
   BuildResult<K> result;
   const auto target =
       static_cast<std::uint64_t>(target_lf *
                                  static_cast<double>(table->capacity()));
-  result.inserted_keys = UniqueRandomKeys<K>(target, seed);
+  std::vector<K> drawn = UniqueRandomKeys<K>(target, seed);
   std::vector<K> landed;
-  landed.reserve(result.inserted_keys.size());
-  for (K k : result.inserted_keys) {
-    if (!table->Insert(k, DeriveVal<K, V>(k))) {
-      result.hit_capacity = true;
-      break;
+  landed.reserve(drawn.size());
+  std::vector<K> retry;
+  for (K k : drawn) {
+    if (table->Insert(k, DeriveVal<K, V>(k))) {
+      landed.push_back(k);
+    } else {
+      retry.push_back(k);
+      ++result.failed_inserts;
     }
-    landed.push_back(k);
   }
+
+  // Retry pass: placements made after a key failed can have opened an
+  // eviction path for it (and the walk policy simply rerolls its luck).
+  for (K k : retry) {
+    if (table->Insert(k, DeriveVal<K, V>(k))) {
+      landed.push_back(k);
+    } else {
+      ++result.failed_inserts;
+    }
+  }
+
+  // Exact-target top-up: replace keys that never landed with fresh ones so
+  // the fill reaches the requested entry count whenever the table can hold
+  // it, not just when the original draw cooperated.
+  std::uint64_t topup_seed = seed;
+  unsigned stalled_rounds = 0;
+  while (landed.size() < target && stalled_rounds < kTopUpGiveUpRounds) {
+    const std::size_t want = target - landed.size();
+    topup_seed = Mix64(topup_seed + 0x9E3779B97F4A7C15ULL);
+    const std::vector<K> extra =
+        UniqueRandomKeys<K>(want, topup_seed, &drawn);
+    if (extra.empty()) break;  // key domain exhausted
+    bool progressed = false;
+    for (K k : extra) {
+      drawn.push_back(k);
+      if (table->Insert(k, DeriveVal<K, V>(k))) {
+        landed.push_back(k);
+        progressed = true;
+      } else {
+        ++result.failed_inserts;
+      }
+    }
+    stalled_rounds = progressed ? 0 : stalled_rounds + 1;
+  }
+
   result.inserted_keys = std::move(landed);
   result.achieved_load_factor = table->load_factor();
+  result.hit_capacity = result.inserted_keys.size() < target;
   return result;
+}
+
+}  // namespace
+
+template <typename K, typename V>
+BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
+                                std::uint64_t seed) {
+  return FillImpl<K, V>(table, target_lf, seed);
 }
 
 template <typename K, typename V>
 BuildResult<K> FillToLoadFactor(ShardedTable<K, V>* table, double target_lf,
                                 std::uint64_t seed) {
+  return FillImpl<K, V>(table, target_lf, seed);
+}
+
+template <typename K, typename V>
+BuildResult<K> FillToSaturation(CuckooTable<K, V>* table,
+                                std::uint64_t seed) {
   BuildResult<K> result;
-  const auto target =
-      static_cast<std::uint64_t>(target_lf *
-                                 static_cast<double>(table->capacity()));
-  result.inserted_keys = UniqueRandomKeys<K>(target, seed);
-  std::vector<K> landed;
-  landed.reserve(result.inserted_keys.size());
-  for (K k : result.inserted_keys) {
-    if (!table->Insert(k, DeriveVal<K, V>(k))) {
-      result.hit_capacity = true;
-      break;
+  result.hit_capacity = true;
+  std::vector<K> drawn;
+  std::uint64_t round_seed = seed;
+  for (;;) {
+    // Enough keys to fill every remaining slot (buckets + stash) plus the
+    // one that fails; in the common case a single round ends the process.
+    const std::uint64_t cap =
+        table->capacity() + table->store().stash_capacity();
+    const std::uint64_t size = table->size();
+    const std::size_t want =
+        static_cast<std::size_t>(cap > size ? cap - size : 0) + 1;
+    round_seed = Mix64(round_seed + 0x9E3779B97F4A7C15ULL);
+    const std::vector<K> batch =
+        UniqueRandomKeys<K>(want, round_seed, &drawn);
+    if (batch.empty()) break;  // key domain exhausted before the table did
+    bool failed = false;
+    for (K k : batch) {
+      drawn.push_back(k);
+      if (table->Insert(k, DeriveVal<K, V>(k))) {
+        result.inserted_keys.push_back(k);
+      } else {
+        ++result.failed_inserts;
+        failed = true;
+        break;
+      }
     }
-    landed.push_back(k);
+    if (failed) break;
   }
-  result.inserted_keys = std::move(landed);
   result.achieved_load_factor = table->load_factor();
   return result;
+}
+
+template <typename K, typename V>
+LoadFactorSpread MeasureMaxLoadFactorSpread(unsigned ways, unsigned slots,
+                                            std::uint64_t num_buckets,
+                                            BucketLayout layout,
+                                            std::uint64_t seed,
+                                            unsigned num_seeds) {
+  LoadFactorSpread spread;
+  if (num_seeds == 0) num_seeds = 1;
+  spread.samples.reserve(num_seeds);
+  for (unsigned i = 0; i < num_seeds; ++i) {
+    // Vary both the table's hash family and the key draw per sample.
+    std::uint64_t s = seed + 0x9E3779B97F4A7C15ULL * i;
+    if (s == 0) s = 1;  // seed 0 selects the default family
+    CuckooTable<K, V> table(ways, slots, num_buckets, layout, s);
+    FillToSaturation(&table, Mix64(s) | 1);
+    spread.samples.push_back(table.load_factor());
+  }
+  std::sort(spread.samples.begin(), spread.samples.end());
+  spread.min = spread.samples.front();
+  spread.max = spread.samples.back();
+  const std::size_t n = spread.samples.size();
+  spread.median = (n % 2) != 0
+                      ? spread.samples[n / 2]
+                      : 0.5 * (spread.samples[n / 2 - 1] +
+                               spread.samples[n / 2]);
+  return spread;
 }
 
 template <typename K, typename V>
 double MeasureMaxLoadFactor(unsigned ways, unsigned slots,
                             std::uint64_t num_buckets, BucketLayout layout,
                             std::uint64_t seed) {
-  CuckooTable<K, V> table(ways, slots, num_buckets, layout, seed);
-  // Ask for 100% occupancy; the insert that fails defines the max LF.
-  FillToLoadFactor(&table, 1.0, seed);
-  return table.load_factor();
+  return MeasureMaxLoadFactorSpread<K, V>(ways, slots, num_buckets, layout,
+                                          seed, /*num_seeds=*/3)
+      .median;
 }
 
 template std::vector<std::uint16_t> UniqueRandomKeys<std::uint16_t>(
@@ -140,12 +243,28 @@ template BuildResult<std::uint32_t> FillToLoadFactor(
 template BuildResult<std::uint64_t> FillToLoadFactor(
     CuckooTable<std::uint64_t, std::uint64_t>*, double, std::uint64_t);
 
+template BuildResult<std::uint16_t> FillToSaturation(
+    CuckooTable<std::uint16_t, std::uint32_t>*, std::uint64_t);
+template BuildResult<std::uint32_t> FillToSaturation(
+    CuckooTable<std::uint32_t, std::uint32_t>*, std::uint64_t);
+template BuildResult<std::uint64_t> FillToSaturation(
+    CuckooTable<std::uint64_t, std::uint64_t>*, std::uint64_t);
+
 template BuildResult<std::uint16_t> FillToLoadFactor(
     ShardedTable<std::uint16_t, std::uint32_t>*, double, std::uint64_t);
 template BuildResult<std::uint32_t> FillToLoadFactor(
     ShardedTable<std::uint32_t, std::uint32_t>*, double, std::uint64_t);
 template BuildResult<std::uint64_t> FillToLoadFactor(
     ShardedTable<std::uint64_t, std::uint64_t>*, double, std::uint64_t);
+
+template LoadFactorSpread
+MeasureMaxLoadFactorSpread<std::uint32_t, std::uint32_t>(
+    unsigned, unsigned, std::uint64_t, BucketLayout, std::uint64_t,
+    unsigned);
+template LoadFactorSpread
+MeasureMaxLoadFactorSpread<std::uint64_t, std::uint64_t>(
+    unsigned, unsigned, std::uint64_t, BucketLayout, std::uint64_t,
+    unsigned);
 
 template double MeasureMaxLoadFactor<std::uint32_t, std::uint32_t>(
     unsigned, unsigned, std::uint64_t, BucketLayout, std::uint64_t);

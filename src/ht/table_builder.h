@@ -16,12 +16,24 @@ template <typename K>
 struct BuildResult {
   std::vector<K> inserted_keys;  // in insertion order; values are key-derived
   double achieved_load_factor = 0.0;
-  bool hit_capacity = false;     // an insert failed before the target LF
+  bool hit_capacity = false;     // the target LF was not reached
+  // Insert() calls that returned false across the whole fill (first pass,
+  // retry pass and top-up). Lets callers distinguish "one unlucky
+  // placement" (failed_inserts > 0 but target reached) from "table full"
+  // (hit_capacity).
+  std::uint64_t failed_inserts = 0;
 };
 
 // Fills `table` with unique random non-zero keys until load_factor >=
-// `target_lf` (or an insert fails). The value stored for key k is
-// DeriveVal(k) so lookup kernels can be verified without a shadow map.
+// `target_lf`. The value stored for key k is DeriveVal(k) so lookup
+// kernels can be verified without a shadow map.
+//
+// A failed insert no longer aborts the fill: the pass continues through the
+// remaining keys, failed keys get one retry pass (later placements can open
+// paths for them), and if the target is still short, fresh replacement keys
+// top the table up until the target is met or insertions stop making
+// progress. hit_capacity is therefore a statement about the table, not
+// about one unlucky eviction walk.
 template <typename K, typename V>
 BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
                                 std::uint64_t seed = 1);
@@ -33,6 +45,21 @@ template <typename K, typename V>
 BuildResult<K> FillToLoadFactor(ShardedTable<K, V>* table, double target_lf,
                                 std::uint64_t seed = 1);
 
+// The classic saturation process (Fig 2): inserts a fixed stream of unique
+// random keys until the table reports a final insert failure, then stops.
+// With the path-search engine a single Insert() == false already means the
+// engine exhausted eviction paths, the stash and rebuilds — so the stopping
+// load factor is the layout's max achievable occupancy for that seed.
+//
+// This is deliberately NOT FillToLoadFactor(target=1.0): the top-up pass
+// there replaces failed keys with fresh draws, which adaptively selects an
+// insertable key set and packs (2,1) tables far beyond the ~0.5
+// orientability threshold. Saturation keeps the offered stream fixed so the
+// measurement matches the paper's process. hit_capacity is always true.
+template <typename K, typename V>
+BuildResult<K> FillToSaturation(CuckooTable<K, V>* table,
+                                std::uint64_t seed = 1);
+
 // The value every builder stores for a key: a cheap key-derived stamp that
 // fits any value width (tests recompute it to check kernel results).
 template <typename K, typename V>
@@ -40,8 +67,28 @@ inline V DeriveVal(K key) {
   return static_cast<V>(static_cast<std::uint64_t>(key) * 2654435761ULL + 1);
 }
 
-// Inserts random keys until the eviction walk fails; returns the load factor
-// reached. This is the paper's Fig 2 measurement for one (N, m) point.
+// Max-load-factor measurement across a seed set. One seed's outcome is a
+// sample of placement luck, not a property of the layout; the median over a
+// few seeds is stable run-to-run and min/max expose the spread (layout-
+// profile tables report median, plots can show the band).
+struct LoadFactorSpread {
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> samples;  // per-seed achieved max LF, sorted
+};
+
+// Fills a fresh table to saturation once per seed (table seed and key seed
+// both varied) and reports the spread. This is the paper's Fig 2
+// measurement for one (N, m) point.
+template <typename K, typename V>
+LoadFactorSpread MeasureMaxLoadFactorSpread(unsigned ways, unsigned slots,
+                                            std::uint64_t num_buckets,
+                                            BucketLayout layout,
+                                            std::uint64_t seed = 1,
+                                            unsigned num_seeds = 5);
+
+// Median of a small default seed set (see MeasureMaxLoadFactorSpread).
 template <typename K, typename V>
 double MeasureMaxLoadFactor(unsigned ways, unsigned slots,
                             std::uint64_t num_buckets, BucketLayout layout,

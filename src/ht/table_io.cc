@@ -9,8 +9,11 @@ namespace simdht {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'H', 'T', 'B', '1', 0, 0, 0};
-constexpr char kShardedMagic[8] = {'S', 'H', 'T', 'S', '1', 0, 0, 0};
+// Format 2: header gains the effective hash seed plus stash metadata, and
+// stash entries follow the arena bytes. Version-1 snapshots predate the
+// insertion engine and are not read back (nothing persists them anymore).
+constexpr char kMagic[8] = {'S', 'H', 'T', 'B', '2', 0, 0, 0};
+constexpr char kShardedMagic[8] = {'S', 'H', 'T', 'S', '2', 0, 0, 0};
 
 // Anything above this is a corrupt count, not a configuration: the router
 // folds shard indices out of 32 avalanche bits, and no machine this suite
@@ -40,6 +43,9 @@ struct SnapshotHeader {
   std::uint64_t size;
   std::uint64_t mult[kMaxWays];
   std::uint64_t data_bytes;
+  std::uint64_t seed;            // effective hash seed (moves on rebuild)
+  std::uint32_t stash_capacity;
+  std::uint32_t stash_count;     // StashEntry records after the arena bytes
 };
 
 }  // namespace
@@ -60,10 +66,18 @@ bool SaveTable(const CuckooTable<K, V>& table, std::ostream& out) {
     header.mult[i] = table.hash_family().mult[i];
   }
   header.data_bytes = table.table_bytes();
+  const TableStore& store = table.store();
+  header.seed = store.seed();
+  header.stash_capacity = store.stash_capacity();
+  header.stash_count = store.stash_count();
 
   out.write(reinterpret_cast<const char*>(&header), sizeof(header));
   out.write(reinterpret_cast<const char*>(table.raw_data()),
             static_cast<std::streamsize>(header.data_bytes));
+  for (std::uint32_t i = 0; i < header.stash_count; ++i) {
+    const StashEntry e = store.stash_at(i);
+    out.write(reinterpret_cast<const char*>(&e), sizeof(e));
+  }
   return static_cast<bool>(out);
 }
 
@@ -79,6 +93,10 @@ std::optional<CuckooTable<K, V>> LoadTable(std::istream& in) {
   }
   if (header.log2_buckets >= 63 || header.bucket_layout > 1) {
     return std::nullopt;
+  }
+  if (header.stash_capacity > kMaxStashEntries ||
+      header.stash_count > header.stash_capacity) {
+    return std::nullopt;  // corrupt stash metadata
   }
 
   std::optional<CuckooTable<K, V>> maybe_table;
@@ -96,10 +114,20 @@ std::optional<CuckooTable<K, V>> LoadTable(std::istream& in) {
           static_cast<std::streamsize>(header.data_bytes));
   if (!in) return std::nullopt;
 
+  TableStore& store = table.store();
+  store.set_stash_capacity(header.stash_capacity);
+  store.StashClear();
+  for (std::uint32_t i = 0; i < header.stash_count; ++i) {
+    StashEntry e;
+    in.read(reinterpret_cast<char*>(&e), sizeof(e));
+    if (!in) return std::nullopt;
+    store.StashAppend(e.key, e.val);
+  }
+
   HashFamily hash;
   hash.log2_buckets = header.log2_buckets;
   for (unsigned i = 0; i < kMaxWays; ++i) hash.mult[i] = header.mult[i];
-  table.RestoreState(hash, header.size);
+  table.RestoreState(hash, header.size, header.seed);
   return maybe_table;
 }
 

@@ -31,7 +31,7 @@ template <typename K, typename V>
 std::optional<CuckooTable<K, V>> LoadTableFromFile(const std::string& path);
 
 // --- sharded snapshots ---
-// Container format: a sharded header (magic "SHTS1" + shard count), then
+// Container format: a sharded header (magic "SHTS2" + shard count), then
 // per shard a record {shard_index, seed} followed by an ordinary per-shard
 // table snapshot. Loading rebuilds a ShardedTable with every shard's hash
 // family and router position intact.

@@ -47,11 +47,15 @@ TableShape TableShape::Raw(std::uint64_t min_buckets,
 }
 
 TableStore::TableStore(const TableShape& shape, std::uint64_t seed)
-    : shape_(shape), hash_(HashFamily::Make(shape.log2_buckets, seed)) {
+    : shape_(shape),
+      hash_(HashFamily::Make(shape.log2_buckets, seed)),
+      seed_(seed) {
   arena_.Allocate(shape_.total_bytes());
+  // Stripes, plus the epoch / stash seqlock / stash count slots behind them
+  // (see the accessors in the header).
   versions_ =
-      std::make_unique<std::atomic<std::uint64_t>[]>(kVersionStripes + 1);
-  for (unsigned i = 0; i <= kVersionStripes; ++i) versions_[i].store(0);
+      std::make_unique<std::atomic<std::uint64_t>[]>(kVersionStripes + 3);
+  for (unsigned i = 0; i < kVersionStripes + 3; ++i) versions_[i].store(0);
 }
 
 TableView TableStore::view() const {
@@ -61,6 +65,8 @@ TableView TableStore::view() const {
   v.log2_buckets = shape_.log2_buckets;
   v.spec = shape_.spec;
   v.hash = hash_;
+  v.stash = stash_;
+  v.stash_count = stash_count();
   return v;
 }
 

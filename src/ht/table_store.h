@@ -87,6 +87,21 @@ class TableStore {
     return hash_.Bucket<K>(way, key);
   }
 
+  // The seed the current hash family was derived from. Starts at the
+  // constructor seed; a rebuild recovery (CuckooTable::TryRebuild) moves it.
+  // Snapshots persist this so seed-vs-multiplier validation keeps working
+  // after a rebuild.
+  std::uint64_t seed() const { return seed_; }
+
+  // Re-derives the hash family from `seed` (rebuild recovery / snapshot
+  // load). Writer-side only. SIMDHT_NO_TSAN: a concurrent reader may load
+  // multipliers mid-store, compute a wrong-but-in-range bucket, and retry
+  // via the stripe/epoch validation — the same protocol as slot stores.
+  SIMDHT_NO_TSAN void Reseed(std::uint64_t seed) {
+    hash_ = HashFamily::Make(shape_.log2_buckets, seed);
+    seed_ = seed;
+  }
+
   // --- occupancy (maintained by the policy layer) ---
   std::uint64_t size() const { return size_; }
   void AdjustSize(std::int64_t delta) {
@@ -96,10 +111,21 @@ class TableStore {
 
   // Adopts deserialized state (ht/table_io.h) after the caller filled
   // data() with snapshot bytes.
-  void Restore(const HashFamily& hash, std::uint64_t size) {
+  void Restore(const HashFamily& hash, std::uint64_t size,
+               std::uint64_t seed) {
     hash_ = hash;
     size_ = size;
+    seed_ = seed;
   }
+
+  // Overwrites the whole arena from `src` (shape-identical staging table).
+  // The rebuild publication step: caller brackets this with EpochEnterWrite
+  // + BumpAllOdd so no reader validates against half-copied bytes.
+  // SIMDHT_NO_TSAN for the same reason as SetSlot.
+  SIMDHT_NO_TSAN void AdoptArena(const std::uint8_t* src) {
+    std::memcpy(arena_.data(), src, shape_.total_bytes());
+  }
+  void SetSize(std::uint64_t n) { size_ = n; }
 
   // --- typed slot addressing (LayoutSpec-shaped stores only) ---
   // Key/value addresses for (bucket, slot) under either bucket layout.
@@ -171,6 +197,19 @@ class TableStore {
     StripeFor(bucket).fetch_add(1, std::memory_order_release);
   }
 
+  // Every stripe to odd / back to even: brackets whole-arena mutations
+  // (rebuild publication) the per-bucket bumps cannot cover.
+  void BumpAllOdd() {
+    for (unsigned i = 0; i < kVersionStripes; ++i) {
+      versions_[i].fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  void BumpAllEven() {
+    for (unsigned i = 0; i < kVersionStripes; ++i) {
+      versions_[i].fetch_add(1, std::memory_order_release);
+    }
+  }
+
   // Global write epoch for batched lookups: odd while a structural write
   // (relocation, erase) is in flight; a batch that observed the same even
   // value before and after a kernel invocation is valid.
@@ -184,18 +223,69 @@ class TableStore {
   void EpochEnterWrite() { epoch().fetch_add(1, std::memory_order_acq_rel); }
   void EpochExitWrite() { epoch().fetch_add(1, std::memory_order_release); }
 
+  // --- overflow stash ---
+  // Fixed-size stash the policy layer spills to when no eviction path
+  // exists. Entries are widened to 64-bit (see StashEntry). The count is
+  // published with release semantics so an append is reader-safe without
+  // any version bump; in-place mutation (swap-remove) needs the seqlock
+  // below. The mutators carry SIMDHT_NO_TSAN like the slot stores: readers
+  // race them by design and retry via StashVersion / the write epoch.
+  unsigned stash_capacity() const { return stash_capacity_; }
+  void set_stash_capacity(unsigned cap) {
+    stash_capacity_ = cap < kMaxStashEntries ? cap : kMaxStashEntries;
+  }
+  unsigned stash_count() const {
+    return static_cast<unsigned>(
+        stash_count_slot().load(std::memory_order_acquire));
+  }
+  SIMDHT_NO_TSAN StashEntry stash_at(unsigned i) const { return stash_[i]; }
+  SIMDHT_NO_TSAN bool StashAppend(std::uint64_t key, std::uint64_t val) {
+    const unsigned n = stash_count();
+    if (n >= stash_capacity_) return false;
+    stash_[n].val = val;
+    stash_[n].key = key;
+    stash_count_slot().store(n + 1, std::memory_order_release);
+    return true;
+  }
+  // Single aligned word store: readers observe old or new.
+  SIMDHT_NO_TSAN void StashSetVal(unsigned i, std::uint64_t val) {
+    stash_[i].val = val;
+  }
+  // Swap-remove. Mutates entry `i` in place — callers with concurrent
+  // readers bracket this with StashVersion odd/even and the write epoch.
+  SIMDHT_NO_TSAN void StashRemoveAt(unsigned i) {
+    const unsigned n = stash_count();
+    stash_[i] = stash_[n - 1];
+    stash_count_slot().store(n - 1, std::memory_order_release);
+  }
+  void StashClear() {
+    stash_count_slot().store(0, std::memory_order_release);
+  }
+  // Seqlock guarding in-place stash mutation, validated by optimistic
+  // readers alongside the bucket stripes.
+  std::atomic<std::uint64_t>& StashVersion() const {
+    return versions_[kVersionStripes + 1];
+  }
+
  private:
-  // The epoch shares the version allocation (slot kVersionStripes) so the
-  // store stays movable — a bare std::atomic member would delete the move
-  // operations CuckooTable and table_io depend on.
+  // The epoch, the stash seqlock and the stash count share the version
+  // allocation (slots kVersionStripes .. +2) so the store stays movable —
+  // a bare std::atomic member would delete the move operations CuckooTable
+  // and table_io depend on.
   std::atomic<std::uint64_t>& epoch() const {
     return versions_[kVersionStripes];
+  }
+  std::atomic<std::uint64_t>& stash_count_slot() const {
+    return versions_[kVersionStripes + 2];
   }
 
   TableShape shape_;
   HashFamily hash_;
   AlignedBuffer arena_;
   std::uint64_t size_ = 0;
+  std::uint64_t seed_ = 0;
+  StashEntry stash_[kMaxStashEntries];
+  unsigned stash_capacity_ = kDefaultStashCapacity;
   mutable std::unique_ptr<std::atomic<std::uint64_t>[]> versions_;
 };
 

@@ -118,12 +118,19 @@ struct KernelInfo {
   RawLookupFn raw_fn = nullptr;  // ... the raw free function, adapted below
 
   // Canonical entry point: runs the kernel over `batch` and maintains the
-  // batch's stats slot. Dispatches to `fn` or thin-adapts `raw_fn`.
+  // batch's stats slot. Dispatches to `fn` or thin-adapts `raw_fn`, then
+  // probes the table's overflow stash for whatever the bucket pass missed —
+  // so stash entries are visible through every kernel (scalar and SIMD)
+  // without each kernel knowing the stash exists.
   std::uint64_t Lookup(const TableView& view, const ProbeBatch& batch) const {
-    const std::uint64_t found =
+    std::uint64_t found =
         fn != nullptr ? fn(view, batch)
                       : raw_fn(view, batch.keys, batch.vals, batch.found,
                                batch.size);
+    if (view.stash_count != 0) {
+      found += ProbeStash(view, batch.keys, batch.vals, batch.found,
+                          batch.size);
+    }
     if (batch.stats != nullptr) {
       batch.stats->lookups += batch.size;
       batch.stats->hits += found;

@@ -98,6 +98,11 @@ std::uint64_t RunFusedAmac(const TableView& view, const ProbeBatch& batch,
     found[i] = hit;
     hits += hit;
   }
+  // The fused loop owns its own compare path (it never goes through
+  // KernelInfo::Lookup), so it probes the overflow stash itself.
+  if (view.stash_count != 0) {
+    hits += ProbeStash(view, batch.keys, batch.vals, batch.found, batch.size);
+  }
   if (batch.stats != nullptr) {
     batch.stats->lookups += n;
     batch.stats->hits += hits;

@@ -236,6 +236,63 @@ TEST(ConcurrentTable, EraseRacingBatchLookupNeverYieldsStaleHits) {
   EXPECT_EQ(table.size(), stable.size());
 }
 
+// Readers racing the engine's recovery tiers: the writer drives a (2,1)
+// table all the way through stash spills and reseed-and-rebuild passes
+// (which republish the entire arena under the write epoch) while readers
+// hammer a fixed anchor set. An anchor observed missing or with a foreign
+// value means a reader saw the rebuild mid-copy.
+TEST(ConcurrentTable, ReadersSurviveStashSpillsAndRebuilds) {
+  ConcurrentCuckooTable32 table(2, 1, 1024, BucketLayout::kInterleaved, 17);
+
+  std::vector<std::uint32_t> anchors;
+  Xoshiro256 rng(18);
+  while (anchors.size() < 300) {
+    const auto key = static_cast<std::uint32_t>(rng.Next()) | 1;
+    if (table.Insert(key, key ^ 0xCAFE)) anchors.push_back(key);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0}, wrong{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 prng(t + 200);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint32_t key = anchors[prng.NextBounded(anchors.size())];
+        std::uint32_t val = 0;
+        if (!table.Find(key, &val)) {
+          misses.fetch_add(1);
+        } else if (val != (key ^ 0xCAFE)) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Writer: saturate the table. Failures are expected near the threshold;
+  // keep offering fresh keys so the stash fills and rebuilds trigger.
+  Xoshiro256 wrng(19);
+  unsigned failures = 0;
+  for (int i = 0; i < 4000 && failures < 32; ++i) {
+    if (!table.Insert(static_cast<std::uint32_t>(wrng.Next()) | 1,
+                      static_cast<std::uint32_t>(i))) {
+      ++failures;
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(misses.load(), 0u);
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_GE(table.insert_stats().rebuilds, 1u);
+  EXPECT_GT(table.stash_count(), 0u);
+  for (std::uint32_t key : anchors) {
+    std::uint32_t val = 0;
+    ASSERT_TRUE(table.Find(key, &val));
+    ASSERT_EQ(val, key ^ 0xCAFE);
+  }
+}
+
 TEST(ConcurrentTable, InsertFailsCleanlyWhenFull) {
   // Non-bucketized 2-way saturates near 50% under the paper's protocol
   // (insert until the FIRST failure); the fill must stop rather than hang,

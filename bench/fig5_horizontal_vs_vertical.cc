@@ -6,6 +6,10 @@
 // access (up to ~3x); under skew the scalar baseline benefits from cache
 // locality so speedups shrink (1.2x-2x), with 3-way vertical and (2,4)
 // horizontal the best LF/performance combinations.
+//
+// The sweep is three-way: next to the cuckoo (N, m) grid it measures the
+// Swiss control-byte design (one probe family, 16-slot groups) so BCHT
+// horizontal, BCHT vertical and Swiss appear in one table/report.
 #include "bench_common.h"
 
 using namespace simdht;
@@ -25,9 +29,12 @@ int main(int argc, char** argv) {
   AppendPerfColumns(opt, &headers);
   TablePrinter table(std::move(headers));
 
+  std::vector<LayoutSpec> layouts = CaseStudy1Layouts();
+  layouts.push_back(LayoutSpec::Swiss(32, 32));
+
   for (const AccessPattern pattern :
        {AccessPattern::kUniform, AccessPattern::kZipfian}) {
-    for (const LayoutSpec& layout : CaseStudy1Layouts()) {
+    for (const LayoutSpec& layout : layouts) {
       CaseSpec spec = PaperCaseDefaults(opt);
       spec.layout = layout;
       spec.table_bytes = 1 << 20;

@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
                                       16 << 20, 64 << 20};
   if (opt.quick) sizes = {256 << 10, 1 << 20, 4 << 20, 16 << 20};
 
-  // The paper's two representative designs.
-  const LayoutSpec designs[] = {Layout(2, 4), Layout(3, 1)};
+  // The paper's two representative cuckoo designs (best horizontal, best
+  // vertical) plus the Swiss control-byte family as a third design point.
+  const LayoutSpec designs[] = {Layout(2, 4), Layout(3, 1),
+                                LayoutSpec::Swiss(32, 32)};
 
   std::vector<std::string> headers = {"HT size", "layout", "kernel",
                                       "Mlookups/s/core", "speedup vs scalar"};

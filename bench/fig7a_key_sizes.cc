@@ -24,6 +24,10 @@ int main(int argc, char** argv) {
        "(K,V)=(16,32) (2,8) BCHT"},
       // Baseline from Case Study 1 for the cross-figure comparison.
       {Layout(3, 1, 32, 32), "(K,V)=(32,32) 3-way cuckoo (reference)"},
+      // Swiss control-byte rows: fingerprint scans are width-independent of
+      // the key size, so the 16/64-bit penalty pattern differs from cuckoo.
+      {LayoutSpec::Swiss(16, 32), "(K,V)=(16,32) Swiss"},
+      {LayoutSpec::Swiss(64, 64), "(K,V)=(64,64) Swiss"},
   };
 
   TablePrinter table({"config", "pattern", "kernel", "Mlookups/s/core",

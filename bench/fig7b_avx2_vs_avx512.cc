@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   for (const std::uint64_t bytes :
        {std::uint64_t{1} << 20, std::uint64_t{16} << 20}) {
     for (const unsigned threads : {half_threads, all_threads}) {
-      for (const LayoutSpec& layout : {Layout(3, 1), Layout(2, 8)}) {
+      for (const LayoutSpec& layout :
+           {Layout(3, 1), Layout(2, 8), LayoutSpec::Swiss(32, 32)}) {
         CaseSpec spec = PaperCaseDefaults(opt);
         spec.layout = layout;
         spec.table_bytes = bytes;

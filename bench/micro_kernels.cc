@@ -2,10 +2,19 @@
 //
 // Measures each registered kernel over a fixed cache-resident table,
 // sweeping the batch size — the per-call costs (hash, gather, compare,
-// reduce) without the performance engine around them.
+// reduce) without the performance engine around them. Covers both table
+// families: the cuckoo/BCHT shapes and the Swiss control-byte layout.
+//
+// `--check` runs the kernel parity gate instead of the benchmarks: every
+// registered kernel (all families, every supported ISA tier) is replayed
+// over the fixture workload and its (found, value) outputs are compared
+// probe-by-probe against the scalar twin of the same layout. Exits nonzero
+// on any divergence — scripts/check.sh and CI wire this in as the
+// SIMD-vs-scalar equivalence gate.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +22,7 @@
 #include "common/cpu_features.h"
 #include "core/workload.h"
 #include "ht/cuckoo_table.h"
+#include "ht/swiss_table.h"
 #include "ht/table_builder.h"
 #include "obs/run_report.h"
 #include "obs/timeline.h"
@@ -26,6 +36,7 @@ namespace {
 struct ReportFlags {
   std::string json_path;
   std::string timeline_path;
+  bool check = false;
 
   static ReportFlags Strip(int* argc, char** argv) {
     ReportFlags out;
@@ -36,6 +47,8 @@ struct ReportFlags {
         out.json_path = arg + 7;
       } else if (std::strncmp(arg, "--timeline=", 11) == 0) {
         out.timeline_path = arg + 11;
+      } else if (std::strcmp(arg, "--check") == 0) {
+        out.check = true;
       } else {
         argv[kept++] = argv[i];
       }
@@ -81,42 +94,75 @@ class ReportingReporter : public benchmark::ConsoleReporter {
   RunReport* report_;
 };
 
-// A lazily-built fixture per layout shape, shared across kernels.
-template <typename K, typename V>
-struct Fixture {
-  std::unique_ptr<CuckooTable<K, V>> table;
-  std::vector<K> queries;
+// Parity thunks registered alongside the benchmarks; `--check` runs these
+// instead and returns the failure count.
+std::vector<std::function<int()>>& CheckThunks() {
+  static std::vector<std::function<int()>> thunks;
+  return thunks;
+}
 
-  Fixture(unsigned ways, unsigned slots, BucketLayout layout) {
-    // 16-bit keys can only populate ~64 K distinct entries; keep the table
-    // small enough that the fill target and a miss pool both fit.
-    const std::uint64_t total_slots = sizeof(K) == 2 ? (1u << 14)
-                                                     : (1u << 17);
-    table = std::make_unique<CuckooTable<K, V>>(ways, slots,
-                                                total_slots / slots, layout);
-    auto build = FillToLoadFactor(table.get(), 0.85, 11);
-    auto misses = UniqueRandomKeys<K>(4096, 13, &build.inserted_keys);
-    WorkloadConfig wc;
-    wc.hit_rate = 0.9;
-    wc.num_queries = 1 << 16;
-    wc.seed = 17;
-    queries = GenerateQueries(build.inserted_keys, misses, wc);
+// Replays every kernel matching `spec` on this CPU and diffs its outputs
+// against the layout's scalar twin. Returns the number of failing kernels.
+template <typename K, typename V>
+int CheckKernelParity(const std::string& shape_name, const LayoutSpec& spec,
+                      const TableView& view, const std::vector<K>& queries) {
+  const KernelInfo* scalar = KernelRegistry::Get().Scalar(spec);
+  if (scalar == nullptr) {
+    std::fprintf(stderr, "FAIL %s: no scalar twin registered for %s\n",
+                 shape_name.c_str(), spec.ToString().c_str());
+    return 1;
   }
-};
+  const std::size_t n = queries.size();
+  std::vector<V> ref_vals(n), vals(n);
+  std::vector<std::uint8_t> ref_found(n), found(n);
+  scalar->Lookup(view,
+                 ProbeBatch::Of(queries.data(), ref_vals.data(),
+                                ref_found.data(), n));
+  int failures = 0;
+  for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
+    if (&kernel == scalar) continue;
+    if (!kernel.Matches(spec)) continue;
+    if (!GetCpuFeatures().Supports(kernel.level)) continue;
+    std::fill(vals.begin(), vals.end(), V{0});
+    std::fill(found.begin(), found.end(), std::uint8_t{0});
+    kernel.Lookup(view,
+                  ProbeBatch::Of(queries.data(), vals.data(), found.data(),
+                                 n));
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (found[i] != ref_found[i] ||
+          (found[i] != 0 && vals[i] != ref_vals[i])) {
+        ++mismatches;
+      }
+    }
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL %s/%s: %zu of %zu probes diverge from %s\n",
+                   shape_name.c_str(), kernel.name.c_str(), mismatches, n,
+                   scalar->name.c_str());
+      ++failures;
+    } else {
+      std::printf("ok   %-22s %-28s (%zu probes vs %s)\n",
+                  shape_name.c_str(), kernel.name.c_str(), n,
+                  scalar->name.c_str());
+    }
+  }
+  return failures;
+}
 
 template <typename K, typename V>
 void RunKernelBench(benchmark::State& state, const KernelInfo* kernel,
-                    Fixture<K, V>* fixture) {
+                    const TableView view, const std::vector<K>* queries,
+                    std::vector<V>* vals, std::vector<std::uint8_t>* found) {
   const auto batch = static_cast<std::size_t>(state.range(0));
-  std::vector<V> vals(batch);
-  std::vector<std::uint8_t> found(batch);
-  const TableView view = fixture->table->view();
+  vals->resize(batch);
+  found->resize(batch);
   std::size_t offset = 0;
   for (auto _ : state) {
-    if (offset + batch > fixture->queries.size()) offset = 0;
+    if (offset + batch > queries->size()) offset = 0;
     const std::uint64_t hits = kernel->Lookup(
-        view, ProbeBatch::Of(fixture->queries.data() + offset, vals.data(),
-                             found.data(), batch));
+        view, ProbeBatch::Of(queries->data() + offset, vals->data(),
+                             found->data(), batch));
     benchmark::DoNotOptimize(hits);
     offset += batch;
   }
@@ -124,9 +170,44 @@ void RunKernelBench(benchmark::State& state, const KernelInfo* kernel,
                           static_cast<std::int64_t>(batch));
 }
 
+// Registers the benchmarks (or, in check mode, the parity thunk) for one
+// built table + workload.
+template <typename K, typename V>
+void RegisterKernels(const std::string& shape_name, const LayoutSpec& spec,
+                     const TableView view,
+                     const std::vector<K>* queries, bool check) {
+  if (queries->empty()) {
+    std::fprintf(stderr, "skipping %s: workload generation failed\n",
+                 shape_name.c_str());
+    return;
+  }
+  if (check) {
+    CheckThunks().push_back([shape_name, spec, view, queries] {
+      return CheckKernelParity<K, V>(shape_name, spec, view, *queries);
+    });
+    return;
+  }
+  for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
+    if (!kernel.Matches(spec)) continue;
+    if (!GetCpuFeatures().Supports(kernel.level)) continue;
+    const std::string name = shape_name + "/" + kernel.name;
+    auto* vals = new std::vector<V>();                // lives forever
+    auto* found = new std::vector<std::uint8_t>();    // lives forever
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [&kernel, view, queries, vals, found](benchmark::State& state) {
+          RunKernelBench<K, V>(state, &kernel, view, queries, vals, found);
+        })
+        ->Arg(16)
+        ->Arg(256)
+        ->Arg(4096);
+  }
+}
+
+// A lazily-built cuckoo fixture per layout shape, shared across kernels.
 template <typename K, typename V>
 void RegisterShape(const char* shape_name, unsigned ways, unsigned slots,
-                   BucketLayout layout) {
+                   BucketLayout layout, bool check) {
   LayoutSpec spec;
   spec.ways = ways;
   spec.slots = slots;
@@ -134,26 +215,47 @@ void RegisterShape(const char* shape_name, unsigned ways, unsigned slots,
   spec.val_bits = sizeof(V) * 8;
   spec.bucket_layout = layout;
 
-  auto* fixture = new Fixture<K, V>(ways, slots, layout);  // lives forever
-  if (fixture->queries.empty()) {
-    std::fprintf(stderr, "skipping %s: workload generation failed\n",
-                 shape_name);
-    return;
+  // 16-bit keys can only populate ~64 K distinct entries; keep the table
+  // small enough that the fill target and a miss pool both fit.
+  const std::uint64_t total_slots = sizeof(K) == 2 ? (1u << 14) : (1u << 17);
+  auto* table = new CuckooTable<K, V>(ways, slots, total_slots / slots,
+                                      layout);  // lives forever
+  auto build = FillToLoadFactor(table, 0.85, 11);
+  auto misses = UniqueRandomKeys<K>(4096, 13, &build.inserted_keys);
+  WorkloadConfig wc;
+  wc.hit_rate = 0.9;
+  wc.num_queries = 1 << 16;
+  wc.seed = 17;
+  auto* queries = new std::vector<K>(
+      GenerateQueries(build.inserted_keys, misses, wc));  // lives forever
+  RegisterKernels<K, V>(shape_name, spec, table->view(), queries, check);
+}
+
+// Swiss fixtures: same workload recipe over the control-byte family. The
+// erase pass leaves tombstones behind so the parity gate exercises the
+// TOMBSTONE-vs-EMPTY probe-termination rule, not just pristine tables.
+template <typename K, typename V>
+void RegisterSwissShape(const char* shape_name, bool check) {
+  const LayoutSpec spec = LayoutSpec::Swiss(sizeof(K) * 8, sizeof(V) * 8);
+  const std::uint64_t total_slots = sizeof(K) == 2 ? (1u << 14) : (1u << 17);
+  auto* table =
+      new SwissTable<K, V>(total_slots / kSwissGroupSlots);  // lives forever
+  auto build = FillToLoadFactor(table, 0.85, 11);
+  for (std::size_t i = 0; i < build.inserted_keys.size(); i += 7) {
+    table->Erase(build.inserted_keys[i]);
   }
-  for (const KernelInfo& kernel : KernelRegistry::Get().all()) {
-    if (!kernel.Matches(spec)) continue;
-    if (!GetCpuFeatures().Supports(kernel.level)) continue;
-    const std::string name =
-        std::string(shape_name) + "/" + kernel.name;
-    benchmark::RegisterBenchmark(
-        name.c_str(),
-        [&kernel, fixture](benchmark::State& state) {
-          RunKernelBench<K, V>(state, &kernel, fixture);
-        })
-        ->Arg(16)
-        ->Arg(256)
-        ->Arg(4096);
+  std::vector<K> resident;
+  for (std::size_t i = 0; i < build.inserted_keys.size(); ++i) {
+    if (i % 7 != 0) resident.push_back(build.inserted_keys[i]);
   }
+  auto misses = UniqueRandomKeys<K>(4096, 13, &build.inserted_keys);
+  WorkloadConfig wc;
+  wc.hit_rate = 0.9;
+  wc.num_queries = 1 << 16;
+  wc.seed = 17;
+  auto* queries = new std::vector<K>(
+      GenerateQueries(resident, misses, wc));  // lives forever
+  RegisterKernels<K, V>(shape_name, spec, table->view(), queries, check);
 }
 
 }  // namespace
@@ -162,14 +264,34 @@ void RegisterShape(const char* shape_name, unsigned ways, unsigned slots,
 int main(int argc, char** argv) {
   using simdht::BucketLayout;
   const auto report_flags = simdht::ReportFlags::Strip(&argc, argv);
+  const bool check = report_flags.check;
   simdht::RegisterShape<std::uint32_t, std::uint32_t>(
-      "bcht_2x4_k32", 2, 4, BucketLayout::kInterleaved);
+      "bcht_2x4_k32", 2, 4, BucketLayout::kInterleaved, check);
   simdht::RegisterShape<std::uint32_t, std::uint32_t>(
-      "cuckoo_3way_k32", 3, 1, BucketLayout::kInterleaved);
+      "cuckoo_3way_k32", 3, 1, BucketLayout::kInterleaved, check);
   simdht::RegisterShape<std::uint64_t, std::uint64_t>(
-      "cuckoo_3way_k64", 3, 1, BucketLayout::kInterleaved);
+      "cuckoo_3way_k64", 3, 1, BucketLayout::kInterleaved, check);
   simdht::RegisterShape<std::uint16_t, std::uint32_t>(
-      "bcht_2x8_k16_split", 2, 8, BucketLayout::kSplit);
+      "bcht_2x8_k16_split", 2, 8, BucketLayout::kSplit, check);
+  simdht::RegisterSwissShape<std::uint32_t, std::uint32_t>("swiss_k32",
+                                                           check);
+  simdht::RegisterSwissShape<std::uint64_t, std::uint64_t>("swiss_k64",
+                                                           check);
+  simdht::RegisterSwissShape<std::uint16_t, std::uint32_t>("swiss_k16",
+                                                           check);
+
+  if (check) {
+    int failures = 0;
+    for (const auto& thunk : simdht::CheckThunks()) failures += thunk();
+    if (failures != 0) {
+      std::fprintf(stderr, "--check: %d kernel(s) diverge from scalar\n",
+                   failures);
+      return 1;
+    }
+    std::printf("--check: all kernels match their scalar twin\n");
+    return 0;
+  }
+
   benchmark::Initialize(&argc, argv);
   simdht::RunReport report =
       simdht::NewRunReport("micro_kernels", "Raw lookup-kernel microbench");

@@ -26,6 +26,10 @@ for preset in "${presets[@]}"; do
     # max load factor and (2,1) cuckoo inside the theoretical band.
     echo "=== insertion-engine max-LF gate ==="
     ./build/bench/micro_insert_path --quick --check
+    # Kernel parity gate: every SIMD kernel (cuckoo and Swiss families,
+    # every supported ISA tier) must match its scalar twin probe-for-probe.
+    echo "=== kernel parity gate ==="
+    ./build/bench/micro_kernels --check
   fi
 done
 echo "=== all checks passed ==="

@@ -198,6 +198,17 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
         "RunCase: shards > 1 requires the shared-table mode (per-thread "
         "tables are already partitioned)");
   }
+  const bool is_swiss = spec.layout.family == TableFamily::kSwiss;
+  if (is_swiss && shards > 1) {
+    throw std::invalid_argument(
+        "RunCase: sharding is implemented for the cuckoo family only; the "
+        "Swiss family requires run.shards == 1");
+  }
+  if (!is_swiss && spec.run.hash_kind != HashKind::kMultiplyShift) {
+    throw std::invalid_argument(
+        "RunCase: cuckoo layouts require the multiply-shift hash (vertical "
+        "kernels vectorize it); wyhash is Swiss-family only");
+  }
   result.shards = shards;
 
   const std::uint64_t num_buckets =
@@ -208,10 +219,22 @@ CaseResult RunCaseImpl(const CaseSpec& spec,
   const double build_start_us = timeline.enabled() ? timeline.NowUs() : 0.0;
   const unsigned num_tables = spec.shared_table ? 1 : threads;
   std::vector<std::unique_ptr<CuckooTable<K, V>>> tables;
+  std::vector<std::unique_ptr<SwissTable<K, V>>> swiss_tables;
   std::unique_ptr<ShardedTable<K, V>> sharded;
   std::vector<TableView> views;
   std::vector<BuildResult<K>> builds;
-  if (shards > 1) {
+  if (is_swiss) {
+    for (unsigned t = 0; t < num_tables; ++t) {
+      auto table = std::make_unique<SwissTable<K, V>>(
+          num_buckets, spec.run.seed + t, spec.run.hash_kind);
+      builds.push_back(FillToLoadFactor(table.get(), spec.load_factor,
+                                        spec.run.seed + 1000 + t));
+      views.push_back(table->view());
+      swiss_tables.push_back(std::move(table));
+    }
+    result.achieved_load_factor = builds.front().achieved_load_factor;
+    result.actual_table_bytes = swiss_tables.front()->table_bytes();
+  } else if (shards > 1) {
     sharded = std::make_unique<ShardedTable<K, V>>(
         shards, spec.layout.ways, spec.layout.slots, num_buckets,
         spec.layout.bucket_layout, spec.run.seed);

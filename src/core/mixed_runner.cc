@@ -26,18 +26,22 @@ struct PassResult {
   double writer_mups = 0.0;
 };
 
-// Exactly one of `table` / `sharded` is non-null. With a sharded table,
-// readers partition each batch by shard (epoch-validated per shard) and the
-// writer's updates route through the shard router.
+// Exactly one of `table` / `sharded` / `swiss` is non-null. With a sharded
+// table, readers partition each batch by shard (epoch-validated per shard)
+// and the writer's updates route through the shard router. A Swiss table
+// shares the single-table path: UpdateValue is the same single-aligned-word
+// store contract in both families.
 PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
-                   ShardedTable32* sharded,
+                   ShardedTable32* sharded, SwissTable32* swiss,
                    const std::vector<std::vector<std::uint32_t>>& queries,
                    const std::vector<std::uint32_t>& resident_keys,
                    std::size_t batch, const PipelineConfig& pipeline,
                    bool with_writer, std::uint64_t seed,
                    const PerfOptions& perf, PerfSample* perf_out) {
   const auto readers = static_cast<unsigned>(queries.size());
-  const TableView view = table != nullptr ? table->view() : TableView{};
+  const TableView view = table != nullptr
+                             ? table->view()
+                             : swiss != nullptr ? swiss->view() : TableView{};
   SpinBarrier barrier(readers + (with_writer ? 1 : 0));
   std::atomic<bool> stop_writer{false};
   std::vector<double> reader_secs(readers, 0.0);
@@ -98,6 +102,8 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
                              0x80000000u;
         if (sharded != nullptr) {
           sharded->UpdateValue(key, new_val);
+        } else if (swiss != nullptr) {
+          swiss->UpdateValue(key, new_val);
         } else {
           table->UpdateValue(key, new_val);
         }
@@ -135,10 +141,18 @@ PassResult RunPass(const KernelInfo& kernel, CuckooTable32* table,
 
 std::vector<MixedResult> RunMixedCase(
     const CaseSpec& spec, const std::vector<const KernelInfo*>& kernels) {
+  const bool is_swiss = spec.layout.family == TableFamily::kSwiss;
   if (spec.layout.key_bits != 32 || spec.layout.val_bits != 32 ||
-      spec.layout.bucket_layout != BucketLayout::kInterleaved) {
+      (!is_swiss &&
+       spec.layout.bucket_layout != BucketLayout::kInterleaved)) {
     throw std::invalid_argument(
-        "RunMixedCase: only 32-bit interleaved layouts supported");
+        "RunMixedCase: only 32-bit interleaved cuckoo layouts and the Swiss "
+        "k32/v32 layout are supported");
+  }
+  if (is_swiss && spec.run.shards > 1) {
+    throw std::invalid_argument(
+        "RunMixedCase: sharding is implemented for the cuckoo family only; "
+        "the Swiss family requires run.shards == 1");
   }
 
   const unsigned threads =
@@ -149,10 +163,16 @@ std::vector<MixedResult> RunMixedCase(
   const unsigned shards = spec.run.shards == 0 ? 1 : spec.run.shards;
   std::unique_ptr<CuckooTable32> table;
   std::unique_ptr<ShardedTable32> sharded;
+  std::unique_ptr<SwissTable32> swiss;
   BuildResult<std::uint32_t> build;
   const std::uint64_t num_buckets =
       BucketsForBytes(spec.layout, spec.table_bytes);
-  if (shards > 1) {
+  if (is_swiss) {
+    swiss = std::make_unique<SwissTable32>(num_buckets, spec.run.seed,
+                                           spec.run.hash_kind);
+    build = FillToLoadFactor(swiss.get(), spec.load_factor,
+                             spec.run.seed + 1);
+  } else if (shards > 1) {
     sharded = std::make_unique<ShardedTable32>(
         shards, spec.layout.ways, spec.layout.slots, num_buckets,
         spec.layout.bucket_layout, spec.run.seed);
@@ -206,15 +226,15 @@ std::vector<MixedResult> RunMixedCase(
       const std::string rep_tag = " rep" + std::to_string(rep);
       {
         TimelineSpan span("bench", r.kernel + " read-only" + rep_tag);
-        ro.Add(RunPass(*kernel, table.get(), sharded.get(), queries,
-                       build.inserted_keys, spec.run.batch, pipeline,
+        ro.Add(RunPass(*kernel, table.get(), sharded.get(), swiss.get(),
+                       queries, build.inserted_keys, spec.run.batch, pipeline,
                        /*with_writer=*/false, spec.run.seed + rep,
                        spec.run.perf, &r.perf_read_only)
                    .reader_mlps);
       }
       TimelineSpan span("bench", r.kernel + " with-writer" + rep_tag);
       const PassResult with =
-          RunPass(*kernel, table.get(), sharded.get(), queries,
+          RunPass(*kernel, table.get(), sharded.get(), swiss.get(), queries,
                   build.inserted_keys, spec.run.batch, pipeline,
                   /*with_writer=*/true, spec.run.seed + rep, spec.run.perf,
                   &r.perf_with_writer);

@@ -10,12 +10,17 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "hash/hash_family.h"
 #include "perf/perf_events.h"
 #include "simd/pipeline.h"
 
 namespace simdht {
 
 struct RunOptions {
+  // Scalar hash evaluated per (way, key). Multiply-shift is required for
+  // cuckoo layouts (the vertical kernels vectorize it); wyhash is a
+  // Swiss-family alternative (see hash/hash_family.h).
+  HashKind hash_kind = HashKind::kMultiplyShift;
   unsigned threads = 0;                      // 0 = all hardware threads
   // Shards of the measured table (ht/sharded_table.h). 1 = the classic
   // single-table setup; >1 builds one ShardedTable shared by all threads

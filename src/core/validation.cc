@@ -9,7 +9,9 @@ std::string DesignChoice::Describe() const {
   std::ostringstream os;
   os << ApproachName(approach) << ", " << width_bits << " bit - "
      << parallelism;
-  if (approach == Approach::kHorizontal) {
+  if (kernel != nullptr && kernel->family == TableFamily::kSwiss) {
+    os << " slot/vec";
+  } else if (approach == Approach::kHorizontal) {
     os << " bucket/vec";
   } else {
     os << " keys/it";
@@ -32,7 +34,12 @@ std::vector<DesignChoice> ValidationEngine::Enumerate(
 
   for (unsigned width : widths) {
     std::vector<Approach> approaches;
-    if (spec.bucketized()) {
+    if (spec.family == TableFamily::kSwiss) {
+      // Swiss kernels are control-lane scans registered as horizontal (one
+      // key replicated across the byte vector); vertical gathers do not
+      // apply to the family.
+      approaches.push_back(Approach::kHorizontal);
+    } else if (spec.bucketized()) {
       approaches.push_back(Approach::kHorizontal);
       if (options.include_hybrid) {
         approaches.push_back(Approach::kVerticalBcht);
@@ -45,6 +52,10 @@ std::vector<DesignChoice> ValidationEngine::Enumerate(
       unsigned parallelism = 0;
       switch (approach) {
         case Approach::kHorizontal: {
+          if (spec.family == TableFamily::kSwiss) {
+            parallelism = SwissSlotsPerVector(spec, width);
+            break;
+          }
           parallelism = HorizontalBucketsPerVector(spec, width);
           if (parallelism == 0 && !options.strict) {
             parallelism = 1;  // chunked probe: still one bucket per probe

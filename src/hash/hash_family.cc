@@ -4,6 +4,16 @@
 
 namespace simdht {
 
+const char* HashKindName(HashKind kind) {
+  switch (kind) {
+    case HashKind::kMultiplyShift:
+      return "multiply-shift";
+    case HashKind::kWyHash:
+      return "wyhash";
+  }
+  return "?";
+}
+
 std::uint64_t HashBytes(const void* data, std::size_t len,
                         std::uint64_t seed) {
   const auto* p = static_cast<const std::uint8_t*>(data);

@@ -12,11 +12,24 @@
 
 #include "common/compiler.h"
 #include "common/random.h"
+#include "hash/wyhash.h"
 
 namespace simdht {
 
 // Hard upper bound on cuckoo ways; the paper explores N in [2, 4].
 inline constexpr unsigned kMaxWays = 4;
+
+// Which scalar hash the family evaluates per (way, key).
+//
+// kMultiplyShift is the vectorizable default: the vertical cuckoo kernels
+// replicate `(key * mult[way]) >> shift` with vector multiplies, so any
+// table a vertical kernel may probe must use it. kWyHash swaps in the
+// full-avalanche wyhash mixer (wyhash.h) with mult[way] as the per-way
+// seed; it is only legal for families whose kernels hash scalar per key
+// (the Swiss control-byte probes), and Options::Validate enforces that.
+enum class HashKind : std::uint8_t { kMultiplyShift = 0, kWyHash = 1 };
+
+const char* HashKindName(HashKind kind);
 
 // Fixed default multipliers (odd, high-entropy); deterministic tables across
 // runs unless a seed is supplied. Index = way.
@@ -35,16 +48,20 @@ inline constexpr std::uint64_t kDefaultMultipliers[kMaxWays] = {
 struct HashFamily {
   std::uint64_t mult[kMaxWays];
   unsigned log2_buckets = 0;
+  HashKind kind = HashKind::kMultiplyShift;
 
   HashFamily() {
     for (unsigned i = 0; i < kMaxWays; ++i) mult[i] = kDefaultMultipliers[i];
   }
 
   // Derives `ways` random odd multipliers from `seed` (seed 0 keeps the
-  // defaults, so tables are reproducible by default).
-  static HashFamily Make(unsigned log2_buckets, std::uint64_t seed = 0) {
+  // defaults, so tables are reproducible by default). Under kWyHash the
+  // multipliers double as per-way seeds.
+  static HashFamily Make(unsigned log2_buckets, std::uint64_t seed = 0,
+                         HashKind kind = HashKind::kMultiplyShift) {
     HashFamily f;
     f.log2_buckets = log2_buckets;
+    f.kind = kind;
     if (seed != 0) {
       SplitMix64 sm(seed);
       for (unsigned i = 0; i < kMaxWays; ++i) f.mult[i] = sm.Next() | 1;
@@ -52,27 +69,59 @@ struct HashFamily {
     return f;
   }
 
-  // 32-bit domain bucket index (used for 16- and 32-bit keys).
+  // 32-bit domain multiply-shift bucket index (16- and 32-bit keys). The
+  // vertical SIMD kernels replicate exactly this expression with vector
+  // multiplies, so it stays kind-oblivious; kind dispatch lives in Bucket().
   SIMDHT_ALWAYS_INLINE std::uint32_t Bucket32(unsigned way,
                                               std::uint32_t key) const {
     const auto m = static_cast<std::uint32_t>(mult[way]);
     return (key * m) >> (32 - log2_buckets);
   }
 
-  // 64-bit domain bucket index (used for 64-bit keys).
+  // 64-bit domain multiply-shift bucket index (64-bit keys).
   SIMDHT_ALWAYS_INLINE std::uint32_t Bucket64(unsigned way,
                                               std::uint64_t key) const {
     return static_cast<std::uint32_t>((key * mult[way]) >>
                                       (64 - log2_buckets));
   }
 
-  // Dispatches on key width. K in {uint16_t, uint32_t, uint64_t}.
+  // wyhash bucket index: top log2_buckets bits of the mixed hash.
+  SIMDHT_ALWAYS_INLINE std::uint32_t BucketWy(unsigned way,
+                                              std::uint64_t key) const {
+    return static_cast<std::uint32_t>(WyHash64(key, mult[way]) >>
+                                      (64 - log2_buckets));
+  }
+
+  // Dispatches on hash kind and key width. K in {uint16_t, uint32_t,
+  // uint64_t}. The kind branch is perfectly predicted (constant per table).
   template <typename K>
   SIMDHT_ALWAYS_INLINE std::uint32_t Bucket(unsigned way, K key) const {
+    if (kind == HashKind::kWyHash) {
+      return BucketWy(way, static_cast<std::uint64_t>(key));
+    }
     if constexpr (sizeof(K) == 8) {
       return Bucket64(way, key);
     } else {
       return Bucket32(way, static_cast<std::uint32_t>(key));
+    }
+  }
+
+  // 7-bit control-byte fingerprint for Swiss-family tables, drawn from
+  // mult[1] so it is independent of the way-0 group-selection bits. Values
+  // are in [0, 0x80): the high bit is reserved for the empty sentinel.
+  template <typename K>
+  SIMDHT_ALWAYS_INLINE std::uint8_t H2(K key) const {
+    if (kind == HashKind::kWyHash) {
+      return static_cast<std::uint8_t>(
+          WyHash64(static_cast<std::uint64_t>(key), mult[1]) & 0x7F);
+    }
+    if constexpr (sizeof(K) == 8) {
+      return static_cast<std::uint8_t>(
+          (static_cast<std::uint64_t>(key) * mult[1]) >> 57);
+    } else {
+      const auto m = static_cast<std::uint32_t>(mult[1]);
+      return static_cast<std::uint8_t>(
+          (static_cast<std::uint32_t>(key) * m) >> 25);
     }
   }
 };

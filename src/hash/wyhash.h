@@ -1,0 +1,44 @@
+// wyhash-style 64-bit mixing for fixed-width integer keys.
+//
+// The multiply-shift family (hash_family.h) is what the cuckoo SIMD kernels
+// vectorize, but its low avalanche makes it a poor fingerprint source for
+// control-byte (Swiss) tables: the 7-bit H2 tag and the group index must be
+// close to independent or fingerprint collisions cluster inside a group.
+// wyhash's 64x64 -> 128-bit multiply-fold gives full avalanche in two
+// multiplies, which is cheap enough for the scalar per-key hashing the Swiss
+// probe kernels do (they vectorize the control-byte scan, not the hash).
+//
+// This is the fixed-width-integer core of Wang Yi's wyhash (public domain),
+// not the full byte-stream algorithm — table keys here are already-hashed
+// fixed-width integers (paper Section VI-A), so only the mixer is needed.
+#ifndef SIMDHT_HASH_WYHASH_H_
+#define SIMDHT_HASH_WYHASH_H_
+
+#include <cstdint>
+
+#include "common/compiler.h"
+
+namespace simdht {
+
+// wyhash secret constants (the published defaults).
+inline constexpr std::uint64_t kWySecret0 = 0xa0761d6478bd642fULL;
+inline constexpr std::uint64_t kWySecret1 = 0xe7037ed1a0b428dbULL;
+inline constexpr std::uint64_t kWySecret2 = 0x8ebc6af09c88c6e3ULL;
+
+// 64x64 -> 128-bit multiply, folded by XOR of the two halves.
+SIMDHT_ALWAYS_INLINE std::uint64_t WyMix(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+  return static_cast<std::uint64_t>(product >> 64) ^
+         static_cast<std::uint64_t>(product);
+}
+
+// Full-avalanche hash of one 64-bit word under `seed`.
+SIMDHT_ALWAYS_INLINE std::uint64_t WyHash64(std::uint64_t x,
+                                            std::uint64_t seed) {
+  return WyMix(WyMix(x ^ kWySecret0, seed ^ kWySecret1), kWySecret2);
+}
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HASH_WYHASH_H_

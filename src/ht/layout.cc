@@ -62,6 +62,14 @@ const char* BucketLayoutName(BucketLayout layout) {
   return "?";
 }
 
+const char* TableFamilyName(TableFamily family) {
+  switch (family) {
+    case TableFamily::kCuckoo: return "cuckoo";
+    case TableFamily::kSwiss: return "swiss";
+  }
+  return "?";
+}
+
 const char* ApproachName(Approach a) {
   switch (a) {
     case Approach::kScalar: return "Scalar";
@@ -74,6 +82,10 @@ const char* ApproachName(Approach a) {
 
 std::string LayoutSpec::ToString() const {
   std::ostringstream os;
+  if (family == TableFamily::kSwiss) {
+    os << "Swiss k" << key_bits << "/v" << val_bits;
+    return os.str();
+  }
   if (bucketized()) {
     os << "(" << ways << "," << slots << ") BCHT";
   } else {
@@ -89,6 +101,24 @@ bool LayoutSpec::Validate(std::string* why) const {
     if (why != nullptr) *why = reason;
     return false;
   };
+  if (family == TableFamily::kSwiss) {
+    // Swiss tables are single-probe-sequence open addressing over 16-slot
+    // control-byte groups; the cuckoo (N, m) knobs are fixed by the family.
+    if (ways != 1) return fail("Swiss family requires ways == 1");
+    if (slots != kSwissGroupSlots) {
+      return fail("Swiss family requires 16-slot groups");
+    }
+    if (bucket_layout != BucketLayout::kSplit) {
+      return fail("Swiss family requires the split bucket layout");
+    }
+    if (key_bits != 16 && key_bits != 32 && key_bits != 64) {
+      return fail("key size must be 16, 32 or 64 bits");
+    }
+    if (val_bits != 32 && val_bits != 64) {
+      return fail("value size must be 32 or 64 bits");
+    }
+    return true;
+  }
   if (ways < 2 || ways > kMaxWays) return fail("ways (N) must be in [2, 4]");
   if (slots < 1 || slots > 8 || !IsPow2(slots)) {
     return fail("slots (m) must be a power of two in [1, 8]");

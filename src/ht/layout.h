@@ -27,6 +27,48 @@ enum class BucketLayout : std::uint8_t { kInterleaved = 0, kSplit = 1 };
 
 const char* BucketLayoutName(BucketLayout layout);
 
+// Table family: which probing discipline the layout describes. Kernels are
+// family-specific — a cuckoo kernel probes N candidate buckets of m slots,
+// a Swiss kernel walks a control-byte lane — so KernelInfo::Matches filters
+// on this before any structural check.
+enum class TableFamily : std::uint8_t {
+  kCuckoo = 0,  // (N, m) bucketized cuckoo / BCHT (the paper's families)
+  kSwiss = 1,   // open addressing with a 1-byte control-metadata lane
+};
+
+const char* TableFamilyName(TableFamily family);
+
+// --- Swiss control-byte lane -----------------------------------------------
+//
+// Swiss-family tables keep a contiguous metadata lane of one control byte
+// per slot, separate from the key/value arena:
+//   0x00..0x7F  FULL: the slot's 7-bit H2 fingerprint
+//   0x80        EMPTY (never stored a key, terminates probes)
+//   0xFE        TOMBSTONE (erased; probes continue past it)
+inline constexpr std::uint8_t kCtrlEmpty = 0x80;
+inline constexpr std::uint8_t kCtrlTombstone = 0xFE;
+
+// A Swiss "bucket" is a 16-slot group; probing is slot-linear from the home
+// group in whole groups, so any vector width that is a multiple of 16
+// control bytes scans group-aligned windows.
+inline constexpr unsigned kSwissGroupSlots = 16;
+
+// The metadata lane is allocated with this many extra bytes cyclically
+// mirroring the start of the lane, so a 64-byte vector load at any in-range
+// group offset never reads past the allocation (probe windows wrap modulo
+// the slot count arithmetically; the mirror makes the *load* safe).
+inline constexpr unsigned kMetaMirrorBytes = 64;
+
+// Describes the optional metadata lane of a layout. bytes_per_slot == 0
+// means the family has no metadata lane (cuckoo).
+struct MetaLaneSpec {
+  unsigned bytes_per_slot = 0;
+  std::uint8_t empty = kCtrlEmpty;
+  std::uint8_t tombstone = kCtrlTombstone;
+
+  bool present() const { return bytes_per_slot != 0; }
+};
+
 // SIMD lookup algorithm family (Section III-B).
 enum class Approach : std::uint8_t {
   kScalar = 0,          // non-SIMD twin
@@ -40,6 +82,7 @@ const char* ApproachName(Approach a);
 // Static shape of a table: the paper's "(N, m) x (key size, payload size)"
 // memory-layout dimension (Table I / Section III-A).
 struct LayoutSpec {
+  TableFamily family = TableFamily::kCuckoo;
   unsigned ways = 2;        // N: number of hash functions / candidate buckets
   unsigned slots = 1;       // m: slots per bucket (1 = non-bucketized)
   unsigned key_bits = 32;   // 16, 32 or 64
@@ -52,7 +95,29 @@ struct LayoutSpec {
   unsigned bucket_bytes() const { return slot_bytes() * slots; }
   bool bucketized() const { return slots > 1; }
 
-  // "(2,4) BCHT k32/v32" or "3-way k32/v32" in reports.
+  // Metadata-lane descriptor, derived from the family (one control byte per
+  // slot for Swiss, absent for cuckoo).
+  MetaLaneSpec meta_lane() const {
+    MetaLaneSpec lane;
+    if (family == TableFamily::kSwiss) lane.bytes_per_slot = 1;
+    return lane;
+  }
+
+  // The canonical Swiss layout for a (key, value) width pair: one way,
+  // 16-slot groups, split storage (the control lane already separates keys
+  // from slot metadata, and split keeps the key block dense for verifies).
+  static LayoutSpec Swiss(unsigned key_bits, unsigned val_bits) {
+    LayoutSpec s;
+    s.family = TableFamily::kSwiss;
+    s.ways = 1;
+    s.slots = kSwissGroupSlots;
+    s.key_bits = key_bits;
+    s.val_bits = val_bits;
+    s.bucket_layout = BucketLayout::kSplit;
+    return s;
+  }
+
+  // "(2,4) BCHT k32/v32", "3-way k32/v32" or "Swiss k32/v32" in reports.
   std::string ToString() const;
 
   // Layout sanity rules (interleaved requires equal widths, power-of-two
@@ -112,6 +177,16 @@ struct TableView {
   std::uint64_t total_bytes() const {
     return num_buckets * static_cast<std::uint64_t>(bucket_stride());
   }
+
+  // Total slot count (Swiss probing is slot-linear, so its kernels index
+  // the control lane and the key/value arena by flat slot).
+  std::uint64_t num_slots() const {
+    return num_buckets * static_cast<std::uint64_t>(spec.slots);
+  }
+
+  // Swiss control-byte lane: one byte per slot plus kMetaMirrorBytes of
+  // cyclic mirror (see above). Null for families without a metadata lane.
+  const std::uint8_t* meta = nullptr;
 
   // Overflow stash of the owning store (may be null/0: raw stores, or
   // tables built before any insert overflowed). Kernels ignore these; the

@@ -1,0 +1,154 @@
+#include "ht/swiss_table.h"
+
+namespace simdht {
+
+template <typename K, typename V>
+SwissTable<K, V>::SwissTable(std::uint64_t min_groups, std::uint64_t seed,
+                             HashKind hash_kind)
+    : store_(TableShape::For(
+                 LayoutSpec::Swiss(sizeof(K) * 8, sizeof(V) * 8), min_groups),
+             seed, hash_kind) {}
+
+template <typename K, typename V>
+bool SwissTable<K, V>::Find(K key, V* val) const {
+  const std::uint8_t h2 = store_.hash().H2<K>(key);
+  const std::uint64_t groups = store_.num_buckets();
+  const std::uint64_t mask = groups - 1;
+  std::uint64_t g = HomeGroup(key);
+  for (std::uint64_t probed = 0; probed < groups; ++probed) {
+    const std::uint64_t base = g * kSwissGroupSlots;
+    bool has_empty = false;
+    for (unsigned s = 0; s < kSwissGroupSlots; ++s) {
+      const std::uint8_t c = store_.CtrlAt(base + s);
+      if (c == h2 && store_.KeyAt<K>(g, s) == key) {
+        *val = store_.ValAt<V>(g, s);
+        return true;
+      }
+      has_empty |= c == kCtrlEmpty;
+    }
+    if (has_empty) return false;
+    g = (g + 1) & mask;
+  }
+  return false;
+}
+
+template <typename K, typename V>
+bool SwissTable<K, V>::Locate(K key, std::uint64_t* group,
+                              unsigned* slot) const {
+  const std::uint8_t h2 = store_.hash().H2<K>(key);
+  const std::uint64_t groups = store_.num_buckets();
+  const std::uint64_t mask = groups - 1;
+  std::uint64_t g = HomeGroup(key);
+  for (std::uint64_t probed = 0; probed < groups; ++probed) {
+    const std::uint64_t base = g * kSwissGroupSlots;
+    bool has_empty = false;
+    for (unsigned s = 0; s < kSwissGroupSlots; ++s) {
+      const std::uint8_t c = store_.CtrlAt(base + s);
+      if (c == h2 && store_.KeyAt<K>(g, s) == key) {
+        *group = g;
+        *slot = s;
+        return true;
+      }
+      has_empty |= c == kCtrlEmpty;
+    }
+    if (has_empty) return false;
+    g = (g + 1) & mask;
+  }
+  return false;
+}
+
+template <typename K, typename V>
+bool SwissTable<K, V>::Insert(K key, V val) {
+  if (key == static_cast<K>(kEmptyKey)) {
+    ++stats_.failed_inserts;
+    return false;
+  }
+  const std::uint8_t h2 = store_.hash().H2<K>(key);
+  const std::uint64_t groups = store_.num_buckets();
+  const std::uint64_t mask = groups - 1;
+  std::uint64_t g = HomeGroup(key);
+
+  // Find-or-prepare-insert: walk the probe sequence remembering the first
+  // free (EMPTY or TOMBSTONE) slot. An existing key is overwritten where it
+  // sits; a new key lands in the remembered slot, which precedes every
+  // EMPTY of the sequence — that placement is what maintains the probe
+  // invariant documented in the header.
+  bool have_free = false;
+  bool free_is_tombstone = false;
+  std::uint64_t free_group = 0;
+  unsigned free_slot = 0;
+
+  for (std::uint64_t probed = 0; probed < groups; ++probed) {
+    const std::uint64_t base = g * kSwissGroupSlots;
+    bool has_empty = false;
+    for (unsigned s = 0; s < kSwissGroupSlots; ++s) {
+      const std::uint8_t c = store_.CtrlAt(base + s);
+      if (c == h2 && store_.KeyAt<K>(g, s) == key) {
+        store_.SetVal<V>(g, s, val);
+        ++stats_.updates;
+        return true;
+      }
+      if (c == kCtrlEmpty) {
+        has_empty = true;
+        if (!have_free) {
+          have_free = true;
+          free_group = g;
+          free_slot = s;
+        }
+      } else if (c == kCtrlTombstone && !have_free) {
+        have_free = true;
+        free_is_tombstone = true;
+        free_group = g;
+        free_slot = s;
+      }
+    }
+    // A group with an EMPTY byte proves the key is absent beyond it.
+    if (has_empty) break;
+    g = (g + 1) & mask;
+  }
+
+  if (!have_free) {
+    ++stats_.failed_inserts;
+    return false;
+  }
+  store_.SetSlot<K, V>(free_group, free_slot, key, val);
+  store_.SetCtrl(free_group * kSwissGroupSlots + free_slot, h2);
+  store_.AdjustSize(1);
+  ++stats_.inserts;
+  if (free_is_tombstone) ++stats_.tombstone_reuses;
+  return true;
+}
+
+template <typename K, typename V>
+bool SwissTable<K, V>::UpdateValue(K key, V val) {
+  std::uint64_t g;
+  unsigned s;
+  if (!Locate(key, &g, &s)) return false;
+  store_.SetVal<V>(g, s, val);
+  return true;
+}
+
+template <typename K, typename V>
+bool SwissTable<K, V>::Erase(K key) {
+  std::uint64_t g;
+  unsigned s;
+  if (!Locate(key, &g, &s)) return false;
+  const std::uint64_t base = g * kSwissGroupSlots;
+  // Abseil deletion rule: EMPTY is only safe if no probe sequence can have
+  // passed fully through this group — i.e. the group already holds another
+  // EMPTY byte. Otherwise the slot becomes a TOMBSTONE that probes skip.
+  bool group_has_empty = false;
+  for (unsigned i = 0; i < kSwissGroupSlots; ++i) {
+    group_has_empty |= store_.CtrlAt(base + i) == kCtrlEmpty;
+  }
+  store_.SetSlot<K, V>(g, s, static_cast<K>(kEmptyKey), V{0});
+  store_.SetCtrl(base + s, group_has_empty ? kCtrlEmpty : kCtrlTombstone);
+  store_.AdjustSize(-1);
+  return true;
+}
+
+template class SwissTable<std::uint16_t, std::uint32_t>;
+template class SwissTable<std::uint32_t, std::uint32_t>;
+template class SwissTable<std::uint64_t, std::uint64_t>;
+
+}  // namespace simdht

@@ -1,0 +1,138 @@
+// Swiss-table (open addressing + control-byte metadata lane) hash table.
+//
+// The second table *family* in the benchmark, next to the (N, m) cuckoo
+// tables: instead of N candidate buckets resolved by displacement, a Swiss
+// table stores one 7-bit H2 fingerprint per slot in a contiguous control
+// lane (ht/layout.h: FULL 0x00..0x7F | EMPTY 0x80 | TOMBSTONE 0xFE) and
+// probes 16-slot groups linearly from the key's home group. SIMD lookups
+// scan the control lane 16/32/64 bytes at a time (src/simd/swiss_*.cc) and
+// only touch the key arena to verify fingerprint matches — the abseil
+// flat_hash_map / F14 probing discipline, specialized to this benchmark's
+// fixed-width pre-hashed keys.
+//
+// Like CuckooTable this is a *policy* class over the shared TableStore: the
+// store owns the key/value arena, the control lane (+ its cyclic vector-load
+// mirror), the seqlock stripes and the TableView; SwissTable only decides
+// what to write.
+//
+// Probe invariant the kernels rely on (see docs/swiss_table.md): for every
+// stored key k placed in group G_k, no group in [home(k), G_k) — probe
+// order, wrapping — contains an EMPTY byte. Insert maintains it by placing
+// at the first EMPTY/TOMBSTONE slot of the probe sequence; Erase maintains
+// it by only writing EMPTY into a group that already contains EMPTY
+// (otherwise TOMBSTONE). A lookup may therefore scan any whole-group window
+// width and stop after the first window containing an EMPTY byte.
+#ifndef SIMDHT_HT_SWISS_TABLE_H_
+#define SIMDHT_HT_SWISS_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "ht/table_store.h"
+
+namespace simdht {
+
+// Writer-side insertion counters (racy reads are fine for reporting).
+struct SwissInsertStats {
+  std::uint64_t inserts = 0;           // new key placed in an EMPTY slot
+  std::uint64_t updates = 0;           // existing key's value overwritten
+  std::uint64_t tombstone_reuses = 0;  // new key placed over a TOMBSTONE
+  std::uint64_t failed_inserts = 0;    // Insert() returned false
+};
+
+// K in {uint16_t, uint32_t, uint64_t}; V in {uint32_t, uint64_t}.
+template <typename K, typename V>
+class SwissTable {
+ public:
+  // `min_groups` 16-slot groups, rounded up to a power of two (>= 2).
+  // `seed` randomizes the hash family (0 = deterministic defaults);
+  // `hash_kind` selects multiply-shift or wyhash for group selection + H2.
+  explicit SwissTable(std::uint64_t min_groups, std::uint64_t seed = 0,
+                      HashKind hash_kind = HashKind::kMultiplyShift);
+
+  SwissTable(SwissTable&&) noexcept = default;
+  SwissTable& operator=(SwissTable&&) noexcept = default;
+
+  // Inserts or overwrites. Key 0 is rejected (returns false) like every
+  // table in the repo — workload generators never emit it. Returns false
+  // only when no EMPTY or TOMBSTONE slot remains anywhere (the table is
+  // truly full); there is no displacement, stash or rebuild machinery.
+  bool Insert(K key, V val);
+
+  // Scalar reference lookup: groupwise probe of the control lane, key
+  // verify on fingerprint match, stop at the first group holding an EMPTY.
+  // This is the semantics every Swiss SIMD kernel must reproduce.
+  bool Find(K key, V* val) const;
+
+  // Overwrites the value of an existing key in place (single aligned word
+  // store — safe against concurrent readers, same contract as
+  // CuckooTable::UpdateValue). Returns false if the key is absent.
+  bool UpdateValue(K key, V val);
+
+  // Removes the key if present. Writes EMPTY when the slot's group already
+  // holds an EMPTY byte (no probe sequence can pass fully through such a
+  // group), TOMBSTONE otherwise — the abseil deletion rule that preserves
+  // the probe invariant above.
+  bool Erase(K key);
+
+  std::uint64_t size() const { return store_.size(); }
+  std::uint64_t capacity() const { return store_.num_slots(); }
+  double load_factor() const {
+    return static_cast<double>(size()) / static_cast<double>(capacity());
+  }
+
+  std::uint64_t num_buckets() const { return store_.num_buckets(); }
+  const LayoutSpec& spec() const { return store_.spec(); }
+  std::uint64_t table_bytes() const { return store_.table_bytes(); }
+  const SwissInsertStats& insert_stats() const { return stats_; }
+
+  // Read-only view for lookup kernels (view().meta is the control lane).
+  TableView view() const { return store_.view(); }
+
+  TableStore& store() { return store_; }
+  const TableStore& store() const { return store_; }
+
+  // Snapshot support (ht/table_io.h): raw slot arena, control lane and hash
+  // family. The control lane is reached through store().
+  const std::uint8_t* raw_data() const { return store_.data(); }
+  std::uint8_t* raw_data_mutable() { return store_.data(); }
+  const HashFamily& hash_family() const { return store_.hash(); }
+  void RestoreState(const HashFamily& hash, std::uint64_t size,
+                    std::uint64_t seed) {
+    store_.Restore(hash, size, seed);
+  }
+
+  // Raw slot access for tests. `bucket` is the group index.
+  K KeyAt(std::uint64_t bucket, unsigned slot) const {
+    return store_.KeyAt<K>(bucket, slot);
+  }
+  V ValAt(std::uint64_t bucket, unsigned slot) const {
+    return store_.ValAt<V>(bucket, slot);
+  }
+  std::uint8_t CtrlAt(std::uint64_t flat_slot) const {
+    return store_.CtrlAt(flat_slot);
+  }
+
+ private:
+  std::uint64_t HomeGroup(K key) const {
+    return store_.Bucket<K>(0, key);
+  }
+
+  // Locates `key`; returns true and fills (group, slot) when present.
+  bool Locate(K key, std::uint64_t* group, unsigned* slot) const;
+
+  TableStore store_;
+  SwissInsertStats stats_;
+};
+
+using SwissTable16x32 = SwissTable<std::uint16_t, std::uint32_t>;
+using SwissTable32 = SwissTable<std::uint32_t, std::uint32_t>;
+using SwissTable64 = SwissTable<std::uint64_t, std::uint64_t>;
+
+extern template class SwissTable<std::uint16_t, std::uint32_t>;
+extern template class SwissTable<std::uint32_t, std::uint32_t>;
+extern template class SwissTable<std::uint64_t, std::uint64_t>;
+
+}  // namespace simdht
+
+#endif  // SIMDHT_HT_SWISS_TABLE_H_

@@ -157,6 +157,12 @@ BuildResult<K> FillToLoadFactor(ShardedTable<K, V>* table, double target_lf,
 }
 
 template <typename K, typename V>
+BuildResult<K> FillToLoadFactor(SwissTable<K, V>* table, double target_lf,
+                                std::uint64_t seed) {
+  return FillImpl<K, V>(table, target_lf, seed);
+}
+
+template <typename K, typename V>
 BuildResult<K> FillToSaturation(CuckooTable<K, V>* table,
                                 std::uint64_t seed) {
   BuildResult<K> result;
@@ -249,6 +255,13 @@ template BuildResult<std::uint32_t> FillToSaturation(
     CuckooTable<std::uint32_t, std::uint32_t>*, std::uint64_t);
 template BuildResult<std::uint64_t> FillToSaturation(
     CuckooTable<std::uint64_t, std::uint64_t>*, std::uint64_t);
+
+template BuildResult<std::uint16_t> FillToLoadFactor(
+    SwissTable<std::uint16_t, std::uint32_t>*, double, std::uint64_t);
+template BuildResult<std::uint32_t> FillToLoadFactor(
+    SwissTable<std::uint32_t, std::uint32_t>*, double, std::uint64_t);
+template BuildResult<std::uint64_t> FillToLoadFactor(
+    SwissTable<std::uint64_t, std::uint64_t>*, double, std::uint64_t);
 
 template BuildResult<std::uint16_t> FillToLoadFactor(
     ShardedTable<std::uint16_t, std::uint32_t>*, double, std::uint64_t);

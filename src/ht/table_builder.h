@@ -8,6 +8,7 @@
 
 #include "ht/cuckoo_table.h"
 #include "ht/sharded_table.h"
+#include "ht/swiss_table.h"
 
 namespace simdht {
 
@@ -43,6 +44,13 @@ BuildResult<K> FillToLoadFactor(CuckooTable<K, V>* table, double target_lf,
 // `target_lf` applies to the aggregate capacity.
 template <typename K, typename V>
 BuildResult<K> FillToLoadFactor(ShardedTable<K, V>* table, double target_lf,
+                                std::uint64_t seed = 1);
+
+// Swiss-family variant: identical fill discipline (open addressing has no
+// placement luck to retry, but the shared pass structure keeps key streams
+// comparable across families for the three-way figures).
+template <typename K, typename V>
+BuildResult<K> FillToLoadFactor(SwissTable<K, V>* table, double target_lf,
                                 std::uint64_t seed = 1);
 
 // The classic saturation process (Fig 2): inserts a fixed stream of unique

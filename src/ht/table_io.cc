@@ -14,6 +14,7 @@ namespace {
 // insertion engine and are not read back (nothing persists them anymore).
 constexpr char kMagic[8] = {'S', 'H', 'T', 'B', '2', 0, 0, 0};
 constexpr char kShardedMagic[8] = {'S', 'H', 'T', 'S', '2', 0, 0, 0};
+constexpr char kSwissMagic[8] = {'S', 'H', 'T', 'W', '1', 0, 0, 0};
 
 // Anything above this is a corrupt count, not a configuration: the router
 // folds shard indices out of 32 avalanche bits, and no machine this suite
@@ -46,6 +47,21 @@ struct SnapshotHeader {
   std::uint64_t seed;            // effective hash seed (moves on rebuild)
   std::uint32_t stash_capacity;
   std::uint32_t stash_count;     // StashEntry records after the arena bytes
+};
+
+// Swiss snapshots carry the hash kind (wyhash is a legal family choice
+// here, unlike cuckoo snapshots) and the control lane instead of a stash.
+struct SwissSnapshotHeader {
+  char magic[8];
+  std::uint32_t key_bits;
+  std::uint32_t val_bits;
+  std::uint32_t hash_kind;       // HashKind: 0 multiply-shift, 1 wyhash
+  std::uint32_t log2_groups;
+  std::uint64_t size;
+  std::uint64_t mult[kMaxWays];
+  std::uint64_t data_bytes;      // slot arena
+  std::uint64_t meta_bytes;      // control lane (mirror excluded)
+  std::uint64_t seed;
 };
 
 }  // namespace
@@ -146,6 +162,94 @@ std::optional<CuckooTable<K, V>> LoadTableFromFile(const std::string& path) {
 }
 
 template <typename K, typename V>
+bool SaveSwissTable(const SwissTable<K, V>& table, std::ostream& out) {
+  SwissSnapshotHeader header{};
+  std::memcpy(header.magic, kSwissMagic, sizeof(kSwissMagic));
+  const LayoutSpec& spec = table.spec();
+  const TableStore& store = table.store();
+  header.key_bits = spec.key_bits;
+  header.val_bits = spec.val_bits;
+  header.hash_kind = static_cast<std::uint32_t>(table.hash_family().kind);
+  header.log2_groups = Log2Floor(table.num_buckets());
+  header.size = table.size();
+  for (unsigned i = 0; i < kMaxWays; ++i) {
+    header.mult[i] = table.hash_family().mult[i];
+  }
+  header.data_bytes = table.table_bytes();
+  header.meta_bytes = store.num_slots();
+  header.seed = store.seed();
+
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(table.raw_data()),
+            static_cast<std::streamsize>(header.data_bytes));
+  out.write(reinterpret_cast<const char*>(store.meta_data()),
+            static_cast<std::streamsize>(header.meta_bytes));
+  return static_cast<bool>(out);
+}
+
+template <typename K, typename V>
+std::optional<SwissTable<K, V>> LoadSwissTable(std::istream& in) {
+  SwissSnapshotHeader header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || std::memcmp(header.magic, kSwissMagic, sizeof(kSwissMagic)) != 0) {
+    return std::nullopt;
+  }
+  if (header.key_bits != sizeof(K) * 8 || header.val_bits != sizeof(V) * 8) {
+    return std::nullopt;  // snapshot was taken with different widths
+  }
+  if (header.hash_kind > static_cast<std::uint32_t>(HashKind::kWyHash) ||
+      header.log2_groups >= 48) {
+    return std::nullopt;  // unknown hash family / corrupt group count
+  }
+
+  std::optional<SwissTable<K, V>> maybe_table;
+  try {
+    maybe_table.emplace(std::uint64_t{1} << header.log2_groups,
+                        /*seed=*/0,
+                        static_cast<HashKind>(header.hash_kind));
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  SwissTable<K, V>& table = *maybe_table;
+  if (table.table_bytes() != header.data_bytes ||
+      table.store().num_slots() != header.meta_bytes ||
+      header.size > table.store().num_slots()) {
+    return std::nullopt;  // shape mismatch: corrupt header
+  }
+
+  in.read(reinterpret_cast<char*>(table.raw_data_mutable()),
+          static_cast<std::streamsize>(header.data_bytes));
+  if (!in) return std::nullopt;
+  std::vector<std::uint8_t> lane(header.meta_bytes);
+  in.read(reinterpret_cast<char*>(lane.data()),
+          static_cast<std::streamsize>(header.meta_bytes));
+  if (!in) return std::nullopt;
+  table.store().AdoptMeta(lane.data());
+
+  HashFamily hash;
+  hash.log2_buckets = header.log2_groups;
+  hash.kind = static_cast<HashKind>(header.hash_kind);
+  for (unsigned i = 0; i < kMaxWays; ++i) hash.mult[i] = header.mult[i];
+  table.RestoreState(hash, header.size, header.seed);
+  return maybe_table;
+}
+
+template <typename K, typename V>
+bool SaveSwissTableToFile(const SwissTable<K, V>& table,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  return out && SaveSwissTable(table, out);
+}
+
+template <typename K, typename V>
+std::optional<SwissTable<K, V>> LoadSwissTableFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return LoadSwissTable<K, V>(in);
+}
+
+template <typename K, typename V>
 bool SaveShardedTable(const ShardedTable<K, V>& table, std::ostream& out) {
   ShardedHeader header{};
   std::memcpy(header.magic, kShardedMagic, sizeof(kShardedMagic));
@@ -240,6 +344,31 @@ template std::optional<CuckooTable<std::uint64_t, std::uint64_t>>
 LoadTableFromFile(const std::string&);
 template std::optional<CuckooTable<std::uint16_t, std::uint32_t>>
 LoadTableFromFile(const std::string&);
+
+template bool SaveSwissTable(const SwissTable<std::uint32_t, std::uint32_t>&,
+                             std::ostream&);
+template bool SaveSwissTable(const SwissTable<std::uint64_t, std::uint64_t>&,
+                             std::ostream&);
+template bool SaveSwissTable(const SwissTable<std::uint16_t, std::uint32_t>&,
+                             std::ostream&);
+template std::optional<SwissTable<std::uint32_t, std::uint32_t>>
+LoadSwissTable(std::istream&);
+template std::optional<SwissTable<std::uint64_t, std::uint64_t>>
+LoadSwissTable(std::istream&);
+template std::optional<SwissTable<std::uint16_t, std::uint32_t>>
+LoadSwissTable(std::istream&);
+template bool SaveSwissTableToFile(
+    const SwissTable<std::uint32_t, std::uint32_t>&, const std::string&);
+template bool SaveSwissTableToFile(
+    const SwissTable<std::uint64_t, std::uint64_t>&, const std::string&);
+template bool SaveSwissTableToFile(
+    const SwissTable<std::uint16_t, std::uint32_t>&, const std::string&);
+template std::optional<SwissTable<std::uint32_t, std::uint32_t>>
+LoadSwissTableFromFile(const std::string&);
+template std::optional<SwissTable<std::uint64_t, std::uint64_t>>
+LoadSwissTableFromFile(const std::string&);
+template std::optional<SwissTable<std::uint16_t, std::uint32_t>>
+LoadSwissTableFromFile(const std::string&);
 
 template bool SaveShardedTable(
     const ShardedTable<std::uint32_t, std::uint32_t>&, std::ostream&);

@@ -13,6 +13,7 @@
 
 #include "ht/cuckoo_table.h"
 #include "ht/sharded_table.h"
+#include "ht/swiss_table.h"
 
 namespace simdht {
 
@@ -29,6 +30,24 @@ template <typename K, typename V>
 std::optional<CuckooTable<K, V>> LoadTable(std::istream& in);
 template <typename K, typename V>
 std::optional<CuckooTable<K, V>> LoadTableFromFile(const std::string& path);
+
+// --- Swiss snapshots ---
+// Format: magic "SHTW1", then a header carrying the hash kind (multiply-shift
+// or wyhash), multipliers, seed and sizes, the raw slot arena, and finally
+// the control-byte lane (num_slots bytes — the cyclic vector-load mirror is
+// not persisted; AdoptMeta rebuilds it on load). Rejected with an empty
+// optional: bad magic, wrong key/value widths, an unknown hash kind, or a
+// size/byte-count mismatch against the reconstructed shape.
+template <typename K, typename V>
+bool SaveSwissTable(const SwissTable<K, V>& table, std::ostream& out);
+template <typename K, typename V>
+bool SaveSwissTableToFile(const SwissTable<K, V>& table,
+                          const std::string& path);
+template <typename K, typename V>
+std::optional<SwissTable<K, V>> LoadSwissTable(std::istream& in);
+template <typename K, typename V>
+std::optional<SwissTable<K, V>> LoadSwissTableFromFile(
+    const std::string& path);
 
 // --- sharded snapshots ---
 // Container format: a sharded header (magic "SHTS2" + shard count), then
@@ -63,6 +82,19 @@ extern template std::optional<CuckooTable<std::uint64_t, std::uint64_t>>
 LoadTable(std::istream&);
 extern template std::optional<CuckooTable<std::uint16_t, std::uint32_t>>
 LoadTable(std::istream&);
+
+extern template bool SaveSwissTable(
+    const SwissTable<std::uint32_t, std::uint32_t>&, std::ostream&);
+extern template bool SaveSwissTable(
+    const SwissTable<std::uint64_t, std::uint64_t>&, std::ostream&);
+extern template bool SaveSwissTable(
+    const SwissTable<std::uint16_t, std::uint32_t>&, std::ostream&);
+extern template std::optional<SwissTable<std::uint32_t, std::uint32_t>>
+LoadSwissTable(std::istream&);
+extern template std::optional<SwissTable<std::uint64_t, std::uint64_t>>
+LoadSwissTable(std::istream&);
+extern template std::optional<SwissTable<std::uint16_t, std::uint32_t>>
+LoadSwissTable(std::istream&);
 
 extern template bool SaveShardedTable(
     const ShardedTable<std::uint32_t, std::uint32_t>&, std::ostream&);

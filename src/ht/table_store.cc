@@ -46,11 +46,17 @@ TableShape TableShape::Raw(std::uint64_t min_buckets,
   return shape;
 }
 
-TableStore::TableStore(const TableShape& shape, std::uint64_t seed)
+TableStore::TableStore(const TableShape& shape, std::uint64_t seed,
+                       HashKind hash_kind)
     : shape_(shape),
-      hash_(HashFamily::Make(shape.log2_buckets, seed)),
+      hash_(HashFamily::Make(shape.log2_buckets, seed, hash_kind)),
       seed_(seed) {
   arena_.Allocate(shape_.total_bytes());
+  const MetaLaneSpec lane = shape_.raw ? MetaLaneSpec{} : spec().meta_lane();
+  if (lane.present()) {
+    meta_.Allocate(meta_bytes());
+    std::memset(meta_.data(), lane.empty, meta_bytes());
+  }
   // Stripes, plus the epoch / stash seqlock / stash count slots behind them
   // (see the accessors in the header).
   versions_ =
@@ -65,6 +71,7 @@ TableView TableStore::view() const {
   v.log2_buckets = shape_.log2_buckets;
   v.spec = shape_.spec;
   v.hash = hash_;
+  v.meta = meta_.data();
   v.stash = stash_;
   v.stash_count = stash_count();
   return v;

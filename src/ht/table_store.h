@@ -58,8 +58,13 @@ class TableStore {
   // 2048); versions are allocated per store, never per policy class.
   static constexpr unsigned kVersionStripes = 1 << 11;
 
-  // `seed` randomizes the hash family (seed 0 = deterministic defaults).
-  TableStore(const TableShape& shape, std::uint64_t seed);
+  // `seed` randomizes the hash family (seed 0 = deterministic defaults);
+  // `hash_kind` picks its scalar hash (wyhash is Swiss-family-only, see
+  // hash_family.h). Layouts whose family declares a metadata lane get a
+  // second arena of one control byte per slot, pre-filled with the lane's
+  // empty sentinel and tailed by kMetaMirrorBytes of cyclic mirror.
+  TableStore(const TableShape& shape, std::uint64_t seed,
+             HashKind hash_kind = HashKind::kMultiplyShift);
 
   TableStore(TableStore&&) noexcept = default;
   TableStore& operator=(TableStore&&) noexcept = default;
@@ -93,12 +98,13 @@ class TableStore {
   // after a rebuild.
   std::uint64_t seed() const { return seed_; }
 
-  // Re-derives the hash family from `seed` (rebuild recovery / snapshot
-  // load). Writer-side only. SIMDHT_NO_TSAN: a concurrent reader may load
-  // multipliers mid-store, compute a wrong-but-in-range bucket, and retry
-  // via the stripe/epoch validation — the same protocol as slot stores.
+  // Re-derives the hash family from `seed`, keeping the hash kind (rebuild
+  // recovery / snapshot load). Writer-side only. SIMDHT_NO_TSAN: a
+  // concurrent reader may load multipliers mid-store, compute a
+  // wrong-but-in-range bucket, and retry via the stripe/epoch validation —
+  // the same protocol as slot stores.
   SIMDHT_NO_TSAN void Reseed(std::uint64_t seed) {
-    hash_ = HashFamily::Make(shape_.log2_buckets, seed);
+    hash_ = HashFamily::Make(shape_.log2_buckets, seed, hash_.kind);
     seed_ = seed;
   }
 
@@ -178,6 +184,44 @@ class TableStore {
   template <typename V>
   SIMDHT_NO_TSAN void SetVal(std::uint64_t b, unsigned s, V val) {
     std::memcpy(val_addr(b, s), &val, sizeof(V));
+  }
+
+  // --- metadata lane (families with MetaLaneSpec::present(), i.e. Swiss) ---
+  // One control byte per slot (slot = bucket * spec.slots + s) plus a
+  // kMetaMirrorBytes cyclic mirror of the lane start, so wide vector loads
+  // at any group offset stay in-bounds. Control mutators carry
+  // SIMDHT_NO_TSAN like the slot stores: optimistic readers race them and
+  // retry via the stripe/epoch machinery.
+  bool has_meta() const { return meta_.data() != nullptr; }
+  std::uint64_t num_slots() const {
+    return shape_.num_buckets * (shape_.raw ? 0 : shape_.spec.slots);
+  }
+  std::uint64_t meta_bytes() const { return num_slots() + kMetaMirrorBytes; }
+  const std::uint8_t* meta_data() const { return meta_.data(); }
+  SIMDHT_NO_TSAN std::uint8_t CtrlAt(std::uint64_t slot) const {
+    return meta_.data()[slot];
+  }
+  // Stores a control byte and keeps the mirror tail coherent. For lanes
+  // shorter than the mirror the tail repeats the lane cyclically, so the
+  // stride loop writes every copy.
+  SIMDHT_NO_TSAN void SetCtrl(std::uint64_t slot, std::uint8_t ctrl) {
+    std::uint8_t* lane = meta_.data();
+    lane[slot] = ctrl;
+    const std::uint64_t slots = num_slots();
+    for (std::uint64_t mirror = slot + slots; mirror < slots + kMetaMirrorBytes;
+         mirror += slots) {
+      lane[mirror] = ctrl;
+    }
+  }
+  // Adopts `num_slots()` snapshot control bytes and rebuilds the mirror
+  // (table_io restore; bracketed by the caller like AdoptArena).
+  SIMDHT_NO_TSAN void AdoptMeta(const std::uint8_t* src) {
+    std::uint8_t* lane = meta_.data();
+    const std::uint64_t slots = num_slots();
+    std::memcpy(lane, src, slots);
+    for (std::uint64_t i = 0; i < kMetaMirrorBytes; ++i) {
+      lane[slots + i] = lane[i % slots];
+    }
   }
 
   // Read-only view for the lookup kernels (LayoutSpec-shaped stores only).
@@ -282,6 +326,7 @@ class TableStore {
   TableShape shape_;
   HashFamily hash_;
   AlignedBuffer arena_;
+  AlignedBuffer meta_;  // control-byte lane; unallocated for cuckoo shapes
   std::uint64_t size_ = 0;
   std::uint64_t seed_ = 0;
   StashEntry stash_[kMaxStashEntries];

@@ -76,20 +76,17 @@ struct Avx2Ops64 {
   }
 };
 
-std::uint64_t HorAvx2K16(const TableView& v, const void* k, void* o,
-                         std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint16_t, std::uint32_t, Avx2Ops16>(v, k, o, f,
-                                                                n);
+std::uint64_t HorAvx2K16(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint16_t, std::uint32_t, Avx2Ops16>(
+      v, b);
 }
-std::uint64_t HorAvx2K32(const TableView& v, const void* k, void* o,
-                         std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint32_t, std::uint32_t, Avx2Ops32>(v, k, o, f,
-                                                                n);
+std::uint64_t HorAvx2K32(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint32_t, std::uint32_t, Avx2Ops32>(
+      v, b);
 }
-std::uint64_t HorAvx2K64(const TableView& v, const void* k, void* o,
-                         std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint64_t, std::uint64_t, Avx2Ops64>(v, k, o, f,
-                                                                n);
+std::uint64_t HorAvx2K64(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint64_t, std::uint64_t, Avx2Ops64>(
+      v, b);
 }
 
 // ------------------------------------------------------------------ vertical
@@ -97,10 +94,11 @@ std::uint64_t HorAvx2K64(const TableView& v, const void* k, void* o,
 // (K,V) = (32,32): 4 keys per gather group, packed 64-bit {key,val} gathers.
 // Handles m == 1 (pure vertical, Algo 2) and m > 1 (Case Study 5: vertical
 // over BCHT with selective masked gathers per slot).
-std::uint64_t VerAvx2K32(const TableView& view, const void* keys_raw,
-                         void* vals_raw, std::uint8_t* found, std::size_t n) {
-  const auto* keys = static_cast<const std::uint32_t*>(keys_raw);
-  auto* vals = static_cast<std::uint32_t*>(vals_raw);
+std::uint64_t VerAvx2K32(const TableView& view, const ProbeBatch& batch) {
+  const std::uint32_t* keys = batch.keys_as<std::uint32_t>();
+  std::uint32_t* vals = batch.vals_as<std::uint32_t>();
+  std::uint8_t* found = batch.found;
+  const std::size_t n = batch.size;
   const unsigned ways = view.spec.ways;
   const unsigned m = view.spec.slots;
   const unsigned shift = 32 - view.log2_buckets;
@@ -183,10 +181,11 @@ std::uint64_t VerAvx2K32(const TableView& view, const void* keys_raw,
 // (K,V) = (64,64): 4 keys per group; 16-byte slots force separate key and
 // value gathers (no packing possible — Observation 2's penalty). Bucket
 // indices are computed scalar because AVX2 has no 64-bit vector multiply.
-std::uint64_t VerAvx2K64(const TableView& view, const void* keys_raw,
-                         void* vals_raw, std::uint8_t* found, std::size_t n) {
-  const auto* keys = static_cast<const std::uint64_t*>(keys_raw);
-  auto* vals = static_cast<std::uint64_t*>(vals_raw);
+std::uint64_t VerAvx2K64(const TableView& view, const ProbeBatch& batch) {
+  const std::uint64_t* keys = batch.keys_as<std::uint64_t>();
+  std::uint64_t* vals = batch.vals_as<std::uint64_t>();
+  std::uint8_t* found = batch.found;
+  const std::size_t n = batch.size;
   const unsigned ways = view.spec.ways;
   const unsigned m = view.spec.slots;
   const auto* base = reinterpret_cast<const long long*>(view.data);
@@ -266,7 +265,7 @@ std::uint64_t VerAvx2K64(const TableView& view, const void* keys_raw,
 }
 
 KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
-                BucketLayout layout, RawLookupFn fn) {
+                BucketLayout layout, LookupFn fn) {
   KernelInfo info;
   info.name = name;
   info.approach = approach;
@@ -275,33 +274,33 @@ KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
   info.key_bits = kb;
   info.val_bits = vb;
   info.bucket_layout = layout;
-  info.raw_fn = fn;
+  info.fn = fn;
   return info;
 }
 
 }  // namespace
 
-void RegisterAvx2Kernels(KernelRegistry* registry) {
-  registry->Register(Make("V-Hor/AVX2/k32v32", Approach::kHorizontal, 32, 32,
-                          BucketLayout::kInterleaved, &HorAvx2K32));
-  registry->Register(Make("V-Hor/AVX2/k32v32/split", Approach::kHorizontal,
-                          32, 32, BucketLayout::kSplit, &HorAvx2K32));
-  registry->Register(Make("V-Hor/AVX2/k64v64", Approach::kHorizontal, 64, 64,
-                          BucketLayout::kInterleaved, &HorAvx2K64));
-  registry->Register(Make("V-Hor/AVX2/k16v32/split", Approach::kHorizontal,
-                          16, 32, BucketLayout::kSplit, &HorAvx2K16));
+void AppendAvx2Kernels(std::vector<KernelInfo>* out) {
+  out->push_back(Make("V-Hor/AVX2/k32v32", Approach::kHorizontal, 32, 32,
+                      BucketLayout::kInterleaved, &HorAvx2K32));
+  out->push_back(Make("V-Hor/AVX2/k32v32/split", Approach::kHorizontal,
+                      32, 32, BucketLayout::kSplit, &HorAvx2K32));
+  out->push_back(Make("V-Hor/AVX2/k64v64", Approach::kHorizontal, 64, 64,
+                      BucketLayout::kInterleaved, &HorAvx2K64));
+  out->push_back(Make("V-Hor/AVX2/k16v32/split", Approach::kHorizontal,
+                      16, 32, BucketLayout::kSplit, &HorAvx2K16));
 
-  registry->Register(Make("V-Ver/AVX2/k32v32", Approach::kVertical, 32, 32,
-                          BucketLayout::kInterleaved, &VerAvx2K32));
-  registry->Register(Make("V-Ver/AVX2/k64v64", Approach::kVertical, 64, 64,
-                          BucketLayout::kInterleaved, &VerAvx2K64));
+  out->push_back(Make("V-Ver/AVX2/k32v32", Approach::kVertical, 32, 32,
+                      BucketLayout::kInterleaved, &VerAvx2K32));
+  out->push_back(Make("V-Ver/AVX2/k64v64", Approach::kVertical, 64, 64,
+                      BucketLayout::kInterleaved, &VerAvx2K64));
 
   // Case Study 5: the same gather kernels applied to bucketized tables
   // (m > 1) with selective per-slot gathers.
-  registry->Register(Make("V-Ver/BCHT/AVX2/k32v32", Approach::kVerticalBcht,
-                          32, 32, BucketLayout::kInterleaved, &VerAvx2K32));
-  registry->Register(Make("V-Ver/BCHT/AVX2/k64v64", Approach::kVerticalBcht,
-                          64, 64, BucketLayout::kInterleaved, &VerAvx2K64));
+  out->push_back(Make("V-Ver/BCHT/AVX2/k32v32", Approach::kVerticalBcht,
+                      32, 32, BucketLayout::kInterleaved, &VerAvx2K32));
+  out->push_back(Make("V-Ver/BCHT/AVX2/k64v64", Approach::kVerticalBcht,
+                      64, 64, BucketLayout::kInterleaved, &VerAvx2K64));
 }
 
 }  // namespace simdht

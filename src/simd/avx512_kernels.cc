@@ -66,31 +66,28 @@ struct Avx512Ops64 {
   }
 };
 
-std::uint64_t HorAvx512K16(const TableView& v, const void* k, void* o,
-                           std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint16_t, std::uint32_t, Avx512Ops16>(v, k, o, f,
-                                                                  n);
+std::uint64_t HorAvx512K16(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint16_t, std::uint32_t,
+                                      Avx512Ops16>(v, b);
 }
-std::uint64_t HorAvx512K32(const TableView& v, const void* k, void* o,
-                           std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint32_t, std::uint32_t, Avx512Ops32>(v, k, o, f,
-                                                                  n);
+std::uint64_t HorAvx512K32(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint32_t, std::uint32_t,
+                                      Avx512Ops32>(v, b);
 }
-std::uint64_t HorAvx512K64(const TableView& v, const void* k, void* o,
-                           std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint64_t, std::uint64_t, Avx512Ops64>(v, k, o, f,
-                                                                  n);
+std::uint64_t HorAvx512K64(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint64_t, std::uint64_t,
+                                      Avx512Ops64>(v, b);
 }
 
 // ------------------------------------------------------------------ vertical
 
 // (K,V) = (32,32): 8 keys per gather group (16 per outer iteration via the
 // caller loop), packed 64-bit {key,val} gathers, k-mask pending tracking.
-std::uint64_t VerAvx512K32(const TableView& view, const void* keys_raw,
-                           void* vals_raw, std::uint8_t* found,
-                           std::size_t n) {
-  const auto* keys = static_cast<const std::uint32_t*>(keys_raw);
-  auto* vals = static_cast<std::uint32_t*>(vals_raw);
+std::uint64_t VerAvx512K32(const TableView& view, const ProbeBatch& batch) {
+  const std::uint32_t* keys = batch.keys_as<std::uint32_t>();
+  std::uint32_t* vals = batch.vals_as<std::uint32_t>();
+  std::uint8_t* found = batch.found;
+  const std::size_t n = batch.size;
   const unsigned ways = view.spec.ways;
   const unsigned m = view.spec.slots;
   const unsigned shift = 32 - view.log2_buckets;
@@ -165,11 +162,11 @@ std::uint64_t VerAvx512K32(const TableView& view, const void* keys_raw,
 // (K,V) = (64,64): 8 keys per iteration; 16-byte slots need separate key and
 // value gathers (Observation 2). Vector multiply-shift uses AVX-512DQ's
 // 64-bit multiply.
-std::uint64_t VerAvx512K64(const TableView& view, const void* keys_raw,
-                           void* vals_raw, std::uint8_t* found,
-                           std::size_t n) {
-  const auto* keys = static_cast<const std::uint64_t*>(keys_raw);
-  auto* vals = static_cast<std::uint64_t*>(vals_raw);
+std::uint64_t VerAvx512K64(const TableView& view, const ProbeBatch& batch) {
+  const std::uint64_t* keys = batch.keys_as<std::uint64_t>();
+  std::uint64_t* vals = batch.vals_as<std::uint64_t>();
+  std::uint8_t* found = batch.found;
+  const std::size_t n = batch.size;
   const unsigned ways = view.spec.ways;
   const unsigned m = view.spec.slots;
   const unsigned shift = 64 - view.log2_buckets;
@@ -242,7 +239,7 @@ std::uint64_t VerAvx512K64(const TableView& view, const void* keys_raw,
 }
 
 KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
-                BucketLayout layout, RawLookupFn fn) {
+                BucketLayout layout, LookupFn fn) {
   KernelInfo info;
   info.name = name;
   info.approach = approach;
@@ -251,33 +248,31 @@ KernelInfo Make(const char* name, Approach approach, unsigned kb, unsigned vb,
   info.key_bits = kb;
   info.val_bits = vb;
   info.bucket_layout = layout;
-  info.raw_fn = fn;
+  info.fn = fn;
   return info;
 }
 
 }  // namespace
 
-void RegisterAvx512Kernels(KernelRegistry* registry) {
-  registry->Register(Make("V-Hor/AVX-512/k32v32", Approach::kHorizontal, 32,
-                          32, BucketLayout::kInterleaved, &HorAvx512K32));
-  registry->Register(Make("V-Hor/AVX-512/k32v32/split", Approach::kHorizontal,
-                          32, 32, BucketLayout::kSplit, &HorAvx512K32));
-  registry->Register(Make("V-Hor/AVX-512/k64v64", Approach::kHorizontal, 64,
-                          64, BucketLayout::kInterleaved, &HorAvx512K64));
-  registry->Register(Make("V-Hor/AVX-512/k16v32/split", Approach::kHorizontal,
-                          16, 32, BucketLayout::kSplit, &HorAvx512K16));
+void AppendAvx512Kernels(std::vector<KernelInfo>* out) {
+  out->push_back(Make("V-Hor/AVX-512/k32v32", Approach::kHorizontal, 32, 32,
+                      BucketLayout::kInterleaved, &HorAvx512K32));
+  out->push_back(Make("V-Hor/AVX-512/k32v32/split", Approach::kHorizontal, 32,
+                      32, BucketLayout::kSplit, &HorAvx512K32));
+  out->push_back(Make("V-Hor/AVX-512/k64v64", Approach::kHorizontal, 64, 64,
+                      BucketLayout::kInterleaved, &HorAvx512K64));
+  out->push_back(Make("V-Hor/AVX-512/k16v32/split", Approach::kHorizontal, 16,
+                      32, BucketLayout::kSplit, &HorAvx512K16));
 
-  registry->Register(Make("V-Ver/AVX-512/k32v32", Approach::kVertical, 32, 32,
-                          BucketLayout::kInterleaved, &VerAvx512K32));
-  registry->Register(Make("V-Ver/AVX-512/k64v64", Approach::kVertical, 64, 64,
-                          BucketLayout::kInterleaved, &VerAvx512K64));
+  out->push_back(Make("V-Ver/AVX-512/k32v32", Approach::kVertical, 32, 32,
+                      BucketLayout::kInterleaved, &VerAvx512K32));
+  out->push_back(Make("V-Ver/AVX-512/k64v64", Approach::kVertical, 64, 64,
+                      BucketLayout::kInterleaved, &VerAvx512K64));
 
-  registry->Register(Make("V-Ver/BCHT/AVX-512/k32v32",
-                          Approach::kVerticalBcht, 32, 32,
-                          BucketLayout::kInterleaved, &VerAvx512K32));
-  registry->Register(Make("V-Ver/BCHT/AVX-512/k64v64",
-                          Approach::kVerticalBcht, 64, 64,
-                          BucketLayout::kInterleaved, &VerAvx512K64));
+  out->push_back(Make("V-Ver/BCHT/AVX-512/k32v32", Approach::kVerticalBcht, 32,
+                      32, BucketLayout::kInterleaved, &VerAvx512K32));
+  out->push_back(Make("V-Ver/BCHT/AVX-512/k64v64", Approach::kVerticalBcht, 64,
+                      64, BucketLayout::kInterleaved, &VerAvx512K64));
 }
 
 }  // namespace simdht

@@ -41,10 +41,11 @@ inline std::uint64_t SlotKeyMask(unsigned count, bool interleaved,
 
 template <typename K, typename V, typename Ops>
 std::uint64_t HorizontalLookupImpl(const TableView& view,
-                                   const void* keys_raw, void* vals_raw,
-                                   std::uint8_t* found, std::size_t n) {
-  const auto* keys = static_cast<const K*>(keys_raw);
-  auto* vals = static_cast<V*>(vals_raw);
+                                   const ProbeBatch& batch) {
+  const K* keys = batch.keys_as<K>();
+  V* vals = batch.vals_as<V>();
+  std::uint8_t* found = batch.found;
+  const std::size_t n = batch.size;
   const LayoutSpec& spec = view.spec;
   const unsigned ways = spec.ways;
   const unsigned m = spec.slots;

@@ -1,18 +1,23 @@
 // Type-erased batched-lookup kernel interface and registry.
 //
 // Every lookup algorithm the suite evaluates — scalar twins, horizontal
-// (Algo 1) and vertical (Algo 2) vectorizations at each vector width — is a
-// free function with the same signature, registered with metadata describing
-// which table layouts and which CPU ISA tier it needs. The validation engine
+// (Algo 1) and vertical (Algo 2) cuckoo vectorizations, Swiss control-byte
+// scans, at each vector width — is a free function with the same signature,
+// registered with metadata describing which table family and layouts it
+// probes and which CPU ISA tier it needs. The validation engine
 // (src/core/validation.h) joins this registry against a workload's LayoutSpec
 // and the host CPUID to produce the paper's "viable design choices" list.
 //
 // Batched probes travel as a ProbeBatch view: typed key/val spans, found
 // bytes, and an optional per-batch stats slot. KernelInfo::Lookup is the
-// canonical entry point; the per-ISA kernel free functions keep the raw
-// out-param signature (RawLookupFn) and are thin-adapted behind it, and the
-// prefetch-pipelined engine (src/simd/pipeline.h) slices the same batch into
-// groups without the kernels knowing.
+// canonical entry point; every kernel implements the native ProbeBatch
+// LookupFn signature, and the prefetch-pipelined engine (src/simd/pipeline.h)
+// slices the same batch into groups without the kernels knowing.
+//
+// Registration is open: a translation unit contributes kernels by calling
+// RegisterKernelProvider() before the first KernelRegistry::Get() — no edit
+// to this header is needed to add a new family. The built-in providers are
+// referenced from kernel_providers.cc so static-archive linking keeps them.
 #ifndef SIMDHT_SIMD_KERNEL_H_
 #define SIMDHT_SIMD_KERNEL_H_
 
@@ -93,40 +98,32 @@ struct ProbeBatch {
   }
 };
 
-// Batched lookup over a ProbeBatch; returns the number of keys found.
+// Batched lookup over a ProbeBatch; returns the number of keys found. The
+// one and only kernel entry-point signature.
 using LookupFn = std::uint64_t (*)(const TableView& view,
                                    const ProbeBatch& batch);
 
-// Legacy raw out-param signature. The ~30 per-ISA kernel free functions keep
-// it; KernelInfo::Lookup adapts them to the ProbeBatch API.
-using RawLookupFn = std::uint64_t (*)(const TableView& view, const void* keys,
-                                      void* vals, std::uint8_t* found,
-                                      std::size_t n);
-
 // Registry entry: one lookup algorithm specialization.
 struct KernelInfo {
-  std::string name;          // e.g. "V-Hor/AVX2/k32v32"
+  std::string name;          // e.g. "V-Hor/AVX2/k32v32", "Swiss/AVX2/k32v32"
+  TableFamily family = TableFamily::kCuckoo;  // which tables it can probe
   Approach approach = Approach::kScalar;
   SimdLevel level = SimdLevel::kScalar;  // ISA requirement
   unsigned width_bits = 64;  // vector width the kernel uses
   unsigned key_bits = 32;
   unsigned val_bits = 32;
   BucketLayout bucket_layout = BucketLayout::kInterleaved;
-  // Horizontal kernels handle any m; vertical kernels require m == 1 and
-  // vertical-over-BCHT (Case Study 5) requires m > 1.
-  LookupFn fn = nullptr;         // native ProbeBatch entry point, or
-  RawLookupFn raw_fn = nullptr;  // ... the raw free function, adapted below
+  // Cuckoo: horizontal kernels handle any m, vertical kernels require
+  // m == 1, vertical-over-BCHT (Case Study 5) requires m > 1. Swiss:
+  // kernels scan the control lane at width_bits / 8 slots per window.
+  LookupFn fn = nullptr;
 
   // Canonical entry point: runs the kernel over `batch` and maintains the
-  // batch's stats slot. Dispatches to `fn` or thin-adapts `raw_fn`, then
-  // probes the table's overflow stash for whatever the bucket pass missed —
-  // so stash entries are visible through every kernel (scalar and SIMD)
-  // without each kernel knowing the stash exists.
+  // batch's stats slot, then probes the table's overflow stash for whatever
+  // the bucket pass missed — so stash entries are visible through every
+  // kernel (scalar and SIMD) without each kernel knowing the stash exists.
   std::uint64_t Lookup(const TableView& view, const ProbeBatch& batch) const {
-    std::uint64_t found =
-        fn != nullptr ? fn(view, batch)
-                      : raw_fn(view, batch.keys, batch.vals, batch.found,
-                               batch.size);
+    std::uint64_t found = fn(view, batch);
     if (view.stash_count != 0) {
       found += ProbeStash(view, batch.keys, batch.vals, batch.found,
                           batch.size);
@@ -139,12 +136,15 @@ struct KernelInfo {
     return found;
   }
 
-  // True if this kernel can run lookups against `spec` (structural match:
-  // key/value widths, bucket layout, slots constraint).
+  // True if this kernel can run lookups against `spec` (family match first,
+  // then the structural match: key/value widths, bucket layout, slots
+  // constraint).
   bool Matches(const LayoutSpec& spec) const;
 };
 
-// Registry query: which kernels can serve this layout?
+// Registry query: which kernels can serve this layout? The layout's family
+// participates in matching, so cuckoo queries never see Swiss kernels and
+// vice versa.
 struct KernelQuery {
   LayoutSpec layout;
   Approach approach = Approach::kScalar;
@@ -152,8 +152,19 @@ struct KernelQuery {
   bool include_unsupported = false;  // admit kernels this CPU cannot run
 };
 
+// A provider appends its KernelInfo entries to `out`; the registry invokes
+// every registered provider exactly once while building.
+using KernelProviderFn = void (*)(std::vector<KernelInfo>* out);
+
+// Open registration hook: queues `provider` for the registry build. Returns
+// true if queued, false if the registry was already built (the provider
+// will never run — register from static initializers or before the first
+// KernelRegistry::Get()). Idempotent per function pointer.
+bool RegisterKernelProvider(KernelProviderFn provider);
+
 // Process-wide kernel registry. Thread-safe for reads after the first call;
-// all registration happens inside the constructor.
+// all registration happens inside the constructor, which drains the
+// provider queue (built-ins first, in registration order).
 class KernelRegistry {
  public:
   static const KernelRegistry& Get();
@@ -164,8 +175,8 @@ class KernelRegistry {
   // and optionally by exact vector width.
   std::vector<const KernelInfo*> Find(const KernelQuery& query) const;
 
-  // The scalar twin for a spec (never null for supported key/val combos;
-  // null if the spec itself is unsupported).
+  // The scalar twin for a spec (never null for supported family/key/val
+  // combos; null if the spec itself is unsupported).
   const KernelInfo* Scalar(const LayoutSpec& spec) const;
 
   // Exact-name lookup (for tests / CLI selection); null if absent.
@@ -173,22 +184,15 @@ class KernelRegistry {
 
  private:
   KernelRegistry();
-  void Register(KernelInfo info);
 
   std::vector<KernelInfo> kernels_;
-
-  friend void RegisterScalarKernels(KernelRegistry*);
-  friend void RegisterSseKernels(KernelRegistry*);
-  friend void RegisterAvx2Kernels(KernelRegistry*);
-  friend void RegisterAvx512Kernels(KernelRegistry*);
 };
 
-// Defined in the per-ISA translation units (compiled with the matching -m
-// flags); called once from the registry constructor.
-void RegisterScalarKernels(KernelRegistry* registry);
-void RegisterSseKernels(KernelRegistry* registry);
-void RegisterAvx2Kernels(KernelRegistry* registry);
-void RegisterAvx512Kernels(KernelRegistry* registry);
+// Queues the built-in per-ISA providers (kernel_providers.cc). Safe to call
+// repeatedly; the registry constructor calls it before draining the queue,
+// and the hard reference from that TU keeps the per-ISA objects alive under
+// static-archive linking.
+void RegisterBuiltinKernelProviders();
 
 // --- Capacity helpers (shared with the validation engine) ---
 
@@ -205,6 +209,11 @@ unsigned HorizontalBucketsPerVector(const LayoutSpec& spec,
 // and key width must be gatherable: 32 or 64 bits, key_bits == val_bits).
 unsigned VerticalKeysPerIteration(const LayoutSpec& spec,
                                   unsigned width_bits);
+
+// Swiss: control bytes (slot candidates) scanned per vector window — one
+// byte per slot, so width_bits / 8. 0 for non-Swiss specs or widths below
+// one 16-slot group.
+unsigned SwissSlotsPerVector(const LayoutSpec& spec, unsigned width_bits);
 
 }  // namespace simdht
 

@@ -1,0 +1,38 @@
+// Built-in kernel provider manifest.
+//
+// The per-ISA kernel translation units each export one provider function;
+// this TU references them directly and queues them via the open
+// RegisterKernelProvider() API. The hard references matter: the simd
+// library is a plain static archive, so a TU whose only entry point were a
+// self-registering static initializer would be dead-stripped by the linker.
+// Adding a new built-in family means adding its provider here — the
+// registry header stays closed.
+#include "simd/kernel.h"
+
+namespace simdht {
+
+// Defined in the per-ISA translation units (compiled with the matching -m
+// flags).
+void AppendScalarKernels(std::vector<KernelInfo>* out);
+void AppendSseKernels(std::vector<KernelInfo>* out);
+void AppendAvx2Kernels(std::vector<KernelInfo>* out);
+void AppendAvx512Kernels(std::vector<KernelInfo>* out);
+void AppendSwissScalarSseKernels(std::vector<KernelInfo>* out);
+void AppendSwissAvx2Kernels(std::vector<KernelInfo>* out);
+void AppendSwissAvx512Kernels(std::vector<KernelInfo>* out);
+
+void RegisterBuiltinKernelProviders() {
+  static const bool queued = [] {
+    RegisterKernelProvider(&AppendScalarKernels);
+    RegisterKernelProvider(&AppendSseKernels);
+    RegisterKernelProvider(&AppendAvx2Kernels);
+    RegisterKernelProvider(&AppendAvx512Kernels);
+    RegisterKernelProvider(&AppendSwissScalarSseKernels);
+    RegisterKernelProvider(&AppendSwissAvx2Kernels);
+    RegisterKernelProvider(&AppendSwissAvx512Kernels);
+    return true;
+  }();
+  (void)queued;
+}
+
+}  // namespace simdht

@@ -199,9 +199,12 @@ std::uint64_t PipelinedLookup(const KernelInfo& kernel, const TableView& view,
       config.policy == PrefetchPolicy::kAmac ? config.amac_groups : 1;
 
   // AMAC on the scalar twin: fully fused per-key interleave, window =
-  // amac_groups x group_size probes in flight.
+  // amac_groups x group_size probes in flight. The fused loop replicates
+  // the *cuckoo* scalar probe, so other families (Swiss) take the slice
+  // schedule below even under kAmac.
   if (config.policy == PrefetchPolicy::kAmac &&
-      kernel.approach == Approach::kScalar) {
+      kernel.approach == Approach::kScalar &&
+      view.spec.family == TableFamily::kCuckoo) {
     std::uint64_t hits = 0;
     if (DispatchFusedAmac(view, typed, group * depth, &hits)) return hits;
   }

@@ -25,12 +25,19 @@ SIMDHT_ALWAYS_INLINE void PrefetchBucket(const TableView& view,
   }
 }
 
-// Prefetches all N candidate buckets of `key` into L2.
+// Prefetches all N candidate buckets of `key` into L2. For families with a
+// control-byte lane (view.meta != null, ways == 1) the home group's lane
+// window is prefetched too — the Swiss probe touches the lane before any
+// key slot, so its line is the first miss to hide.
 template <typename K>
 SIMDHT_ALWAYS_INLINE void PrefetchCandidateBuckets(const TableView& view,
                                                    K key) {
   for (unsigned w = 0; w < view.spec.ways; ++w) {
-    PrefetchBucket(view, view.hash.template Bucket<K>(w, key));
+    const std::uint64_t b = view.hash.template Bucket<K>(w, key);
+    PrefetchBucket(view, b);
+    if (view.meta != nullptr) {
+      __builtin_prefetch(view.meta + b * view.spec.slots, 0, 1);
+    }
   }
 }
 

@@ -1,10 +1,46 @@
+#include <algorithm>
+
 #include "simd/kernel.h"
 
 namespace simdht {
 
+namespace {
+
+// Providers queued before the registry builds. Function-local so static
+// initializers in other TUs can register safely regardless of init order.
+struct ProviderQueue {
+  std::vector<KernelProviderFn> providers;
+  bool drained = false;
+};
+
+ProviderQueue& Queue() {
+  static ProviderQueue queue;
+  return queue;
+}
+
+}  // namespace
+
+bool RegisterKernelProvider(KernelProviderFn provider) {
+  ProviderQueue& queue = Queue();
+  if (queue.drained) return false;
+  if (std::find(queue.providers.begin(), queue.providers.end(), provider) ==
+      queue.providers.end()) {
+    queue.providers.push_back(provider);
+  }
+  return true;
+}
+
 bool KernelInfo::Matches(const LayoutSpec& spec) const {
+  if (spec.family != family) return false;
   if (spec.key_bits != key_bits || spec.val_bits != val_bits) return false;
   if (spec.bucket_layout != bucket_layout) return false;
+  if (family == TableFamily::kSwiss) {
+    // Swiss probing is slot-linear over 16-slot groups; any group-multiple
+    // scan width works against any Swiss table (spec.Validate pins the
+    // group shape), so family + widths + layout is the whole match. The
+    // scalar twin scans one group at a time.
+    return spec.slots == kSwissGroupSlots;
+  }
   switch (approach) {
     case Approach::kScalar:
       return true;
@@ -48,6 +84,7 @@ unsigned VerticalKeysPerIteration(const LayoutSpec& spec,
   // need per-lane gathers (AVX2+, i.e. >= 256-bit) over gatherable
   // element sizes. The packed-pair gather trick additionally requires
   // key and value widths to match (8- or 16-byte {key,val} slots).
+  if (spec.family != TableFamily::kCuckoo) return 0;
   if (width_bits < 256) return 0;
   if (spec.key_bits != 32 && spec.key_bits != 64) return 0;
   if (spec.key_bits != spec.val_bits) return 0;
@@ -56,15 +93,22 @@ unsigned VerticalKeysPerIteration(const LayoutSpec& spec,
   return width_bits / spec.key_bits;
 }
 
-KernelRegistry::KernelRegistry() {
-  RegisterScalarKernels(this);
-  RegisterSseKernels(this);
-  RegisterAvx2Kernels(this);
-  RegisterAvx512Kernels(this);
+unsigned SwissSlotsPerVector(const LayoutSpec& spec, unsigned width_bits) {
+  if (spec.family != TableFamily::kSwiss) return 0;
+  const unsigned slots = width_bits / 8;
+  return slots < kSwissGroupSlots ? 0 : slots;
 }
 
-void KernelRegistry::Register(KernelInfo info) {
-  kernels_.push_back(std::move(info));
+KernelRegistry::KernelRegistry() {
+  RegisterBuiltinKernelProviders();
+  ProviderQueue& queue = Queue();
+  queue.drained = true;
+  std::vector<KernelInfo> batch;
+  for (KernelProviderFn provider : queue.providers) {
+    batch.clear();
+    provider(&batch);
+    for (KernelInfo& info : batch) kernels_.push_back(std::move(info));
+  }
 }
 
 const KernelRegistry& KernelRegistry::Get() {

@@ -11,11 +11,10 @@ namespace simdht {
 namespace {
 
 template <typename K, typename V>
-std::uint64_t ScalarLookup(const TableView& view, const void* keys_raw,
-                           void* vals_raw, std::uint8_t* found,
-                           std::size_t n) {
-  const auto* keys = static_cast<const K*>(keys_raw);
-  auto* vals = static_cast<V*>(vals_raw);
+std::uint64_t ScalarLookup(const TableView& view, const ProbeBatch& batch) {
+  const K* keys = batch.keys_as<K>();
+  V* vals = batch.vals_as<V>();
+  std::uint8_t* found = batch.found;
   const unsigned ways = view.spec.ways;
   const unsigned slots = view.spec.slots;
   std::uint64_t hits = 0;
@@ -23,7 +22,7 @@ std::uint64_t ScalarLookup(const TableView& view, const void* keys_raw,
   // Pure compare loop: the memory schedule (candidate-bucket prefetching)
   // is owned by the pipeline engine (simd/pipeline.h), not the kernel, so
   // scalar and SIMD variants see the identical schedule for any policy.
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < batch.size; ++i) {
     const K key = keys[i];
     V value = 0;
     std::uint8_t hit = 0;
@@ -56,22 +55,22 @@ KernelInfo MakeScalar(const char* name, BucketLayout layout) {
   info.key_bits = sizeof(K) * 8;
   info.val_bits = sizeof(V) * 8;
   info.bucket_layout = layout;
-  info.raw_fn = &ScalarLookup<K, V>;
+  info.fn = &ScalarLookup<K, V>;
   return info;
 }
 
 }  // namespace
 
-void RegisterScalarKernels(KernelRegistry* registry) {
-  registry->Register(MakeScalar<std::uint32_t, std::uint32_t>(
+void AppendScalarKernels(std::vector<KernelInfo>* out) {
+  out->push_back(MakeScalar<std::uint32_t, std::uint32_t>(
       "Scalar/k32v32", BucketLayout::kInterleaved));
-  registry->Register(MakeScalar<std::uint32_t, std::uint32_t>(
+  out->push_back(MakeScalar<std::uint32_t, std::uint32_t>(
       "Scalar/k32v32/split", BucketLayout::kSplit));
-  registry->Register(MakeScalar<std::uint64_t, std::uint64_t>(
+  out->push_back(MakeScalar<std::uint64_t, std::uint64_t>(
       "Scalar/k64v64", BucketLayout::kInterleaved));
-  registry->Register(MakeScalar<std::uint64_t, std::uint64_t>(
+  out->push_back(MakeScalar<std::uint64_t, std::uint64_t>(
       "Scalar/k64v64/split", BucketLayout::kSplit));
-  registry->Register(MakeScalar<std::uint16_t, std::uint32_t>(
+  out->push_back(MakeScalar<std::uint16_t, std::uint32_t>(
       "Scalar/k16v32/split", BucketLayout::kSplit));
 }
 

@@ -1,9 +1,10 @@
 // SimdHashTable<K, V>: the one-class public API.
 //
-// Wraps a cuckoo table with an automatically selected SIMD lookup kernel
-// (best viable design for the layout on this CPU, scalar fallback) so
-// downstream users get the paper's fastest batched lookups without touching
-// the registry or validation engine:
+// Wraps a table — (N, m) cuckoo/BCHT by default, or a Swiss control-byte
+// table via Options::family — with an automatically selected SIMD lookup
+// kernel (best viable design for the layout on this CPU, scalar fallback)
+// so downstream users get the paper's fastest batched lookups without
+// touching the registry or validation engine:
 //
 //   simdht::SimdHashTable<uint32_t, uint32_t> ht(
 //       simdht::SimdHashTable<uint32_t, uint32_t>::Options{});
@@ -28,6 +29,7 @@
 #include "common/cpu_features.h"
 #include "ht/cuckoo_table.h"
 #include "ht/sharded_table.h"
+#include "ht/swiss_table.h"
 #include "simd/kernel.h"
 #include "simd/pipeline.h"
 
@@ -41,9 +43,17 @@ class SimdHashTable {
   static constexpr unsigned kMaxShards = 1u << 12;
 
   struct Options {
+    // Which table family backs the storage. kCuckoo (default) honors ways/
+    // slots/layout below; kSwiss uses the canonical Swiss layout (16-slot
+    // groups, split storage, control-byte lane) and ignores them.
+    TableFamily family = TableFamily::kCuckoo;
+    // Scalar hash for bucket/group selection (and the Swiss H2 fingerprint).
+    // kWyHash is Swiss-only: the vertical cuckoo kernels vectorize the
+    // multiply-shift expression directly, so cuckoo layouts must keep it.
+    HashKind hash_kind = HashKind::kMultiplyShift;
     // Defaults to the paper's best load-factor/performance combinations:
     // (2,4) BCHT for horizontal probing. Use ways=3, slots=1 for the
-    // vertical-gather design.
+    // vertical-gather design. Ignored by family = kSwiss.
     unsigned ways = 2;
     unsigned slots = 4;
     std::uint64_t capacity = 1 << 20;  // entries (buckets derived)
@@ -73,6 +83,9 @@ class SimdHashTable {
 
   // The LayoutSpec `options` describes (width fields from K/V).
   static LayoutSpec SpecOf(const Options& options) {
+    if (options.family == TableFamily::kSwiss) {
+      return LayoutSpec::Swiss(sizeof(K) * 8, sizeof(V) * 8);
+    }
     LayoutSpec spec;
     spec.ways = options.ways;
     spec.slots = options.slots;
@@ -103,36 +116,61 @@ class SimdHashTable {
           "SimdHashTable: shards=" + std::to_string(options.shards) +
           " exceeds the maximum of " + std::to_string(kMaxShards));
     }
+    if (options.family == TableFamily::kCuckoo &&
+        options.hash_kind != HashKind::kMultiplyShift) {
+      throw std::invalid_argument(
+          std::string("SimdHashTable: hash_kind=") +
+          HashKindName(options.hash_kind) +
+          " is only valid for family=Swiss; cuckoo layouts require "
+          "multiply-shift (the vertical kernels vectorize it)");
+    }
+    if (options.family == TableFamily::kSwiss && options.shards > 1) {
+      throw std::invalid_argument(
+          "SimdHashTable: shards=" + std::to_string(options.shards) +
+          " is only implemented for family=cuckoo; the Swiss family "
+          "requires shards=1");
+    }
   }
 
   explicit SimdHashTable(const Options& options)
       : pipeline_(options.pipeline) {
     Validate(options);
-    const std::uint64_t num_buckets = options.capacity / options.slots + 1;
-    if (options.shards == 1) {
-      table_.emplace(options.ways, options.slots, num_buckets, options.layout,
-                     options.seed);
+    if (options.family == TableFamily::kSwiss) {
+      swiss_.emplace(options.capacity / kSwissGroupSlots + 1, options.seed,
+                     options.hash_kind);
     } else {
-      sharded_ = std::make_unique<ShardedTable<K, V>>(
-          options.shards, options.ways, options.slots, num_buckets,
-          options.layout, options.seed);
+      const std::uint64_t num_buckets = options.capacity / options.slots + 1;
+      if (options.shards == 1) {
+        table_.emplace(options.ways, options.slots, num_buckets,
+                       options.layout, options.seed);
+      } else {
+        sharded_ = std::make_unique<ShardedTable<K, V>>(
+            options.shards, options.ways, options.slots, num_buckets,
+            options.layout, options.seed);
+      }
     }
     SelectKernel(options.kernel_name, options.allow_scalar_fallback);
   }
 
   // --- single-key operations (scalar paths) ---
   bool Insert(K key, V val) {
-    return table_ ? table_->Insert(key, val) : sharded_->Insert(key, val);
+    return table_ ? table_->Insert(key, val)
+                  : swiss_ ? swiss_->Insert(key, val)
+                           : sharded_->Insert(key, val);
   }
   bool Find(K key, V* val) const {
-    return table_ ? table_->Find(key, val) : sharded_->Find(key, val);
+    return table_ ? table_->Find(key, val)
+                  : swiss_ ? swiss_->Find(key, val)
+                           : sharded_->Find(key, val);
   }
   bool UpdateValue(K key, V val) {
     return table_ ? table_->UpdateValue(key, val)
-                  : sharded_->UpdateValue(key, val);
+                  : swiss_ ? swiss_->UpdateValue(key, val)
+                           : sharded_->UpdateValue(key, val);
   }
   bool Erase(K key) {
-    return table_ ? table_->Erase(key) : sharded_->Erase(key);
+    return table_ ? table_->Erase(key)
+                  : swiss_ ? swiss_->Erase(key) : sharded_->Erase(key);
   }
 
   // --- the batched, SIMD-accelerated lookup ---
@@ -142,9 +180,10 @@ class SimdHashTable {
   // this is safe to race with Insert/Erase when shards > 1.
   std::uint64_t BatchGet(const K* keys, std::size_t n, V* vals,
                          std::uint8_t* found) const {
-    if (table_) {
+    if (table_ || swiss_) {
       const ProbeBatch batch = ProbeBatch::Of(keys, vals, found, n);
-      return PipelinedLookup(*kernel_, table_->view(), batch, pipeline_);
+      const TableView view = table_ ? table_->view() : swiss_->view();
+      return PipelinedLookup(*kernel_, view, batch, pipeline_);
     }
     return sharded_->BatchLookup(
         [this](const TableView& view, const K* k, V* v, std::uint8_t* f,
@@ -156,18 +195,27 @@ class SimdHashTable {
   }
 
   std::uint64_t size() const {
-    return table_ ? table_->size() : sharded_->size();
+    return table_ ? table_->size()
+                  : swiss_ ? swiss_->size() : sharded_->size();
   }
   std::uint64_t capacity() const {
-    return table_ ? table_->capacity() : sharded_->capacity();
+    return table_ ? table_->capacity()
+                  : swiss_ ? swiss_->capacity() : sharded_->capacity();
   }
   double load_factor() const {
-    return table_ ? table_->load_factor() : sharded_->load_factor();
+    return table_ ? table_->load_factor()
+                  : swiss_ ? swiss_->load_factor() : sharded_->load_factor();
   }
   const LayoutSpec& spec() const {
-    return table_ ? table_->spec() : sharded_->spec();
+    return table_ ? table_->spec()
+                  : swiss_ ? swiss_->spec() : sharded_->spec();
   }
-  unsigned num_shards() const { return table_ ? 1 : sharded_->num_shards(); }
+  unsigned num_shards() const {
+    return sharded_ ? sharded_->num_shards() : 1;
+  }
+  TableFamily family() const {
+    return swiss_ ? TableFamily::kSwiss : TableFamily::kCuckoo;
+  }
 
   // Which lookup algorithm BatchGet uses ("V-Hor/AVX-512/k32v32", ...).
   const std::string& kernel_name() const { return kernel_->name; }
@@ -175,19 +223,36 @@ class SimdHashTable {
     return kernel_->approach != Approach::kScalar;
   }
 
-  // Access to the underlying unsharded table (snapshots, custom kernels,
-  // view()). Throws std::logic_error when shards > 1 — use sharded().
+  // Access to the underlying unsharded cuckoo table (snapshots, custom
+  // kernels, view()). Throws std::logic_error when the storage is sharded
+  // or Swiss — use sharded() / swiss_table().
   CuckooTable<K, V>& table() {
     if (!table_) {
-      throw std::logic_error("SimdHashTable: table() on a sharded table");
+      throw std::logic_error(
+          "SimdHashTable: table() on a sharded or Swiss table");
     }
     return *table_;
   }
   const CuckooTable<K, V>& table() const {
     if (!table_) {
-      throw std::logic_error("SimdHashTable: table() on a sharded table");
+      throw std::logic_error(
+          "SimdHashTable: table() on a sharded or Swiss table");
     }
     return *table_;
+  }
+
+  // The Swiss store (only when constructed with family = kSwiss).
+  SwissTable<K, V>& swiss_table() {
+    if (!swiss_) {
+      throw std::logic_error("SimdHashTable: swiss_table() on a cuckoo table");
+    }
+    return *swiss_;
+  }
+  const SwissTable<K, V>& swiss_table() const {
+    if (!swiss_) {
+      throw std::logic_error("SimdHashTable: swiss_table() on a cuckoo table");
+    }
+    return *swiss_;
   }
 
   // The sharded store (only when constructed with shards > 1).
@@ -211,15 +276,36 @@ class SimdHashTable {
     const LayoutSpec& spec = this->spec();
     if (!forced_name.empty()) {
       const KernelInfo* forced = registry.ByName(forced_name);
-      if (forced == nullptr || !forced->Matches(spec) ||
-          !GetCpuFeatures().Supports(forced->level)) {
-        throw std::invalid_argument("SimdHashTable: kernel '" + forced_name +
-                                    "' unavailable for this layout/CPU");
+      if (forced == nullptr) {
+        throw std::invalid_argument("SimdHashTable: no kernel named '" +
+                                    forced_name + "' is registered");
+      }
+      if (forced->family != spec.family) {
+        throw std::invalid_argument(
+            "SimdHashTable: kernel '" + forced_name + "' probes the " +
+            TableFamilyName(forced->family) + " family but this table is " +
+            TableFamilyName(spec.family) +
+            " — pick a kernel from the matching family ('simdht kernels' "
+            "lists them)");
+      }
+      if (!forced->Matches(spec)) {
+        throw std::invalid_argument(
+            "SimdHashTable: kernel '" + forced_name +
+            "' does not match layout " + spec.ToString() +
+            " (key/value widths or bucket layout differ)");
+      }
+      if (!GetCpuFeatures().Supports(forced->level)) {
+        throw std::invalid_argument(
+            "SimdHashTable: kernel '" + forced_name +
+            "' needs an ISA tier this CPU does not support");
       }
       kernel_ = forced;
       return;
     }
     // Auto: widest supported design for the layout's natural approach.
+    // Swiss kernels register as horizontal (one key replicated across the
+    // control-byte vector), and the Swiss spec is bucketized, so the same
+    // rule picks them up.
     const Approach approach =
         spec.bucketized() ? Approach::kHorizontal : Approach::kVertical;
     auto candidates = registry.Find(KernelQuery{spec, approach});
@@ -243,8 +329,9 @@ class SimdHashTable {
     }
   }
 
-  std::optional<CuckooTable<K, V>> table_;       // shards == 1
-  std::unique_ptr<ShardedTable<K, V>> sharded_;  // shards > 1
+  std::optional<CuckooTable<K, V>> table_;       // cuckoo, shards == 1
+  std::optional<SwissTable<K, V>> swiss_;        // family == kSwiss
+  std::unique_ptr<ShardedTable<K, V>> sharded_;  // cuckoo, shards > 1
   PipelineConfig pipeline_;
   const KernelInfo* kernel_ = nullptr;
 };

@@ -68,21 +68,21 @@ struct SseOps64 {
   }
 };
 
-std::uint64_t HorSse16(const TableView& v, const void* k, void* o,
-                       std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint16_t, std::uint32_t, SseOps16>(v, k, o, f, n);
+std::uint64_t HorSse16(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint16_t, std::uint32_t, SseOps16>(
+      v, b);
 }
-std::uint64_t HorSse32(const TableView& v, const void* k, void* o,
-                       std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint32_t, std::uint32_t, SseOps32>(v, k, o, f, n);
+std::uint64_t HorSse32(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint32_t, std::uint32_t, SseOps32>(
+      v, b);
 }
-std::uint64_t HorSse64(const TableView& v, const void* k, void* o,
-                       std::uint8_t* f, std::size_t n) {
-  return detail::HorizontalLookupImpl<std::uint64_t, std::uint64_t, SseOps64>(v, k, o, f, n);
+std::uint64_t HorSse64(const TableView& v, const ProbeBatch& b) {
+  return detail::HorizontalLookupImpl<std::uint64_t, std::uint64_t, SseOps64>(
+      v, b);
 }
 
 KernelInfo Make(const char* name, unsigned kb, unsigned vb,
-                BucketLayout layout, RawLookupFn fn) {
+                BucketLayout layout, LookupFn fn) {
   KernelInfo info;
   info.name = name;
   info.approach = Approach::kHorizontal;
@@ -91,23 +91,21 @@ KernelInfo Make(const char* name, unsigned kb, unsigned vb,
   info.key_bits = kb;
   info.val_bits = vb;
   info.bucket_layout = layout;
-  info.raw_fn = fn;
+  info.fn = fn;
   return info;
 }
 
 }  // namespace
 
-void RegisterSseKernels(KernelRegistry* registry) {
-  registry->Register(Make("V-Hor/SSE/k32v32", 32, 32,
-                          BucketLayout::kInterleaved, &HorSse32));
-  registry->Register(
-      Make("V-Hor/SSE/k32v32/split", 32, 32, BucketLayout::kSplit,
-           &HorSse32));
-  registry->Register(Make("V-Hor/SSE/k64v64", 64, 64,
-                          BucketLayout::kInterleaved, &HorSse64));
-  registry->Register(
-      Make("V-Hor/SSE/k16v32/split", 16, 32, BucketLayout::kSplit,
-           &HorSse16));
+void AppendSseKernels(std::vector<KernelInfo>* out) {
+  out->push_back(Make("V-Hor/SSE/k32v32", 32, 32,
+                      BucketLayout::kInterleaved, &HorSse32));
+  out->push_back(Make("V-Hor/SSE/k32v32/split", 32, 32, BucketLayout::kSplit,
+                      &HorSse32));
+  out->push_back(Make("V-Hor/SSE/k64v64", 64, 64,
+                      BucketLayout::kInterleaved, &HorSse64));
+  out->push_back(Make("V-Hor/SSE/k16v32/split", 16, 32, BucketLayout::kSplit,
+                      &HorSse16));
 }
 
 }  // namespace simdht

@@ -1,0 +1,57 @@
+// Swiss-family AVX2 (32-byte window) control-lane kernels.
+//
+// Scans two 16-slot groups of control bytes per _mm256_cmpeq_epi8 +
+// movemask; the writer-maintained probe invariant (ht/swiss_table.h) makes
+// the doubled window return identical results to the group-at-a-time scalar
+// twin. Compiled with -mavx2.
+#include <immintrin.h>
+
+#include "simd/kernel.h"
+#include "simd/swiss_impl.h"
+
+namespace simdht {
+namespace {
+
+struct SwissAvx2Ops {
+  using Vec = __m256i;
+  static constexpr unsigned kWidthBytes = 32;
+  static Vec Load(const std::uint8_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static std::uint64_t Match(Vec v, std::uint8_t b) {
+    return static_cast<std::uint32_t>(_mm256_movemask_epi8(
+        _mm256_cmpeq_epi8(v, _mm256_set1_epi8(static_cast<char>(b)))));
+  }
+};
+
+template <typename K, typename V>
+std::uint64_t Lookup(const TableView& view, const ProbeBatch& batch) {
+  return detail::SwissLookupImpl<K, V, SwissAvx2Ops>(view, batch);
+}
+
+KernelInfo Make(const char* name, unsigned kb, unsigned vb, LookupFn fn) {
+  KernelInfo info;
+  info.name = name;
+  info.family = TableFamily::kSwiss;
+  info.approach = Approach::kHorizontal;
+  info.level = SimdLevel::kAvx2;
+  info.width_bits = 256;
+  info.key_bits = kb;
+  info.val_bits = vb;
+  info.bucket_layout = BucketLayout::kSplit;
+  info.fn = fn;
+  return info;
+}
+
+}  // namespace
+
+void AppendSwissAvx2Kernels(std::vector<KernelInfo>* out) {
+  out->push_back(Make("Swiss/AVX2/k32v32", 32, 32,
+                      &Lookup<std::uint32_t, std::uint32_t>));
+  out->push_back(Make("Swiss/AVX2/k64v64", 64, 64,
+                      &Lookup<std::uint64_t, std::uint64_t>));
+  out->push_back(Make("Swiss/AVX2/k16v32", 16, 32,
+                      &Lookup<std::uint16_t, std::uint32_t>));
+}
+
+}  // namespace simdht

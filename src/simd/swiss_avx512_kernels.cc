@@ -1,0 +1,54 @@
+// Swiss-family AVX-512 (64-byte window) control-lane kernels.
+//
+// Scans four 16-slot groups of control bytes per _mm512_cmpeq_epi8_mask —
+// the full-cache-line Swiss probe, with match bits delivered directly in a
+// 64-bit k-mask. Compiled with -mavx512f -mavx512bw -mavx512dq -mavx512vl.
+#include <immintrin.h>
+
+#include "simd/kernel.h"
+#include "simd/swiss_impl.h"
+
+namespace simdht {
+namespace {
+
+struct SwissAvx512Ops {
+  using Vec = __m512i;
+  static constexpr unsigned kWidthBytes = 64;
+  static Vec Load(const std::uint8_t* p) { return _mm512_loadu_si512(p); }
+  static std::uint64_t Match(Vec v, std::uint8_t b) {
+    return _mm512_cmpeq_epi8_mask(v,
+                                  _mm512_set1_epi8(static_cast<char>(b)));
+  }
+};
+
+template <typename K, typename V>
+std::uint64_t Lookup(const TableView& view, const ProbeBatch& batch) {
+  return detail::SwissLookupImpl<K, V, SwissAvx512Ops>(view, batch);
+}
+
+KernelInfo Make(const char* name, unsigned kb, unsigned vb, LookupFn fn) {
+  KernelInfo info;
+  info.name = name;
+  info.family = TableFamily::kSwiss;
+  info.approach = Approach::kHorizontal;
+  info.level = SimdLevel::kAvx512;
+  info.width_bits = 512;
+  info.key_bits = kb;
+  info.val_bits = vb;
+  info.bucket_layout = BucketLayout::kSplit;
+  info.fn = fn;
+  return info;
+}
+
+}  // namespace
+
+void AppendSwissAvx512Kernels(std::vector<KernelInfo>* out) {
+  out->push_back(Make("Swiss/AVX-512/k32v32", 32, 32,
+                      &Lookup<std::uint32_t, std::uint32_t>));
+  out->push_back(Make("Swiss/AVX-512/k64v64", 64, 64,
+                      &Lookup<std::uint64_t, std::uint64_t>));
+  out->push_back(Make("Swiss/AVX-512/k16v32", 16, 32,
+                      &Lookup<std::uint16_t, std::uint32_t>));
+}
+
+}  // namespace simdht

@@ -1,0 +1,85 @@
+// Generic Swiss control-byte lookup core.
+//
+// One probe key's 7-bit H2 fingerprint is replicated across a byte vector
+// and compared against a window of the table's control lane; match bits are
+// verified against the key arena, and the probe stops after the first
+// window containing an EMPTY byte. The core is templated on an ISA policy
+// `Ops` supplied by the per-ISA translation units (16-byte SSE, 32-byte
+// AVX2, 64-byte AVX-512 windows), so this header must only be included from
+// files compiled with the matching -m flags.
+//
+// Width independence: the table writer (ht/swiss_table.h) maintains the
+// invariant that no group strictly before a stored key's group (in probe
+// order from its home group) contains an EMPTY byte. Windows here start at
+// the home group's flat slot offset and advance by whole windows; every
+// window is a run of consecutive 16-slot groups (offsets stay 16-aligned
+// because the slot count is a power of two and the width is a multiple of
+// 16), and ALL fingerprint matches in a window are verified before the
+// EMPTY check — so scanning 1, 2 or 4 groups per step returns identical
+// results. The control lane's cyclic mirror tail (kMetaMirrorBytes) keeps
+// the wrapped loads in-bounds; matched bits are mapped back to real slots
+// modulo the slot count.
+#ifndef SIMDHT_SIMD_SWISS_IMPL_H_
+#define SIMDHT_SIMD_SWISS_IMPL_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/compiler.h"
+#include "simd/kernel.h"
+
+namespace simdht {
+namespace detail {
+
+template <typename K, typename V, typename Ops>
+std::uint64_t SwissLookupImpl(const TableView& view, const ProbeBatch& batch) {
+  const K* keys = batch.keys_as<K>();
+  V* vals = batch.vals_as<V>();
+  std::uint8_t* found = batch.found;
+  const std::uint8_t* meta = view.meta;
+  const std::uint64_t num_slots = view.num_slots();
+  const std::uint64_t slot_mask = num_slots - 1;
+  constexpr unsigned kWindow = Ops::kWidthBytes;
+  std::uint64_t hits = 0;
+
+  for (std::size_t i = 0; i < batch.size; ++i) {
+    const K key = keys[i];
+    const std::uint8_t h2 = view.hash.template H2<K>(key);
+    std::uint64_t off =
+        static_cast<std::uint64_t>(view.hash.template Bucket<K>(0, key)) *
+        kSwissGroupSlots;
+    std::uint8_t hit = 0;
+    V value = V{0};
+
+    for (std::uint64_t scanned = 0; scanned < num_slots; scanned += kWindow) {
+      const auto ctrl = Ops::Load(meta + off);
+      std::uint64_t match = Ops::Match(ctrl, h2);
+      while (match != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(match));
+        match &= match - 1;
+        const std::uint64_t slot = (off + bit) & slot_mask;
+        const std::uint64_t g = slot / kSwissGroupSlots;
+        const unsigned s = static_cast<unsigned>(slot % kSwissGroupSlots);
+        K stored;
+        std::memcpy(&stored, view.key_ptr(g, s), sizeof(K));
+        if (stored == key) {
+          std::memcpy(&value, view.val_ptr(g, s), sizeof(V));
+          hit = 1;
+          break;
+        }
+      }
+      if (hit || Ops::Match(ctrl, kCtrlEmpty) != 0) break;
+      off = (off + kWindow) & slot_mask;
+    }
+
+    vals[i] = value;
+    found[i] = hit;
+    hits += hit;
+  }
+  return hits;
+}
+
+}  // namespace detail
+}  // namespace simdht
+
+#endif  // SIMDHT_SIMD_SWISS_IMPL_H_

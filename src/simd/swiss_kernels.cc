@@ -1,0 +1,87 @@
+// Swiss-family scalar twin and SSE4.2 (16-byte window) control-lane kernels.
+//
+// The scalar twin walks one 16-slot group per step with byte compares — the
+// reference semantics every wider Swiss kernel must reproduce (the
+// kernel-equivalence suite pins them against each other). The SSE kernel
+// replaces the byte loop with one _mm_cmpeq_epi8 + movemask per group.
+// Compiled with -msse4.2 only.
+#include <immintrin.h>
+
+#include "simd/kernel.h"
+#include "simd/swiss_impl.h"
+
+namespace simdht {
+namespace {
+
+// One group per window via scalar byte compares (no vector ops), so the
+// scalar twin shares the probe-loop skeleton without sharing any SIMD.
+struct SwissScalarOps {
+  using Vec = const std::uint8_t*;
+  static constexpr unsigned kWidthBytes = 16;
+  static Vec Load(const std::uint8_t* p) { return p; }
+  static std::uint64_t Match(Vec p, std::uint8_t b) {
+    std::uint64_t mask = 0;
+    for (unsigned i = 0; i < kWidthBytes; ++i) {
+      mask |= std::uint64_t{p[i] == b} << i;
+    }
+    return mask;
+  }
+};
+
+struct SwissSseOps {
+  using Vec = __m128i;
+  static constexpr unsigned kWidthBytes = 16;
+  static Vec Load(const std::uint8_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static std::uint64_t Match(Vec v, std::uint8_t b) {
+    return static_cast<std::uint32_t>(_mm_movemask_epi8(
+        _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(b)))));
+  }
+};
+
+template <typename K, typename V, typename Ops>
+std::uint64_t Lookup(const TableView& view, const ProbeBatch& batch) {
+  return detail::SwissLookupImpl<K, V, Ops>(view, batch);
+}
+
+KernelInfo Make(const char* name, Approach approach, SimdLevel level,
+                unsigned width_bits, unsigned kb, unsigned vb, LookupFn fn) {
+  KernelInfo info;
+  info.name = name;
+  info.family = TableFamily::kSwiss;
+  info.approach = approach;
+  info.level = level;
+  info.width_bits = width_bits;
+  info.key_bits = kb;
+  info.val_bits = vb;
+  info.bucket_layout = BucketLayout::kSplit;
+  info.fn = fn;
+  return info;
+}
+
+}  // namespace
+
+void AppendSwissScalarSseKernels(std::vector<KernelInfo>* out) {
+  out->push_back(Make(
+      "Scalar/Swiss/k32v32", Approach::kScalar, SimdLevel::kScalar, 64, 32,
+      32, &Lookup<std::uint32_t, std::uint32_t, SwissScalarOps>));
+  out->push_back(Make(
+      "Scalar/Swiss/k64v64", Approach::kScalar, SimdLevel::kScalar, 64, 64,
+      64, &Lookup<std::uint64_t, std::uint64_t, SwissScalarOps>));
+  out->push_back(Make(
+      "Scalar/Swiss/k16v32", Approach::kScalar, SimdLevel::kScalar, 64, 16,
+      32, &Lookup<std::uint16_t, std::uint32_t, SwissScalarOps>));
+
+  out->push_back(Make(
+      "Swiss/SSE/k32v32", Approach::kHorizontal, SimdLevel::kSse42, 128, 32,
+      32, &Lookup<std::uint32_t, std::uint32_t, SwissSseOps>));
+  out->push_back(Make(
+      "Swiss/SSE/k64v64", Approach::kHorizontal, SimdLevel::kSse42, 128, 64,
+      64, &Lookup<std::uint64_t, std::uint64_t, SwissSseOps>));
+  out->push_back(Make(
+      "Swiss/SSE/k16v32", Approach::kHorizontal, SimdLevel::kSse42, 128, 16,
+      32, &Lookup<std::uint16_t, std::uint32_t, SwissSseOps>));
+}
+
+}  // namespace simdht

@@ -76,6 +76,40 @@ TEST(CaseRunner, VerticalLayoutAuto) {
   }
 }
 
+TEST(CaseRunner, SwissFamilyAutoRun) {
+  CaseSpec spec = SmallSpec();
+  spec.layout = LayoutSpec::Swiss(32, 32);
+  const CaseResult result = RunCaseAuto(spec);
+  ASSERT_GE(result.kernels.size(), 2u);  // scalar twin + >= SSE
+  for (const MeasuredKernel& k : result.kernels) {
+    EXPECT_NE(k.name.find("Swiss"), std::string::npos) << k.name;
+    EXPECT_NEAR(k.hit_fraction, 0.9, 0.02) << k.name;
+  }
+  EXPECT_NEAR(result.achieved_load_factor, 0.85, 0.01);
+}
+
+TEST(CaseRunner, SwissWyHashRun) {
+  CaseSpec spec = SmallSpec();
+  spec.layout = LayoutSpec::Swiss(32, 32);
+  spec.run.hash_kind = HashKind::kWyHash;
+  const CaseResult result = RunCase(spec, {});
+  ASSERT_EQ(result.kernels.size(), 1u);
+  EXPECT_NEAR(result.kernels[0].hit_fraction, 0.9, 0.02);
+}
+
+TEST(CaseRunner, RejectsWyHashForCuckoo) {
+  CaseSpec spec = SmallSpec();
+  spec.run.hash_kind = HashKind::kWyHash;
+  EXPECT_THROW(RunCase(spec, {}), std::invalid_argument);
+}
+
+TEST(CaseRunner, RejectsShardedSwiss) {
+  CaseSpec spec = SmallSpec();
+  spec.layout = LayoutSpec::Swiss(32, 32);
+  spec.run.shards = 2;
+  EXPECT_THROW(RunCase(spec, {}), std::invalid_argument);
+}
+
 TEST(CaseRunner, RejectsInvalidLayout) {
   CaseSpec spec = SmallSpec();
   spec.layout.ways = 7;

@@ -106,6 +106,33 @@ TEST(MixedRunner, ShardedRun) {
   EXPECT_GT(results[0].writer_mups, 0.0);
 }
 
+TEST(MixedRunner, SwissFamilyRun) {
+  CaseSpec spec;
+  spec.layout = LayoutSpec::Swiss(32, 32);
+  spec.table_bytes = 64 << 10;
+  spec.load_factor = 0.8;
+  spec.run.threads = 2;
+  spec.run.queries_per_thread = 1 << 14;
+  spec.run.repeats = 1;
+
+  const auto results = RunMixedCase(spec, {});
+  ASSERT_EQ(results.size(), 1u);  // Swiss scalar twin
+  const MixedResult& r = results[0];
+  EXPECT_NE(r.kernel.find("Swiss"), std::string::npos);
+  EXPECT_GT(r.read_only_mlps, 0.0);
+  EXPECT_GT(r.with_writer_mlps, 0.0);
+  EXPECT_GT(r.writer_mups, 0.0);
+  EXPECT_LT(r.degradation, 1.0);
+}
+
+TEST(MixedRunner, RejectsShardedSwiss) {
+  CaseSpec spec;
+  spec.layout = LayoutSpec::Swiss(32, 32);
+  spec.table_bytes = 64 << 10;
+  spec.run.shards = 2;
+  EXPECT_THROW(RunMixedCase(spec, {}), std::invalid_argument);
+}
+
 TEST(MixedRunner, RejectsUnsupportedLayouts) {
   CaseSpec spec;
   spec.layout.ways = 2;

@@ -1,0 +1,136 @@
+// wyhash family statistical properties: determinism under fixed seeds and
+// chi-squared uniformity of bucket indices and H2 fingerprints (mirroring
+// the zipf sampler's goodness-of-fit suite in tests/core/test_zipf.cc).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_family.h"
+#include "hash/wyhash.h"
+
+namespace simdht {
+namespace {
+
+TEST(WyHash, DeterministicUnderFixedSeed) {
+  for (std::uint64_t key : {1ULL, 42ULL, 0xDEADBEEFULL, ~0ULL}) {
+    ASSERT_EQ(WyHash64(key, 7), WyHash64(key, 7)) << key;
+  }
+  // Different seeds must produce different streams (seed-driven, not a
+  // constant sequence).
+  int diffs = 0;
+  for (std::uint64_t key = 1; key <= 1000; ++key) {
+    if (WyHash64(key, 7) != WyHash64(key, 8)) ++diffs;
+  }
+  EXPECT_GT(diffs, 990);
+}
+
+TEST(WyHash, FamilyMakeIsDeterministic) {
+  const HashFamily a = HashFamily::Make(10, 123, HashKind::kWyHash);
+  const HashFamily b = HashFamily::Make(10, 123, HashKind::kWyHash);
+  EXPECT_EQ(a.kind, HashKind::kWyHash);
+  for (unsigned w = 0; w < kMaxWays; ++w) {
+    EXPECT_EQ(a.mult[w], b.mult[w]) << w;
+  }
+  for (std::uint32_t key = 1; key <= 2000; ++key) {
+    ASSERT_EQ(a.Bucket<std::uint32_t>(0, key), b.Bucket<std::uint32_t>(0, key));
+    ASSERT_EQ(a.H2<std::uint32_t>(key), b.H2<std::uint32_t>(key));
+  }
+}
+
+TEST(WyHash, AdjacentKeysDoNotCollideSystematically) {
+  // Sequential keys are the worst case for weak mixers; wyhash must spread
+  // them: among 10k adjacent pairs, near-zero identical buckets at 2^10.
+  const HashFamily f = HashFamily::Make(10, 0, HashKind::kWyHash);
+  int same = 0;
+  for (std::uint64_t key = 1; key <= 10000; ++key) {
+    if (f.BucketWy(0, key) == f.BucketWy(0, key + 1)) ++same;
+  }
+  // Uniform expectation ~ 10000 / 1024 ≈ 10; allow generous slack.
+  EXPECT_LT(same, 40);
+}
+
+// Shared chi-squared goodness-of-fit: `cells` equally-likely outcomes,
+// `draws` observations. Same bound discipline as Zipf.ChiSquaredAgainstPmf:
+// every cell decently populated, statistic within 2x of its dof.
+void ExpectUniformChi2(const std::vector<double>& counts, double draws) {
+  const auto cells = static_cast<double>(counts.size());
+  const double expected = draws / cells;
+  ASSERT_GE(expected, 5.0);
+  double chi2 = 0;
+  for (const double c : counts) {
+    const double diff = c - expected;
+    chi2 += diff * diff / expected;
+  }
+  const double dof = cells - 1;
+  EXPECT_LT(chi2, 2.0 * dof);
+  EXPECT_GT(chi2, 0.0);
+}
+
+TEST(WyHash, BucketDistributionChiSquared) {
+  // Sequential keys (the benchmark's workload domain) into 2^7 buckets at
+  // two seed points, per way: the group-selection path of a Swiss table.
+  constexpr int kDraws = 400000;
+  for (const std::uint64_t seed : {0ULL, 9876ULL}) {
+    const HashFamily f = HashFamily::Make(7, seed, HashKind::kWyHash);
+    for (unsigned way = 0; way < 2; ++way) {
+      std::vector<double> counts(1u << 7, 0.0);
+      for (int i = 1; i <= kDraws; ++i) {
+        ++counts[f.Bucket<std::uint32_t>(way, static_cast<std::uint32_t>(i))];
+      }
+      ExpectUniformChi2(counts, kDraws);
+    }
+  }
+}
+
+TEST(WyHash, FingerprintDistributionChiSquared) {
+  // H2 fingerprints over the 128 FULL control values: a biased fingerprint
+  // inflates false SIMD match candidates, so uniformity is load-bearing.
+  constexpr int kDraws = 400000;
+  for (const std::uint64_t seed : {0ULL, 31415ULL}) {
+    const HashFamily f = HashFamily::Make(10, seed, HashKind::kWyHash);
+    std::vector<double> counts(128, 0.0);
+    for (int i = 1; i <= kDraws; ++i) {
+      const std::uint8_t h2 = f.H2<std::uint32_t>(static_cast<std::uint32_t>(i));
+      ASSERT_LT(h2, 0x80) << "fingerprint escaped the 7-bit range";
+      ++counts[h2];
+    }
+    ExpectUniformChi2(counts, kDraws);
+  }
+}
+
+TEST(WyHash, BucketAndFingerprintAreIndependent) {
+  // Group bits come from mult[0], fingerprints from mult[1]: within one
+  // bucket the H2 values must still be uniform (no correlated bits that
+  // would cluster false positives in hot groups). Chi-squared over the H2
+  // distribution of keys restricted to a single bucket.
+  const HashFamily f = HashFamily::Make(4, 0, HashKind::kWyHash);
+  std::vector<double> counts(128, 0.0);
+  double draws = 0;
+  for (std::uint32_t key = 1; draws < 100000 && key < 4000000; ++key) {
+    if (f.Bucket<std::uint32_t>(0, key) != 3) continue;
+    ++counts[f.H2<std::uint32_t>(key)];
+    ++draws;
+  }
+  ExpectUniformChi2(counts, draws);
+}
+
+TEST(WyHash, KindNameAndDispatch) {
+  EXPECT_STREQ(HashKindName(HashKind::kMultiplyShift), "multiply-shift");
+  EXPECT_STREQ(HashKindName(HashKind::kWyHash), "wyhash");
+  // The kind actually changes the function: same multipliers, different
+  // bucket streams.
+  HashFamily ms = HashFamily::Make(10, 555, HashKind::kMultiplyShift);
+  HashFamily wy = ms;
+  wy.kind = HashKind::kWyHash;
+  int diffs = 0;
+  for (std::uint32_t key = 1; key <= 1000; ++key) {
+    if (ms.Bucket<std::uint32_t>(0, key) != wy.Bucket<std::uint32_t>(0, key)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 900);
+}
+
+}  // namespace
+}  // namespace simdht

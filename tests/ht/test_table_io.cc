@@ -93,6 +93,127 @@ TEST(TableIo, FileRoundTrip) {
           .has_value());
 }
 
+// --- Swiss snapshots ---
+
+TEST(TableIo, SwissRoundTripPreservesEverything) {
+  SwissTable32 original(128, /*seed=*/77);
+  auto build = FillToLoadFactor(&original, 0.85, 3);
+  ASSERT_FALSE(build.inserted_keys.empty());
+  // Erase a slice so the snapshot carries TOMBSTONE and EMPTY bytes, not
+  // just FULL ones.
+  for (std::size_t i = 0; i < build.inserted_keys.size(); i += 5) {
+    ASSERT_TRUE(original.Erase(build.inserted_keys[i]));
+  }
+
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSwissTable(original, stream));
+  auto loaded = LoadSwissTable<std::uint32_t, std::uint32_t>(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->num_buckets(), original.num_buckets());
+  EXPECT_EQ(loaded->hash_family().kind, HashKind::kMultiplyShift);
+
+  for (std::size_t i = 0; i < build.inserted_keys.size(); ++i) {
+    const std::uint32_t key = build.inserted_keys[i];
+    std::uint32_t a = 0, b = 0;
+    const bool in_a = original.Find(key, &a);
+    const bool in_b = loaded->Find(key, &b);
+    ASSERT_EQ(in_a, in_b) << key;
+    if (in_a) ASSERT_EQ(a, b) << key;
+    ASSERT_EQ(in_a, i % 5 != 0) << key;
+  }
+  // The control lane (incl. tombstones) must be byte-identical.
+  for (std::uint64_t s = 0; s < original.store().num_slots(); ++s) {
+    ASSERT_EQ(original.CtrlAt(s), loaded->CtrlAt(s)) << "slot " << s;
+  }
+  EXPECT_EQ(std::memcmp(original.raw_data(), loaded->raw_data(),
+                        original.table_bytes()),
+            0);
+}
+
+TEST(TableIo, SwissWyHashKindSurvives) {
+  SwissTable32 original(64, /*seed=*/91, HashKind::kWyHash);
+  for (std::uint32_t k = 1; k <= 300; ++k) {
+    ASSERT_TRUE(original.Insert(k, k ^ 0xABCD));
+  }
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSwissTable(original, stream));
+  auto loaded = LoadSwissTable<std::uint32_t, std::uint32_t>(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->hash_family().kind, HashKind::kWyHash);
+  for (std::uint32_t k = 1; k <= 300; ++k) {
+    std::uint32_t v = 0;
+    ASSERT_TRUE(loaded->Find(k, &v)) << k;
+    EXPECT_EQ(v, k ^ 0xABCD);
+  }
+  // Inserts into the loaded table keep working (mirror was rebuilt, hash
+  // family restored).
+  ASSERT_TRUE(loaded->Insert(100001, 5));
+  std::uint32_t v = 0;
+  ASSERT_TRUE(loaded->Find(100001, &v));
+  EXPECT_EQ(v, 5u);
+}
+
+TEST(TableIo, SwissRejectsWrongWidthsAndCorruption) {
+  SwissTable32 original(16);
+  ASSERT_TRUE(original.Insert(7, 9));
+  std::stringstream stream;
+  ASSERT_TRUE(SaveSwissTable(original, stream));
+  const std::string bytes = stream.str();
+
+  // Wrong K/V widths.
+  {
+    std::stringstream in(bytes);
+    EXPECT_FALSE(
+        (LoadSwissTable<std::uint64_t, std::uint64_t>(in)).has_value());
+  }
+  // Cuckoo loader must reject a Swiss snapshot (different magic).
+  {
+    std::stringstream in(bytes);
+    EXPECT_FALSE(
+        (LoadTable<std::uint32_t, std::uint32_t>(in)).has_value());
+  }
+  // Swiss loader must reject a cuckoo snapshot.
+  {
+    CuckooTable32 cuckoo(2, 4, 64, BucketLayout::kInterleaved);
+    std::stringstream cs;
+    ASSERT_TRUE(SaveTable(cuckoo, cs));
+    std::stringstream in(cs.str());
+    EXPECT_FALSE(
+        (LoadSwissTable<std::uint32_t, std::uint32_t>(in)).has_value());
+  }
+  // Corrupt hash kind.
+  {
+    std::string corrupt = bytes;
+    corrupt[16] = 0x7F;  // hash_kind field (after magic + key/val bits)
+    std::stringstream in(corrupt);
+    EXPECT_FALSE(
+        (LoadSwissTable<std::uint32_t, std::uint32_t>(in)).has_value());
+  }
+  // Truncation inside the control lane.
+  {
+    std::stringstream in(bytes.substr(0, bytes.size() - 8));
+    EXPECT_FALSE(
+        (LoadSwissTable<std::uint32_t, std::uint32_t>(in)).has_value());
+  }
+}
+
+TEST(TableIo, SwissFileRoundTrip) {
+  SwissTable16x32 table(8);
+  ASSERT_TRUE(table.Insert(42, 4242));
+  const std::string path = "/tmp/simdht_test_swiss_snapshot.bin";
+  ASSERT_TRUE(SaveSwissTableToFile(table, path));
+  auto loaded = LoadSwissTableFromFile<std::uint16_t, std::uint32_t>(path);
+  ASSERT_TRUE(loaded.has_value());
+  std::uint32_t val = 0;
+  ASSERT_TRUE(loaded->Find(42, &val));
+  EXPECT_EQ(val, 4242u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(
+      (LoadSwissTableFromFile<std::uint16_t, std::uint32_t>("/no/such/file"))
+          .has_value());
+}
+
 // --- sharded snapshots ---
 // Container layout under test: ShardedHeader{magic[8], u32 shard_count,
 // u32 reserved} then per shard ShardRecord{u32 shard_index, u32 reserved,

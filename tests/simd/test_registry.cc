@@ -86,5 +86,68 @@ TEST(KernelRegistry, WidthFilterIsExact) {
   }
 }
 
+TEST(KernelRegistry, FamilyFilterSeparatesSwissFromCuckoo) {
+  const auto& reg = KernelRegistry::Get();
+  // A Swiss query must return only Swiss-family kernels...
+  const LayoutSpec swiss = LayoutSpec::Swiss(32, 32);
+  const auto swiss_hor =
+      reg.Find(KernelQuery{swiss, Approach::kHorizontal, 0, true});
+  ASSERT_FALSE(swiss_hor.empty());
+  for (const KernelInfo* k : swiss_hor) {
+    EXPECT_EQ(k->family, TableFamily::kSwiss) << k->name;
+  }
+  // ...and a cuckoo query of the same key/value widths only cuckoo ones,
+  // even though the Swiss spec is also bucketized and split.
+  for (const KernelInfo* k : reg.Find(KernelQuery{
+           Spec(2, 4, 32, 32, BucketLayout::kSplit), Approach::kHorizontal,
+           0, true})) {
+    EXPECT_EQ(k->family, TableFamily::kCuckoo) << k->name;
+  }
+}
+
+TEST(KernelRegistry, SwissScalarTwinResolvesPerFamily) {
+  const auto& reg = KernelRegistry::Get();
+  const KernelInfo* swiss_scalar = reg.Scalar(LayoutSpec::Swiss(32, 32));
+  ASSERT_NE(swiss_scalar, nullptr);
+  EXPECT_EQ(swiss_scalar->family, TableFamily::kSwiss);
+  const KernelInfo* cuckoo_scalar = reg.Scalar(Spec(2, 4, 32, 32));
+  ASSERT_NE(cuckoo_scalar, nullptr);
+  EXPECT_EQ(cuckoo_scalar->family, TableFamily::kCuckoo);
+  EXPECT_NE(swiss_scalar, cuckoo_scalar);
+}
+
+TEST(KernelRegistry, SwissKernelsExistPerWidthAndCombo) {
+  const auto& reg = KernelRegistry::Get();
+  for (const auto& [kb, vb] : {std::pair<unsigned, unsigned>{32, 32},
+                               {64, 64},
+                               {16, 32}}) {
+    const LayoutSpec spec = LayoutSpec::Swiss(kb, vb);
+    for (unsigned width : {128u, 256u, 512u}) {
+      EXPECT_FALSE(
+          reg.Find(KernelQuery{spec, Approach::kHorizontal, width, true})
+              .empty())
+          << "k" << kb << "/v" << vb << " width " << width;
+    }
+  }
+}
+
+TEST(KernelRegistry, VerticalNeverMatchesSwiss) {
+  const auto& reg = KernelRegistry::Get();
+  const LayoutSpec swiss = LayoutSpec::Swiss(32, 32);
+  EXPECT_TRUE(
+      reg.Find(KernelQuery{swiss, Approach::kVertical, 0, true}).empty());
+  EXPECT_TRUE(
+      reg.Find(KernelQuery{swiss, Approach::kVerticalBcht, 0, true}).empty());
+}
+
+TEST(KernelRegistry, OpenRegistrationRejectsAfterBuild) {
+  // The registry singleton is built by now; a late provider must be
+  // refused (returns false) instead of being silently dropped or crashing.
+  (void)KernelRegistry::Get();
+  const bool queued = RegisterKernelProvider(
+      +[](std::vector<KernelInfo>*) {});
+  EXPECT_FALSE(queued);
+}
+
 }  // namespace
 }  // namespace simdht

@@ -120,8 +120,114 @@ TEST(SimdHashTable, ForcedKernelMismatchThrows) {
   EXPECT_THROW(Table32 ht2(options), std::invalid_argument);
 }
 
+// --- the Swiss family through the same facade ---
+
+TEST(SimdHashTable, SwissFamilyBasicOperations) {
+  Table32::Options options;
+  options.family = TableFamily::kSwiss;
+  options.capacity = 1 << 12;
+  Table32 ht(options);
+  EXPECT_EQ(ht.family(), TableFamily::kSwiss);
+  EXPECT_EQ(ht.spec().family, TableFamily::kSwiss);
+  EXPECT_TRUE(ht.Insert(1, 10));
+  EXPECT_TRUE(ht.Insert(2, 20));
+  std::uint32_t val = 0;
+  EXPECT_TRUE(ht.Find(1, &val));
+  EXPECT_EQ(val, 10u);
+  EXPECT_TRUE(ht.UpdateValue(1, 11));
+  EXPECT_TRUE(ht.Find(1, &val));
+  EXPECT_EQ(val, 11u);
+  EXPECT_TRUE(ht.Erase(2));
+  EXPECT_FALSE(ht.Find(2, &val));
+  EXPECT_EQ(ht.size(), 1u);
+  // Auto kernel selection lands on a Swiss kernel (SIMD when available).
+  EXPECT_NE(ht.kernel_name().find("Swiss"), std::string::npos);
+  // Family-specific accessors route correctly.
+  EXPECT_EQ(ht.swiss_table().size(), 1u);
+  EXPECT_THROW(ht.table(), std::logic_error);
+}
+
+TEST(SimdHashTable, SwissBatchGetMatchesScalarFind) {
+  for (const HashKind kind : {HashKind::kMultiplyShift, HashKind::kWyHash}) {
+    Table32::Options options;
+    options.family = TableFamily::kSwiss;
+    options.hash_kind = kind;
+    options.capacity = 1 << 14;
+    Table32 ht(options);
+
+    Xoshiro256 rng(5);
+    std::vector<std::uint32_t> keys;
+    for (int i = 0; i < 8000; ++i) {
+      const auto k = static_cast<std::uint32_t>(rng.Next()) | 1;
+      if (ht.Insert(k, k ^ 0xABCD)) keys.push_back(k);
+    }
+    std::vector<std::uint32_t> probes = keys;
+    for (int i = 0; i < 1000; ++i) {
+      probes.push_back(static_cast<std::uint32_t>(rng.Next()) | 1);
+    }
+
+    std::vector<std::uint32_t> vals(probes.size());
+    std::vector<std::uint8_t> found(probes.size());
+    const std::uint64_t hits =
+        ht.BatchGet(probes.data(), probes.size(), vals.data(), found.data());
+
+    std::uint64_t expected_hits = 0;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      std::uint32_t expected = 0;
+      const bool expect_found = ht.Find(probes[i], &expected);
+      expected_hits += expect_found;
+      ASSERT_EQ(static_cast<bool>(found[i]), expect_found) << i;
+      if (expect_found) {
+        ASSERT_EQ(vals[i], expected) << i;
+      }
+    }
+    EXPECT_EQ(hits, expected_hits);
+  }
+}
+
+TEST(SimdHashTable, ForcedCrossFamilyKernelNamesTheFamilies) {
+  // Forcing a cuckoo kernel onto a Swiss table must name both families in
+  // the error, not just say "unavailable".
+  Table32::Options options;
+  options.family = TableFamily::kSwiss;
+  options.capacity = 1 << 10;
+  options.kernel_name = "V-Hor/SSE/k32v32";
+  try {
+    Table32 ht(options);
+    ADD_FAILURE() << "cross-family forced kernel was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cuckoo"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("swiss"), std::string::npos) << msg;
+  }
+  // And the reverse direction.
+  Table32::Options cuckoo;
+  cuckoo.capacity = 1 << 10;
+  cuckoo.kernel_name = "Swiss/SSE/k32v32";
+  EXPECT_THROW(Table32 ht2(cuckoo), std::invalid_argument);
+}
+
 // --- Options validation: every unsupported combination must throw with the
 // violated rule named, never degrade silently. ---
+
+TEST(SimdHashTableValidate, RejectsWyHashForCuckooFamily) {
+  Table32::Options options;
+  options.hash_kind = HashKind::kWyHash;  // family defaults to cuckoo
+  const std::string msg =
+      RejectionMessage<std::uint32_t, std::uint32_t>(options);
+  EXPECT_NE(msg.find("wyhash"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Swiss"), std::string::npos) << msg;
+}
+
+TEST(SimdHashTableValidate, RejectsShardedSwiss) {
+  Table32::Options options;
+  options.family = TableFamily::kSwiss;
+  options.shards = 4;
+  const std::string msg =
+      RejectionMessage<std::uint32_t, std::uint32_t>(options);
+  EXPECT_NE(msg.find("shards"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("Swiss"), std::string::npos) << msg;
+}
 
 TEST(SimdHashTableValidate, RejectsTooManyWays) {
   Table32::Options options;

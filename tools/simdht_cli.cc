@@ -14,6 +14,7 @@
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "common/cpu_features.h"
@@ -93,13 +94,41 @@ int RunPerfCheck(const Flags& flags) {
   return 0;
 }
 
+// `simdht kernels`: list every registered lookup kernel with its table
+// family — the quickest way to see what a forced --kernel name or a
+// family/layout combination can resolve to on this CPU.
+int RunKernelList() {
+  TablePrinter table({"kernel", "family", "approach", "ISA", "width",
+                      "key/val", "layout", "cpu"});
+  const CpuFeatures& cpu = GetCpuFeatures();
+  for (const KernelInfo& k : KernelRegistry::Get().all()) {
+    table.AddRow({k.name, TableFamilyName(k.family), ApproachName(k.approach),
+                  SimdLevelName(k.level),
+                  TablePrinter::Fmt(std::int64_t{k.width_bits}),
+                  std::string("k") + std::to_string(k.key_bits) + "/v" +
+                      std::to_string(k.val_bits),
+                  k.bucket_layout == BucketLayout::kSplit ? "split"
+                                                          : "interleaved",
+                  cpu.Supports(k.level) ? "ok" : "unsupported"});
+  }
+  table.Print();
+  return 0;
+}
+
 void Usage(const char* prog) {
   std::fprintf(
       stderr,
-      "usage: %s [perf-check] [options]\n"
+      "usage: %s [perf-check|kernels] [options]\n"
       "subcommands:\n"
       "  perf-check        probe hardware-counter availability and exit\n"
+      "  kernels           list registered lookup kernels (with their table\n"
+      "                    family: cuckoo or Swiss) and exit\n"
       "table layout:\n"
+      "  --family=F        cuckoo | swiss (default cuckoo): swiss probes a\n"
+      "                    control-byte lane in 16-slot groups; --ways,\n"
+      "                    --slots and --layout are fixed by the family\n"
+      "  --hash=H          multiply-shift | wyhash (default multiply-shift;\n"
+      "                    wyhash is swiss-only)\n"
       "  --ways=N          hash functions, 2-4 (default 2)\n"
       "  --slots=M         slots per bucket, 1/2/4/8 (default 4)\n"
       "  --key-bits=B      16, 32 or 64 (default 32)\n"
@@ -152,6 +181,7 @@ int main(int argc, char** argv) {
 
   if (!flags.positional().empty()) {
     if (flags.positional()[0] == "perf-check") return RunPerfCheck(flags);
+    if (flags.positional()[0] == "kernels") return RunKernelList();
     std::fprintf(stderr, "unknown subcommand '%s'\n",
                  flags.positional()[0].c_str());
     Usage(argv[0]);
@@ -172,6 +202,21 @@ int main(int argc, char** argv) {
   spec.layout.bucket_layout = layout_name == "split"
                                   ? BucketLayout::kSplit
                                   : BucketLayout::kInterleaved;
+  const std::string family_name = flags.GetString("family", "cuckoo");
+  if (family_name == "swiss") {
+    spec.layout =
+        LayoutSpec::Swiss(spec.layout.key_bits, spec.layout.val_bits);
+  } else if (family_name != "cuckoo") {
+    std::fprintf(stderr, "unknown --family '%s'\n", family_name.c_str());
+    return 1;
+  }
+  const std::string hash_name = flags.GetString("hash", "multiply-shift");
+  if (hash_name == "wyhash") {
+    spec.run.hash_kind = HashKind::kWyHash;
+  } else if (hash_name != "multiply-shift" && hash_name != "ms") {
+    std::fprintf(stderr, "unknown --hash '%s'\n", hash_name.c_str());
+    return 1;
+  }
   spec.table_bytes = ParseBytes(flags.GetString("bytes", "1M"));
   spec.load_factor = flags.GetDouble("load-factor", 0.9);
   spec.hit_rate = flags.GetDouble("hit-rate", 0.9);
@@ -339,7 +384,13 @@ int main(int argc, char** argv) {
     std::printf("-- performance engine --\n");
   }
 
-  const CaseResult result = RunCaseAuto(spec, options);
+  CaseResult result;
+  try {
+    result = RunCaseAuto(spec, options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   RunReport report;
   const bool want_report = !json_path.empty() || !timeline_path.empty();

@@ -30,6 +30,10 @@ for preset in "${presets[@]}"; do
     # every supported ISA tier) must match its scalar twin probe-for-probe.
     echo "=== kernel parity gate ==="
     ./build/bench/micro_kernels --check
+    # Real-TCP serving smoke: two serve processes on loopback, open-loop
+    # loadgen, cross-connection batching visible in the RunReport.
+    echo "=== TCP serving smoke ==="
+    scripts/smoke_tcp.sh build
   fi
 done
 echo "=== all checks passed ==="

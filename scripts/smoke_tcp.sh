@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Loopback smoke test for the real-TCP serving subsystem.
+#
+# Starts two `simdht serve` processes on ephemeral ports, drives them with
+# the open-loop `simdht loadgen` at a fixed rate, and asserts:
+#   * the loadgen's RunReport is well-formed (schema v1, a tcp-loadgen row
+#     with latency percentiles, one tcp-server row per server),
+#   * no per-key errors (both servers answered for their shards),
+#   * the epoll server coalesced frames from more than one connection into
+#     a single backend probe batch (batch_connections.max > 1 on at least
+#     one server) — the tentpole behaviour of the subsystem,
+#   * simdht_compare accepts the report (self-compare exits 0).
+#
+#   scripts/smoke_tcp.sh [build-dir]    # default: build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SIMDHT="${BUILD}/tools/simdht"
+COMPARE="${BUILD}/tools/simdht_compare"
+REPORT_DIR="${SMOKE_REPORT_DIR:-reports}"
+mkdir -p "${REPORT_DIR}"
+
+if [ ! -x "${SIMDHT}" ]; then
+  echo "smoke_tcp: ${SIMDHT} not built" >&2
+  exit 1
+fi
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Ephemeral ports: each server prints "listening on HOST:PORT" once bound;
+# scrape the port from its log instead of racing for a fixed number.
+start_server() {
+  local log="$1"
+  "${SIMDHT}" serve --port=0 --backend=memc3 --entries=262144 --mem=128m \
+    >"${log}" 2>&1 &
+  pids+=($!)
+}
+
+scrape_port() {
+  local log="$1"
+  for _ in $(seq 1 100); do
+    if grep -q 'listening on' "${log}" 2>/dev/null; then
+      sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "${log}" | head -n1
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "smoke_tcp: server did not come up (${log}):" >&2
+  cat "${log}" >&2
+  return 1
+}
+
+start_server "${REPORT_DIR}/smoke_serve0.log"
+start_server "${REPORT_DIR}/smoke_serve1.log"
+port0=$(scrape_port "${REPORT_DIR}/smoke_serve0.log")
+port1=$(scrape_port "${REPORT_DIR}/smoke_serve1.log")
+echo "smoke_tcp: servers on ports ${port0} and ${port1}"
+
+# Open loop at a rate several clients share: uniform arrivals from a common
+# epoch make concurrent frames the norm, so cross-connection batching must
+# show up in the occupancy histogram.
+"${SIMDHT}" loadgen \
+  --servers="127.0.0.1:${port0},127.0.0.1:${port1}" \
+  --clients=4 --arrival=uniform --qps=20000 --seconds=1 \
+  --num-keys=20000 --mget=16 --hit-rate=1.0 \
+  --stop-servers --json="${REPORT_DIR}/tcp_smoke.json"
+
+python3 - "${REPORT_DIR}/tcp_smoke.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['schema_version'] == 1, r.get('schema_version')
+rows = {row['kernel']: row for row in r['results'] if row['kernel'] != 'tcp-server'}
+servers = [row for row in r['results'] if row['kernel'] == 'tcp-server']
+lg = rows['tcp-loadgen']
+m = {name: stat['mean'] for name, stat in lg['metrics'].items()}
+assert m['requests'] > 0, m
+assert m['key_errors'] == 0, f"per-key errors: {m['key_errors']}"
+for p in ('mget_p50_us', 'mget_p99_us', 'mget_p999_us'):
+    assert m[p] > 0, (p, m)
+assert m['mget_p50_us'] <= m['mget_p99_us'] <= m['mget_p999_us'], m
+assert len(servers) == 2, f"expected 2 tcp-server rows, got {len(servers)}"
+occ = []
+for row in servers:
+    sm = {name: stat['mean'] for name, stat in row['metrics'].items()}
+    assert sm.get('batches', 0) > 0, row
+    occ.append(sm.get('batch_connections.max', 0))
+assert max(occ) > 1, \
+    f"no cross-connection batching observed (occupancy max {occ})"
+print(f"smoke_tcp: report OK — p99 {m['mget_p99_us']:.1f} us, "
+      f"batch occupancy max {max(occ):.0f}")
+EOF
+
+"${COMPARE}" "${REPORT_DIR}/tcp_smoke.json" "${REPORT_DIR}/tcp_smoke.json"
+echo "smoke_tcp: PASS"

@@ -93,13 +93,15 @@ std::uint64_t Histogram::Quantile(double q) const {
 }
 
 std::string Histogram::Summary() const {
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
-                "n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu max=%llu",
+                "n=%llu mean=%.1f p50=%llu p95=%llu p99=%llu p999=%llu "
+                "max=%llu",
                 static_cast<unsigned long long>(count_), mean(),
                 static_cast<unsigned long long>(Quantile(0.50)),
                 static_cast<unsigned long long>(Quantile(0.95)),
                 static_cast<unsigned long long>(Quantile(0.99)),
+                static_cast<unsigned long long>(Quantile(0.999)),
                 static_cast<unsigned long long>(max_));
   return buf;
 }

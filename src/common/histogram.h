@@ -33,7 +33,14 @@ class Histogram {
   std::uint64_t Quantile(double q) const;
   std::uint64_t Percentile(double p) const { return Quantile(p / 100.0); }
 
-  // One-line summary, e.g. "n=1000 mean=42 p50=40 p95=80 p99=120 max=150".
+  // Deep-tail shorthands for serving-latency reports. With fewer samples
+  // than the tail resolves (e.g. p9999 of 100 samples) these return the
+  // max-sample bucket, never an extrapolation.
+  std::uint64_t P999() const { return Quantile(0.999); }
+  std::uint64_t P9999() const { return Quantile(0.9999); }
+
+  // One-line summary, e.g.
+  // "n=1000 mean=42 p50=40 p95=80 p99=120 p999=140 max=150".
   std::string Summary() const;
 
  private:

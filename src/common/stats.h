@@ -47,6 +47,12 @@ class LatencyRecorder {
   // samples recorded — callers may percentile an idle recorder.
   double Percentile(double p) const;
 
+  // Deep-tail shorthands for open-loop serving runs. Exact (these samples
+  // are stored), but with fewer samples than the tail resolves they pin to
+  // the top sample rather than extrapolating.
+  double P999() const { return Percentile(99.9); }
+  double P9999() const { return Percentile(99.99); }
+
  private:
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;

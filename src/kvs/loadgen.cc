@@ -1,8 +1,10 @@
 #include "kvs/loadgen.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <memory>
 #include <thread>
 
@@ -12,6 +14,57 @@
 #include "kvs/client.h"
 
 namespace simdht {
+
+const char* ArrivalModeName(ArrivalMode mode) {
+  switch (mode) {
+    case ArrivalMode::kClosedLoop: return "closed";
+    case ArrivalMode::kUniform: return "uniform";
+    case ArrivalMode::kPoisson: return "poisson";
+  }
+  return "?";
+}
+
+bool ParseArrivalMode(std::string_view name, ArrivalMode* mode) {
+  if (name == "closed" || name == "closed-loop") {
+    *mode = ArrivalMode::kClosedLoop;
+  } else if (name == "uniform" || name == "open" || name == "open-uniform") {
+    *mode = ArrivalMode::kUniform;
+  } else if (name == "poisson" || name == "open-poisson") {
+    *mode = ArrivalMode::kPoisson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> BuildArrivalSchedule(ArrivalMode mode, double qps,
+                                                std::size_t count,
+                                                std::uint64_t seed) {
+  std::vector<std::uint64_t> offsets;
+  if (mode == ArrivalMode::kClosedLoop || count == 0 || qps <= 0) {
+    return offsets;
+  }
+  offsets.reserve(count);
+  const double gap_ns = 1e9 / qps;
+  if (mode == ArrivalMode::kUniform) {
+    for (std::size_t i = 0; i < count; ++i) {
+      offsets.push_back(
+          static_cast<std::uint64_t>(gap_ns * static_cast<double>(i)));
+    }
+    return offsets;
+  }
+  // Poisson process: i.i.d. exponential inter-arrival gaps, inverse-CDF
+  // sampled so the schedule is a pure function of the seed.
+  Xoshiro256 rng(seed);
+  double t_ns = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    offsets.push_back(static_cast<std::uint64_t>(t_ns));
+    // NextDouble() is in [0, 1); flip to (0, 1] so log() never sees 0.
+    const double u = 1.0 - rng.NextDouble();
+    t_ns += -std::log(u) * gap_ns;
+  }
+  return offsets;
+}
 
 std::string MakeKeyString(std::size_t index, std::size_t key_size) {
   char head[32];
@@ -66,7 +119,17 @@ MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config,
   }
 
   // --- Multi-Get phase. ---
+  const bool open_loop = config.arrival != ArrivalMode::kClosedLoop &&
+                         config.target_qps > 0;
+  result.intended_qps = open_loop ? config.target_qps : 0;
+
+  using SteadyClock = std::chrono::steady_clock;
+  // All clients share one schedule epoch so the aggregate rate is honest.
+  const SteadyClock::time_point epoch =
+      SteadyClock::now() + std::chrono::milliseconds(5);
+
   std::vector<LatencyRecorder> latencies(config.clients);
+  std::vector<double> send_lag_ns(config.clients, 0);
   std::vector<std::uint64_t> client_hits(config.clients, 0);
   std::vector<std::uint64_t> client_keys(config.clients, 0);
   Timer phase_timer;
@@ -80,6 +143,10 @@ MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config,
         std::vector<std::string_view> batch(config.mget_size);
         std::vector<std::string> vals;
         std::vector<std::uint8_t> found;
+        const std::vector<std::uint64_t> schedule = BuildArrivalSchedule(
+            config.arrival, config.target_qps / config.clients,
+            open_loop ? config.requests_per_client : 0,
+            config.seed + 500 + c);
 
         for (std::size_t r = 0; r < config.requests_per_client; ++r) {
           for (unsigned k = 0; k < config.mget_size; ++k) {
@@ -94,9 +161,28 @@ MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config,
             }
             batch[k] = keys[idx];
           }
-          Timer t;
-          client.MultiGet(batch, &vals, &found);
-          latencies[c].Add(t.ElapsedNanos());
+          double latency_ns;
+          if (open_loop) {
+            const SteadyClock::time_point intended =
+                epoch + std::chrono::nanoseconds(schedule[r]);
+            std::this_thread::sleep_until(intended);
+            const SteadyClock::time_point send = SteadyClock::now();
+            const double lag =
+                std::chrono::duration<double, std::nano>(send - intended)
+                    .count();
+            if (lag > send_lag_ns[c]) send_lag_ns[c] = lag;
+            client.MultiGet(batch, &vals, &found);
+            // Coordinated-omission-safe: charged from the intended send
+            // time, so schedule slip counts against the server.
+            latency_ns = std::chrono::duration<double, std::nano>(
+                             SteadyClock::now() - intended)
+                             .count();
+          } else {
+            Timer t;
+            client.MultiGet(batch, &vals, &found);
+            latency_ns = t.ElapsedNanos();
+          }
+          latencies[c].Add(latency_ns);
           client_keys[c] += found.size();
           for (std::uint8_t f : found) client_hits[c] += f;
         }
@@ -114,6 +200,11 @@ MemslapResult RunMemslap(KvBackend* backend, const MemslapConfig& config,
   result.mget_p50_us = all.Percentile(50) / 1e3;
   result.mget_p95_us = all.Percentile(95) / 1e3;
   result.mget_p99_us = all.Percentile(99) / 1e3;
+  result.mget_p999_us = all.P999() / 1e3;
+  result.mget_p9999_us = all.P9999() / 1e3;
+  for (double lag : send_lag_ns) {
+    result.max_send_lag_us = std::max(result.max_send_lag_us, lag / 1e3);
+  }
 
   result.phases = server.stats();
   const double processing_secs =

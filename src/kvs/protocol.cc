@@ -1,5 +1,7 @@
 #include "kvs/protocol.h"
 
+#include <cstdarg>
+#include <cstdio>
 #include <cstring>
 
 namespace simdht {
@@ -19,8 +21,24 @@ void PutU32(Buffer* out, std::uint32_t v) {
   std::memcpy(out->data() + at, &v, 4);
 }
 
+void PutU64(Buffer* out, std::uint64_t v) {
+  const std::size_t at = out->size();
+  out->resize(at + 8);
+  std::memcpy(out->data() + at, &v, 8);
+}
+
 void PutBytes(Buffer* out, std::string_view bytes) {
   out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+void Fail(std::string* err, const char* fmt, ...) {
+  if (err == nullptr) return;
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *err = buf;
 }
 
 // Cursor-style reader with bounds checking.
@@ -31,19 +49,21 @@ class Reader {
   bool U8(std::uint8_t* v) { return Copy(v, 1); }
   bool U16(std::uint16_t* v) { return Copy(v, 2); }
   bool U32(std::uint32_t* v) { return Copy(v, 4); }
+  bool U64(std::uint64_t* v) { return Copy(v, 8); }
 
   bool Bytes(std::size_t n, std::string_view* v) {
-    if (pos_ + n > size_) return false;
+    if (n > size_ - pos_) return false;
     *v = {reinterpret_cast<const char*>(data_) + pos_, n};
     pos_ += n;
     return true;
   }
 
   bool AtEnd() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
 
  private:
   bool Copy(void* v, std::size_t n) {
-    if (pos_ + n > size_) return false;
+    if (n > size_ - pos_) return false;
     std::memcpy(v, data_ + pos_, n);
     pos_ += n;
     return true;
@@ -53,6 +73,32 @@ class Reader {
   std::size_t size_;
   std::size_t pos_ = 0;
 };
+
+// Shared prologue: opcode byte must match, count field must be present.
+bool ReadHeader(Reader* r, Opcode want, std::uint32_t* count,
+                std::string* err) {
+  std::uint8_t op;
+  if (!r->U8(&op)) {
+    Fail(err, "empty frame (no opcode byte)");
+    return false;
+  }
+  if (op != static_cast<std::uint8_t>(want)) {
+    Fail(err, "opcode %u where %u expected", op,
+         static_cast<unsigned>(want));
+    return false;
+  }
+  if (!r->U32(count)) {
+    Fail(err, "frame truncated inside the count field");
+    return false;
+  }
+  return true;
+}
+
+bool CheckTrailing(const Reader& r, std::string* err) {
+  if (r.AtEnd()) return true;
+  Fail(err, "%zu trailing bytes after the last entry", r.remaining());
+  return false;
+}
 
 }  // namespace
 
@@ -84,6 +130,12 @@ void EncodeShutdownRequest(Buffer* out) {
   PutU32(out, 0);
 }
 
+void EncodeStatsRequest(Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kStats));
+  PutU32(out, 0);
+}
+
 void EncodeSetResponse(bool ok, Buffer* out) {
   out->clear();
   PutU8(out, static_cast<std::uint8_t>(Opcode::kSet));
@@ -108,67 +160,118 @@ void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
   }
 }
 
+void EncodeStatsResponse(const StatsPairs& stats, Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kStats));
+  PutU32(out, static_cast<std::uint32_t>(stats.size()));
+  for (const auto& [name, value] : stats) {
+    PutU16(out, static_cast<std::uint16_t>(name.size()));
+    PutBytes(out, name);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    PutU64(out, bits);
+  }
+}
+
 bool PeekOpcode(const Buffer& in, Opcode* op) {
   if (in.empty()) return false;
   *op = static_cast<Opcode>(in[0]);
   return true;
 }
 
-bool DecodeSetRequest(const Buffer& in, SetRequest* out) {
+bool DecodeSetRequest(const Buffer& in, SetRequest* out, std::string* err) {
   Reader r(in);
-  std::uint8_t op;
   std::uint32_t count;
   std::uint16_t klen;
   std::uint32_t vlen;
-  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kSet)) {
+  if (!ReadHeader(&r, Opcode::kSet, &count, err)) return false;
+  if (count != 1) {
+    Fail(err, "set count %u (must be 1)", count);
     return false;
   }
-  if (!r.U32(&count) || count != 1) return false;
-  if (!r.U16(&klen) || !r.U32(&vlen)) return false;
-  if (!r.Bytes(klen, &out->key) || !r.Bytes(vlen, &out->val)) return false;
-  return r.AtEnd();
+  if (!r.U16(&klen) || !r.U32(&vlen)) {
+    Fail(err, "set frame truncated inside the length fields");
+    return false;
+  }
+  if (klen > kMaxKeyBytes) {
+    Fail(err, "set key length %u exceeds %zu", klen, kMaxKeyBytes);
+    return false;
+  }
+  if (vlen > kMaxValueBytes) {
+    Fail(err, "set value length %u exceeds the %zu-byte cap", vlen,
+         kMaxValueBytes);
+    return false;
+  }
+  if (!r.Bytes(klen, &out->key) || !r.Bytes(vlen, &out->val)) {
+    Fail(err, "set payload truncated: %u+%u bytes claimed, %zu remain",
+         klen, vlen, r.remaining());
+    return false;
+  }
+  return CheckTrailing(r, err);
 }
 
-bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out) {
+bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out,
+                           std::string* err) {
   Reader r(in);
-  std::uint8_t op;
   std::uint32_t count;
-  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kMultiGet)) {
+  if (!ReadHeader(&r, Opcode::kMultiGet, &count, err)) return false;
+  // Every entry needs at least its 2-byte length field, so a structurally
+  // valid count is bounded by the bytes actually present. Checking before
+  // reserve() keeps a hostile count from sizing an allocation.
+  if (count > kMaxMultiGetKeys || count * std::size_t{2} > r.remaining()) {
+    Fail(err, "mget count %u needs >= %zu bytes, %zu remain", count,
+         count * std::size_t{2}, r.remaining());
     return false;
   }
-  if (!r.U32(&count)) return false;
   out->keys.clear();
   out->keys.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     std::uint16_t klen;
     std::string_view key;
-    if (!r.U16(&klen) || !r.Bytes(klen, &key)) return false;
+    if (!r.U16(&klen)) {
+      Fail(err, "mget key %u/%u truncated in the length field", i, count);
+      return false;
+    }
+    if (klen > kMaxKeyBytes) {
+      Fail(err, "mget key %u/%u length %u exceeds %zu", i, count, klen,
+           kMaxKeyBytes);
+      return false;
+    }
+    if (!r.Bytes(klen, &key)) {
+      Fail(err, "mget key %u/%u claims %u bytes, %zu remain", i, count,
+           klen, r.remaining());
+      return false;
+    }
     out->keys.push_back(key);
   }
-  return r.AtEnd();
+  return CheckTrailing(r, err);
 }
 
-bool DecodeSetResponse(const Buffer& in, bool* ok) {
+bool DecodeSetResponse(const Buffer& in, bool* ok, std::string* err) {
   Reader r(in);
-  std::uint8_t op;
   std::uint32_t count;
   std::uint8_t v;
-  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kSet)) {
+  if (!ReadHeader(&r, Opcode::kSet, &count, err)) return false;
+  if (!r.U8(&v)) {
+    Fail(err, "set response truncated before the status byte");
     return false;
   }
-  if (!r.U32(&count) || !r.U8(&v)) return false;
   *ok = v != 0;
-  return r.AtEnd();
+  return CheckTrailing(r, err);
 }
 
-bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out) {
+bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out,
+                            std::string* err) {
   Reader r(in);
-  std::uint8_t op;
   std::uint32_t count;
-  if (!r.U8(&op) || op != static_cast<std::uint8_t>(Opcode::kMultiGet)) {
+  if (!ReadHeader(&r, Opcode::kMultiGet, &count, err)) return false;
+  // Each entry carries at least [u8 found][u32 vlen] = 5 bytes.
+  if (count > kMaxMultiGetKeys || count * std::size_t{5} > r.remaining()) {
+    Fail(err, "mget response count %u needs >= %zu bytes, %zu remain",
+         count, count * std::size_t{5}, r.remaining());
     return false;
   }
-  if (!r.U32(&count)) return false;
   out->found.clear();
   out->vals.clear();
   out->found.reserve(count);
@@ -177,11 +280,97 @@ bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out) {
     std::uint8_t found;
     std::uint32_t vlen;
     std::string_view val;
-    if (!r.U8(&found) || !r.U32(&vlen) || !r.Bytes(vlen, &val)) return false;
+    if (!r.U8(&found) || !r.U32(&vlen)) {
+      Fail(err, "mget response entry %u/%u truncated in the header", i,
+           count);
+      return false;
+    }
+    if (vlen > kMaxValueBytes) {
+      Fail(err, "mget response value %u/%u length %u exceeds the %zu-byte "
+                "cap",
+           i, count, vlen, kMaxValueBytes);
+      return false;
+    }
+    if (!r.Bytes(vlen, &val)) {
+      Fail(err, "mget response value %u/%u claims %u bytes, %zu remain", i,
+           count, vlen, r.remaining());
+      return false;
+    }
     out->found.push_back(found);
     out->vals.push_back(val);
   }
-  return r.AtEnd();
+  return CheckTrailing(r, err);
+}
+
+bool DecodeStatsResponse(const Buffer& in, StatsPairs* out,
+                         std::string* err) {
+  Reader r(in);
+  std::uint32_t count;
+  if (!ReadHeader(&r, Opcode::kStats, &count, err)) return false;
+  // Each entry carries at least [u16 namelen][f64] = 10 bytes.
+  if (count * std::size_t{10} > r.remaining()) {
+    Fail(err, "stats count %u needs >= %zu bytes, %zu remain", count,
+         count * std::size_t{10}, r.remaining());
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t namelen;
+    std::string_view name;
+    std::uint64_t bits;
+    if (!r.U16(&namelen) || !r.Bytes(namelen, &name) || !r.U64(&bits)) {
+      Fail(err, "stats entry %u/%u truncated", i, count);
+      return false;
+    }
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    out->emplace_back(std::string(name), value);
+  }
+  return CheckTrailing(r, err);
+}
+
+void AppendFrame(const Buffer& payload, Buffer* out) {
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+void FrameAssembler::Append(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) return;
+  // Compact the consumed prefix before growing; keeps the buffer bounded
+  // by one partial frame plus whatever the last read delivered.
+  if (pos_ > 0 && pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  } else if (pos_ >= 4096 && pos_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+FrameAssembler::Result FrameAssembler::Next(Buffer* frame,
+                                            std::string* err) {
+  if (poisoned_) {
+    Fail(err, "stream poisoned by an earlier invalid length prefix");
+    return Result::kError;
+  }
+  const std::size_t avail = buffer_.size() - pos_;
+  if (avail < 4) return Result::kNeedMore;
+  std::uint32_t len;
+  std::memcpy(&len, buffer_.data() + pos_, 4);
+  if (len > max_frame_bytes_) {
+    poisoned_ = true;
+    Fail(err, "frame length %u exceeds the %zu-byte cap", len,
+         max_frame_bytes_);
+    return Result::kError;
+  }
+  if (avail - 4 < len) return Result::kNeedMore;
+  frame->assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + std::size_t{len};
+  return Result::kFrame;
 }
 
 }  // namespace simdht

@@ -4,19 +4,32 @@
 // (20 B keys, 32 B values, 16-96 keys per Multi-Get):
 //
 //   Request  = [u8 opcode][u32 count] then per entry:
-//     SET:  [u16 klen][u32 vlen][key][value]     (count == 1)
-//     MGET: [u16 klen][key]                       (count == batch size)
+//     SET:   [u16 klen][u32 vlen][key][value]    (count == 1)
+//     MGET:  [u16 klen][key]                     (count == batch size)
+//     STATS: (no entries; count == 0)
 //   Response = [u8 opcode][u32 count] then per entry:
-//     SET:  [u8 ok]
-//     MGET: [u8 found][u32 vlen][value]
+//     SET:   [u8 ok]
+//     MGET:  [u8 found][u32 vlen][value]
+//     STATS: [u16 namelen][name][f64 value]      (named gauge snapshot)
 //
 // Encoders append to a reusable buffer; decoders return string_views into
 // the input (zero-copy, mirroring how an RDMA-registered buffer is parsed).
+//
+// The same frames travel over two transports: the simulated RDMA channel
+// (kvs/transport.h, message-oriented — one Buffer is one frame) and real
+// TCP (src/net/, stream-oriented). TCP prefixes every frame with a u32
+// payload length; FrameAssembler below reassembles frames from arbitrary
+// stream fragments. Decoders treat all input as untrusted: every length
+// field is validated against the bytes actually present before any
+// allocation or read, and failures carry a descriptive error for logs.
 #ifndef SIMDHT_KVS_PROTOCOL_H_
 #define SIMDHT_KVS_PROTOCOL_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace simdht {
@@ -25,9 +38,17 @@ enum class Opcode : std::uint8_t {
   kSet = 1,
   kMultiGet = 2,
   kShutdown = 3,  // closes the server worker serving this channel
+  kStats = 4,     // snapshot of the server's serving metrics
 };
 
 using Buffer = std::vector<std::uint8_t>;
+
+// Hard limits on untrusted length fields. Frames violating them are
+// rejected before any allocation sized by attacker-controlled values.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;   // 16 MiB
+inline constexpr std::size_t kMaxKeyBytes = 4096;          // per key
+inline constexpr std::size_t kMaxValueBytes = 8u << 20;    // per value
+inline constexpr std::size_t kMaxMultiGetKeys = 1u << 20;  // per batch
 
 // --- encoding (client side requests, server side responses) ---
 
@@ -36,11 +57,16 @@ void EncodeSetRequest(std::string_view key, std::string_view val,
 void EncodeMultiGetRequest(const std::vector<std::string_view>& keys,
                            Buffer* out);
 void EncodeShutdownRequest(Buffer* out);
+void EncodeStatsRequest(Buffer* out);
 
 void EncodeSetResponse(bool ok, Buffer* out);
 void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
                             const std::vector<std::uint8_t>& found,
                             Buffer* out);
+
+// Named doubles (e.g. "parse_ns.p999" -> 1234.0); order is preserved.
+using StatsPairs = std::vector<std::pair<std::string, double>>;
+void EncodeStatsResponse(const StatsPairs& stats, Buffer* out);
 
 // --- decoding ---
 
@@ -62,11 +88,52 @@ struct MultiGetResponse {
 // Peeks the opcode (first byte); false on empty input.
 bool PeekOpcode(const Buffer& in, Opcode* op);
 
-// All decoders return false on malformed/truncated input.
-bool DecodeSetRequest(const Buffer& in, SetRequest* out);
-bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out);
-bool DecodeSetResponse(const Buffer& in, bool* ok);
-bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out);
+// All decoders return false on malformed/truncated/oversized input and
+// never read past the buffer. When `err` is non-null a failure explains
+// itself ("mget count 70000 needs >= 140000 bytes, 12 remain", ...).
+bool DecodeSetRequest(const Buffer& in, SetRequest* out,
+                      std::string* err = nullptr);
+bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out,
+                           std::string* err = nullptr);
+bool DecodeSetResponse(const Buffer& in, bool* ok,
+                       std::string* err = nullptr);
+bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out,
+                            std::string* err = nullptr);
+bool DecodeStatsResponse(const Buffer& in, StatsPairs* out,
+                         std::string* err = nullptr);
+
+// --- stream framing (TCP transport) ---
+
+// Appends [u32 payload_len][payload] to `out` (does NOT clear: a server
+// write buffer accumulates many frames between flushes).
+void AppendFrame(const Buffer& payload, Buffer* out);
+
+// Reassembles length-prefixed frames from arbitrary stream fragments.
+// Usage per read: Append(data, n); then Next() until it stops returning
+// kFrame. A kError result (length field over max_frame_bytes) poisons the
+// stream — the connection must be closed, resynchronization is impossible.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  enum class Result { kFrame, kNeedMore, kError };
+
+  void Append(const std::uint8_t* data, std::size_t n);
+
+  // kFrame: *frame holds one complete payload (length prefix stripped).
+  // kNeedMore: no complete frame buffered yet.
+  // kError: poisoned; `err` (optional) describes the bad length field.
+  Result Next(Buffer* frame, std::string* err = nullptr);
+
+  std::size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  Buffer buffer_;
+  std::size_t pos_ = 0;  // consumed prefix of buffer_
+  bool poisoned_ = false;
+};
 
 }  // namespace simdht
 

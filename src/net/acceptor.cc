@@ -1,0 +1,42 @@
+#include "net/acceptor.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace simdht {
+
+bool Acceptor::Listen(const std::string& host, std::uint16_t port,
+                      std::string* err) {
+  const int fd = ListenTcp(host, port, &port_, err);
+  if (fd < 0) return false;
+  fd_.reset(fd);
+  return true;
+}
+
+std::size_t Acceptor::AcceptReady(
+    const std::function<void(int fd)>& on_accept) {
+  std::size_t accepted = 0;
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN ends the batch; transient per-connection failures (e.g.
+      // ECONNABORTED) just skip to the next pending connection.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == ECONNABORTED || errno == EPROTO) continue;
+      break;
+    }
+    std::string err;
+    if (!SetNonBlocking(fd, &err) || !SetNoDelay(fd, &err)) {
+      ::close(fd);
+      continue;
+    }
+    on_accept(fd);
+    ++accepted;
+  }
+  return accepted;
+}
+
+}  // namespace simdht

@@ -1,0 +1,37 @@
+// Listening socket: binds, listens, and accepts in edge-triggered batches.
+#ifndef SIMDHT_NET_ACCEPTOR_H_
+#define SIMDHT_NET_ACCEPTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/socket.h"
+
+namespace simdht {
+
+class Acceptor {
+ public:
+  Acceptor() = default;
+
+  // Binds host:port (port 0 = ephemeral) and listens. port() is valid
+  // afterwards.
+  bool Listen(const std::string& host, std::uint16_t port, std::string* err);
+
+  bool listening() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  std::uint16_t port() const { return port_; }
+
+  // Accepts every pending connection (ET contract: drain until EAGAIN).
+  // Each accepted fd is made nonblocking with TCP_NODELAY and handed to
+  // `on_accept`, which takes ownership. Returns the number accepted.
+  std::size_t AcceptReady(const std::function<void(int fd)>& on_accept);
+
+ private:
+  ScopedFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_ACCEPTOR_H_

@@ -1,0 +1,69 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace simdht {
+
+Connection::Connection(int fd, std::uint64_t id,
+                       std::size_t max_write_buffer)
+    : fd_(fd), id_(id), max_write_buffer_(max_write_buffer) {}
+
+bool Connection::ReadReady(std::string* err) {
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      assembler_.Append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (err) *err = "peer closed";
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    if (err) *err = ErrnoString("recv");
+    return false;
+  }
+}
+
+FrameAssembler::Result Connection::NextFrame(Buffer* frame,
+                                             std::string* err) {
+  return assembler_.Next(frame, err);
+}
+
+void Connection::QueueFrame(const Buffer& payload) {
+  AppendFrame(payload, &write_buf_);
+}
+
+bool Connection::FlushWrites(std::string* err) {
+  while (write_pos_ < write_buf_.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), write_buf_.data() + write_pos_,
+               write_buf_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    if (err) *err = ErrnoString("send");
+    return false;
+  }
+  if (write_pos_ == write_buf_.size()) {
+    write_buf_.clear();
+    write_pos_ = 0;
+  } else if (write_pos_ >= 64 * 1024 && write_pos_ * 2 >= write_buf_.size()) {
+    // Drop the sent prefix once it dominates the buffer.
+    write_buf_.erase(write_buf_.begin(),
+                     write_buf_.begin() +
+                         static_cast<std::ptrdiff_t>(write_pos_));
+    write_pos_ = 0;
+  }
+  return true;
+}
+
+}  // namespace simdht

@@ -1,0 +1,77 @@
+// One accepted TCP connection: edge-triggered buffered reads feeding a
+// FrameAssembler, and a coalescing write buffer with backpressure.
+//
+// Reads: ReadReady() drains the socket until EAGAIN (required under
+// EPOLLET) and feeds every byte to the assembler; the owner then pulls
+// complete frames with NextFrame().
+//
+// Writes: QueueFrame() appends a length-prefixed frame to the write buffer
+// and FlushWrites() pushes as much as the socket accepts. Responses for
+// many requests (across a whole batch flush) coalesce into few writev-sized
+// send() calls. When the buffer exceeds `max_write_buffer` the connection
+// reports backpressure and the server stops reading from it until drained —
+// a slow reader cannot balloon server memory.
+#ifndef SIMDHT_NET_CONNECTION_H_
+#define SIMDHT_NET_CONNECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "kvs/protocol.h"
+#include "net/socket.h"
+
+namespace simdht {
+
+class Connection {
+ public:
+  // Takes ownership of `fd` (already nonblocking). `id` is a server-scoped
+  // monotonic identifier used for logs and batch-occupancy accounting.
+  Connection(int fd, std::uint64_t id,
+             std::size_t max_write_buffer = std::size_t{4} << 20);
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_.get(); }
+  std::uint64_t id() const { return id_; }
+
+  // Drains the socket (ET contract). Returns false on EOF or a fatal read
+  // error; `err` distinguishes ("peer closed" vs an errno message).
+  bool ReadReady(std::string* err);
+
+  // Pulls the next complete frame parsed from the stream. kError poisons
+  // the stream (bad length prefix): the owner must close the connection.
+  FrameAssembler::Result NextFrame(Buffer* frame, std::string* err);
+
+  // Appends [len][payload] to the write buffer (no immediate syscall; the
+  // owner calls FlushWrites once per batch).
+  void QueueFrame(const Buffer& payload);
+
+  // Sends buffered bytes until EAGAIN or empty. False on fatal error.
+  bool FlushWrites(std::string* err);
+
+  bool wants_write() const { return write_pos_ < write_buf_.size(); }
+  std::size_t pending_write_bytes() const {
+    return write_buf_.size() - write_pos_;
+  }
+  bool backpressured() const {
+    return pending_write_bytes() >= max_write_buffer_;
+  }
+
+  std::size_t buffered_read_bytes() const {
+    return assembler_.buffered_bytes();
+  }
+
+ private:
+  ScopedFd fd_;
+  std::uint64_t id_;
+  std::size_t max_write_buffer_;
+  FrameAssembler assembler_;
+  Buffer write_buf_;
+  std::size_t write_pos_ = 0;  // sent prefix of write_buf_
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_CONNECTION_H_

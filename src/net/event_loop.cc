@@ -1,0 +1,97 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+namespace simdht {
+
+EventLoop::EventLoop() {
+  epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_) {
+    init_error_ = ErrnoString("epoll_create1");
+    return;
+  }
+  wake_fd_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd_) {
+    init_error_ = ErrnoString("eventfd");
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) < 0) {
+    init_error_ = ErrnoString("epoll_ctl ADD eventfd");
+    wake_fd_.reset();
+  }
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::Add(int fd, std::uint32_t events, Callback cb,
+                    std::string* err) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    if (err) *err = ErrnoString("epoll_ctl ADD");
+    return false;
+  }
+  callbacks_[fd] = std::make_shared<Callback>(std::move(cb));
+  return true;
+}
+
+bool EventLoop::Modify(int fd, std::uint32_t events, std::string* err) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    if (err) *err = ErrnoString("epoll_ctl MOD");
+    return false;
+  }
+  return true;
+}
+
+void EventLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EventLoop::PollOnce(int timeout_ms) {
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_.get()) {
+      std::uint64_t drain;
+      while (::read(wake_fd_.get(), &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    // Looked up fresh per event: a callback earlier in this cycle may have
+    // removed this fd, in which case the stale event is dropped.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    const std::shared_ptr<Callback> cb = it->second;
+    (*cb)(events[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::Wakeup() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+}  // namespace simdht

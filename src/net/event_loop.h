@@ -1,0 +1,73 @@
+// Single-threaded epoll event loop (edge-triggered).
+//
+// One loop drives one server: the owning thread calls PollOnce() (or a
+// Run-style wrapper) and every registered callback fires on that thread.
+// The only cross-thread entry point is Wakeup(), which kicks an eventfd so
+// a blocked PollOnce returns promptly (used by Stop()).
+//
+// Edge-triggered semantics: callbacks receive the raw epoll event mask and
+// must drain the fd (read/write until EAGAIN) before returning, or the
+// event will not re-fire.
+//
+// fd-reuse hazard: a callback may Remove() any fd — including its own —
+// mid-cycle; the loop looks registrations up per dispatched event, so a
+// stale event for a removed fd is dropped. Callers must NOT close() a
+// removed fd until PollOnce returns: the kernel could recycle the fd number
+// into a new registration within the same cycle and misdeliver the stale
+// event. KvTcpServer defers closes to end-of-cycle for exactly this reason.
+#ifndef SIMDHT_NET_EVENT_LOOP_H_
+#define SIMDHT_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/socket.h"
+
+namespace simdht {
+
+class EventLoop {
+ public:
+  // `events` is the epoll mask the fd was registered with (EPOLLIN /
+  // EPOLLOUT / EPOLLET ...); the callback argument is the ready mask.
+  using Callback = std::function<void(std::uint32_t ready)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False when epoll/eventfd creation failed at construction.
+  bool valid() const { return epoll_fd_.valid() && wake_fd_.valid(); }
+  const std::string& init_error() const { return init_error_; }
+
+  bool Add(int fd, std::uint32_t events, Callback cb, std::string* err);
+  bool Modify(int fd, std::uint32_t events, std::string* err);
+  // Unregisters; safe from inside a callback (pending events are dropped).
+  void Remove(int fd);
+
+  // Waits up to timeout_ms (-1 = block) and dispatches every ready event.
+  // Returns the number of callbacks dispatched (wakeups excluded), or -1 on
+  // epoll_wait failure.
+  int PollOnce(int timeout_ms);
+
+  // Thread-safe: makes a concurrent/future PollOnce return promptly.
+  void Wakeup();
+
+  std::size_t num_fds() const { return callbacks_.size(); }
+
+ private:
+  ScopedFd epoll_fd_;
+  ScopedFd wake_fd_;  // eventfd
+  std::string init_error_;
+  // shared_ptr so a callback object stays alive while it runs even if the
+  // callback removes (or replaces) its own registration.
+  std::map<int, std::shared_ptr<Callback>> callbacks_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_EVENT_LOOP_H_

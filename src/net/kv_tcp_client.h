@@ -1,0 +1,115 @@
+// Blocking TCP client for the KVS wire protocol, plus a cluster-aware
+// client that routes keys to N servers via consistent hashing.
+//
+// KvTcpClient is the single-endpoint mirror of kvs/client.h's KvClient:
+// synchronous request/response over one connection, frames length-prefixed
+// per kvs/protocol.h.
+//
+// KvClusterClient implements the paper's Section VI-A request phase over
+// real sockets: each key of a Multi-Get maps to a specific server through
+// the consistent-hash ring, per-server sub-batches are sent, and results
+// scatter back to the caller's key order. Server failures surface PER KEY
+// (error[i]) rather than failing the whole batch — keys owned by live
+// servers still return.
+#ifndef SIMDHT_NET_KV_TCP_CLIENT_H_
+#define SIMDHT_NET_KV_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kvs/consistent_hash.h"
+#include "kvs/protocol.h"
+#include "net/socket.h"
+
+namespace simdht {
+
+class KvTcpClient {
+ public:
+  KvTcpClient() = default;
+
+  bool Connect(const std::string& host, std::uint16_t port,
+               std::string* err);
+  bool connected() const { return fd_.valid(); }
+  void Close() { fd_.reset(); }
+
+  // Synchronous ops; false on transport/decode failure (the connection is
+  // closed — a desynced stream cannot be reused).
+  bool Set(std::string_view key, std::string_view val,
+           std::string* err = nullptr);
+  bool MultiGet(const std::vector<std::string_view>& keys,
+                std::vector<std::string>* vals,
+                std::vector<std::uint8_t>* found,
+                std::string* err = nullptr);
+  bool Stats(StatsPairs* out, std::string* err = nullptr);
+
+  // Sends SHUTDOWN (stops the whole server process; fire-and-forget).
+  void Shutdown();
+
+ private:
+  bool SendFrame(const Buffer& payload, std::string* err);
+  bool RecvFrame(Buffer* frame, std::string* err);
+  bool Fail(std::string* err, const std::string& message);
+
+  ScopedFd fd_;
+  FrameAssembler assembler_;
+  Buffer request_;
+  Buffer wire_;
+  Buffer frame_;
+};
+
+class KvClusterClient {
+ public:
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  // The ring covers EVERY endpoint (vnodes smooth the key split); an
+  // endpoint that fails to connect stays on the ring and its keys surface
+  // as per-key errors, mirroring how a real cluster degrades.
+  explicit KvClusterClient(std::vector<Endpoint> endpoints,
+                           unsigned vnodes = 64);
+
+  // Connects to every endpoint. True when at least one server is up;
+  // `err` collects the failures either way.
+  bool Connect(std::string* err = nullptr);
+
+  std::size_t num_endpoints() const { return endpoints_.size(); }
+  std::size_t num_up() const;
+  bool server_up(std::size_t i) const { return up_[i] != 0; }
+  const ConsistentHashRing& ring() const { return ring_; }
+
+  // Routed single-key Set. False when the owning server is down/fails.
+  bool Set(std::string_view key, std::string_view val,
+           std::string* err = nullptr);
+
+  // Scatter/gather Multi-Get. All four out-vectors are resized to
+  // keys.size(); error[i] != 0 means the server owning keys[i] was down or
+  // the sub-request failed (found[i] is 0 in that case). Returns true when
+  // at least one sub-request succeeded (or the batch needed none).
+  bool MultiGet(const std::vector<std::string_view>& keys,
+                std::vector<std::string>* vals,
+                std::vector<std::uint8_t>* found,
+                std::vector<std::uint8_t>* error,
+                std::string* err = nullptr);
+
+  // Per-endpoint STATS snapshot; entries for down servers are empty.
+  std::vector<StatsPairs> StatsAll();
+
+  // Sends SHUTDOWN to every live server (stops the processes).
+  void ShutdownAll();
+
+  void CloseAll();
+
+ private:
+  std::vector<Endpoint> endpoints_;
+  std::vector<KvTcpClient> clients_;
+  std::vector<std::uint8_t> up_;
+  ConsistentHashRing ring_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_KV_TCP_CLIENT_H_

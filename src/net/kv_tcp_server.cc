@@ -1,0 +1,376 @@
+#include "net/kv_tcp_server.h"
+
+#include <sys/epoll.h>
+
+#include <set>
+
+#include "common/timer.h"
+
+namespace simdht {
+
+KvTcpServer::KvTcpServer(KvBackend* backend, KvTcpServerOptions options,
+                         MetricsRegistry* metrics)
+    : backend_(backend),
+      options_(std::move(options)),
+      metrics_(metrics),
+      tsc_ghz_(TscGhz()) {
+  if (!metrics_) {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  RegisterMetricIds();
+}
+
+KvTcpServer::~KvTcpServer() {
+  Stop();
+  Join();
+}
+
+void KvTcpServer::RegisterMetricIds() {
+  ids_.batches = metrics_->Counter(net_metrics::kBatches);
+  ids_.keys = metrics_->Counter(net_metrics::kKeys);
+  ids_.hits = metrics_->Counter(net_metrics::kHits);
+  ids_.connections = metrics_->Counter(net_metrics::kConnections);
+  ids_.protocol_errors = metrics_->Counter(net_metrics::kProtocolErrors);
+  ids_.batch_connections =
+      metrics_->Histogram(net_metrics::kBatchConnections);
+  ids_.batch_keys = metrics_->Histogram(net_metrics::kBatchKeys);
+  ids_.parse_ns = metrics_->Histogram(kvs_metrics::kParseNs);
+  ids_.index_probe_ns = metrics_->Histogram(kvs_metrics::kIndexProbeNs);
+  ids_.value_copy_ns = metrics_->Histogram(kvs_metrics::kValueCopyNs);
+  ids_.transport_ns = metrics_->Histogram(kvs_metrics::kTransportNs);
+}
+
+bool KvTcpServer::Listen(std::string* err) {
+  if (!loop_.valid()) {
+    if (err) *err = loop_.init_error();
+    return false;
+  }
+  if (!acceptor_.Listen(options_.host, options_.port, err)) return false;
+  return loop_.Add(
+      acceptor_.fd(), EPOLLIN | EPOLLET,
+      [this](std::uint32_t) { OnAcceptReady(); }, err);
+}
+
+void KvTcpServer::Run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    PollOnce(50);
+  }
+  // Final cycle already flushed; drop every connection.
+  conns_.clear();
+  dead_conns_.clear();
+}
+
+bool KvTcpServer::StartBackground(std::string* err) {
+  if (!acceptor_.listening() && !Listen(err)) return false;
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void KvTcpServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  loop_.Wakeup();
+}
+
+void KvTcpServer::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+int KvTcpServer::PollOnce(int timeout_ms) {
+  const int dispatched = loop_.PollOnce(timeout_ms);
+  FlushBatch();
+  FlushIdleWrites();
+  dead_conns_.clear();  // actual close(); fds are recyclable from here on
+  return dispatched;
+}
+
+void KvTcpServer::OnAcceptReady() {
+  acceptor_.AcceptReady([this](int fd) {
+    auto conn = std::make_unique<Conn>();
+    conn->connection = std::make_unique<Connection>(
+        fd, next_conn_id_++, options_.max_write_buffer);
+    conn->epoll_mask = EPOLLIN | EPOLLET;
+    std::string err;
+    if (!loop_.Add(fd, conn->epoll_mask,
+                   [this, fd](std::uint32_t ready) { OnConnEvent(fd, ready); },
+                   &err)) {
+      return;  // Conn destructor closes the fd
+    }
+    metrics_->Local()->Add(ids_.connections, 1);
+    conns_[fd] = std::move(conn);
+  });
+}
+
+void KvTcpServer::OnConnEvent(int fd, std::uint32_t ready) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn* conn = it->second.get();
+  if (conn->dead) return;
+
+  if (ready & (EPOLLHUP | EPOLLERR)) {
+    CloseConn(fd);
+    return;
+  }
+  if (ready & EPOLLOUT) {
+    std::string err;
+    if (!conn->connection->FlushWrites(&err)) {
+      CloseConn(fd);
+      return;
+    }
+  }
+  if (ready & EPOLLIN) {
+    std::string err;
+    const bool alive = conn->connection->ReadReady(&err);
+    // Frames fully received before EOF are still served.
+    DrainFrames(conn);
+    if (!alive && !conn->dead) {
+      CloseConn(fd);
+      return;
+    }
+  }
+  if (!conn->dead) UpdateInterest(conn);
+}
+
+void KvTcpServer::DrainFrames(Conn* conn) {
+  Buffer frame;
+  std::string err;
+  for (;;) {
+    switch (conn->connection->NextFrame(&frame, &err)) {
+      case FrameAssembler::Result::kNeedMore:
+        return;
+      case FrameAssembler::Result::kError:
+        metrics_->Local()->Add(ids_.protocol_errors, 1);
+        CloseConn(conn->connection->fd());
+        return;
+      case FrameAssembler::Result::kFrame:
+        HandleFrame(conn, frame);
+        if (conn->dead || stop_.load(std::memory_order_relaxed)) return;
+        if (batch_keys_.size() >= options_.max_batch_keys) FlushBatch();
+        break;
+    }
+  }
+}
+
+void KvTcpServer::HandleFrame(Conn* conn, const Buffer& frame) {
+  ThreadMetrics* m = metrics_->Local();
+  Opcode op;
+  std::string err;
+  if (!PeekOpcode(frame, &op)) {
+    m->Add(ids_.protocol_errors, 1);
+    CloseConn(conn->connection->fd());
+    return;
+  }
+  switch (op) {
+    case Opcode::kSet: {
+      SetRequest req;
+      if (!DecodeSetRequest(frame, &req, &err)) break;
+      EncodeSetResponse(backend_->Set(req.key, req.val), &response_);
+      conn->connection->QueueFrame(response_);
+      return;
+    }
+    case Opcode::kMultiGet: {
+      const std::uint64_t t0 = ReadTsc();
+      MultiGetRequest req;
+      if (!DecodeMultiGetRequest(frame, &req, &err)) break;
+      PendingMget p;
+      p.fd = conn->connection->fd();
+      p.conn_id = conn->connection->id();
+      p.first_key = batch_keys_.size();
+      p.num_keys = req.keys.size();
+      // Copy keys out: the stream buffer the views point into is recycled
+      // before the batch flush.
+      for (const std::string_view key : req.keys) {
+        batch_keys_.emplace_back(key);
+      }
+      pending_.push_back(p);
+      const std::uint64_t t1 = ReadTsc();
+      m->Record(ids_.parse_ns, static_cast<std::uint64_t>(
+                                   static_cast<double>(t1 - t0) / tsc_ghz_));
+      return;
+    }
+    case Opcode::kStats: {
+      EncodeStatsResponse(StatsSnapshot(), &response_);
+      conn->connection->QueueFrame(response_);
+      return;
+    }
+    case Opcode::kShutdown:
+      stop_.store(true, std::memory_order_relaxed);
+      return;
+  }
+  // Malformed frame or unknown opcode: the stream cannot be trusted.
+  m->Add(ids_.protocol_errors, 1);
+  CloseConn(conn->connection->fd());
+}
+
+void KvTcpServer::FlushBatch() {
+  if (pending_.empty()) return;
+  ThreadMetrics* m = metrics_->Local();
+
+  scratch_views_.clear();
+  scratch_views_.reserve(batch_keys_.size());
+  for (const std::string& key : batch_keys_) scratch_views_.push_back(key);
+
+  // Phase 2: one index probe over the combined batch — keys from every
+  // connection that spoke this cycle go down the SIMD pipeline together.
+  const std::uint64_t t0 = ReadTsc();
+  backend_->MultiGet(scratch_views_, &scratch_vals_, &scratch_found_,
+                     &scratch_handles_);
+  const std::uint64_t t1 = ReadTsc();
+
+  // Phase 3: freshness updates + per-connection response build.
+  backend_->TouchBatch(scratch_handles_);
+  std::uint64_t hits = 0;
+  for (const std::uint8_t f : scratch_found_) hits += f;
+
+  std::set<std::uint64_t> batch_conns;
+  std::vector<std::string_view> entry_vals;
+  std::vector<std::uint8_t> entry_found;
+  for (const PendingMget& p : pending_) {
+    batch_conns.insert(p.conn_id);
+    const auto it = conns_.find(p.fd);
+    if (it == conns_.end() || it->second->dead ||
+        it->second->connection->id() != p.conn_id) {
+      continue;  // connection died between parse and flush
+    }
+    const auto vals_begin =
+        scratch_vals_.begin() + static_cast<std::ptrdiff_t>(p.first_key);
+    const auto found_begin =
+        scratch_found_.begin() + static_cast<std::ptrdiff_t>(p.first_key);
+    entry_vals.assign(vals_begin,
+                      vals_begin + static_cast<std::ptrdiff_t>(p.num_keys));
+    entry_found.assign(found_begin,
+                       found_begin + static_cast<std::ptrdiff_t>(p.num_keys));
+    EncodeMultiGetResponse(entry_vals, entry_found, &response_);
+    it->second->connection->QueueFrame(response_);
+  }
+  const std::uint64_t t2 = ReadTsc();
+
+  // Transport: one coalesced send per connection in the batch.
+  std::set<int> flushed;
+  for (const PendingMget& p : pending_) {
+    if (!flushed.insert(p.fd).second) continue;
+    const auto it = conns_.find(p.fd);
+    if (it == conns_.end() || it->second->dead) continue;
+    std::string err;
+    if (!it->second->connection->FlushWrites(&err)) {
+      CloseConn(p.fd);
+      continue;
+    }
+    UpdateInterest(it->second.get());
+  }
+  const std::uint64_t t3 = ReadTsc();
+
+  const auto to_ns = [this](std::uint64_t cycles) {
+    return static_cast<std::uint64_t>(static_cast<double>(cycles) /
+                                      tsc_ghz_);
+  };
+  m->Record(ids_.index_probe_ns, to_ns(t1 - t0));
+  m->Record(ids_.value_copy_ns, to_ns(t2 - t1));
+  m->Record(ids_.transport_ns, to_ns(t3 - t2));
+  m->Add(ids_.batches, 1);
+  m->Add(ids_.keys, batch_keys_.size());
+  m->Add(ids_.hits, hits);
+  m->Record(ids_.batch_connections, batch_conns.size());
+  m->Record(ids_.batch_keys, batch_keys_.size());
+
+  pending_.clear();
+  batch_keys_.clear();
+}
+
+void KvTcpServer::FlushIdleWrites() {
+  // SET/STATS responses (and any leftovers) queued outside a batch flush.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) {
+    (void)conn;
+    fds.push_back(fd);
+  }
+  for (const int fd : fds) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end() || it->second->dead) continue;
+    if (it->second->connection->wants_write()) {
+      std::string err;
+      if (!it->second->connection->FlushWrites(&err)) {
+        CloseConn(fd);
+        continue;
+      }
+    }
+    UpdateInterest(it->second.get());
+  }
+}
+
+void KvTcpServer::UpdateInterest(Conn* conn) {
+  std::uint32_t want = EPOLLET;
+  // Backpressure: a connection whose write buffer is over the cap stops
+  // being read until the peer drains it.
+  if (!conn->connection->backpressured()) want |= EPOLLIN;
+  if (conn->connection->wants_write()) want |= EPOLLOUT;
+  if (want == conn->epoll_mask) return;
+  std::string err;
+  if (loop_.Modify(conn->connection->fd(), want, &err)) {
+    conn->epoll_mask = want;
+  }
+}
+
+void KvTcpServer::CloseConn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  it->second->dead = true;
+  loop_.Remove(fd);
+  // The fd stays open until end-of-cycle: a stale event in this dispatch
+  // batch must not hit a recycled fd number.
+  dead_conns_.push_back(std::move(it->second));
+  conns_.erase(it);
+}
+
+StatsPairs KvTcpServer::StatsSnapshot() const {
+  const MetricsSnapshot snap = metrics_->Aggregate();
+  StatsPairs out;
+  const auto counter = [&](const char* short_name, const char* metric) {
+    out.emplace_back(short_name,
+                     static_cast<double>(snap.counter(metric)));
+  };
+  counter("batches", net_metrics::kBatches);
+  counter("keys", net_metrics::kKeys);
+  counter("hits", net_metrics::kHits);
+  counter("connections", net_metrics::kConnections);
+  counter("protocol_errors", net_metrics::kProtocolErrors);
+
+  const struct {
+    const char* metric;
+    const char* label;
+  } phases[] = {{kvs_metrics::kParseNs, "parse_ns"},
+                {kvs_metrics::kIndexProbeNs, "index_probe_ns"},
+                {kvs_metrics::kValueCopyNs, "value_copy_ns"},
+                {kvs_metrics::kTransportNs, "transport_ns"}};
+  for (const auto& phase : phases) {
+    const auto it = snap.histograms.find(phase.metric);
+    const class Histogram empty;
+    const class Histogram& h =
+        it != snap.histograms.end() ? it->second : empty;
+    const std::string label(phase.label);
+    out.emplace_back(label + ".mean", h.mean());
+    out.emplace_back(label + ".p50",
+                     static_cast<double>(h.Percentile(50)));
+    out.emplace_back(label + ".p99",
+                     static_cast<double>(h.Percentile(99)));
+    out.emplace_back(label + ".p999", static_cast<double>(h.P999()));
+  }
+  const struct {
+    const char* metric;
+    const char* label;
+  } occupancy[] = {{net_metrics::kBatchConnections, "batch_connections"},
+                   {net_metrics::kBatchKeys, "batch_keys"}};
+  for (const auto& series : occupancy) {
+    const auto it = snap.histograms.find(series.metric);
+    const class Histogram empty;
+    const class Histogram& h =
+        it != snap.histograms.end() ? it->second : empty;
+    const std::string label(series.label);
+    out.emplace_back(label + ".mean", h.mean());
+    out.emplace_back(label + ".max", static_cast<double>(h.max()));
+  }
+  return out;
+}
+
+}  // namespace simdht

@@ -1,0 +1,173 @@
+// TCP Multi-Get server: epoll event loop + cross-connection batching.
+//
+// The simulated KvServer (kvs/server.h) dedicates one worker thread per
+// channel, so a Multi-Get batch is always one client's batch. This server
+// inverts that: a single event-loop thread serves every connection, and all
+// Multi-Get frames that arrive within one epoll dispatch cycle — from any
+// number of connections — are accumulated and flushed as ONE backend
+// MultiGet call. The SIMD/AMAC probe pipeline therefore sees the combined
+// batch: ten clients sending 16-key Multi-Gets concurrently produce
+// 160-key probe batches, exactly the regime where the paper's out-of-order
+// software pipelining pays off. The `kvs.net.batch_connections` histogram
+// records how many distinct connections each flushed batch served, making
+// the cross-connection coalescing observable (and testable).
+//
+// Request handling per frame:
+//   SET       executed inline (preload path), response queued
+//   MGET      parsed (keys copied out of the stream buffer) and appended to
+//             the pending batch; responses are built at flush
+//   STATS     responds with a named-double snapshot of the serving metrics
+//             (per-phase percentiles + batch occupancy), so a remote load
+//             generator can embed server-side numbers in its report
+//   SHUTDOWN  stops the server (admin op used by benchmark scripts)
+//
+// The pending batch is flushed when it reaches max_batch_keys or at the end
+// of the dispatch cycle, whichever comes first — batching never delays a
+// request past the epoll cycle that received it (no artificial latency,
+// unlike Nagle-style timers).
+//
+// Threading: Listen()/Run()/PollOnce() belong to one thread; Stop() and
+// StatsSnapshot() are safe from any thread.
+#ifndef SIMDHT_NET_KV_TCP_SERVER_H_
+#define SIMDHT_NET_KV_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kvs/backend.h"
+#include "kvs/protocol.h"
+#include "kvs/server.h"
+#include "net/acceptor.h"
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "perf/metrics.h"
+
+namespace simdht {
+
+// Metric names exported by KvTcpServer (in addition to the kvs_metrics::
+// per-phase histograms it shares with the simulated server).
+namespace net_metrics {
+inline constexpr char kBatches[] = "kvs.net.batches";
+inline constexpr char kKeys[] = "kvs.net.keys";
+inline constexpr char kHits[] = "kvs.net.hits";
+inline constexpr char kConnections[] = "kvs.net.connections";
+inline constexpr char kProtocolErrors[] = "kvs.net.protocol_errors";
+// Distinct connections / total keys per flushed Multi-Get batch.
+inline constexpr char kBatchConnections[] = "kvs.net.batch_connections";
+inline constexpr char kBatchKeys[] = "kvs.net.batch_keys";
+}  // namespace net_metrics
+
+struct KvTcpServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+  // Flush the pending batch mid-cycle once it holds this many keys.
+  std::size_t max_batch_keys = 8192;
+  // Per-connection write-buffer cap; beyond it reads pause (backpressure).
+  std::size_t max_write_buffer = std::size_t{4} << 20;
+};
+
+class KvTcpServer {
+ public:
+  // `metrics` is optional; when null the server owns a private registry.
+  // Either way StatsSnapshot() reads it and kStats serves it remotely.
+  KvTcpServer(KvBackend* backend, KvTcpServerOptions options = {},
+              MetricsRegistry* metrics = nullptr);
+  ~KvTcpServer();
+
+  KvTcpServer(const KvTcpServer&) = delete;
+  KvTcpServer& operator=(const KvTcpServer&) = delete;
+
+  // Binds and listens; port() is valid afterwards.
+  bool Listen(std::string* err);
+  std::uint16_t port() const { return acceptor_.port(); }
+
+  // Event loop until Stop() (or a SHUTDOWN frame). Call from one thread.
+  void Run();
+
+  // Listen() (if not yet listening) + Run() on an internal thread.
+  bool StartBackground(std::string* err);
+
+  // Thread-safe; Run returns after the current cycle. Join() afterwards
+  // when StartBackground was used.
+  void Stop();
+  void Join();
+
+  // One dispatch cycle: epoll wait, handle every ready event, flush the
+  // pending cross-connection batch, send responses, reap closed
+  // connections. Returns events dispatched (-1 on poll error). Exposed so
+  // tests can drive the server deterministically without a thread.
+  int PollOnce(int timeout_ms);
+
+  // Named-double snapshot (what a STATS request returns): per-phase
+  // latency percentiles in ns, batch occupancy, counters. Thread-safe.
+  StatsPairs StatsSnapshot() const;
+
+  MetricsSnapshot Metrics() const { return metrics_->Aggregate(); }
+
+  std::size_t num_connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    std::unique_ptr<Connection> connection;
+    std::uint32_t epoll_mask = 0;
+    bool dead = false;
+  };
+  // One MGET frame awaiting the batch flush. Keys live in batch_keys_
+  // (owned copies; the stream buffer is recycled before the flush).
+  struct PendingMget {
+    int fd;
+    std::uint64_t conn_id;
+    std::size_t first_key;  // range [first_key, first_key + num_keys)
+    std::size_t num_keys;
+  };
+
+  void RegisterMetricIds();
+  void OnAcceptReady();
+  void OnConnEvent(int fd, std::uint32_t ready);
+  void DrainFrames(Conn* conn);
+  void HandleFrame(Conn* conn, const Buffer& frame);
+  void FlushBatch();
+  void FlushIdleWrites();
+  void UpdateInterest(Conn* conn);
+  void CloseConn(int fd);
+
+  KvBackend* backend_;
+  KvTcpServerOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  struct {
+    MetricId batches, keys, hits, connections, protocol_errors;
+    MetricId batch_connections, batch_keys;
+    MetricId parse_ns, index_probe_ns, value_copy_ns, transport_ns;
+  } ids_{};
+  double tsc_ghz_;
+
+  EventLoop loop_;
+  Acceptor acceptor_;
+  std::map<int, std::unique_ptr<Conn>> conns_;
+  std::vector<std::unique_ptr<Conn>> dead_conns_;  // closed end-of-cycle
+  std::uint64_t next_conn_id_ = 1;
+
+  // Pending cross-connection batch (reset at every flush).
+  std::vector<PendingMget> pending_;
+  std::vector<std::string> batch_keys_;
+
+  // Flush scratch (reused across batches).
+  std::vector<std::string_view> scratch_views_;
+  std::vector<std::string_view> scratch_vals_;
+  std::vector<std::uint8_t> scratch_found_;
+  std::vector<std::uint64_t> scratch_handles_;
+  Buffer response_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_KV_TCP_SERVER_H_

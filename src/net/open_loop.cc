@@ -1,0 +1,182 @@
+#include "net/open_loop.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/zipf.h"
+
+namespace simdht {
+
+bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
+                   std::string* err) {
+  *result = TcpLoadgenResult();
+  if (config.servers.empty()) {
+    if (err) *err = "no servers given";
+    return false;
+  }
+  if (config.clients == 0) {
+    if (err) *err = "need at least one client";
+    return false;
+  }
+
+  // Key universe: [0, num_keys) preloaded; a disjoint tail provides misses.
+  const std::size_t miss_pool =
+      std::max<std::size_t>(1024, config.num_keys / 8);
+  std::vector<std::string> keys;
+  keys.reserve(config.num_keys + miss_pool);
+  for (std::size_t i = 0; i < config.num_keys + miss_pool; ++i) {
+    keys.push_back(MakeKeyString(i, config.key_size));
+  }
+  const std::string value(config.val_size, 'v');
+
+  // --- Preload phase (striped across driver threads, closed loop). ---
+  if (config.preload) {
+    std::vector<std::thread> loaders;
+    std::atomic<std::size_t> loaded{0};
+    std::atomic<unsigned> connected{0};
+    for (unsigned c = 0; c < config.clients; ++c) {
+      loaders.emplace_back([&, c] {
+        KvClusterClient cluster(config.servers, config.vnodes);
+        if (!cluster.Connect(nullptr)) return;
+        connected.fetch_add(1);
+        std::size_t ok = 0;
+        for (std::size_t i = c; i < config.num_keys; i += config.clients) {
+          ok += cluster.Set(keys[i], value, nullptr);
+        }
+        loaded.fetch_add(ok);
+        cluster.CloseAll();
+      });
+    }
+    for (auto& t : loaders) t.join();
+    result->preloaded = loaded.load();
+    if (connected.load() == 0) {
+      if (err) *err = "no driver thread could reach any server";
+      return false;
+    }
+  }
+
+  // --- Multi-Get phase. ---
+  const bool open_loop = config.arrival != ArrivalMode::kClosedLoop &&
+                         config.target_qps > 0;
+  result->intended_qps = open_loop ? config.target_qps : 0;
+
+  using SteadyClock = std::chrono::steady_clock;
+  const SteadyClock::time_point epoch =
+      SteadyClock::now() + std::chrono::milliseconds(5);
+
+  std::vector<LatencyRecorder> latencies(config.clients);
+  std::vector<double> send_lag_ns(config.clients, 0);
+  std::vector<std::uint64_t> client_reqs(config.clients, 0);
+  std::vector<std::uint64_t> client_keys(config.clients, 0);
+  std::vector<std::uint64_t> client_hits(config.clients, 0);
+  std::vector<std::uint64_t> client_errors(config.clients, 0);
+  std::atomic<unsigned> drivers_up{0};
+  Timer phase_timer;
+  {
+    std::vector<std::thread> drivers;
+    for (unsigned c = 0; c < config.clients; ++c) {
+      drivers.emplace_back([&, c] {
+        KvClusterClient cluster(config.servers, config.vnodes);
+        if (!cluster.Connect(nullptr)) return;
+        drivers_up.fetch_add(1);
+        Xoshiro256 rng(config.seed + 100 + c);
+        const ZipfGenerator zipf(config.num_keys, config.zipf_s);
+        std::vector<std::string_view> batch(config.mget_size);
+        std::vector<std::string> vals;
+        std::vector<std::uint8_t> found;
+        std::vector<std::uint8_t> errors;
+        const std::vector<std::uint64_t> schedule = BuildArrivalSchedule(
+            config.arrival, config.target_qps / config.clients,
+            open_loop ? config.requests_per_client : 0,
+            config.seed + 500 + c);
+
+        for (std::size_t r = 0; r < config.requests_per_client; ++r) {
+          for (unsigned k = 0; k < config.mget_size; ++k) {
+            const bool hit = rng.NextDouble() < config.hit_rate;
+            std::size_t idx;
+            if (hit) {
+              idx = config.zipf ? zipf.Next(&rng)
+                                : rng.NextBounded(config.num_keys);
+            } else {
+              idx = config.num_keys +
+                    rng.NextBounded(keys.size() - config.num_keys);
+            }
+            batch[k] = keys[idx];
+          }
+          double latency_ns;
+          bool ok;
+          if (open_loop) {
+            const SteadyClock::time_point intended =
+                epoch + std::chrono::nanoseconds(schedule[r]);
+            std::this_thread::sleep_until(intended);
+            const SteadyClock::time_point send = SteadyClock::now();
+            const double lag =
+                std::chrono::duration<double, std::nano>(send - intended)
+                    .count();
+            if (lag > send_lag_ns[c]) send_lag_ns[c] = lag;
+            ok = cluster.MultiGet(batch, &vals, &found, &errors);
+            latency_ns = std::chrono::duration<double, std::nano>(
+                             SteadyClock::now() - intended)
+                             .count();
+          } else {
+            Timer t;
+            ok = cluster.MultiGet(batch, &vals, &found, &errors);
+            latency_ns = t.ElapsedNanos();
+          }
+          if (!ok && cluster.num_up() == 0) break;  // whole cluster gone
+          latencies[c].Add(latency_ns);
+          ++client_reqs[c];
+          client_keys[c] += found.size();
+          for (const std::uint8_t f : found) client_hits[c] += f;
+          for (const std::uint8_t e : errors) client_errors[c] += e;
+        }
+        cluster.CloseAll();
+      });
+    }
+    for (auto& t : drivers) t.join();
+  }
+  result->duration_s = phase_timer.ElapsedSeconds();
+  if (drivers_up.load() == 0) {
+    if (err) *err = "no driver thread could reach any server";
+    return false;
+  }
+
+  LatencyRecorder all;
+  for (auto& rec : latencies) all.Merge(rec);
+  result->mget_mean_us = all.mean() / 1e3;
+  result->mget_p50_us = all.Percentile(50) / 1e3;
+  result->mget_p95_us = all.Percentile(95) / 1e3;
+  result->mget_p99_us = all.Percentile(99) / 1e3;
+  result->mget_p999_us = all.P999() / 1e3;
+  result->mget_p9999_us = all.P9999() / 1e3;
+  for (const double lag : send_lag_ns) {
+    result->max_send_lag_us = std::max(result->max_send_lag_us, lag / 1e3);
+  }
+  for (unsigned c = 0; c < config.clients; ++c) {
+    result->requests += client_reqs[c];
+    result->keys += client_keys[c];
+    result->hits += client_hits[c];
+    result->key_errors += client_errors[c];
+  }
+  result->achieved_qps =
+      result->duration_s > 0
+          ? static_cast<double>(result->requests) / result->duration_s
+          : 0;
+
+  // Server-side view, over the same wire.
+  KvClusterClient stats_client(config.servers, config.vnodes);
+  if (stats_client.Connect(nullptr)) {
+    result->server_stats = stats_client.StatsAll();
+    stats_client.CloseAll();
+  } else {
+    result->server_stats.assign(config.servers.size(), StatsPairs());
+  }
+  return true;
+}
+
+}  // namespace simdht

@@ -1,0 +1,74 @@
+// Open-loop TCP load generator for the serving subsystem.
+//
+// Drives a cluster of KvTcpServer processes with Multi-Get traffic at a
+// fixed intended rate (uniform or Poisson arrivals from
+// kvs/loadgen.h::BuildArrivalSchedule), measuring latency from each
+// request's INTENDED send time so a stalled server is charged its full
+// delay (no coordinated omission). Closed-loop mode is available for
+// capacity probing. After the run it pulls each server's STATS snapshot so
+// one report carries both sides: client-observed end-to-end percentiles
+// and server-side per-phase/batch-occupancy numbers.
+#ifndef SIMDHT_NET_OPEN_LOOP_H_
+#define SIMDHT_NET_OPEN_LOOP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kvs/loadgen.h"
+#include "kvs/protocol.h"
+#include "net/kv_tcp_client.h"
+
+namespace simdht {
+
+struct TcpLoadgenConfig {
+  std::vector<KvClusterClient::Endpoint> servers;
+  unsigned clients = 2;  // driver threads, each with its own connections
+  std::size_t num_keys = 100000;
+  std::size_t key_size = 20;
+  std::size_t val_size = 32;
+  unsigned mget_size = 16;
+  std::size_t requests_per_client = 2000;
+  double hit_rate = 0.95;  // misses drawn from a disjoint key pool
+  bool zipf = true;
+  double zipf_s = 0.99;
+  ArrivalMode arrival = ArrivalMode::kUniform;
+  double target_qps = 10000;  // aggregate intended Multi-Get rate
+  std::uint64_t seed = 1;
+  bool preload = true;  // SET the key population before the Multi-Get phase
+  unsigned vnodes = 64;
+};
+
+struct TcpLoadgenResult {
+  std::size_t preloaded = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t keys = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t key_errors = 0;  // per-key failures (downed servers)
+
+  // End-to-end Multi-Get latency, microseconds; from intended send times
+  // under open-loop arrivals.
+  double mget_mean_us = 0;
+  double mget_p50_us = 0;
+  double mget_p95_us = 0;
+  double mget_p99_us = 0;
+  double mget_p999_us = 0;
+  double mget_p9999_us = 0;
+
+  double intended_qps = 0;
+  double achieved_qps = 0;
+  double max_send_lag_us = 0;
+  double duration_s = 0;
+
+  // Post-run STATS snapshot per endpoint (empty for down servers).
+  std::vector<StatsPairs> server_stats;
+};
+
+// False (with *err) when no server is reachable or no driver could
+// connect; partial-cluster runs succeed and report key_errors.
+bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
+                   std::string* err);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_OPEN_LOOP_H_

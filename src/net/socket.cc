@@ -1,0 +1,151 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace simdht {
+
+void ScopedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::string ErrnoString(std::string_view what) {
+  std::string s(std::strerror(errno));
+  s.append(" (");
+  s.append(what);
+  s.push_back(')');
+  return s;
+}
+
+bool SetNonBlocking(int fd, std::string* err) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    if (err) *err = ErrnoString("fcntl O_NONBLOCK");
+    return false;
+  }
+  return true;
+}
+
+bool SetNoDelay(int fd, std::string* err) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    if (err) *err = ErrnoString("setsockopt TCP_NODELAY");
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool FillAddr(const std::string& host, std::uint16_t port, sockaddr_in* addr,
+              std::string* err) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (err) *err = "invalid IPv4 address \"" + host + "\"";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int ListenTcp(const std::string& host, std::uint16_t port,
+              std::uint16_t* bound_port, std::string* err) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, err)) return -1;
+
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    if (err) *err = ErrnoString("socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (err) *err = ErrnoString("bind " + host + ":" + std::to_string(port));
+    return -1;
+  }
+  if (::listen(fd.get(), 128) < 0) {
+    if (err) *err = ErrnoString("listen");
+    return -1;
+  }
+  if (!SetNonBlocking(fd.get(), err)) return -1;
+
+  if (bound_port) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) <
+        0) {
+      if (err) *err = ErrnoString("getsockname");
+      return -1;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd.release();
+}
+
+int ConnectTcp(const std::string& host, std::uint16_t port,
+               std::string* err) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, err)) return -1;
+
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) {
+    if (err) *err = ErrnoString("socket");
+    return -1;
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (err) {
+      *err = ErrnoString("connect " + host + ":" + std::to_string(port));
+    }
+    return -1;
+  }
+  if (!SetNoDelay(fd.get(), err)) return -1;
+  return fd.release();
+}
+
+bool ParseEndpoint(std::string_view endpoint, std::string* host,
+                   std::uint16_t* port, std::string* err) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    if (err) {
+      *err = "endpoint \"" + std::string(endpoint) +
+             "\" is not of the form host:port";
+    }
+    return false;
+  }
+  unsigned long p = 0;
+  for (const char c : endpoint.substr(colon + 1)) {
+    if (c < '0' || c > '9') {
+      if (err) {
+        *err = "endpoint \"" + std::string(endpoint) + "\" has a bad port";
+      }
+      return false;
+    }
+    p = p * 10 + static_cast<unsigned long>(c - '0');
+    if (p > 65535) {
+      if (err) {
+        *err = "endpoint \"" + std::string(endpoint) + "\" port > 65535";
+      }
+      return false;
+    }
+  }
+  *host = std::string(endpoint.substr(0, colon));
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+}  // namespace simdht

@@ -1,0 +1,70 @@
+// Thin POSIX TCP socket helpers for the serving subsystem.
+//
+// Everything here is mechanism, not policy: RAII fd ownership, nonblocking
+// and TCP_NODELAY toggles, listen/connect setup, and endpoint parsing. The
+// event loop and server/client layers above decide what the sockets do.
+#ifndef SIMDHT_NET_SOCKET_H_
+#define SIMDHT_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace simdht {
+
+// Owns a file descriptor; closes it on destruction. Move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  // Gives up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  // Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+// "<errno description> (<what>)" for error strings.
+std::string ErrnoString(std::string_view what);
+
+bool SetNonBlocking(int fd, std::string* err);
+bool SetNoDelay(int fd, std::string* err);
+
+// Creates a nonblocking listening socket bound to host:port (port 0 picks
+// an ephemeral port). Writes the actually-bound port to *bound_port.
+// Returns the fd, or -1 with *err filled.
+int ListenTcp(const std::string& host, std::uint16_t port,
+              std::uint16_t* bound_port, std::string* err);
+
+// Blocking connect (IPv4 dotted-quad host). Returns the fd with
+// TCP_NODELAY set, or -1 with *err filled.
+int ConnectTcp(const std::string& host, std::uint16_t port, std::string* err);
+
+// Splits "host:port" (e.g. "127.0.0.1:7000"). False on malformed input.
+bool ParseEndpoint(std::string_view endpoint, std::string* host,
+                   std::uint16_t* port, std::string* err = nullptr);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_SOCKET_H_

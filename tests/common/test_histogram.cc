@@ -103,6 +103,38 @@ TEST(Histogram, SummaryContainsFields) {
   EXPECT_NE(s.find("max=100"), std::string::npos);
 }
 
+TEST(Histogram, DeepTailQuantilesResolveWithEnoughSamples) {
+  // 100k exact-bucket samples 0..9999 (each value 10x, all below the unit-
+  // bucket threshold would need sub_bits >= 14; use a fine histogram).
+  Histogram h(8);
+  for (std::uint64_t v = 0; v < 10000; ++v) {
+    for (int rep = 0; rep < 10; ++rep) h.Add(v);
+  }
+  // Exact p999 over this population is ~9990, p9999 ~9999; the log-bucket
+  // bound allows ~1/256 relative error at 8 sub-bucket bits.
+  EXPECT_NEAR(static_cast<double>(h.P999()), 9990.0, 9990.0 * 0.01);
+  EXPECT_NEAR(static_cast<double>(h.P9999()), 9999.0, 9999.0 * 0.01);
+  EXPECT_LE(h.P999(), h.P9999());
+  EXPECT_LE(h.P9999(), h.max());
+}
+
+TEST(Histogram, DeepTailQuantilesDegradeToMaxWhenUnderSampled) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  // 100 samples cannot resolve p9999: it must pin near the top sample,
+  // never extrapolate beyond max.
+  EXPECT_GE(h.P9999(), 99u);
+  EXPECT_LE(h.P9999(), 100u);
+  EXPECT_GE(h.P999(), 99u);
+  EXPECT_LE(h.P999(), h.P9999());
+}
+
+TEST(Histogram, SummaryIncludesP999) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<std::uint64_t>(i));
+  EXPECT_NE(h.Summary().find("p999="), std::string::npos);
+}
+
 TEST(Histogram, HugeValuesClampToLastBucket) {
   Histogram h;
   h.Add(~std::uint64_t{0});  // far beyond 2^40: must not crash

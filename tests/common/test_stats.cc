@@ -35,6 +35,22 @@ TEST(LatencyRecorder, Percentiles) {
   EXPECT_NEAR(r.mean(), 50.5, 1e-9);
 }
 
+TEST(LatencyRecorder, DeepTailPercentiles) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 10000; ++i) r.Add(i);
+  // rank = p/100 * (n-1): p999 of 1..10000 interpolates at 9990.001.
+  EXPECT_NEAR(r.P999(), 9990.001, 1e-2);
+  EXPECT_NEAR(r.P9999(), 9999.0, 1.0);
+  EXPECT_LE(r.P999(), r.P9999());
+  EXPECT_LE(r.P9999(), r.Percentile(100));
+
+  // Under-sampled tails pin to the top samples, never beyond.
+  LatencyRecorder small;
+  for (int i = 1; i <= 10; ++i) small.Add(i);
+  EXPECT_GE(small.P999(), 9.0);
+  EXPECT_LE(small.P9999(), 10.0);
+}
+
 TEST(LatencyRecorder, EmptyPercentileIsZero) {
   // Report paths percentile idle recorders (e.g. a worker that received no
   // requests); every p must be a defined 0.0, not UB on an empty vector.

@@ -74,6 +74,53 @@ TEST(ConsistentHash, PartitionCoversAllKeys) {
   EXPECT_EQ(total, keys.size());
 }
 
+TEST(ConsistentHash, RemovalRemapFractionIsBounded) {
+  // The point of consistent hashing: dropping one of N servers remaps only
+  // the victim's ~1/N share, not a full rehash. Bound the moved fraction
+  // to [0.5/N, 2/N] over a large key sample.
+  constexpr std::uint32_t kServers = 5;
+  constexpr int kKeys = 20000;
+  ConsistentHashRing ring(128);
+  for (std::uint32_t s = 0; s < kServers; ++s) ring.AddServer(s);
+  std::vector<std::uint32_t> before(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    before[i] = ring.ServerFor("remap:" + std::to_string(i));
+  }
+  ring.RemoveServer(1);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    moved += ring.ServerFor("remap:" + std::to_string(i)) != before[i];
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.5 / kServers);
+  EXPECT_LT(fraction, 2.0 / kServers);
+}
+
+TEST(ConsistentHash, AdditionRemapFractionIsBounded) {
+  // Growing N -> N+1 steals ~1/(N+1) of the keyspace for the newcomer and
+  // never shuffles keys between the existing servers.
+  constexpr std::uint32_t kServers = 4;
+  constexpr int kKeys = 20000;
+  ConsistentHashRing ring(128);
+  for (std::uint32_t s = 0; s < kServers; ++s) ring.AddServer(s);
+  std::vector<std::uint32_t> before(kKeys);
+  for (int i = 0; i < kKeys; ++i) {
+    before[i] = ring.ServerFor("grow:" + std::to_string(i));
+  }
+  ring.AddServer(kServers);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint32_t now = ring.ServerFor("grow:" + std::to_string(i));
+    if (now != before[i]) {
+      EXPECT_EQ(now, kServers) << "key moved between pre-existing servers";
+      ++moved;
+    }
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.5 / (kServers + 1));
+  EXPECT_LT(fraction, 2.0 / (kServers + 1));
+}
+
 TEST(ConsistentHash, SingleServerTakesAll) {
   ConsistentHashRing ring;
   ring.AddServer(3);

@@ -1,0 +1,239 @@
+// Malformed-frame matrix for the hardened decoders and the TCP stream
+// framing layer. The simulated transport only ever delivered frames its
+// own encoders produced; real sockets deliver truncations, hostile length
+// fields, and arbitrary fragmentation, so every rejection path is pinned
+// here with its descriptive error.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "kvs/protocol.h"
+
+namespace simdht {
+namespace {
+
+Buffer ValidMget() {
+  Buffer buf;
+  EncodeMultiGetRequest({"key-number-one-aaaa", "key-number-two-bbbb"},
+                        &buf);
+  return buf;
+}
+
+void PatchU32(Buffer* buf, std::size_t at, std::uint32_t v) {
+  std::memcpy(buf->data() + at, &v, 4);
+}
+
+void PatchU16(Buffer* buf, std::size_t at, std::uint16_t v) {
+  std::memcpy(buf->data() + at, &v, 2);
+}
+
+TEST(ProtocolMatrix, EveryTruncationOfEveryFrameTypeIsRejected) {
+  Buffer frames[4];
+  EncodeSetRequest("some-key", "some-value", &frames[0]);
+  frames[1] = ValidMget();
+  EncodeMultiGetResponse({"value-a", ""}, {1, 0}, &frames[2]);
+  EncodeStatsResponse({{"batches", 12.0}, {"p999", 4096.0}}, &frames[3]);
+
+  for (const Buffer& full : frames) {
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const Buffer buf(full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(cut));
+      SetRequest set;
+      MultiGetRequest mget;
+      MultiGetResponse mresp;
+      StatsPairs stats;
+      std::string err;
+      EXPECT_FALSE(DecodeSetRequest(buf, &set, &err)) << cut;
+      EXPECT_FALSE(DecodeMultiGetRequest(buf, &mget, &err)) << cut;
+      EXPECT_FALSE(DecodeMultiGetResponse(buf, &mresp, &err)) << cut;
+      EXPECT_FALSE(DecodeStatsResponse(buf, &stats, &err)) << cut;
+      EXPECT_FALSE(err.empty()) << cut;
+    }
+  }
+}
+
+TEST(ProtocolMatrix, HostileMgetCountCannotSizeAnAllocation) {
+  // A 11-byte frame claiming 2^32-1 keys must be rejected up front (the
+  // old decoder reserved count * sizeof(string_view) before reading).
+  Buffer buf = ValidMget();
+  PatchU32(&buf, 1, 0xFFFFFFFFu);
+  MultiGetRequest req;
+  std::string err;
+  EXPECT_FALSE(DecodeMultiGetRequest(buf, &req, &err));
+  EXPECT_NE(err.find("count"), std::string::npos) << err;
+
+  // Same for the response-side count.
+  Buffer resp;
+  EncodeMultiGetResponse({"v"}, {1}, &resp);
+  PatchU32(&resp, 1, 0x10000000u);
+  MultiGetResponse parsed;
+  err.clear();
+  EXPECT_FALSE(DecodeMultiGetResponse(resp, &parsed, &err));
+  EXPECT_NE(err.find("count"), std::string::npos) << err;
+}
+
+TEST(ProtocolMatrix, CountJustOverActualEntriesIsRejected) {
+  Buffer buf = ValidMget();
+  PatchU32(&buf, 1, 3);  // three keys claimed, two encoded
+  MultiGetRequest req;
+  std::string err;
+  EXPECT_FALSE(DecodeMultiGetRequest(buf, &req, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ProtocolMatrix, OversizedKeyAndValueLengthsAreRejected) {
+  // Key length over kMaxKeyBytes in an mget entry.
+  Buffer buf = ValidMget();
+  PatchU16(&buf, 5, static_cast<std::uint16_t>(kMaxKeyBytes + 1));
+  MultiGetRequest req;
+  std::string err;
+  EXPECT_FALSE(DecodeMultiGetRequest(buf, &req, &err));
+  EXPECT_NE(err.find("length"), std::string::npos) << err;
+
+  // Zero-length key (the tables reject key 0; the wire rejects it first).
+  PatchU16(&buf, 5, 0);
+  EXPECT_FALSE(DecodeMultiGetRequest(buf, &req, &err));
+
+  // Value length over kMaxValueBytes in a set request.
+  Buffer set;
+  EncodeSetRequest("k", "v", &set);
+  PatchU32(&set, 7, static_cast<std::uint32_t>(kMaxValueBytes + 1));
+  SetRequest sreq;
+  err.clear();
+  EXPECT_FALSE(DecodeSetRequest(set, &sreq, &err));
+  EXPECT_NE(err.find("cap"), std::string::npos) << err;
+}
+
+TEST(ProtocolMatrix, StatsResponseRoundTripAndRejection) {
+  const StatsPairs stats = {{"kvs.mget.batches", 42.0},
+                            {"parse_ns.p999", 12345.5},
+                            {"negative", -1.25},
+                            {"", 0.0}};
+  Buffer buf;
+  EncodeStatsResponse(stats, &buf);
+  StatsPairs parsed;
+  ASSERT_TRUE(DecodeStatsResponse(buf, &parsed));
+  ASSERT_EQ(parsed.size(), stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(parsed[i].first, stats[i].first);
+    EXPECT_DOUBLE_EQ(parsed[i].second, stats[i].second);
+  }
+
+  // Hostile count: 9 entries claimed in a frame that holds 4.
+  PatchU32(&buf, 1, 9);
+  std::string err;
+  EXPECT_FALSE(DecodeStatsResponse(buf, &parsed, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(ProtocolMatrix, DescriptiveErrorsNameTheFailure) {
+  std::string err;
+  MultiGetRequest req;
+  EXPECT_FALSE(DecodeMultiGetRequest({}, &req, &err));
+  EXPECT_NE(err.find("empty frame"), std::string::npos) << err;
+
+  Buffer set;
+  EncodeSetRequest("k", "v", &set);
+  EXPECT_FALSE(DecodeMultiGetRequest(set, &req, &err));
+  EXPECT_NE(err.find("opcode"), std::string::npos) << err;
+
+  Buffer buf = ValidMget();
+  buf.push_back(0x5A);
+  EXPECT_FALSE(DecodeMultiGetRequest(buf, &req, &err));
+  EXPECT_NE(err.find("trailing"), std::string::npos) << err;
+}
+
+// --- stream framing ---
+
+TEST(FrameAssemblerTest, ReassemblesFramesFromSingleBytes) {
+  Buffer payload1 = ValidMget();
+  Buffer payload2;
+  EncodeSetRequest("stream-key", "stream-value", &payload2);
+  Buffer wire;
+  AppendFrame(payload1, &wire);
+  AppendFrame(payload2, &wire);
+
+  FrameAssembler assembler;
+  std::vector<Buffer> frames;
+  Buffer frame;
+  for (std::uint8_t byte : wire) {
+    assembler.Append(&byte, 1);
+    while (assembler.Next(&frame) == FrameAssembler::Result::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], payload1);
+  EXPECT_EQ(frames[1], payload2);
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+}
+
+TEST(FrameAssemblerTest, ManyFramesInOneAppend) {
+  Buffer payload;
+  EncodeStatsRequest(&payload);
+  Buffer wire;
+  for (int i = 0; i < 100; ++i) AppendFrame(payload, &wire);
+
+  FrameAssembler assembler;
+  assembler.Append(wire.data(), wire.size());
+  Buffer frame;
+  int n = 0;
+  while (assembler.Next(&frame) == FrameAssembler::Result::kFrame) {
+    EXPECT_EQ(frame, payload);
+    ++n;
+  }
+  EXPECT_EQ(n, 100);
+}
+
+TEST(FrameAssemblerTest, OversizedLengthPrefixPoisonsTheStream) {
+  FrameAssembler assembler(/*max_frame_bytes=*/1024);
+  Buffer wire;
+  const std::uint32_t huge = 4096;
+  wire.resize(4);
+  std::memcpy(wire.data(), &huge, 4);
+  assembler.Append(wire.data(), wire.size());
+
+  Buffer frame;
+  std::string err;
+  EXPECT_EQ(assembler.Next(&frame, &err), FrameAssembler::Result::kError);
+  EXPECT_NE(err.find("cap"), std::string::npos) << err;
+  // Poisoned for good: even valid bytes afterwards cannot resync.
+  Buffer valid;
+  AppendFrame(Buffer{1, 2, 3}, &valid);
+  assembler.Append(valid.data(), valid.size());
+  EXPECT_EQ(assembler.Next(&frame, &err), FrameAssembler::Result::kError);
+}
+
+TEST(FrameAssemblerTest, EmptyPayloadFrameIsDelivered) {
+  Buffer wire;
+  AppendFrame(Buffer{}, &wire);
+  FrameAssembler assembler;
+  assembler.Append(wire.data(), wire.size());
+  Buffer frame{9, 9};
+  ASSERT_EQ(assembler.Next(&frame), FrameAssembler::Result::kFrame);
+  EXPECT_TRUE(frame.empty());
+  EXPECT_EQ(assembler.Next(&frame), FrameAssembler::Result::kNeedMore);
+}
+
+TEST(FrameAssemblerTest, CompactionKeepsLongStreamsBounded) {
+  // Push many frames through in fragments; buffered_bytes must return to
+  // zero between frames instead of growing with history.
+  Buffer payload(100, 0xAB);
+  Buffer wire;
+  AppendFrame(payload, &wire);
+  FrameAssembler assembler;
+  Buffer frame;
+  for (int round = 0; round < 1000; ++round) {
+    const std::size_t half = wire.size() / 2;
+    assembler.Append(wire.data(), half);
+    EXPECT_EQ(assembler.Next(&frame), FrameAssembler::Result::kNeedMore);
+    assembler.Append(wire.data() + half, wire.size() - half);
+    ASSERT_EQ(assembler.Next(&frame), FrameAssembler::Result::kFrame);
+    EXPECT_EQ(frame, payload);
+    EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace simdht

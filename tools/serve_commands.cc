@@ -1,0 +1,344 @@
+#include "serve_commands.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cpu_features.h"
+#include "common/table_printer.h"
+#include "kvs/memc3_backend.h"
+#include "kvs/simd_backend.h"
+#include "net/kv_tcp_server.h"
+#include "net/open_loop.h"
+#include "obs/run_report.h"
+
+namespace simdht {
+namespace {
+
+std::uint64_t ParseByteSize(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != nullptr) {
+    switch (*end) {
+      case 'k': case 'K': v *= 1 << 10; break;
+      case 'm': case 'M': v *= 1 << 20; break;
+      case 'g': case 'G': v *= 1 << 30; break;
+      default: break;
+    }
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::unique_ptr<KvBackend> MakeBackend(const std::string& name,
+                                       std::uint64_t entries,
+                                       std::size_t mem_bytes) {
+  const CpuFeatures& cpu = GetCpuFeatures();
+  if (name == "memc3") {
+    return std::make_unique<Memc3Backend>(entries, mem_bytes);
+  }
+  if (name == "memc3-sse") {
+    return std::make_unique<Memc3Backend>(entries, mem_bytes,
+                                          /*simd_tags=*/true);
+  }
+  if (name == "hor-avx2") {
+    if (!cpu.Supports(SimdLevel::kAvx2)) return nullptr;
+    return std::make_unique<SimdBackend>(SimdBackend::BucketCuckooHorAvx2(),
+                                         entries, mem_bytes);
+  }
+  if (name == "ver-avx512") {
+    if (!cpu.Supports(SimdLevel::kAvx512)) return nullptr;
+    return std::make_unique<SimdBackend>(SimdBackend::CuckooVerAvx512(),
+                                         entries, mem_bytes);
+  }
+  return nullptr;
+}
+
+std::atomic<KvTcpServer*> g_serve_server{nullptr};
+
+void HandleStopSignal(int) {
+  if (KvTcpServer* server = g_serve_server.load()) server->Stop();
+}
+
+bool ParseServerList(const std::string& list,
+                     std::vector<KvClusterClient::Endpoint>* out,
+                     std::string* err) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string_view item(list.data() + start, comma - start);
+    if (!item.empty()) {
+      KvClusterClient::Endpoint ep;
+      if (!ParseEndpoint(item, &ep.host, &ep.port, err)) return false;
+      out->push_back(std::move(ep));
+    }
+    start = comma + 1;
+  }
+  if (out->empty()) {
+    if (err) *err = "--servers is empty";
+    return false;
+  }
+  return true;
+}
+
+double StatValue(const StatsPairs& stats, std::string_view name) {
+  for (const auto& [n, v] : stats) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void ServeUsage() {
+  std::fprintf(
+      stderr,
+      "usage: simdht serve [options]\n"
+      "  --host=H            bind address (default 127.0.0.1)\n"
+      "  --port=P            TCP port; 0 picks an ephemeral port\n"
+      "                      (the chosen port is printed, default 0)\n"
+      "  --backend=B         memc3 | memc3-sse | hor-avx2 | ver-avx512\n"
+      "                      (default memc3; SIMD backends need CPU "
+      "support)\n"
+      "  --entries=N         hash-table entry capacity (default 2M)\n"
+      "  --mem=S             value-store memory, e.g. 1G (default 1G)\n"
+      "  --max-batch-keys=N  cross-connection batch flush bound (default "
+      "8192)\n"
+      "runs until SIGINT/SIGTERM or a client SHUTDOWN frame; prints a\n"
+      "parseable 'listening on HOST:PORT' line once the socket is ready.\n");
+}
+
+int RunServeCommand(const Flags& flags) {
+  const std::string backend_name = flags.GetString("backend", "memc3");
+  const std::uint64_t entries =
+      flags.GetUint64("entries", std::uint64_t{2} << 20);
+  const std::size_t mem_bytes = static_cast<std::size_t>(
+      ParseByteSize(flags.GetString("mem", "1G")));
+  std::unique_ptr<KvBackend> backend =
+      MakeBackend(backend_name, entries, mem_bytes);
+  if (!backend) {
+    std::fprintf(stderr,
+                 "unknown or unsupported --backend '%s' (memc3, memc3-sse, "
+                 "hor-avx2, ver-avx512)\n",
+                 backend_name.c_str());
+    return 1;
+  }
+
+  KvTcpServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(flags.GetInt("port", 0));
+  options.max_batch_keys =
+      static_cast<std::size_t>(flags.GetInt("max-batch-keys", 8192));
+
+  KvTcpServer server(backend.get(), options);
+  std::string err;
+  if (!server.Listen(&err)) {
+    std::fprintf(stderr, "serve: %s\n", err.c_str());
+    return 1;
+  }
+  // Scripts scrape this exact line for the ephemeral port.
+  std::printf("simdht serve: listening on %s:%u (backend %s)\n",
+              options.host.c_str(), server.port(), backend->name());
+  std::fflush(stdout);
+
+  g_serve_server.store(&server);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  server.Run();
+  g_serve_server.store(nullptr);
+
+  const StatsPairs stats = server.StatsSnapshot();
+  std::printf(
+      "simdht serve: exiting; %.0f batches, %.0f keys (%.0f hits), "
+      "batch occupancy mean %.2f conns / %.1f keys\n",
+      StatValue(stats, "batches"), StatValue(stats, "keys"),
+      StatValue(stats, "hits"), StatValue(stats, "batch_connections.mean"),
+      StatValue(stats, "batch_keys.mean"));
+  return 0;
+}
+
+void LoadgenUsage() {
+  std::fprintf(
+      stderr,
+      "usage: simdht loadgen --servers=H:P[,H:P...] [options]\n"
+      "  --servers=LIST      serve endpoints, comma separated (required)\n"
+      "  --clients=N         driver threads (default 2)\n"
+      "  --arrival=A         closed | uniform | poisson (default uniform)\n"
+      "  --qps=N             aggregate intended Multi-Get rate for the\n"
+      "                      open-loop modes (default 20000)\n"
+      "  --seconds=S         run length; requests = qps*seconds (default "
+      "2)\n"
+      "  --requests=N        per-client request count (overrides "
+      "--seconds)\n"
+      "  --num-keys=N        key population (default 100000)\n"
+      "  --key-size=B --val-size=B   (defaults 20 / 32, the paper's sizes)\n"
+      "  --mget=N            keys per Multi-Get (default 16)\n"
+      "  --pattern=P         zipf | uniform (default zipf)\n"
+      "  --hit-rate=F        probe selectivity (default 0.95)\n"
+      "  --seed=N            schedule/workload seed (default 1)\n"
+      "  --no-preload        skip the SET preload phase\n"
+      "  --stop-servers      send SHUTDOWN to every server afterwards\n"
+      "  --json=PATH         write a RunReport (client row + one row per\n"
+      "                      server; diff with simdht_compare)\n"
+      "  --csv               machine-readable tables\n");
+}
+
+int RunLoadgenCommand(const Flags& flags) {
+  std::string err;
+  TcpLoadgenConfig config;
+  if (!ParseServerList(flags.GetString("servers", ""), &config.servers,
+                       &err)) {
+    std::fprintf(stderr, "loadgen: %s\n", err.c_str());
+    LoadgenUsage();
+    return 1;
+  }
+  config.clients = static_cast<unsigned>(flags.GetInt("clients", 2));
+  config.num_keys =
+      static_cast<std::size_t>(flags.GetInt("num-keys", 100000));
+  config.key_size = static_cast<std::size_t>(flags.GetInt("key-size", 20));
+  config.val_size = static_cast<std::size_t>(flags.GetInt("val-size", 32));
+  config.mget_size = static_cast<unsigned>(flags.GetInt("mget", 16));
+  config.hit_rate = flags.GetDouble("hit-rate", 0.95);
+  config.zipf = flags.GetString("pattern", "zipf") != "uniform";
+  config.zipf_s = flags.GetDouble("zipf-s", 0.99);
+  config.seed = flags.GetUint64("seed", 1);
+  config.preload = !flags.GetBool("no-preload", false);
+  config.target_qps = flags.GetDouble("qps", 20000);
+
+  const std::string arrival = flags.GetString("arrival", "uniform");
+  if (!ParseArrivalMode(arrival, &config.arrival)) {
+    std::fprintf(stderr, "loadgen: unknown --arrival '%s'\n",
+                 arrival.c_str());
+    return 1;
+  }
+
+  const double seconds = flags.GetDouble("seconds", 2.0);
+  if (flags.Has("requests")) {
+    config.requests_per_client =
+        static_cast<std::size_t>(flags.GetInt("requests", 2000));
+  } else if (config.arrival != ArrivalMode::kClosedLoop) {
+    config.requests_per_client = static_cast<std::size_t>(
+        config.target_qps * seconds / config.clients);
+  } else {
+    config.requests_per_client = 2000;
+  }
+  if (config.requests_per_client == 0) config.requests_per_client = 1;
+
+  TcpLoadgenResult result;
+  if (!RunTcpLoadgen(config, &result, &err)) {
+    std::fprintf(stderr, "loadgen: %s\n", err.c_str());
+    return 1;
+  }
+
+  const bool csv = flags.GetBool("csv", false);
+  TablePrinter client({"arrival", "intended QPS", "achieved QPS",
+                       "requests", "key errors", "mean us", "p50 us",
+                       "p99 us", "p999 us", "p9999 us", "max lag us"});
+  client.AddRow({ArrivalModeName(config.arrival),
+                 TablePrinter::Fmt(result.intended_qps, 0),
+                 TablePrinter::Fmt(result.achieved_qps, 0),
+                 TablePrinter::Fmt(static_cast<std::int64_t>(result.requests)),
+                 TablePrinter::Fmt(
+                     static_cast<std::int64_t>(result.key_errors)),
+                 TablePrinter::Fmt(result.mget_mean_us, 1),
+                 TablePrinter::Fmt(result.mget_p50_us, 1),
+                 TablePrinter::Fmt(result.mget_p99_us, 1),
+                 TablePrinter::Fmt(result.mget_p999_us, 1),
+                 TablePrinter::Fmt(result.mget_p9999_us, 1),
+                 TablePrinter::Fmt(result.max_send_lag_us, 1)});
+
+  TablePrinter servers({"server", "batches", "keys", "hits",
+                        "batch conns (mean/max)", "batch keys (mean)",
+                        "probe p99 us", "probe p999 us"});
+  for (std::size_t s = 0; s < result.server_stats.size(); ++s) {
+    const StatsPairs& stats = result.server_stats[s];
+    if (stats.empty()) {
+      servers.AddRow({TablePrinter::Fmt(static_cast<std::int64_t>(s)),
+                      "down", "-", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    servers.AddRow(
+        {TablePrinter::Fmt(static_cast<std::int64_t>(s)),
+         TablePrinter::Fmt(StatValue(stats, "batches"), 0),
+         TablePrinter::Fmt(StatValue(stats, "keys"), 0),
+         TablePrinter::Fmt(StatValue(stats, "hits"), 0),
+         TablePrinter::Fmt(StatValue(stats, "batch_connections.mean"), 2) +
+             "/" +
+             TablePrinter::Fmt(StatValue(stats, "batch_connections.max"),
+                               0),
+         TablePrinter::Fmt(StatValue(stats, "batch_keys.mean"), 1),
+         TablePrinter::Fmt(StatValue(stats, "index_probe_ns.p99") / 1e3, 2),
+         TablePrinter::Fmt(StatValue(stats, "index_probe_ns.p999") / 1e3,
+                           2)});
+  }
+  if (csv) {
+    client.PrintCsv();
+    servers.PrintCsv();
+  } else {
+    std::printf("client-observed Multi-Get latency (end to end over TCP)\n");
+    client.Print();
+    std::printf("\nserver-side serving stats (over the wire via STATS)\n");
+    servers.Print();
+  }
+
+  if (flags.GetBool("stop-servers", false)) {
+    KvClusterClient stopper(config.servers);
+    if (stopper.Connect(nullptr)) stopper.ShutdownAll();
+  }
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    RunReport report =
+        NewRunReport("simdht-loadgen", "TCP serving: open-loop Multi-Get");
+    for (const auto& [name, value] : flags.items()) {
+      report.flags.emplace_back(name, value);
+    }
+    report.options.emplace_back("arrival", ArrivalModeName(config.arrival));
+    report.options.emplace_back("servers",
+                                std::to_string(config.servers.size()));
+    report.options.emplace_back("clients",
+                                std::to_string(config.clients));
+    report.options.emplace_back("mget", std::to_string(config.mget_size));
+    report.options.emplace_back("seed", std::to_string(config.seed));
+
+    ResultRow row;
+    row.kernel = "tcp-loadgen";
+    row.config = {{"arrival", ArrivalModeName(config.arrival)},
+                  {"mget", std::to_string(config.mget_size)},
+                  {"servers", std::to_string(config.servers.size())}};
+    const auto metric = [&row](const char* name, double v) {
+      row.metrics.emplace_back(name, MetricStat{v, 0.0});
+    };
+    metric("intended_qps", result.intended_qps);
+    metric("achieved_qps", result.achieved_qps);
+    metric("requests", static_cast<double>(result.requests));
+    metric("key_errors", static_cast<double>(result.key_errors));
+    metric("mget_mean_us", result.mget_mean_us);
+    metric("mget_p50_us", result.mget_p50_us);
+    metric("mget_p95_us", result.mget_p95_us);
+    metric("mget_p99_us", result.mget_p99_us);
+    metric("mget_p999_us", result.mget_p999_us);
+    metric("mget_p9999_us", result.mget_p9999_us);
+    metric("max_send_lag_us", result.max_send_lag_us);
+    report.results.push_back(std::move(row));
+
+    for (std::size_t s = 0; s < result.server_stats.size(); ++s) {
+      ResultRow server_row;
+      server_row.kernel = "tcp-server";
+      server_row.config = {{"server", std::to_string(s)}};
+      for (const auto& [name, value] : result.server_stats[s]) {
+        server_row.metrics.emplace_back(name, MetricStat{value, 0.0});
+      }
+      report.results.push_back(std::move(server_row));
+    }
+    return WriteReportOutputs(report, json_path, "", csv);
+  }
+  return 0;
+}
+
+}  // namespace simdht

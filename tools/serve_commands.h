@@ -1,0 +1,24 @@
+// `simdht serve` / `simdht loadgen`: real-TCP serving subcommands.
+#ifndef SIMDHT_TOOLS_SERVE_COMMANDS_H_
+#define SIMDHT_TOOLS_SERVE_COMMANDS_H_
+
+#include "common/flags.h"
+
+namespace simdht {
+
+// `simdht serve`: one KVS server process on a TCP port. Prints
+// "listening on HOST:PORT" (flushed) so scripts can scrape the port, then
+// runs until SIGINT/SIGTERM or a SHUTDOWN frame.
+int RunServeCommand(const Flags& flags);
+
+// `simdht loadgen`: open-loop (or closed-loop) Multi-Get load against a
+// cluster of serve processes; emits latency percentiles and per-server
+// phase stats, optionally as a RunReport (--json).
+int RunLoadgenCommand(const Flags& flags);
+
+void ServeUsage();
+void LoadgenUsage();
+
+}  // namespace simdht
+
+#endif  // SIMDHT_TOOLS_SERVE_COMMANDS_H_

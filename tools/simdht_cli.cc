@@ -30,6 +30,7 @@
 #include "obs/run_report.h"
 #include "obs/timeline.h"
 #include "perf/perf_events.h"
+#include "serve_commands.h"
 
 using namespace simdht;
 
@@ -118,11 +119,15 @@ int RunKernelList() {
 void Usage(const char* prog) {
   std::fprintf(
       stderr,
-      "usage: %s [perf-check|kernels] [options]\n"
+      "usage: %s [perf-check|kernels|serve|loadgen] [options]\n"
       "subcommands:\n"
       "  perf-check        probe hardware-counter availability and exit\n"
       "  kernels           list registered lookup kernels (with their table\n"
       "                    family: cuckoo or Swiss) and exit\n"
+      "  serve             run a KVS server on a real TCP port (see\n"
+      "                    'simdht serve --help')\n"
+      "  loadgen           open-loop Multi-Get load against serve\n"
+      "                    processes (see 'simdht loadgen --help')\n"
       "table layout:\n"
       "  --family=F        cuckoo | swiss (default cuckoo): swiss probes a\n"
       "                    control-byte lane in 16-slot groups; --ways,\n"
@@ -174,16 +179,25 @@ void Usage(const char* prog) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  const std::string subcommand =
+      flags.positional().empty() ? "" : flags.positional()[0];
   if (flags.Has("help") || flags.Has("h")) {
-    Usage(argv[0]);
+    if (subcommand == "serve") {
+      ServeUsage();
+    } else if (subcommand == "loadgen") {
+      LoadgenUsage();
+    } else {
+      Usage(argv[0]);
+    }
     return 0;
   }
 
-  if (!flags.positional().empty()) {
-    if (flags.positional()[0] == "perf-check") return RunPerfCheck(flags);
-    if (flags.positional()[0] == "kernels") return RunKernelList();
-    std::fprintf(stderr, "unknown subcommand '%s'\n",
-                 flags.positional()[0].c_str());
+  if (!subcommand.empty()) {
+    if (subcommand == "perf-check") return RunPerfCheck(flags);
+    if (subcommand == "kernels") return RunKernelList();
+    if (subcommand == "serve") return RunServeCommand(flags);
+    if (subcommand == "loadgen") return RunLoadgenCommand(flags);
+    std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
     Usage(argv[0]);
     return 1;
   }

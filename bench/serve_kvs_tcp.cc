@@ -15,6 +15,7 @@
 //
 // TCP-mode knobs: --servers=N (cluster size), --conns=N (driver threads),
 // --qps=R + --arrival=uniform|poisson|closed (open-loop rate), --mget=K.
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -173,9 +174,25 @@ int main(int argc, char** argv) {
     if (!ok) continue;
 
     double occ_max = 0;
+    // Server-phase tails across the cluster (worst server). Metric names
+    // carry an explicit _ns suffix: the wire snapshot serves nanoseconds
+    // (it declares units.phase_ns=1), never raw TSC cycles — rows from
+    // different machines stay comparable without knowing either TSC rate.
+    double probe_p50_ns = 0, probe_p99_ns = 0, probe_p999_ns = 0;
+    double copy_p99_ns = 0, transport_p99_ns = 0;
     for (const StatsPairs& stats : r.server_stats) {
       const double m = StatValue(stats, "batch_connections.max");
       if (m > occ_max) occ_max = m;
+      probe_p50_ns =
+          std::max(probe_p50_ns, StatValue(stats, "index_probe_ns.p50"));
+      probe_p99_ns =
+          std::max(probe_p99_ns, StatValue(stats, "index_probe_ns.p99"));
+      probe_p999_ns =
+          std::max(probe_p999_ns, StatValue(stats, "index_probe_ns.p999"));
+      copy_p99_ns =
+          std::max(copy_p99_ns, StatValue(stats, "value_copy_ns.p99"));
+      transport_p99_ns =
+          std::max(transport_p99_ns, StatValue(stats, "transport_ns.p99"));
     }
     table.AddRow({"tcp", candidate.label,
                   TablePrinter::Fmt(r.mget_mean_us, 1),
@@ -199,7 +216,14 @@ int main(int argc, char** argv) {
          {"max_send_lag_us", ReportSession::Stat(r.max_send_lag_us)},
          {"key_errors",
           ReportSession::Stat(static_cast<double>(r.key_errors))},
-         {"batch_connections_max", ReportSession::Stat(occ_max)}});
+         {"batch_connections_max", ReportSession::Stat(occ_max)},
+         {"server_index_probe_p50_ns", ReportSession::Stat(probe_p50_ns)},
+         {"server_index_probe_p99_ns", ReportSession::Stat(probe_p99_ns)},
+         {"server_index_probe_p999_ns",
+          ReportSession::Stat(probe_p999_ns)},
+         {"server_value_copy_p99_ns", ReportSession::Stat(copy_p99_ns)},
+         {"server_transport_p99_ns",
+          ReportSession::Stat(transport_p99_ns)}});
   }
 
   if (!opt.csv) {

@@ -31,7 +31,8 @@ for preset in "${presets[@]}"; do
     echo "=== kernel parity gate ==="
     ./build/bench/micro_kernels --check
     # Real-TCP serving smoke: two serve processes on loopback, open-loop
-    # loadgen, cross-connection batching visible in the RunReport.
+    # loadgen, cross-connection batching visible in the RunReport, a
+    # mid-run Prometheus scrape, and the client+server trace merge.
     echo "=== TCP serving smoke ==="
     scripts/smoke_tcp.sh build
   fi

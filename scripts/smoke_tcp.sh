@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # Loopback smoke test for the real-TCP serving subsystem.
 #
-# Starts two `simdht serve` processes on ephemeral ports, drives them with
-# the open-loop `simdht loadgen` at a fixed rate, and asserts:
+# Starts two `simdht serve` processes on ephemeral ports (with live
+# metrics endpoints and server-side tracing), drives them with the
+# open-loop `simdht loadgen` (trace-sampling enabled), and asserts:
 #   * the loadgen's RunReport is well-formed (schema v1, a tcp-loadgen row
 #     with latency percentiles, one tcp-server row per server),
 #   * no per-key errors (both servers answered for their shards),
 #   * the epoll server coalesced frames from more than one connection into
 #     a single backend probe batch (batch_connections.max > 1 on at least
 #     one server) — the tentpole behaviour of the subsystem,
+#   * a mid-run Prometheus scrape of --metrics-port parses, shows a
+#     nonzero simdht_kvs_requests_total, and its windowed index-probe p99
+#     lands within a generous band of the report's post-run p99 (same
+#     units — ns — same order of magnitude),
+#   * simdht_tracemerge aligns the client trace with both server traces
+#     into one valid Chrome trace (client + server spans on shared time),
 #   * simdht_compare accepts the report (self-compare exits 0).
 #
 #   scripts/smoke_tcp.sh [build-dir]    # default: build
@@ -18,6 +25,7 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 SIMDHT="${BUILD}/tools/simdht"
 COMPARE="${BUILD}/tools/simdht_compare"
+TRACEMERGE="${BUILD}/tools/simdht_tracemerge"
 REPORT_DIR="${SMOKE_REPORT_DIR:-reports}"
 mkdir -p "${REPORT_DIR}"
 
@@ -36,44 +44,110 @@ cleanup() {
 trap cleanup EXIT
 
 # Ephemeral ports: each server prints "listening on HOST:PORT" once bound;
-# scrape the port from its log instead of racing for a fixed number.
+# scrape the port from its log instead of racing for a fixed number. Each
+# server also opens an ephemeral Prometheus HTTP port (scraped mid-run)
+# and records sampled request spans for the post-run trace merge.
 start_server() {
-  local log="$1"
+  local log="$1" trace="$2"
   "${SIMDHT}" serve --port=0 --backend=memc3 --entries=262144 --mem=128m \
+    --metrics-port=0 --trace="${trace}" \
     >"${log}" 2>&1 &
   pids+=($!)
+  last_server_pid=$!
 }
 
-scrape_port() {
-  local log="$1"
+scrape_line_port() {
+  local log="$1" needle="$2"
   for _ in $(seq 1 100); do
-    if grep -q 'listening on' "${log}" 2>/dev/null; then
-      sed -n 's/.*listening on [^:]*:\([0-9]*\).*/\1/p' "${log}" | head -n1
+    if grep -q "${needle}" "${log}" 2>/dev/null; then
+      sed -n "s/.*${needle} [^:]*:\([0-9]*\).*/\1/p" "${log}" | head -n1
       return 0
     fi
     sleep 0.1
   done
-  echo "smoke_tcp: server did not come up (${log}):" >&2
+  echo "smoke_tcp: no '${needle}' line in ${log}:" >&2
   cat "${log}" >&2
   return 1
 }
 
-start_server "${REPORT_DIR}/smoke_serve0.log"
-start_server "${REPORT_DIR}/smoke_serve1.log"
-port0=$(scrape_port "${REPORT_DIR}/smoke_serve0.log")
-port1=$(scrape_port "${REPORT_DIR}/smoke_serve1.log")
-echo "smoke_tcp: servers on ports ${port0} and ${port1}"
+start_server "${REPORT_DIR}/smoke_serve0.log" \
+  "${REPORT_DIR}/smoke_server0_trace.json"
+server0_pid=${last_server_pid}
+start_server "${REPORT_DIR}/smoke_serve1.log" \
+  "${REPORT_DIR}/smoke_server1_trace.json"
+server1_pid=${last_server_pid}
+port0=$(scrape_line_port "${REPORT_DIR}/smoke_serve0.log" 'listening on')
+port1=$(scrape_line_port "${REPORT_DIR}/smoke_serve1.log" 'listening on')
+mport0=$(scrape_line_port "${REPORT_DIR}/smoke_serve0.log" 'metrics on')
+echo "smoke_tcp: servers on ports ${port0} and ${port1}" \
+  "(metrics on ${mport0})"
 
 # Open loop at a rate several clients share: uniform arrivals from a common
 # epoch make concurrent frames the norm, so cross-connection batching must
-# show up in the occupancy histogram.
+# show up in the occupancy histogram. Runs in the background so the
+# metrics endpoint can be scraped MID-RUN; --trace-out samples 1-in-16
+# requests as traced Multi-Gets for the merge step.
 "${SIMDHT}" loadgen \
   --servers="127.0.0.1:${port0},127.0.0.1:${port1}" \
   --clients=4 --arrival=uniform --qps=20000 --seconds=1 \
   --num-keys=20000 --mget=16 --hit-rate=1.0 \
-  --stop-servers --json="${REPORT_DIR}/tcp_smoke.json"
+  --trace-out="${REPORT_DIR}/smoke_client_trace.json" \
+  --stop-servers --json="${REPORT_DIR}/tcp_smoke.json" &
+loadgen_pid=$!
+pids+=(${loadgen_pid})
 
-python3 - "${REPORT_DIR}/tcp_smoke.json" <<'EOF'
+# Mid-run live scrape: poll until the serving phase is underway (nonzero
+# request counter) so the windowed numbers describe real traffic, not the
+# preload. The scrape body is kept for the band check after the report
+# lands.
+python3 - "${mport0}" "${REPORT_DIR}/smoke_scrape.txt" <<'EOF'
+import sys, time, urllib.request
+port, out_path = sys.argv[1], sys.argv[2]
+url = f"http://127.0.0.1:{port}/metrics"
+body = ""
+requests_total = 0.0
+for _ in range(100):
+    try:
+        with urllib.request.urlopen(url, timeout=2) as r:
+            ctype = r.headers.get("Content-Type", "")
+            assert "text/plain" in ctype and "version=0.0.4" in ctype, ctype
+            body = r.read().decode()
+    except OSError:
+        time.sleep(0.05)
+        continue
+    requests_total = 0.0
+    for line in body.splitlines():
+        if line.startswith("simdht_kvs_requests_total "):
+            requests_total = float(line.split()[-1])
+    if requests_total > 0:
+        break
+    time.sleep(0.05)
+else:
+    sys.exit("smoke_tcp: metrics endpoint never showed served requests")
+# Exposition format sanity: HELP/TYPE headers and the family set.
+assert "# TYPE simdht_kvs_requests_total counter" in body, body[:400]
+assert "# HELP" in body
+for family in ("simdht_window_requests_per_s", "simdht_kvs_phase_ns",
+               "simdht_shard_hits_total"):
+    assert family in body, f"missing {family}"
+open(out_path, "w").write(body)
+print(f"smoke_tcp: live scrape OK — {requests_total:.0f} requests served")
+EOF
+
+wait "${loadgen_pid}"
+
+# --stop-servers sent SHUTDOWN; wait for both serve processes to flush
+# their trace files on exit.
+for pid in "${server0_pid}" "${server1_pid}"; do
+  for _ in $(seq 1 100); do
+    kill -0 "${pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+done
+wait "${server0_pid}" "${server1_pid}" 2>/dev/null || true
+
+python3 - "${REPORT_DIR}/tcp_smoke.json" "${REPORT_DIR}/smoke_scrape.txt" \
+  <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
 assert r['schema_version'] == 1, r.get('schema_version')
@@ -88,14 +162,73 @@ for p in ('mget_p50_us', 'mget_p99_us', 'mget_p999_us'):
 assert m['mget_p50_us'] <= m['mget_p99_us'] <= m['mget_p999_us'], m
 assert len(servers) == 2, f"expected 2 tcp-server rows, got {len(servers)}"
 occ = []
+probe_p99 = []
 for row in servers:
     sm = {name: stat['mean'] for name, stat in row['metrics'].items()}
     assert sm.get('batches', 0) > 0, row
     occ.append(sm.get('batch_connections.max', 0))
+    assert sm.get('units.phase_ns') == 1, 'phase units not declared as ns'
+    probe_p99.append(sm['index_probe_ns.p99'])
 assert max(occ) > 1, \
     f"no cross-connection batching observed (occupancy max {occ})"
+
+# The mid-run windowed p99 must sit in the band the report claims: the
+# whole run fits inside the rolling window, so windowed and lifetime p99
+# describe the same traffic in the same unit (ns). A cycles-vs-ns mixup
+# or a broken window merge lands far outside this band.
+win_p99 = None
+needle = 'simdht_window_phase_ns{phase="index_probe",quantile="0.99"}'
+for line in open(sys.argv[2]):
+    if line.startswith(needle):
+        win_p99 = float(line.split()[-1])
+assert win_p99 is not None, 'windowed index-probe p99 missing from scrape'
+assert win_p99 > 0, win_p99
+band = (min(probe_p99) / 20.0, max(probe_p99) * 20.0)
+assert band[0] <= win_p99 <= band[1], \
+    f"windowed p99 {win_p99} outside report band {band}"
 print(f"smoke_tcp: report OK — p99 {m['mget_p99_us']:.1f} us, "
-      f"batch occupancy max {max(occ):.0f}")
+      f"batch occupancy max {max(occ):.0f}, "
+      f"windowed probe p99 {win_p99:.0f} ns in band "
+      f"[{band[0]:.0f}, {band[1]:.0f}]")
+EOF
+
+# Merge the client trace with both server traces onto one clock and check
+# the merged document is a loadable Chrome trace with spans from every
+# process: the cross-wire tracing acceptance path.
+"${TRACEMERGE}" --out="${REPORT_DIR}/tcp_smoke_trace_merged.json" \
+  "${REPORT_DIR}/smoke_client_trace.json" \
+  "0=${REPORT_DIR}/smoke_server0_trace.json" \
+  "1=${REPORT_DIR}/smoke_server1_trace.json"
+
+python3 - "${REPORT_DIR}/tcp_smoke_trace_merged.json" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+events = t['traceEvents']
+assert events, 'empty merged trace'
+by_pid = {}
+client_names = set()
+server_names = set()
+traced = 0
+for e in events:
+    assert 'ph' in e and 'pid' in e, e
+    by_pid[e['pid']] = by_pid.get(e['pid'], 0) + 1
+    name = e.get('name', '')
+    if e['pid'] == 1:
+        client_names.add(name.split('.')[0])
+    elif e['pid'] in (2, 3):
+        server_names.add(name)
+    if name == 'request' and 'trace_id' in e.get('args', {}):
+        traced += 1
+assert set(by_pid) >= {1, 2, 3}, f"missing process: {sorted(by_pid)}"
+# Client side: request + per-server send/wait spans + sync instants.
+assert {'request', 'send_wait', 'clock_sync'} <= client_names, client_names
+# Server side: every per-request phase span made it across the merge.
+assert {'parse', 'index_probe', 'value_copy',
+        'transport'} <= server_names, server_names
+assert traced > 0, 'no sampled request spans carry a trace_id'
+print(f"smoke_tcp: merged trace OK — {len(events)} events, "
+      f"{traced} traced request spans, "
+      f"per-process {dict(sorted(by_pid.items()))}")
 EOF
 
 "${COMPARE}" "${REPORT_DIR}/tcp_smoke.json" "${REPORT_DIR}/tcp_smoke.json"

@@ -24,6 +24,7 @@ class Histogram {
   void Merge(const Histogram& other);
 
   std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
   std::uint64_t min() const { return count_ ? min_ : 0; }
   std::uint64_t max() const { return count_ ? max_ : 0; }
   double mean() const;

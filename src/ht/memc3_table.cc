@@ -93,6 +93,14 @@ unsigned Memc3Table::FindCandidates(std::uint64_t hash,
   }
 }
 
+bool Memc3Table::StashContains(std::uint64_t item) const {
+  const unsigned stash_n = store_.stash_count();
+  for (unsigned i = 0; i < stash_n; ++i) {
+    if (store_.stash_at(i).val == item) return true;
+  }
+  return false;
+}
+
 bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
   std::lock_guard<std::mutex> lock(writer_mu_);
 

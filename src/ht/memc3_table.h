@@ -87,6 +87,12 @@ class Memc3Table {
   std::uint64_t num_buckets() const { return store_.num_buckets(); }
   std::uint64_t table_bytes() const { return store_.table_bytes(); }
 
+  // True when `item` currently sits in the overflow stash (as opposed to a
+  // bucket slot). Monitoring accessor: the read is racy-tolerant and not
+  // seqlock-validated, so a concurrent writer can yield a stale answer —
+  // callers must not use it for control flow.
+  bool StashContains(std::uint64_t item) const;
+
  private:
   // One bucket = 4 tags + 4 item handles; 40 bytes, packed so two buckets
   // straddle at most two cache lines (MemC3 keeps buckets cache-friendly).

@@ -16,6 +16,17 @@
 
 namespace simdht {
 
+// Per-shard Multi-Get outcome counters (lifetime totals). `stash_hits`
+// counts hits served by the shard's overflow stash rather than a bucket —
+// a rising stash-hit rate is the early-warning signal that a shard is
+// saturating. Values are relaxed-atomic snapshots: eventually consistent,
+// meant for monitoring, never for control flow.
+struct ShardProbeCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stash_hits = 0;
+};
+
 class KvBackend {
  public:
   virtual ~KvBackend() = default;
@@ -42,6 +53,13 @@ class KvBackend {
   virtual bool Erase(std::string_view key) = 0;
 
   virtual std::uint64_t size() const = 0;
+
+  // One entry per index shard (empty when the backend doesn't track them).
+  // Updated by MultiGet only — the measured read path — so the numbers map
+  // directly onto what the serving metrics report.
+  virtual std::vector<ShardProbeCounters> ShardProbeStats() const {
+    return {};
+  }
 
   // Post-processing metadata update (CLOCK reference bits) for the handles
   // a MultiGet returned — the paper's "LRU updates" step.

@@ -23,6 +23,9 @@ Memc3Backend::Memc3Backend(std::uint64_t ht_entries,
     tables_.push_back(std::make_unique<Memc3Table>(
         per_shard_buckets, ShardSeedFor(/*seed=*/0, s), tag_match));
   }
+  shard_hits_ = std::vector<std::atomic<std::uint64_t>>(shards);
+  shard_misses_ = std::vector<std::atomic<std::uint64_t>>(shards);
+  shard_stash_hits_ = std::vector<std::atomic<std::uint64_t>>(shards);
 }
 
 std::uint64_t Memc3Backend::FindItem(std::string_view key,
@@ -104,6 +107,8 @@ std::size_t Memc3Backend::MultiGet(const std::vector<std::string_view>& keys,
   for (std::size_t i = 0; i < std::min(kGroup, n); ++i) {
     shard_for(hashes[i]).PrefetchCandidates(hashes[i]);
   }
+  const unsigned nshards = num_shards();
+  std::vector<std::uint64_t> tally(nshards * std::size_t{3}, 0);
   std::size_t hits = 0;
   for (std::size_t g = 0; g < n; g += kGroup) {
     for (std::size_t i = g + kGroup; i < std::min(g + 2 * kGroup, n); ++i) {
@@ -113,17 +118,46 @@ std::size_t Memc3Backend::MultiGet(const std::vector<std::string_view>& keys,
     for (std::size_t i = g; i < end; ++i) {
       const std::uint64_t item = FindItem(keys[i], hashes[i]);
       (*handles)[i] = item;
+      const std::uint32_t s =
+          ShardIndexOf(ShardRouterHash(hashes[i]), nshards);
       if (item != 0) {
         (*vals)[i] = ItemVal(item);
         (*found)[i] = 1;
         ++hits;
+        ++tally[s * 3];
+        if (shard_for(hashes[i]).StashContains(item)) ++tally[s * 3 + 2];
       } else {
         (*vals)[i] = {};
         (*found)[i] = 0;
+        ++tally[s * 3 + 1];
       }
     }
   }
+  for (unsigned s = 0; s < nshards; ++s) {
+    if (tally[s * 3]) {
+      shard_hits_[s].fetch_add(tally[s * 3], std::memory_order_relaxed);
+    }
+    if (tally[s * 3 + 1]) {
+      shard_misses_[s].fetch_add(tally[s * 3 + 1],
+                                 std::memory_order_relaxed);
+    }
+    if (tally[s * 3 + 2]) {
+      shard_stash_hits_[s].fetch_add(tally[s * 3 + 2],
+                                     std::memory_order_relaxed);
+    }
+  }
   return hits;
+}
+
+std::vector<ShardProbeCounters> Memc3Backend::ShardProbeStats() const {
+  std::vector<ShardProbeCounters> out(shard_hits_.size());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s].hits = shard_hits_[s].load(std::memory_order_relaxed);
+    out[s].misses = shard_misses_[s].load(std::memory_order_relaxed);
+    out[s].stash_hits =
+        shard_stash_hits_[s].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 bool Memc3Backend::Erase(std::string_view key) {

@@ -6,6 +6,7 @@
 #ifndef SIMDHT_KVS_MEMC3_BACKEND_H_
 #define SIMDHT_KVS_MEMC3_BACKEND_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -47,6 +48,7 @@ class Memc3Backend : public KvBackend {
   unsigned num_shards() const {
     return static_cast<unsigned>(tables_.size());
   }
+  std::vector<ShardProbeCounters> ShardProbeStats() const override;
 
  private:
   Memc3Table& shard_for(std::uint64_t hash) const {
@@ -63,6 +65,11 @@ class Memc3Backend : public KvBackend {
   ClockLru lru_;
   std::mutex write_mu_;
   bool simd_tags_ = false;
+  // Per-shard MultiGet outcomes (relaxed adds from reader threads, read
+  // unsynchronized by ShardProbeStats).
+  std::vector<std::atomic<std::uint64_t>> shard_hits_;
+  std::vector<std::atomic<std::uint64_t>> shard_misses_;
+  std::vector<std::atomic<std::uint64_t>> shard_stash_hits_;
 };
 
 }  // namespace simdht

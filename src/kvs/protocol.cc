@@ -100,6 +100,118 @@ bool CheckTrailing(const Reader& r, std::string* err) {
   return false;
 }
 
+void PutF64(Buffer* out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+bool ReadF64(Reader* r, double* v) {
+  std::uint64_t bits;
+  if (!r->U64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+// Shared MGET entry loops (plain and traced frames differ only in their
+// header prefix).
+
+void EncodeMgetKeys(const std::vector<std::string_view>& keys, Buffer* out) {
+  for (std::string_view key : keys) {
+    PutU16(out, static_cast<std::uint16_t>(key.size()));
+    PutBytes(out, key);
+  }
+}
+
+bool DecodeMgetKeys(Reader* r, std::uint32_t count, MultiGetRequest* out,
+                    std::string* err) {
+  // Every entry needs at least its 2-byte length field, so a structurally
+  // valid count is bounded by the bytes actually present. Checking before
+  // reserve() keeps a hostile count from sizing an allocation.
+  if (count > kMaxMultiGetKeys || count * std::size_t{2} > r->remaining()) {
+    Fail(err, "mget count %u needs >= %zu bytes, %zu remain", count,
+         count * std::size_t{2}, r->remaining());
+    return false;
+  }
+  out->keys.clear();
+  out->keys.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t klen;
+    std::string_view key;
+    if (!r->U16(&klen)) {
+      Fail(err, "mget key %u/%u truncated in the length field", i, count);
+      return false;
+    }
+    if (klen > kMaxKeyBytes) {
+      Fail(err, "mget key %u/%u length %u exceeds %zu", i, count, klen,
+           kMaxKeyBytes);
+      return false;
+    }
+    if (!r->Bytes(klen, &key)) {
+      Fail(err, "mget key %u/%u claims %u bytes, %zu remain", i, count,
+           klen, r->remaining());
+      return false;
+    }
+    out->keys.push_back(key);
+  }
+  return true;
+}
+
+void EncodeMgetValues(const std::vector<std::string_view>& vals,
+                      const std::vector<std::uint8_t>& found, Buffer* out) {
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    PutU8(out, found[i] ? 1 : 0);
+    if (found[i]) {
+      PutU32(out, static_cast<std::uint32_t>(vals[i].size()));
+      PutBytes(out, vals[i]);
+    } else {
+      PutU32(out, 0);
+    }
+  }
+}
+
+bool DecodeMgetValues(Reader* r, std::uint32_t count, MultiGetResponse* out,
+                      std::string* err) {
+  // Each entry carries at least [u8 found][u32 vlen] = 5 bytes.
+  if (count > kMaxMultiGetKeys || count * std::size_t{5} > r->remaining()) {
+    Fail(err, "mget response count %u needs >= %zu bytes, %zu remain",
+         count, count * std::size_t{5}, r->remaining());
+    return false;
+  }
+  out->found.clear();
+  out->vals.clear();
+  out->found.reserve(count);
+  out->vals.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t found;
+    std::uint32_t vlen;
+    std::string_view val;
+    if (!r->U8(&found) || !r->U32(&vlen)) {
+      Fail(err, "mget response entry %u/%u truncated in the header", i,
+           count);
+      return false;
+    }
+    if (vlen > kMaxValueBytes) {
+      Fail(err, "mget response value %u/%u length %u exceeds the %zu-byte "
+                "cap",
+           i, count, vlen, kMaxValueBytes);
+      return false;
+    }
+    if (!r->Bytes(vlen, &val)) {
+      Fail(err, "mget response value %u/%u claims %u bytes, %zu remain", i,
+           count, vlen, r->remaining());
+      return false;
+    }
+    out->found.push_back(found);
+    out->vals.push_back(val);
+  }
+  return true;
+}
+
+// kTracedMultiGet flag bits.
+constexpr std::uint8_t kTraceFlagSampled = 0x01;
+
 }  // namespace
 
 void EncodeSetRequest(std::string_view key, std::string_view val,
@@ -118,10 +230,17 @@ void EncodeMultiGetRequest(const std::vector<std::string_view>& keys,
   out->clear();
   PutU8(out, static_cast<std::uint8_t>(Opcode::kMultiGet));
   PutU32(out, static_cast<std::uint32_t>(keys.size()));
-  for (std::string_view key : keys) {
-    PutU16(out, static_cast<std::uint16_t>(key.size()));
-    PutBytes(out, key);
-  }
+  EncodeMgetKeys(keys, out);
+}
+
+void EncodeTracedMultiGetRequest(const std::vector<std::string_view>& keys,
+                                 const TraceContext& trace, Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kTracedMultiGet));
+  PutU32(out, static_cast<std::uint32_t>(keys.size()));
+  PutU64(out, trace.trace_id);
+  PutU8(out, trace.sampled ? kTraceFlagSampled : 0);
+  EncodeMgetKeys(keys, out);
 }
 
 void EncodeShutdownRequest(Buffer* out) {
@@ -133,6 +252,12 @@ void EncodeShutdownRequest(Buffer* out) {
 void EncodeStatsRequest(Buffer* out) {
   out->clear();
   PutU8(out, static_cast<std::uint8_t>(Opcode::kStats));
+  PutU32(out, 0);
+}
+
+void EncodeMetricsRequest(Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kMetrics));
   PutU32(out, 0);
 }
 
@@ -149,15 +274,20 @@ void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
   out->clear();
   PutU8(out, static_cast<std::uint8_t>(Opcode::kMultiGet));
   PutU32(out, static_cast<std::uint32_t>(vals.size()));
-  for (std::size_t i = 0; i < vals.size(); ++i) {
-    PutU8(out, found[i] ? 1 : 0);
-    if (found[i]) {
-      PutU32(out, static_cast<std::uint32_t>(vals[i].size()));
-      PutBytes(out, vals[i]);
-    } else {
-      PutU32(out, 0);
-    }
-  }
+  EncodeMgetValues(vals, found, out);
+}
+
+void EncodeTracedMultiGetResponse(const std::vector<std::string_view>& vals,
+                                  const std::vector<std::uint8_t>& found,
+                                  std::uint64_t trace_id,
+                                  const ServerTiming& timing, Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kTracedMultiGet));
+  PutU32(out, static_cast<std::uint32_t>(vals.size()));
+  PutU64(out, trace_id);
+  PutF64(out, timing.rx_us);
+  PutF64(out, timing.tx_us);
+  EncodeMgetValues(vals, found, out);
 }
 
 void EncodeStatsResponse(const StatsPairs& stats, Buffer* out) {
@@ -167,11 +297,16 @@ void EncodeStatsResponse(const StatsPairs& stats, Buffer* out) {
   for (const auto& [name, value] : stats) {
     PutU16(out, static_cast<std::uint16_t>(name.size()));
     PutBytes(out, name);
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(value));
-    std::memcpy(&bits, &value, sizeof(bits));
-    PutU64(out, bits);
+    PutF64(out, value);
   }
+}
+
+void EncodeMetricsResponse(std::string_view text, Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kMetrics));
+  PutU32(out, 1);
+  PutU32(out, static_cast<std::uint32_t>(text.size()));
+  PutBytes(out, text);
 }
 
 bool PeekOpcode(const Buffer& in, Opcode* op) {
@@ -216,35 +351,26 @@ bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out,
   Reader r(in);
   std::uint32_t count;
   if (!ReadHeader(&r, Opcode::kMultiGet, &count, err)) return false;
-  // Every entry needs at least its 2-byte length field, so a structurally
-  // valid count is bounded by the bytes actually present. Checking before
-  // reserve() keeps a hostile count from sizing an allocation.
-  if (count > kMaxMultiGetKeys || count * std::size_t{2} > r.remaining()) {
-    Fail(err, "mget count %u needs >= %zu bytes, %zu remain", count,
-         count * std::size_t{2}, r.remaining());
+  if (!DecodeMgetKeys(&r, count, out, err)) return false;
+  return CheckTrailing(r, err);
+}
+
+bool DecodeTracedMultiGetRequest(const Buffer& in, MultiGetRequest* out,
+                                 TraceContext* trace, std::string* err) {
+  Reader r(in);
+  std::uint32_t count;
+  std::uint8_t flags;
+  if (!ReadHeader(&r, Opcode::kTracedMultiGet, &count, err)) return false;
+  if (!r.U64(&trace->trace_id) || !r.U8(&flags)) {
+    Fail(err, "traced mget truncated inside the trace context");
     return false;
   }
-  out->keys.clear();
-  out->keys.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::uint16_t klen;
-    std::string_view key;
-    if (!r.U16(&klen)) {
-      Fail(err, "mget key %u/%u truncated in the length field", i, count);
-      return false;
-    }
-    if (klen > kMaxKeyBytes) {
-      Fail(err, "mget key %u/%u length %u exceeds %zu", i, count, klen,
-           kMaxKeyBytes);
-      return false;
-    }
-    if (!r.Bytes(klen, &key)) {
-      Fail(err, "mget key %u/%u claims %u bytes, %zu remain", i, count,
-           klen, r.remaining());
-      return false;
-    }
-    out->keys.push_back(key);
+  trace->sampled = (flags & kTraceFlagSampled) != 0;
+  if ((flags & ~kTraceFlagSampled) != 0) {
+    Fail(err, "traced mget carries unknown flag bits 0x%02x", flags);
+    return false;
   }
+  if (!DecodeMgetKeys(&r, count, out, err)) return false;
   return CheckTrailing(r, err);
 }
 
@@ -266,39 +392,22 @@ bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out,
   Reader r(in);
   std::uint32_t count;
   if (!ReadHeader(&r, Opcode::kMultiGet, &count, err)) return false;
-  // Each entry carries at least [u8 found][u32 vlen] = 5 bytes.
-  if (count > kMaxMultiGetKeys || count * std::size_t{5} > r.remaining()) {
-    Fail(err, "mget response count %u needs >= %zu bytes, %zu remain",
-         count, count * std::size_t{5}, r.remaining());
+  if (!DecodeMgetValues(&r, count, out, err)) return false;
+  return CheckTrailing(r, err);
+}
+
+bool DecodeTracedMultiGetResponse(const Buffer& in, MultiGetResponse* out,
+                                  std::uint64_t* trace_id,
+                                  ServerTiming* timing, std::string* err) {
+  Reader r(in);
+  std::uint32_t count;
+  if (!ReadHeader(&r, Opcode::kTracedMultiGet, &count, err)) return false;
+  if (!r.U64(trace_id) || !ReadF64(&r, &timing->rx_us) ||
+      !ReadF64(&r, &timing->tx_us)) {
+    Fail(err, "traced mget response truncated inside the timing prefix");
     return false;
   }
-  out->found.clear();
-  out->vals.clear();
-  out->found.reserve(count);
-  out->vals.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::uint8_t found;
-    std::uint32_t vlen;
-    std::string_view val;
-    if (!r.U8(&found) || !r.U32(&vlen)) {
-      Fail(err, "mget response entry %u/%u truncated in the header", i,
-           count);
-      return false;
-    }
-    if (vlen > kMaxValueBytes) {
-      Fail(err, "mget response value %u/%u length %u exceeds the %zu-byte "
-                "cap",
-           i, count, vlen, kMaxValueBytes);
-      return false;
-    }
-    if (!r.Bytes(vlen, &val)) {
-      Fail(err, "mget response value %u/%u claims %u bytes, %zu remain", i,
-           count, vlen, r.remaining());
-      return false;
-    }
-    out->found.push_back(found);
-    out->vals.push_back(val);
-  }
+  if (!DecodeMgetValues(&r, count, out, err)) return false;
   return CheckTrailing(r, err);
 }
 
@@ -327,6 +436,35 @@ bool DecodeStatsResponse(const Buffer& in, StatsPairs* out,
     std::memcpy(&value, &bits, sizeof(value));
     out->emplace_back(std::string(name), value);
   }
+  return CheckTrailing(r, err);
+}
+
+bool DecodeMetricsResponse(const Buffer& in, std::string* text,
+                           std::string* err) {
+  Reader r(in);
+  std::uint32_t count;
+  std::uint32_t len;
+  std::string_view body;
+  if (!ReadHeader(&r, Opcode::kMetrics, &count, err)) return false;
+  if (count != 1) {
+    Fail(err, "metrics response count %u (must be 1)", count);
+    return false;
+  }
+  if (!r.U32(&len)) {
+    Fail(err, "metrics response truncated before the text length");
+    return false;
+  }
+  if (len > kMaxFrameBytes) {
+    Fail(err, "metrics text length %u exceeds the %zu-byte cap", len,
+         kMaxFrameBytes);
+    return false;
+  }
+  if (!r.Bytes(len, &body)) {
+    Fail(err, "metrics text claims %u bytes, %zu remain", len,
+         r.remaining());
+    return false;
+  }
+  text->assign(body);
   return CheckTrailing(r, err);
 }
 

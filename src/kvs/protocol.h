@@ -4,13 +4,26 @@
 // (20 B keys, 32 B values, 16-96 keys per Multi-Get):
 //
 //   Request  = [u8 opcode][u32 count] then per entry:
-//     SET:   [u16 klen][u32 vlen][key][value]    (count == 1)
-//     MGET:  [u16 klen][key]                     (count == batch size)
-//     STATS: (no entries; count == 0)
+//     SET:    [u16 klen][u32 vlen][key][value]    (count == 1)
+//     MGET:   [u16 klen][key]                     (count == batch size)
+//     STATS:  (no entries; count == 0)
+//     TMGET:  [u64 trace_id][u8 flags] then MGET entries (trace context
+//             prefix; flags bit0 = sampled)
+//     METRICS: (no entries; count == 0)
 //   Response = [u8 opcode][u32 count] then per entry:
-//     SET:   [u8 ok]
-//     MGET:  [u8 found][u32 vlen][value]
-//     STATS: [u16 namelen][name][f64 value]      (named gauge snapshot)
+//     SET:    [u8 ok]
+//     MGET:   [u8 found][u32 vlen][value]
+//     STATS:  [u16 namelen][name][f64 value]      (named gauge snapshot)
+//     TMGET:  [u64 trace_id][f64 server_rx_us][f64 server_tx_us] then MGET
+//             entries (server-clock receive/transmit stamps for the clock
+//             alignment done by tools/simdht_tracemerge)
+//     METRICS: [u32 len][text]                    (Prometheus exposition)
+//
+// Compatibility: TMGET/METRICS are strict supersets — a server that knows
+// them still accepts every PR 7 frame, and clients negotiate by checking
+// the `proto.trace_context` gauge in a STATS snapshot before sending the
+// new opcodes (an old server reports no such gauge and the client falls
+// back to plain MGET, so old binaries on either side keep working).
 //
 // Encoders append to a reusable buffer; decoders return string_views into
 // the input (zero-copy, mirroring how an RDMA-registered buffer is parsed).
@@ -37,8 +50,27 @@ namespace simdht {
 enum class Opcode : std::uint8_t {
   kSet = 1,
   kMultiGet = 2,
-  kShutdown = 3,  // closes the server worker serving this channel
-  kStats = 4,     // snapshot of the server's serving metrics
+  kShutdown = 3,        // closes the server worker serving this channel
+  kStats = 4,           // snapshot of the server's serving metrics
+  kTracedMultiGet = 5,  // MGET carrying a trace context (id + sampled flag)
+  kMetrics = 6,         // Prometheus-text exposition of the live metrics
+};
+
+// Per-request trace context carried by kTracedMultiGet. The id correlates
+// client and server spans of one request across trace files; `sampled`
+// tells the server whether to record spans for it (the id travels either
+// way so responses can be matched).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  bool sampled = false;
+};
+
+// Server-side receive/transmit timestamps echoed on a traced response, in
+// the server's Timeline::NowUs() clock. The trace merge tool estimates the
+// client/server clock offset from (rx, tx) vs the client's (send, recv).
+struct ServerTiming {
+  double rx_us = 0.0;
+  double tx_us = 0.0;
 };
 
 using Buffer = std::vector<std::uint8_t>;
@@ -56,17 +88,27 @@ void EncodeSetRequest(std::string_view key, std::string_view val,
                       Buffer* out);
 void EncodeMultiGetRequest(const std::vector<std::string_view>& keys,
                            Buffer* out);
+void EncodeTracedMultiGetRequest(const std::vector<std::string_view>& keys,
+                                 const TraceContext& trace, Buffer* out);
 void EncodeShutdownRequest(Buffer* out);
 void EncodeStatsRequest(Buffer* out);
+void EncodeMetricsRequest(Buffer* out);
 
 void EncodeSetResponse(bool ok, Buffer* out);
 void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
                             const std::vector<std::uint8_t>& found,
                             Buffer* out);
+void EncodeTracedMultiGetResponse(const std::vector<std::string_view>& vals,
+                                  const std::vector<std::uint8_t>& found,
+                                  std::uint64_t trace_id,
+                                  const ServerTiming& timing, Buffer* out);
 
 // Named doubles (e.g. "parse_ns.p999" -> 1234.0); order is preserved.
 using StatsPairs = std::vector<std::pair<std::string, double>>;
 void EncodeStatsResponse(const StatsPairs& stats, Buffer* out);
+
+// `text` is the Prometheus exposition body (already rendered).
+void EncodeMetricsResponse(std::string_view text, Buffer* out);
 
 // --- decoding ---
 
@@ -95,12 +137,21 @@ bool DecodeSetRequest(const Buffer& in, SetRequest* out,
                       std::string* err = nullptr);
 bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out,
                            std::string* err = nullptr);
+bool DecodeTracedMultiGetRequest(const Buffer& in, MultiGetRequest* out,
+                                 TraceContext* trace,
+                                 std::string* err = nullptr);
 bool DecodeSetResponse(const Buffer& in, bool* ok,
                        std::string* err = nullptr);
 bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out,
                             std::string* err = nullptr);
+bool DecodeTracedMultiGetResponse(const Buffer& in, MultiGetResponse* out,
+                                  std::uint64_t* trace_id,
+                                  ServerTiming* timing,
+                                  std::string* err = nullptr);
 bool DecodeStatsResponse(const Buffer& in, StatsPairs* out,
                          std::string* err = nullptr);
+bool DecodeMetricsResponse(const Buffer& in, std::string* text,
+                           std::string* err = nullptr);
 
 // --- stream framing (TCP transport) ---
 

@@ -63,6 +63,9 @@ SimdBackend::SimdBackend(const Config& config, std::uint64_t ht_entries,
     throw std::runtime_error("SimdBackend: no kernel for " +
                              config.display_name + " on this CPU");
   }
+  shard_hits_ = std::vector<std::atomic<std::uint64_t>>(config.shards);
+  shard_misses_ = std::vector<std::atomic<std::uint64_t>>(config.shards);
+  shard_stash_hits_ = std::vector<std::atomic<std::uint64_t>>(config.shards);
   pointer_array_.resize(table_->capacity() + 1, 0);  // index 0 reserved
   free_indices_.reserve(table_->capacity());
   for (std::uint32_t i = static_cast<std::uint32_t>(table_->capacity());
@@ -203,6 +206,8 @@ std::size_t SimdBackend::MultiGet(const std::vector<std::string_view>& keys,
     (*handles)[i] = item;
     if (item != 0) __builtin_prefetch(reinterpret_cast<const void*>(item), 0, 1);
   }
+  const unsigned nshards = table_->num_shards();
+  std::vector<std::uint64_t> tally(nshards * std::size_t{3}, 0);
   std::size_t hits = 0;
   for (std::size_t i = 0; i < n; ++i) {
     std::uint64_t item = (*handles)[i];
@@ -210,16 +215,54 @@ std::size_t SimdBackend::MultiGet(const std::vector<std::string_view>& keys,
       item = 0;  // tag/hash false positive
     }
     (*handles)[i] = item;
+    const std::uint32_t s = ShardedTable32::ShardOf(hash_keys[i], nshards);
     if (item != 0) {
       (*vals)[i] = ItemVal(item);
       (*found)[i] = 1;
       ++hits;
+      ++tally[s * 3];
+      // Stash attribution: a hit whose hash key currently sits in the
+      // shard's overflow stash was served by the stash post-pass, not a
+      // bucket probe. Racy-read tolerant (monitoring only).
+      const TableStore& store = table_->shard(s).table().store();
+      const unsigned stash_n = store.stash_count();
+      for (unsigned e = 0; e < stash_n; ++e) {
+        if (store.stash_at(e).key == hash_keys[i]) {
+          ++tally[s * 3 + 2];
+          break;
+        }
+      }
     } else {
       (*vals)[i] = {};
       (*found)[i] = 0;
+      ++tally[s * 3 + 1];
+    }
+  }
+  for (unsigned s = 0; s < nshards; ++s) {
+    if (tally[s * 3]) {
+      shard_hits_[s].fetch_add(tally[s * 3], std::memory_order_relaxed);
+    }
+    if (tally[s * 3 + 1]) {
+      shard_misses_[s].fetch_add(tally[s * 3 + 1],
+                                 std::memory_order_relaxed);
+    }
+    if (tally[s * 3 + 2]) {
+      shard_stash_hits_[s].fetch_add(tally[s * 3 + 2],
+                                     std::memory_order_relaxed);
     }
   }
   return hits;
+}
+
+std::vector<ShardProbeCounters> SimdBackend::ShardProbeStats() const {
+  std::vector<ShardProbeCounters> out(shard_hits_.size());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s].hits = shard_hits_[s].load(std::memory_order_relaxed);
+    out[s].misses = shard_misses_[s].load(std::memory_order_relaxed);
+    out[s].stash_hits =
+        shard_stash_hits_[s].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 bool SimdBackend::Erase(std::string_view key) {

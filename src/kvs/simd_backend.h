@@ -12,6 +12,7 @@
 #ifndef SIMDHT_KVS_SIMD_BACKEND_H_
 #define SIMDHT_KVS_SIMD_BACKEND_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 
@@ -63,6 +64,7 @@ class SimdBackend : public KvBackend {
                        std::vector<std::uint64_t>* handles) override;
   bool Erase(std::string_view key) override;
   std::uint64_t size() const override { return table_->size(); }
+  std::vector<ShardProbeCounters> ShardProbeStats() const override;
 
   // Distinct full keys that mapped to the same 32-bit hash key and were
   // therefore rejected (expected ~ n^2 / 2^33; tracked for transparency).
@@ -85,6 +87,12 @@ class SimdBackend : public KvBackend {
   std::vector<std::uint32_t> free_indices_;
   std::mutex write_mu_;
   std::uint64_t hash_collisions_ = 0;
+  // Per-shard MultiGet outcomes, one cell per ShardProbeCounters field.
+  // Written with per-batch relaxed adds (MultiGet runs concurrently from
+  // many threads), read unsynchronized by ShardProbeStats.
+  std::vector<std::atomic<std::uint64_t>> shard_hits_;
+  std::vector<std::atomic<std::uint64_t>> shard_misses_;
+  std::vector<std::atomic<std::uint64_t>> shard_stash_hits_;
 };
 
 }  // namespace simdht

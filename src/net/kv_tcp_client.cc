@@ -5,6 +5,8 @@
 
 #include <cerrno>
 
+#include "obs/timeline.h"
+
 namespace simdht {
 
 bool KvTcpClient::Fail(std::string* err, const std::string& message) {
@@ -99,6 +101,45 @@ bool KvTcpClient::MultiGet(const std::vector<std::string_view>& keys,
   return true;
 }
 
+bool KvTcpClient::MultiGetTraced(const std::vector<std::string_view>& keys,
+                                 const TraceContext& trace,
+                                 std::vector<std::string>* vals,
+                                 std::vector<std::uint8_t>* found,
+                                 TracedExchange* exchange,
+                                 std::string* err) {
+  EncodeTracedMultiGetRequest(keys, trace, &request_);
+  const double send_us = Timeline::Global().NowUs();
+  if (!SendFrame(request_, err)) return false;
+  if (!RecvFrame(&frame_, err)) return false;
+  const double recv_us = Timeline::Global().NowUs();
+  MultiGetResponse response;
+  std::uint64_t echoed_id = 0;
+  ServerTiming timing;
+  std::string decode_err;
+  if (!DecodeTracedMultiGetResponse(frame_, &response, &echoed_id, &timing,
+                                    &decode_err)) {
+    return Fail(err, "bad TMGET response: " + decode_err);
+  }
+  if (echoed_id != trace.trace_id) {
+    // A mismatched id means responses got paired with the wrong request —
+    // the stream ordering is broken.
+    return Fail(err, "TMGET response trace id mismatch");
+  }
+  if (response.vals.size() != keys.size()) {
+    return Fail(err, "TMGET response count mismatch");
+  }
+  vals->clear();
+  vals->reserve(keys.size());
+  for (const std::string_view v : response.vals) vals->emplace_back(v);
+  *found = response.found;
+  if (exchange) {
+    exchange->server = timing;
+    exchange->client_send_us = send_us;
+    exchange->client_recv_us = recv_us;
+  }
+  return true;
+}
+
 bool KvTcpClient::Stats(StatsPairs* out, std::string* err) {
   EncodeStatsRequest(&request_);
   if (!SendFrame(request_, err)) return false;
@@ -106,6 +147,17 @@ bool KvTcpClient::Stats(StatsPairs* out, std::string* err) {
   std::string decode_err;
   if (!DecodeStatsResponse(frame_, out, &decode_err)) {
     return Fail(err, "bad STATS response: " + decode_err);
+  }
+  return true;
+}
+
+bool KvTcpClient::Metrics(std::string* text, std::string* err) {
+  EncodeMetricsRequest(&request_);
+  if (!SendFrame(request_, err)) return false;
+  if (!RecvFrame(&frame_, err)) return false;
+  std::string decode_err;
+  if (!DecodeMetricsResponse(frame_, text, &decode_err)) {
+    return Fail(err, "bad METRICS response: " + decode_err);
   }
   return true;
 }
@@ -206,6 +258,56 @@ bool KvClusterClient::MultiGet(const std::vector<std::string_view>& keys,
       (*vals)[indices[k]] = std::move(sub_vals[k]);
       (*found)[indices[k]] = sub_found[k];
     }
+    any_ok = true;
+  }
+  if (err) *err = first_err;
+  return any_ok;
+}
+
+bool KvClusterClient::MultiGetTraced(
+    const std::vector<std::string_view>& keys, const TraceContext& trace,
+    std::vector<std::string>* vals, std::vector<std::uint8_t>* found,
+    std::vector<std::uint8_t>* error,
+    std::vector<std::pair<std::uint32_t, TracedExchange>>* exchanges,
+    std::string* err) {
+  vals->assign(keys.size(), std::string());
+  found->assign(keys.size(), 0);
+  error->assign(keys.size(), 0);
+  if (exchanges) exchanges->clear();
+  if (keys.empty()) return true;
+
+  const auto partitions = ring_.PartitionKeys(keys);
+  std::vector<std::string_view> sub_keys;
+  std::vector<std::string> sub_vals;
+  std::vector<std::uint8_t> sub_found;
+  bool any_ok = false;
+  std::string first_err;
+  for (const auto& [server, indices] : partitions) {
+    if (!up_[server]) {
+      for (const std::size_t i : indices) (*error)[i] = 1;
+      if (first_err.empty()) {
+        first_err = "server " + std::to_string(server) + " is down";
+      }
+      continue;
+    }
+    sub_keys.clear();
+    for (const std::size_t i : indices) sub_keys.push_back(keys[i]);
+    TracedExchange exchange;
+    std::string sub_err;
+    if (!clients_[server].MultiGetTraced(sub_keys, trace, &sub_vals,
+                                         &sub_found, &exchange, &sub_err)) {
+      up_[server] = 0;
+      for (const std::size_t i : indices) (*error)[i] = 1;
+      if (first_err.empty()) {
+        first_err = "server " + std::to_string(server) + ": " + sub_err;
+      }
+      continue;
+    }
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      (*vals)[indices[k]] = std::move(sub_vals[k]);
+      (*found)[indices[k]] = sub_found[k];
+    }
+    if (exchanges) exchanges->emplace_back(server, exchange);
     any_ok = true;
   }
   if (err) *err = first_err;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "kvs/consistent_hash.h"
@@ -24,6 +25,17 @@
 #include "net/socket.h"
 
 namespace simdht {
+
+// One traced Multi-Get exchange: the server-side receive/transmit
+// timestamps (on the SERVER's timeline clock) plus the client-side
+// bracketing timestamps (on the CLIENT's timeline clock). The pair of
+// clock readings is exactly one NTP-style sync sample — simdht_tracemerge
+// estimates each server's clock offset from the midpoints.
+struct TracedExchange {
+  ServerTiming server;
+  double client_send_us = 0.0;
+  double client_recv_us = 0.0;
+};
 
 class KvTcpClient {
  public:
@@ -42,7 +54,20 @@ class KvTcpClient {
                 std::vector<std::string>* vals,
                 std::vector<std::uint8_t>* found,
                 std::string* err = nullptr);
+  // Traced variant (kTracedMultiGet): carries `trace` on the wire and
+  // fills `exchange` with the server's echoed rx/tx timestamps bracketed
+  // by client-side send/recv timestamps. Requires a server that
+  // advertises proto.trace_context in STATS; older servers close the
+  // connection on the unknown opcode.
+  bool MultiGetTraced(const std::vector<std::string_view>& keys,
+                      const TraceContext& trace,
+                      std::vector<std::string>* vals,
+                      std::vector<std::uint8_t>* found,
+                      TracedExchange* exchange,
+                      std::string* err = nullptr);
   bool Stats(StatsPairs* out, std::string* err = nullptr);
+  // Fetches the Prometheus text exposition over the KV wire (kMetrics).
+  bool Metrics(std::string* text, std::string* err = nullptr);
 
   // Sends SHUTDOWN (stops the whole server process; fire-and-forget).
   void Shutdown();
@@ -94,6 +119,19 @@ class KvClusterClient {
                 std::vector<std::uint8_t>* found,
                 std::vector<std::uint8_t>* error,
                 std::string* err = nullptr);
+
+  // Traced scatter/gather: every sub-request goes out as kTracedMultiGet
+  // with the same trace context, and `exchanges` (when non-null) collects
+  // one (server index, TracedExchange) pair per sub-request that
+  // succeeded — the clock-sync samples for that request's servers.
+  bool MultiGetTraced(const std::vector<std::string_view>& keys,
+                      const TraceContext& trace,
+                      std::vector<std::string>* vals,
+                      std::vector<std::uint8_t>* found,
+                      std::vector<std::uint8_t>* error,
+                      std::vector<std::pair<std::uint32_t, TracedExchange>>*
+                          exchanges,
+                      std::string* err = nullptr);
 
   // Per-endpoint STATS snapshot; entries for down servers are empty.
   std::vector<StatsPairs> StatsAll();

@@ -45,6 +45,8 @@
 #include "net/acceptor.h"
 #include "net/connection.h"
 #include "net/event_loop.h"
+#include "net/metrics_http.h"
+#include "obs/sliding_histogram.h"
 #include "perf/metrics.h"
 
 namespace simdht {
@@ -53,6 +55,8 @@ namespace simdht {
 // per-phase histograms it shares with the simulated server).
 namespace net_metrics {
 inline constexpr char kBatches[] = "kvs.net.batches";
+// Multi-Get request frames (plain + traced) accepted for processing.
+inline constexpr char kRequests[] = "kvs.net.requests";
 inline constexpr char kKeys[] = "kvs.net.keys";
 inline constexpr char kHits[] = "kvs.net.hits";
 inline constexpr char kConnections[] = "kvs.net.connections";
@@ -69,6 +73,16 @@ struct KvTcpServerOptions {
   std::size_t max_batch_keys = 8192;
   // Per-connection write-buffer cap; beyond it reads pause (backpressure).
   std::size_t max_write_buffer = std::size_t{4} << 20;
+  // Rolling metrics window: a ring of `window_intervals` buckets of
+  // `window_interval_ms` each. Windowed percentiles/rates (METRICS op,
+  // `win.*` STATS keys) reflect only the last
+  // window_intervals * window_interval_ms of traffic.
+  std::uint64_t window_interval_ms = 1000;
+  unsigned window_intervals = 8;
+  // Optional plain-HTTP Prometheus endpoint on the serving event loop
+  // (GET /metrics). Port 0 = ephemeral; read back via metrics_port().
+  bool enable_metrics_http = false;
+  std::uint16_t metrics_http_port = 0;
 };
 
 class KvTcpServer {
@@ -104,8 +118,18 @@ class KvTcpServer {
   int PollOnce(int timeout_ms);
 
   // Named-double snapshot (what a STATS request returns): per-phase
-  // latency percentiles in ns, batch occupancy, counters. Thread-safe.
+  // latency percentiles in ns, batch occupancy, counters, rolling-window
+  // tails (`win.*`), per-shard probe counters. Thread-safe.
   StatsPairs StatsSnapshot() const;
+
+  // Prometheus text exposition (what a METRICS request and the HTTP
+  // endpoint return). Thread-safe.
+  std::string RenderMetricsText() const;
+
+  // Valid after Listen() when options.enable_metrics_http; 0 otherwise.
+  std::uint16_t metrics_port() const {
+    return metrics_http_ ? metrics_http_->port() : 0;
+  }
 
   MetricsSnapshot Metrics() const { return metrics_->Aggregate(); }
 
@@ -124,6 +148,12 @@ class KvTcpServer {
     std::uint64_t conn_id;
     std::size_t first_key;  // range [first_key, first_key + num_keys)
     std::size_t num_keys;
+    // Trace context (kTracedMultiGet only). rx_us is the server timeline
+    // timestamp at frame receipt, echoed to the client for clock alignment.
+    bool traced = false;
+    bool sampled = false;
+    std::uint64_t trace_id = 0;
+    double rx_us = 0.0;
   };
 
   void RegisterMetricIds();
@@ -141,14 +171,33 @@ class KvTcpServer {
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
   struct {
-    MetricId batches, keys, hits, connections, protocol_errors;
+    MetricId batches, requests, keys, hits, connections, protocol_errors;
     MetricId batch_connections, batch_keys;
     MetricId parse_ns, index_probe_ns, value_copy_ns, transport_ns;
   } ids_{};
   double tsc_ghz_;
 
+  // Rolling windows (merge-on-read rings; see obs/sliding_histogram.h).
+  // Latencies in ns; dispatch_us in µs. `requests`/`keys`/`hits` record
+  // per-flush totals so sum_rate_per_s gives windowed requests/s, keys/s,
+  // hits/s; `dispatch_*` are recorded once per dispatch cycle that handled
+  // at least one event (the duration includes the epoll wait itself).
+  struct Windows {
+    explicit Windows(const SlidingHistogram::Options& w)
+        : parse_ns(w), index_probe_ns(w), value_copy_ns(w),
+          transport_ns(w), batch_connections(w), batch_keys(w),
+          requests(w), keys(w), hits(w), dispatch_us(w),
+          dispatch_events(w) {}
+    SlidingHistogram parse_ns, index_probe_ns, value_copy_ns, transport_ns;
+    SlidingHistogram batch_connections, batch_keys;
+    SlidingHistogram requests, keys, hits;
+    SlidingHistogram dispatch_us, dispatch_events;
+  };
+  std::unique_ptr<Windows> windows_;
+
   EventLoop loop_;
   Acceptor acceptor_;
+  std::unique_ptr<MetricsHttpListener> metrics_http_;
   std::map<int, std::unique_ptr<Conn>> conns_;
   std::vector<std::unique_ptr<Conn>> dead_conns_;  // closed end-of-cycle
   std::uint64_t next_conn_id_ = 1;

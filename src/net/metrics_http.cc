@@ -1,0 +1,161 @@
+#include "net/metrics_http.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace simdht {
+
+namespace {
+
+// A scrape request is one line + a few headers; anything bigger is abuse.
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+std::string BuildResponse(const std::string& request,
+                          const std::string& body) {
+  // Path check: serve the exposition on "/" and "/metrics", 404 elsewhere
+  // (lets a probe distinguish a typo'd path from an empty exposition).
+  const std::size_t sp1 = request.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request.find(' ', sp1 + 1);
+  std::string path;
+  if (sp2 != std::string::npos) {
+    path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  const bool found = path == "/metrics" || path == "/";
+  std::string out;
+  out += found ? "HTTP/1.0 200 OK\r\n" : "HTTP/1.0 404 Not Found\r\n";
+  out += "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+  const std::string& payload = found ? body : path;
+  out += "Content-Length: " + std::to_string(payload.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += payload;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpListener::MetricsHttpListener(EventLoop* loop, RenderFn render)
+    : loop_(loop), render_(std::move(render)) {}
+
+MetricsHttpListener::~MetricsHttpListener() {
+  for (auto& [fd, conn] : conns_) {
+    (void)conn;
+    loop_->Remove(fd);
+  }
+  if (acceptor_.listening()) loop_->Remove(acceptor_.fd());
+}
+
+bool MetricsHttpListener::Listen(const std::string& host, std::uint16_t port,
+                                 std::string* err) {
+  if (!acceptor_.Listen(host, port, err)) return false;
+  return loop_->Add(
+      acceptor_.fd(), EPOLLIN | EPOLLET,
+      [this](std::uint32_t) { OnAcceptReady(); }, err);
+}
+
+void MetricsHttpListener::EndOfCycle() { dead_conns_.clear(); }
+
+void MetricsHttpListener::OnAcceptReady() {
+  acceptor_.AcceptReady([this](int fd) {
+    auto conn = std::make_unique<HttpConn>();
+    conn->fd.reset(fd);
+    std::string err;
+    if (!loop_->Add(fd, EPOLLIN | EPOLLET,
+                    [this, fd](std::uint32_t ready) {
+                      OnConnEvent(fd, ready);
+                    },
+                    &err)) {
+      return;  // HttpConn destructor closes the fd
+    }
+    conns_[fd] = std::move(conn);
+  });
+}
+
+void MetricsHttpListener::OnConnEvent(int fd, std::uint32_t ready) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  HttpConn* conn = it->second.get();
+  if (conn->dead) return;
+
+  if (ready & (EPOLLHUP | EPOLLERR)) {
+    CloseConn(fd);
+    return;
+  }
+  if ((ready & EPOLLOUT) && conn->responding) {
+    if (!FlushOut(conn)) CloseConn(fd);
+    return;
+  }
+  if (ready & EPOLLIN) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        conn->in.append(chunk, static_cast<std::size_t>(n));
+        if (conn->in.size() > kMaxRequestBytes) {
+          CloseConn(fd);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {  // peer closed before (or after) the blank line
+        if (!conn->responding) CloseConn(fd);
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(fd);
+      return;
+    }
+    if (conn->dead) return;
+    TryRespond(conn);
+  }
+}
+
+void MetricsHttpListener::TryRespond(HttpConn* conn) {
+  if (conn->responding) return;
+  if (conn->in.find("\r\n\r\n") == std::string::npos &&
+      conn->in.find("\n\n") == std::string::npos) {
+    return;  // headers not complete yet
+  }
+  conn->responding = true;
+  conn->out = BuildResponse(conn->in, render_());
+  if (!FlushOut(conn)) CloseConn(conn->fd.get());
+}
+
+bool MetricsHttpListener::FlushOut(HttpConn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd.get(), conn->out.data() + conn->out_pos,
+               conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::string err;
+      loop_->Modify(conn->fd.get(), EPOLLOUT | EPOLLET, &err);
+      return true;  // finish on the next EPOLLOUT
+    }
+    return false;  // peer gone
+  }
+  return false;  // response fully sent: Connection: close
+}
+
+void MetricsHttpListener::CloseConn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  it->second->dead = true;
+  loop_->Remove(fd);
+  // Same deferred-close discipline as KvTcpServer: the fd must survive
+  // until end-of-cycle so a stale event cannot hit a recycled number.
+  dead_conns_.push_back(std::move(it->second));
+  conns_.erase(it);
+}
+
+}  // namespace simdht

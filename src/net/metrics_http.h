@@ -1,0 +1,76 @@
+// Minimal plain-HTTP metrics listener riding the server's event loop.
+//
+// Serves every request with the Prometheus text exposition produced by a
+// caller-supplied render callback — enough protocol for `curl` and a
+// Prometheus scrape job (HTTP/1.0, Connection: close), deliberately not a
+// web server. It shares the KvTcpServer's EventLoop and therefore its
+// single thread: a scrape costs one render inside the serving thread's
+// dispatch cycle, which is the point — the numbers are coherent with the
+// cycle that produced them, and no lock spans the hot path.
+//
+// The KV protocol's own Connection/FrameAssembler machinery is
+// length-prefix framed and unusable for HTTP, so this keeps its own tiny
+// per-connection read/write state.
+#ifndef SIMDHT_NET_METRICS_HTTP_H_
+#define SIMDHT_NET_METRICS_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/acceptor.h"
+#include "net/event_loop.h"
+
+namespace simdht {
+
+class MetricsHttpListener {
+ public:
+  using RenderFn = std::function<std::string()>;
+
+  // `loop` must outlive the listener; `render` runs on the loop thread.
+  MetricsHttpListener(EventLoop* loop, RenderFn render);
+  ~MetricsHttpListener();
+
+  MetricsHttpListener(const MetricsHttpListener&) = delete;
+  MetricsHttpListener& operator=(const MetricsHttpListener&) = delete;
+
+  // Binds host:port (0 = ephemeral) and registers with the loop.
+  bool Listen(const std::string& host, std::uint16_t port, std::string* err);
+  std::uint16_t port() const { return acceptor_.port(); }
+
+  // Reaps connections closed during the current dispatch cycle; call once
+  // per cycle after the loop's PollOnce (same fd-reuse hazard as
+  // KvTcpServer's deferred closes).
+  void EndOfCycle();
+
+  std::size_t num_connections() const { return conns_.size(); }
+
+ private:
+  struct HttpConn {
+    ScopedFd fd;
+    std::string in;        // request bytes until the blank line
+    std::string out;       // response bytes not yet written
+    std::size_t out_pos = 0;
+    bool responding = false;
+    bool dead = false;
+  };
+
+  void OnAcceptReady();
+  void OnConnEvent(int fd, std::uint32_t ready);
+  void TryRespond(HttpConn* conn);
+  bool FlushOut(HttpConn* conn);  // false = close
+  void CloseConn(int fd);
+
+  EventLoop* loop_;
+  RenderFn render_;
+  Acceptor acceptor_;
+  std::map<int, std::unique_ptr<HttpConn>> conns_;
+  std::vector<std::unique_ptr<HttpConn>> dead_conns_;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_NET_METRICS_HTTP_H_

@@ -3,14 +3,39 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "core/zipf.h"
+#include "obs/timeline.h"
+#include "obs/trace_merge.h"
 
 namespace simdht {
+
+namespace {
+
+// Trace negotiation: every reachable server must advertise
+// proto.trace_context >= 1 in its STATS snapshot (one old server in the
+// cluster would close connections on the unknown TMGET opcode).
+bool ClusterSupportsTraceContext(KvClusterClient* probe) {
+  const std::vector<StatsPairs> all = probe->StatsAll();
+  bool any = false;
+  for (const StatsPairs& stats : all) {
+    if (stats.empty()) continue;  // down server: its keys error out anyway
+    any = true;
+    bool has = false;
+    for (const auto& [key, value] : stats) {
+      if (key == "proto.trace_context" && value >= 1.0) has = true;
+    }
+    if (!has) return false;
+  }
+  return any;
+}
+
+}  // namespace
 
 bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
                    std::string* err) {
@@ -65,6 +90,16 @@ bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
                          config.target_qps > 0;
   result->intended_qps = open_loop ? config.target_qps : 0;
 
+  bool trace_on = false;
+  if (config.trace_sample > 0) {
+    KvClusterClient probe(config.servers, config.vnodes);
+    if (probe.Connect(nullptr)) {
+      trace_on = ClusterSupportsTraceContext(&probe);
+      probe.CloseAll();
+    }
+  }
+  result->trace_supported = trace_on;
+
   using SteadyClock = std::chrono::steady_clock;
   const SteadyClock::time_point epoch =
       SteadyClock::now() + std::chrono::milliseconds(5);
@@ -75,6 +110,7 @@ bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
   std::vector<std::uint64_t> client_keys(config.clients, 0);
   std::vector<std::uint64_t> client_hits(config.clients, 0);
   std::vector<std::uint64_t> client_errors(config.clients, 0);
+  std::vector<std::uint64_t> client_traced(config.clients, 0);
   std::atomic<unsigned> drivers_up{0};
   Timer phase_timer;
   {
@@ -90,6 +126,8 @@ bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
         std::vector<std::string> vals;
         std::vector<std::uint8_t> found;
         std::vector<std::uint8_t> errors;
+        std::vector<std::pair<std::uint32_t, TracedExchange>> exchanges;
+        Timeline& tl = Timeline::Global();
         const std::vector<std::uint64_t> schedule = BuildArrivalSchedule(
             config.arrival, config.target_qps / config.clients,
             open_loop ? config.requests_per_client : 0,
@@ -108,25 +146,84 @@ bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
             }
             batch[k] = keys[idx];
           }
+          const bool sampled = trace_on && config.trace_sample > 0 &&
+                               r % config.trace_sample == 0;
+          TraceContext trace;
+          if (sampled) {
+            // Deterministic, unique across drivers: seed | driver | seq.
+            trace.trace_id = (config.seed << 48) ^
+                             (static_cast<std::uint64_t>(c + 1) << 32) ^
+                             static_cast<std::uint64_t>(r);
+            trace.sampled = true;
+          }
           double latency_ns;
+          double send_lag = 0.0;
           bool ok;
+          double send_us = 0.0;
           if (open_loop) {
             const SteadyClock::time_point intended =
                 epoch + std::chrono::nanoseconds(schedule[r]);
             std::this_thread::sleep_until(intended);
             const SteadyClock::time_point send = SteadyClock::now();
-            const double lag =
+            send_lag =
                 std::chrono::duration<double, std::nano>(send - intended)
                     .count();
-            if (lag > send_lag_ns[c]) send_lag_ns[c] = lag;
-            ok = cluster.MultiGet(batch, &vals, &found, &errors);
+            if (send_lag > send_lag_ns[c]) send_lag_ns[c] = send_lag;
+            send_us = tl.NowUs();
+            ok = sampled ? cluster.MultiGetTraced(batch, trace, &vals,
+                                                  &found, &errors,
+                                                  &exchanges, nullptr)
+                         : cluster.MultiGet(batch, &vals, &found, &errors);
             latency_ns = std::chrono::duration<double, std::nano>(
                              SteadyClock::now() - intended)
                              .count();
           } else {
+            send_us = tl.NowUs();
             Timer t;
-            ok = cluster.MultiGet(batch, &vals, &found, &errors);
+            ok = sampled ? cluster.MultiGetTraced(batch, trace, &vals,
+                                                  &found, &errors,
+                                                  &exchanges, nullptr)
+                         : cluster.MultiGet(batch, &vals, &found, &errors);
             latency_ns = t.ElapsedNanos();
+          }
+          if (sampled && ok) {
+            ++client_traced[c];
+            if (tl.enabled()) {
+              const double end_us = tl.NowUs();
+              char id_hex[17];
+              std::snprintf(id_hex, sizeof(id_hex), "%016llx",
+                            static_cast<unsigned long long>(trace.trace_id));
+              if (open_loop && send_lag > 0) {
+                // Time spent waiting past the intended send (scheduler lag
+                // a coordinated-omission-free latency charges the server).
+                tl.RecordSpan("client", "schedule",
+                              send_us - send_lag / 1e3, send_us,
+                              {TimelineArg::Str("trace_id", id_hex)});
+              }
+              tl.RecordSpan(
+                  "client", "request", send_us, end_us,
+                  {TimelineArg::Str("trace_id", id_hex),
+                   TimelineArg::Num("keys",
+                                    static_cast<double>(batch.size()))});
+              for (const auto& [server, ex] : exchanges) {
+                const std::string label = std::to_string(server);
+                tl.RecordSpan("client", "send_wait." + label,
+                              ex.client_send_us, ex.client_recv_us,
+                              {TimelineArg::Str("trace_id", id_hex),
+                               TimelineArg::Str("server", label)});
+                tl.RecordInstant(
+                    "client", trace_sync::kEventName, ex.client_recv_us,
+                    {TimelineArg::Str(trace_sync::kServer, label),
+                     TimelineArg::Num(trace_sync::kClientSendUs,
+                                      ex.client_send_us),
+                     TimelineArg::Num(trace_sync::kClientRecvUs,
+                                      ex.client_recv_us),
+                     TimelineArg::Num(trace_sync::kServerRxUs,
+                                      ex.server.rx_us),
+                     TimelineArg::Num(trace_sync::kServerTxUs,
+                                      ex.server.tx_us)});
+              }
+            }
           }
           if (!ok && cluster.num_up() == 0) break;  // whole cluster gone
           latencies[c].Add(latency_ns);
@@ -162,6 +259,7 @@ bool RunTcpLoadgen(const TcpLoadgenConfig& config, TcpLoadgenResult* result,
     result->keys += client_keys[c];
     result->hits += client_hits[c];
     result->key_errors += client_errors[c];
+    result->traced_requests += client_traced[c];
   }
   result->achieved_qps =
       result->duration_s > 0

@@ -37,6 +37,15 @@ struct TcpLoadgenConfig {
   std::uint64_t seed = 1;
   bool preload = true;  // SET the key population before the Multi-Get phase
   unsigned vnodes = 64;
+  // Cross-wire tracing: sample one Multi-Get in `trace_sample` per driver
+  // (0 = off). Sampled requests travel as kTracedMultiGet; the driver
+  // records client-side schedule/request spans plus one clock_sync instant
+  // per server touched (the NTP-style samples simdht_tracemerge aligns
+  // clocks with; servers are labelled by endpoint index, "0", "1", ...).
+  // Spans only land if Timeline::Global() is enabled. Falls back to plain
+  // MGET — and reports trace_supported=false — when the servers don't
+  // advertise proto.trace_context in STATS.
+  unsigned trace_sample = 0;
 };
 
 struct TcpLoadgenResult {
@@ -59,6 +68,11 @@ struct TcpLoadgenResult {
   double achieved_qps = 0;
   double max_send_lag_us = 0;
   double duration_s = 0;
+
+  // Tracing outcome: whether the cluster negotiated the traced protocol,
+  // and how many requests actually carried a trace context.
+  bool trace_supported = false;
+  std::uint64_t traced_requests = 0;
 
   // Post-run STATS snapshot per endpoint (empty for down servers).
   std::vector<StatsPairs> server_stats;

@@ -1,0 +1,91 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace simdht {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+void AppendValue(std::string* out, double value) {
+  if (std::isnan(value)) {
+    *out += "NaN";
+    return;
+  }
+  if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  // Counters and bucket bounds are integral in practice; render them
+  // without a mantissa so scrapers (and humans) see exact counts.
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    *out += buf;
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+void PrometheusWriter::Family(std::string_view name, std::string_view help,
+                              std::string_view type) {
+  out_ += "# HELP ";
+  out_ += name;
+  out_ += ' ';
+  out_ += help;
+  out_ += "\n# TYPE ";
+  out_ += name;
+  out_ += ' ';
+  out_ += type;
+  out_ += '\n';
+}
+
+void PrometheusWriter::Sample(std::string_view name, double value) {
+  Sample(name, Labels{}, value);
+}
+
+void PrometheusWriter::Sample(std::string_view name, const Labels& labels,
+                              double value) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += '{';
+    bool first = true;
+    for (const auto& [key, val] : labels) {
+      if (!first) out_ += ',';
+      first = false;
+      out_ += key;
+      out_ += "=\"";
+      AppendEscaped(&out_, val);
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+  AppendValue(&out_, value);
+  out_ += '\n';
+}
+
+}  // namespace simdht

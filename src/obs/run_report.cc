@@ -201,32 +201,60 @@ std::optional<RunReport> RunReport::FromJson(const JsonValue& root,
   if (results == nullptr || !results->is_array()) {
     return fail("missing results array");
   }
+  // Rows parse leniently: a row whose shape this reader doesn't know
+  // (newer producer, extra experiment type) is skipped with a recorded
+  // reason instead of poisoning the whole document — a consumer diffing
+  // the rows it does understand shouldn't hard-fail on the ones it
+  // doesn't. Document-level shape errors above still fail the parse.
+  std::size_t row_index = 0;
   for (const JsonValue& item : results->array()) {
-    if (!item.is_object()) return fail("result row is not an object");
+    const std::size_t index = row_index++;
+    const auto skip = [&report, index](const std::string& why) {
+      report.skipped_rows.push_back("result row " + std::to_string(index) +
+                                    ": " + why);
+    };
+    if (!item.is_object()) {
+      skip("not an object");
+      continue;
+    }
     ResultRow row;
     row.kernel = GetString(item, "kernel");
-    if (row.kernel.empty()) return fail("result row without kernel");
+    if (row.kernel.empty()) {
+      skip("no kernel name");
+      continue;
+    }
     if (!ReadPairs(item, "config", &row.config)) {
-      return fail("bad result config");
+      skip("kernel '" + row.kernel + "': config is not a string map");
+      continue;
     }
     const JsonValue* metrics = item.Find("metrics");
     if (metrics == nullptr || !metrics->is_object()) {
-      return fail("result row without metrics");
+      skip("kernel '" + row.kernel + "': no metrics object");
+      continue;
     }
+    bool bad_metric = false;
     for (const auto& [name, value] : metrics->members()) {
-      if (!value.is_object()) return fail("metric is not an object");
-      MetricStat stat;
-      if (const JsonValue* mean = value.Find("mean")) {
-        if (!mean->is_number()) return fail("metric mean is not a number");
-        stat.mean = mean->AsDouble();
-      } else {
-        return fail("metric without mean");
+      if (!value.is_object()) {
+        skip("kernel '" + row.kernel + "': metric '" + name +
+             "' is not an object");
+        bad_metric = true;
+        break;
       }
+      MetricStat stat;
+      const JsonValue* mean = value.Find("mean");
+      if (mean == nullptr || !mean->is_number()) {
+        skip("kernel '" + row.kernel + "': metric '" + name +
+             "' has no numeric mean");
+        bad_metric = true;
+        break;
+      }
+      stat.mean = mean->AsDouble();
       if (const JsonValue* stddev = value.Find("stddev")) {
         stat.stddev = stddev->AsDouble();
       }
       row.metrics.emplace_back(name, stat);
     }
+    if (bad_metric) continue;
     row.perf_source = GetString(item, "perf_source");
     report.results.push_back(std::move(row));
   }

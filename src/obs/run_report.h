@@ -87,11 +87,19 @@ struct RunReport {
   std::vector<ResultRow> results;
   std::vector<SampleSeries> samples;
 
+  // Result rows FromJson dropped because their shape wasn't understood
+  // (one human-readable reason per row). Lets consumers like
+  // simdht_compare note unknown-schema rows instead of rejecting the
+  // whole report. Not serialized.
+  std::vector<std::string> skipped_rows;
+
   std::string ToJson() const;
   bool WriteToFile(const std::string& path, std::string* err = nullptr) const;
 
   // Rejects documents with a missing/unknown schema_version or a shape the
-  // schema does not allow; `err` explains.
+  // schema does not allow; `err` explains. Individual result rows the
+  // reader doesn't understand are skipped (reasons in `skipped_rows`)
+  // rather than failing the document.
   static std::optional<RunReport> FromJson(const JsonValue& root,
                                            std::string* err = nullptr);
   static std::optional<RunReport> FromJsonText(std::string_view text,

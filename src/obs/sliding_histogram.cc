@@ -1,0 +1,94 @@
+#include "obs/sliding_histogram.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace simdht {
+
+namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SlidingHistogram::SlidingHistogram() : SlidingHistogram(Options()) {}
+
+SlidingHistogram::SlidingHistogram(Options options) : options_(options) {
+  if (options_.interval_ns == 0) options_.interval_ns = 1;
+  if (options_.intervals == 0) options_.intervals = 1;
+  slots_.resize(options_.intervals);
+}
+
+void SlidingHistogram::AdvanceLocked(std::int64_t index) const {
+  if (index > latest_index_) latest_index_ = index;
+}
+
+void SlidingHistogram::Record(std::uint64_t value) {
+  RecordAt(SteadyNowNs(), value);
+}
+
+void SlidingHistogram::RecordAt(std::uint64_t now_ns, std::uint64_t value) {
+  const std::int64_t index =
+      static_cast<std::int64_t>(now_ns / options_.interval_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  AdvanceLocked(index);
+  // A timestamp whose slot has already been recycled for a newer interval
+  // must not land in it — that would smear stale samples into the current
+  // window. (Single-threaded recorders with a monotone clock never hit
+  // this; it guards cross-thread clock skew.)
+  const std::int64_t n = static_cast<std::int64_t>(slots_.size());
+  if (index <= latest_index_ - n) return;
+  Slot& slot = slots_[static_cast<std::size_t>(index % n)];
+  if (slot.index != index) {
+    slot.index = index;
+    slot.hist = Histogram(options_.sub_bucket_bits);
+  }
+  slot.hist.Add(value);
+}
+
+SlidingHistogram::Windowed SlidingHistogram::Snapshot() const {
+  return SnapshotAt(SteadyNowNs());
+}
+
+SlidingHistogram::Windowed SlidingHistogram::SnapshotAt(
+    std::uint64_t now_ns) const {
+  Windowed out;
+  out.hist = Histogram(options_.sub_bucket_bits);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t index = std::max(
+      static_cast<std::int64_t>(now_ns / options_.interval_ns),
+      latest_index_);
+  AdvanceLocked(index);
+  const std::int64_t n = static_cast<std::int64_t>(slots_.size());
+  const std::int64_t oldest = index - (n - 1);
+  std::int64_t earliest_used = index + 1;
+  for (const Slot& slot : slots_) {
+    if (slot.index < oldest || slot.index > index) continue;
+    out.hist.Merge(slot.hist);
+    earliest_used = std::min(earliest_used, slot.index);
+  }
+  // Time actually covered: full intervals back to the earliest populated
+  // slot, plus the elapsed part of the current interval. Floor at one
+  // interval so a cold or just-rotated window yields sane rates.
+  const std::uint64_t interval_start =
+      static_cast<std::uint64_t>(index) * options_.interval_ns;
+  const std::uint64_t elapsed =
+      now_ns > interval_start ? now_ns - interval_start : 0;
+  std::uint64_t span = elapsed;
+  if (earliest_used <= index) {
+    span += static_cast<std::uint64_t>(index - earliest_used) *
+            options_.interval_ns;
+  }
+  out.window_ns = std::max<std::uint64_t>(span, options_.interval_ns);
+  const double seconds = static_cast<double>(out.window_ns) / 1e9;
+  out.rate_per_s = static_cast<double>(out.hist.count()) / seconds;
+  out.sum_rate_per_s = static_cast<double>(out.hist.sum()) / seconds;
+  return out;
+}
+
+}  // namespace simdht

@@ -1,0 +1,89 @@
+// Rolling-window histogram: a ring of per-interval histogram buckets with
+// merge-on-read.
+//
+// A long-running server wants "p99 over the last ~8 seconds", not "p99
+// since boot" — a cumulative histogram stops moving after enough samples,
+// hiding a fresh tail regression behind hours of healthy history. The
+// classic fix (used by HdrHistogram's recorder and most metrics libraries)
+// is a ring of N interval histograms: each sample lands in the slot for its
+// interval, a snapshot merges the slots still inside the window, and slots
+// recycle in place as time advances, so memory stays bounded at N
+// histograms regardless of uptime.
+//
+// Reads are O(window) merges of a few-KB histograms — cheap at the STATS /
+// metrics-scrape rate this repo uses (hertz, not kilohertz). Writes take
+// one mutex; the serving path records per *batch* (dozens of records per
+// epoll dispatch cycle), not per key, so the lock is nowhere near any hot
+// loop. Quantiles of an empty window return 0, matching the PR 3
+// empty-histogram pinning convention.
+#ifndef SIMDHT_OBS_SLIDING_HISTOGRAM_H_
+#define SIMDHT_OBS_SLIDING_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace simdht {
+
+class SlidingHistogram {
+ public:
+  struct Options {
+    // Width of one ring slot. The window advances in whole intervals, so
+    // this is also the granularity at which old samples expire.
+    std::uint64_t interval_ns = 1'000'000'000;  // 1s
+    // Ring size; the merged window covers the current (partial) interval
+    // plus the intervals-1 before it.
+    unsigned intervals = 8;
+    // Forwarded to each slot's Histogram (sub-buckets per octave).
+    unsigned sub_bucket_bits = 5;
+  };
+
+  // Merged view of the window at snapshot time.
+  struct Windowed {
+    Histogram hist;
+    // Time the merged slots actually span: full slots plus the elapsed
+    // part of the current one. Bounded below by one interval so rates
+    // from a just-started window don't explode.
+    std::uint64_t window_ns = 0;
+    // count() / window, in events per second.
+    double rate_per_s = 0.0;
+    // sum() / window — e.g. keys per second when each record is a batch's
+    // key count.
+    double sum_rate_per_s = 0.0;
+  };
+
+  SlidingHistogram();  // default Options (out-of-line: nested NSDMIs)
+  explicit SlidingHistogram(Options options);
+
+  // Records with the steady clock / an explicit timestamp. now_ns must be
+  // monotone per caller; stale timestamps older than the window are
+  // dropped rather than resurrecting a recycled slot.
+  void Record(std::uint64_t value);
+  void RecordAt(std::uint64_t now_ns, std::uint64_t value);
+
+  Windowed Snapshot() const;
+  Windowed SnapshotAt(std::uint64_t now_ns) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Slot {
+    std::int64_t index = -1;  // interval number, -1 = never used
+    Histogram hist;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  mutable std::vector<Slot> slots_;
+  // Highest interval index seen; snapshots never rewind below it, so a
+  // caller with a slightly stale clock can't un-expire old slots.
+  mutable std::int64_t latest_index_ = 0;
+
+  void AdvanceLocked(std::int64_t index) const;
+};
+
+}  // namespace simdht
+
+#endif  // SIMDHT_OBS_SLIDING_HISTOGRAM_H_

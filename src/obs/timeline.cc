@@ -21,6 +21,9 @@ std::atomic<unsigned> g_next_thread_id{0};
 }  // namespace
 
 unsigned TimelineThreadId() {
+  // fetch_add on first use per thread; never decremented, never reused
+  // (see the header invariant). The counter may outlive every thread that
+  // drew from it.
   thread_local const unsigned id =
       g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -45,17 +48,41 @@ double Timeline::NowUs() const {
   return (SteadyNowNs() - epoch_ns_) / 1e3;
 }
 
+void Timeline::Push(Event event) {
+  event.tid = TimelineThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
 void Timeline::RecordSpan(const char* category, std::string name,
                           double start_us, double end_us) {
+  RecordSpan(category, std::move(name), start_us, end_us, {});
+}
+
+void Timeline::RecordSpan(const char* category, std::string name,
+                          double start_us, double end_us, TimelineArgs args) {
   if (!enabled()) return;
   Event event;
   event.name = std::move(name);
   event.category = category;
-  event.tid = TimelineThreadId();
+  event.phase = 'X';
   event.ts_us = start_us;
   event.dur_us = end_us > start_us ? end_us - start_us : 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+  event.args = std::move(args);
+  Push(std::move(event));
+}
+
+void Timeline::RecordInstant(const char* category, std::string name,
+                             double ts_us, TimelineArgs args) {
+  if (!enabled()) return;
+  Event event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = 'i';
+  event.ts_us = ts_us;
+  event.dur_us = 0.0;
+  event.args = std::move(args);
+  Push(std::move(event));
 }
 
 std::size_t Timeline::event_count() const {
@@ -79,11 +106,29 @@ std::string Timeline::ToJson() const {
       w.BeginObject();
       w.Key("name").Value(event.name);
       w.Key("cat").Value(event.category);
-      w.Key("ph").Value("X");
+      w.Key("ph").Value(std::string(1, event.phase));
       w.Key("ts").Value(event.ts_us);
-      w.Key("dur").Value(event.dur_us);
+      if (event.phase == 'X') {
+        w.Key("dur").Value(event.dur_us);
+      } else if (event.phase == 'i') {
+        // Thread-scoped instant; without "s" some viewers draw it
+        // process-wide.
+        w.Key("s").Value("t");
+      }
       w.Key("pid").Value(1);
       w.Key("tid").Value(event.tid);
+      if (!event.args.empty()) {
+        w.Key("args").BeginObject();
+        for (const TimelineArg& arg : event.args) {
+          w.Key(arg.key);
+          if (arg.is_num) {
+            w.Value(arg.num_value);
+          } else {
+            w.Value(arg.str_value);
+          }
+        }
+        w.EndObject();
+      }
       w.EndObject();
     }
   }

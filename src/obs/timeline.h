@@ -7,6 +7,12 @@
 // chrome://tracing. Recording is off by default: every probe is a single
 // relaxed atomic load, so instrumented code costs nothing until a binary
 // opts in with --timeline.
+//
+// Spans and instants can carry attributes ("args" in the trace-event
+// format): numeric args stay numbers in the emitted JSON so Perfetto can
+// plot them (batch occupancy, key counts), string args are quoted (trace
+// ids in hex). The serving subsystem uses instants for clock-sync samples
+// consumed by tools/simdht_tracemerge.
 #ifndef SIMDHT_OBS_TIMELINE_H_
 #define SIMDHT_OBS_TIMELINE_H_
 
@@ -20,7 +26,39 @@ namespace simdht {
 
 // Stable small per-thread id for trace tracks (assigned on first use, so
 // worker threads get consecutive track numbers in spawn order).
+//
+// Invariant: ids are never reclaimed. A short-lived thread keeps the id it
+// drew for its whole lifetime, and a thread spawned after it dies draws a
+// fresh id rather than reusing the dead thread's — so two threads can never
+// interleave events on one track, even when the OS recycles native thread
+// handles. The cost is that the track-id space grows monotonically with
+// thread churn; trace tracks are cheap and Perfetto renders sparse tid
+// spaces fine, so this is the right trade for correctness.
 unsigned TimelineThreadId();
+
+// One span/instant attribute. Use Num for values that should plot as
+// numbers, Str for identifiers (trace ids, endpoint names).
+struct TimelineArg {
+  static TimelineArg Num(std::string key, double value) {
+    TimelineArg arg;
+    arg.key = std::move(key);
+    arg.num_value = value;
+    arg.is_num = true;
+    return arg;
+  }
+  static TimelineArg Str(std::string key, std::string value) {
+    TimelineArg arg;
+    arg.key = std::move(key);
+    arg.str_value = std::move(value);
+    return arg;
+  }
+
+  std::string key;
+  std::string str_value;
+  double num_value = 0.0;
+  bool is_num = false;
+};
+using TimelineArgs = std::vector<TimelineArg>;
 
 class Timeline {
  public:
@@ -40,6 +78,12 @@ class Timeline {
   // start_us/end_us are NowUs() timestamps; no-op while disabled.
   void RecordSpan(const char* category, std::string name, double start_us,
                   double end_us);
+  void RecordSpan(const char* category, std::string name, double start_us,
+                  double end_us, TimelineArgs args);
+
+  // Records a thread-scoped instant event ("ph":"i"); no-op while disabled.
+  void RecordInstant(const char* category, std::string name, double ts_us,
+                     TimelineArgs args = {});
 
   std::size_t event_count() const;
   void Clear();
@@ -56,10 +100,14 @@ class Timeline {
   struct Event {
     std::string name;
     const char* category;
+    char phase;  // 'X' complete span, 'i' instant
     unsigned tid;
     double ts_us;
     double dur_us;
+    TimelineArgs args;
   };
+
+  void Push(Event event);
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;

@@ -1,0 +1,184 @@
+#include "obs/trace_merge.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace simdht {
+
+namespace {
+
+bool LoadTraceEvents(const std::string& path, JsonValue* doc,
+                     std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err) *err = "cannot open trace file '" + path + "'";
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string parse_err;
+  auto parsed = ParseJson(text.str(), &parse_err);
+  if (!parsed) {
+    if (err) *err = "'" + path + "': " + parse_err;
+    return false;
+  }
+  const JsonValue* events = parsed->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    if (err) *err = "'" + path + "' has no traceEvents array";
+    return false;
+  }
+  *doc = std::move(*parsed);
+  return true;
+}
+
+// Generic re-emit of a parsed value (events carry arbitrary args).
+void WriteValue(JsonWriter* w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      w->Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w->Value(v.AsBool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w->Value(v.AsDouble());
+      break;
+    case JsonValue::Kind::kString:
+      w->Value(v.AsString());
+      break;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& item : v.array()) WriteValue(w, item);
+      w->EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [key, member] : v.members()) {
+        w->Key(key);
+        WriteValue(w, member);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+// Re-emits one trace event with pid forced to `pid` and ts shifted by
+// `ts_shift_us` (fields other than pid/ts pass through untouched).
+void WriteEvent(JsonWriter* w, const JsonValue& event, int pid,
+                double ts_shift_us) {
+  w->BeginObject();
+  bool saw_pid = false;
+  for (const auto& [key, member] : event.members()) {
+    if (key == "pid") {
+      w->Key("pid").Value(pid);
+      saw_pid = true;
+    } else if (key == "ts" && member.is_number()) {
+      w->Key("ts").Value(member.AsDouble() + ts_shift_us);
+    } else {
+      w->Key(key);
+      WriteValue(w, member);
+    }
+  }
+  if (!saw_pid) w->Key("pid").Value(pid);
+  w->EndObject();
+}
+
+void WriteProcessName(JsonWriter* w, int pid, const std::string& name) {
+  w->BeginObject();
+  w->Key("name").Value("process_name");
+  w->Key("ph").Value("M");
+  w->Key("pid").Value(pid);
+  w->Key("tid").Value(0);
+  w->Key("args").BeginObject().Key("name").Value(name).EndObject();
+  w->EndObject();
+}
+
+double NumArg(const JsonValue& args, const char* key, bool* ok) {
+  const JsonValue* v = args.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    *ok = false;
+    return 0.0;
+  }
+  return v->AsDouble();
+}
+
+}  // namespace
+
+bool MergeTraces(const std::string& client_path,
+                 const std::vector<TraceMergeInput>& servers,
+                 TraceMergeResult* out, std::string* err) {
+  JsonValue client = JsonValue::MakeNull();
+  if (!LoadTraceEvents(client_path, &client, err)) return false;
+  const JsonValue& client_events = *client.Find("traceEvents");
+
+  // Pass 1: collect per-server clock offsets from the clock_sync instants.
+  std::vector<std::vector<double>> offsets(servers.size());
+  for (const JsonValue& event : client_events.array()) {
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->AsString() != trace_sync::kEventName) {
+      continue;
+    }
+    const JsonValue* args = event.Find("args");
+    if (args == nullptr || !args->is_object()) continue;
+    const JsonValue* label = args->Find(trace_sync::kServer);
+    if (label == nullptr) continue;
+    bool ok = true;
+    const double send = NumArg(*args, trace_sync::kClientSendUs, &ok);
+    const double recv = NumArg(*args, trace_sync::kClientRecvUs, &ok);
+    const double rx = NumArg(*args, trace_sync::kServerRxUs, &ok);
+    const double tx = NumArg(*args, trace_sync::kServerTxUs, &ok);
+    if (!ok) continue;
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      if (servers[s].label != label->AsString()) continue;
+      offsets[s].push_back((rx + tx) / 2.0 - (send + recv) / 2.0);
+      break;
+    }
+  }
+
+  out->alignments.clear();
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    if (offsets[s].empty()) {
+      if (err) {
+        *err = "no clock_sync sample for server '" + servers[s].label +
+               "' in '" + client_path + "' (was trace sampling enabled?)";
+      }
+      return false;
+    }
+    std::vector<double>& v = offsets[s];
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    TraceMergeResult::ServerAlignment a;
+    a.label = servers[s].label;
+    a.offset_us = v[v.size() / 2];
+    a.sync_samples = v.size();
+    out->alignments.push_back(std::move(a));
+  }
+
+  // Pass 2: emit the merged document. Client stays on its clock as pid 1;
+  // each server shifts by -offset onto it as pid 2+s.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+  WriteProcessName(&w, 1, "client");
+  for (const JsonValue& event : client_events.array()) {
+    WriteEvent(&w, event, 1, 0.0);
+  }
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    JsonValue server = JsonValue::MakeNull();
+    if (!LoadTraceEvents(servers[s].path, &server, err)) return false;
+    const int pid = static_cast<int>(2 + s);
+    WriteProcessName(&w, pid, "server " + servers[s].label);
+    for (const JsonValue& event : server.Find("traceEvents")->array()) {
+      WriteEvent(&w, event, pid, -out->alignments[s].offset_us);
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  out->json = w.str();
+  return true;
+}
+
+}  // namespace simdht

@@ -98,9 +98,13 @@ TEST(Memslap, OpenLoopModeRunsAtTargetRate) {
   const MemslapResult r = RunMemslap(&backend, config);
   EXPECT_EQ(r.phases.mget_batches, 400u);
   EXPECT_DOUBLE_EQ(r.intended_qps, 2000.0);
-  // The achieved rate tracks the schedule (loopback server is far faster
-  // than 2 kQPS); generous band for loaded CI machines.
-  EXPECT_GT(r.client_mgets_per_sec, 2000.0 * 0.5);
+  // The achieved rate tracks the schedule, not the backend (a loopback
+  // server left to run closed-loop would be ~100x over target) — so the
+  // upper bound is the real open-loop invariant. The floor only catches
+  // a generator that stopped pacing entirely; it is deliberately loose
+  // because an oversubscribed CI machine (ctest -j) legitimately starves
+  // this 0.2 s run well below the intended rate.
+  EXPECT_GT(r.client_mgets_per_sec, 2000.0 * 0.1);
   EXPECT_LT(r.client_mgets_per_sec, 2000.0 * 1.5);
   // Tail fields are populated and ordered.
   EXPECT_GT(r.mget_p50_us, 0.0);

@@ -111,5 +111,109 @@ TEST(Protocol, LargeBatchRoundTrip) {
   for (int i = 0; i < 96; ++i) EXPECT_EQ(req.keys[i], keys[i]);
 }
 
+TEST(Protocol, TracedMultiGetRequestRoundTrip) {
+  Buffer buf;
+  TraceContext trace;
+  trace.trace_id = 0x1122334455667788ull;
+  trace.sampled = true;
+  EncodeTracedMultiGetRequest({"a", "bb"}, trace, &buf);
+  Opcode op;
+  ASSERT_TRUE(PeekOpcode(buf, &op));
+  EXPECT_EQ(op, Opcode::kTracedMultiGet);
+
+  MultiGetRequest req;
+  TraceContext back;
+  ASSERT_TRUE(DecodeTracedMultiGetRequest(buf, &req, &back));
+  ASSERT_EQ(req.keys.size(), 2u);
+  EXPECT_EQ(req.keys[0], "a");
+  EXPECT_EQ(req.keys[1], "bb");
+  EXPECT_EQ(back.trace_id, trace.trace_id);
+  EXPECT_TRUE(back.sampled);
+
+  trace.sampled = false;
+  EncodeTracedMultiGetRequest({"a"}, trace, &buf);
+  ASSERT_TRUE(DecodeTracedMultiGetRequest(buf, &req, &back));
+  EXPECT_FALSE(back.sampled);
+}
+
+TEST(Protocol, TracedMultiGetRequestRejectsUnknownFlagBits) {
+  Buffer buf;
+  TraceContext trace;
+  trace.trace_id = 9;
+  trace.sampled = true;
+  EncodeTracedMultiGetRequest({"key"}, trace, &buf);
+  // Flags byte sits after opcode(1) + count(4) + trace_id(8). Reserved
+  // bits are a future protocol revision — reject, don't guess.
+  buf[1 + 4 + 8] |= 0x02;
+  MultiGetRequest req;
+  TraceContext back;
+  std::string err;
+  EXPECT_FALSE(DecodeTracedMultiGetRequest(buf, &req, &back, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Protocol, TracedMultiGetResponseRoundTrip) {
+  Buffer buf;
+  ServerTiming timing;
+  timing.rx_us = 1234.5;
+  timing.tx_us = 1300.25;
+  EncodeTracedMultiGetResponse({"v1", ""}, {1, 0}, 0xdeadbeefull, timing,
+                               &buf);
+  MultiGetResponse resp;
+  std::uint64_t trace_id = 0;
+  ServerTiming back;
+  ASSERT_TRUE(DecodeTracedMultiGetResponse(buf, &resp, &trace_id, &back));
+  ASSERT_EQ(resp.vals.size(), 2u);
+  EXPECT_EQ(resp.vals[0], "v1");
+  EXPECT_EQ(resp.found[1], 0);
+  EXPECT_EQ(trace_id, 0xdeadbeefull);
+  EXPECT_DOUBLE_EQ(back.rx_us, 1234.5);
+  EXPECT_DOUBLE_EQ(back.tx_us, 1300.25);
+}
+
+TEST(Protocol, TracedMultiGetRejectsTruncation) {
+  Buffer buf;
+  TraceContext trace;
+  trace.trace_id = 1;
+  EncodeTracedMultiGetRequest({"abc"}, trace, &buf);
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    Buffer trunc(buf.begin(), buf.begin() + cut);
+    MultiGetRequest req;
+    TraceContext back;
+    EXPECT_FALSE(DecodeTracedMultiGetRequest(trunc, &req, &back))
+        << "cut=" << cut;
+  }
+  ServerTiming timing;
+  EncodeTracedMultiGetResponse({"v"}, {1}, 2, timing, &buf);
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    Buffer trunc(buf.begin(), buf.begin() + cut);
+    MultiGetResponse resp;
+    std::uint64_t id;
+    ServerTiming back;
+    EXPECT_FALSE(DecodeTracedMultiGetResponse(trunc, &resp, &id, &back))
+        << "cut=" << cut;
+  }
+}
+
+TEST(Protocol, MetricsRoundTrip) {
+  Buffer buf;
+  EncodeMetricsRequest(&buf);
+  Opcode op;
+  ASSERT_TRUE(PeekOpcode(buf, &op));
+  EXPECT_EQ(op, Opcode::kMetrics);
+
+  const std::string body =
+      "# TYPE simdht_kvs_requests_total counter\n"
+      "simdht_kvs_requests_total 7\n";
+  EncodeMetricsResponse(body, &buf);
+  std::string text;
+  ASSERT_TRUE(DecodeMetricsResponse(buf, &text));
+  EXPECT_EQ(text, body);
+
+  // Truncated body must not decode.
+  buf.pop_back();
+  EXPECT_FALSE(DecodeMetricsResponse(buf, &text));
+}
+
 }  // namespace
 }  // namespace simdht

@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/prometheus.h"
+
+namespace simdht {
+namespace {
+
+TEST(PrometheusWriter, FamilyHeaderAndBareSample) {
+  PrometheusWriter w;
+  w.Family("simdht_kvs_requests_total", "MGET frames served", "counter");
+  w.Sample("simdht_kvs_requests_total", 42);
+  EXPECT_EQ(w.str(),
+            "# HELP simdht_kvs_requests_total MGET frames served\n"
+            "# TYPE simdht_kvs_requests_total counter\n"
+            "simdht_kvs_requests_total 42\n");
+}
+
+TEST(PrometheusWriter, LabeledSamplesRenderInOrder) {
+  PrometheusWriter w;
+  w.Sample("simdht_kvs_phase_ns",
+           {{"phase", "index_probe"}, {"quantile", "0.99"}}, 1536);
+  EXPECT_EQ(w.str(),
+            "simdht_kvs_phase_ns{phase=\"index_probe\",quantile=\"0.99\"}"
+            " 1536\n");
+}
+
+TEST(PrometheusWriter, LabelValuesAreEscaped) {
+  PrometheusWriter w;
+  w.Sample("m", {{"k", "a\\b\"c\nd"}}, 1);
+  EXPECT_EQ(w.str(), "m{k=\"a\\\\b\\\"c\\nd\"} 1\n");
+}
+
+TEST(PrometheusWriter, NonIntegerValuesKeepPrecision) {
+  PrometheusWriter w;
+  w.Sample("simdht_window_hit_rate", 0.93755);
+  const std::string& out = w.str();
+  EXPECT_NE(out.find("0.93755"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace simdht

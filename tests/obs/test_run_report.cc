@@ -108,6 +108,41 @@ TEST(RunReport, RejectsMalformedShapes) {
   EXPECT_FALSE(RunReport::FromJsonText("{\"tool\":\"x\"}", &err).has_value());
 }
 
+TEST(RunReport, UnknownResultRowsAreSkippedNotFatal) {
+  // A document from a newer producer: one row we understand, one row with
+  // an unknown shape (metric without a numeric mean), one non-object row.
+  // The reader must keep the good row and record why it dropped the rest.
+  const std::string text = R"json({
+    "schema_version": 1,
+    "tool": "future_tool",
+    "results": [
+      {"kernel": "good", "config": {"a": "1"},
+       "metrics": {"mlps_per_core": {"mean": 10.0, "stddev": 0.5}}},
+      {"kernel": "fancy", "config": {"a": "1"},
+       "metrics": {"latency": {"samples": [1, 2, 3]}}},
+      "not-a-row",
+      {"config": {"a": "1"}, "metrics": {}}
+    ]
+  })json";
+  std::string err;
+  const auto r = RunReport::FromJsonText(text, &err);
+  ASSERT_TRUE(r.has_value()) << err;
+  ASSERT_EQ(r->results.size(), 1u);
+  EXPECT_EQ(r->results[0].kernel, "good");
+  ASSERT_EQ(r->skipped_rows.size(), 3u);
+  EXPECT_NE(r->skipped_rows[0].find("fancy"), std::string::npos);
+  EXPECT_NE(r->skipped_rows[1].find("not an object"), std::string::npos);
+  EXPECT_NE(r->skipped_rows[2].find("kernel"), std::string::npos);
+}
+
+TEST(RunReport, CleanDocumentHasNoSkippedRows) {
+  const RunReport r = MakeReport();
+  std::string err;
+  const auto back = RunReport::FromJsonText(r.ToJson(), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_TRUE(back->skipped_rows.empty());
+}
+
 TEST(RunReport, LoadFromMissingFileFails) {
   std::string err;
   EXPECT_FALSE(

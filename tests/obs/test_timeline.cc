@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/timeline.h"
@@ -98,6 +102,91 @@ TEST_F(TimelineTest, WriteToFileEmitsLoadableChromeTrace) {
   ASSERT_TRUE(doc.has_value());
   EXPECT_EQ(doc->Find("traceEvents")->array().size(), 2u);
   std::remove(path.c_str());
+}
+
+TEST_F(TimelineTest, SpanArgsEmitNumbersAndQuotedStrings) {
+  Timeline local;
+  local.Enable();
+  local.RecordSpan("kvs.net", "index_probe", 5.0, 9.0,
+                   {TimelineArg::Num("batch_connections", 3),
+                    TimelineArg::Str("trace_id", "00c0ffee00c0ffee")});
+  const auto doc = ParseJson(local.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& e = doc->Find("traceEvents")->array()[0];
+  const JsonValue* args = e.Find("args");
+  ASSERT_NE(args, nullptr);
+  ASSERT_TRUE(args->is_object());
+  // Numeric args stay numbers (Perfetto can plot them), string args stay
+  // strings (hex ids must not lose leading zeros).
+  EXPECT_DOUBLE_EQ(args->Find("batch_connections")->AsDouble(), 3.0);
+  EXPECT_EQ(args->Find("trace_id")->AsString(), "00c0ffee00c0ffee");
+}
+
+TEST_F(TimelineTest, InstantEventsCarryPhaseAndScope) {
+  Timeline local;
+  local.Enable();
+  local.RecordInstant("loadgen", "clock_sync", 42.0,
+                      {TimelineArg::Str("server", "0")});
+  const auto doc = ParseJson(local.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue& e = doc->Find("traceEvents")->array()[0];
+  EXPECT_EQ(e.Find("ph")->AsString(), "i");
+  EXPECT_EQ(e.Find("s")->AsString(), "t");
+  EXPECT_DOUBLE_EQ(e.Find("ts")->AsDouble(), 42.0);
+  EXPECT_EQ(e.Find("dur"), nullptr);  // instants have no duration
+  EXPECT_EQ(e.Find("args")->Find("server")->AsString(), "0");
+}
+
+// The never-reclaimed invariant: short-lived threads that record and die
+// must keep their tracks distinct from every thread spawned after them,
+// even though the OS recycles native thread handles. Runs under tsan via
+// the "Concurrent" name filter.
+TEST_F(TimelineTest, ConcurrentShortLivedThreadsKeepTracksDistinct) {
+  Timeline& g = Timeline::Global();
+  g.Clear();
+  g.Enable();
+
+  constexpr int kWaves = 4;
+  constexpr int kThreadsPerWave = 8;
+  std::vector<unsigned> tids;
+  std::mutex mu;
+  // Sequential waves maximize the chance the OS reuses native handles
+  // between them; each thread records one span and exits.
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreadsPerWave);
+    for (int t = 0; t < kThreadsPerWave; ++t) {
+      threads.emplace_back([&g, &mu, &tids, wave, t] {
+        const double start = g.NowUs();
+        g.RecordSpan("test", "wave" + std::to_string(wave), start,
+                     g.NowUs(),
+                     {TimelineArg::Num("worker", t)});
+        std::lock_guard<std::mutex> lock(mu);
+        tids.push_back(TimelineThreadId());
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+
+  // Every thread drew a distinct track id.
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::adjacent_find(tids.begin(), tids.end()), tids.end());
+  ASSERT_EQ(tids.size(),
+            static_cast<std::size_t>(kWaves * kThreadsPerWave));
+
+  // All spans recorded, the emitted JSON is valid, and the events'
+  // tids are exactly the ids the threads drew.
+  EXPECT_EQ(g.event_count(),
+            static_cast<std::size_t>(kWaves * kThreadsPerWave));
+  const auto doc = ParseJson(g.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  std::vector<unsigned> event_tids;
+  for (const JsonValue& e : doc->Find("traceEvents")->array()) {
+    event_tids.push_back(static_cast<unsigned>(e.Find("tid")->AsInt()));
+  }
+  std::sort(event_tids.begin(), event_tids.end());
+  EXPECT_EQ(event_tids, tids);
+  g.Clear();
 }
 
 TEST_F(TimelineTest, ClearResetsEventCount) {

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/timeline.h"
+#include "obs/trace_merge.h"
+
+namespace simdht {
+namespace {
+
+// Scratch trace files under the test's working directory, removed on
+// teardown so reruns start clean.
+class TraceMergeTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    const std::string path = "trace_merge_test_" + name + ".json";
+    paths_.push_back(path);
+    return path;
+  }
+
+  void WriteText(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good());
+    out << text;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : paths_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+// A client trace with spans plus one clock_sync instant per request, and a
+// server trace whose clock runs `offset_us` ahead of the client's.
+std::string ClientTraceJson(double offset_us) {
+  Timeline tl;
+  tl.Enable();
+  tl.RecordSpan("loadgen", "request", 100.0, 180.0,
+                {TimelineArg::Str("trace_id", "00000000000000ab")});
+  // Request send 100 -> recv 180; server rx/tx symmetric around the
+  // midpoint, expressed on the server's (shifted) clock.
+  tl.RecordInstant(
+      "loadgen", trace_sync::kEventName, 180.0,
+      {TimelineArg::Str(trace_sync::kServer, "0"),
+       TimelineArg::Num(trace_sync::kClientSendUs, 100.0),
+       TimelineArg::Num(trace_sync::kClientRecvUs, 180.0),
+       TimelineArg::Num(trace_sync::kServerRxUs, 120.0 + offset_us),
+       TimelineArg::Num(trace_sync::kServerTxUs, 160.0 + offset_us)});
+  return tl.ToJson();
+}
+
+std::string ServerTraceJson(double offset_us) {
+  Timeline tl;
+  tl.Enable();
+  tl.RecordSpan("kvs.net", "index_probe", 130.0 + offset_us,
+                150.0 + offset_us);
+  return tl.ToJson();
+}
+
+TEST_F(TraceMergeTest, AlignsServerClockByNtpMidpoint) {
+  constexpr double kOffset = 5000.0;  // server clock 5ms ahead
+  const std::string client = Path("client");
+  const std::string server = Path("server");
+  WriteText(client, ClientTraceJson(kOffset));
+  WriteText(server, ServerTraceJson(kOffset));
+
+  TraceMergeResult result;
+  std::string err;
+  ASSERT_TRUE(MergeTraces(client, {{"0", server}}, &result, &err)) << err;
+  ASSERT_EQ(result.alignments.size(), 1u);
+  EXPECT_EQ(result.alignments[0].label, "0");
+  EXPECT_EQ(result.alignments[0].sync_samples, 1u);
+  // (rx+tx)/2 - (send+recv)/2 = (140+off) - 140 = off.
+  EXPECT_NEAR(result.alignments[0].offset_us, kOffset, 1e-6);
+
+  // The merged document is valid JSON; client events stay pid 1 on their
+  // clock, server events land on pid 2 shifted back onto the client clock.
+  const auto doc = ParseJson(result.json, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  bool saw_client_request = false, saw_server_probe = false;
+  for (const JsonValue& e : doc->Find("traceEvents")->array()) {
+    const std::string name = e.Find("name")->AsString();
+    if (name == "request") {
+      saw_client_request = true;
+      EXPECT_EQ(e.Find("pid")->AsInt(), 1);
+      EXPECT_DOUBLE_EQ(e.Find("ts")->AsDouble(), 100.0);
+    } else if (name == "index_probe") {
+      saw_server_probe = true;
+      EXPECT_EQ(e.Find("pid")->AsInt(), 2);
+      // 130 + offset, shifted by -offset: inside the client's 100..180
+      // request span on the shared clock.
+      EXPECT_NEAR(e.Find("ts")->AsDouble(), 130.0, 1e-6);
+    }
+  }
+  EXPECT_TRUE(saw_client_request);
+  EXPECT_TRUE(saw_server_probe);
+}
+
+TEST_F(TraceMergeTest, MedianOffsetIsRobustToOneAsymmetricSample) {
+  Timeline tl;
+  tl.Enable();
+  const double offsets[] = {1000.0, 1002.0, 9999.0};  // one outlier
+  for (const double off : offsets) {
+    tl.RecordInstant(
+        "loadgen", trace_sync::kEventName, 50.0,
+        {TimelineArg::Str(trace_sync::kServer, "0"),
+         TimelineArg::Num(trace_sync::kClientSendUs, 10.0),
+         TimelineArg::Num(trace_sync::kClientRecvUs, 50.0),
+         TimelineArg::Num(trace_sync::kServerRxUs, 20.0 + off),
+         TimelineArg::Num(trace_sync::kServerTxUs, 40.0 + off)});
+  }
+  const std::string client = Path("client_median");
+  const std::string server = Path("server_median");
+  WriteText(client, tl.ToJson());
+  WriteText(server, ServerTraceJson(1000.0));
+
+  TraceMergeResult result;
+  std::string err;
+  ASSERT_TRUE(MergeTraces(client, {{"0", server}}, &result, &err)) << err;
+  ASSERT_EQ(result.alignments.size(), 1u);
+  EXPECT_EQ(result.alignments[0].sync_samples, 3u);
+  EXPECT_NEAR(result.alignments[0].offset_us, 1002.0, 1e-6);
+}
+
+TEST_F(TraceMergeTest, FailsWhenServerHasNoSyncSample) {
+  const std::string client = Path("client_nosync");
+  const std::string server = Path("server_nosync");
+  // clock_sync instants label server "0" only; merging label "1" must
+  // fail loudly rather than emit an unaligned trace.
+  WriteText(client, ClientTraceJson(0.0));
+  WriteText(server, ServerTraceJson(0.0));
+
+  TraceMergeResult result;
+  std::string err;
+  EXPECT_FALSE(MergeTraces(client, {{"1", server}}, &result, &err));
+  EXPECT_NE(err.find("clock_sync"), std::string::npos) << err;
+}
+
+TEST_F(TraceMergeTest, FailsOnMissingOrMalformedInput) {
+  TraceMergeResult result;
+  std::string err;
+  EXPECT_FALSE(
+      MergeTraces("no_such_trace_file.json", {}, &result, &err));
+
+  const std::string bad = Path("bad");
+  WriteText(bad, "{\"notTraceEvents\": []}");
+  EXPECT_FALSE(MergeTraces(bad, {}, &result, &err));
+  EXPECT_NE(err.find("traceEvents"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace simdht

@@ -8,6 +8,10 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/cpu_features.h"
 #include "common/table_printer.h"
 #include "kvs/memc3_backend.h"
@@ -15,6 +19,7 @@
 #include "net/kv_tcp_server.h"
 #include "net/open_loop.h"
 #include "obs/run_report.h"
+#include "obs/timeline.h"
 
 namespace simdht {
 namespace {
@@ -58,8 +63,10 @@ std::unique_ptr<KvBackend> MakeBackend(const std::string& name,
 }
 
 std::atomic<KvTcpServer*> g_serve_server{nullptr};
+std::atomic<bool> g_top_stop{false};
 
 void HandleStopSignal(int) {
+  g_top_stop.store(true);
   if (KvTcpServer* server = g_serve_server.load()) server->Stop();
 }
 
@@ -109,6 +116,14 @@ void ServeUsage() {
       "  --mem=S             value-store memory, e.g. 1G (default 1G)\n"
       "  --max-batch-keys=N  cross-connection batch flush bound (default "
       "8192)\n"
+      "  --metrics-port=P    serve Prometheus text over plain HTTP on this\n"
+      "                      port (GET /metrics; 0 picks ephemeral, the\n"
+      "                      chosen port is printed)\n"
+      "  --window-ms=N       rolling-window interval (default 1000)\n"
+      "  --window-count=N    intervals kept in the window (default 8)\n"
+      "  --trace=PATH        record server-side spans for sampled traced\n"
+      "                      requests; written as Chrome trace JSON on "
+      "exit\n"
       "runs until SIGINT/SIGTERM or a client SHUTDOWN frame; prints a\n"
       "parseable 'listening on HOST:PORT' line once the socket is ready.\n");
 }
@@ -134,6 +149,16 @@ int RunServeCommand(const Flags& flags) {
   options.port = static_cast<std::uint16_t>(flags.GetInt("port", 0));
   options.max_batch_keys =
       static_cast<std::size_t>(flags.GetInt("max-batch-keys", 8192));
+  options.window_interval_ms =
+      static_cast<std::uint64_t>(flags.GetInt("window-ms", 1000));
+  options.window_intervals =
+      static_cast<unsigned>(flags.GetInt("window-count", 8));
+  options.enable_metrics_http = flags.Has("metrics-port");
+  options.metrics_http_port =
+      static_cast<std::uint16_t>(flags.GetInt("metrics-port", 0));
+
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) Timeline::Global().Enable();
 
   KvTcpServer server(backend.get(), options);
   std::string err;
@@ -144,6 +169,11 @@ int RunServeCommand(const Flags& flags) {
   // Scripts scrape this exact line for the ephemeral port.
   std::printf("simdht serve: listening on %s:%u (backend %s)\n",
               options.host.c_str(), server.port(), backend->name());
+  if (options.enable_metrics_http) {
+    // Same contract: scripts scrape this line for the metrics port.
+    std::printf("simdht serve: metrics on %s:%u\n", options.host.c_str(),
+                server.metrics_port());
+  }
   std::fflush(stdout);
 
   g_serve_server.store(&server);
@@ -159,6 +189,14 @@ int RunServeCommand(const Flags& flags) {
       StatValue(stats, "batches"), StatValue(stats, "keys"),
       StatValue(stats, "hits"), StatValue(stats, "batch_connections.mean"),
       StatValue(stats, "batch_keys.mean"));
+  if (!trace_path.empty()) {
+    if (!Timeline::Global().WriteToFile(trace_path, &err)) {
+      std::fprintf(stderr, "serve: cannot write trace: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("simdht serve: wrote %zu trace events to %s\n",
+                Timeline::Global().event_count(), trace_path.c_str());
+  }
   return 0;
 }
 
@@ -185,6 +223,13 @@ void LoadgenUsage() {
       "  --stop-servers      send SHUTDOWN to every server afterwards\n"
       "  --json=PATH         write a RunReport (client row + one row per\n"
       "                      server; diff with simdht_compare)\n"
+      "  --trace-sample=N    send one Multi-Get in N as a traced request\n"
+      "                      (client spans + clock-sync samples; needs\n"
+      "                      servers that advertise proto.trace_context)\n"
+      "  --trace-out=PATH    write the client-side Chrome trace JSON\n"
+      "                      (implies --trace-sample=16 if unset; merge\n"
+      "                      with the server's --trace file via\n"
+      "                      simdht_tracemerge)\n"
       "  --csv               machine-readable tables\n");
 }
 
@@ -209,6 +254,13 @@ int RunLoadgenCommand(const Flags& flags) {
   config.seed = flags.GetUint64("seed", 1);
   config.preload = !flags.GetBool("no-preload", false);
   config.target_qps = flags.GetDouble("qps", 20000);
+  config.trace_sample =
+      static_cast<unsigned>(flags.GetInt("trace-sample", 0));
+  const std::string trace_out_path = flags.GetString("trace-out", "");
+  if (!trace_out_path.empty()) {
+    Timeline::Global().Enable();
+    if (config.trace_sample == 0) config.trace_sample = 16;
+  }
 
   const std::string arrival = flags.GetString("arrival", "uniform");
   if (!ParseArrivalMode(arrival, &config.arrival)) {
@@ -286,6 +338,29 @@ int RunLoadgenCommand(const Flags& flags) {
     servers.Print();
   }
 
+  if (config.trace_sample > 0) {
+    if (result.trace_supported) {
+      std::printf(
+          "\ntracing: %llu of %llu requests traced (1 in %u)\n",
+          static_cast<unsigned long long>(result.traced_requests),
+          static_cast<unsigned long long>(result.requests),
+          config.trace_sample);
+    } else {
+      std::fprintf(stderr,
+                   "loadgen: servers do not advertise proto.trace_context; "
+                   "ran untraced\n");
+    }
+  }
+  if (!trace_out_path.empty()) {
+    if (!Timeline::Global().WriteToFile(trace_out_path, &err)) {
+      std::fprintf(stderr, "loadgen: cannot write trace: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    std::printf("tracing: wrote %zu client trace events to %s\n",
+                Timeline::Global().event_count(), trace_out_path.c_str());
+  }
+
   if (flags.GetBool("stop-servers", false)) {
     KvClusterClient stopper(config.servers);
     if (stopper.Connect(nullptr)) stopper.ShutdownAll();
@@ -338,6 +413,116 @@ int RunLoadgenCommand(const Flags& flags) {
     }
     return WriteReportOutputs(report, json_path, "", csv);
   }
+  return 0;
+}
+
+void TopUsage() {
+  std::fprintf(
+      stderr,
+      "usage: simdht top --server=H:P [options]\n"
+      "  --server=H:P        serve endpoint to watch (required)\n"
+      "  --interval-ms=N     poll period (default 1000)\n"
+      "  --iterations=N      polls before exiting; 0 = until SIGINT\n"
+      "                      (default 0)\n"
+      "polls STATS over the KV wire and renders the rolling-window view:\n"
+      "QPS, windowed tail latencies, batch occupancy, hit rate, and\n"
+      "per-shard probe skew.\n");
+}
+
+int RunTopCommand(const Flags& flags) {
+  const std::string server_flag = flags.GetString("server", "");
+  std::string host;
+  std::uint16_t port = 0;
+  std::string err;
+  if (server_flag.empty() || !ParseEndpoint(server_flag, &host, &port, &err)) {
+    std::fprintf(stderr, "top: bad --server '%s'%s%s\n", server_flag.c_str(),
+                 err.empty() ? "" : ": ", err.c_str());
+    TopUsage();
+    return 1;
+  }
+  const int interval_ms = flags.GetInt("interval-ms", 1000);
+  const int iterations = flags.GetInt("iterations", 0);
+
+  KvTcpClient client;
+  if (!client.Connect(host, port, &err)) {
+    std::fprintf(stderr, "top: cannot connect to %s: %s\n",
+                 server_flag.c_str(), err.c_str());
+    return 1;
+  }
+  g_top_stop.store(false);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  for (int i = 0; (iterations == 0 || i < iterations) && !g_top_stop.load();
+       ++i) {
+    if (i > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      if (g_top_stop.load()) break;
+    }
+    StatsPairs stats;
+    if (!client.Stats(&stats, &err)) {
+      // The connection drops once on server restart; try to re-establish.
+      if (!client.Connect(host, port, nullptr)) {
+        std::fprintf(stderr, "top: lost %s: %s\n", server_flag.c_str(),
+                     err.c_str());
+        return 1;
+      }
+      if (!client.Stats(&stats, &err)) {
+        std::fprintf(stderr, "top: %s\n", err.c_str());
+        return 1;
+      }
+    }
+    const auto v = [&stats](const char* name) {
+      return StatValue(stats, name);
+    };
+    std::printf(
+        "-- simdht top: %s  (window %.1fs)\n"
+        "   load     %10.0f req/s  %10.0f keys/s  hit rate %5.1f%%  "
+        "(lifetime: %.0f requests, %.0f keys)\n"
+        "   batches  conns mean %.2f max %.0f   keys mean %.1f max %.0f   "
+        "dispatch p99 %.0f us (%.1f events mean)\n",
+        server_flag.c_str(), v("win.window_s"), v("win.requests_per_s"),
+        v("win.keys_per_s"), 100.0 * v("win.hit_rate"), v("requests"),
+        v("keys"), v("win.batch_connections.mean"),
+        v("win.batch_connections.max"), v("win.batch_keys.mean"),
+        v("win.batch_keys.max"), v("win.dispatch_us.p99"),
+        v("win.dispatch_events.mean"));
+    const struct {
+      const char* label;
+      const char* prefix;
+    } phases[] = {{"parse", "win.parse_ns"},
+                  {"probe", "win.index_probe_ns"},
+                  {"copy", "win.value_copy_ns"},
+                  {"transport", "win.transport_ns"}};
+    std::printf("   phase us (windowed)   p50      p90      p99     p999\n");
+    for (const auto& phase : phases) {
+      const std::string p(phase.prefix);
+      std::printf("   %-9s %12.2f %8.2f %8.2f %8.2f\n", phase.label,
+                  StatValue(stats, p + ".p50") / 1e3,
+                  StatValue(stats, p + ".p90") / 1e3,
+                  StatValue(stats, p + ".p99") / 1e3,
+                  StatValue(stats, p + ".p999") / 1e3);
+    }
+    const int shards = static_cast<int>(v("shards"));
+    if (shards > 0) {
+      // Shard skew: a shard serving far more than its fair share of hits
+      // (or leaning on its stash) is the saturation early-warning.
+      double total_hits = 0, max_hits = 0, stash = 0;
+      for (int s = 0; s < shards; ++s) {
+        const std::string prefix = "shard." + std::to_string(s);
+        const double h = StatValue(stats, (prefix + ".hits").c_str());
+        total_hits += h;
+        max_hits = std::max(max_hits, h);
+        stash += StatValue(stats, (prefix + ".stash_hits").c_str());
+      }
+      const double fair = shards > 0 ? total_hits / shards : 0;
+      std::printf(
+          "   shards   %d  skew (max/fair) %.2f  stash hits %.0f\n", shards,
+          fair > 0 ? max_hits / fair : 0.0, stash);
+    }
+    std::fflush(stdout);
+  }
+  client.Close();
   return 0;
 }
 

@@ -16,8 +16,13 @@ int RunServeCommand(const Flags& flags);
 // phase stats, optionally as a RunReport (--json).
 int RunLoadgenCommand(const Flags& flags);
 
+// `simdht top`: poll a serve process's STATS and render the rolling-window
+// dashboard (QPS, windowed tails, batch occupancy, shard skew).
+int RunTopCommand(const Flags& flags);
+
 void ServeUsage();
 void LoadgenUsage();
+void TopUsage();
 
 }  // namespace simdht
 

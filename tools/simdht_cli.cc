@@ -119,7 +119,7 @@ int RunKernelList() {
 void Usage(const char* prog) {
   std::fprintf(
       stderr,
-      "usage: %s [perf-check|kernels|serve|loadgen] [options]\n"
+      "usage: %s [perf-check|kernels|serve|loadgen|top] [options]\n"
       "subcommands:\n"
       "  perf-check        probe hardware-counter availability and exit\n"
       "  kernels           list registered lookup kernels (with their table\n"
@@ -128,6 +128,8 @@ void Usage(const char* prog) {
       "                    'simdht serve --help')\n"
       "  loadgen           open-loop Multi-Get load against serve\n"
       "                    processes (see 'simdht loadgen --help')\n"
+      "  top               live rolling-window dashboard for a serve\n"
+      "                    process (see 'simdht top --help')\n"
       "table layout:\n"
       "  --family=F        cuckoo | swiss (default cuckoo): swiss probes a\n"
       "                    control-byte lane in 16-slot groups; --ways,\n"
@@ -186,6 +188,8 @@ int main(int argc, char** argv) {
       ServeUsage();
     } else if (subcommand == "loadgen") {
       LoadgenUsage();
+    } else if (subcommand == "top") {
+      TopUsage();
     } else {
       Usage(argv[0]);
     }
@@ -197,6 +201,7 @@ int main(int argc, char** argv) {
     if (subcommand == "kernels") return RunKernelList();
     if (subcommand == "serve") return RunServeCommand(flags);
     if (subcommand == "loadgen") return RunLoadgenCommand(flags);
+    if (subcommand == "top") return RunTopCommand(flags);
     std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
     Usage(argv[0]);
     return 1;

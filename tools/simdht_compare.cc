@@ -109,6 +109,18 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Rows whose schema this build doesn't know are skipped with a note —
+  // a report from a newer producer shouldn't hard-fail the comparison of
+  // the rows we do understand.
+  for (const std::string& why : base->skipped_rows) {
+    std::fprintf(stderr, "note: %s: skipped %s\n",
+                 flags.positional()[0].c_str(), why.c_str());
+  }
+  for (const std::string& why : cur->skipped_rows) {
+    std::fprintf(stderr, "note: %s: skipped %s\n",
+                 flags.positional()[1].c_str(), why.c_str());
+  }
+
   std::printf("baseline: %s  (%s, %s)\n", flags.positional()[0].c_str(),
               base->git_sha.c_str(), base->timestamp_utc.c_str());
   std::printf("current:  %s  (%s, %s)\n", flags.positional()[1].c_str(),
@@ -188,12 +200,15 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  const std::size_t unparsed =
+      base->skipped_rows.size() + cur->skipped_rows.size();
   std::printf(
       "\n%zu rows compared: %u regression(s), %u improvement(s), %u within "
-      "noise; %u missing, %u added, %u without a shared metric\n",
+      "noise; %u missing, %u added, %u without a shared metric, %zu with "
+      "unknown schema\n",
       deltas.size(), regressions, improvements,
       static_cast<unsigned>(deltas.size()) - regressions - improvements,
-      missing, added, skipped);
+      missing, added, skipped, unparsed);
 
   if (regressions > 0) return 1;
   if (fail_on_missing && missing > 0) return 1;

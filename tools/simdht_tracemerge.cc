@@ -1,0 +1,97 @@
+// simdht_tracemerge — merge a loadgen client trace with server traces
+// onto one clock (see obs/trace_merge.h for the alignment method).
+//
+//   simdht_tracemerge --out=merged.json client.json 0=server0.json ...
+//
+// Server inputs are LABEL=PATH where LABEL matches the clock_sync
+// "server" arg the loadgen recorded — the endpoint index ("0", "1", ...)
+// in endpoint order of --servers.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "obs/trace_merge.h"
+
+using namespace simdht;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: simdht_tracemerge [--out=PATH] CLIENT.json LABEL=SERVER.json"
+      " [LABEL=SERVER.json ...]\n"
+      "  CLIENT.json    loadgen trace (simdht loadgen --trace-out)\n"
+      "  LABEL=PATH     server trace (simdht serve --trace); LABEL is the\n"
+      "                 endpoint index in the loadgen's --servers order\n"
+      "  --out=PATH     write the merged trace here (default stdout)\n"
+      "prints the per-server clock offset estimates on stderr.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.Has("help") || flags.Has("h")) {
+    Usage();
+    return 0;
+  }
+  const std::vector<std::string>& args = flags.positional();
+  if (args.size() < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string& client_path = args[0];
+  std::vector<TraceMergeInput> servers;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::size_t eq = args[i].find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == args[i].size()) {
+      std::fprintf(stderr,
+                   "simdht_tracemerge: server input '%s' is not "
+                   "LABEL=PATH\n",
+                   args[i].c_str());
+      return 1;
+    }
+    TraceMergeInput input;
+    input.label = args[i].substr(0, eq);
+    input.path = args[i].substr(eq + 1);
+    servers.push_back(std::move(input));
+  }
+
+  TraceMergeResult result;
+  std::string err;
+  if (!MergeTraces(client_path, servers, &result, &err)) {
+    std::fprintf(stderr, "simdht_tracemerge: %s\n", err.c_str());
+    return 1;
+  }
+  for (const auto& alignment : result.alignments) {
+    std::fprintf(stderr,
+                 "server %s: offset %+.1f us over %zu sync sample(s)\n",
+                 alignment.label.c_str(), alignment.offset_us,
+                 alignment.sync_samples);
+  }
+
+  const std::string out_path = flags.GetString("out", "");
+  if (out_path.empty()) {
+    std::fputs(result.json.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "simdht_tracemerge: cannot open %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << result.json << '\n';
+  if (!out.good()) {
+    std::fprintf(stderr, "simdht_tracemerge: write to %s failed\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "merged %zu input file(s) into %s\n",
+               servers.size() + 1, out_path.c_str());
+  return 0;
+}

@@ -1,24 +1,122 @@
-// Mixed read/update workload study (the paper's Section VII future work).
+// Mixed read/write workload studies (the paper's Section VII future work).
 //
-// A dedicated writer thread continuously overwrites resident values
-// in-place while reader threads run the batched lookup kernels; reported is
-// the reader throughput with the writer off vs on. The question the paper
-// poses: do SIMD lookups keep their advantage when the table is being
-// mutated under them (cache-line ping-pong on hot buckets)?
+// Part 1 — writer-interference study: a dedicated writer thread
+// continuously overwrites resident values in-place while reader threads
+// run the batched lookup kernels; reported is the reader throughput with
+// the writer off vs on. The question the paper poses: do SIMD lookups keep
+// their advantage when the table is being mutated under them (cache-line
+// ping-pong on hot buckets)?
+//
+// Part 2 — YCSB scenario matrix: the six core YCSB workloads (A-F) run
+// single-threaded against three table designs — (2,4) BCHT with the
+// horizontal kernel, (3,1) cuckoo with the vertical kernel, and the Swiss
+// control-byte table — plus a 4-shard BCHT variant. Reads go through the
+// SIMD kernels (BatchGet), writes through the family-generic batched
+// mutation engine (BatchInsert/BatchUpdate), so the matrix measures the
+// blended throughput of the unified batched read/write path. Per-design
+// insert-path counters (direct vs BFS-path vs stash placements, rebuilds;
+// per-shard skew for the sharded variant) ride along in the RunReport.
+#include <memory>
+
 #include "bench_common.h"
 #include "core/mixed_runner.h"
+#include "core/ycsb.h"
 
 using namespace simdht;
 using namespace simdht::bench;
 
+namespace {
+
+struct Design {
+  std::string label;
+  YcsbTable::Options options;
+};
+
+std::vector<Design> YcsbDesigns(std::uint64_t capacity) {
+  std::vector<Design> designs;
+  {
+    YcsbTable::Options o;
+    o.ways = 2;
+    o.slots = 4;
+    o.capacity = capacity;
+    designs.push_back({"BCHT-hor(2,4)", o});
+  }
+  {
+    YcsbTable::Options o;
+    o.ways = 3;
+    o.slots = 1;
+    o.capacity = capacity;
+    designs.push_back({"Cuckoo-ver(3,1)", o});
+  }
+  {
+    YcsbTable::Options o;
+    o.family = TableFamily::kSwiss;
+    o.capacity = capacity;
+    designs.push_back({"Swiss", o});
+  }
+  {
+    YcsbTable::Options o;
+    o.ways = 2;
+    o.slots = 4;
+    o.capacity = capacity;
+    o.shards = 4;
+    designs.push_back({"BCHT-hor(2,4)x4", o});
+  }
+  return designs;
+}
+
+// Emits the design's insert-path counters into `metrics`, and per-shard
+// rows into the session for sharded designs (the write-path twin of the
+// serving metrics' per-shard probe counters).
+void AppendInsertStats(
+    const YcsbTable& table, const Design& design, const StringPairs& config,
+    std::vector<std::pair<std::string, MetricStat>>* metrics,
+    ReportSession* session) {
+  const auto stat = [](std::uint64_t v) {
+    return ReportSession::Stat(static_cast<double>(v));
+  };
+  if (table.family() == TableFamily::kSwiss) {
+    const SwissInsertStats& s = table.swiss_table().insert_stats();
+    metrics->emplace_back("inserts", stat(s.inserts));
+    metrics->emplace_back("updates", stat(s.updates));
+    metrics->emplace_back("tombstone_reuses", stat(s.tombstone_reuses));
+    metrics->emplace_back("failed_inserts", stat(s.failed_inserts));
+    return;
+  }
+  const InsertStats s = table.num_shards() > 1
+                            ? table.sharded().insert_stats()
+                            : table.table().insert_stats();
+  metrics->emplace_back("direct_inserts", stat(s.direct_inserts));
+  metrics->emplace_back("path_inserts", stat(s.path_inserts));
+  metrics->emplace_back("stash_inserts", stat(s.stash_inserts));
+  metrics->emplace_back("rebuilds", stat(s.rebuilds));
+  metrics->emplace_back("failed_inserts", stat(s.failed_inserts));
+  if (table.num_shards() > 1) {
+    const auto per_shard = table.sharded().ShardInsertStats();
+    for (std::size_t i = 0; i < per_shard.size(); ++i) {
+      StringPairs shard_config = config;
+      shard_config.emplace_back("shard", std::to_string(i));
+      session->AddRow(
+          design.label, shard_config,
+          {{"direct_inserts", stat(per_shard[i].direct_inserts)},
+           {"path_inserts", stat(per_shard[i].path_inserts)},
+           {"stash_inserts", stat(per_shard[i].stash_inserts)},
+           {"failed_inserts", stat(per_shard[i].failed_inserts)}});
+    }
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const BenchOptions opt = ParseBenchOptions(argc, argv);
-  PrintHeader("Mixed read/update workloads (Section VII extension)", opt);
-  ReportSession session(opt, "Mixed read/update workloads");
+  PrintHeader("Mixed read/write workloads (Section VII extension)", opt);
+  ReportSession session(opt, "Mixed read/write workloads");
 
-  TablePrinter table({"layout", "pattern", "kernel", "read-only Mlps/core",
-                      "with writer Mlps/core", "writer Mupd/s",
-                      "reader slowdown"});
+  // --- Part 1: reader throughput under a concurrent writer. ---
+  TablePrinter mixed_table(
+      {"layout", "pattern", "kernel", "read-only Mlps/core",
+       "with writer Mlps/core", "writer Mupd/s", "reader slowdown"});
 
   for (const AccessPattern pattern :
        {AccessPattern::kUniform, AccessPattern::kZipfian}) {
@@ -37,14 +135,69 @@ int main(int argc, char** argv) {
       session.AddMixed(mixed, {{"layout", layout.ToString()},
                                {"pattern", AccessPatternName(pattern)}});
       for (const MixedResult& r : mixed) {
-        table.AddRow({layout.ToString(), AccessPatternName(pattern),
-                      r.kernel, TablePrinter::Fmt(r.read_only_mlps, 1),
-                      TablePrinter::Fmt(r.with_writer_mlps, 1),
-                      TablePrinter::Fmt(r.writer_mups, 1),
-                      TablePrinter::Fmt(r.degradation * 100.0, 1) + "%"});
+        mixed_table.AddRow(
+            {layout.ToString(), AccessPatternName(pattern), r.kernel,
+             TablePrinter::Fmt(r.read_only_mlps, 1),
+             TablePrinter::Fmt(r.with_writer_mlps, 1),
+             TablePrinter::Fmt(r.writer_mups, 1),
+             TablePrinter::Fmt(r.degradation * 100.0, 1) + "%"});
       }
     }
   }
-  Emit(table, opt);
+  Emit(mixed_table, opt);
+
+  // --- Part 2: the YCSB A-F scenario matrix. ---
+  // Tables start half full so D/E's inserts have headroom; every design
+  // preloads the identical id set, so hit rates are comparable.
+  const std::uint64_t initial_keys = opt.quick ? (1u << 15) : (1u << 18);
+  const std::uint64_t capacity = initial_keys * 2;
+
+  YcsbConfig config;
+  config.initial_keys = initial_keys;
+  config.ops = opt.quick ? (1u << 17) : (1u << 20);
+  config.seed = opt.seed;
+
+  TablePrinter ycsb_table({"design", "workload", "Mops/s", "read Mops/s",
+                           "write Mops/s", "hit rate", "load factor",
+                           "kernel"});
+  for (const Design& design : YcsbDesigns(capacity)) {
+    for (const YcsbWorkload w : kAllYcsbWorkloads) {
+      config.workload = w;
+      YcsbTable table(design.options);
+      YcsbPreload(&table, config.initial_keys);
+      const YcsbResult r = RunYcsb(&table, config);
+
+      ycsb_table.AddRow(
+          {design.label, r.workload, TablePrinter::Fmt(r.mops, 2),
+           TablePrinter::Fmt(r.read_mops, 2),
+           TablePrinter::Fmt(r.write_mops, 2),
+           TablePrinter::Fmt(r.hit_rate * 100.0, 1) + "%",
+           TablePrinter::Fmt(r.load_factor, 3), table.kernel_name()});
+
+      const StringPairs config_pairs = {
+          {"workload", r.workload},
+          {"initial_keys", std::to_string(config.initial_keys)},
+          {"ops", std::to_string(config.ops)}};
+      std::vector<std::pair<std::string, MetricStat>> metrics = {
+          {"mops", ReportSession::Stat(r.mops)},
+          {"read_mops", ReportSession::Stat(r.read_mops)},
+          {"write_mops", ReportSession::Stat(r.write_mops)},
+          {"hit_rate", ReportSession::Stat(r.hit_rate)},
+          {"load_factor", ReportSession::Stat(r.load_factor)},
+          {"reads", ReportSession::Stat(
+                        static_cast<double>(r.counts.reads))},
+          {"updates", ReportSession::Stat(
+                          static_cast<double>(r.counts.updates))},
+          {"op_inserts", ReportSession::Stat(
+                             static_cast<double>(r.counts.inserts))},
+          {"scans", ReportSession::Stat(
+                        static_cast<double>(r.counts.scans))},
+          {"rmws", ReportSession::Stat(
+                       static_cast<double>(r.counts.rmws))}};
+      AppendInsertStats(table, design, config_pairs, &metrics, &session);
+      session.AddRow(design.label, config_pairs, std::move(metrics));
+    }
+  }
+  Emit(ycsb_table, opt);
   return session.Finish();
 }

@@ -26,6 +26,10 @@ for preset in "${presets[@]}"; do
     # max load factor and (2,1) cuckoo inside the theoretical band.
     echo "=== insertion-engine max-LF gate ==="
     ./build/bench/micro_insert_path --quick --check
+    # Batched-write gate: BatchInsert must leave byte-identical state to
+    # the scalar loop and beat it >= 1.5x on the 64 MiB cuckoo table.
+    echo "=== batched-write engine gate ==="
+    ./build/bench/micro_insert_path --engine=batch --full --check
     # Kernel parity gate: every SIMD kernel (cuckoo and Swiss families,
     # every supported ISA tier) must match its scalar twin probe-for-probe.
     echo "=== kernel parity gate ==="

@@ -1,0 +1,111 @@
+// YCSB-style scenario matrix over the unified batched read/write engine.
+//
+// The six core YCSB workloads (Cooper et al., SoCC 2010) exercised against
+// SimdHashTable's batched paths: reads run through the SIMD lookup kernels
+// (BatchGet), writes through the family-generic batched mutation engine
+// (BatchInsert/BatchUpdate, ht/mutation.h). This is the write-path twin of
+// the read-only performance engine — where MixedRunner contrasts reader
+// throughput with a writer on/off, the YCSB matrix measures the blended
+// operation throughput the paper's Section VII asks about.
+//
+//   A  update-heavy   50% read / 50% update          zipfian
+//   B  read-mostly    95% read /  5% update          zipfian
+//   C  read-only     100% read                       zipfian
+//   D  read-latest    95% read /  5% insert          latest
+//   E  short-ranges   95% scan /  5% insert          zipfian start
+//   F  read-mod-write 50% read / 50% RMW             zipfian
+//
+// Operations are generated per batch (YcsbConfig::batch ops at a time),
+// partitioned by type, and each type runs through one engine call — the
+// same discipline a batching KVS front-end applies. Scans expand into a
+// window of consecutive key ids served by one BatchGet (the hash-table
+// stand-in for a range scan). RMW reads the key's value via BatchGet and
+// writes back a derived value via BatchUpdate.
+#ifndef SIMDHT_CORE_YCSB_H_
+#define SIMDHT_CORE_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "simd/simd_hash_table.h"
+
+namespace simdht {
+
+enum class YcsbWorkload { kA, kB, kC, kD, kE, kF };
+
+// "A" .. "F".
+const char* YcsbWorkloadName(YcsbWorkload w);
+// Accepts "A"/"a" .. "F"/"f"; false on anything else.
+bool ParseYcsbWorkload(std::string_view name, YcsbWorkload* out);
+// All six, in order.
+inline constexpr YcsbWorkload kAllYcsbWorkloads[] = {
+    YcsbWorkload::kA, YcsbWorkload::kB, YcsbWorkload::kC,
+    YcsbWorkload::kD, YcsbWorkload::kE, YcsbWorkload::kF};
+
+// Operation mix as fractions summing to 1.
+struct YcsbMix {
+  double read = 0.0;
+  double update = 0.0;
+  double insert = 0.0;
+  double scan = 0.0;
+  double rmw = 0.0;
+};
+YcsbMix YcsbMixFor(YcsbWorkload w);
+
+struct YcsbConfig {
+  YcsbWorkload workload = YcsbWorkload::kA;
+  std::uint64_t initial_keys = 1u << 16;  // preloaded working set (ids)
+  std::uint64_t ops = 1u << 18;           // total operations
+  unsigned batch = 256;                   // ops grouped per engine call
+  double zipf_s = 0.99;                   // YCSB skew convention
+  unsigned max_scan_len = 16;             // E: window length in [1, max]
+  std::uint64_t seed = 42;
+};
+
+// The dense key-id <-> table-key bijection (odd-constant multiply, never
+// the empty sentinel for id < 2^32 - 1). Insert-order ids make "latest"
+// addressing (workload D) and scan windows (E) trivial.
+inline std::uint32_t YcsbKey(std::uint64_t id) {
+  return static_cast<std::uint32_t>((id + 1) * 2654435761u);
+}
+inline std::uint32_t YcsbVal(std::uint32_t key) { return key ^ 0x5BD1E995u; }
+
+struct YcsbOpCounts {
+  std::uint64_t reads = 0;      // point reads (incl. D's read-latest)
+  std::uint64_t updates = 0;    // in-place value overwrites
+  std::uint64_t inserts = 0;    // fresh-key inserts (D, E)
+  std::uint64_t insert_ok = 0;  // inserts the table accepted
+  std::uint64_t scans = 0;      // scan operations (E)
+  std::uint64_t scan_keys = 0;  // keys touched by scans
+  std::uint64_t rmws = 0;       // read-modify-write pairs (F)
+  std::uint64_t read_hits = 0;  // hits across reads + scan keys + rmw reads
+};
+
+struct YcsbResult {
+  std::string workload;  // "A" .. "F"
+  YcsbOpCounts counts;
+  double elapsed_s = 0.0;
+  double mops = 0.0;        // total operations/s (millions)
+  double read_mops = 0.0;   // read-side ops/s (reads + scans + rmws)
+  double write_mops = 0.0;  // write-side ops/s (updates + inserts + rmws)
+  double hit_rate = 0.0;    // read_hits / keys probed
+  double load_factor = 0.0;
+  std::uint64_t final_size = 0;
+};
+
+using YcsbTable = SimdHashTable<std::uint32_t, std::uint32_t>;
+
+// Preloads key ids [0, n) through the batched insert engine. Returns the
+// number the table accepted (== n unless the table is undersized).
+std::uint64_t YcsbPreload(YcsbTable* table, std::uint64_t n);
+
+// Runs config.ops operations of the workload's mix against a table already
+// preloaded with config.initial_keys ids (YcsbPreload). Single-threaded by
+// design: the matrix compares table designs and engine paths, not thread
+// scaling (ablation_concurrent covers that axis).
+YcsbResult RunYcsb(YcsbTable* table, const YcsbConfig& config);
+
+}  // namespace simdht
+
+#endif  // SIMDHT_CORE_YCSB_H_

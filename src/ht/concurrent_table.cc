@@ -1,6 +1,9 @@
 #include "ht/concurrent_table.h"
 
+#include <algorithm>
 #include <vector>
+
+#include "hash/block_hash.h"
 
 namespace simdht {
 
@@ -101,6 +104,11 @@ template <typename K, typename V>
 bool ConcurrentCuckooTable<K, V>::Insert(K key, V val) {
   if (key == static_cast<K>(kEmptyKey)) return false;
   std::lock_guard<std::mutex> lock(writer_mu_);
+  return InsertLocked(key, val);
+}
+
+template <typename K, typename V>
+bool ConcurrentCuckooTable<K, V>::InsertLocked(K key, V val) {
   TableStore& st = store();
 
   // Overwrite in place if present (buckets, then stash).
@@ -229,6 +237,149 @@ int ConcurrentCuckooTable<K, V>::InsertAttempt(K key, V val) {
   }
   st.EpochExitWrite();
   return aborted ? -1 : 1;
+}
+
+template <typename K, typename V>
+void ConcurrentCuckooTable<K, V>::BatchInsert(const MutationBatch<K, V>& batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  TableStore& st = store();
+  const MutationKernel* kernel = MutationRegistry::Get().ForCuckoo(st.spec());
+  const unsigned ways = st.spec().ways;
+  std::uint32_t buckets[kMutationChunk * kMaxWays];
+  for (std::size_t base = 0; base < batch.size; base += kMutationChunk) {
+    const std::size_t n = std::min(kMutationChunk, batch.size - base);
+    const K* keys = batch.keys + base;
+    const V* vals = batch.vals + base;
+    std::uint64_t chunk_seed = st.seed();
+    TableView view = st.view();
+    BlockBuckets<K>(st.hash(), ways, keys, n, buckets);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (unsigned w = 0; w < ways; ++w) {
+        PrefetchBucketForWrite(view, buckets[i * ways + w]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const K key = keys[i];
+      std::uint8_t r = 1;
+      bool done = false;
+      if (key == static_cast<K>(kEmptyKey)) {
+        r = 0;
+        done = true;
+      }
+      // A conflict-tail InsertLocked can publish a rebuild (new seed): the
+      // chunk's remaining block-hashed candidates are stale — re-hash them.
+      if (!done && st.seed() != chunk_seed) {
+        chunk_seed = st.seed();
+        view = st.view();
+        BlockBuckets<K>(st.hash(), ways, keys + i, n - i, buckets + i * ways);
+      }
+      if (!done) {
+        const auto key_w = static_cast<std::uint64_t>(key);
+        int place_way = -1;
+        int place_slot = -1;
+        for (unsigned w = 0; w < ways; ++w) {
+          const std::uint32_t b = buckets[i * ways + w];
+          const BucketScan scan = kernel->bucket_scan(view, b, key_w);
+          if (scan.match_slot >= 0) {
+            // Duplicate overwrite: the same stripe + epoch bracket the
+            // per-key Insert uses for an in-place rewrite.
+            st.EpochEnterWrite();
+            st.BumpOdd(b);
+            table_.WriteSlot(b, static_cast<unsigned>(scan.match_slot), key,
+                             vals[i]);
+            st.BumpEven(b);
+            st.EpochExitWrite();
+            done = true;
+            break;
+          }
+          if (place_way < 0 && scan.empty_slot >= 0) {
+            place_way = static_cast<int>(w);
+            place_slot = scan.empty_slot;
+          }
+        }
+        if (!done) {
+          const unsigned stash_n = st.stash_count();
+          for (unsigned j = 0; j < stash_n; ++j) {
+            if (st.stash_at(j).key == key_w) {
+              // Single aligned word store: readers observe old or new.
+              st.StashSetVal(j, static_cast<std::uint64_t>(vals[i]));
+              done = true;
+              break;
+            }
+          }
+        }
+        if (!done && place_way >= 0) {
+          // Direct insert — a BFS path of length one, with its exact
+          // publication order: epoch, stripe odd, slot write, stripe even,
+          // size, stats, epoch exit.
+          const std::uint32_t b = buckets[i * ways + place_way];
+          st.EpochEnterWrite();
+          st.BumpOdd(b);
+          table_.WriteSlot(b, static_cast<unsigned>(place_slot), key, vals[i]);
+          st.BumpEven(b);
+          table_.AdjustSize(1);
+          ++table_.mutable_insert_stats().direct_inserts;
+          st.EpochExitWrite();
+          done = true;
+        }
+        if (!done) {
+          r = InsertLocked(key, vals[i]) ? 1 : 0;
+        }
+      }
+      if (batch.ok != nullptr) batch.ok[base + i] = r;
+    }
+  }
+}
+
+template <typename K, typename V>
+void ConcurrentCuckooTable<K, V>::BatchUpdate(const MutationBatch<K, V>& batch) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  TableStore& st = store();
+  const MutationKernel* kernel = MutationRegistry::Get().ForCuckoo(st.spec());
+  const unsigned ways = st.spec().ways;
+  std::uint32_t buckets[kMutationChunk * kMaxWays];
+  for (std::size_t base = 0; base < batch.size; base += kMutationChunk) {
+    const std::size_t n = std::min(kMutationChunk, batch.size - base);
+    const K* keys = batch.keys + base;
+    const V* vals = batch.vals + base;
+    const TableView view = st.view();
+    BlockBuckets<K>(st.hash(), ways, keys, n, buckets);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (unsigned w = 0; w < ways; ++w) {
+        PrefetchBucketForWrite(view, buckets[i * ways + w]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const K key = keys[i];
+      std::uint8_t r = 0;
+      if (key != static_cast<K>(kEmptyKey)) {
+        const auto key_w = static_cast<std::uint64_t>(key);
+        for (unsigned w = 0; w < ways && r == 0; ++w) {
+          const std::uint32_t b = buckets[i * ways + w];
+          const BucketScan scan = kernel->bucket_scan(view, b, key_w);
+          if (scan.match_slot >= 0) {
+            // Same stripe bump (no epoch) as the per-key UpdateValue.
+            st.BumpOdd(b);
+            table_.WriteSlot(b, static_cast<unsigned>(scan.match_slot), key,
+                             vals[i]);
+            st.BumpEven(b);
+            r = 1;
+          }
+        }
+        if (r == 0) {
+          const unsigned stash_n = st.stash_count();
+          for (unsigned j = 0; j < stash_n; ++j) {
+            if (st.stash_at(j).key == key_w) {
+              st.StashSetVal(j, static_cast<std::uint64_t>(vals[i]));
+              r = 1;
+              break;
+            }
+          }
+        }
+      }
+      if (batch.ok != nullptr) batch.ok[base + i] = r;
+    }
+  }
 }
 
 template <typename K, typename V>

@@ -50,6 +50,18 @@ class ConcurrentCuckooTable {
   // is rejected. Thread-safe vs readers and other writers.
   bool Insert(K key, V val);
 
+  // Batched mutation surface (ht/mutation.h): takes the writer mutex once
+  // for the whole batch, then runs the block-hash + write-prefetch + SIMD
+  // scan fast path per key, reproducing exactly the seqlock/write-epoch
+  // discipline the per-key path uses (duplicate overwrites bump only the
+  // touched stripe; direct inserts bracket with the write epoch like a BFS
+  // path of length one). Conflict keys fall back to the locked scalar core.
+  // Bit-identical to the per-key Insert loop; safe vs concurrent readers.
+  void BatchInsert(const MutationBatch<K, V>& batch);
+
+  // Batched UpdateValue under one writer-mutex acquisition.
+  void BatchUpdate(const MutationBatch<K, V>& batch);
+
   // Lock-free single-key lookup (candidate buckets, then overflow stash).
   bool Find(K key, V* val) const;
 
@@ -149,6 +161,10 @@ class ConcurrentCuckooTable {
   // One BFS + replay attempt: 1 = inserted, 0 = table full,
   // -1 = replay aborted on a slot-aliased chain (caller retries).
   int InsertAttempt(K key, V val);
+
+  // Insert core with writer_mu_ already held (shared by Insert and the
+  // batched conflict tail).
+  bool InsertLocked(K key, V val);
 
   CuckooTable<K, V> table_;
   std::vector<PathStep> path_;

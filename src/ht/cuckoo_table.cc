@@ -1,7 +1,10 @@
 #include "ht/cuckoo_table.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
+
+#include "hash/block_hash.h"
 
 namespace simdht {
 
@@ -294,6 +297,138 @@ bool CuckooTable<K, V>::Insert(K key, V val) {
 
   ++stats_.failed_inserts;
   return false;
+}
+
+template <typename K, typename V>
+void CuckooTable<K, V>::BatchInsert(const MutationBatch<K, V>& batch) {
+  const MutationKernel* kernel =
+      MutationRegistry::Get().ForCuckoo(store_.spec());
+  const unsigned ways = store_.spec().ways;
+  std::uint32_t buckets[kMutationChunk * kMaxWays];
+  for (std::size_t base = 0; base < batch.size; base += kMutationChunk) {
+    const std::size_t n = std::min(kMutationChunk, batch.size - base);
+    const K* keys = batch.keys + base;
+    const V* vals = batch.vals + base;
+    std::uint64_t chunk_seed = store_.seed();
+    TableView view = store_.view();
+    BlockBuckets<K>(store_.hash(), ways, keys, n, buckets);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (unsigned w = 0; w < ways; ++w) {
+        PrefetchBucketForWrite(view, buckets[i * ways + w]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const K key = keys[i];
+      std::uint8_t r = 1;
+      bool done = false;
+      if (key == static_cast<K>(kEmptyKey)) {
+        r = 0;
+        done = true;
+      }
+      // A scalar-core fallback can reseed (rebuild recovery); the rest of
+      // the chunk's block-hashed candidates are then stale. Seed-gate and
+      // re-hash the unprocessed tail.
+      if (!done && store_.seed() != chunk_seed) {
+        chunk_seed = store_.seed();
+        view = store_.view();
+        BlockBuckets<K>(store_.hash(), ways, keys + i, n - i,
+                        buckets + i * ways);
+      }
+      if (!done) {
+        const auto key_w = static_cast<std::uint64_t>(key);
+        int place_way = -1;
+        int place_slot = -1;
+        for (unsigned w = 0; w < ways; ++w) {
+          const std::uint32_t b = buckets[i * ways + w];
+          const BucketScan scan = kernel->bucket_scan(view, b, key_w);
+          if (scan.match_slot >= 0) {
+            // Duplicate: overwrite in place (cuckoo invariant — at most
+            // one copy), exactly where the scalar dup pass would.
+            store_.SetSlot(b, static_cast<unsigned>(scan.match_slot), key,
+                           vals[i]);
+            done = true;
+            break;
+          }
+          if (place_way < 0 && scan.empty_slot >= 0) {
+            place_way = static_cast<int>(w);
+            place_slot = scan.empty_slot;
+          }
+        }
+        if (!done) {
+          const unsigned stash_n = store_.stash_count();
+          for (unsigned j = 0; j < stash_n; ++j) {
+            if (store_.stash_at(j).key == key_w) {
+              store_.StashSetVal(j, static_cast<std::uint64_t>(vals[i]));
+              done = true;
+              break;
+            }
+          }
+        }
+        if (!done && place_way >= 0) {
+          // Direct insert: the first way with an empty slot, lowest slot —
+          // the placement both the BFS root scan (path length one) and the
+          // random walk's first iteration produce, with no RNG consumed.
+          store_.SetSlot(buckets[i * ways + place_way],
+                         static_cast<unsigned>(place_slot), key, vals[i]);
+          store_.AdjustSize(1);
+          ++stats_.direct_inserts;
+          done = true;
+        }
+        if (!done) {
+          // Conflict tail: every candidate bucket is full. Run the scalar
+          // core (eviction path / stash spill / rebuild recovery).
+          r = Insert(key, vals[i]) ? 1 : 0;
+        }
+      }
+      if (batch.ok != nullptr) batch.ok[base + i] = r;
+    }
+  }
+}
+
+template <typename K, typename V>
+void CuckooTable<K, V>::BatchUpdate(const MutationBatch<K, V>& batch) {
+  const MutationKernel* kernel =
+      MutationRegistry::Get().ForCuckoo(store_.spec());
+  const unsigned ways = store_.spec().ways;
+  std::uint32_t buckets[kMutationChunk * kMaxWays];
+  for (std::size_t base = 0; base < batch.size; base += kMutationChunk) {
+    const std::size_t n = std::min(kMutationChunk, batch.size - base);
+    const K* keys = batch.keys + base;
+    const V* vals = batch.vals + base;
+    const TableView view = store_.view();
+    BlockBuckets<K>(store_.hash(), ways, keys, n, buckets);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (unsigned w = 0; w < ways; ++w) {
+        PrefetchBucketForWrite(view, buckets[i * ways + w]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const K key = keys[i];
+      std::uint8_t r = 0;
+      if (key != static_cast<K>(kEmptyKey)) {
+        const auto key_w = static_cast<std::uint64_t>(key);
+        for (unsigned w = 0; w < ways && r == 0; ++w) {
+          const std::uint32_t b = buckets[i * ways + w];
+          const BucketScan scan = kernel->bucket_scan(view, b, key_w);
+          if (scan.match_slot >= 0) {
+            store_.SetVal(b, static_cast<unsigned>(scan.match_slot), vals[i]);
+            r = 1;
+          }
+        }
+        if (r == 0) {
+          const unsigned stash_n = store_.stash_count();
+          for (unsigned j = 0; j < stash_n; ++j) {
+            if (store_.stash_at(j).key == key_w) {
+              store_.StashSetVal(j, static_cast<std::uint64_t>(vals[i]));
+              r = 1;
+              break;
+            }
+          }
+        }
+      }
+      if (batch.ok != nullptr) batch.ok[base + i] = r;
+    }
+  }
 }
 
 template <typename K, typename V>

@@ -26,6 +26,7 @@
 
 #include "common/compiler.h"
 #include "common/random.h"
+#include "ht/mutation.h"
 #include "ht/path_search.h"
 #include "ht/table_store.h"
 
@@ -70,6 +71,17 @@ class CuckooTable {
   // (if enabled) could not place everything under a fresh seed. A failed
   // Insert leaves the table contents bit-identical.
   bool Insert(K key, V val);
+
+  // Batched mutation surface (ht/mutation.h). Bit-identical to calling
+  // Insert(keys[i], vals[i]) in batch order — same table bytes, stash,
+  // stats and ok results — but the chunk is block-hashed, its candidate
+  // buckets write-prefetched, and each bucket SIMD-scanned once for both
+  // the duplicate and the first empty slot. Only keys whose candidates are
+  // all full (or that collide structurally) fall back to the scalar core.
+  void BatchInsert(const MutationBatch<K, V>& batch);
+
+  // Batched UpdateValue: ok[i] = key present (value overwritten in place).
+  void BatchUpdate(const MutationBatch<K, V>& batch);
 
   // Scalar reference lookup (the paper's "Scalar" baseline inner step).
   // Probes the candidate buckets, then the overflow stash.

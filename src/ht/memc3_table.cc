@@ -103,7 +103,10 @@ bool Memc3Table::StashContains(std::uint64_t item) const {
 
 bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  return InsertLocked(hash, item);
+}
 
+bool Memc3Table::InsertLocked(std::uint64_t hash, std::uint64_t item) {
   const std::uint8_t tag = Tag8(hash);
   const std::uint32_t b1 = IndexHash(hash);
 
@@ -172,6 +175,59 @@ bool Memc3Table::Insert(std::uint64_t hash, std::uint64_t item) {
     return true;
   }
   return false;
+}
+
+namespace {
+
+// Lowest zero tag byte of a bucket's 4-byte tag word (-1 = none): classic
+// SWAR zero-byte scan; false positives only arise above the first true
+// zero, and ctz always picks the lowest, so the result is exact. Slot
+// order matches the BFS root scan (ascending).
+int FirstEmptyTagSlot(const std::uint8_t* tags) {
+  std::uint32_t w;
+  std::memcpy(&w, tags, 4);
+  const std::uint32_t z = (w - 0x01010101u) & ~w & 0x80808080u;
+  if (z == 0) return -1;
+  return static_cast<int>(__builtin_ctz(z) >> 3);
+}
+
+}  // namespace
+
+void Memc3Table::BatchInsert(const std::uint64_t* hashes,
+                             const std::uint64_t* items, std::uint8_t* ok,
+                             std::size_t n) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  // Sliding prefetch window: candidate buckets of upcoming keys stream in
+  // while the current key's slot write lands.
+  constexpr std::size_t kWindow = 16;
+  const std::size_t lead = n < kWindow ? n : kWindow;
+  for (std::size_t j = 0; j < lead; ++j) PrefetchCandidatesForWrite(hashes[j]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kWindow < n) PrefetchCandidatesForWrite(hashes[i + kWindow]);
+    const std::uint8_t tag = Tag8(hashes[i]);
+    const std::uint32_t b1 = IndexHash(hashes[i]);
+    const std::uint32_t b2 = AltBucket(b1, tag);
+    std::uint8_t r = 1;
+    std::uint32_t b = b1;
+    int slot = FirstEmptyTagSlot(buckets_[b1].tags);
+    if (slot < 0 && b2 != b1) {
+      b = b2;
+      slot = FirstEmptyTagSlot(buckets_[b2].tags);
+    }
+    if (slot >= 0) {
+      // A BFS path of length one, published exactly like the scalar core:
+      // stripe odd, slot store, stripe even, then the size bump.
+      auto& ver = VersionFor(b);
+      ver.fetch_add(1, std::memory_order_acq_rel);
+      StoreEntry(buckets_[b], static_cast<unsigned>(slot), tag, items[i]);
+      ver.fetch_add(1, std::memory_order_release);
+      store_.AdjustSize(1);
+    } else {
+      // Both candidate buckets full: locked BFS / stash core.
+      r = InsertLocked(hashes[i], items[i]) ? 1 : 0;
+    }
+    if (ok != nullptr) ok[i] = r;
+  }
 }
 
 bool Memc3Table::Erase(std::uint64_t hash, std::uint64_t item) {

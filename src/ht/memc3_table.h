@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/compiler.h"
+#include "hash/hash_family.h"
 #include "ht/path_search.h"
 #include "ht/table_store.h"
 
@@ -60,6 +61,16 @@ class Memc3Table {
   // overflow stash. Returns false only when the stash is full too — a
   // partial-key table has no rebuild tier (see kStashCapacity).
   bool Insert(std::uint64_t hash, std::uint64_t item);
+
+  // Batched insert: one writer-mutex acquisition for the whole batch, a
+  // sliding write-prefetch window over upcoming candidate buckets, and a
+  // SWAR first-empty-tag fast path per key (a BFS path of length one, with
+  // its exact version-bump publication). Keys whose candidate buckets are
+  // both full fall back to the locked BFS/stash core. ok[i] (optional)
+  // mirrors what Insert(hashes[i], items[i]) would have returned; the final
+  // table state is bit-identical to the per-key loop.
+  void BatchInsert(const std::uint64_t* hashes, const std::uint64_t* items,
+                   std::uint8_t* ok, std::size_t n);
 
   // Collects item handles whose tag matches `hash` from both candidate
   // buckets and the overflow stash into out[kMaxCandidates]; returns the
@@ -115,6 +126,23 @@ class Memc3Table {
 
   std::atomic<std::uint64_t>& VersionFor(std::uint32_t bucket) const {
     return store_.StripeFor(bucket);
+  }
+
+  // Insert core with writer_mu_ already held (shared by Insert and the
+  // batched conflict tail).
+  bool InsertLocked(std::uint64_t hash, std::uint64_t item);
+
+  // Write-hint twin of PrefetchCandidates for the batched insert window.
+  void PrefetchCandidatesForWrite(std::uint64_t hash) const {
+    const std::uint8_t tag = Tag8(hash);
+    const std::uint32_t b1 = IndexHash(hash);
+    const std::uint32_t b2 = AltBucket(b1, tag);
+    __builtin_prefetch(&buckets_[b1], 1, 3);
+    __builtin_prefetch(reinterpret_cast<const std::uint8_t*>(&buckets_[b1]) +
+                           sizeof(Bucket) - 1, 1, 3);
+    __builtin_prefetch(&buckets_[b2], 1, 3);
+    __builtin_prefetch(reinterpret_cast<const std::uint8_t*>(&buckets_[b2]) +
+                           sizeof(Bucket) - 1, 1, 3);
   }
 
   // Collects tag matches from one bucket into out[]; returns new count.

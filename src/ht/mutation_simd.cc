@@ -1,0 +1,221 @@
+// SSE mutation-scan kernels (baseline vector tier, compiled -msse4.2).
+//
+// Each scan reports the first key-match slot and the first empty slot of
+// one bucket in ascending slot order — the exact order the scalar insert
+// walks — so the batched engines can substitute a scan for the scalar loop
+// without changing placement. Interleaved buckets compare whole {key,val}
+// lanes and mask the result down to key lanes; split buckets compare the
+// dense key block directly. Selection is gated on runtime CpuFeatures by
+// the registry, so compiling this TU at SSE4.2 is safe on any host.
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "ht/mutation.h"
+
+namespace simdht {
+
+namespace {
+
+// Scalar tail shared by every cuckoo scan: slots a 16-byte step cannot
+// cover (odd slot counts, sub-vector buckets).
+template <typename K>
+void ScanTail(const TableView& view, std::uint64_t b, K probe, unsigned from,
+              BucketScan* r) {
+  const unsigned slots = view.spec.slots;
+  for (unsigned s = from; s < slots; ++s) {
+    K k;
+    std::memcpy(&k, view.key_ptr(b, s), sizeof(K));
+    if (r->match_slot < 0 && k == probe) r->match_slot = static_cast<int>(s);
+    if (r->empty_slot < 0 && k == static_cast<K>(kEmptyKey)) {
+      r->empty_slot = static_cast<int>(s);
+    }
+  }
+}
+
+BucketScan SseScanK32Interleaved(const TableView& view, std::uint64_t b,
+                                 std::uint64_t key) {
+  BucketScan r;
+  const std::uint8_t* base = view.bucket_ptr(b);
+  const unsigned slots = view.spec.slots;
+  const __m128i probe =
+      _mm_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(key)));
+  const __m128i zero = _mm_setzero_si128();
+  unsigned s = 0;
+  for (; s + 2 <= slots; s += 2) {  // 16 B = 2 interleaved k32v32 slots
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + std::size_t{s} * 8));
+    const unsigned eq = static_cast<unsigned>(_mm_movemask_ps(
+                            _mm_castsi128_ps(_mm_cmpeq_epi32(v, probe)))) &
+                        0x5;  // key lanes 0 and 2
+    const unsigned em = static_cast<unsigned>(_mm_movemask_ps(
+                            _mm_castsi128_ps(_mm_cmpeq_epi32(v, zero)))) &
+                        0x5;
+    if (r.match_slot < 0 && eq != 0) {
+      r.match_slot = static_cast<int>(s + (__builtin_ctz(eq) >> 1));
+    }
+    if (r.empty_slot < 0 && em != 0) {
+      r.empty_slot = static_cast<int>(s + (__builtin_ctz(em) >> 1));
+    }
+  }
+  ScanTail<std::uint32_t>(view, b, static_cast<std::uint32_t>(key), s, &r);
+  return r;
+}
+
+BucketScan SseScanK32Split(const TableView& view, std::uint64_t b,
+                           std::uint64_t key) {
+  BucketScan r;
+  const std::uint8_t* base = view.bucket_ptr(b);  // split: keys first
+  const unsigned slots = view.spec.slots;
+  const __m128i probe =
+      _mm_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(key)));
+  const __m128i zero = _mm_setzero_si128();
+  unsigned s = 0;
+  for (; s + 4 <= slots; s += 4) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + std::size_t{s} * 4));
+    const auto eq = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, probe))));
+    const auto em = static_cast<unsigned>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, zero))));
+    if (r.match_slot < 0 && eq != 0) {
+      r.match_slot = static_cast<int>(s + __builtin_ctz(eq));
+    }
+    if (r.empty_slot < 0 && em != 0) {
+      r.empty_slot = static_cast<int>(s + __builtin_ctz(em));
+    }
+  }
+  ScanTail<std::uint32_t>(view, b, static_cast<std::uint32_t>(key), s, &r);
+  return r;
+}
+
+BucketScan SseScanK64Interleaved(const TableView& view, std::uint64_t b,
+                                 std::uint64_t key) {
+  BucketScan r;
+  const std::uint8_t* base = view.bucket_ptr(b);
+  const unsigned slots = view.spec.slots;
+  const __m128i probe = _mm_set1_epi64x(static_cast<long long>(key));
+  const __m128i zero = _mm_setzero_si128();
+  for (unsigned s = 0; s < slots; ++s) {  // 16 B = 1 interleaved k64v64 slot
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + std::size_t{s} * 16));
+    const unsigned eq = static_cast<unsigned>(_mm_movemask_pd(
+                            _mm_castsi128_pd(_mm_cmpeq_epi64(v, probe)))) &
+                        0x1;  // key lane 0
+    const unsigned em = static_cast<unsigned>(_mm_movemask_pd(
+                            _mm_castsi128_pd(_mm_cmpeq_epi64(v, zero)))) &
+                        0x1;
+    if (r.match_slot < 0 && eq != 0) r.match_slot = static_cast<int>(s);
+    if (r.empty_slot < 0 && em != 0) r.empty_slot = static_cast<int>(s);
+    if (r.match_slot >= 0 && r.empty_slot >= 0) break;
+  }
+  return r;
+}
+
+BucketScan SseScanK64Split(const TableView& view, std::uint64_t b,
+                           std::uint64_t key) {
+  BucketScan r;
+  const std::uint8_t* base = view.bucket_ptr(b);
+  const unsigned slots = view.spec.slots;
+  const __m128i probe = _mm_set1_epi64x(static_cast<long long>(key));
+  const __m128i zero = _mm_setzero_si128();
+  unsigned s = 0;
+  for (; s + 2 <= slots; s += 2) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + std::size_t{s} * 8));
+    const auto eq = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(v, probe))));
+    const auto em = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(v, zero))));
+    if (r.match_slot < 0 && eq != 0) {
+      r.match_slot = static_cast<int>(s + __builtin_ctz(eq));
+    }
+    if (r.empty_slot < 0 && em != 0) {
+      r.empty_slot = static_cast<int>(s + __builtin_ctz(em));
+    }
+  }
+  ScanTail<std::uint64_t>(view, b, key, s, &r);
+  return r;
+}
+
+BucketScan SseScanK16Split(const TableView& view, std::uint64_t b,
+                           std::uint64_t key) {
+  BucketScan r;
+  const std::uint8_t* base = view.bucket_ptr(b);
+  const unsigned slots = view.spec.slots;
+  const __m128i probe = _mm_set1_epi16(
+      static_cast<short>(static_cast<std::uint16_t>(key)));
+  const __m128i zero = _mm_setzero_si128();
+  unsigned s = 0;
+  for (; s + 8 <= slots; s += 8) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + std::size_t{s} * 2));
+    const auto eq = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi16(v, probe)));
+    const auto em = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_cmpeq_epi16(v, zero)));
+    if (r.match_slot < 0 && eq != 0) {
+      r.match_slot = static_cast<int>(s + (__builtin_ctz(eq) >> 1));
+    }
+    if (r.empty_slot < 0 && em != 0) {
+      r.empty_slot = static_cast<int>(s + (__builtin_ctz(em) >> 1));
+    }
+  }
+  ScanTail<std::uint16_t>(view, b, static_cast<std::uint16_t>(key), s, &r);
+  return r;
+}
+
+GroupScan SseGroupScan(const std::uint8_t* ctrl, std::uint8_t h2) {
+  GroupScan r;
+  const __m128i v =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl));
+  r.match_mask = static_cast<std::uint32_t>(_mm_movemask_epi8(
+      _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(h2)))));
+  r.empty_mask = static_cast<std::uint32_t>(_mm_movemask_epi8(
+      _mm_cmpeq_epi8(v, _mm_set1_epi8(static_cast<char>(kCtrlEmpty)))));
+  r.free_mask =
+      r.empty_mask |
+      static_cast<std::uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(
+          v, _mm_set1_epi8(static_cast<char>(kCtrlTombstone)))));
+  return r;
+}
+
+MutationKernel SseCuckoo(const char* name, unsigned key_bits,
+                         unsigned val_bits, BucketLayout layout,
+                         BucketScanFn fn) {
+  MutationKernel k;
+  k.name = name;
+  k.family = TableFamily::kCuckoo;
+  k.level = SimdLevel::kSse42;
+  k.key_bits = key_bits;
+  k.val_bits = val_bits;
+  k.any_layout = false;
+  k.bucket_layout = layout;
+  k.bucket_scan = fn;
+  return k;
+}
+
+}  // namespace
+
+void AppendSseMutationKernels(std::vector<MutationKernel>* out) {
+  out->push_back(SseCuckoo("MutScan-SSE/k32v32-inter", 32, 32,
+                           BucketLayout::kInterleaved,
+                           &SseScanK32Interleaved));
+  out->push_back(SseCuckoo("MutScan-SSE/k32-split", 32, 0,
+                           BucketLayout::kSplit, &SseScanK32Split));
+  out->push_back(SseCuckoo("MutScan-SSE/k64v64-inter", 64, 64,
+                           BucketLayout::kInterleaved,
+                           &SseScanK64Interleaved));
+  out->push_back(SseCuckoo("MutScan-SSE/k64-split", 64, 0,
+                           BucketLayout::kSplit, &SseScanK64Split));
+  out->push_back(SseCuckoo("MutScan-SSE/k16-split", 16, 0,
+                           BucketLayout::kSplit, &SseScanK16Split));
+  MutationKernel swiss;
+  swiss.name = "MutScan-SSE/ctrl";
+  swiss.family = TableFamily::kSwiss;
+  swiss.level = SimdLevel::kSse42;
+  swiss.group_scan = &SseGroupScan;
+  out->push_back(swiss);
+}
+
+}  // namespace simdht

@@ -140,6 +140,19 @@ class ShardedTable {
     return hits;
   }
 
+  // --- batched mutation ---
+  // Partitions the batch by shard (same counting sort as BatchLookup, which
+  // is stable within a shard — per-shard key order is batch order, so each
+  // shard's outcome is bit-identical to routing the keys one at a time),
+  // then runs each shard's batched engine over its contiguous slice. With
+  // one shard this is a zero-copy pass-through.
+  void BatchInsert(const MutationBatch<K, V>& batch) {
+    BatchMutate(batch, /*insert=*/true);
+  }
+  void BatchUpdate(const MutationBatch<K, V>& batch) {
+    BatchMutate(batch, /*insert=*/false);
+  }
+
   // --- aggregates ---
   std::uint64_t size() const {
     std::uint64_t total = 0;
@@ -177,6 +190,16 @@ class ShardedTable {
     return shards_[i]->table().store().seed();
   }
 
+  // Per-shard insertion counters, one entry per shard — the write-path
+  // twin of KvBackend::ShardProbeStats (reports surface both the aggregate
+  // and the per-shard skew).
+  std::vector<InsertStats> ShardInsertStats() const {
+    std::vector<InsertStats> out;
+    out.reserve(shards_.size());
+    for (const auto& s : shards_) out.push_back(s->insert_stats());
+    return out;
+  }
+
   // Aggregated insertion counters across shards.
   InsertStats insert_stats() const {
     InsertStats total;
@@ -194,6 +217,58 @@ class ShardedTable {
   }
 
  private:
+  void BatchMutate(const MutationBatch<K, V>& batch, bool insert) {
+    const auto shards = static_cast<unsigned>(shards_.size());
+    if (shards == 1) {
+      if (insert) {
+        shards_[0]->BatchInsert(batch);
+      } else {
+        shards_[0]->BatchUpdate(batch);
+      }
+      return;
+    }
+
+    const std::size_t n = batch.size;
+    std::vector<std::uint32_t> shard_of(n);
+    std::vector<std::size_t> offsets(shards + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_of[i] = ShardOf(batch.keys[i], shards);
+      ++offsets[shard_of[i] + 1];
+    }
+    for (unsigned s = 0; s < shards; ++s) offsets[s + 1] += offsets[s];
+
+    std::vector<K> keys_by_shard(n);
+    std::vector<V> vals_by_shard(n);
+    std::vector<std::size_t> perm(n);
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t pos = cursor[shard_of[i]]++;
+      keys_by_shard[pos] = batch.keys[i];
+      vals_by_shard[pos] = batch.vals[i];
+      perm[pos] = i;
+    }
+
+    std::vector<std::uint8_t> ok_by_shard(n);
+    for (unsigned s = 0; s < shards; ++s) {
+      const std::size_t off = offsets[s];
+      const std::size_t len = offsets[s + 1] - off;
+      if (len == 0) continue;
+      const auto slice = MutationBatch<K, V>::Of(
+          keys_by_shard.data() + off, vals_by_shard.data() + off,
+          ok_by_shard.data() + off, len);
+      if (insert) {
+        shards_[s]->BatchInsert(slice);
+      } else {
+        shards_[s]->BatchUpdate(slice);
+      }
+    }
+    if (batch.ok != nullptr) {
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        batch.ok[perm[pos]] = ok_by_shard[pos];
+      }
+    }
+  }
+
   ConcurrentCuckooTable<K, V>& shard_for(K key) {
     return *shards_[ShardOf(key, num_shards())];
   }

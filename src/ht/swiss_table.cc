@@ -1,5 +1,9 @@
 #include "ht/swiss_table.h"
 
+#include <algorithm>
+
+#include "hash/block_hash.h"
+
 namespace simdht {
 
 template <typename K, typename V>
@@ -117,6 +121,119 @@ bool SwissTable<K, V>::Insert(K key, V val) {
   ++stats_.inserts;
   if (free_is_tombstone) ++stats_.tombstone_reuses;
   return true;
+}
+
+template <typename K, typename V>
+void SwissTable<K, V>::BatchInsert(const MutationBatch<K, V>& batch) {
+  const MutationKernel* kernel = MutationRegistry::Get().ForSwiss();
+  const std::uint64_t groups = store_.num_buckets();
+  const std::uint64_t mask = groups - 1;
+  std::uint32_t homes[kMutationChunk];
+  std::uint8_t h2s[kMutationChunk];
+  for (std::size_t base = 0; base < batch.size; base += kMutationChunk) {
+    const std::size_t n = std::min(kMutationChunk, batch.size - base);
+    const K* keys = batch.keys + base;
+    const V* vals = batch.vals + base;
+    const TableView view = store_.view();
+    BlockHomeGroups<K>(store_.hash(), keys, n, homes);
+    BlockH2<K>(store_.hash(), keys, n, h2s);
+    for (std::size_t i = 0; i < n; ++i) PrefetchGroupForWrite(view, homes[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const K key = keys[i];
+      std::uint8_t r = 0;
+      if (key == static_cast<K>(kEmptyKey)) {
+        ++stats_.failed_inserts;  // the scalar reject path counts
+      } else {
+        const std::uint8_t h2 = h2s[i];
+        std::uint64_t g = homes[i];
+        bool have_free = false;
+        bool free_is_tombstone = false;
+        std::uint64_t free_group = 0;
+        unsigned free_slot = 0;
+        bool updated = false;
+        bool stop = false;
+        for (std::uint64_t probed = 0; probed < groups && !stop; ++probed) {
+          const GroupScan scan =
+              kernel->group_scan(view.meta + g * kSwissGroupSlots, h2);
+          for (std::uint32_t m = scan.match_mask; m != 0; m &= m - 1) {
+            const auto s = static_cast<unsigned>(__builtin_ctz(m));
+            if (store_.KeyAt<K>(g, s) == key) {
+              store_.SetVal<V>(g, s, vals[i]);
+              ++stats_.updates;
+              updated = true;
+              stop = true;
+              break;
+            }
+          }
+          if (!stop) {
+            if (!have_free && scan.free_mask != 0) {
+              have_free = true;
+              free_group = g;
+              free_slot = static_cast<unsigned>(__builtin_ctz(scan.free_mask));
+              free_is_tombstone = (scan.empty_mask >> free_slot & 1) == 0;
+            }
+            // A group with an EMPTY byte proves the key is absent beyond it.
+            if (scan.empty_mask != 0) stop = true;
+          }
+          g = (g + 1) & mask;
+        }
+        if (updated) {
+          r = 1;
+        } else if (!have_free) {
+          ++stats_.failed_inserts;
+        } else {
+          store_.SetSlot<K, V>(free_group, free_slot, key, vals[i]);
+          store_.SetCtrl(free_group * kSwissGroupSlots + free_slot, h2);
+          store_.AdjustSize(1);
+          ++stats_.inserts;
+          if (free_is_tombstone) ++stats_.tombstone_reuses;
+          r = 1;
+        }
+      }
+      if (batch.ok != nullptr) batch.ok[base + i] = r;
+    }
+  }
+}
+
+template <typename K, typename V>
+void SwissTable<K, V>::BatchUpdate(const MutationBatch<K, V>& batch) {
+  const MutationKernel* kernel = MutationRegistry::Get().ForSwiss();
+  const std::uint64_t groups = store_.num_buckets();
+  const std::uint64_t mask = groups - 1;
+  std::uint32_t homes[kMutationChunk];
+  std::uint8_t h2s[kMutationChunk];
+  for (std::size_t base = 0; base < batch.size; base += kMutationChunk) {
+    const std::size_t n = std::min(kMutationChunk, batch.size - base);
+    const K* keys = batch.keys + base;
+    const V* vals = batch.vals + base;
+    const TableView view = store_.view();
+    BlockHomeGroups<K>(store_.hash(), keys, n, homes);
+    BlockH2<K>(store_.hash(), keys, n, h2s);
+    for (std::size_t i = 0; i < n; ++i) PrefetchGroupForWrite(view, homes[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      const K key = keys[i];
+      const std::uint8_t h2 = h2s[i];
+      std::uint64_t g = homes[i];
+      std::uint8_t r = 0;
+      bool stop = false;
+      for (std::uint64_t probed = 0; probed < groups && !stop; ++probed) {
+        const GroupScan scan =
+            kernel->group_scan(view.meta + g * kSwissGroupSlots, h2);
+        for (std::uint32_t m = scan.match_mask; m != 0; m &= m - 1) {
+          const auto s = static_cast<unsigned>(__builtin_ctz(m));
+          if (store_.KeyAt<K>(g, s) == key) {
+            store_.SetVal<V>(g, s, vals[i]);
+            r = 1;
+            stop = true;
+            break;
+          }
+        }
+        if (!stop && scan.empty_mask != 0) stop = true;
+        g = (g + 1) & mask;
+      }
+      if (batch.ok != nullptr) batch.ok[base + i] = r;
+    }
+  }
 }
 
 template <typename K, typename V>

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "ht/mutation.h"
 #include "ht/table_store.h"
 
 namespace simdht {
@@ -58,6 +59,17 @@ class SwissTable {
   // only when no EMPTY or TOMBSTONE slot remains anywhere (the table is
   // truly full); there is no displacement, stash or rebuild machinery.
   bool Insert(K key, V val);
+
+  // Batched mutation surface (ht/mutation.h). Bit-identical to the scalar
+  // Insert loop: home groups and H2 fingerprints are block-hashed for the
+  // chunk, control lanes write-prefetched, and each probe group resolved
+  // with one SIMD control scan (match/EMPTY/free masks) instead of a
+  // 16-slot byte walk — find-or-insert picks exactly the slot the scalar
+  // walk picks (first free slot of the probe sequence).
+  void BatchInsert(const MutationBatch<K, V>& batch);
+
+  // Batched UpdateValue: ok[i] = key present (value overwritten in place).
+  void BatchUpdate(const MutationBatch<K, V>& batch);
 
   // Scalar reference lookup: groupwise probe of the control lane, key
   // verify on fingerprint match, stop at the first group holding an EMPTY.

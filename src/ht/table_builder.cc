@@ -83,34 +83,53 @@ constexpr unsigned kTopUpGiveUpRounds = 2;
 // Shared fill discipline for plain and sharded tables: full first pass
 // (no early abort), one retry pass over the failures, then fresh-key
 // top-up until the target entry count is met or insertions stall.
+//
+// Every pass runs through the table's batched mutation engine — the fill is
+// the write path's biggest in-repo consumer — in key order, so the result
+// is bit-identical to the historical per-key Insert loop (table_io
+// snapshots stay byte-stable across the engines).
 template <typename K, typename V, typename Table>
 BuildResult<K> FillImpl(Table* table, double target_lf, std::uint64_t seed) {
   BuildResult<K> result;
   const auto target =
       static_cast<std::uint64_t>(target_lf *
                                  static_cast<double>(table->capacity()));
-  std::vector<K> drawn = UniqueRandomKeys<K>(target, seed);
+
+  std::vector<V> vals;
+  std::vector<std::uint8_t> ok;
   std::vector<K> landed;
+  // Batch-inserts keys in order; appends successes to `landed`, failures to
+  // `*failures` (when given), and counts failures into the result.
+  const auto insert_batch = [&](const std::vector<K>& keys,
+                                std::vector<K>* failures) {
+    vals.resize(keys.size());
+    ok.assign(keys.size(), 0);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      vals[i] = DeriveVal<K, V>(keys[i]);
+    }
+    table->BatchInsert(MutationBatch<K, V>::Of(keys.data(), vals.data(),
+                                               ok.data(), keys.size()));
+    bool progressed = false;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (ok[i] != 0) {
+        landed.push_back(keys[i]);
+        progressed = true;
+      } else {
+        if (failures != nullptr) failures->push_back(keys[i]);
+        ++result.failed_inserts;
+      }
+    }
+    return progressed;
+  };
+
+  std::vector<K> drawn = UniqueRandomKeys<K>(target, seed);
   landed.reserve(drawn.size());
   std::vector<K> retry;
-  for (K k : drawn) {
-    if (table->Insert(k, DeriveVal<K, V>(k))) {
-      landed.push_back(k);
-    } else {
-      retry.push_back(k);
-      ++result.failed_inserts;
-    }
-  }
+  insert_batch(drawn, &retry);
 
   // Retry pass: placements made after a key failed can have opened an
   // eviction path for it (and the walk policy simply rerolls its luck).
-  for (K k : retry) {
-    if (table->Insert(k, DeriveVal<K, V>(k))) {
-      landed.push_back(k);
-    } else {
-      ++result.failed_inserts;
-    }
-  }
+  insert_batch(retry, nullptr);
 
   // Exact-target top-up: replace keys that never landed with fresh ones so
   // the fill reaches the requested entry count whenever the table can hold
@@ -123,16 +142,8 @@ BuildResult<K> FillImpl(Table* table, double target_lf, std::uint64_t seed) {
     const std::vector<K> extra =
         UniqueRandomKeys<K>(want, topup_seed, &drawn);
     if (extra.empty()) break;  // key domain exhausted
-    bool progressed = false;
-    for (K k : extra) {
-      drawn.push_back(k);
-      if (table->Insert(k, DeriveVal<K, V>(k))) {
-        landed.push_back(k);
-        progressed = true;
-      } else {
-        ++result.failed_inserts;
-      }
-    }
+    const bool progressed = insert_batch(extra, nullptr);
+    drawn.insert(drawn.end(), extra.begin(), extra.end());
     stalled_rounds = progressed ? 0 : stalled_rounds + 1;
   }
 

@@ -1,8 +1,24 @@
 #include "kvs/backend.h"
 
+#include <algorithm>
+
 #include "kvs/clock_lru.h"
 
 namespace simdht {
+
+std::size_t KvBackend::MultiSet(const std::vector<std::string_view>& keys,
+                                const std::vector<std::string_view>& vals,
+                                std::vector<std::uint8_t>* ok) {
+  const std::size_t n = std::min(keys.size(), vals.size());
+  if (ok != nullptr) ok->assign(keys.size(), 0);
+  std::size_t stored = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool r = Set(keys[i], vals[i]);
+    if (ok != nullptr) (*ok)[i] = r ? 1 : 0;
+    stored += r ? 1 : 0;
+  }
+  return stored;
+}
 
 void KvBackend::TouchBatch(const std::vector<std::uint64_t>& handles) {
   for (std::uint64_t h : handles) {

@@ -37,6 +37,18 @@ class KvBackend {
   // (after eviction attempts) or on an unrecoverable hash collision.
   virtual bool Set(std::string_view key, std::string_view val) = 0;
 
+  // The batched write path: stores keys[i] -> vals[i] for every i, with
+  // the same per-key semantics as calling Set in order (later duplicates
+  // overwrite earlier ones). When `ok` is non-null it is resized to
+  // keys.size() and filled with per-key 1/0 outcomes. Returns the number
+  // of keys stored. The base implementation is the scalar loop; backends
+  // override it to push the whole batch through the table's mutation
+  // engine — block hashing, candidate write-prefetch, SIMD empty/dup
+  // scans — under one writer-lock acquisition.
+  virtual std::size_t MultiSet(const std::vector<std::string_view>& keys,
+                               const std::vector<std::string_view>& vals,
+                               std::vector<std::uint8_t>* ok);
+
   // Single-key lookup (convenience path over MultiGet).
   virtual bool Get(std::string_view key, std::string* val) = 0;
 

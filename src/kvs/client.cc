@@ -10,6 +10,18 @@ bool KvClient::Set(std::string_view key, std::string_view val) {
   return DecodeSetResponse(response_, &ok) && ok;
 }
 
+bool KvClient::MultiSet(const std::vector<std::string_view>& keys,
+                        const std::vector<std::string_view>& vals,
+                        std::vector<std::uint8_t>* ok) {
+  EncodeMultiSetRequest(keys, vals, &request_);
+  channel_->ClientSend(request_);
+  if (!channel_->ClientRecv(&response_)) return false;
+  std::vector<std::uint8_t> parsed;
+  if (!DecodeMultiSetResponse(response_, &parsed)) return false;
+  if (ok != nullptr) *ok = std::move(parsed);
+  return true;
+}
+
 bool KvClient::MultiGet(const std::vector<std::string_view>& keys,
                         std::vector<std::string>* vals,
                         std::vector<std::uint8_t>* found) {

@@ -17,6 +17,12 @@ class KvClient {
   // Synchronous Set; returns server-side success.
   bool Set(std::string_view key, std::string_view val);
 
+  // Synchronous batched Set (one MSET frame). Fills `ok` (when non-null)
+  // with per-key outcomes; returns false on transport/decode failure.
+  bool MultiSet(const std::vector<std::string_view>& keys,
+                const std::vector<std::string_view>& vals,
+                std::vector<std::uint8_t>* ok);
+
   // Synchronous Multi-Get. Values are copied out of the response buffer.
   // Returns false on transport/decode failure.
   bool MultiGet(const std::vector<std::string_view>& keys,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hash/hash_family.h"
+#include "ht/mutation.h"
 #include "kvs/item.h"
 
 namespace simdht {
@@ -51,6 +52,10 @@ bool Memc3Backend::EvictOne() {
 
 bool Memc3Backend::Set(std::string_view key, std::string_view val) {
   std::lock_guard<std::mutex> lock(write_mu_);
+  return SetLocked(key, val);
+}
+
+bool Memc3Backend::SetLocked(std::string_view key, std::string_view val) {
   const std::uint64_t hash = HashBytes(key.data(), key.size());
   const std::size_t bytes = ItemBytes(key.size(), val.size());
 
@@ -75,6 +80,130 @@ bool Memc3Backend::Set(std::string_view key, std::string_view val) {
   }
   lru_.OnInsert(item);
   return true;
+}
+
+std::size_t Memc3Backend::MultiSet(const std::vector<std::string_view>& keys,
+                                   const std::vector<std::string_view>& vals,
+                                   std::vector<std::uint8_t>* ok) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const std::size_t n = std::min(keys.size(), vals.size());
+  if (ok != nullptr) ok->assign(keys.size(), 0);
+  std::size_t stored = 0;
+  const unsigned nshards = num_shards();
+
+  std::vector<std::uint64_t> hashes(kMutationChunk);
+  // Fresh unique keys staged for the batched tag-table insert; duplicates
+  // within the chunk defer to the scalar path after it (preserving
+  // Set-in-order semantics: the staged occurrence inserts, later ones
+  // find-and-replace it).
+  std::vector<std::uint64_t> pend_hash, pend_item;
+  std::vector<std::size_t> pend_pos, slow_pos;
+  std::vector<std::uint8_t> pend_ok;
+  std::vector<std::uint64_t> hash_by_shard, item_by_shard;
+  std::vector<std::uint8_t> ok_by_shard;
+  std::vector<std::size_t> perm;
+
+  for (std::size_t base = 0; base < n; base += kMutationChunk) {
+    const std::size_t m = std::min(kMutationChunk, n - base);
+    for (std::size_t i = 0; i < m; ++i) {
+      hashes[i] =
+          HashBytes(keys[base + i].data(), keys[base + i].size());
+    }
+
+    pend_hash.clear();
+    pend_item.clear();
+    pend_pos.clear();
+    slow_pos.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t pos = base + i;
+      const std::uint64_t hash = hashes[i];
+      if (std::find(pend_hash.begin(), pend_hash.end(), hash) !=
+          pend_hash.end()) {
+        slow_pos.push_back(pos);
+        continue;
+      }
+      const std::size_t bytes =
+          ItemBytes(keys[pos].size(), vals[pos].size());
+      std::uint64_t item = 0;
+      for (int attempt = 0; attempt < 3 && item == 0; ++attempt) {
+        item = slab_.Alloc(bytes);
+        if (item == 0 && !EvictOne()) break;
+      }
+      if (item == 0) continue;  // out of memory: ok[pos] stays 0
+      WriteItem(reinterpret_cast<void*>(item), keys[pos], vals[pos]);
+      // Update: drop the old item now (allocation above may already have
+      // evicted it — FindItem after the alloc loop, exactly like Set);
+      // the staged insert republishes the key at the end of the chunk.
+      const std::uint64_t old = FindItem(keys[pos], hash);
+      if (old != 0) {
+        shard_for(hash).Erase(hash, old);
+        lru_.Remove(old);
+        slab_.Free(old, ItemBytes(keys[pos].size(), ItemVal(old).size()));
+      }
+      pend_hash.push_back(hash);
+      pend_item.push_back(item);
+      pend_pos.push_back(pos);
+    }
+
+    const std::size_t p = pend_hash.size();
+    if (p != 0) {
+      pend_ok.assign(p, 0);
+      if (nshards == 1) {
+        tables_[0]->BatchInsert(pend_hash.data(), pend_item.data(),
+                                pend_ok.data(), p);
+      } else {
+        // Counting sort by shard (stable, so per-shard order is batch
+        // order), one BatchInsert per shard, scatter outcomes back.
+        std::vector<std::size_t> offsets(nshards + 1, 0);
+        std::vector<std::uint32_t> shard_of(p);
+        for (std::size_t j = 0; j < p; ++j) {
+          shard_of[j] = ShardIndexOf(ShardRouterHash(pend_hash[j]), nshards);
+          ++offsets[shard_of[j] + 1];
+        }
+        for (unsigned s = 0; s < nshards; ++s) offsets[s + 1] += offsets[s];
+        hash_by_shard.resize(p);
+        item_by_shard.resize(p);
+        ok_by_shard.assign(p, 0);
+        perm.resize(p);
+        std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+        for (std::size_t j = 0; j < p; ++j) {
+          const std::size_t at = cursor[shard_of[j]]++;
+          hash_by_shard[at] = pend_hash[j];
+          item_by_shard[at] = pend_item[j];
+          perm[at] = j;
+        }
+        for (unsigned s = 0; s < nshards; ++s) {
+          const std::size_t off = offsets[s];
+          const std::size_t len = offsets[s + 1] - off;
+          if (len == 0) continue;
+          tables_[s]->BatchInsert(hash_by_shard.data() + off,
+                                  item_by_shard.data() + off,
+                                  ok_by_shard.data() + off, len);
+        }
+        for (std::size_t at = 0; at < p; ++at) {
+          pend_ok[perm[at]] = ok_by_shard[at];
+        }
+      }
+      for (std::size_t j = 0; j < p; ++j) {
+        const std::size_t pos = pend_pos[j];
+        if (pend_ok[j] != 0) {
+          lru_.OnInsert(pend_item[j]);
+          if (ok != nullptr) (*ok)[pos] = 1;
+          ++stored;
+        } else {
+          slab_.Free(pend_item[j],
+                     ItemBytes(keys[pos].size(), vals[pos].size()));
+        }
+      }
+    }
+
+    for (std::size_t pos : slow_pos) {
+      const bool r = SetLocked(keys[pos], vals[pos]);
+      if (ok != nullptr) (*ok)[pos] = r ? 1 : 0;
+      stored += r ? 1 : 0;
+    }
+  }
+  return stored;
 }
 
 bool Memc3Backend::Get(std::string_view key, std::string* val) {

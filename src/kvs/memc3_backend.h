@@ -34,6 +34,13 @@ class Memc3Backend : public KvBackend {
     return simd_tags_ ? "MemC3+SSE-tags" : "MemC3";
   }
   bool Set(std::string_view key, std::string_view val) override;
+  // Batched Set: one lock acquisition; fresh unique keys stage their items
+  // and run through Memc3Table::BatchInsert (sliding write-prefetch +
+  // SWAR empty-tag scan, partitioned by shard), updates and intra-chunk
+  // duplicates take the scalar per-key path in order.
+  std::size_t MultiSet(const std::vector<std::string_view>& keys,
+                       const std::vector<std::string_view>& vals,
+                       std::vector<std::uint8_t>* ok) override;
   bool Get(std::string_view key, std::string* val) override;
   std::size_t MultiGet(const std::vector<std::string_view>& keys,
                        std::vector<std::string_view>* vals,
@@ -57,6 +64,8 @@ class Memc3Backend : public KvBackend {
 
   // Looks up the item handle for `key` (0 when absent). Lock-free.
   std::uint64_t FindItem(std::string_view key, std::uint64_t hash) const;
+  // Set body; caller holds write_mu_.
+  bool SetLocked(std::string_view key, std::string_view val);
   bool EvictOne();
 
   // One tag table per shard (unique_ptr: Memc3Table owns a writer mutex).

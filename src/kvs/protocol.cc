@@ -225,6 +225,20 @@ void EncodeSetRequest(std::string_view key, std::string_view val,
   PutBytes(out, val);
 }
 
+void EncodeMultiSetRequest(const std::vector<std::string_view>& keys,
+                           const std::vector<std::string_view>& vals,
+                           Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kMultiSet));
+  PutU32(out, static_cast<std::uint32_t>(keys.size()));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    PutU16(out, static_cast<std::uint16_t>(keys[i].size()));
+    PutU32(out, static_cast<std::uint32_t>(vals[i].size()));
+    PutBytes(out, keys[i]);
+    PutBytes(out, vals[i]);
+  }
+}
+
 void EncodeMultiGetRequest(const std::vector<std::string_view>& keys,
                            Buffer* out) {
   out->clear();
@@ -266,6 +280,14 @@ void EncodeSetResponse(bool ok, Buffer* out) {
   PutU8(out, static_cast<std::uint8_t>(Opcode::kSet));
   PutU32(out, 1);
   PutU8(out, ok ? 1 : 0);
+}
+
+void EncodeMultiSetResponse(const std::vector<std::uint8_t>& ok,
+                            Buffer* out) {
+  out->clear();
+  PutU8(out, static_cast<std::uint8_t>(Opcode::kMultiSet));
+  PutU32(out, static_cast<std::uint32_t>(ok.size()));
+  for (std::uint8_t v : ok) PutU8(out, v ? 1 : 0);
 }
 
 void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
@@ -346,6 +368,52 @@ bool DecodeSetRequest(const Buffer& in, SetRequest* out, std::string* err) {
   return CheckTrailing(r, err);
 }
 
+bool DecodeMultiSetRequest(const Buffer& in, MultiSetRequest* out,
+                           std::string* err) {
+  Reader r(in);
+  std::uint32_t count;
+  if (!ReadHeader(&r, Opcode::kMultiSet, &count, err)) return false;
+  // Every entry needs at least its length fields ([u16 klen][u32 vlen]).
+  if (count > kMaxMultiGetKeys || count * std::size_t{6} > r.remaining()) {
+    Fail(err, "mset count %u needs >= %zu bytes, %zu remain", count,
+         count * std::size_t{6}, r.remaining());
+    return false;
+  }
+  out->keys.clear();
+  out->vals.clear();
+  out->keys.reserve(count);
+  out->vals.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t klen;
+    std::uint32_t vlen;
+    std::string_view key;
+    std::string_view val;
+    if (!r.U16(&klen) || !r.U32(&vlen)) {
+      Fail(err, "mset entry %u/%u truncated in the length fields", i,
+           count);
+      return false;
+    }
+    if (klen > kMaxKeyBytes) {
+      Fail(err, "mset key %u/%u length %u exceeds %zu", i, count, klen,
+           kMaxKeyBytes);
+      return false;
+    }
+    if (vlen > kMaxValueBytes) {
+      Fail(err, "mset value %u/%u length %u exceeds the %zu-byte cap", i,
+           count, vlen, kMaxValueBytes);
+      return false;
+    }
+    if (!r.Bytes(klen, &key) || !r.Bytes(vlen, &val)) {
+      Fail(err, "mset entry %u/%u claims %u+%u bytes, %zu remain", i,
+           count, klen, vlen, r.remaining());
+      return false;
+    }
+    out->keys.push_back(key);
+    out->vals.push_back(val);
+  }
+  return CheckTrailing(r, err);
+}
+
 bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out,
                            std::string* err) {
   Reader r(in);
@@ -384,6 +452,29 @@ bool DecodeSetResponse(const Buffer& in, bool* ok, std::string* err) {
     return false;
   }
   *ok = v != 0;
+  return CheckTrailing(r, err);
+}
+
+bool DecodeMultiSetResponse(const Buffer& in, std::vector<std::uint8_t>* ok,
+                            std::string* err) {
+  Reader r(in);
+  std::uint32_t count;
+  if (!ReadHeader(&r, Opcode::kMultiSet, &count, err)) return false;
+  if (count > kMaxMultiGetKeys || count > r.remaining()) {
+    Fail(err, "mset response count %u needs %u bytes, %zu remain", count,
+         count, r.remaining());
+    return false;
+  }
+  ok->clear();
+  ok->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint8_t v;
+    if (!r.U8(&v)) {
+      Fail(err, "mset response entry %u/%u truncated", i, count);
+      return false;
+    }
+    ok->push_back(v);
+  }
   return CheckTrailing(r, err);
 }
 

@@ -5,6 +5,7 @@
 //
 //   Request  = [u8 opcode][u32 count] then per entry:
 //     SET:    [u16 klen][u32 vlen][key][value]    (count == 1)
+//     MSET:   [u16 klen][u32 vlen][key][value]    (count == batch size)
 //     MGET:   [u16 klen][key]                     (count == batch size)
 //     STATS:  (no entries; count == 0)
 //     TMGET:  [u64 trace_id][u8 flags] then MGET entries (trace context
@@ -12,6 +13,7 @@
 //     METRICS: (no entries; count == 0)
 //   Response = [u8 opcode][u32 count] then per entry:
 //     SET:    [u8 ok]
+//     MSET:   [u8 ok]
 //     MGET:   [u8 found][u32 vlen][value]
 //     STATS:  [u16 namelen][name][f64 value]      (named gauge snapshot)
 //     TMGET:  [u64 trace_id][f64 server_rx_us][f64 server_tx_us] then MGET
@@ -54,6 +56,7 @@ enum class Opcode : std::uint8_t {
   kStats = 4,           // snapshot of the server's serving metrics
   kTracedMultiGet = 5,  // MGET carrying a trace context (id + sampled flag)
   kMetrics = 6,         // Prometheus-text exposition of the live metrics
+  kMultiSet = 7,        // batched SET: the write twin of kMultiGet
 };
 
 // Per-request trace context carried by kTracedMultiGet. The id correlates
@@ -86,6 +89,9 @@ inline constexpr std::size_t kMaxMultiGetKeys = 1u << 20;  // per batch
 
 void EncodeSetRequest(std::string_view key, std::string_view val,
                       Buffer* out);
+void EncodeMultiSetRequest(const std::vector<std::string_view>& keys,
+                           const std::vector<std::string_view>& vals,
+                           Buffer* out);
 void EncodeMultiGetRequest(const std::vector<std::string_view>& keys,
                            Buffer* out);
 void EncodeTracedMultiGetRequest(const std::vector<std::string_view>& keys,
@@ -95,6 +101,8 @@ void EncodeStatsRequest(Buffer* out);
 void EncodeMetricsRequest(Buffer* out);
 
 void EncodeSetResponse(bool ok, Buffer* out);
+void EncodeMultiSetResponse(const std::vector<std::uint8_t>& ok,
+                            Buffer* out);
 void EncodeMultiGetResponse(const std::vector<std::string_view>& vals,
                             const std::vector<std::uint8_t>& found,
                             Buffer* out);
@@ -121,6 +129,11 @@ struct MultiGetRequest {
   std::vector<std::string_view> keys;
 };
 
+struct MultiSetRequest {
+  std::vector<std::string_view> keys;
+  std::vector<std::string_view> vals;  // parallel to keys
+};
+
 struct MultiGetResponse {
   // found[i] != 0 => vals[i] is the value; otherwise vals[i] is empty.
   std::vector<std::uint8_t> found;
@@ -135,6 +148,8 @@ bool PeekOpcode(const Buffer& in, Opcode* op);
 // itself ("mget count 70000 needs >= 140000 bytes, 12 remain", ...).
 bool DecodeSetRequest(const Buffer& in, SetRequest* out,
                       std::string* err = nullptr);
+bool DecodeMultiSetRequest(const Buffer& in, MultiSetRequest* out,
+                           std::string* err = nullptr);
 bool DecodeMultiGetRequest(const Buffer& in, MultiGetRequest* out,
                            std::string* err = nullptr);
 bool DecodeTracedMultiGetRequest(const Buffer& in, MultiGetRequest* out,
@@ -142,6 +157,8 @@ bool DecodeTracedMultiGetRequest(const Buffer& in, MultiGetRequest* out,
                                  std::string* err = nullptr);
 bool DecodeSetResponse(const Buffer& in, bool* ok,
                        std::string* err = nullptr);
+bool DecodeMultiSetResponse(const Buffer& in, std::vector<std::uint8_t>* ok,
+                            std::string* err = nullptr);
 bool DecodeMultiGetResponse(const Buffer& in, MultiGetResponse* out,
                             std::string* err = nullptr);
 bool DecodeTracedMultiGetResponse(const Buffer& in, MultiGetResponse* out,

@@ -99,6 +99,15 @@ void KvServer::WorkerLoop(std::size_t worker_index) {
         channel->ServerSend(response);
         break;
       }
+      case Opcode::kMultiSet: {
+        MultiSetRequest mset;
+        if (!DecodeMultiSetRequest(request, &mset)) break;
+        std::vector<std::uint8_t> ok;
+        backend_->MultiSet(mset.keys, mset.vals, &ok);
+        EncodeMultiSetResponse(ok, &response);
+        channel->ServerSend(response);
+        break;
+      }
       case Opcode::kMultiGet: {
         // Phase 1: pre-processing (parse batch, extract keys).
         const std::uint64_t t0 = ReadTsc();

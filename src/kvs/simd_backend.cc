@@ -1,8 +1,10 @@
 #include "kvs/simd_backend.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "hash/hash_family.h"
+#include "ht/mutation.h"
 #include "kvs/item.h"
 
 namespace simdht {
@@ -99,6 +101,10 @@ bool SimdBackend::EvictOne() {
 
 bool SimdBackend::Set(std::string_view key, std::string_view val) {
   std::lock_guard<std::mutex> lock(write_mu_);
+  return SetLocked(key, val);
+}
+
+bool SimdBackend::SetLocked(std::string_view key, std::string_view val) {
   const std::uint64_t h64 = HashBytes(key.data(), key.size());
   const std::uint32_t hk = HashKey32(key, h64);
 
@@ -147,6 +153,108 @@ bool SimdBackend::Set(std::string_view key, std::string_view val) {
   pointer_array_[idx] = item;
   lru_.OnInsert(item);
   return true;
+}
+
+std::size_t SimdBackend::MultiSet(const std::vector<std::string_view>& keys,
+                                  const std::vector<std::string_view>& vals,
+                                  std::vector<std::uint8_t>* ok) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  const std::size_t n = std::min(keys.size(), vals.size());
+  if (ok != nullptr) ok->assign(keys.size(), 0);
+  std::size_t stored = 0;
+
+  std::vector<std::uint32_t> hash_keys(kMutationChunk);
+  std::vector<std::uint32_t> probe_idx(kMutationChunk);
+  std::vector<std::uint8_t> exists(kMutationChunk);
+  // Fresh unique keys staged for one batched index insert.
+  std::vector<std::uint32_t> pend_hk, pend_idx;
+  std::vector<std::uint64_t> pend_item;
+  std::vector<std::size_t> pend_pos;
+  std::vector<std::uint8_t> pend_ok;
+  // Keys routed through the scalar path after the batch: existing keys
+  // (in-place replacement) and intra-chunk hash-key duplicates. Relative
+  // order among keys sharing a hash key is preserved — an earlier fresh
+  // occurrence lands in the batch, later ones re-probe and overwrite — so
+  // the final state matches calling Set once per key in order.
+  std::vector<std::size_t> slow_pos;
+
+  for (std::size_t base = 0; base < n; base += kMutationChunk) {
+    const std::size_t m = std::min(kMutationChunk, n - base);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::string_view key = keys[base + i];
+      hash_keys[i] = HashKey32(key, HashBytes(key.data(), key.size()));
+    }
+    // Batched existence probe through the read kernel; keys absent now
+    // stay absent for the rest of the chunk (only Set adds keys, and
+    // duplicates of a staged key are deferred), so the verdict holds when
+    // the batch insert runs.
+    table_->BatchLookup(
+        [this](const TableView& view, const std::uint32_t* k,
+               std::uint32_t* v, std::uint8_t* f, std::size_t m2) {
+          return PipelinedLookup(*kernel_, view, ProbeBatch::Of(k, v, f, m2),
+                                 pipeline_);
+        },
+        hash_keys.data(), probe_idx.data(), exists.data(), m);
+
+    pend_hk.clear();
+    pend_idx.clear();
+    pend_item.clear();
+    pend_pos.clear();
+    slow_pos.clear();
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t pos = base + i;
+      if (exists[i] != 0 ||
+          std::find(pend_hk.begin(), pend_hk.end(), hash_keys[i]) !=
+              pend_hk.end()) {
+        slow_pos.push_back(pos);
+        continue;
+      }
+      const std::size_t bytes = ItemBytes(keys[pos].size(), vals[pos].size());
+      std::uint64_t item = 0;
+      for (int attempt = 0; attempt < 3 && item == 0; ++attempt) {
+        item = slab_.Alloc(bytes);
+        if (item == 0 && !EvictOne()) break;
+      }
+      if (item == 0) continue;  // out of memory: ok[pos] stays 0
+      WriteItem(reinterpret_cast<void*>(item), keys[pos], vals[pos]);
+      if (free_indices_.empty()) {
+        slab_.Free(item, bytes);
+        continue;
+      }
+      pend_hk.push_back(hash_keys[i]);
+      pend_idx.push_back(free_indices_.back());
+      free_indices_.pop_back();
+      pend_item.push_back(item);
+      pend_pos.push_back(pos);
+    }
+
+    if (!pend_hk.empty()) {
+      pend_ok.assign(pend_hk.size(), 0);
+      table_->BatchInsert(MutationBatch<std::uint32_t, std::uint32_t>::Of(
+          pend_hk.data(), pend_idx.data(), pend_ok.data(), pend_hk.size()));
+      for (std::size_t j = 0; j < pend_hk.size(); ++j) {
+        const std::size_t pos = pend_pos[j];
+        if (pend_ok[j] != 0) {
+          pointer_array_[pend_idx[j]] = pend_item[j];
+          lru_.OnInsert(pend_item[j]);
+          if (ok != nullptr) (*ok)[pos] = 1;
+          ++stored;
+        } else {
+          // Cuckoo walk failed: index full for this key.
+          slab_.Free(pend_item[j],
+                     ItemBytes(keys[pos].size(), vals[pos].size()));
+          free_indices_.push_back(pend_idx[j]);
+        }
+      }
+    }
+
+    for (std::size_t pos : slow_pos) {
+      const bool r = SetLocked(keys[pos], vals[pos]);
+      if (ok != nullptr) (*ok)[pos] = r ? 1 : 0;
+      stored += r ? 1 : 0;
+    }
+  }
+  return stored;
 }
 
 bool SimdBackend::Get(std::string_view key, std::string* val) {

@@ -57,6 +57,14 @@ class SimdBackend : public KvBackend {
 
   const char* name() const override { return name_.c_str(); }
   bool Set(std::string_view key, std::string_view val) override;
+  // Batched Set: one lock acquisition for the whole batch; fresh unique
+  // keys are block-hashed, probed for existence through the read kernel,
+  // and index-inserted via the table's batched mutation engine. Existing
+  // keys and intra-chunk duplicates fall back to the scalar per-key path
+  // (which re-probes, preserving Set-in-order semantics).
+  std::size_t MultiSet(const std::vector<std::string_view>& keys,
+                       const std::vector<std::string_view>& vals,
+                       std::vector<std::uint8_t>* ok) override;
   bool Get(std::string_view key, std::string* val) override;
   std::size_t MultiGet(const std::vector<std::string_view>& keys,
                        std::vector<std::string_view>* vals,
@@ -74,6 +82,8 @@ class SimdBackend : public KvBackend {
  private:
   // 32-bit hash key derived from the full key (never the empty sentinel).
   static std::uint32_t HashKey32(std::string_view key, std::uint64_t h64);
+  // Set body; caller holds write_mu_.
+  bool SetLocked(std::string_view key, std::string_view val);
   bool EvictOne();
 
   std::string name_;

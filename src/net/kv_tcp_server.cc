@@ -217,6 +217,15 @@ void KvTcpServer::HandleFrame(Conn* conn, const Buffer& frame) {
       conn->connection->QueueFrame(response_);
       return;
     }
+    case Opcode::kMultiSet: {
+      MultiSetRequest req;
+      if (!DecodeMultiSetRequest(frame, &req, &err)) break;
+      std::vector<std::uint8_t> ok;
+      backend_->MultiSet(req.keys, req.vals, &ok);
+      EncodeMultiSetResponse(ok, &response_);
+      conn->connection->QueueFrame(response_);
+      return;
+    }
     case Opcode::kMultiGet:
     case Opcode::kTracedMultiGet: {
       const double rx_us = Timeline::Global().NowUs();

@@ -173,6 +173,38 @@ class SimdHashTable {
                   : swiss_ ? swiss_->Erase(key) : sharded_->Erase(key);
   }
 
+  // --- batched mutation (ht/mutation.h engine) ---
+  // Inserts/overwrites keys[0..n) through the family-generic batched write
+  // path: block hashing, write-hint prefetch, SIMD bucket/group scans, with
+  // only conflicted keys falling into the scalar insert core. ok[i]
+  // (optional, may be null) mirrors what Insert(keys[i], vals[i]) would
+  // have returned; the resulting table state is bit-identical to that
+  // per-key loop. Sharded tables partition the batch by shard.
+  void BatchInsert(const K* keys, const V* vals, std::uint8_t* ok,
+                   std::size_t n) {
+    const auto batch = MutationBatch<K, V>::Of(keys, vals, ok, n);
+    if (table_) {
+      table_->BatchInsert(batch);
+    } else if (swiss_) {
+      swiss_->BatchInsert(batch);
+    } else {
+      sharded_->BatchInsert(batch);
+    }
+  }
+
+  // Batched UpdateValue: ok[i] = key was present (value overwritten).
+  void BatchUpdate(const K* keys, const V* vals, std::uint8_t* ok,
+                   std::size_t n) {
+    const auto batch = MutationBatch<K, V>::Of(keys, vals, ok, n);
+    if (table_) {
+      table_->BatchUpdate(batch);
+    } else if (swiss_) {
+      swiss_->BatchUpdate(batch);
+    } else {
+      sharded_->BatchUpdate(batch);
+    }
+  }
+
   // --- the batched, SIMD-accelerated lookup ---
   // Looks up keys[0..n); writes vals[i] (0 on miss) and found[i] (0/1).
   // Returns the number of keys found. Sharded tables partition the batch by

@@ -112,6 +112,101 @@ TEST(KvBackends, MultiGetMatchesOracle) {
   }
 }
 
+TEST(KvBackends, MultiSetMatchesSequentialSets) {
+  // MultiSet must be equivalent to calling Set once per key in order —
+  // including batches that repeat a key (later entry wins) and batches
+  // that overwrite existing values with different sizes.
+  for (auto& backend : AllBackends(1 << 14, 32 << 20)) {
+    SCOPED_TRACE(backend->name());
+    std::unordered_map<std::string, std::string> oracle;
+    Xoshiro256 rng(11);
+    std::vector<std::string> key_storage, val_storage;
+    for (int round = 0; round < 8; ++round) {
+      key_storage.clear();
+      val_storage.clear();
+      for (int i = 0; i < 300; ++i) {
+        key_storage.push_back("ms:" +
+                              std::to_string(rng.NextBounded(1500)));
+        val_storage.push_back(
+            std::string(1 + rng.NextBounded(24), 'a' + i % 26) +
+            std::to_string(round));
+      }
+      std::vector<std::string_view> keys(key_storage.begin(),
+                                         key_storage.end());
+      std::vector<std::string_view> vals(val_storage.begin(),
+                                         val_storage.end());
+      std::vector<std::uint8_t> ok;
+      const std::size_t stored = backend->MultiSet(keys, vals, &ok);
+      ASSERT_EQ(ok.size(), keys.size());
+      std::size_t expected_stored = 0;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        if (ok[i]) {
+          oracle[key_storage[i]] = val_storage[i];
+          ++expected_stored;
+        }
+      }
+      EXPECT_EQ(stored, expected_stored);
+    }
+    ASSERT_GT(oracle.size(), 500u);
+    EXPECT_EQ(backend->size(), oracle.size());
+    std::string val;
+    for (const auto& [k, v] : oracle) {
+      ASSERT_TRUE(backend->Get(k, &val)) << k;
+      EXPECT_EQ(val, v) << k;
+    }
+  }
+}
+
+TEST(KvBackends, MultiSetDuplicateKeysLastWins) {
+  for (auto& backend : AllBackends(1 << 10, 8 << 20)) {
+    SCOPED_TRACE(backend->name());
+    std::vector<std::string_view> keys = {"dup", "other", "dup", "dup"};
+    std::vector<std::string_view> vals = {"first", "x", "second", "third"};
+    std::vector<std::uint8_t> ok;
+    backend->MultiSet(keys, vals, &ok);
+    ASSERT_EQ(ok.size(), 4u);
+    EXPECT_TRUE(ok[0] && ok[1] && ok[2] && ok[3]);
+    std::string val;
+    ASSERT_TRUE(backend->Get("dup", &val));
+    EXPECT_EQ(val, "third");
+    EXPECT_EQ(backend->size(), 2u);
+  }
+}
+
+TEST(KvBackends, MultiSetUnderMemoryPressure) {
+  // An undersized arena forces eviction mid-batch; the batch must degrade
+  // to eviction, not corruption, and survivors must read back intact.
+  for (auto& backend : AllBackends(1 << 14, 2 << 20)) {
+    SCOPED_TRACE(backend->name());
+    const std::string big_val(1000, 'y');
+    std::vector<std::string> key_storage;
+    for (int i = 0; i < 4000; ++i) {
+      key_storage.push_back("msevict:" + std::to_string(i));
+    }
+    std::size_t stored = 0;
+    for (int base = 0; base < 4000; base += 200) {
+      std::vector<std::string_view> keys, vals;
+      for (int i = base; i < base + 200; ++i) {
+        keys.push_back(key_storage[i]);
+        vals.push_back(big_val);
+      }
+      std::vector<std::uint8_t> ok;
+      stored += backend->MultiSet(keys, vals, &ok);
+    }
+    EXPECT_GT(stored, 2000u);
+    EXPECT_LT(backend->size(), 2500u);
+    std::string val;
+    std::size_t readable = 0;
+    for (const std::string& k : key_storage) {
+      if (backend->Get(k, &val)) {
+        EXPECT_EQ(val, big_val);
+        ++readable;
+      }
+    }
+    EXPECT_EQ(readable, backend->size());
+  }
+}
+
 TEST(KvBackends, EvictionUnderMemoryPressure) {
   // Tiny memory: inserting far more than fits must trigger CLOCK eviction
   // rather than failing, and the store must stay consistent.

@@ -195,6 +195,64 @@ TEST(Protocol, TracedMultiGetRejectsTruncation) {
   }
 }
 
+TEST(Protocol, MultiSetRequestRoundTrip) {
+  Buffer buf;
+  std::vector<std::string_view> keys = {"a", "bb", ""};
+  std::vector<std::string_view> vals = {"v1", "", "value3"};
+  EncodeMultiSetRequest(keys, vals, &buf);
+  Opcode op;
+  ASSERT_TRUE(PeekOpcode(buf, &op));
+  EXPECT_EQ(op, Opcode::kMultiSet);
+  MultiSetRequest req;
+  ASSERT_TRUE(DecodeMultiSetRequest(buf, &req));
+  ASSERT_EQ(req.keys.size(), 3u);
+  ASSERT_EQ(req.vals.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(req.keys[i], keys[i]);
+    EXPECT_EQ(req.vals[i], vals[i]);
+  }
+}
+
+TEST(Protocol, MultiSetResponseRoundTrip) {
+  Buffer buf;
+  std::vector<std::uint8_t> ok = {1, 0, 1, 1};
+  EncodeMultiSetResponse(ok, &buf);
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(DecodeMultiSetResponse(buf, &back));
+  EXPECT_EQ(back, ok);
+}
+
+TEST(Protocol, MultiSetRejectsTruncation) {
+  Buffer buf;
+  EncodeMultiSetRequest({"abcdef", "gh"}, {"value-one", "value-two"}, &buf);
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    Buffer trunc(buf.begin(), buf.begin() + static_cast<long>(cut));
+    MultiSetRequest req;
+    EXPECT_FALSE(DecodeMultiSetRequest(trunc, &req)) << "cut=" << cut;
+  }
+  EncodeMultiSetResponse({1, 1, 0}, &buf);
+  for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+    Buffer trunc(buf.begin(), buf.begin() + static_cast<long>(cut));
+    std::vector<std::uint8_t> ok;
+    EXPECT_FALSE(DecodeMultiSetResponse(trunc, &ok)) << "cut=" << cut;
+  }
+}
+
+TEST(Protocol, MultiSetRejectsTrailingGarbage) {
+  Buffer buf;
+  EncodeMultiSetRequest({"k"}, {"v"}, &buf);
+  buf.push_back(0x5A);
+  MultiSetRequest req;
+  EXPECT_FALSE(DecodeMultiSetRequest(buf, &req));
+}
+
+TEST(Protocol, MultiSetRejectsWrongOpcode) {
+  Buffer buf;
+  EncodeMultiGetRequest({"k"}, &buf);
+  MultiSetRequest req;
+  EXPECT_FALSE(DecodeMultiSetRequest(buf, &req));
+}
+
 TEST(Protocol, MetricsRoundTrip) {
   Buffer buf;
   EncodeMetricsRequest(&buf);
